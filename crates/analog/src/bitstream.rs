@@ -1,0 +1,240 @@
+//! Compact storage for 1-bit digitizer output.
+//!
+//! The SoC BIST stores comparator output in on-chip memory; one bit per
+//! sample is the whole point of the low-cost digitizer (paper §4.3), so
+//! the container is bit-packed and reports its memory footprint.
+
+/// A packed record of comparator decisions.
+///
+/// Bits expand to `±1.0` samples for DSP processing via
+/// [`Bitstream::to_bipolar`].
+///
+/// # Examples
+///
+/// ```
+/// use nfbist_analog::bitstream::Bitstream;
+///
+/// let bits: Bitstream = [true, false, true].into_iter().collect();
+/// assert_eq!(bits.len(), 3);
+/// assert_eq!(bits.to_bipolar(), vec![1.0, -1.0, 1.0]);
+/// assert_eq!(bits.ones(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Bitstream {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitstream {
+    /// Creates an empty bitstream.
+    pub fn new() -> Self {
+        Bitstream::default()
+    }
+
+    /// Creates an empty bitstream with capacity for `n` bits.
+    pub fn with_capacity(n: usize) -> Self {
+        Bitstream {
+            words: Vec::with_capacity(n.div_ceil(64)),
+            len: 0,
+        }
+    }
+
+    /// Appends one bit.
+    pub fn push(&mut self, bit: bool) {
+        let word_idx = self.len / 64;
+        let bit_idx = self.len % 64;
+        if word_idx == self.words.len() {
+            self.words.push(0);
+        }
+        if bit {
+            self.words[word_idx] |= 1u64 << bit_idx;
+        }
+        self.len += 1;
+    }
+
+    /// Number of stored bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if no bits are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads bit `i`.
+    ///
+    /// Returns `None` past the end.
+    pub fn get(&self, i: usize) -> Option<bool> {
+        if i >= self.len {
+            return None;
+        }
+        Some(self.words[i / 64] >> (i % 64) & 1 == 1)
+    }
+
+    /// Count of `true` bits.
+    pub fn ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Fraction of `true` bits (0.5 for an unbiased comparator looking
+    /// at zero-mean noise).
+    ///
+    /// Returns NaN for an empty stream.
+    pub fn duty(&self) -> f64 {
+        self.ones() as f64 / self.len as f64
+    }
+
+    /// Expands to `±1.0` samples (`true → +1`).
+    pub fn to_bipolar(&self) -> Vec<f64> {
+        (0..self.len)
+            .map(|i| if self.get(i).unwrap_or(false) { 1.0 } else { -1.0 })
+            .collect()
+    }
+
+    /// Expands to `0.0 / 1.0` samples.
+    pub fn to_unipolar(&self) -> Vec<f64> {
+        (0..self.len)
+            .map(|i| if self.get(i).unwrap_or(false) { 1.0 } else { 0.0 })
+            .collect()
+    }
+
+    /// Memory footprint of the packed representation in bytes.
+    ///
+    /// The SoC resource accountant uses this to budget acquisitions.
+    pub fn memory_bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+
+    /// Iterates over the bits.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            stream: self,
+            pos: 0,
+        }
+    }
+}
+
+impl FromIterator<bool> for Bitstream {
+    fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        let iter = iter.into_iter();
+        let mut bs = Bitstream::with_capacity(iter.size_hint().0);
+        for b in iter {
+            bs.push(b);
+        }
+        bs
+    }
+}
+
+impl Extend<bool> for Bitstream {
+    fn extend<I: IntoIterator<Item = bool>>(&mut self, iter: I) {
+        for b in iter {
+            self.push(b);
+        }
+    }
+}
+
+/// Iterator over the bits of a [`Bitstream`].
+#[derive(Debug, Clone)]
+pub struct Iter<'a> {
+    stream: &'a Bitstream,
+    pos: usize,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = bool;
+
+    fn next(&mut self) -> Option<bool> {
+        let b = self.stream.get(self.pos)?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.stream.len - self.pos;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for Iter<'_> {}
+
+impl<'a> IntoIterator for &'a Bitstream {
+    type Item = bool;
+    type IntoIter = Iter<'a>;
+
+    fn into_iter(self) -> Iter<'a> {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_get() {
+        let mut bs = Bitstream::new();
+        assert!(bs.is_empty());
+        for i in 0..130 {
+            bs.push(i % 3 == 0);
+        }
+        assert_eq!(bs.len(), 130);
+        for i in 0..130 {
+            assert_eq!(bs.get(i), Some(i % 3 == 0), "bit {i}");
+        }
+        assert_eq!(bs.get(130), None);
+    }
+
+    #[test]
+    fn ones_and_duty() {
+        let bs: Bitstream = [true, true, false, false].into_iter().collect();
+        assert_eq!(bs.ones(), 2);
+        assert_eq!(bs.duty(), 0.5);
+        assert!(Bitstream::new().duty().is_nan());
+    }
+
+    #[test]
+    fn bipolar_and_unipolar_expansion() {
+        let bs: Bitstream = [true, false].into_iter().collect();
+        assert_eq!(bs.to_bipolar(), vec![1.0, -1.0]);
+        assert_eq!(bs.to_unipolar(), vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn memory_footprint_is_one_bit_per_sample() {
+        let bs: Bitstream = (0..1_000_000).map(|i| i % 2 == 0).collect();
+        // 10⁶ bits ≈ 125 kB — the paper's full acquisition fits in
+        // modest SoC memory.
+        assert_eq!(bs.memory_bytes(), 1_000_000_usize.div_ceil(64) * 8);
+        assert!(bs.memory_bytes() < 126_000);
+    }
+
+    #[test]
+    fn iteration() {
+        let bits = [true, false, true, true];
+        let bs: Bitstream = bits.into_iter().collect();
+        let collected: Vec<bool> = bs.iter().collect();
+        assert_eq!(collected, bits);
+        assert_eq!(bs.iter().len(), 4);
+        let from_ref: Vec<bool> = (&bs).into_iter().collect();
+        assert_eq!(from_ref, bits);
+    }
+
+    #[test]
+    fn extend_appends() {
+        let mut bs: Bitstream = [true].into_iter().collect();
+        bs.extend([false, true]);
+        assert_eq!(bs.to_bipolar(), vec![1.0, -1.0, 1.0]);
+    }
+
+    #[test]
+    fn word_boundary_crossing() {
+        let mut bs = Bitstream::with_capacity(65);
+        for _ in 0..64 {
+            bs.push(false);
+        }
+        bs.push(true);
+        assert_eq!(bs.get(64), Some(true));
+        assert_eq!(bs.ones(), 1);
+    }
+}

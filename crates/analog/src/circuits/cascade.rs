@@ -1,0 +1,180 @@
+//! Friis cascade formula.
+//!
+//! Paper §6 notes the key system-level consequence: "the noise figure of
+//! a cascade of stages is mainly the noise figure of the first stage",
+//! which is why the BIST's high-gain conditioning amplifier does not
+//! have to be quiet. This module provides the formula and the types to
+//! verify that claim quantitatively.
+
+use crate::AnalogError;
+
+/// One stage of a cascade: its noise factor and available power gain.
+///
+/// # Examples
+///
+/// ```
+/// use nfbist_analog::circuits::CascadeStage;
+///
+/// # fn main() -> Result<(), nfbist_analog::AnalogError> {
+/// let lna = CascadeStage::from_db(3.0, 20.0)?; // NF 3 dB, gain 20 dB
+/// assert!((lna.noise_factor() - 2.0).abs() < 0.01);
+/// assert!((lna.power_gain() - 100.0).abs() < 0.01);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CascadeStage {
+    noise_factor: f64,
+    power_gain: f64,
+}
+
+impl CascadeStage {
+    /// Creates a stage from linear quantities.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::InvalidParameter`] for a noise factor
+    /// below 1 or a non-positive gain.
+    pub fn new(noise_factor: f64, power_gain: f64) -> Result<Self, AnalogError> {
+        if !(noise_factor >= 1.0) || !noise_factor.is_finite() {
+            return Err(AnalogError::InvalidParameter {
+                name: "noise_factor",
+                reason: "must be at least 1 (a passive limit)",
+            });
+        }
+        if !(power_gain > 0.0) || !power_gain.is_finite() {
+            return Err(AnalogError::InvalidParameter {
+                name: "power_gain",
+                reason: "must be positive and finite",
+            });
+        }
+        Ok(CascadeStage {
+            noise_factor,
+            power_gain,
+        })
+    }
+
+    /// Creates a stage from dB quantities (`nf_db ≥ 0`, any gain).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CascadeStage::new`].
+    pub fn from_db(nf_db: f64, gain_db: f64) -> Result<Self, AnalogError> {
+        CascadeStage::new(10f64.powf(nf_db / 10.0), 10f64.powf(gain_db / 10.0))
+    }
+
+    /// Linear noise factor.
+    pub fn noise_factor(&self) -> f64 {
+        self.noise_factor
+    }
+
+    /// Linear available power gain.
+    pub fn power_gain(&self) -> f64 {
+        self.power_gain
+    }
+
+    /// Noise figure in dB.
+    pub fn noise_figure_db(&self) -> f64 {
+        10.0 * self.noise_factor.log10()
+    }
+}
+
+/// Total noise factor of a cascade by the Friis formula:
+/// `F = F1 + (F2−1)/G1 + (F3−1)/(G1·G2) + …`.
+///
+/// # Errors
+///
+/// Returns [`AnalogError::EmptyInput`] for an empty chain.
+///
+/// # Examples
+///
+/// ```
+/// use nfbist_analog::circuits::{friis_noise_factor, CascadeStage};
+///
+/// # fn main() -> Result<(), nfbist_analog::AnalogError> {
+/// // Quiet first stage with gain dominates a noisy second stage.
+/// let chain = [
+///     CascadeStage::from_db(3.0, 30.0)?,
+///     CascadeStage::from_db(20.0, 0.0)?,
+/// ];
+/// let f = friis_noise_factor(&chain)?;
+/// let nf_db = 10.0 * f.log10();
+/// assert!((nf_db - 3.0).abs() < 0.5); // ≈ first stage alone
+/// # Ok(())
+/// # }
+/// ```
+pub fn friis_noise_factor(stages: &[CascadeStage]) -> Result<f64, AnalogError> {
+    if stages.is_empty() {
+        return Err(AnalogError::EmptyInput {
+            context: "friis cascade",
+        });
+    }
+    let mut total = stages[0].noise_factor();
+    let mut gain = stages[0].power_gain();
+    for stage in &stages[1..] {
+        total += (stage.noise_factor() - 1.0) / gain;
+        gain *= stage.power_gain();
+    }
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        assert!(CascadeStage::new(0.5, 10.0).is_err());
+        assert!(CascadeStage::new(2.0, 0.0).is_err());
+        assert!(CascadeStage::new(2.0, f64::INFINITY).is_err());
+        assert!(friis_noise_factor(&[]).is_err());
+    }
+
+    #[test]
+    fn single_stage_is_itself() {
+        let s = CascadeStage::new(3.0, 17.0).unwrap();
+        assert_eq!(friis_noise_factor(&[s]).unwrap(), 3.0);
+        assert_eq!(s.power_gain(), 17.0);
+        assert!((s.noise_figure_db() - 4.771).abs() < 0.001);
+    }
+
+    #[test]
+    fn classic_two_stage_example() {
+        // F1 = 2 (3 dB), G1 = 10; F2 = 10 → F = 2 + 9/10 = 2.9.
+        let chain = [
+            CascadeStage::new(2.0, 10.0).unwrap(),
+            CascadeStage::new(10.0, 1.0).unwrap(),
+        ];
+        assert!((friis_noise_factor(&chain).unwrap() - 2.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn first_stage_dominates_with_high_gain() {
+        // Paper §6's argument: the conditioning amplifier after the DUT
+        // barely matters when the DUT has gain.
+        let dut = CascadeStage::from_db(3.7, 40.1).unwrap(); // Av=101 → 40.1 dB
+        let noisy_postamp = CascadeStage::from_db(25.0, 61.3).unwrap(); // Av=1156
+        let f = friis_noise_factor(&[dut, noisy_postamp]).unwrap();
+        let nf = 10.0 * f.log10();
+        assert!((nf - 3.7).abs() < 0.15, "cascade NF {nf}");
+    }
+
+    #[test]
+    fn order_matters() {
+        let quiet_gain = CascadeStage::new(2.0, 100.0).unwrap();
+        let noisy_unity = CascadeStage::new(10.0, 1.0).unwrap();
+        let good = friis_noise_factor(&[quiet_gain, noisy_unity]).unwrap();
+        let bad = friis_noise_factor(&[noisy_unity, quiet_gain]).unwrap();
+        assert!(good < bad);
+    }
+
+    #[test]
+    fn lossy_first_stage_adds_directly() {
+        // A 10 dB attenuator (F = 10, G = 0.1) ahead of a 3 dB LNA.
+        let att = CascadeStage::from_db(10.0, -10.0).unwrap();
+        let lna = CascadeStage::from_db(3.0, 20.0).unwrap();
+        let f = friis_noise_factor(&[att, lna]).unwrap();
+        let nf = 10.0 * f.log10();
+        assert!((nf - 13.0).abs() < 0.2, "NF {nf}");
+    }
+}

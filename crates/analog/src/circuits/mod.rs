@@ -1,0 +1,10 @@
+//! Circuit-level models: the paper's non-inverting amplifier DUT with
+//! full noise analysis, and Friis cascades.
+
+mod cascade;
+mod inverting;
+mod noninverting;
+
+pub use cascade::{friis_noise_factor, CascadeStage};
+pub use inverting::InvertingAmplifier;
+pub use noninverting::NonInvertingAmplifier;

@@ -1,0 +1,238 @@
+//! Voltage amplifier with finite bandwidth, gain error and saturation.
+
+use crate::component::Block;
+use crate::AnalogError;
+
+/// A behavioural voltage amplifier.
+///
+/// Models the three non-idealities the paper leans on:
+///
+/// * **gain error** — §4.1 shows the direct method's weakness: a gain
+///   deviation `Ga → Ga'` corrupts the NF estimate, while the Y-factor
+///   ratio cancels it. [`Amplifier::with_gain_error`] injects exactly
+///   that deviation.
+/// * **finite bandwidth** — a one-pole (6 dB/octave) rolloff at a
+///   configurable corner.
+/// * **saturation** — hard clipping at the supply rails.
+///
+/// # Examples
+///
+/// ```
+/// use nfbist_analog::component::{Amplifier, Block};
+///
+/// # fn main() -> Result<(), nfbist_analog::AnalogError> {
+/// let mut amp = Amplifier::ideal(101.0)?;
+/// assert_eq!(amp.process(&[0.01]), vec![1.01]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Amplifier {
+    nominal_gain: f64,
+    gain_error_fraction: f64,
+    /// One-pole lowpass state, if bandwidth-limited: (alpha, y_prev).
+    pole: Option<Pole>,
+    saturation: Option<f64>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Pole {
+    alpha: f64,
+    y_prev: f64,
+}
+
+impl Amplifier {
+    /// An ideal amplifier: exact gain, infinite bandwidth, no clipping.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::InvalidParameter`] for a non-finite or
+    /// zero gain.
+    pub fn ideal(gain: f64) -> Result<Self, AnalogError> {
+        if !gain.is_finite() || gain == 0.0 {
+            return Err(AnalogError::InvalidParameter {
+                name: "gain",
+                reason: "must be nonzero and finite",
+            });
+        }
+        Ok(Amplifier {
+            nominal_gain: gain,
+            gain_error_fraction: 0.0,
+            pole: None,
+            saturation: None,
+        })
+    }
+
+    /// Adds a fractional gain error: the *actual* gain becomes
+    /// `gain·(1 + fraction)` while [`Block::nominal_gain`] keeps
+    /// reporting the nominal value — exactly the process-variation
+    /// scenario of paper §4.1.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::InvalidParameter`] if the error would zero
+    /// the gain.
+    pub fn with_gain_error(mut self, fraction: f64) -> Result<Self, AnalogError> {
+        if !fraction.is_finite() || fraction <= -1.0 {
+            return Err(AnalogError::InvalidParameter {
+                name: "fraction",
+                reason: "must be finite and above -1",
+            });
+        }
+        self.gain_error_fraction = fraction;
+        Ok(self)
+    }
+
+    /// Adds a single-pole bandwidth limit at `corner_hz` for signals
+    /// sampled at `sample_rate` Hz.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::InvalidParameter`] unless
+    /// `0 < corner < sample_rate/2`.
+    pub fn with_bandwidth(mut self, corner_hz: f64, sample_rate: f64) -> Result<Self, AnalogError> {
+        if !(corner_hz > 0.0) || !(sample_rate > 0.0) || corner_hz >= sample_rate / 2.0 {
+            return Err(AnalogError::InvalidParameter {
+                name: "corner_hz",
+                reason: "must satisfy 0 < corner < sample_rate/2",
+            });
+        }
+        // Bilinear-free one-pole: alpha = 1 - exp(-2π·fc/fs).
+        let alpha = 1.0 - (-std::f64::consts::TAU * corner_hz / sample_rate).exp();
+        self.pole = Some(Pole { alpha, y_prev: 0.0 });
+        Ok(self)
+    }
+
+    /// Adds symmetric hard clipping at `±rail` volts on the output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::InvalidParameter`] for a non-positive rail.
+    pub fn with_saturation(mut self, rail: f64) -> Result<Self, AnalogError> {
+        if !(rail > 0.0) || !rail.is_finite() {
+            return Err(AnalogError::InvalidParameter {
+                name: "rail",
+                reason: "must be positive and finite",
+            });
+        }
+        self.saturation = Some(rail);
+        Ok(self)
+    }
+
+    /// The actual gain including the error term.
+    pub fn actual_gain(&self) -> f64 {
+        self.nominal_gain * (1.0 + self.gain_error_fraction)
+    }
+}
+
+impl Block for Amplifier {
+    fn process(&mut self, input: &[f64]) -> Vec<f64> {
+        let g = self.actual_gain();
+        let mut out: Vec<f64> = input.iter().map(|v| v * g).collect();
+        if let Some(pole) = &mut self.pole {
+            for v in &mut out {
+                pole.y_prev += pole.alpha * (*v - pole.y_prev);
+                *v = pole.y_prev;
+            }
+        }
+        if let Some(rail) = self.saturation {
+            for v in &mut out {
+                *v = v.clamp(-rail, rail);
+            }
+        }
+        out
+    }
+
+    fn reset(&mut self) {
+        if let Some(pole) = &mut self.pole {
+            pole.y_prev = 0.0;
+        }
+    }
+
+    fn nominal_gain(&self) -> f64 {
+        self.nominal_gain
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        assert!(Amplifier::ideal(0.0).is_err());
+        assert!(Amplifier::ideal(f64::NAN).is_err());
+        assert!(Amplifier::ideal(1.0).unwrap().with_gain_error(-1.5).is_err());
+        assert!(Amplifier::ideal(1.0).unwrap().with_saturation(0.0).is_err());
+        assert!(Amplifier::ideal(1.0)
+            .unwrap()
+            .with_bandwidth(600.0, 1000.0)
+            .is_err());
+    }
+
+    #[test]
+    fn ideal_gain() {
+        let mut a = Amplifier::ideal(-3.0).unwrap();
+        assert_eq!(a.process(&[2.0]), vec![-6.0]);
+        assert_eq!(a.nominal_gain(), -3.0);
+        assert_eq!(a.actual_gain(), -3.0);
+    }
+
+    #[test]
+    fn gain_error_hidden_from_nominal() {
+        let mut a = Amplifier::ideal(100.0)
+            .unwrap()
+            .with_gain_error(0.05)
+            .unwrap();
+        assert_eq!(a.nominal_gain(), 100.0);
+        assert_eq!(a.actual_gain(), 105.0);
+        assert!((a.process(&[1.0])[0] - 105.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn saturation_clips_symmetrically() {
+        let mut a = Amplifier::ideal(10.0)
+            .unwrap()
+            .with_saturation(5.0)
+            .unwrap();
+        assert_eq!(a.process(&[1.0, -1.0, 0.1]), vec![5.0, -5.0, 1.0]);
+    }
+
+    #[test]
+    fn bandwidth_attenuates_high_frequencies() {
+        let fs = 100_000.0;
+        let fc = 1_000.0;
+        let mut a = Amplifier::ideal(1.0)
+            .unwrap()
+            .with_bandwidth(fc, fs)
+            .unwrap();
+        let measure = |a: &mut Amplifier, f: f64| {
+            a.reset();
+            let n = 50_000;
+            let x: Vec<f64> = (0..n)
+                .map(|i| (std::f64::consts::TAU * f * i as f64 / fs).sin())
+                .collect();
+            let y = a.process(&x);
+            nfbist_dsp::stats::rms(&y[n / 2..]).unwrap() / std::f64::consts::FRAC_1_SQRT_2
+        };
+        let low = measure(&mut a, 50.0);
+        let at_corner = measure(&mut a, fc);
+        let high = measure(&mut a, 10_000.0);
+        assert!((low - 1.0).abs() < 0.02, "low-band gain {low}");
+        assert!((at_corner - std::f64::consts::FRAC_1_SQRT_2).abs() < 0.05, "corner gain {at_corner}");
+        assert!(high < 0.15, "10×-corner gain {high}");
+    }
+
+    #[test]
+    fn dc_passes_through_pole() {
+        let mut a = Amplifier::ideal(2.0)
+            .unwrap()
+            .with_bandwidth(100.0, 10_000.0)
+            .unwrap();
+        let y = a.process(&vec![1.0; 5_000]);
+        assert!((y[4_999] - 2.0).abs() < 1e-6);
+        a.reset();
+        let y2 = a.process(&[1.0]);
+        assert!(y2[0] < 2.0); // transient restarts after reset
+    }
+}

@@ -1,0 +1,156 @@
+//! Programmable attenuator.
+
+use crate::component::Block;
+use crate::AnalogError;
+
+/// A programmable attenuator with optional discrete steps.
+///
+/// The Y-factor setup (paper Fig. 4/5) uses a programmable attenuator to
+/// derive the two noise levels from one generator. Real parts attenuate
+/// in fixed steps (e.g. 1 dB); [`Attenuator::with_step`] snaps requested
+/// values to the nearest step so experiments can model that
+/// quantization.
+///
+/// # Examples
+///
+/// ```
+/// use nfbist_analog::component::{Attenuator, Block};
+///
+/// # fn main() -> Result<(), nfbist_analog::AnalogError> {
+/// let mut att = Attenuator::from_db(20.0)?;
+/// let y = att.process(&[1.0]);
+/// assert!((y[0] - 0.1).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Attenuator {
+    attenuation_db: f64,
+    step_db: Option<f64>,
+}
+
+impl Attenuator {
+    /// Creates an attenuator with the given attenuation in dB
+    /// (non-negative; 0 dB is a through connection).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::InvalidParameter`] for negative or
+    /// non-finite attenuation.
+    pub fn from_db(attenuation_db: f64) -> Result<Self, AnalogError> {
+        if !(attenuation_db >= 0.0) || !attenuation_db.is_finite() {
+            return Err(AnalogError::InvalidParameter {
+                name: "attenuation_db",
+                reason: "must be non-negative and finite",
+            });
+        }
+        Ok(Attenuator {
+            attenuation_db,
+            step_db: None,
+        })
+    }
+
+    /// Quantizes programmed values to multiples of `step_db` (applied to
+    /// the current setting immediately and to future settings).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::InvalidParameter`] for a non-positive step.
+    pub fn with_step(mut self, step_db: f64) -> Result<Self, AnalogError> {
+        if !(step_db > 0.0) || !step_db.is_finite() {
+            return Err(AnalogError::InvalidParameter {
+                name: "step_db",
+                reason: "must be positive and finite",
+            });
+        }
+        self.step_db = Some(step_db);
+        self.attenuation_db = Self::quantize(self.attenuation_db, step_db);
+        Ok(self)
+    }
+
+    /// Programs a new attenuation (snapped to the step grid if any).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::InvalidParameter`] for negative values.
+    pub fn set_db(&mut self, attenuation_db: f64) -> Result<(), AnalogError> {
+        if !(attenuation_db >= 0.0) || !attenuation_db.is_finite() {
+            return Err(AnalogError::InvalidParameter {
+                name: "attenuation_db",
+                reason: "must be non-negative and finite",
+            });
+        }
+        self.attenuation_db = match self.step_db {
+            Some(step) => Self::quantize(attenuation_db, step),
+            None => attenuation_db,
+        };
+        Ok(())
+    }
+
+    fn quantize(value: f64, step: f64) -> f64 {
+        (value / step).round() * step
+    }
+
+    /// The effective attenuation in dB (after step quantization).
+    pub fn attenuation_db(&self) -> f64 {
+        self.attenuation_db
+    }
+
+    /// Linear voltage factor `10^(-dB/20)`.
+    pub fn linear_factor(&self) -> f64 {
+        10f64.powf(-self.attenuation_db / 20.0)
+    }
+}
+
+impl Block for Attenuator {
+    fn process(&mut self, input: &[f64]) -> Vec<f64> {
+        let k = self.linear_factor();
+        input.iter().map(|v| v * k).collect()
+    }
+
+    fn nominal_gain(&self) -> f64 {
+        self.linear_factor()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        assert!(Attenuator::from_db(-1.0).is_err());
+        assert!(Attenuator::from_db(f64::INFINITY).is_err());
+        assert!(Attenuator::from_db(6.0).unwrap().with_step(0.0).is_err());
+    }
+
+    #[test]
+    fn zero_db_is_identity() {
+        let mut a = Attenuator::from_db(0.0).unwrap();
+        assert_eq!(a.process(&[1.5]), vec![1.5]);
+        assert_eq!(a.nominal_gain(), 1.0);
+    }
+
+    #[test]
+    fn power_attenuation() {
+        // 10 dB attenuation drops power by 10× → voltage by √10.
+        let a = Attenuator::from_db(10.0).unwrap();
+        assert!((a.linear_factor().powi(2) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn step_quantization() {
+        let mut a = Attenuator::from_db(7.3).unwrap().with_step(1.0).unwrap();
+        assert_eq!(a.attenuation_db(), 7.0);
+        a.set_db(12.6).unwrap();
+        assert_eq!(a.attenuation_db(), 13.0);
+        assert!(a.set_db(-2.0).is_err());
+    }
+
+    #[test]
+    fn reprogramming_without_step() {
+        let mut a = Attenuator::from_db(3.0).unwrap();
+        a.set_db(9.99).unwrap();
+        assert_eq!(a.attenuation_db(), 9.99);
+    }
+}

@@ -1,0 +1,247 @@
+//! Analog multiplexer with the non-idealities the paper warns about.
+
+use crate::component::Block;
+use crate::AnalogError;
+
+/// An analog multiplexer routing one of several test points to a shared
+/// ADC.
+///
+/// Paper §4.3 motivates the 1-bit digitizer by the drawbacks of this
+/// component: "a multiplexing device at the input of the ADC …
+/// introduces non-linearity and distortion in the signal". The model
+/// includes third-order distortion, channel crosstalk and a series
+/// on-resistance divider so the ADC-based baseline in `nfbist-soc`
+/// inherits realistic impairments.
+///
+/// # Examples
+///
+/// ```
+/// use nfbist_analog::component::{AnalogMux, Block};
+///
+/// # fn main() -> Result<(), nfbist_analog::AnalogError> {
+/// let mut mux = AnalogMux::new(4)?;
+/// mux.select(2)?;
+/// assert_eq!(mux.selected(), 2);
+/// let y = mux.route(&[&[0.0][..], &[0.0][..], &[1.0][..], &[0.0][..]])?;
+/// assert!((y[0] - 1.0).abs() < 0.05);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct AnalogMux {
+    channels: usize,
+    selected: usize,
+    /// Third-order distortion coefficient (fraction of the cubed input).
+    k3: f64,
+    /// Fraction of every *other* channel leaking into the output.
+    crosstalk: f64,
+    /// Voltage division from the switch on-resistance.
+    insertion_gain: f64,
+}
+
+impl AnalogMux {
+    /// Creates a mux with `channels` inputs and default impairments
+    /// (0.5 % cubic distortion, −60 dB crosstalk, 0.995 insertion gain).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::InvalidParameter`] for zero channels.
+    pub fn new(channels: usize) -> Result<Self, AnalogError> {
+        if channels == 0 {
+            return Err(AnalogError::InvalidParameter {
+                name: "channels",
+                reason: "must have at least one channel",
+            });
+        }
+        Ok(AnalogMux {
+            channels,
+            selected: 0,
+            k3: 0.005,
+            crosstalk: 1e-3,
+            insertion_gain: 0.995,
+        })
+    }
+
+    /// Overrides the impairment set. Pass zeros for an ideal mux.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::InvalidParameter`] for negative values or
+    /// an insertion gain outside `(0, 1]`.
+    pub fn with_impairments(
+        mut self,
+        k3: f64,
+        crosstalk: f64,
+        insertion_gain: f64,
+    ) -> Result<Self, AnalogError> {
+        if !(k3 >= 0.0) || !(crosstalk >= 0.0) {
+            return Err(AnalogError::InvalidParameter {
+                name: "impairments",
+                reason: "distortion and crosstalk must be non-negative",
+            });
+        }
+        if !(insertion_gain > 0.0 && insertion_gain <= 1.0) {
+            return Err(AnalogError::InvalidParameter {
+                name: "insertion_gain",
+                reason: "must be in (0, 1]",
+            });
+        }
+        self.k3 = k3;
+        self.crosstalk = crosstalk;
+        self.insertion_gain = insertion_gain;
+        Ok(self)
+    }
+
+    /// Number of channels.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Currently selected channel.
+    pub fn selected(&self) -> usize {
+        self.selected
+    }
+
+    /// Selects a channel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::InvalidParameter`] for an out-of-range
+    /// index.
+    pub fn select(&mut self, channel: usize) -> Result<(), AnalogError> {
+        if channel >= self.channels {
+            return Err(AnalogError::InvalidParameter {
+                name: "channel",
+                reason: "index exceeds channel count",
+            });
+        }
+        self.selected = channel;
+        Ok(())
+    }
+
+    /// Routes the selected channel to the output with impairments,
+    /// mixing in crosstalk from all other channels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::LengthMismatch`] unless exactly
+    /// `channels` equally long buffers are supplied.
+    pub fn route(&self, inputs: &[&[f64]]) -> Result<Vec<f64>, AnalogError> {
+        if inputs.len() != self.channels {
+            return Err(AnalogError::LengthMismatch {
+                expected: self.channels,
+                actual: inputs.len(),
+                context: "mux route (channel count)",
+            });
+        }
+        let n = inputs[self.selected].len();
+        for buf in inputs {
+            if buf.len() != n {
+                return Err(AnalogError::LengthMismatch {
+                    expected: n,
+                    actual: buf.len(),
+                    context: "mux route (buffer length)",
+                });
+            }
+        }
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let x = inputs[self.selected][i];
+            let mut v = self.insertion_gain * (x + self.k3 * x * x * x);
+            for (c, buf) in inputs.iter().enumerate() {
+                if c != self.selected {
+                    v += self.crosstalk * buf[i];
+                }
+            }
+            out.push(v);
+        }
+        Ok(out)
+    }
+}
+
+impl Block for AnalogMux {
+    /// Single-input use: treats the input as the selected channel with
+    /// all other channels silent.
+    fn process(&mut self, input: &[f64]) -> Vec<f64> {
+        input
+            .iter()
+            .map(|&x| self.insertion_gain * (x + self.k3 * x * x * x))
+            .collect()
+    }
+
+    fn nominal_gain(&self) -> f64 {
+        self.insertion_gain
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        assert!(AnalogMux::new(0).is_err());
+        assert!(AnalogMux::new(2)
+            .unwrap()
+            .with_impairments(-0.1, 0.0, 1.0)
+            .is_err());
+        assert!(AnalogMux::new(2)
+            .unwrap()
+            .with_impairments(0.0, 0.0, 1.5)
+            .is_err());
+        let mut m = AnalogMux::new(2).unwrap();
+        assert!(m.select(2).is_err());
+        assert!(m.select(1).is_ok());
+    }
+
+    #[test]
+    fn ideal_mux_is_a_selector() {
+        let mut m = AnalogMux::new(3)
+            .unwrap()
+            .with_impairments(0.0, 0.0, 1.0)
+            .unwrap();
+        m.select(1).unwrap();
+        let y = m
+            .route(&[&[1.0][..], &[2.0][..], &[3.0][..]])
+            .unwrap();
+        assert_eq!(y, vec![2.0]);
+        assert_eq!(m.channels(), 3);
+    }
+
+    #[test]
+    fn crosstalk_leaks_other_channels() {
+        let m = AnalogMux::new(2)
+            .unwrap()
+            .with_impairments(0.0, 0.01, 1.0)
+            .unwrap();
+        let y = m.route(&[&[0.0][..], &[5.0][..]]).unwrap();
+        assert!((y[0] - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cubic_distortion_generates_third_harmonic() {
+        let fs = 32_768.0;
+        let n = 32_768;
+        let f0 = 512.0;
+        let x: Vec<f64> = (0..n)
+            .map(|i| (std::f64::consts::TAU * f0 * i as f64 / fs).sin())
+            .collect();
+        let mut m = AnalogMux::new(1)
+            .unwrap()
+            .with_impairments(0.1, 0.0, 1.0)
+            .unwrap();
+        let y = m.process(&x);
+        let psd = nfbist_dsp::psd::periodogram(&y, fs).unwrap();
+        let h3 = psd.tone_power(1536, 1).unwrap();
+        // x³ produces a 3rd harmonic of amplitude k3/4 → power (k3/4)²/2.
+        let expected = (0.1f64 / 4.0).powi(2) / 2.0;
+        assert!((h3 - expected).abs() / expected < 0.05, "h3 {h3}");
+    }
+
+    #[test]
+    fn route_length_checks() {
+        let m = AnalogMux::new(2).unwrap();
+        assert!(m.route(&[&[1.0][..]]).is_err());
+        assert!(m.route(&[&[1.0][..], &[1.0, 2.0][..]]).is_err());
+    }
+}

@@ -1,0 +1,82 @@
+//! Signal summation node.
+
+use crate::AnalogError;
+
+/// Sums an arbitrary set of equally long sample buffers.
+///
+/// This is the node where a DUT's own noise joins the amplified source
+/// noise, or where a reference waveform is superposed on the measured
+/// noise before the comparator.
+///
+/// # Errors
+///
+/// Returns [`AnalogError::EmptyInput`] when no buffers are supplied and
+/// [`AnalogError::LengthMismatch`] when lengths differ.
+///
+/// # Examples
+///
+/// ```
+/// use nfbist_analog::component::sum_signals;
+///
+/// # fn main() -> Result<(), nfbist_analog::AnalogError> {
+/// let y = sum_signals(&[&[1.0, 2.0][..], &[10.0, 20.0][..]])?;
+/// assert_eq!(y, vec![11.0, 22.0]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn sum_signals(inputs: &[&[f64]]) -> Result<Vec<f64>, AnalogError> {
+    let first = inputs.first().ok_or(AnalogError::EmptyInput {
+        context: "sum_signals",
+    })?;
+    let n = first.len();
+    for buf in inputs.iter().skip(1) {
+        if buf.len() != n {
+            return Err(AnalogError::LengthMismatch {
+                expected: n,
+                actual: buf.len(),
+                context: "sum_signals",
+            });
+        }
+    }
+    let mut out = first.to_vec();
+    for buf in inputs.iter().skip(1) {
+        for (o, v) in out.iter_mut().zip(*buf) {
+            *o += v;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        assert!(sum_signals(&[]).is_err());
+        assert!(sum_signals(&[&[1.0][..], &[1.0, 2.0][..]]).is_err());
+    }
+
+    #[test]
+    fn single_input_is_identity() {
+        assert_eq!(sum_signals(&[&[1.0, -1.0][..]]).unwrap(), vec![1.0, -1.0]);
+    }
+
+    #[test]
+    fn three_way_sum() {
+        let y = sum_signals(&[&[1.0][..], &[2.0][..], &[3.0][..]]).unwrap();
+        assert_eq!(y, vec![6.0]);
+    }
+
+    #[test]
+    fn independent_noise_powers_add() {
+        use crate::noise::WhiteNoise;
+        let mut a = WhiteNoise::new(1.0, 1).unwrap();
+        let mut b = WhiteNoise::new(2.0, 2).unwrap();
+        let xa = a.generate(100_000);
+        let xb = b.generate(100_000);
+        let sum = sum_signals(&[&xa[..], &xb[..]]).unwrap();
+        let p = nfbist_dsp::stats::mean_square(&sum).unwrap();
+        assert!((p - 5.0).abs() < 0.15, "power {p}");
+    }
+}

@@ -1,0 +1,65 @@
+//! Physical constants used by the noise models.
+
+/// Boltzmann constant in joules per kelvin (exact, 2019 SI).
+pub const BOLTZMANN: f64 = 1.380_649e-23;
+
+/// IEEE standard reference temperature T₀ for noise figure, in kelvin.
+///
+/// Paper eq. 4 defines the noise factor against `k·T0·B·G` with
+/// `T0 = 290 K`.
+pub const T0_KELVIN: f64 = 290.0;
+
+/// Available thermal noise power density `k·T` in watts per hertz at a
+/// given temperature.
+///
+/// # Examples
+///
+/// ```
+/// use nfbist_analog::constants::{thermal_noise_density, T0_KELVIN};
+/// // kT at 290 K ≈ 4.004e-21 W/Hz (the famous −174 dBm/Hz).
+/// let kt = thermal_noise_density(T0_KELVIN);
+/// assert!((kt - 4.0039e-21).abs() < 1e-24);
+/// ```
+#[inline]
+pub fn thermal_noise_density(temperature_kelvin: f64) -> f64 {
+    BOLTZMANN * temperature_kelvin
+}
+
+/// Available thermal noise power `k·T·B` in watts over a bandwidth.
+///
+/// # Examples
+///
+/// ```
+/// use nfbist_analog::constants::thermal_noise_power;
+/// let p = thermal_noise_power(290.0, 1_000.0);
+/// assert!((p - 4.0039e-18).abs() < 1e-21);
+/// ```
+#[inline]
+pub fn thermal_noise_power(temperature_kelvin: f64, bandwidth_hz: f64) -> f64 {
+    BOLTZMANN * temperature_kelvin * bandwidth_hz
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kt_at_reference_temperature() {
+        let kt = thermal_noise_density(T0_KELVIN);
+        assert!((kt - 1.380_649e-23 * 290.0).abs() < 1e-30);
+    }
+
+    #[test]
+    fn ktb_scales_linearly() {
+        let p1 = thermal_noise_power(290.0, 1.0);
+        let p2 = thermal_noise_power(580.0, 2.0);
+        assert!((p2 - 4.0 * p1).abs() < 1e-30);
+    }
+
+    #[test]
+    fn minus_174_dbm_per_hz() {
+        // kT0 expressed in dBm/Hz is the textbook −174.
+        let dbm = 10.0 * (thermal_noise_density(T0_KELVIN) / 1e-3).log10();
+        assert!((dbm + 174.0).abs() < 0.1, "kT0 = {dbm} dBm/Hz");
+    }
+}

@@ -1,0 +1,187 @@
+//! Conventional N-bit ADC model, the baseline the 1-bit digitizer is
+//! compared against.
+
+use crate::AnalogError;
+
+/// A uniform mid-rise quantizer with `bits` resolution over
+/// `±full_scale` volts.
+///
+/// Used by the ADC-based Y-factor baseline (paper Fig. 4): higher
+/// fidelity than the comparator, but it must be shared through an analog
+/// mux and cannot observe several test points simultaneously.
+///
+/// # Examples
+///
+/// ```
+/// use nfbist_analog::converter::Adc;
+///
+/// # fn main() -> Result<(), nfbist_analog::AnalogError> {
+/// let adc = Adc::new(12, 1.0)?;
+/// let y = adc.quantize(&[0.5, 2.0, -2.0])?;
+/// assert!((y[0] - 0.5).abs() < adc.lsb());
+/// assert!(y[1] <= 1.0);   // clipped to full scale
+/// assert!(y[2] >= -1.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Adc {
+    bits: u32,
+    full_scale: f64,
+}
+
+impl Adc {
+    /// Creates an ADC with `bits` resolution (1–31) and `±full_scale`
+    /// input range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::InvalidParameter`] for zero/excessive bits
+    /// or a non-positive full scale.
+    pub fn new(bits: u32, full_scale: f64) -> Result<Self, AnalogError> {
+        if bits == 0 || bits > 31 {
+            return Err(AnalogError::InvalidParameter {
+                name: "bits",
+                reason: "must be between 1 and 31",
+            });
+        }
+        if !(full_scale > 0.0) || !full_scale.is_finite() {
+            return Err(AnalogError::InvalidParameter {
+                name: "full_scale",
+                reason: "must be positive and finite",
+            });
+        }
+        Ok(Adc { bits, full_scale })
+    }
+
+    /// Resolution in bits.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Full-scale voltage (the range is `±full_scale`).
+    pub fn full_scale(&self) -> f64 {
+        self.full_scale
+    }
+
+    /// Least-significant-bit size in volts.
+    pub fn lsb(&self) -> f64 {
+        2.0 * self.full_scale / (1u64 << self.bits) as f64
+    }
+
+    /// Quantizes a buffer, clipping outside the input range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::EmptyInput`] for an empty buffer.
+    pub fn quantize(&self, x: &[f64]) -> Result<Vec<f64>, AnalogError> {
+        if x.is_empty() {
+            return Err(AnalogError::EmptyInput { context: "quantize" });
+        }
+        let lsb = self.lsb();
+        let max_code = ((1u64 << self.bits) - 1) as f64;
+        Ok(x.iter()
+            .map(|&v| {
+                let clipped = v.clamp(-self.full_scale, self.full_scale);
+                let code = ((clipped + self.full_scale) / lsb).floor().min(max_code);
+                // Mid-rise reconstruction at the code centre.
+                -self.full_scale + (code + 0.5) * lsb
+            })
+            .collect())
+    }
+
+    /// Theoretical quantization-noise-limited SNR for a full-scale sine,
+    /// `6.02·bits + 1.76` dB.
+    pub fn ideal_snr_db(&self) -> f64 {
+        6.020599913279624 * self.bits as f64 + 1.7609125905568124
+    }
+
+    /// Memory footprint of an `n`-sample acquisition in bytes, assuming
+    /// samples pack into whole bytes (`ceil(bits/8)` each).
+    ///
+    /// Contrast with `Bitstream::memory_bytes`: this is the SoC memory
+    /// cost the 1-bit BIST avoids.
+    pub fn memory_bytes(&self, n: usize) -> usize {
+        n * (self.bits as usize).div_ceil(8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::noise::WhiteNoise;
+
+    #[test]
+    fn validation() {
+        assert!(Adc::new(0, 1.0).is_err());
+        assert!(Adc::new(32, 1.0).is_err());
+        assert!(Adc::new(12, 0.0).is_err());
+        assert!(Adc::new(12, 1.0).is_ok());
+        assert!(Adc::new(12, 1.0).unwrap().quantize(&[]).is_err());
+    }
+
+    #[test]
+    fn one_bit_adc_is_a_comparator() {
+        let adc = Adc::new(1, 1.0).unwrap();
+        let y = adc.quantize(&[0.3, -0.3]).unwrap();
+        assert_eq!(y, vec![0.5, -0.5]);
+        assert_eq!(adc.lsb(), 1.0);
+    }
+
+    #[test]
+    fn quantization_error_bounded_by_half_lsb() {
+        let adc = Adc::new(8, 1.0).unwrap();
+        let x: Vec<f64> = (0..1000).map(|i| -0.99 + 0.00198 * i as f64).collect();
+        let y = adc.quantize(&x).unwrap();
+        for (a, b) in x.iter().zip(&y) {
+            assert!((a - b).abs() <= adc.lsb() / 2.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn clipping_at_rails() {
+        let adc = Adc::new(10, 2.0).unwrap();
+        let y = adc.quantize(&[100.0, -100.0]).unwrap();
+        assert!(y[0] < 2.0 && y[0] > 2.0 - adc.lsb());
+        assert!(y[1] > -2.0 && y[1] < -2.0 + adc.lsb());
+        assert_eq!(adc.bits(), 10);
+        assert_eq!(adc.full_scale(), 2.0);
+    }
+
+    #[test]
+    fn measured_snr_close_to_ideal() {
+        let bits = 10;
+        let fs = 65_536.0;
+        let n = 65_536;
+        let adc = Adc::new(bits, 1.0).unwrap();
+        let x: Vec<f64> = (0..n)
+            .map(|i| 0.999 * (std::f64::consts::TAU * 1024.0 * i as f64 / fs).sin())
+            .collect();
+        let y = adc.quantize(&x).unwrap();
+        let err: Vec<f64> = x.iter().zip(&y).map(|(a, b)| a - b).collect();
+        let sig_p = nfbist_dsp::stats::mean_square(&x).unwrap();
+        let err_p = nfbist_dsp::stats::mean_square(&err).unwrap();
+        let snr = 10.0 * (sig_p / err_p).log10();
+        let ideal = adc.ideal_snr_db();
+        assert!((snr - ideal).abs() < 1.5, "snr {snr} vs ideal {ideal}");
+    }
+
+    #[test]
+    fn noise_power_preserved_through_fine_quantizer() {
+        let mut w = WhiteNoise::new(0.1, 3).unwrap();
+        let x = w.generate(100_000);
+        let adc = Adc::new(14, 1.0).unwrap();
+        let y = adc.quantize(&x).unwrap();
+        let px = nfbist_dsp::stats::mean_square(&x).unwrap();
+        let py = nfbist_dsp::stats::mean_square(&y).unwrap();
+        assert!((py / px - 1.0).abs() < 0.01, "power ratio {}", py / px);
+    }
+
+    #[test]
+    fn memory_cost_versus_bitstream() {
+        let adc = Adc::new(12, 1.0).unwrap();
+        // 12-bit samples packed as 2 bytes: 2 MB for 10⁶ samples —
+        // 16× the 1-bit record.
+        assert_eq!(adc.memory_bytes(1_000_000), 2_000_000);
+    }
+}

@@ -1,0 +1,154 @@
+//! Voltage comparator model.
+
+use crate::AnalogError;
+
+/// A voltage comparator with optional input offset and hysteresis.
+///
+/// The decision is `(v_plus − v_minus)` against the offset, with
+/// Schmitt-trigger hysteresis when configured (the previous decision
+/// shifts the threshold by `±hysteresis/2`).
+///
+/// # Examples
+///
+/// ```
+/// use nfbist_analog::converter::Comparator;
+///
+/// let mut c = Comparator::ideal();
+/// assert!(c.compare(1.0, 0.5));
+/// assert!(!c.compare(0.2, 0.5));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparator {
+    offset: f64,
+    hysteresis: f64,
+    last: bool,
+}
+
+impl Comparator {
+    /// An ideal comparator: zero offset, zero hysteresis.
+    pub fn ideal() -> Self {
+        Comparator {
+            offset: 0.0,
+            hysteresis: 0.0,
+            last: false,
+        }
+    }
+
+    /// Adds a constant input-referred offset voltage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::InvalidParameter`] for a non-finite offset.
+    pub fn with_offset(mut self, offset: f64) -> Result<Self, AnalogError> {
+        if !offset.is_finite() {
+            return Err(AnalogError::InvalidParameter {
+                name: "offset",
+                reason: "must be finite",
+            });
+        }
+        self.offset = offset;
+        Ok(self)
+    }
+
+    /// Adds hysteresis (total window width in volts).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::InvalidParameter`] for a negative or
+    /// non-finite width.
+    pub fn with_hysteresis(mut self, width: f64) -> Result<Self, AnalogError> {
+        if !(width >= 0.0) || !width.is_finite() {
+            return Err(AnalogError::InvalidParameter {
+                name: "width",
+                reason: "must be non-negative and finite",
+            });
+        }
+        self.hysteresis = width;
+        Ok(self)
+    }
+
+    /// Input-referred offset in volts.
+    pub fn offset(&self) -> f64 {
+        self.offset
+    }
+
+    /// Hysteresis window width in volts.
+    pub fn hysteresis(&self) -> f64 {
+        self.hysteresis
+    }
+
+    /// One comparison: `true` when the (+) input exceeds the (−) input
+    /// net of offset and hysteresis.
+    pub fn compare(&mut self, v_plus: f64, v_minus: f64) -> bool {
+        let diff = v_plus - v_minus - self.offset;
+        let threshold = if self.last {
+            -self.hysteresis / 2.0
+        } else {
+            self.hysteresis / 2.0
+        };
+        let out = diff > threshold;
+        self.last = out;
+        out
+    }
+
+    /// Resets the hysteresis memory to the low state.
+    pub fn reset(&mut self) {
+        self.last = false;
+    }
+}
+
+impl Default for Comparator {
+    fn default() -> Self {
+        Comparator::ideal()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        assert!(Comparator::ideal().with_offset(f64::NAN).is_err());
+        assert!(Comparator::ideal().with_hysteresis(-0.1).is_err());
+        assert!(Comparator::ideal().with_hysteresis(0.01).is_ok());
+    }
+
+    #[test]
+    fn ideal_decisions() {
+        let mut c = Comparator::ideal();
+        assert!(c.compare(0.1, 0.0));
+        assert!(!c.compare(-0.1, 0.0));
+        assert!(!c.compare(0.0, 0.0)); // strict inequality
+        assert_eq!(c, Comparator::default().with_offset(0.0).unwrap());
+    }
+
+    #[test]
+    fn offset_shifts_threshold() {
+        let mut c = Comparator::ideal().with_offset(0.5).unwrap();
+        assert!(!c.compare(0.4, 0.0));
+        assert!(c.compare(0.6, 0.0));
+        assert_eq!(c.offset(), 0.5);
+    }
+
+    #[test]
+    fn hysteresis_requires_overdrive_to_switch() {
+        let mut c = Comparator::ideal().with_hysteresis(0.2).unwrap();
+        assert_eq!(c.hysteresis(), 0.2);
+        // From low state, needs > +0.1 to go high.
+        assert!(!c.compare(0.05, 0.0));
+        assert!(c.compare(0.15, 0.0));
+        // From high state, stays high until below −0.1.
+        assert!(c.compare(-0.05, 0.0));
+        assert!(!c.compare(-0.15, 0.0));
+    }
+
+    #[test]
+    fn reset_returns_to_low_state() {
+        let mut c = Comparator::ideal().with_hysteresis(0.2).unwrap();
+        assert!(c.compare(1.0, 0.0));
+        c.reset();
+        // Back in the low state: small positive input not enough.
+        assert!(!c.compare(0.05, 0.0));
+    }
+}

@@ -1,0 +1,208 @@
+//! The paper's 1-bit digitizer: a comparator plus a sampling flip-flop.
+
+use crate::bitstream::Bitstream;
+use crate::converter::Comparator;
+use crate::AnalogError;
+
+/// The low-cost BIST digitizer of paper Fig. 6: a voltage comparator
+/// whose (+) input takes the analog test point and whose (−) input
+/// takes a reference/dither waveform, sampled by a flip-flop.
+///
+/// An optional decimation factor models a flip-flop clocked slower than
+/// the analog simulation rate (every `decimation`-th comparison is
+/// latched).
+///
+/// # Examples
+///
+/// ```
+/// use nfbist_analog::converter::OneBitDigitizer;
+///
+/// # fn main() -> Result<(), nfbist_analog::AnalogError> {
+/// let d = OneBitDigitizer::ideal();
+/// let bits = d.digitize(&[1.0, -1.0, 0.5], &[0.0, 0.0, 0.8])?;
+/// assert_eq!(bits.to_bipolar(), vec![1.0, -1.0, -1.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct OneBitDigitizer {
+    comparator: Comparator,
+    decimation: usize,
+}
+
+impl OneBitDigitizer {
+    /// An ideal digitizer: perfect comparator, flip-flop at the full
+    /// simulation rate.
+    pub fn ideal() -> Self {
+        OneBitDigitizer {
+            comparator: Comparator::ideal(),
+            decimation: 1,
+        }
+    }
+
+    /// Builds a digitizer around a configured comparator.
+    pub fn with_comparator(comparator: Comparator) -> Self {
+        OneBitDigitizer {
+            comparator,
+            decimation: 1,
+        }
+    }
+
+    /// Latches only every `factor`-th comparison (sampling flip-flop
+    /// slower than the analog rate).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::InvalidParameter`] for a zero factor.
+    pub fn with_decimation(mut self, factor: usize) -> Result<Self, AnalogError> {
+        if factor == 0 {
+            return Err(AnalogError::InvalidParameter {
+                name: "factor",
+                reason: "must be at least 1",
+            });
+        }
+        self.decimation = factor;
+        Ok(self)
+    }
+
+    /// The comparator model.
+    pub fn comparator(&self) -> &Comparator {
+        &self.comparator
+    }
+
+    /// Digitizes `signal` against `reference` (paper Fig. 6: signal on
+    /// (+), reference on (−)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::LengthMismatch`] for unequal buffer
+    /// lengths and [`AnalogError::EmptyInput`] for empty buffers.
+    pub fn digitize(&self, signal: &[f64], reference: &[f64]) -> Result<Bitstream, AnalogError> {
+        if signal.is_empty() {
+            return Err(AnalogError::EmptyInput {
+                context: "digitize",
+            });
+        }
+        if signal.len() != reference.len() {
+            return Err(AnalogError::LengthMismatch {
+                expected: signal.len(),
+                actual: reference.len(),
+                context: "digitize",
+            });
+        }
+        let mut comparator = self.comparator.clone();
+        let mut bits = Bitstream::with_capacity(signal.len() / self.decimation + 1);
+        for (i, (&s, &r)) in signal.iter().zip(reference).enumerate() {
+            let decision = comparator.compare(s, r);
+            if i % self.decimation == 0 {
+                bits.push(decision);
+            }
+        }
+        Ok(bits)
+    }
+
+    /// Digitizes against an implicit zero reference (plain sign
+    /// quantization) — the degenerate mode used to verify the arcsine
+    /// law directly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::EmptyInput`] for an empty buffer.
+    pub fn digitize_sign(&self, signal: &[f64]) -> Result<Bitstream, AnalogError> {
+        let zeros = vec![0.0; signal.len()];
+        self.digitize(signal, &zeros)
+    }
+}
+
+impl Default for OneBitDigitizer {
+    fn default() -> Self {
+        OneBitDigitizer::ideal()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::noise::WhiteNoise;
+
+    #[test]
+    fn validation() {
+        let d = OneBitDigitizer::ideal();
+        assert!(d.digitize(&[], &[]).is_err());
+        assert!(d.digitize(&[1.0], &[1.0, 2.0]).is_err());
+        assert!(OneBitDigitizer::ideal().with_decimation(0).is_err());
+    }
+
+    #[test]
+    fn sign_quantization() {
+        let d = OneBitDigitizer::ideal();
+        let bits = d.digitize_sign(&[3.0, -0.1, 0.2]).unwrap();
+        assert_eq!(bits.to_bipolar(), vec![1.0, -1.0, 1.0]);
+    }
+
+    #[test]
+    fn decimation_reduces_record_length() {
+        let d = OneBitDigitizer::ideal().with_decimation(4).unwrap();
+        let x = vec![1.0; 100];
+        let r = vec![0.0; 100];
+        assert_eq!(d.digitize(&x, &r).unwrap().len(), 25);
+    }
+
+    #[test]
+    fn zero_mean_noise_has_half_duty() {
+        let mut n = WhiteNoise::new(1.0, 5).unwrap();
+        let x = n.generate(100_000);
+        let d = OneBitDigitizer::ideal();
+        let bits = d.digitize_sign(&x).unwrap();
+        assert!((bits.duty() - 0.5).abs() < 0.01, "duty {}", bits.duty());
+    }
+
+    #[test]
+    fn comparator_offset_biases_duty() {
+        let mut n = WhiteNoise::new(1.0, 6).unwrap();
+        let x = n.generate(100_000);
+        let cmp = Comparator::ideal().with_offset(1.0).unwrap();
+        let d = OneBitDigitizer::with_comparator(cmp);
+        let bits = d.digitize_sign(&x).unwrap();
+        // P(N(0,1) > 1) ≈ 0.159.
+        assert!((bits.duty() - 0.159).abs() < 0.01, "duty {}", bits.duty());
+        assert_eq!(d.comparator().offset(), 1.0);
+    }
+
+    #[test]
+    fn digitizer_is_stateless_across_calls() {
+        // Because the comparator is cloned per call, repeated
+        // digitization of the same record is reproducible.
+        let d = OneBitDigitizer::ideal();
+        let x = [0.5, -0.5, 0.25];
+        let r = [0.0, 0.0, 0.0];
+        assert_eq!(d.digitize(&x, &r).unwrap(), d.digitize(&x, &r).unwrap());
+    }
+
+    #[test]
+    fn arcsine_law_holds_for_gaussian_input() {
+        // Paper eq. 12: for zero-mean Gaussian input,
+        // Ry(τ) = (2/π)·asin(Rx(τ)/Rx(0)).
+        // Construct correlated Gaussian noise by one-pole filtering.
+        let mut w = WhiteNoise::new(1.0, 9).unwrap();
+        let raw = w.generate(400_000);
+        let mut x = vec![0.0f64; raw.len()];
+        let a = 0.8;
+        for i in 1..raw.len() {
+            x[i] = a * x[i - 1] + raw[i];
+        }
+        let d = OneBitDigitizer::ideal();
+        let y = d.digitize_sign(&x).unwrap().to_bipolar();
+
+        let rx = nfbist_dsp::correlation::normalized_autocorrelation(&x, 6).unwrap();
+        let ry = nfbist_dsp::correlation::normalized_autocorrelation(&y, 6).unwrap();
+        for lag in 1..=6 {
+            let predicted = 2.0 / std::f64::consts::PI * rx[lag].asin();
+            assert!(
+                (ry[lag] - predicted).abs() < 0.02,
+                "lag {lag}: measured {} vs arcsine {predicted}",
+                ry[lag]
+            );
+        }
+    }
+}

@@ -1,0 +1,10 @@
+//! Data converters: the 1-bit comparator digitizer (the paper's BIST
+//! cell) and a conventional N-bit ADC used as the baseline.
+
+mod adc;
+mod comparator;
+mod digitizer;
+
+pub use adc::Adc;
+pub use comparator::Comparator;
+pub use digitizer::OneBitDigitizer;

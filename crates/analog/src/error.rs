@@ -1,0 +1,105 @@
+use std::fmt;
+
+/// Error type for the analog simulation crate.
+///
+/// # Examples
+///
+/// ```
+/// use nfbist_analog::source::SineSource;
+///
+/// let err = SineSource::new(-1.0, 1.0).unwrap_err();
+/// assert!(err.to_string().contains("frequency"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum AnalogError {
+    /// A physical parameter was outside its valid domain.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Human-readable constraint description.
+        reason: &'static str,
+    },
+    /// Two buffers that must align had different lengths.
+    LengthMismatch {
+        /// Expected length.
+        expected: usize,
+        /// Actual length.
+        actual: usize,
+        /// The operation that failed.
+        context: &'static str,
+    },
+    /// An empty buffer was supplied where samples are required.
+    EmptyInput {
+        /// The operation that failed.
+        context: &'static str,
+    },
+    /// A DSP-layer operation failed.
+    Dsp(nfbist_dsp::DspError),
+}
+
+impl fmt::Display for AnalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalogError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter {name}: {reason}")
+            }
+            AnalogError::LengthMismatch {
+                expected,
+                actual,
+                context,
+            } => write!(
+                f,
+                "length mismatch in {context}: expected {expected}, got {actual}"
+            ),
+            AnalogError::EmptyInput { context } => write!(f, "empty input in {context}"),
+            AnalogError::Dsp(e) => write!(f, "dsp error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AnalogError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AnalogError::Dsp(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<nfbist_dsp::DspError> for AnalogError {
+    fn from(e: nfbist_dsp::DspError) -> Self {
+        AnalogError::Dsp(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = AnalogError::InvalidParameter {
+            name: "sigma",
+            reason: "must be non-negative",
+        };
+        assert!(e.to_string().contains("sigma"));
+        let e = AnalogError::from(nfbist_dsp::DspError::EmptyInput { context: "mean" });
+        assert!(e.to_string().contains("dsp error"));
+    }
+
+    #[test]
+    fn source_chains_dsp_errors() {
+        use std::error::Error;
+        let e = AnalogError::from(nfbist_dsp::DspError::EmptyInput { context: "mean" });
+        assert!(e.source().is_some());
+        let e = AnalogError::EmptyInput { context: "x" };
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AnalogError>();
+    }
+}

@@ -1,0 +1,66 @@
+//! # nfbist-analog — analog signal-level simulation substrate
+//!
+//! The DATE'05 paper *"Noise Figure Evaluation Using Low Cost BIST"*
+//! evaluated its method on a physical prototype: an HP33120A noise
+//! generator, a programmable attenuator, a non-inverting amplifier DUT
+//! built around four different op-amps, a high-gain post-amplifier and a
+//! voltage comparator acting as a 1-bit digitizer. This crate rebuilds
+//! that bench as a sampled-signal simulator:
+//!
+//! * [`units`] / [`constants`] — physical quantities ([`units::Kelvin`],
+//!   [`units::Ohms`], …) and the Boltzmann constant / 290 K reference.
+//! * [`noise`] — white Gaussian synthesis, Johnson–Nyquist thermal noise,
+//!   arbitrary-PSD shaped noise, 1/f noise, and the calibrated hot/cold
+//!   [`noise::CalibratedNoiseSource`] the Y-factor method requires.
+//! * [`source`] — deterministic waveforms (sine, square with optional
+//!   harmonic truncation, arbitrary tables) for the reference input.
+//! * [`opamp`] — datasheet-style op-amp noise models (`en`, `in`, 1/f
+//!   corners) with the paper's four parts built in.
+//! * [`circuits`] — the non-inverting amplifier DUT with full
+//!   Motchenbacher-style noise analysis (expected noise figure), and
+//!   Friis cascades.
+//! * [`component`] — behavioural blocks: amplifiers with finite bandwidth
+//!   and saturation, programmable attenuators, summers, analog muxes.
+//! * [`converter`] — the 1-bit comparator digitizer (the paper's BIST
+//!   cell), plus a conventional N-bit ADC used as a baseline.
+//! * [`signal`] / [`bitstream`] — sampled-signal and bit-record
+//!   containers.
+//!
+//! ## Example: digitize noise against a sine reference
+//!
+//! ```
+//! use nfbist_analog::converter::OneBitDigitizer;
+//! use nfbist_analog::noise::WhiteNoise;
+//! use nfbist_analog::source::{SineSource, Waveform};
+//!
+//! # fn main() -> Result<(), nfbist_analog::AnalogError> {
+//! let fs = 100_000.0;
+//! let n = 4096;
+//! let mut noise = WhiteNoise::new(1.0, 7)?; // σ = 1 V, seed 7
+//! let noise_v = noise.generate(n);
+//! let reference = SineSource::new(3_000.0, 0.15)?.generate(n, fs)?;
+//!
+//! let digitizer = OneBitDigitizer::ideal();
+//! let bits = digitizer.digitize(&noise_v, &reference)?;
+//! assert_eq!(bits.len(), n);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bitstream;
+pub mod circuits;
+pub mod component;
+pub mod constants;
+pub mod converter;
+pub mod noise;
+pub mod opamp;
+pub mod signal;
+pub mod source;
+pub mod units;
+
+mod error;
+
+pub use error::AnalogError;

@@ -1,0 +1,292 @@
+//! Calibrated two-state (hot/cold) noise source for Y-factor
+//! measurements.
+
+use crate::noise::WhiteNoise;
+use crate::units::{Kelvin, Ohms};
+use crate::AnalogError;
+
+/// Which noise state the source is switched to.
+///
+/// Paper §3.2: "with the noise source turned off (cold temperature) the
+/// DUT output power is measured; then the noise generator is turned on
+/// (hot)".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NoiseSourceState {
+    /// Generator on — emitting at the hot temperature.
+    Hot,
+    /// Generator off — the termination sits at the cold temperature.
+    Cold,
+}
+
+/// A calibrated noise source: a source resistance whose available noise
+/// corresponds to a *declared* hot or cold temperature.
+///
+/// Real noise diodes carry calibration uncertainty; [`set_hot_error`]
+/// introduces a fractional error between the declared hot temperature
+/// (what the Y-factor computation believes) and the emitted one (what
+/// the signal actually contains). The paper cites ref. \[6\]: a 5 % hot
+/// temperature error still keeps NF error within ±0.3 dB for NF of
+/// 3–10 dB — the `uncertainty` module of `nfbist-core` reproduces that
+/// analysis and this source provides the physical side.
+///
+/// [`set_hot_error`]: CalibratedNoiseSource::set_hot_error
+///
+/// # Examples
+///
+/// ```
+/// use nfbist_analog::noise::{CalibratedNoiseSource, NoiseSourceState};
+/// use nfbist_analog::units::{Kelvin, Ohms};
+///
+/// # fn main() -> Result<(), nfbist_analog::AnalogError> {
+/// let mut src = CalibratedNoiseSource::new(
+///     Kelvin::new(2900.0),
+///     Kelvin::new(290.0),
+///     Ohms::new(2_000.0),
+///     42,
+/// )?;
+/// let hot = src.generate(NoiseSourceState::Hot, 1000, 1e6)?;
+/// let cold = src.generate(NoiseSourceState::Cold, 1000, 1e6)?;
+/// assert_eq!(hot.len(), cold.len());
+/// // ENR of a 2900 K source: 10·log10((2900-290)/290) = 9.54 dB.
+/// assert!((src.enr_db() - 9.54).abs() < 0.01);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CalibratedNoiseSource {
+    hot: Kelvin,
+    cold: Kelvin,
+    resistance: Ohms,
+    hot_error_fraction: f64,
+    seed: u64,
+}
+
+impl CalibratedNoiseSource {
+    /// Creates a source with declared hot/cold temperatures and a source
+    /// resistance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::InvalidParameter`] when the temperatures
+    /// are not ordered `hot > cold ≥ 0` or the resistance is not
+    /// positive.
+    pub fn new(
+        hot: Kelvin,
+        cold: Kelvin,
+        resistance: Ohms,
+        seed: u64,
+    ) -> Result<Self, AnalogError> {
+        if !(cold.value() >= 0.0) || !(hot.value() > cold.value()) || !hot.is_finite() {
+            return Err(AnalogError::InvalidParameter {
+                name: "temperatures",
+                reason: "requires hot > cold >= 0, finite",
+            });
+        }
+        if !(resistance.value() > 0.0) || !resistance.is_finite() {
+            return Err(AnalogError::InvalidParameter {
+                name: "resistance",
+                reason: "must be positive and finite",
+            });
+        }
+        Ok(CalibratedNoiseSource {
+            hot,
+            cold,
+            resistance,
+            hot_error_fraction: 0.0,
+            seed,
+        })
+    }
+
+    /// Declared hot temperature.
+    pub fn hot(&self) -> Kelvin {
+        self.hot
+    }
+
+    /// Declared cold temperature.
+    pub fn cold(&self) -> Kelvin {
+        self.cold
+    }
+
+    /// Source resistance.
+    pub fn resistance(&self) -> Ohms {
+        self.resistance
+    }
+
+    /// Declared temperature for a state.
+    pub fn declared_temperature(&self, state: NoiseSourceState) -> Kelvin {
+        match state {
+            NoiseSourceState::Hot => self.hot,
+            NoiseSourceState::Cold => self.cold,
+        }
+    }
+
+    /// Temperature actually emitted for a state (declared hot scaled by
+    /// the calibration error; cold is assumed exact — it is usually the
+    /// ambient termination).
+    pub fn emitted_temperature(&self, state: NoiseSourceState) -> Kelvin {
+        match state {
+            NoiseSourceState::Hot => self.hot * (1.0 + self.hot_error_fraction),
+            NoiseSourceState::Cold => self.cold,
+        }
+    }
+
+    /// Introduces a fractional calibration error on the hot temperature
+    /// (e.g. `0.05` for +5 %).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::InvalidParameter`] if the error would make
+    /// the emitted hot temperature non-positive or not exceed cold.
+    pub fn set_hot_error(&mut self, fraction: f64) -> Result<(), AnalogError> {
+        let emitted = self.hot.value() * (1.0 + fraction);
+        if !fraction.is_finite() || emitted <= self.cold.value() {
+            return Err(AnalogError::InvalidParameter {
+                name: "fraction",
+                reason: "emitted hot temperature must remain above cold",
+            });
+        }
+        self.hot_error_fraction = fraction;
+        Ok(())
+    }
+
+    /// Excess noise ratio `10·log10((Th − T0)/T0)` in dB, the standard
+    /// noise-diode figure of merit.
+    pub fn enr_db(&self) -> f64 {
+        10.0 * ((self.hot.value() - crate::constants::T0_KELVIN) / crate::constants::T0_KELVIN)
+            .log10()
+    }
+
+    /// Open-circuit voltage-noise density `4kT·R` (V²/Hz) for a state,
+    /// using the **emitted** temperature.
+    pub fn voltage_density(&self, state: NoiseSourceState) -> f64 {
+        self.resistance
+            .thermal_noise_density_sq(self.emitted_temperature(state))
+    }
+
+    /// Generates `n` samples of the source's open-circuit noise voltage
+    /// at sample rate `fs`.
+    ///
+    /// Consecutive calls produce fresh records (the internal seed
+    /// evolves deterministically).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::InvalidParameter`] for a non-positive
+    /// sample rate.
+    pub fn generate(
+        &mut self,
+        state: NoiseSourceState,
+        n: usize,
+        sample_rate: f64,
+    ) -> Result<Vec<f64>, AnalogError> {
+        if !(sample_rate > 0.0) {
+            return Err(AnalogError::InvalidParameter {
+                name: "sample_rate",
+                reason: "must be positive",
+            });
+        }
+        let sigma = (self.voltage_density(state) * sample_rate / 2.0).sqrt();
+        let mut white = WhiteNoise::new(sigma, self.seed)?;
+        self.seed = self.seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        Ok(white.generate(n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn source() -> CalibratedNoiseSource {
+        CalibratedNoiseSource::new(
+            Kelvin::new(2900.0),
+            Kelvin::new(290.0),
+            Ohms::new(1_000.0),
+            1,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn validation() {
+        let bad = CalibratedNoiseSource::new(
+            Kelvin::new(100.0),
+            Kelvin::new(290.0),
+            Ohms::new(50.0),
+            0,
+        );
+        assert!(bad.is_err());
+        let bad = CalibratedNoiseSource::new(
+            Kelvin::new(2900.0),
+            Kelvin::new(-1.0),
+            Ohms::new(50.0),
+            0,
+        );
+        assert!(bad.is_err());
+        let bad =
+            CalibratedNoiseSource::new(Kelvin::new(2900.0), Kelvin::new(290.0), Ohms::new(0.0), 0);
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn enr_of_paper_source() {
+        // Table 3 uses Th = 2900 K against T0 = 290 K → ENR 9.54 dB.
+        assert!((source().enr_db() - 9.542).abs() < 0.01);
+    }
+
+    #[test]
+    fn hot_cold_power_ratio_matches_temperature_ratio() {
+        let mut src = source();
+        let fs = 1e6;
+        let hot = src.generate(NoiseSourceState::Hot, 200_000, fs).unwrap();
+        let cold = src.generate(NoiseSourceState::Cold, 200_000, fs).unwrap();
+        let ph = nfbist_dsp::stats::mean_square(&hot).unwrap();
+        let pc = nfbist_dsp::stats::mean_square(&cold).unwrap();
+        assert!((ph / pc - 10.0).abs() < 0.3, "ratio {}", ph / pc);
+    }
+
+    #[test]
+    fn calibration_error_shifts_emitted_only() {
+        let mut src = source();
+        src.set_hot_error(0.05).unwrap();
+        assert_eq!(src.declared_temperature(NoiseSourceState::Hot), Kelvin::new(2900.0));
+        assert!(
+            (src.emitted_temperature(NoiseSourceState::Hot).value() - 3045.0).abs() < 1e-9
+        );
+        assert_eq!(src.emitted_temperature(NoiseSourceState::Cold), Kelvin::new(290.0));
+    }
+
+    #[test]
+    fn excessive_calibration_error_rejected() {
+        let mut src = source();
+        assert!(src.set_hot_error(-0.95).is_err());
+        assert!(src.set_hot_error(f64::NAN).is_err());
+        assert!(src.set_hot_error(-0.05).is_ok());
+    }
+
+    #[test]
+    fn density_uses_emitted_temperature() {
+        let mut src = source();
+        let nominal = src.voltage_density(NoiseSourceState::Hot);
+        src.set_hot_error(0.10).unwrap();
+        let with_err = src.voltage_density(NoiseSourceState::Hot);
+        assert!((with_err / nominal - 1.10).abs() < 1e-9);
+    }
+
+    #[test]
+    fn accessors() {
+        let src = source();
+        assert_eq!(src.hot(), Kelvin::new(2900.0));
+        assert_eq!(src.cold(), Kelvin::new(290.0));
+        assert_eq!(src.resistance(), Ohms::new(1000.0));
+        assert_eq!(
+            src.declared_temperature(NoiseSourceState::Cold),
+            Kelvin::new(290.0)
+        );
+    }
+
+    #[test]
+    fn bad_sample_rate_rejected() {
+        let mut src = source();
+        assert!(src.generate(NoiseSourceState::Hot, 8, -5.0).is_err());
+    }
+}

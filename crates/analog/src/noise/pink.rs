@@ -1,0 +1,135 @@
+//! 1/f (pink) noise by the Voss–McCartney algorithm.
+
+use crate::noise::standard_normal;
+use crate::AnalogError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A streaming 1/f noise generator (Voss–McCartney with 16 octaves).
+///
+/// [`crate::noise::ShapedNoise`] produces exact-PSD pink noise block-wise;
+/// this generator is the cheap streaming alternative used inside
+/// behavioural components where sample-at-a-time operation matters.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), nfbist_analog::AnalogError> {
+/// let mut pink = nfbist_analog::noise::PinkNoise::new(1.0, 3)?;
+/// let x = pink.generate(1024);
+/// assert_eq!(x.len(), 1024);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct PinkNoise {
+    rows: [f64; 16],
+    counter: u32,
+    scale: f64,
+    rng: StdRng,
+}
+
+impl PinkNoise {
+    /// Creates a generator whose output standard deviation is
+    /// approximately `sigma`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::InvalidParameter`] for negative or
+    /// non-finite `sigma`.
+    pub fn new(sigma: f64, seed: u64) -> Result<Self, AnalogError> {
+        if !(sigma >= 0.0) || !sigma.is_finite() {
+            return Err(AnalogError::InvalidParameter {
+                name: "sigma",
+                reason: "must be non-negative and finite",
+            });
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rows = [0.0; 16];
+        for r in &mut rows {
+            *r = standard_normal(&mut rng);
+        }
+        Ok(PinkNoise {
+            rows,
+            counter: 0,
+            // 16 summed unit-variance rows → σ = 4; normalize.
+            scale: sigma / 4.0,
+            rng,
+        })
+    }
+
+    /// Draws one sample.
+    pub fn next_sample(&mut self) -> f64 {
+        self.counter = self.counter.wrapping_add(1);
+        // The trailing-zero count selects which octave row refreshes.
+        let idx = (self.counter.trailing_zeros() as usize).min(15);
+        self.rows[idx] = standard_normal(&mut self.rng);
+        let sum: f64 = self.rows.iter().sum();
+        // A touch of white keeps the top octave from flattening.
+        let white: f64 = standard_normal(&mut self.rng) * 0.1;
+        self.scale * (sum + white)
+    }
+
+    /// Generates `n` samples.
+    pub fn generate(&mut self, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.next_sample()).collect()
+    }
+
+    /// Re-seeds the internal generator (restarts the stream).
+    pub fn reseed(&mut self, seed: u64) {
+        self.rng = StdRng::seed_from_u64(seed);
+        self.counter = 0;
+        for r in &mut self.rows {
+            *r = self.rng.gen::<f64>() - 0.5;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfbist_dsp::psd::WelchConfig;
+
+    #[test]
+    fn validation() {
+        assert!(PinkNoise::new(-0.1, 0).is_err());
+        assert!(PinkNoise::new(f64::INFINITY, 0).is_err());
+        assert!(PinkNoise::new(1.0, 0).is_ok());
+    }
+
+    #[test]
+    fn sigma_is_approximately_respected() {
+        let mut pink = PinkNoise::new(2.0, 8).unwrap();
+        let x = pink.generate(200_000);
+        let sd = nfbist_dsp::stats::std_dev(&x).unwrap();
+        assert!((sd - 2.0).abs() < 0.4, "σ {sd}");
+    }
+
+    #[test]
+    fn spectrum_falls_roughly_3db_per_octave() {
+        let fs = 10_000.0;
+        let mut pink = PinkNoise::new(1.0, 12).unwrap();
+        let x = pink.generate(400_000);
+        let psd = WelchConfig::new(4096).unwrap().estimate(&x, fs).unwrap();
+        let d = |lo: f64, hi: f64| psd.band_power(lo, hi).unwrap() / (hi - lo);
+        let low = d(20.0, 40.0);
+        let mid = d(160.0, 320.0);
+        let high = d(1280.0, 2560.0);
+        // Each factor-of-8 frequency step should drop density by ≈8×
+        // (±3 dB tolerance — Voss–McCartney is stair-stepped).
+        let r1 = low / mid;
+        let r2 = mid / high;
+        assert!(r1 > 4.0 && r1 < 16.0, "low/mid {r1}");
+        assert!(r2 > 4.0 && r2 < 16.0, "mid/high {r2}");
+    }
+
+    #[test]
+    fn deterministic_by_seed_and_reseed() {
+        let mut a = PinkNoise::new(1.0, 77).unwrap();
+        let mut b = PinkNoise::new(1.0, 77).unwrap();
+        assert_eq!(a.generate(128), b.generate(128));
+        a.reseed(77);
+        b.reseed(77);
+        assert_eq!(a.generate(128), b.generate(128));
+    }
+}

@@ -1,0 +1,176 @@
+//! Johnson–Nyquist thermal noise of a resistor.
+
+use crate::noise::WhiteNoise;
+use crate::units::{Kelvin, Ohms};
+use crate::AnalogError;
+
+/// Thermal (Johnson–Nyquist) noise of a resistance at a temperature.
+///
+/// The open-circuit voltage noise density is `e² = 4kTR` (V²/Hz); a
+/// record generated at sample rate `fs` is white with per-sample variance
+/// `4kTR·fs/2`.
+///
+/// # Examples
+///
+/// ```
+/// use nfbist_analog::noise::ThermalNoise;
+/// use nfbist_analog::units::{Kelvin, Ohms};
+///
+/// # fn main() -> Result<(), nfbist_analog::AnalogError> {
+/// let mut src = ThermalNoise::new(Ohms::new(1_000.0), Kelvin::REFERENCE, 1)?;
+/// // 1 kΩ at 290 K ≈ 4.00 nV/√Hz.
+/// assert!((src.voltage_density().sqrt() - 4.0e-9).abs() < 2e-11);
+/// let x = src.generate(1024, 20_000.0)?;
+/// assert_eq!(x.len(), 1024);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ThermalNoise {
+    resistance: Ohms,
+    temperature: Kelvin,
+    seed: u64,
+}
+
+impl ThermalNoise {
+    /// Creates a thermal noise source.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::InvalidParameter`] for negative resistance
+    /// or temperature.
+    pub fn new(resistance: Ohms, temperature: Kelvin, seed: u64) -> Result<Self, AnalogError> {
+        if !(resistance.value() >= 0.0) || !resistance.is_finite() {
+            return Err(AnalogError::InvalidParameter {
+                name: "resistance",
+                reason: "must be non-negative and finite",
+            });
+        }
+        if !(temperature.value() >= 0.0) || !temperature.is_finite() {
+            return Err(AnalogError::InvalidParameter {
+                name: "temperature",
+                reason: "must be non-negative and finite",
+            });
+        }
+        Ok(ThermalNoise {
+            resistance,
+            temperature,
+            seed,
+        })
+    }
+
+    /// The resistance.
+    pub fn resistance(&self) -> Ohms {
+        self.resistance
+    }
+
+    /// The physical temperature.
+    pub fn temperature(&self) -> Kelvin {
+        self.temperature
+    }
+
+    /// Sets the temperature (a heated or cooled termination — the
+    /// classic way to realize hot/cold noise states).
+    pub fn set_temperature(&mut self, t: Kelvin) {
+        self.temperature = t;
+    }
+
+    /// Open-circuit voltage noise density `4kTR` in V²/Hz.
+    pub fn voltage_density(&self) -> f64 {
+        self.resistance.thermal_noise_density_sq(self.temperature)
+    }
+
+    /// Generates `n` samples of open-circuit noise voltage at sample
+    /// rate `fs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::InvalidParameter`] for a non-positive
+    /// sample rate.
+    pub fn generate(&mut self, n: usize, sample_rate: f64) -> Result<Vec<f64>, AnalogError> {
+        if !(sample_rate > 0.0) {
+            return Err(AnalogError::InvalidParameter {
+                name: "sample_rate",
+                reason: "must be positive",
+            });
+        }
+        let sigma = (self.voltage_density() * sample_rate / 2.0).sqrt();
+        // Derive a fresh stream each call but keep determinism by
+        // evolving the stored seed.
+        let mut white = WhiteNoise::new(sigma, self.seed)?;
+        self.seed = self.seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        Ok(white.generate(n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        assert!(ThermalNoise::new(Ohms::new(-1.0), Kelvin::new(290.0), 0).is_err());
+        assert!(ThermalNoise::new(Ohms::new(50.0), Kelvin::new(-1.0), 0).is_err());
+        assert!(ThermalNoise::new(Ohms::new(50.0), Kelvin::new(290.0), 0).is_ok());
+    }
+
+    #[test]
+    fn density_of_known_resistor() {
+        let src = ThermalNoise::new(Ohms::new(50.0), Kelvin::REFERENCE, 0).unwrap();
+        // 50 Ω at 290 K: ~0.895 nV/√Hz.
+        assert!((src.voltage_density().sqrt() - 0.895e-9).abs() < 5e-12);
+    }
+
+    #[test]
+    fn zero_temperature_is_silent() {
+        let mut src = ThermalNoise::new(Ohms::new(50.0), Kelvin::new(0.0), 0).unwrap();
+        let x = src.generate(100, 1e6).unwrap();
+        assert!(x.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn generated_variance_matches_density() {
+        let fs = 1e6;
+        let mut src = ThermalNoise::new(Ohms::new(1e6), Kelvin::new(290.0), 9).unwrap();
+        let x = src.generate(200_000, fs).unwrap();
+        let var = nfbist_dsp::stats::variance(&x).unwrap();
+        let expected = src.voltage_density() * fs / 2.0;
+        assert!(
+            (var - expected).abs() / expected < 0.05,
+            "var {var} vs {expected}"
+        );
+    }
+
+    #[test]
+    fn successive_records_differ() {
+        let mut src = ThermalNoise::new(Ohms::new(1e3), Kelvin::new(290.0), 4).unwrap();
+        let a = src.generate(32, 1e6).unwrap();
+        let b = src.generate(32, 1e6).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn doubling_temperature_doubles_power() {
+        let mut cold = ThermalNoise::new(Ohms::new(1e3), Kelvin::new(290.0), 1).unwrap();
+        let mut hot = ThermalNoise::new(Ohms::new(1e3), Kelvin::new(580.0), 1).unwrap();
+        let pc = nfbist_dsp::stats::mean_square(&cold.generate(100_000, 1e6).unwrap()).unwrap();
+        let ph = nfbist_dsp::stats::mean_square(&hot.generate(100_000, 1e6).unwrap()).unwrap();
+        assert!((ph / pc - 2.0).abs() < 0.1, "ratio {}", ph / pc);
+    }
+
+    #[test]
+    fn bad_sample_rate_rejected() {
+        let mut src = ThermalNoise::new(Ohms::new(1e3), Kelvin::new(290.0), 1).unwrap();
+        assert!(src.generate(10, 0.0).is_err());
+    }
+
+    #[test]
+    fn set_temperature_updates_density() {
+        let mut src = ThermalNoise::new(Ohms::new(1e3), Kelvin::new(290.0), 1).unwrap();
+        let d_cold = src.voltage_density();
+        src.set_temperature(Kelvin::new(2900.0));
+        assert!((src.voltage_density() / d_cold - 10.0).abs() < 1e-9);
+        assert_eq!(src.temperature(), Kelvin::new(2900.0));
+        assert_eq!(src.resistance(), Ohms::new(1e3));
+    }
+}

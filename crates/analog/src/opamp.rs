@@ -1,0 +1,286 @@
+//! Datasheet-style op-amp noise models.
+//!
+//! The paper's Table 3 measures the noise figure of a non-inverting
+//! amplifier built with four different op-amps (OP27, OP07, TL081,
+//! CA3140), whose *expected* NF comes from datasheet equivalent input
+//! noise (ref. \[13\], Burr-Brown AB-103). The same two quantities the
+//! datasheets give — voltage noise density `en` and current noise
+//! density `in`, each with a 1/f corner — parameterize this model; the
+//! circuit analysis in [`crate::circuits`] and the noise synthesis both
+//! consume it, so analysis and simulation are exercising identical
+//! physics.
+
+use crate::units::Hertz;
+use crate::AnalogError;
+
+/// Equivalent input noise model of an op-amp.
+///
+/// Densities follow the standard corner form:
+/// `en²(f) = en_white²·(1 + f_ce/f)` and
+/// `in²(f) = in_white²·(1 + f_ci/f)`.
+///
+/// # Examples
+///
+/// ```
+/// use nfbist_analog::opamp::OpampModel;
+///
+/// let op27 = OpampModel::op27();
+/// // White region: 3 nV/√Hz.
+/// let en = op27.voltage_noise_density_sq(10_000.0).sqrt();
+/// assert!((en - 3.0e-9).abs() < 1e-10);
+/// // 1/f region: density rises below the corner.
+/// assert!(op27.voltage_noise_density_sq(1.0) > op27.voltage_noise_density_sq(1_000.0));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpampModel {
+    name: String,
+    en_white: f64,
+    en_corner: Hertz,
+    in_white: f64,
+    in_corner: Hertz,
+}
+
+impl OpampModel {
+    /// Builds a model from datasheet values.
+    ///
+    /// * `en_white` — broadband voltage noise density in V/√Hz.
+    /// * `en_corner` — voltage-noise 1/f corner frequency.
+    /// * `in_white` — broadband current noise density in A/√Hz.
+    /// * `in_corner` — current-noise 1/f corner frequency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::InvalidParameter`] for negative densities
+    /// or corners.
+    pub fn new(
+        name: impl Into<String>,
+        en_white: f64,
+        en_corner: Hertz,
+        in_white: f64,
+        in_corner: Hertz,
+    ) -> Result<Self, AnalogError> {
+        if !(en_white >= 0.0) || !en_white.is_finite() {
+            return Err(AnalogError::InvalidParameter {
+                name: "en_white",
+                reason: "must be non-negative and finite",
+            });
+        }
+        if !(in_white >= 0.0) || !in_white.is_finite() {
+            return Err(AnalogError::InvalidParameter {
+                name: "in_white",
+                reason: "must be non-negative and finite",
+            });
+        }
+        if !(en_corner.value() >= 0.0) || !(in_corner.value() >= 0.0) {
+            return Err(AnalogError::InvalidParameter {
+                name: "corner",
+                reason: "corner frequencies must be non-negative",
+            });
+        }
+        Ok(OpampModel {
+            name: name.into(),
+            en_white,
+            en_corner,
+            in_white,
+            in_corner,
+        })
+    }
+
+    /// Part name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Broadband voltage noise density in V/√Hz.
+    pub fn en_white(&self) -> f64 {
+        self.en_white
+    }
+
+    /// Broadband current noise density in A/√Hz.
+    pub fn in_white(&self) -> f64 {
+        self.in_white
+    }
+
+    /// Voltage noise density **squared** at frequency `f`, in V²/Hz.
+    ///
+    /// Below 0.01 Hz the density is clamped to its 0.01 Hz value to keep
+    /// integrals finite (DC never enters the measurement band anyway).
+    pub fn voltage_noise_density_sq(&self, f: f64) -> f64 {
+        let f = f.max(0.01);
+        self.en_white * self.en_white * (1.0 + self.en_corner.value() / f)
+    }
+
+    /// Current noise density **squared** at frequency `f`, in A²/Hz.
+    pub fn current_noise_density_sq(&self, f: f64) -> f64 {
+        let f = f.max(0.01);
+        self.in_white * self.in_white * (1.0 + self.in_corner.value() / f)
+    }
+
+    /// Mean voltage-noise density squared over `[f_lo, f_hi]`
+    /// (analytic integral of the corner form divided by the width).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::InvalidParameter`] unless
+    /// `0 < f_lo < f_hi`.
+    pub fn mean_voltage_noise_density_sq(&self, f_lo: f64, f_hi: f64) -> Result<f64, AnalogError> {
+        Self::check_band(f_lo, f_hi)?;
+        let w = self.en_white * self.en_white;
+        let fc = self.en_corner.value();
+        Ok(w * (1.0 + fc * (f_hi / f_lo).ln() / (f_hi - f_lo)))
+    }
+
+    /// Mean current-noise density squared over `[f_lo, f_hi]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::InvalidParameter`] unless
+    /// `0 < f_lo < f_hi`.
+    pub fn mean_current_noise_density_sq(&self, f_lo: f64, f_hi: f64) -> Result<f64, AnalogError> {
+        Self::check_band(f_lo, f_hi)?;
+        let w = self.in_white * self.in_white;
+        let fc = self.in_corner.value();
+        Ok(w * (1.0 + fc * (f_hi / f_lo).ln() / (f_hi - f_lo)))
+    }
+
+    fn check_band(f_lo: f64, f_hi: f64) -> Result<(), AnalogError> {
+        if !(f_lo > 0.0 && f_hi > f_lo) {
+            return Err(AnalogError::InvalidParameter {
+                name: "band",
+                reason: "requires 0 < f_lo < f_hi",
+            });
+        }
+        Ok(())
+    }
+
+    // ----- The paper's four parts (typical datasheet values) -----
+
+    /// Analog Devices OP27 — precision bipolar, the quietest of the
+    /// paper's set (expected NF 3.7 dB in Table 3).
+    pub fn op27() -> Self {
+        OpampModel::new("OP27", 3.0e-9, Hertz::new(2.7), 0.4e-12, Hertz::new(140.0))
+            .expect("static datasheet values are valid")
+    }
+
+    /// OP07 — precision bipolar (expected NF 6.5 dB in Table 3).
+    pub fn op07() -> Self {
+        OpampModel::new("OP07", 9.6e-9, Hertz::new(10.0), 0.12e-12, Hertz::new(50.0))
+            .expect("static datasheet values are valid")
+    }
+
+    /// TL081 — JFET input (expected NF 10.1 dB in Table 3).
+    pub fn tl081() -> Self {
+        OpampModel::new("TL081", 18.0e-9, Hertz::new(300.0), 0.01e-12, Hertz::new(0.0))
+            .expect("static datasheet values are valid")
+    }
+
+    /// CA3140 — MOSFET input, the noisiest of the set (expected NF
+    /// 16.2 dB in Table 3).
+    pub fn ca3140() -> Self {
+        OpampModel::new("CA3140", 40.0e-9, Hertz::new(100.0), 0.01e-12, Hertz::new(0.0))
+            .expect("static datasheet values are valid")
+    }
+
+    /// The paper's four op-amps in Table 3 order.
+    pub fn paper_set() -> Vec<OpampModel> {
+        vec![Self::op27(), Self::op07(), Self::tl081(), Self::ca3140()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        assert!(OpampModel::new("x", -1.0, Hertz::new(1.0), 0.0, Hertz::new(0.0)).is_err());
+        assert!(OpampModel::new("x", 1e-9, Hertz::new(-1.0), 0.0, Hertz::new(0.0)).is_err());
+        assert!(OpampModel::new("x", 1e-9, Hertz::new(1.0), f64::NAN, Hertz::new(0.0)).is_err());
+    }
+
+    #[test]
+    fn white_region_density() {
+        let m = OpampModel::op07();
+        let en = m.voltage_noise_density_sq(100_000.0).sqrt();
+        assert!((en - 9.6e-9).abs() < 1e-11);
+        assert_eq!(m.name(), "OP07");
+        assert_eq!(m.en_white(), 9.6e-9);
+        assert_eq!(m.in_white(), 0.12e-12);
+    }
+
+    #[test]
+    fn corner_doubles_power_density() {
+        // At exactly the corner frequency the density is 2× white.
+        let m = OpampModel::op27();
+        let at_corner = m.voltage_noise_density_sq(2.7);
+        let white = m.en_white() * m.en_white();
+        assert!((at_corner / white - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_density_exceeds_white_when_band_touches_corner() {
+        let m = OpampModel::ca3140(); // 100 Hz corner
+        let mean = m.mean_voltage_noise_density_sq(10.0, 1_000.0).unwrap();
+        let white = m.en_white() * m.en_white();
+        // Analytic: 1 + fc·ln(f_hi/f_lo)/(f_hi−f_lo) ≈ 1.465.
+        assert!(mean > 1.3 * white && mean < 1.7 * white);
+        // Far above the corner the mean converges to white.
+        let hi = m.mean_voltage_noise_density_sq(1e6, 2e6).unwrap();
+        assert!((hi / white - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn mean_density_band_validation() {
+        let m = OpampModel::op27();
+        assert!(m.mean_voltage_noise_density_sq(0.0, 10.0).is_err());
+        assert!(m.mean_voltage_noise_density_sq(10.0, 10.0).is_err());
+        assert!(m.mean_current_noise_density_sq(100.0, 10.0).is_err());
+    }
+
+    #[test]
+    fn mean_matches_numerical_integral() {
+        let m = OpampModel::tl081();
+        let (lo, hi) = (50.0, 1_000.0);
+        let analytic = m.mean_voltage_noise_density_sq(lo, hi).unwrap();
+        let steps = 100_000;
+        let df = (hi - lo) / steps as f64;
+        let numeric: f64 = (0..steps)
+            .map(|i| m.voltage_noise_density_sq(lo + (i as f64 + 0.5) * df) * df)
+            .sum::<f64>()
+            / (hi - lo);
+        assert!(
+            (analytic - numeric).abs() / numeric < 1e-6,
+            "{analytic} vs {numeric}"
+        );
+    }
+
+    #[test]
+    fn paper_set_ordering_by_noise() {
+        // The paper's parts in Table 3 order are monotonically noisier.
+        let set = OpampModel::paper_set();
+        assert_eq!(set.len(), 4);
+        let names: Vec<&str> = set.iter().map(|m| m.name()).collect();
+        assert_eq!(names, vec!["OP27", "OP07", "TL081", "CA3140"]);
+        for w in set.windows(2) {
+            assert!(
+                w[1].en_white() > w[0].en_white(),
+                "{} should be noisier than {}",
+                w[1].name(),
+                w[0].name()
+            );
+        }
+    }
+
+    #[test]
+    fn density_clamped_near_dc() {
+        let m = OpampModel::op27();
+        assert_eq!(
+            m.voltage_noise_density_sq(0.0),
+            m.voltage_noise_density_sq(0.01)
+        );
+        assert_eq!(
+            m.current_noise_density_sq(0.0),
+            m.current_noise_density_sq(0.01)
+        );
+    }
+}

@@ -1,0 +1,189 @@
+//! Sampled-signal container tying a sample buffer to its sample rate.
+
+use crate::AnalogError;
+
+/// A uniformly sampled real signal with a known sample rate.
+///
+/// Most simulator blocks operate on raw `&[f64]` buffers for
+/// composability; `Signal` is the carrier used at module boundaries where
+/// the sample rate must travel with the data (e.g. handing an acquisition
+/// to the DSP layer).
+///
+/// # Examples
+///
+/// ```
+/// use nfbist_analog::signal::Signal;
+///
+/// # fn main() -> Result<(), nfbist_analog::AnalogError> {
+/// let s = Signal::new(vec![0.0, 1.0, 0.0, -1.0], 4.0)?;
+/// assert_eq!(s.len(), 4);
+/// assert_eq!(s.duration(), 1.0);
+/// assert!((s.rms()? - (0.5f64).sqrt()).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Signal {
+    samples: Vec<f64>,
+    sample_rate: f64,
+}
+
+impl Signal {
+    /// Wraps samples with their sample rate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::InvalidParameter`] for a non-positive or
+    /// non-finite sample rate.
+    pub fn new(samples: Vec<f64>, sample_rate: f64) -> Result<Self, AnalogError> {
+        if !(sample_rate > 0.0) || !sample_rate.is_finite() {
+            return Err(AnalogError::InvalidParameter {
+                name: "sample_rate",
+                reason: "must be positive and finite",
+            });
+        }
+        Ok(Signal {
+            samples,
+            sample_rate,
+        })
+    }
+
+    /// The sample buffer.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Mutable access to the sample buffer.
+    pub fn samples_mut(&mut self) -> &mut [f64] {
+        &mut self.samples
+    }
+
+    /// Consumes the signal, returning the raw buffer.
+    pub fn into_samples(self) -> Vec<f64> {
+        self.samples
+    }
+
+    /// Sample rate in hertz.
+    pub fn sample_rate(&self) -> f64 {
+        self.sample_rate
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` if the signal holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Record duration in seconds.
+    pub fn duration(&self) -> f64 {
+        self.samples.len() as f64 / self.sample_rate
+    }
+
+    /// Root-mean-square value.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an empty signal.
+    pub fn rms(&self) -> Result<f64, AnalogError> {
+        Ok(nfbist_dsp::stats::rms(&self.samples)?)
+    }
+
+    /// Mean-square value (average power into 1 Ω).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an empty signal.
+    pub fn power(&self) -> Result<f64, AnalogError> {
+        Ok(nfbist_dsp::stats::mean_square(&self.samples)?)
+    }
+
+    /// Adds another signal sample-wise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::LengthMismatch`] for differing lengths and
+    /// [`AnalogError::InvalidParameter`] for differing sample rates.
+    pub fn add(&self, other: &Signal) -> Result<Signal, AnalogError> {
+        if self.sample_rate != other.sample_rate {
+            return Err(AnalogError::InvalidParameter {
+                name: "sample_rate",
+                reason: "signals must share a sample rate",
+            });
+        }
+        if self.len() != other.len() {
+            return Err(AnalogError::LengthMismatch {
+                expected: self.len(),
+                actual: other.len(),
+                context: "signal add",
+            });
+        }
+        let samples = self
+            .samples
+            .iter()
+            .zip(&other.samples)
+            .map(|(a, b)| a + b)
+            .collect();
+        Signal::new(samples, self.sample_rate)
+    }
+
+    /// Scales every sample by `k`.
+    pub fn scaled(&self, k: f64) -> Signal {
+        Signal {
+            samples: self.samples.iter().map(|v| v * k).collect(),
+            sample_rate: self.sample_rate,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates_rate() {
+        assert!(Signal::new(vec![], 0.0).is_err());
+        assert!(Signal::new(vec![], -1.0).is_err());
+        assert!(Signal::new(vec![], f64::NAN).is_err());
+        assert!(Signal::new(vec![], 1.0).is_ok());
+    }
+
+    #[test]
+    fn geometry_and_power() {
+        let s = Signal::new(vec![2.0; 100], 50.0).unwrap();
+        assert_eq!(s.len(), 100);
+        assert!(!s.is_empty());
+        assert_eq!(s.duration(), 2.0);
+        assert_eq!(s.power().unwrap(), 4.0);
+        assert_eq!(s.rms().unwrap(), 2.0);
+    }
+
+    #[test]
+    fn add_requires_matching_shape() {
+        let a = Signal::new(vec![1.0, 2.0], 10.0).unwrap();
+        let b = Signal::new(vec![3.0, 4.0], 10.0).unwrap();
+        assert_eq!(a.add(&b).unwrap().samples(), &[4.0, 6.0]);
+        let c = Signal::new(vec![1.0], 10.0).unwrap();
+        assert!(a.add(&c).is_err());
+        let d = Signal::new(vec![1.0, 1.0], 20.0).unwrap();
+        assert!(a.add(&d).is_err());
+    }
+
+    #[test]
+    fn scaling() {
+        let s = Signal::new(vec![1.0, -2.0], 10.0).unwrap();
+        assert_eq!(s.scaled(-0.5).samples(), &[-0.5, 1.0]);
+    }
+
+    #[test]
+    fn into_samples_roundtrip() {
+        let s = Signal::new(vec![1.0, 2.0], 10.0).unwrap();
+        let mut s2 = s.clone();
+        s2.samples_mut()[0] = 9.0;
+        assert_eq!(s2.into_samples(), vec![9.0, 2.0]);
+        assert_eq!(s.samples(), &[1.0, 2.0]);
+    }
+}

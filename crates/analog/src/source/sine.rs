@@ -1,0 +1,143 @@
+//! Sine-wave reference source.
+
+use crate::source::Waveform;
+use crate::AnalogError;
+
+/// A sine wave `A·sin(2πft + φ)`.
+///
+/// This models the prototype's HP33120A reference: 3 kHz at 300 mVpp
+/// (amplitude 0.15 V).
+///
+/// # Examples
+///
+/// ```
+/// use nfbist_analog::source::{SineSource, Waveform};
+///
+/// # fn main() -> Result<(), nfbist_analog::AnalogError> {
+/// let s = SineSource::new(3_000.0, 0.15)?;
+/// assert_eq!(s.frequency(), 3_000.0);
+/// assert_eq!(s.fundamental_amplitude(), 0.15);
+/// let x = s.generate(100, 100_000.0)?;
+/// assert!(x.iter().all(|v| v.abs() <= 0.15 + 1e-12));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SineSource {
+    frequency: f64,
+    amplitude: f64,
+    phase: f64,
+}
+
+impl SineSource {
+    /// Creates a sine at `frequency` Hz with the given peak `amplitude`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::InvalidParameter`] for a non-positive
+    /// frequency or negative amplitude.
+    pub fn new(frequency: f64, amplitude: f64) -> Result<Self, AnalogError> {
+        if !(frequency > 0.0) || !frequency.is_finite() {
+            return Err(AnalogError::InvalidParameter {
+                name: "frequency",
+                reason: "must be positive and finite",
+            });
+        }
+        if !(amplitude >= 0.0) || !amplitude.is_finite() {
+            return Err(AnalogError::InvalidParameter {
+                name: "amplitude",
+                reason: "must be non-negative and finite",
+            });
+        }
+        Ok(SineSource {
+            frequency,
+            amplitude,
+            phase: 0.0,
+        })
+    }
+
+    /// Returns a copy with the given starting phase in radians.
+    pub fn with_phase(mut self, phase: f64) -> Self {
+        self.phase = phase;
+        self
+    }
+
+    /// Peak amplitude in volts.
+    pub fn amplitude(&self) -> f64 {
+        self.amplitude
+    }
+
+    /// RMS value `A/√2`.
+    pub fn rms(&self) -> f64 {
+        self.amplitude * std::f64::consts::FRAC_1_SQRT_2
+    }
+}
+
+impl Waveform for SineSource {
+    fn value_at(&self, t: f64) -> f64 {
+        self.amplitude * (std::f64::consts::TAU * self.frequency * t + self.phase).sin()
+    }
+
+    fn frequency(&self) -> f64 {
+        self.frequency
+    }
+
+    fn fundamental_amplitude(&self) -> f64 {
+        self.amplitude
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        assert!(SineSource::new(0.0, 1.0).is_err());
+        assert!(SineSource::new(-5.0, 1.0).is_err());
+        assert!(SineSource::new(100.0, -1.0).is_err());
+        assert!(SineSource::new(100.0, 0.0).is_ok());
+    }
+
+    #[test]
+    fn rms_of_unit_sine() {
+        let s = SineSource::new(100.0, 1.0).unwrap();
+        assert!((s.rms() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-15);
+        let x = s.generate(10_000, 100_000.0).unwrap();
+        let measured = nfbist_dsp::stats::rms(&x).unwrap();
+        assert!((measured - s.rms()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn phase_shift() {
+        let s = SineSource::new(100.0, 1.0)
+            .unwrap()
+            .with_phase(std::f64::consts::FRAC_PI_2);
+        assert!((s.value_at(0.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn periodicity() {
+        let s = SineSource::new(50.0, 2.0).unwrap();
+        let period = 1.0 / 50.0;
+        for k in 0..10 {
+            let t = k as f64 * 1.7e-3;
+            assert!((s.value_at(t) - s.value_at(t + period)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn spectral_purity() {
+        // All power concentrates at the fundamental.
+        let fs = 32_768.0;
+        let n = 32_768;
+        let f0 = 1024.0; // exactly bin 1024
+        let s = SineSource::new(f0, 1.0).unwrap();
+        let x = s.generate(n, fs).unwrap();
+        let psd = nfbist_dsp::psd::periodogram(&x, fs).unwrap();
+        let tone = psd.tone_power(1024, 1).unwrap();
+        assert!((tone - 0.5).abs() < 1e-6);
+        let residue = psd.total_power() - tone;
+        assert!(residue < 1e-9, "residue {residue}");
+    }
+}

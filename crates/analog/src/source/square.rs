@@ -1,0 +1,218 @@
+//! Square-wave reference source with optional harmonic truncation and
+//! amplitude drift.
+
+use crate::source::Waveform;
+use crate::AnalogError;
+
+/// A square wave of level `±A`, optionally band-limited to its first `H`
+/// odd harmonics and optionally carrying slow amplitude drift.
+///
+/// The paper's simulated experiments (§5.2) use an ideal constant-
+/// amplitude square wave as the reference. §6 argues that a *low-cost*
+/// generator with imperfect harmonics is fine because the normalization
+/// tracks only the fundamental; `with_harmonics` lets tests distort the
+/// waveform and verify that claim, while `with_amplitude_drift` violates
+/// the one assumption that does matter ("the amplitude of the main
+/// component should be constant") to show the method degrade.
+///
+/// # Examples
+///
+/// ```
+/// use nfbist_analog::source::{SquareSource, Waveform};
+///
+/// # fn main() -> Result<(), nfbist_analog::AnalogError> {
+/// let sq = SquareSource::new(60.0, 0.3)?;
+/// assert_eq!(sq.value_at(0.001), 0.3);   // first half-cycle high
+/// assert_eq!(sq.value_at(0.010), -0.3);  // second half-cycle low
+/// // Fundamental of a ±A square wave is 4A/π.
+/// assert!((sq.fundamental_amplitude() - 4.0 * 0.3 / std::f64::consts::PI).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SquareSource {
+    frequency: f64,
+    level: f64,
+    harmonics: Option<usize>,
+    drift_fraction: f64,
+    drift_frequency: f64,
+}
+
+impl SquareSource {
+    /// Creates an ideal square wave at `frequency` Hz switching between
+    /// `±level` volts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::InvalidParameter`] for a non-positive
+    /// frequency or negative level.
+    pub fn new(frequency: f64, level: f64) -> Result<Self, AnalogError> {
+        if !(frequency > 0.0) || !frequency.is_finite() {
+            return Err(AnalogError::InvalidParameter {
+                name: "frequency",
+                reason: "must be positive and finite",
+            });
+        }
+        if !(level >= 0.0) || !level.is_finite() {
+            return Err(AnalogError::InvalidParameter {
+                name: "level",
+                reason: "must be non-negative and finite",
+            });
+        }
+        Ok(SquareSource {
+            frequency,
+            level,
+            harmonics: None,
+            drift_fraction: 0.0,
+            drift_frequency: 0.0,
+        })
+    }
+
+    /// Returns a copy band-limited to the first `count` odd harmonics
+    /// (Fourier synthesis). `count = 1` keeps only the fundamental.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::InvalidParameter`] for `count == 0`.
+    pub fn with_harmonics(mut self, count: usize) -> Result<Self, AnalogError> {
+        if count == 0 {
+            return Err(AnalogError::InvalidParameter {
+                name: "count",
+                reason: "must keep at least the fundamental",
+            });
+        }
+        self.harmonics = Some(count);
+        Ok(self)
+    }
+
+    /// Returns a copy whose level is modulated by
+    /// `1 + fraction·sin(2π·f_drift·t)` — a slowly drifting generator.
+    pub fn with_amplitude_drift(mut self, fraction: f64, drift_frequency: f64) -> Self {
+        self.drift_fraction = fraction;
+        self.drift_frequency = drift_frequency;
+        self
+    }
+
+    /// The switching level `A` (the waveform is `±A`).
+    pub fn level(&self) -> f64 {
+        self.level
+    }
+}
+
+impl Waveform for SquareSource {
+    fn value_at(&self, t: f64) -> f64 {
+        let level = self.level
+            * (1.0
+                + self.drift_fraction
+                    * (std::f64::consts::TAU * self.drift_frequency * t).sin());
+        match self.harmonics {
+            None => {
+                let phase = (t * self.frequency).rem_euclid(1.0);
+                if phase < 0.5 {
+                    level
+                } else {
+                    -level
+                }
+            }
+            Some(h) => {
+                // Fourier synthesis: Σ (4A/π)·sin(2π(2k+1)ft)/(2k+1).
+                let mut acc = 0.0;
+                for k in 0..h {
+                    let m = (2 * k + 1) as f64;
+                    acc += (std::f64::consts::TAU * m * self.frequency * t).sin() / m;
+                }
+                4.0 * level / std::f64::consts::PI * acc
+            }
+        }
+    }
+
+    fn frequency(&self) -> f64 {
+        self.frequency
+    }
+
+    fn fundamental_amplitude(&self) -> f64 {
+        4.0 * self.level / std::f64::consts::PI
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        assert!(SquareSource::new(0.0, 1.0).is_err());
+        assert!(SquareSource::new(100.0, -1.0).is_err());
+        assert!(SquareSource::new(100.0, 1.0).unwrap().with_harmonics(0).is_err());
+    }
+
+    #[test]
+    fn ideal_square_levels() {
+        let sq = SquareSource::new(100.0, 2.0).unwrap();
+        let fs = 10_000.0;
+        let x = sq.generate(200, fs).unwrap();
+        assert!(x.iter().all(|&v| v == 2.0 || v == -2.0));
+        // 50 % duty cycle.
+        let high = x.iter().filter(|&&v| v > 0.0).count();
+        assert_eq!(high, 100);
+        assert_eq!(sq.level(), 2.0);
+    }
+
+    #[test]
+    fn harmonic_truncation_to_fundamental_is_a_sine() {
+        let sq = SquareSource::new(50.0, 1.0)
+            .unwrap()
+            .with_harmonics(1)
+            .unwrap();
+        let expected_amp = 4.0 / std::f64::consts::PI;
+        // Compare against a sine of amplitude 4A/π point by point.
+        for i in 0..100 {
+            let t = i as f64 * 1e-4;
+            let expect = expected_amp * (std::f64::consts::TAU * 50.0 * t).sin();
+            assert!((sq.value_at(t) - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn many_harmonics_approach_ideal_square() {
+        let ideal = SquareSource::new(50.0, 1.0).unwrap();
+        let synth = ideal.with_harmonics(200).unwrap();
+        // Compare away from switching edges (Gibbs ringing is local).
+        for i in 1..10 {
+            let t = 0.002 + i as f64 * 0.0008; // inside the first half-cycle
+            assert!(
+                (synth.value_at(t) - ideal.value_at(t)).abs() < 0.01,
+                "t={t}"
+            );
+        }
+    }
+
+    #[test]
+    fn fundamental_amplitude_spectral_check() {
+        let fs = 32_768.0;
+        let n = 32_768;
+        let f0 = 512.0;
+        let sq = SquareSource::new(f0, 1.0).unwrap();
+        let x = sq.generate(n, fs).unwrap();
+        let psd = nfbist_dsp::psd::periodogram(&x, fs).unwrap();
+        let tone = psd.tone_power(512, 1).unwrap();
+        let expected = sq.fundamental_amplitude().powi(2) / 2.0;
+        assert!(
+            (tone - expected).abs() / expected < 0.01,
+            "fundamental power {tone} vs {expected}"
+        );
+        // Third harmonic carries 1/9 of the fundamental power.
+        let third = psd.tone_power(1536, 1).unwrap();
+        assert!((third / tone - 1.0 / 9.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn amplitude_drift_modulates_level() {
+        let sq = SquareSource::new(100.0, 1.0)
+            .unwrap()
+            .with_amplitude_drift(0.5, 1.0);
+        // At drift phase π/2 (t = 0.25 s) the level is 1.5.
+        let v = sq.value_at(0.25 + 1e-4);
+        assert!((v.abs() - 1.5).abs() < 1e-3, "drifted level {v}");
+    }
+}

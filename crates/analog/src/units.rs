@@ -1,0 +1,299 @@
+//! Unit newtypes for the physical quantities the simulator manipulates.
+//!
+//! These follow the C-NEWTYPE guideline: a noise temperature and a
+//! resistance are both `f64`s, but confusing them in a Y-factor equation
+//! produces silent nonsense. The newtypes make the compiler catch it.
+
+use std::fmt;
+use std::ops::{Add, Div, Mul, Sub};
+
+macro_rules! unit {
+    ($(#[$doc:meta])* $name:ident, $suffix:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+        pub struct $name(pub f64);
+
+        impl $name {
+            /// Creates the quantity from its raw value.
+            #[inline]
+            pub const fn new(value: f64) -> Self {
+                $name(value)
+            }
+
+            /// The raw value.
+            #[inline]
+            pub const fn value(self) -> f64 {
+                self.0
+            }
+
+            /// `true` if the value is finite.
+            #[inline]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{} {}", self.0, $suffix)
+            }
+        }
+
+        impl From<f64> for $name {
+            fn from(v: f64) -> Self {
+                $name(v)
+            }
+        }
+
+        impl Add for $name {
+            type Output = $name;
+            fn add(self, rhs: $name) -> $name {
+                $name(self.0 + rhs.0)
+            }
+        }
+
+        impl Sub for $name {
+            type Output = $name;
+            fn sub(self, rhs: $name) -> $name {
+                $name(self.0 - rhs.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = $name;
+            fn mul(self, rhs: f64) -> $name {
+                $name(self.0 * rhs)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = $name;
+            fn div(self, rhs: f64) -> $name {
+                $name(self.0 / rhs)
+            }
+        }
+
+        impl Div<$name> for $name {
+            /// Ratio of two like quantities is dimensionless.
+            type Output = f64;
+            fn div(self, rhs: $name) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+    };
+}
+
+unit!(
+    /// Absolute temperature in kelvin.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use nfbist_analog::units::Kelvin;
+    /// let hot = Kelvin::new(2900.0);
+    /// let cold = Kelvin::new(290.0);
+    /// assert_eq!(hot / cold, 10.0);
+    /// ```
+    Kelvin,
+    "K"
+);
+unit!(
+    /// Voltage in volts.
+    Volts,
+    "V"
+);
+unit!(
+    /// Resistance in ohms.
+    Ohms,
+    "Ω"
+);
+unit!(
+    /// Frequency in hertz.
+    Hertz,
+    "Hz"
+);
+unit!(
+    /// Time in seconds.
+    Seconds,
+    "s"
+);
+unit!(
+    /// Power in watts.
+    Watts,
+    "W"
+);
+
+impl Kelvin {
+    /// The IEEE reference temperature T₀ = 290 K.
+    pub const REFERENCE: Kelvin = Kelvin(crate::constants::T0_KELVIN);
+}
+
+impl Ohms {
+    /// Parallel combination of two resistances.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use nfbist_analog::units::Ohms;
+    /// let rp = Ohms::new(10_000.0).parallel(Ohms::new(100.0));
+    /// assert!((rp.value() - 99.0099).abs() < 1e-3);
+    /// ```
+    pub fn parallel(self, other: Ohms) -> Ohms {
+        if self.0 == 0.0 || other.0 == 0.0 {
+            return Ohms(0.0);
+        }
+        Ohms(self.0 * other.0 / (self.0 + other.0))
+    }
+
+    /// Johnson–Nyquist voltage-noise **density squared** `4kTR` in
+    /// V²/Hz at temperature `t`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use nfbist_analog::units::{Kelvin, Ohms};
+    /// // A 1 kΩ resistor at 290 K: ≈ (4.00 nV)²/Hz.
+    /// let e2 = Ohms::new(1_000.0).thermal_noise_density_sq(Kelvin::REFERENCE);
+    /// assert!((e2.sqrt() - 4.00e-9).abs() < 2e-11);
+    /// ```
+    pub fn thermal_noise_density_sq(self, t: Kelvin) -> f64 {
+        4.0 * crate::constants::BOLTZMANN * t.value() * self.0
+    }
+}
+
+impl Volts {
+    /// The power this voltage would dissipate in a resistance, `V²/R`.
+    pub fn power_into(self, r: Ohms) -> Watts {
+        Watts(self.0 * self.0 / r.0)
+    }
+}
+
+/// Dimensionless voltage gain.
+///
+/// Stored as a linear factor; convenience constructors/accessors exist
+/// for dB.
+///
+/// # Examples
+///
+/// ```
+/// use nfbist_analog::units::Gain;
+/// let g = Gain::from_db(40.0);
+/// assert!((g.linear() - 100.0).abs() < 1e-9);
+/// assert!((g.db() - 40.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Gain(f64);
+
+impl Gain {
+    /// Unity gain.
+    pub const UNITY: Gain = Gain(1.0);
+
+    /// Creates a gain from a linear voltage factor.
+    pub const fn from_linear(factor: f64) -> Self {
+        Gain(factor)
+    }
+
+    /// Creates a gain from a value in dB (20·log₁₀ convention).
+    pub fn from_db(db: f64) -> Self {
+        Gain(10f64.powf(db / 20.0))
+    }
+
+    /// Linear voltage factor.
+    pub const fn linear(self) -> f64 {
+        self.0
+    }
+
+    /// Power factor (the square of the voltage factor).
+    pub fn power(self) -> f64 {
+        self.0 * self.0
+    }
+
+    /// Gain in dB.
+    pub fn db(self) -> f64 {
+        20.0 * self.0.log10()
+    }
+}
+
+impl Default for Gain {
+    fn default() -> Self {
+        Gain::UNITY
+    }
+}
+
+impl Mul for Gain {
+    type Output = Gain;
+    fn mul(self, rhs: Gain) -> Gain {
+        Gain(self.0 * rhs.0)
+    }
+}
+
+impl fmt::Display for Gain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "×{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_on_units() {
+        let a = Kelvin::new(100.0) + Kelvin::new(50.0);
+        assert_eq!(a, Kelvin::new(150.0));
+        assert_eq!(a - Kelvin::new(50.0), Kelvin::new(100.0));
+        assert_eq!(a * 2.0, Kelvin::new(300.0));
+        assert_eq!(a / 3.0, Kelvin::new(50.0));
+        assert_eq!(Kelvin::new(300.0) / Kelvin::new(100.0), 3.0);
+    }
+
+    #[test]
+    fn display_includes_unit() {
+        assert_eq!(Kelvin::new(290.0).to_string(), "290 K");
+        assert_eq!(Ohms::new(50.0).to_string(), "50 Ω");
+        assert_eq!(Gain::from_linear(2.0).to_string(), "×2");
+    }
+
+    #[test]
+    fn reference_temperature() {
+        assert_eq!(Kelvin::REFERENCE.value(), 290.0);
+    }
+
+    #[test]
+    fn parallel_resistance() {
+        let rp = Ohms::new(100.0).parallel(Ohms::new(100.0));
+        assert!((rp.value() - 50.0).abs() < 1e-12);
+        assert_eq!(Ohms::new(0.0).parallel(Ohms::new(50.0)).value(), 0.0);
+    }
+
+    #[test]
+    fn johnson_noise_of_50_ohm() {
+        // 50 Ω at 290 K: en ≈ 0.895 nV/√Hz.
+        let e2 = Ohms::new(50.0).thermal_noise_density_sq(Kelvin::REFERENCE);
+        assert!((e2.sqrt() - 0.895e-9).abs() < 5e-12);
+    }
+
+    #[test]
+    fn power_into_resistance() {
+        let p = Volts::new(2.0).power_into(Ohms::new(4.0));
+        assert_eq!(p.value(), 1.0);
+    }
+
+    #[test]
+    fn gain_conversions() {
+        assert_eq!(Gain::UNITY.db(), 0.0);
+        assert!((Gain::from_db(6.0206).linear() - 2.0).abs() < 1e-4);
+        assert_eq!(Gain::from_linear(3.0).power(), 9.0);
+        let g = Gain::from_linear(10.0) * Gain::from_linear(5.0);
+        assert_eq!(g.linear(), 50.0);
+        assert_eq!(Gain::default(), Gain::UNITY);
+    }
+
+    #[test]
+    fn from_f64_conversions() {
+        let t: Kelvin = 300.0.into();
+        assert_eq!(t.value(), 300.0);
+        assert!(t.is_finite());
+        assert!(!Kelvin::new(f64::INFINITY).is_finite());
+    }
+}

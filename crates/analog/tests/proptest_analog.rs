@@ -1,0 +1,171 @@
+//! Property-based tests for the analog substrate: container round
+//! trips, component scaling laws and converter invariants.
+
+use nfbist_analog::bitstream::Bitstream;
+use nfbist_analog::component::{Amplifier, Attenuator, Block};
+use nfbist_analog::converter::{Adc, Comparator, OneBitDigitizer};
+use nfbist_analog::noise::WhiteNoise;
+use nfbist_analog::opamp::OpampModel;
+use nfbist_analog::source::{SineSource, SquareSource, Waveform};
+use nfbist_analog::units::{Gain, Hertz, Kelvin, Ohms};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bitstream_roundtrip(bits in prop::collection::vec(any::<bool>(), 0..300)) {
+        let bs: Bitstream = bits.iter().copied().collect();
+        prop_assert_eq!(bs.len(), bits.len());
+        let back: Vec<bool> = bs.iter().collect();
+        prop_assert_eq!(&back, &bits);
+        // Bipolar expansion is consistent with ones().
+        let ones = bs.to_bipolar().iter().filter(|&&v| v > 0.0).count();
+        prop_assert_eq!(ones, bs.ones());
+        prop_assert_eq!(bs.ones() + bs.to_unipolar().iter().filter(|&&v| v == 0.0).count(), bits.len());
+    }
+
+    #[test]
+    fn bitstream_memory_is_one_bit_per_sample(n in 0usize..10_000) {
+        let bs: Bitstream = (0..n).map(|i| i % 2 == 0).collect();
+        prop_assert_eq!(bs.memory_bytes(), n.div_ceil(64) * 8);
+    }
+
+    #[test]
+    fn amplifier_is_homogeneous(gain in -100.0f64..100.0, x in -10.0f64..10.0) {
+        prop_assume!(gain != 0.0 && gain.abs() > 1e-6);
+        let mut a = Amplifier::ideal(gain).unwrap();
+        let y = a.process(&[x]);
+        prop_assert!((y[0] - gain * x).abs() < 1e-9 * (1.0 + (gain * x).abs()));
+    }
+
+    #[test]
+    fn attenuator_never_amplifies(db in 0.0f64..120.0, x in -100.0f64..100.0) {
+        let mut att = Attenuator::from_db(db).unwrap();
+        let y = att.process(&[x]);
+        prop_assert!(y[0].abs() <= x.abs() + 1e-12);
+        // 20 dB per decade.
+        prop_assert!((att.linear_factor() - 10f64.powf(-db / 20.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn attenuator_step_quantization_bounded(db in 0.0f64..60.0, step in 0.25f64..6.0) {
+        let att = Attenuator::from_db(db).unwrap().with_step(step).unwrap();
+        prop_assert!((att.attenuation_db() - db).abs() <= step / 2.0 + 1e-9);
+    }
+
+    #[test]
+    fn comparator_decisions_are_antisymmetric(a in -10.0f64..10.0, b in -10.0f64..10.0) {
+        prop_assume!((a - b).abs() > 1e-9);
+        let mut c1 = Comparator::ideal();
+        let mut c2 = Comparator::ideal();
+        prop_assert_eq!(c1.compare(a, b), !c2.compare(b, a));
+    }
+
+    #[test]
+    fn digitizer_output_is_sign_of_difference(
+        signal in prop::collection::vec(-5.0f64..5.0, 1..100),
+        reference in prop::collection::vec(-5.0f64..5.0, 1..100),
+    ) {
+        let n = signal.len().min(reference.len());
+        let s = &signal[..n];
+        let r = &reference[..n];
+        let bits = OneBitDigitizer::ideal().digitize(s, r).unwrap();
+        for i in 0..n {
+            prop_assert_eq!(bits.get(i).unwrap(), s[i] > r[i]);
+        }
+    }
+
+    #[test]
+    fn adc_error_bounded_by_half_lsb(bits in 4u32..16, x in -0.999f64..0.999) {
+        let adc = Adc::new(bits, 1.0).unwrap();
+        let y = adc.quantize(&[x]).unwrap();
+        prop_assert!((y[0] - x).abs() <= adc.lsb() / 2.0 + 1e-12);
+    }
+
+    #[test]
+    fn adc_is_monotone(bits in 2u32..12, a in -1.0f64..1.0, b in -1.0f64..1.0) {
+        let adc = Adc::new(bits, 1.0).unwrap();
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let q = adc.quantize(&[lo, hi]).unwrap();
+        prop_assert!(q[0] <= q[1] + 1e-12);
+    }
+
+    #[test]
+    fn gain_db_roundtrip(db in -80.0f64..80.0) {
+        let g = Gain::from_db(db);
+        prop_assert!((g.db() - db).abs() < 1e-9);
+        prop_assert!((g.power() - g.linear() * g.linear()).abs() < 1e-9 * (1.0 + g.power()));
+    }
+
+    #[test]
+    fn parallel_resistance_bounds(a in 1.0f64..1e6, b in 1.0f64..1e6) {
+        let rp = Ohms::new(a).parallel(Ohms::new(b));
+        prop_assert!(rp.value() <= a.min(b));
+        prop_assert!(rp.value() >= a.min(b) / 2.0);
+        // Symmetry.
+        let rq = Ohms::new(b).parallel(Ohms::new(a));
+        prop_assert!((rp.value() - rq.value()).abs() < 1e-9 * rp.value());
+    }
+
+    #[test]
+    fn thermal_noise_scales_linearly_with_t_and_r(
+        r in 1.0f64..1e6,
+        t in 1.0f64..10_000.0,
+        k in 2.0f64..10.0,
+    ) {
+        let base = Ohms::new(r).thermal_noise_density_sq(Kelvin::new(t));
+        let scaled_t = Ohms::new(r).thermal_noise_density_sq(Kelvin::new(t * k));
+        let scaled_r = Ohms::new(r * k).thermal_noise_density_sq(Kelvin::new(t));
+        prop_assert!((scaled_t / base - k).abs() < 1e-9);
+        prop_assert!((scaled_r / base - k).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sine_is_bounded_by_amplitude(f in 1.0f64..10_000.0, amp in 0.0f64..100.0, t in 0.0f64..1.0) {
+        let s = SineSource::new(f, amp).unwrap();
+        prop_assert!(s.value_at(t).abs() <= amp + 1e-12);
+    }
+
+    #[test]
+    fn square_levels_are_exact(f in 1.0f64..1_000.0, level in 0.0f64..10.0, t in 0.0f64..1.0) {
+        let sq = SquareSource::new(f, level).unwrap();
+        let v = sq.value_at(t);
+        prop_assert!((v - level).abs() < 1e-12 || (v + level).abs() < 1e-12);
+    }
+
+    #[test]
+    fn opamp_density_decreases_with_frequency(f1 in 0.1f64..1e5, k in 1.1f64..100.0) {
+        let m = OpampModel::op27();
+        let lo = m.voltage_noise_density_sq(f1);
+        let hi = m.voltage_noise_density_sq(f1 * k);
+        prop_assert!(hi <= lo + 1e-24);
+        // Never below the white floor.
+        prop_assert!(hi >= m.en_white() * m.en_white() - 1e-30);
+    }
+
+    #[test]
+    fn opamp_mean_density_brackets_endpoints(lo in 1.0f64..100.0, span in 2.0f64..100.0) {
+        let m = OpampModel::ca3140();
+        let hi = lo * span;
+        let mean = m.mean_voltage_noise_density_sq(lo, hi).unwrap();
+        let d_lo = m.voltage_noise_density_sq(lo);
+        let d_hi = m.voltage_noise_density_sq(hi);
+        prop_assert!(mean <= d_lo + 1e-24);
+        prop_assert!(mean >= d_hi - 1e-24);
+    }
+
+    #[test]
+    fn white_noise_determinism(sigma in 0.0f64..10.0, seed in any::<u64>()) {
+        let a = WhiteNoise::new(sigma, seed).unwrap().generate(32);
+        let b = WhiteNoise::new(sigma, seed).unwrap().generate(32);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn opamp_corner_form_is_exact(f in 0.1f64..1e6) {
+        let m = OpampModel::new("x", 2e-9, Hertz::new(50.0), 1e-13, Hertz::new(10.0)).unwrap();
+        let expected = 4e-18 * (1.0 + 50.0 / f.max(0.01));
+        prop_assert!((m.voltage_noise_density_sq(f) - expected).abs() < 1e-27);
+    }
+}

@@ -1,0 +1,126 @@
+//! Criterion bench: ablations of the 1-bit estimator's design choices —
+//! reference exclusion, analysis window, and acquisition length.
+//! The timing numbers quantify cost; the printed accuracy notes (once
+//! per process, via eprintln) quantify benefit.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nfbist_bench::Table2Scenario;
+use nfbist_dsp::window::Window;
+
+/// Minimal scenario record for the exclusion ablation.
+struct ExclusionScenario {
+    bits_hot: nfbist_analog::bitstream::Bitstream,
+    bits_cold: nfbist_analog::bitstream::Bitstream,
+    true_ratio: f64,
+}
+
+fn bench_exclusion(c: &mut Criterion) {
+    // Exclusion only matters when the reference (or its harmonics)
+    // lands inside the noise band: put a 700 Hz reference in the
+    // 100-1500 Hz band, as the power_ratio unit tests do.
+    use nfbist_analog::converter::OneBitDigitizer;
+    use nfbist_analog::noise::WhiteNoise;
+    use nfbist_analog::source::{SineSource, Waveform};
+    use nfbist_core::power_ratio::OneBitPowerRatio;
+
+    let n = 1 << 18;
+    let fs = 20_000.0;
+    let true_ratio: f64 = 3.4931;
+    let hot = WhiteNoise::new(true_ratio.sqrt(), 7)
+        .expect("noise")
+        .generate(n);
+    let cold = WhiteNoise::new(1.0, 8).expect("noise").generate(n);
+    let reference = SineSource::new(700.0, 0.3)
+        .expect("sine")
+        .generate(n, fs)
+        .expect("generate");
+    let d = OneBitDigitizer::ideal();
+    let bits_hot = d.digitize(&hot, &reference).expect("digitize");
+    let bits_cold = d.digitize(&cold, &reference).expect("digitize");
+    let scenario_true_ratio = true_ratio;
+    let scenario = ExclusionScenario {
+        bits_hot,
+        bits_cold,
+        true_ratio: scenario_true_ratio,
+    };
+    let with = OneBitPowerRatio::new(fs, 2_048, 700.0, (100.0, 1_500.0)).expect("estimator");
+    let without = with.clone().with_reference_exclusion(false);
+
+    let err = |r: f64| (r - scenario.true_ratio).abs() / scenario.true_ratio * 100.0;
+    let r_with = with
+        .estimate(&scenario.bits_hot, &scenario.bits_cold)
+        .expect("estimate")
+        .ratio;
+    let r_without = without
+        .estimate(&scenario.bits_hot, &scenario.bits_cold)
+        .expect("estimate")
+        .ratio;
+    eprintln!(
+        "# ablation/exclusion: error with = {:.1} %, without = {:.1} %",
+        err(r_with),
+        err(r_without)
+    );
+
+    let mut group = c.benchmark_group("ablation_exclusion");
+    group.bench_function("with_exclusion", |b| {
+        b.iter(|| with.estimate(&scenario.bits_hot, &scenario.bits_cold).expect("est"))
+    });
+    group.bench_function("without_exclusion", |b| {
+        b.iter(|| {
+            without
+                .estimate(&scenario.bits_hot, &scenario.bits_cold)
+                .expect("est")
+        })
+    });
+    group.finish();
+}
+
+fn bench_windows(c: &mut Criterion) {
+    let scenario = Table2Scenario::build_sine_reference(1 << 18, 0.3, 8).expect("scenario");
+    let mut group = c.benchmark_group("ablation_window");
+    for (name, window) in [
+        ("hann", Window::Hann),
+        ("rectangular", Window::Rectangular),
+        ("flattop", Window::FlatTop),
+    ] {
+        let est = scenario
+            .estimator(2_048)
+            .expect("estimator")
+            .with_window(window);
+        let r = est
+            .estimate(&scenario.bits_hot, &scenario.bits_cold)
+            .expect("estimate")
+            .ratio;
+        eprintln!(
+            "# ablation/window {name}: error {:.1} %",
+            (r - scenario.true_ratio).abs() / scenario.true_ratio * 100.0
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(name), &window, |b, _| {
+            b.iter(|| est.estimate(&scenario.bits_hot, &scenario.bits_cold).expect("est"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_acquisition_length(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_acquisition");
+    group.sample_size(10);
+    for &shift in &[14usize, 16, 18, 20] {
+        let n = 1usize << shift;
+        let scenario = Table2Scenario::build_sine_reference(n, 0.3, 9).expect("scenario");
+        let est = scenario.estimator(2_048).expect("estimator");
+        if let Ok(r) = est.estimate(&scenario.bits_hot, &scenario.bits_cold) {
+            eprintln!(
+                "# ablation/acquisition n=2^{shift}: error {:.1} %",
+                (r.ratio - scenario.true_ratio).abs() / scenario.true_ratio * 100.0
+            );
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| est.estimate(&scenario.bits_hot, &scenario.bits_cold).expect("est"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exclusion, bench_windows, bench_acquisition_length);
+criterion_main!(benches);

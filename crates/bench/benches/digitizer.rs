@@ -1,0 +1,44 @@
+//! Criterion bench: 1-bit digitizer throughput — the operation a SoC
+//! BIST runs continuously.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nfbist_analog::converter::{Comparator, OneBitDigitizer};
+use nfbist_analog::noise::WhiteNoise;
+use nfbist_analog::source::{SineSource, Waveform};
+
+fn bench_digitizer(c: &mut Criterion) {
+    let fs = 20_000.0;
+    let mut group = c.benchmark_group("digitizer");
+    for &n in &[10_000usize, 100_000] {
+        let noise = WhiteNoise::new(1.0, 1).expect("noise").generate(n);
+        let reference = SineSource::new(3_000.0, 0.3)
+            .expect("sine")
+            .generate(n, fs)
+            .expect("generate");
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("ideal", n), &n, |b, _| {
+            let d = OneBitDigitizer::ideal();
+            b.iter(|| d.digitize(&noise, &reference).expect("digitize"));
+        });
+        group.bench_with_input(BenchmarkId::new("hysteresis", n), &n, |b, _| {
+            let cmp = Comparator::ideal().with_hysteresis(0.01).expect("cmp");
+            let d = OneBitDigitizer::with_comparator(cmp);
+            b.iter(|| d.digitize(&noise, &reference).expect("digitize"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_bitstream_expansion(c: &mut Criterion) {
+    let n = 100_000;
+    let noise = WhiteNoise::new(1.0, 2).expect("noise").generate(n);
+    let bits = OneBitDigitizer::ideal()
+        .digitize_sign(&noise)
+        .expect("digitize");
+    c.bench_function("bitstream/to_bipolar_100k", |b| {
+        b.iter(|| bits.to_bipolar())
+    });
+}
+
+criterion_group!(benches, bench_digitizer, bench_bitstream_expansion);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion bench: FFT and Welch PSD throughput — the SoC processing
+//! cost side of the paper's resource-reuse argument.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nfbist_analog::noise::WhiteNoise;
+use nfbist_dsp::complex::Complex64;
+use nfbist_dsp::fft::{ArbitraryFft, Fft};
+use nfbist_dsp::psd::WelchConfig;
+
+fn bench_fft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft");
+    for &n in &[1_024usize, 4_096, 16_384] {
+        let plan = Fft::new(n).expect("plan");
+        let x: Vec<Complex64> = (0..n)
+            .map(|i| Complex64::new((i as f64 * 0.37).sin(), 0.0))
+            .collect();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("radix2", n), &n, |b, _| {
+            b.iter(|| plan.forward(&x).expect("forward"));
+        });
+    }
+    // The paper's exact size: 10⁴ points (Bluestein path).
+    let n = 10_000;
+    let plan = ArbitraryFft::new(n).expect("plan");
+    let x: Vec<Complex64> = (0..n)
+        .map(|i| Complex64::new((i as f64 * 0.37).sin(), 0.0))
+        .collect();
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("bluestein/10000", |b| {
+        b.iter(|| plan.forward(&x).expect("forward"));
+    });
+    group.finish();
+}
+
+fn bench_welch(c: &mut Criterion) {
+    let fs = 20_000.0;
+    let x = WhiteNoise::new(1.0, 1).expect("noise").generate(200_000);
+    let mut group = c.benchmark_group("welch");
+    group.throughput(Throughput::Elements(x.len() as u64));
+    for &nfft in &[1_024usize, 10_000] {
+        group.bench_with_input(BenchmarkId::new("segment", nfft), &nfft, |b, &nfft| {
+            let cfg = WelchConfig::new(nfft).expect("config");
+            b.iter(|| cfg.estimate(&x, fs).expect("estimate"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fft, bench_welch);
+criterion_main!(benches);

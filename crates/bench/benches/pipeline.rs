@@ -1,0 +1,40 @@
+//! Criterion bench: end-to-end BIST measurement cost (Table 3's
+//! workload), 1-bit pipeline vs ADC baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nfbist_analog::circuits::NonInvertingAmplifier;
+use nfbist_analog::opamp::OpampModel;
+use nfbist_analog::units::Ohms;
+use nfbist_soc::baseline::AdcYFactorBaseline;
+use nfbist_soc::pipeline::BistPipeline;
+use nfbist_soc::setup::BistSetup;
+
+fn small_setup(seed: u64) -> BistSetup {
+    BistSetup {
+        samples: 1 << 15,
+        nfft: 1_024,
+        ..BistSetup::paper_prototype(seed)
+    }
+}
+
+fn dut() -> NonInvertingAmplifier {
+    NonInvertingAmplifier::new(OpampModel::tl081(), Ohms::new(10_000.0), Ohms::new(100.0))
+        .expect("dut")
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    group.bench_function("one_bit_measure_32k", |b| {
+        let p = BistPipeline::new(small_setup(1), dut()).expect("pipeline");
+        b.iter(|| p.measure().expect("measure"));
+    });
+    group.bench_function("adc_baseline_measure_32k", |b| {
+        let p = AdcYFactorBaseline::new(small_setup(2), dut(), 12).expect("baseline");
+        b.iter(|| p.measure().expect("measure"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion bench: the three Table 2 power-ratio estimators on equal
+//! records — the accuracy/cost trade at the heart of the paper.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use nfbist_bench::Table2Scenario;
+use nfbist_core::power_ratio::{mean_square_ratio, psd_ratio};
+
+fn bench_methods(c: &mut Criterion) {
+    let n = 1 << 17;
+    let nfft = 2_048;
+    let scenario = Table2Scenario::build(n, 0.3, 123).expect("scenario");
+    let estimator = scenario.estimator(nfft).expect("estimator");
+
+    let mut group = c.benchmark_group("power_ratio");
+    group.throughput(Throughput::Elements(n as u64));
+
+    group.bench_function("mean_square", |b| {
+        b.iter(|| mean_square_ratio(&scenario.hot, &scenario.cold).expect("ratio"))
+    });
+    group.bench_function("psd", |b| {
+        b.iter(|| {
+            psd_ratio(
+                &scenario.hot,
+                &scenario.cold,
+                scenario.sample_rate,
+                nfft,
+                (500.0, 4_500.0),
+            )
+            .expect("ratio")
+        })
+    });
+    group.bench_function("one_bit", |b| {
+        b.iter(|| {
+            estimator
+                .estimate(&scenario.bits_hot, &scenario.bits_cold)
+                .expect("ratio")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_methods);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Regenerates **Figure 8** of the paper: power spectrum density of the
+//! digitizer bitstream for hot and cold noise.
+//!
+//! The paper's observation to reproduce: "the noise levels remain
+//! similar, while amplitude levels of the reference square wave are
+//! larger" (for the cold state).
+
+use nfbist_bench::{quick_flag, record_sizes, Series, Table2Scenario};
+use nfbist_dsp::psd::WelchConfig;
+
+fn main() {
+    let (n, nfft) = record_sizes(quick_flag());
+    let scenario = Table2Scenario::build(n, 0.3, 8).expect("scenario synthesis");
+
+    let welch = WelchConfig::new(nfft).expect("welch config");
+    let psd_hot = welch
+        .estimate(&scenario.bits_hot.to_bipolar(), scenario.sample_rate)
+        .expect("hot psd");
+    let psd_cold = welch
+        .estimate(&scenario.bits_cold.to_bipolar(), scenario.sample_rate)
+        .expect("cold psd");
+
+    println!("Figure 8. Power spectrum density of the 1-bit digitizer output\n");
+    for (name, psd) in [("hot_bitstream_psd_db", &psd_hot), ("cold_bitstream_psd_db", &psd_cold)] {
+        let mut s = Series::new(name);
+        // Decimate the plot to ~500 points for readability.
+        let step = (psd.len() / 500).max(1);
+        for k in (0..psd.len()).step_by(step) {
+            s.push(psd.bin_frequency(k), 10.0 * psd.density()[k].max(1e-30).log10());
+        }
+        print!("{s}");
+    }
+
+    // Quantify the two observations.
+    let line = |psd: &nfbist_dsp::spectrum::Spectrum| {
+        let p = psd.peak_in_band(40.0, 80.0).expect("reference band");
+        psd.tone_power(p.bin, 3).expect("line power")
+    };
+    let floor = |psd: &nfbist_dsp::spectrum::Spectrum| {
+        psd.band_power(1_000.0, 4_000.0).expect("floor band") / 3_000.0
+    };
+    println!(
+        "# reference line power: hot {:.4e}, cold {:.4e} (cold larger, ratio {:.2})",
+        line(&psd_hot),
+        line(&psd_cold),
+        line(&psd_cold) / line(&psd_hot)
+    );
+    println!(
+        "# noise floor density:  hot {:.4e}, cold {:.4e} (similar, ratio {:.2})",
+        floor(&psd_hot),
+        floor(&psd_cold),
+        floor(&psd_cold) / floor(&psd_hot)
+    );
+}

@@ -1,0 +1,225 @@
+//! The ADC-based Y-factor baseline (paper Fig. 4).
+//!
+//! Before proposing the 1-bit digitizer, the paper discusses the
+//! conventional alternative: route the conditioned analog signal
+//! through a multiplexer to the SoC's shared ADC and compute the power
+//! ratio from multi-bit samples. This module implements that setup so
+//! experiments can compare accuracy, memory cost and observability
+//! against the proposed BIST.
+
+use crate::resources::{adc_usage, ResourceUsage};
+use crate::setup::BistSetup;
+use crate::SocError;
+use nfbist_analog::circuits::NonInvertingAmplifier;
+use nfbist_analog::component::{AnalogMux, Block};
+use nfbist_analog::converter::Adc;
+use nfbist_analog::noise::{CalibratedNoiseSource, NoiseSourceState};
+use nfbist_analog::units::Kelvin;
+use nfbist_core::estimator::NfMeasurement;
+use nfbist_core::power_ratio;
+
+/// Result of an ADC-baseline measurement.
+#[derive(Debug, Clone)]
+pub struct BaselineMeasurement {
+    /// The measured noise figure.
+    pub nf: NfMeasurement,
+    /// Analytic expectation for the DUT.
+    pub expected_nf_db: f64,
+    /// Resource accounting (note the multi-bit record sizes).
+    pub usage: ResourceUsage,
+}
+
+/// ADC + analog-mux Y-factor measurement of a single DUT.
+///
+/// # Examples
+///
+/// ```no_run
+/// use nfbist_analog::circuits::NonInvertingAmplifier;
+/// use nfbist_analog::opamp::OpampModel;
+/// use nfbist_analog::units::Ohms;
+/// use nfbist_soc::baseline::AdcYFactorBaseline;
+/// use nfbist_soc::setup::BistSetup;
+///
+/// # fn main() -> Result<(), nfbist_soc::SocError> {
+/// let dut = NonInvertingAmplifier::new(
+///     OpampModel::tl081(),
+///     Ohms::new(10_000.0),
+///     Ohms::new(100.0),
+/// )?;
+/// let baseline = AdcYFactorBaseline::new(BistSetup::quick(1), dut, 12)?;
+/// let m = baseline.measure()?;
+/// println!("{}", m.nf);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct AdcYFactorBaseline {
+    setup: BistSetup,
+    dut: NonInvertingAmplifier,
+    adc: Adc,
+    mux: AnalogMux,
+    /// Gain applied ahead of the ADC so the noise uses the converter
+    /// range.
+    conditioning_gain: f64,
+}
+
+impl AdcYFactorBaseline {
+    /// Builds the baseline with an ADC of `bits` resolution.
+    ///
+    /// # Errors
+    ///
+    /// Propagates setup validation and converter construction errors.
+    pub fn new(
+        setup: BistSetup,
+        dut: NonInvertingAmplifier,
+        bits: u32,
+    ) -> Result<Self, SocError> {
+        setup.validate()?;
+        let adc = Adc::new(bits, 1.0)?;
+        let mux = AnalogMux::new(2)?;
+        // Scale the hot-state RMS to ~1/5 of full scale to keep
+        // clipping negligible.
+        let nyquist = setup.sample_rate / 2.0;
+        let src_density = 4.0
+            * nfbist_analog::constants::BOLTZMANN
+            * setup.hot_kelvin
+            * setup.source_resistance.value();
+        let added = dut.mean_added_noise_density_sq(setup.source_resistance, 1.0, nyquist)?;
+        let hot_rms = dut.gain() * ((src_density + added) * nyquist).sqrt();
+        let conditioning_gain = 0.2 / hot_rms;
+        Ok(AdcYFactorBaseline {
+            setup,
+            dut,
+            adc,
+            mux,
+            conditioning_gain,
+        })
+    }
+
+    /// The ADC model.
+    pub fn adc(&self) -> &Adc {
+        &self.adc
+    }
+
+    /// Acquires one quantized record for a source state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation errors.
+    pub fn acquire(&self, state: NoiseSourceState) -> Result<Vec<f64>, SocError> {
+        let n = self.setup.samples;
+        let fs = self.setup.sample_rate;
+        let mut src = CalibratedNoiseSource::new(
+            Kelvin::new(self.setup.hot_kelvin),
+            Kelvin::new(self.setup.cold_kelvin),
+            self.setup.source_resistance,
+            self.setup.seed ^ 0x0BAD_CAFE,
+        )?;
+        if state == NoiseSourceState::Cold {
+            let _ = src.generate(state, 1, fs)?;
+        }
+        let source_noise = src.generate(state, n, fs)?;
+        let dut_out = self.dut.amplify(
+            &source_noise,
+            self.setup.source_resistance,
+            fs,
+            self.setup.seed.wrapping_add(match state {
+                NoiseSourceState::Hot => 77,
+                NoiseSourceState::Cold => 88,
+            }),
+        )?;
+        let scaled: Vec<f64> = dut_out.iter().map(|v| v * self.conditioning_gain).collect();
+        // Through the (imperfect) mux, then the ADC.
+        let muxed = self.mux.clone().process(&scaled);
+        Ok(self.adc.quantize(&muxed)?)
+    }
+
+    /// Runs the measurement: hot/cold acquisitions, PSD band-power
+    /// ratio (no reference needed — the ADC preserves absolute scale),
+    /// Y-factor equation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates acquisition and estimation errors.
+    pub fn measure(&self) -> Result<BaselineMeasurement, SocError> {
+        let hot = self.acquire(NoiseSourceState::Hot)?;
+        let cold = self.acquire(NoiseSourceState::Cold)?;
+        let y = power_ratio::psd_ratio(
+            &hot,
+            &cold,
+            self.setup.sample_rate,
+            self.setup.nfft,
+            self.setup.noise_band,
+        )?;
+        let nf = NfMeasurement::from_y(y, self.setup.hot_kelvin, self.setup.cold_kelvin)?;
+        let expected_nf_db = self.dut.expected_noise_figure_db(
+            self.setup.source_resistance,
+            self.setup.noise_band.0.max(1.0),
+            self.setup.noise_band.1,
+        )?;
+        Ok(BaselineMeasurement {
+            nf,
+            expected_nf_db,
+            usage: adc_usage(self.setup.samples, self.setup.nfft, self.adc.bits()),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfbist_analog::opamp::OpampModel;
+    use nfbist_analog::units::Ohms;
+
+    fn dut(opamp: OpampModel) -> NonInvertingAmplifier {
+        NonInvertingAmplifier::new(opamp, Ohms::new(10_000.0), Ohms::new(100.0)).unwrap()
+    }
+
+    #[test]
+    fn validation() {
+        let mut bad = BistSetup::quick(0);
+        bad.post_gain = 0.0;
+        assert!(AdcYFactorBaseline::new(bad, dut(OpampModel::op27()), 12).is_err());
+        assert!(
+            AdcYFactorBaseline::new(BistSetup::quick(0), dut(OpampModel::op27()), 0).is_err()
+        );
+    }
+
+    #[test]
+    fn baseline_recovers_expected_nf() {
+        let baseline =
+            AdcYFactorBaseline::new(BistSetup::quick(9), dut(OpampModel::tl081()), 12).unwrap();
+        let m = baseline.measure().unwrap();
+        assert!(
+            (m.nf.figure.db() - m.expected_nf_db).abs() < 1.0,
+            "measured {:.2} vs expected {:.2}",
+            m.nf.figure.db(),
+            m.expected_nf_db
+        );
+    }
+
+    #[test]
+    fn adc_memory_dwarfs_one_bit() {
+        let baseline =
+            AdcYFactorBaseline::new(BistSetup::quick(9), dut(OpampModel::tl081()), 12).unwrap();
+        let m = baseline.measure().unwrap();
+        let one_bit = crate::resources::one_bit_usage(
+            baseline.setup.samples,
+            baseline.setup.nfft,
+        );
+        assert!(m.usage.record_bytes >= 16 * one_bit.record_bytes);
+        assert_eq!(baseline.adc().bits(), 12);
+    }
+
+    #[test]
+    fn acquisition_stays_within_adc_range() {
+        let baseline =
+            AdcYFactorBaseline::new(BistSetup::quick(10), dut(OpampModel::ca3140()), 12).unwrap();
+        let x = baseline.acquire(NoiseSourceState::Hot).unwrap();
+        let peak = nfbist_dsp::stats::peak(&x).unwrap();
+        assert!(peak <= 1.0);
+        // Clipping should be rare: the RMS sits near 0.2 of full scale.
+        let rms = nfbist_dsp::stats::rms(&x).unwrap();
+        assert!(rms > 0.1 && rms < 0.35, "rms {rms}");
+    }
+}

@@ -1,0 +1,114 @@
+use std::fmt;
+
+/// Error type for the SoC BIST environment.
+///
+/// # Examples
+///
+/// ```
+/// use nfbist_soc::setup::BistSetup;
+///
+/// let mut setup = BistSetup::paper_prototype(1);
+/// setup.samples = 0;
+/// assert!(setup.validate().is_err());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SocError {
+    /// A configuration value was invalid.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Human-readable constraint description.
+        reason: &'static str,
+    },
+    /// An acquisition would not fit the SoC resource budget.
+    BudgetExceeded {
+        /// What was requested, in bytes.
+        requested_bytes: usize,
+        /// What the budget allows, in bytes.
+        budget_bytes: usize,
+    },
+    /// A DSP-layer operation failed.
+    Dsp(nfbist_dsp::DspError),
+    /// An analog-layer operation failed.
+    Analog(nfbist_analog::AnalogError),
+    /// A core estimation failed.
+    Core(nfbist_core::CoreError),
+}
+
+impl fmt::Display for SocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SocError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter {name}: {reason}")
+            }
+            SocError::BudgetExceeded {
+                requested_bytes,
+                budget_bytes,
+            } => write!(
+                f,
+                "acquisition needs {requested_bytes} bytes but the budget is {budget_bytes}"
+            ),
+            SocError::Dsp(e) => write!(f, "dsp error: {e}"),
+            SocError::Analog(e) => write!(f, "analog error: {e}"),
+            SocError::Core(e) => write!(f, "estimation error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SocError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SocError::Dsp(e) => Some(e),
+            SocError::Analog(e) => Some(e),
+            SocError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<nfbist_dsp::DspError> for SocError {
+    fn from(e: nfbist_dsp::DspError) -> Self {
+        SocError::Dsp(e)
+    }
+}
+
+impl From<nfbist_analog::AnalogError> for SocError {
+    fn from(e: nfbist_analog::AnalogError) -> Self {
+        SocError::Analog(e)
+    }
+}
+
+impl From<nfbist_core::CoreError> for SocError {
+    fn from(e: nfbist_core::CoreError) -> Self {
+        SocError::Core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = SocError::BudgetExceeded {
+            requested_bytes: 100,
+            budget_bytes: 10,
+        };
+        assert!(e.to_string().contains("100"));
+        assert!(e.source().is_none());
+        let e = SocError::from(nfbist_core::CoreError::Degenerate { reason: "x" });
+        assert!(e.source().is_some());
+        let e = SocError::from(nfbist_dsp::DspError::EmptyInput { context: "x" });
+        assert!(e.source().is_some());
+        let e = SocError::from(nfbist_analog::AnalogError::EmptyInput { context: "x" });
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SocError>();
+    }
+}

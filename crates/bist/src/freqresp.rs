@@ -1,0 +1,225 @@
+//! Frequency-response BIST: the same comparator cell measuring gain vs
+//! frequency (paper §7 / ref. \[3\]).
+//!
+//! A constant-amplitude test tone is swept across frequency; at each
+//! point the DUT output (tone + DUT noise) is digitized with the noise
+//! as dither, and a Goertzel detector reads the tone line out of the
+//! bitstream. Normalizing to a passband point yields the relative
+//! response and the −3 dB corner.
+
+use crate::SocError;
+use nfbist_analog::component::{Amplifier, Block};
+use nfbist_analog::converter::OneBitDigitizer;
+use nfbist_analog::noise::WhiteNoise;
+use nfbist_analog::source::{SineSource, Waveform};
+use nfbist_core::frequency_response::{corner_frequency, relative_response, SweepPoint};
+use nfbist_dsp::goertzel::Goertzel;
+
+/// Result of a frequency-response BIST run.
+#[derive(Debug, Clone)]
+pub struct FrequencyResponseMeasurement {
+    /// `(frequency, relative gain dB)` normalized to the first point.
+    pub response: Vec<(f64, f64)>,
+    /// Interpolated −3 dB corner, when the sweep crosses it.
+    pub corner_hz: Option<f64>,
+}
+
+/// Sweep configuration for the frequency-response BIST.
+#[derive(Debug, Clone)]
+pub struct FrequencyResponseTester {
+    sample_rate: f64,
+    samples_per_point: usize,
+    tone_amplitude: f64,
+    dither_sigma: f64,
+    frequencies: Vec<f64>,
+    seed: u64,
+}
+
+impl FrequencyResponseTester {
+    /// Creates a tester.
+    ///
+    /// * `tone_amplitude` — input tone amplitude (keep it near 10–40 %
+    ///   of `dither_sigma` at the comparator, the same operating window
+    ///   as the NF reference).
+    /// * `dither_sigma` — RMS of the dither noise added at the
+    ///   comparator (models the DUT's own output noise).
+    /// * `frequencies` — sweep points; the first is the normalization
+    ///   anchor and should sit in the passband.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SocError::InvalidParameter`] for non-positive
+    /// parameters, an empty sweep, or frequencies at/above Nyquist.
+    pub fn new(
+        sample_rate: f64,
+        samples_per_point: usize,
+        tone_amplitude: f64,
+        dither_sigma: f64,
+        frequencies: Vec<f64>,
+        seed: u64,
+    ) -> Result<Self, SocError> {
+        if !(sample_rate > 0.0) {
+            return Err(SocError::InvalidParameter {
+                name: "sample_rate",
+                reason: "must be positive",
+            });
+        }
+        if samples_per_point == 0 {
+            return Err(SocError::InvalidParameter {
+                name: "samples_per_point",
+                reason: "must be nonzero",
+            });
+        }
+        if !(tone_amplitude > 0.0) || !(dither_sigma > 0.0) {
+            return Err(SocError::InvalidParameter {
+                name: "levels",
+                reason: "tone amplitude and dither sigma must be positive",
+            });
+        }
+        if frequencies.is_empty() {
+            return Err(SocError::InvalidParameter {
+                name: "frequencies",
+                reason: "sweep needs at least one point",
+            });
+        }
+        if frequencies
+            .iter()
+            .any(|&f| !(f > 0.0) || f >= sample_rate / 2.0)
+        {
+            return Err(SocError::InvalidParameter {
+                name: "frequencies",
+                reason: "every sweep frequency must be in (0, nyquist)",
+            });
+        }
+        Ok(FrequencyResponseTester {
+            sample_rate,
+            samples_per_point,
+            tone_amplitude,
+            dither_sigma,
+            frequencies,
+            seed,
+        })
+    }
+
+    /// The sweep frequencies.
+    pub fn frequencies(&self) -> &[f64] {
+        &self.frequencies
+    }
+
+    /// Runs the sweep against a DUT block (processed per point), using
+    /// the 1-bit digitizer with noise dither and Goertzel line readout.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation and estimation errors.
+    pub fn measure(&self, dut: &Amplifier) -> Result<FrequencyResponseMeasurement, SocError> {
+        let n = self.samples_per_point;
+        let fs = self.sample_rate;
+        let digitizer = OneBitDigitizer::ideal();
+        let mut sweep = Vec::with_capacity(self.frequencies.len());
+        for (i, &f) in self.frequencies.iter().enumerate() {
+            let tone = SineSource::new(f, self.tone_amplitude)?.generate(n, fs)?;
+            let mut stage = dut.clone();
+            stage.reset();
+            let mut out = stage.process(&tone);
+            // The DUT's own broadband output noise, acting as dither.
+            let dither = WhiteNoise::new(
+                self.dither_sigma,
+                self.seed.wrapping_add(i as u64),
+            )?
+            .generate(n);
+            for (o, d) in out.iter_mut().zip(&dither) {
+                *o += d;
+            }
+            // Skip the filter transient before digitizing.
+            let skip = (n / 10).min(5_000);
+            let bits = digitizer.digitize_sign(&out[skip..])?;
+            let line_power = Goertzel::new(f, fs)?.power(&bits.to_bipolar())?;
+            sweep.push(SweepPoint {
+                frequency: f,
+                line_power,
+            });
+        }
+        let response = relative_response(&sweep, 0)?;
+        let corner_hz = corner_frequency(&response)?;
+        Ok(FrequencyResponseMeasurement {
+            response,
+            corner_hz,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        let mk = |fs: f64, n: usize, a: f64, s: f64, f: Vec<f64>| {
+            FrequencyResponseTester::new(fs, n, a, s, f, 0)
+        };
+        assert!(mk(0.0, 10, 0.1, 1.0, vec![100.0]).is_err());
+        assert!(mk(1e4, 0, 0.1, 1.0, vec![100.0]).is_err());
+        assert!(mk(1e4, 10, 0.0, 1.0, vec![100.0]).is_err());
+        assert!(mk(1e4, 10, 0.1, 0.0, vec![100.0]).is_err());
+        assert!(mk(1e4, 10, 0.1, 1.0, vec![]).is_err());
+        assert!(mk(1e4, 10, 0.1, 1.0, vec![6_000.0]).is_err());
+        assert!(mk(1e4, 10, 0.1, 1.0, vec![100.0]).is_ok());
+    }
+
+    #[test]
+    fn flat_dut_measures_flat() {
+        let tester = FrequencyResponseTester::new(
+            40_000.0,
+            120_000,
+            0.25,
+            1.0,
+            vec![500.0, 1_000.0, 2_000.0, 4_000.0],
+            3,
+        )
+        .unwrap();
+        let dut = Amplifier::ideal(4.0).unwrap();
+        let m = tester.measure(&dut).unwrap();
+        for (f, g) in &m.response {
+            assert!(g.abs() < 0.6, "gain at {f} Hz: {g} dB");
+        }
+        assert_eq!(m.corner_hz, None);
+    }
+
+    #[test]
+    fn one_pole_corner_recovered_through_one_bit_bist() {
+        // The headline claim of §7: a bandwidth-limited amplifier's
+        // corner is measurable with the same comparator cell.
+        let fs = 40_000.0;
+        let fc = 2_000.0;
+        let tester = FrequencyResponseTester::new(
+            fs,
+            150_000,
+            0.25,
+            1.0,
+            vec![200.0, 500.0, 1_000.0, 1_500.0, 2_000.0, 3_000.0, 4_000.0, 6_000.0, 8_000.0],
+            5,
+        )
+        .unwrap();
+        let dut = Amplifier::ideal(4.0)
+            .unwrap()
+            .with_bandwidth(fc, fs)
+            .unwrap();
+        let m = tester.measure(&dut).unwrap();
+        let corner = m.corner_hz.expect("sweep crosses -3 dB");
+        assert!(
+            (corner - fc).abs() / fc < 0.25,
+            "measured corner {corner} vs {fc}"
+        );
+        // Monotone rolloff above the corner.
+        let tail: Vec<f64> = m
+            .response
+            .iter()
+            .filter(|(f, _)| *f >= fc)
+            .map(|(_, g)| *g)
+            .collect();
+        for w in tail.windows(2) {
+            assert!(w[1] <= w[0] + 0.5, "rolloff not monotone: {tail:?}");
+        }
+    }
+}

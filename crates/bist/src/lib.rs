@@ -1,0 +1,61 @@
+//! # nfbist-soc — the BIST measurement environment in a SoC
+//!
+//! The paper's system-level claim (§4) is that a SoC can measure noise
+//! figure by reusing resources it already has: on-chip memory stores the
+//! 1-bit records, the CPU/DSP runs the FFTs, and a tiny comparator sits
+//! permanently at each analog test point. This crate assembles the
+//! substrate crates into that environment:
+//!
+//! * [`setup`] — configuration of the paper's Fig. 11 bench (source
+//!   temperatures, reference tone, record/FFT sizes, noise band).
+//! * [`pipeline`] — the end-to-end measurement: acquire hot/cold
+//!   bitstreams through the simulated analog chain, run the 1-bit
+//!   Y-factor estimator, report NF with the analytic expectation.
+//! * [`multipoint`] — simultaneous observation of several test points
+//!   along a cascade, each with its own permanently attached digitizer
+//!   (the observability argument of §4.3).
+//! * [`resources`] — SoC memory/compute accounting: what an acquisition
+//!   costs in bytes and arithmetic, 1-bit vs ADC.
+//! * [`baseline`] — the ADC + analog-mux Y-factor setup of Fig. 4, the
+//!   baseline the proposed digitizer replaces.
+//! * [`report`] — measurement report types with display formatting.
+//!
+//! ## Example
+//!
+//! ```no_run
+//! use nfbist_analog::circuits::NonInvertingAmplifier;
+//! use nfbist_analog::opamp::OpampModel;
+//! use nfbist_analog::units::Ohms;
+//! use nfbist_soc::pipeline::BistPipeline;
+//! use nfbist_soc::setup::BistSetup;
+//!
+//! # fn main() -> Result<(), nfbist_soc::SocError> {
+//! let dut = NonInvertingAmplifier::new(
+//!     OpampModel::op27(),
+//!     Ohms::new(10_000.0),
+//!     Ohms::new(100.0),
+//! )?;
+//! let setup = BistSetup::paper_prototype(42);
+//! let pipeline = BistPipeline::new(setup, dut)?;
+//! let m = pipeline.measure()?;
+//! println!("expected {:.2} dB, measured {:.2} dB", m.expected_nf_db, m.nf.figure.db());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod freqresp;
+pub mod multipoint;
+pub mod pipeline;
+pub mod report;
+pub mod resources;
+pub mod screening;
+pub mod setup;
+pub mod testplan;
+
+mod error;
+
+pub use error::SocError;

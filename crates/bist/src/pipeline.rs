@@ -1,0 +1,308 @@
+//! The end-to-end BIST measurement pipeline (paper Fig. 11).
+//!
+//! Per acquisition: the calibrated source emits hot or cold noise into
+//! the DUT (a non-inverting amplifier that adds its own datasheet
+//! noise); a post-amplifier conditions the level; the comparator
+//! digitizes the result against the reference sine; the 1-bit Y-factor
+//! estimator of `nfbist-core` turns the two bitstreams into a noise
+//! figure.
+
+use crate::resources::{one_bit_usage, ResourceUsage};
+use crate::setup::BistSetup;
+use crate::SocError;
+use nfbist_analog::bitstream::Bitstream;
+use nfbist_analog::circuits::NonInvertingAmplifier;
+use nfbist_analog::component::{Amplifier, Block};
+use nfbist_analog::converter::OneBitDigitizer;
+use nfbist_analog::noise::{CalibratedNoiseSource, NoiseSourceState};
+use nfbist_analog::source::{SineSource, Waveform};
+use nfbist_analog::units::Kelvin;
+use nfbist_core::estimator::{NfMeasurement, OneBitNfEstimator};
+use nfbist_core::power_ratio::{OneBitPowerRatio, OneBitRatioEstimate};
+
+/// Result of a complete BIST noise-figure measurement.
+#[derive(Debug, Clone)]
+pub struct BistMeasurement {
+    /// The measured noise figure (Y factor, F, NF).
+    pub nf: NfMeasurement,
+    /// The analytic expectation from the DUT's datasheet noise model
+    /// over the measurement band (Table 3's "Expected" column).
+    pub expected_nf_db: f64,
+    /// Ratio-level intermediates: spectra, reference lines,
+    /// normalization.
+    pub ratio: OneBitRatioEstimate,
+    /// The reference amplitude used at the comparator, in volts.
+    pub reference_amplitude: f64,
+    /// Resource accounting for this measurement.
+    pub usage: ResourceUsage,
+}
+
+/// The assembled measurement pipeline.
+///
+/// See the crate-level example for usage.
+#[derive(Debug, Clone)]
+pub struct BistPipeline {
+    setup: BistSetup,
+    dut: NonInvertingAmplifier,
+    digitizer: OneBitDigitizer,
+}
+
+impl BistPipeline {
+    /// Builds a pipeline after validating the setup.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BistSetup::validate`] failures.
+    pub fn new(setup: BistSetup, dut: NonInvertingAmplifier) -> Result<Self, SocError> {
+        setup.validate()?;
+        Ok(BistPipeline {
+            setup,
+            dut,
+            digitizer: OneBitDigitizer::ideal(),
+        })
+    }
+
+    /// Replaces the ideal digitizer (e.g. with comparator offset or
+    /// hysteresis for robustness studies).
+    pub fn with_digitizer(mut self, digitizer: OneBitDigitizer) -> Self {
+        self.digitizer = digitizer;
+        self
+    }
+
+    /// The setup.
+    pub fn setup(&self) -> &BistSetup {
+        &self.setup
+    }
+
+    /// The DUT.
+    pub fn dut(&self) -> &NonInvertingAmplifier {
+        &self.dut
+    }
+
+    fn source(&self) -> Result<CalibratedNoiseSource, SocError> {
+        let mut src = CalibratedNoiseSource::new(
+            Kelvin::new(self.setup.hot_kelvin),
+            Kelvin::new(self.setup.cold_kelvin),
+            self.setup.source_resistance,
+            self.setup.seed ^ 0xA5A5_A5A5,
+        )?;
+        if self.setup.hot_calibration_error != 0.0 {
+            src.set_hot_error(self.setup.hot_calibration_error)?;
+        }
+        Ok(src)
+    }
+
+    /// The comparator-input noise RMS for a source state, computed
+    /// analytically from the models (the calibration a real BIST would
+    /// do with a short trial acquisition).
+    ///
+    /// # Errors
+    ///
+    /// Propagates model errors.
+    pub fn comparator_noise_rms(&self, state: NoiseSourceState) -> Result<f64, SocError> {
+        let src = self.source()?;
+        let nyquist = self.setup.sample_rate / 2.0;
+        let source_density = src.voltage_density(state);
+        let added = self
+            .dut
+            .mean_added_noise_density_sq(self.setup.source_resistance, 1.0, nyquist)?;
+        let input_power = (source_density + added) * nyquist;
+        Ok(self.dut.gain() * self.setup.post_gain * input_power.sqrt())
+    }
+
+    /// The reference amplitude the pipeline will use: the configured
+    /// fraction of the **cold** comparator noise RMS (so the hot state,
+    /// with more noise, sees a smaller relative reference — both states
+    /// stay inside Fig. 10's valid region for realistic Y).
+    ///
+    /// # Errors
+    ///
+    /// Propagates model errors.
+    pub fn reference_amplitude(&self) -> Result<f64, SocError> {
+        Ok(self.setup.reference_fraction * self.comparator_noise_rms(NoiseSourceState::Cold)?)
+    }
+
+    /// Runs one acquisition: source noise → DUT → post-amp →
+    /// comparator vs the reference sine.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation errors.
+    pub fn acquire(&self, state: NoiseSourceState) -> Result<Bitstream, SocError> {
+        let n = self.setup.samples;
+        let fs = self.setup.sample_rate;
+        let mut src = self.source()?;
+        // Distinct noise records per state: the source seed evolves per
+        // call, and the DUT noise seed is derived from the state.
+        let state_salt = match state {
+            NoiseSourceState::Hot => 1u64,
+            NoiseSourceState::Cold => 2u64,
+        };
+        if state == NoiseSourceState::Cold {
+            // Advance the source stream so hot/cold records are
+            // independent even though `src` is rebuilt per call.
+            let _ = src.generate(state, 1, fs)?;
+        }
+        let source_noise = src.generate(state, n, fs)?;
+
+        let dut_out = self.dut.amplify(
+            &source_noise,
+            self.setup.source_resistance,
+            fs,
+            self.setup.seed.wrapping_add(state_salt).wrapping_mul(0x9E37),
+        )?;
+
+        let mut post = Amplifier::ideal(self.setup.post_gain)?;
+        let conditioned = post.process(&dut_out);
+
+        let reference = SineSource::new(self.setup.reference_frequency, self.reference_amplitude()?)?
+            .generate(n, fs)?;
+
+        Ok(self.digitizer.digitize(&conditioned, &reference)?)
+    }
+
+    /// Builds the estimator matching this setup.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration errors.
+    pub fn estimator(&self) -> Result<OneBitNfEstimator, SocError> {
+        let ratio = OneBitPowerRatio::new(
+            self.setup.sample_rate,
+            self.setup.nfft,
+            self.setup.reference_frequency,
+            self.setup.noise_band,
+        )?;
+        Ok(OneBitNfEstimator::new(
+            ratio,
+            self.setup.hot_kelvin,
+            self.setup.cold_kelvin,
+        )?)
+    }
+
+    /// Runs the complete measurement: hot and cold acquisitions, 1-bit
+    /// Y-factor estimation, analytic expectation and resource
+    /// accounting.
+    ///
+    /// # Errors
+    ///
+    /// Propagates acquisition and estimation errors.
+    pub fn measure(&self) -> Result<BistMeasurement, SocError> {
+        let hot = self.acquire(NoiseSourceState::Hot)?;
+        let cold = self.acquire(NoiseSourceState::Cold)?;
+        let estimator = self.estimator()?;
+        let (nf, ratio) = estimator.estimate(&hot, &cold)?;
+        let expected_nf_db = self.dut.expected_noise_figure_db(
+            self.setup.source_resistance,
+            self.setup.noise_band.0.max(1.0),
+            self.setup.noise_band.1,
+        )?;
+        Ok(BistMeasurement {
+            nf,
+            expected_nf_db,
+            ratio,
+            reference_amplitude: self.reference_amplitude()?,
+            usage: one_bit_usage(self.setup.samples, self.setup.nfft),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfbist_analog::opamp::OpampModel;
+    use nfbist_analog::units::Ohms;
+
+    fn dut(opamp: OpampModel) -> NonInvertingAmplifier {
+        NonInvertingAmplifier::new(opamp, Ohms::new(10_000.0), Ohms::new(100.0)).unwrap()
+    }
+
+    #[test]
+    fn invalid_setup_rejected() {
+        let mut setup = BistSetup::quick(1);
+        setup.samples = 0;
+        assert!(BistPipeline::new(setup, dut(OpampModel::op27())).is_err());
+    }
+
+    #[test]
+    fn acquisition_has_expected_shape() {
+        let pipeline = BistPipeline::new(BistSetup::quick(3), dut(OpampModel::op27())).unwrap();
+        let bits = pipeline.acquire(NoiseSourceState::Hot).unwrap();
+        assert_eq!(bits.len(), pipeline.setup().samples);
+        // Zero-mean noise against a zero-mean reference: duty near 50 %.
+        assert!((bits.duty() - 0.5).abs() < 0.02, "duty {}", bits.duty());
+    }
+
+    #[test]
+    fn hot_acquisition_has_weaker_reference_line() {
+        // The physics behind normalization: more noise → smaller
+        // effective reference gain through the comparator.
+        let pipeline = BistPipeline::new(BistSetup::quick(4), dut(OpampModel::op27())).unwrap();
+        let fs = pipeline.setup().sample_rate;
+        let hot = pipeline.acquire(NoiseSourceState::Hot).unwrap().to_bipolar();
+        let cold = pipeline.acquire(NoiseSourceState::Cold).unwrap().to_bipolar();
+        let welch = nfbist_dsp::psd::WelchConfig::new(2048).unwrap();
+        let ph = welch.estimate(&hot, fs).unwrap();
+        let pc = welch.estimate(&cold, fs).unwrap();
+        let line = |p: &nfbist_dsp::spectrum::Spectrum| {
+            let peak = p.peak_in_band(2_900.0, 3_100.0).unwrap();
+            p.tone_power(peak.bin, 3).unwrap()
+        };
+        assert!(line(&ph) < line(&pc));
+    }
+
+    #[test]
+    fn reference_amplitude_tracks_cold_rms() {
+        let pipeline = BistPipeline::new(BistSetup::quick(5), dut(OpampModel::op27())).unwrap();
+        let rms = pipeline.comparator_noise_rms(NoiseSourceState::Cold).unwrap();
+        let amp = pipeline.reference_amplitude().unwrap();
+        assert!((amp / rms - 0.3).abs() < 1e-12);
+        let hot_rms = pipeline.comparator_noise_rms(NoiseSourceState::Hot).unwrap();
+        assert!(hot_rms > rms);
+    }
+
+    #[test]
+    fn quick_measurement_recovers_expected_nf() {
+        // The Table 3 shape on a reduced record: measured within 2 dB
+        // of expected (the paper's own worst case) for a noisy and a
+        // quiet op-amp.
+        for (opamp, seed) in [(OpampModel::tl081(), 10u64), (OpampModel::ca3140(), 11u64)] {
+            let pipeline = BistPipeline::new(BistSetup::quick(seed), dut(opamp)).unwrap();
+            let m = pipeline.measure().unwrap();
+            assert!(
+                (m.nf.figure.db() - m.expected_nf_db).abs() < 2.0,
+                "{}: measured {:.2} vs expected {:.2}",
+                pipeline.dut().opamp().name(),
+                m.nf.figure.db(),
+                m.expected_nf_db
+            );
+        }
+    }
+
+    #[test]
+    fn measurement_reports_resources() {
+        let pipeline = BistPipeline::new(BistSetup::quick(6), dut(OpampModel::tl081())).unwrap();
+        let m = pipeline.measure().unwrap();
+        assert_eq!(m.usage.record_bytes, (1usize << 17) / 8);
+        assert!(m.reference_amplitude > 0.0);
+        assert!(m.ratio.normalization.scale > 0.0);
+    }
+
+    #[test]
+    fn calibration_error_biases_measurement() {
+        let mut setup = BistSetup::quick(7);
+        setup.hot_calibration_error = 0.20; // gross 20 % error
+        let biased = BistPipeline::new(setup, dut(OpampModel::tl081())).unwrap();
+        let clean =
+            BistPipeline::new(BistSetup::quick(7), dut(OpampModel::tl081())).unwrap();
+        let m_biased = biased.measure().unwrap();
+        let m_clean = clean.measure().unwrap();
+        // Hotter-than-declared source → Y up → reported NF down.
+        assert!(
+            m_biased.nf.figure.db() < m_clean.nf.figure.db(),
+            "biased {:.2} vs clean {:.2}",
+            m_biased.nf.figure.db(),
+            m_clean.nf.figure.db()
+        );
+    }
+}

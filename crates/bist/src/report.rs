@@ -1,0 +1,170 @@
+//! Measurement reports with table formatting, used by the experiment
+//! binaries to print paper-style tables.
+
+use std::fmt;
+
+/// A formatted results table (fixed-width columns, Markdown-compatible
+/// separators).
+///
+/// # Examples
+///
+/// ```
+/// use nfbist_soc::report::Table;
+///
+/// let mut t = Table::new(vec!["Opamp", "Expected", "Measured"]);
+/// t.row(vec!["OP27".into(), "3.7".into(), "3.69".into()]);
+/// let s = t.to_string();
+/// assert!(s.contains("OP27"));
+/// assert!(s.lines().count() >= 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (short rows are padded with empty cells; long
+    /// rows are truncated to the header width).
+    pub fn row(&mut self, cells: Vec<String>) {
+        let mut cells = cells;
+        cells.resize(self.headers.len(), String::new());
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "|")?;
+            for (i, cell) in cells.iter().enumerate().take(cols) {
+                write!(f, " {:<width$} |", cell, width = widths[i])?;
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.headers)?;
+        write!(f, "|")?;
+        for w in &widths {
+            write!(f, "{:-<width$}|", "", width = w + 2)?;
+        }
+        writeln!(f)?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// A named data series (for figure-style experiments): `(x, y)` pairs
+/// printed one per line, gnuplot/CSV-friendly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    name: String,
+    points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates an empty series.
+    pub fn new(name: impl Into<String>) -> Self {
+        Series {
+            name: name.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+
+    /// The points.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// The series name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl Extend<(f64, f64)> for Series {
+    fn extend<I: IntoIterator<Item = (f64, f64)>>(&mut self, iter: I) {
+        self.points.extend(iter);
+    }
+}
+
+impl fmt::Display for Series {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "# series: {}", self.name)?;
+        for (x, y) in &self.points {
+            writeln!(f, "{x:.6e}, {y:.6e}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_layout() {
+        let mut t = Table::new(vec!["A", "Longer"]);
+        assert!(t.is_empty());
+        t.row(vec!["x".into(), "1".into()]);
+        t.row(vec!["yyyyy".into()]); // padded
+        assert_eq!(t.len(), 2);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All lines share the same width.
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+        assert!(lines[1].starts_with("|--"));
+    }
+
+    #[test]
+    fn row_truncation() {
+        let mut t = Table::new(vec!["A"]);
+        t.row(vec!["1".into(), "extra".into()]);
+        let s = t.to_string();
+        assert!(!s.contains("extra"));
+    }
+
+    #[test]
+    fn series_format() {
+        let mut s = Series::new("error");
+        s.push(10.0, -2.5);
+        s.extend([(20.0, 1.0)]);
+        assert_eq!(s.points().len(), 2);
+        assert_eq!(s.name(), "error");
+        let out = s.to_string();
+        assert!(out.starts_with("# series: error"));
+        assert!(out.contains("1.000000e1, -2.500000e0") || out.contains("1.000000e+01"));
+    }
+}

@@ -1,0 +1,199 @@
+//! Production-test screening: pass/fail decisions with guard bands.
+//!
+//! The paper's motivation is production test cost ("test costs must be
+//! kept lower for the device to be competitive", §1). A BIST readout is
+//! only useful on the line if its *uncertainty* is folded into the
+//! limit: a DUT measured just under the NF limit may still be bad. This
+//! module combines a measurement with the estimator's standard
+//! deviation (from `nfbist_core::uncertainty`) into guard-banded
+//! verdicts.
+
+use crate::SocError;
+use nfbist_core::estimator::NfMeasurement;
+use nfbist_core::uncertainty;
+
+/// A screening verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Verdict {
+    /// Confidently inside the limit (measured ≤ limit − guard).
+    Pass,
+    /// Confidently outside the limit (measured ≥ limit + guard).
+    Fail,
+    /// Within the guard band — re-test with a longer acquisition.
+    Retest,
+}
+
+/// A guard-banded NF screening limit.
+///
+/// # Examples
+///
+/// ```
+/// use nfbist_soc::screening::{Screen, Verdict};
+/// use nfbist_core::estimator::NfMeasurement;
+///
+/// # fn main() -> Result<(), nfbist_soc::SocError> {
+/// // Limit 10 dB, 3-sigma guard from a 100k-effective-sample record.
+/// let screen = Screen::new(10.0, 3.0)?;
+/// let m = NfMeasurement::from_y(3.0, 2_900.0, 290.0).expect("measurement");
+/// let verdict = screen.judge(&m, 100_000)?;
+/// assert!(matches!(verdict, Verdict::Pass | Verdict::Retest | Verdict::Fail));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Screen {
+    limit_db: f64,
+    sigma_multiple: f64,
+}
+
+impl Screen {
+    /// Creates a screen at `limit_db` with a guard band of
+    /// `sigma_multiple` estimator standard deviations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SocError::InvalidParameter`] for a negative limit or
+    /// non-positive sigma multiple.
+    pub fn new(limit_db: f64, sigma_multiple: f64) -> Result<Self, SocError> {
+        if !(limit_db >= 0.0) || !limit_db.is_finite() {
+            return Err(SocError::InvalidParameter {
+                name: "limit_db",
+                reason: "must be non-negative and finite",
+            });
+        }
+        if !(sigma_multiple > 0.0) || !sigma_multiple.is_finite() {
+            return Err(SocError::InvalidParameter {
+                name: "sigma_multiple",
+                reason: "must be positive and finite",
+            });
+        }
+        Ok(Screen {
+            limit_db,
+            sigma_multiple,
+        })
+    }
+
+    /// The NF limit in dB.
+    pub fn limit_db(&self) -> f64 {
+        self.limit_db
+    }
+
+    /// Guard band width in dB for a measurement taken with
+    /// `n_effective` independent samples per record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates uncertainty-model errors.
+    pub fn guard_db(&self, m: &NfMeasurement, n_effective: usize) -> Result<f64, SocError> {
+        let sigma =
+            uncertainty::nf_std_from_record_length(m.factor, 2_900.0, 290.0, n_effective)?;
+        Ok(self.sigma_multiple * sigma)
+    }
+
+    /// Judges a measurement against the limit with the guard band.
+    ///
+    /// # Errors
+    ///
+    /// Propagates uncertainty-model errors.
+    pub fn judge(&self, m: &NfMeasurement, n_effective: usize) -> Result<Verdict, SocError> {
+        let guard = self.guard_db(m, n_effective)?;
+        let nf = m.figure.db();
+        if nf <= self.limit_db - guard {
+            Ok(Verdict::Pass)
+        } else if nf >= self.limit_db + guard {
+            Ok(Verdict::Fail)
+        } else {
+            Ok(Verdict::Retest)
+        }
+    }
+
+    /// The smallest effective record length for which a DUT measured at
+    /// `measured_db` would leave the retest band (in either direction),
+    /// or `None` if it sits exactly on the limit (no record length
+    /// resolves it).
+    ///
+    /// # Errors
+    ///
+    /// Propagates uncertainty-model errors.
+    pub fn record_length_to_resolve(
+        &self,
+        m: &NfMeasurement,
+        max_n: usize,
+    ) -> Result<Option<usize>, SocError> {
+        let mut n = 1_000usize;
+        while n <= max_n {
+            if self.judge(m, n)? != Verdict::Retest {
+                return Ok(Some(n));
+            }
+            n *= 2;
+        }
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn measurement(nf_db: f64) -> NfMeasurement {
+        // Invert eq. 8 to find the Y that produces the requested NF.
+        let f = nfbist_core::figure::NoiseFigure::from_db(nf_db)
+            .unwrap()
+            .to_factor();
+        let y = nfbist_core::yfactor::expected_y(f, 2_900.0, 290.0).unwrap();
+        NfMeasurement::from_y(y, 2_900.0, 290.0).unwrap()
+    }
+
+    #[test]
+    fn validation() {
+        assert!(Screen::new(-1.0, 3.0).is_err());
+        assert!(Screen::new(10.0, 0.0).is_err());
+        assert!(Screen::new(10.0, f64::NAN).is_err());
+        assert!(Screen::new(10.0, 3.0).is_ok());
+        assert_eq!(Screen::new(10.0, 3.0).unwrap().limit_db(), 10.0);
+    }
+
+    #[test]
+    fn clear_pass_and_fail() {
+        let screen = Screen::new(10.0, 3.0).unwrap();
+        let quiet = measurement(5.0);
+        let noisy = measurement(15.0);
+        assert_eq!(screen.judge(&quiet, 100_000).unwrap(), Verdict::Pass);
+        assert_eq!(screen.judge(&noisy, 100_000).unwrap(), Verdict::Fail);
+    }
+
+    #[test]
+    fn marginal_dut_lands_in_retest_with_short_records() {
+        let screen = Screen::new(10.0, 3.0).unwrap();
+        let marginal = measurement(9.98);
+        // Very short record → wide guard → retest.
+        assert_eq!(screen.judge(&marginal, 200).unwrap(), Verdict::Retest);
+    }
+
+    #[test]
+    fn longer_records_shrink_the_guard() {
+        let screen = Screen::new(10.0, 3.0).unwrap();
+        let m = measurement(9.5);
+        let wide = screen.guard_db(&m, 1_000).unwrap();
+        let narrow = screen.guard_db(&m, 1_000_000).unwrap();
+        assert!(narrow < wide / 10.0, "{narrow} vs {wide}");
+    }
+
+    #[test]
+    fn resolution_search_finds_a_length() {
+        let screen = Screen::new(10.0, 3.0).unwrap();
+        let m = measurement(9.7);
+        let n = screen
+            .record_length_to_resolve(&m, 1 << 30)
+            .unwrap()
+            .expect("0.3 dB margin is resolvable");
+        // And the verdict at that length is indeed decisive.
+        assert_ne!(screen.judge(&m, n).unwrap(), Verdict::Retest);
+        // A DUT on the limit never resolves within the cap.
+        let on_limit = measurement(10.0);
+        assert_eq!(
+            screen.record_length_to_resolve(&on_limit, 1 << 22).unwrap(),
+            None
+        );
+    }
+}

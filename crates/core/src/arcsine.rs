@@ -1,0 +1,154 @@
+//! The arcsine law (paper eq. 12): the statistics a hard limiter
+//! preserves.
+//!
+//! For a zero-mean stationary Gaussian process `x`, the normalized
+//! autocorrelation of its sign `y = sgn(x)` is
+//!
+//! `ρy(τ) = (2/π)·asin(ρx(τ))`
+//!
+//! which is nearly linear for small `ρx` — this is why the spectral
+//! *shape* of the DUT noise survives the 1-bit digitizer, and why a
+//! small deterministic reference reappears at the output scaled by
+//! `√(2/π)·(A/σ)`.
+
+use crate::CoreError;
+
+/// The linearized small-signal gain of the hard limiter, `2/π`.
+///
+/// A correlation (or a small reference amplitude relative to the noise
+/// σ) passes through the limiter scaled by this factor to first order.
+pub const SMALL_SIGNAL_GAIN: f64 = 2.0 / std::f64::consts::PI;
+
+/// Applies the arcsine law to one normalized correlation value.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidParameter`] for `|rho| > 1`.
+///
+/// # Examples
+///
+/// ```
+/// use nfbist_core::arcsine::{arcsine_law, SMALL_SIGNAL_GAIN};
+///
+/// # fn main() -> Result<(), nfbist_core::CoreError> {
+/// assert_eq!(arcsine_law(0.0)?, 0.0);
+/// assert!((arcsine_law(1.0)? - 1.0).abs() < 1e-12);
+/// // Near zero it is linear with slope 2/π.
+/// let rho = 0.01;
+/// assert!((arcsine_law(rho)? - SMALL_SIGNAL_GAIN * rho).abs() < 1e-6);
+/// # Ok(())
+/// # }
+/// ```
+pub fn arcsine_law(rho: f64) -> Result<f64, CoreError> {
+    if !(-1.0..=1.0).contains(&rho) || !rho.is_finite() {
+        return Err(CoreError::InvalidParameter {
+            name: "rho",
+            reason: "normalized correlation must be in [-1, 1]",
+        });
+    }
+    Ok(SMALL_SIGNAL_GAIN * rho.asin())
+}
+
+/// Inverts the arcsine law: recovers the input correlation from the
+/// measured output correlation.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidParameter`] for `|rho_out| > 1`.
+pub fn arcsine_law_inverse(rho_out: f64) -> Result<f64, CoreError> {
+    if !(-1.0..=1.0).contains(&rho_out) || !rho_out.is_finite() {
+        return Err(CoreError::InvalidParameter {
+            name: "rho_out",
+            reason: "normalized correlation must be in [-1, 1]",
+        });
+    }
+    // y = (2/π)·asin(x)  ⇒  x = sin(π·y/2).
+    Ok((rho_out * std::f64::consts::FRAC_PI_2).sin().clamp(-1.0, 1.0))
+}
+
+/// Applies the arcsine law to a whole normalized autocorrelation
+/// sequence (lag 0 must be 1).
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidParameter`] if any lag is outside
+/// `[-1, 1]`.
+pub fn apply_to_sequence(rho: &[f64]) -> Result<Vec<f64>, CoreError> {
+    rho.iter().map(|&r| arcsine_law(r)).collect()
+}
+
+/// Corrects a measured 1-bit autocorrelation sequence back to the
+/// underlying Gaussian correlation (the inverse mapping, applied
+/// lag-wise).
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidParameter`] if any lag is outside
+/// `[-1, 1]`.
+pub fn invert_sequence(rho_out: &[f64]) -> Result<Vec<f64>, CoreError> {
+    rho_out.iter().map(|&r| arcsine_law_inverse(r)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        assert!(arcsine_law(1.1).is_err());
+        assert!(arcsine_law(-1.1).is_err());
+        assert!(arcsine_law(f64::NAN).is_err());
+        assert!(arcsine_law_inverse(2.0).is_err());
+    }
+
+    #[test]
+    fn fixed_points() {
+        assert_eq!(arcsine_law(0.0).unwrap(), 0.0);
+        assert!((arcsine_law(1.0).unwrap() - 1.0).abs() < 1e-12);
+        assert!((arcsine_law(-1.0).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn roundtrip() {
+        for rho in [-0.99, -0.5, -0.1, 0.0, 0.3, 0.77, 1.0] {
+            let out = arcsine_law(rho).unwrap();
+            let back = arcsine_law_inverse(out).unwrap();
+            assert!((back - rho).abs() < 1e-9, "rho {rho}: back {back}");
+        }
+    }
+
+    #[test]
+    fn compressive_nonlinearity() {
+        // |output| ≤ |input| is false — the arcsine *expands* large
+        // correlations toward ±1 more slowly than linear; check
+        // monotonicity and the known midpoint instead.
+        let half = arcsine_law(0.5).unwrap();
+        assert!((half - 2.0 / std::f64::consts::PI * (0.5f64).asin()).abs() < 1e-15);
+        let mut prev = -1.0;
+        for i in 0..=20 {
+            let rho = -1.0 + i as f64 * 0.1;
+            let v = arcsine_law(rho).unwrap();
+            assert!(v >= prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn sequence_helpers() {
+        let rho = [1.0, 0.5, 0.1, 0.0];
+        let out = apply_to_sequence(&rho).unwrap();
+        assert_eq!(out.len(), 4);
+        assert!((out[0] - 1.0).abs() < 1e-12);
+        let back = invert_sequence(&out).unwrap();
+        for (a, b) in rho.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-9);
+        }
+        assert!(apply_to_sequence(&[2.0]).is_err());
+        assert!(invert_sequence(&[-3.0]).is_err());
+    }
+
+    #[test]
+    fn small_signal_gain_value() {
+        assert!((SMALL_SIGNAL_GAIN - 0.637).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,169 @@
+//! The direct NF measurement method (paper §3.2 / §4.1, eqs. 4 and 10)
+//! and its gain-error sensitivity — the weakness that motivates the
+//! Y-factor BIST.
+
+use crate::figure::NoiseFactor;
+use crate::yfactor::T0;
+use crate::CoreError;
+use nfbist_analog::constants::BOLTZMANN;
+
+/// Direct-method estimate (eq. 4): the measured output noise power with
+/// a 290 K source termination, divided by `k·T0·B·G`.
+///
+/// * `output_power` — measured noise power at the chain output (W, or
+///   any unit consistent with the gain).
+/// * `bandwidth` — measurement bandwidth B in Hz.
+/// * `power_gain` — the **believed** end-to-end power gain G.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidParameter`] for non-positive inputs and
+/// the underlying estimate errors for non-physical results.
+///
+/// # Examples
+///
+/// ```
+/// use nfbist_analog::constants::BOLTZMANN;
+///
+/// # fn main() -> Result<(), nfbist_core::CoreError> {
+/// // A DUT with F = 2: output power is 2·kT0·B·G.
+/// let b = 1_000.0;
+/// let g = 1e6;
+/// let n_out = 2.0 * BOLTZMANN * 290.0 * b * g;
+/// let f = nfbist_core::direct::noise_factor_direct(n_out, b, g)?;
+/// assert!((f.value() - 2.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+pub fn noise_factor_direct(
+    output_power: f64,
+    bandwidth: f64,
+    power_gain: f64,
+) -> Result<NoiseFactor, CoreError> {
+    if !(output_power > 0.0) {
+        return Err(CoreError::InvalidParameter {
+            name: "output_power",
+            reason: "must be positive",
+        });
+    }
+    if !(bandwidth > 0.0) || !(power_gain > 0.0) {
+        return Err(CoreError::InvalidParameter {
+            name: "bandwidth/gain",
+            reason: "must be positive",
+        });
+    }
+    let reference = BOLTZMANN * T0 * bandwidth * power_gain;
+    NoiseFactor::from_estimate(output_power / reference, 0.2)
+}
+
+/// Eq. 10: the noise factor the direct method *reports* when the
+/// conditioning amplifier's true power gain deviates from the believed
+/// one by the fraction `gain_error` (`Ga → Ga·(1+ε)` in voltage terms
+/// means the power gain deviates by `(1+ε)²`).
+///
+/// The numerator (measured power) scales with the actual gain while the
+/// denominator uses the believed gain, so the estimate scales by the
+/// power-gain error — this is the sensitivity the Y-factor method
+/// cancels (its eq. 11 has the deviation in both numerator and
+/// denominator).
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidParameter`] for a gain error at or below
+/// −100 %.
+///
+/// # Examples
+///
+/// ```
+/// use nfbist_core::figure::NoiseFactor;
+/// use nfbist_core::direct::reported_factor_with_gain_error;
+///
+/// # fn main() -> Result<(), nfbist_core::CoreError> {
+/// let truth = NoiseFactor::new(2.0)?;
+/// // +5 % voltage gain error → ~+10 % reported F (≈ +0.41 dB).
+/// let reported = reported_factor_with_gain_error(truth, 0.05)?;
+/// assert!((reported.value() - 2.0 * 1.05_f64.powi(2)).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn reported_factor_with_gain_error(
+    true_factor: NoiseFactor,
+    gain_error: f64,
+) -> Result<NoiseFactor, CoreError> {
+    if !gain_error.is_finite() || gain_error <= -1.0 {
+        return Err(CoreError::InvalidParameter {
+            name: "gain_error",
+            reason: "must be finite and above -1",
+        });
+    }
+    let power_scale = (1.0 + gain_error) * (1.0 + gain_error);
+    NoiseFactor::from_estimate(true_factor.value() * power_scale, 0.5)
+}
+
+/// The NF error in dB caused by a fractional voltage-gain error in the
+/// direct method: `ΔNF = 20·log10(1+ε)` — independent of the DUT.
+///
+/// # Examples
+///
+/// ```
+/// let e = nfbist_core::direct::nf_error_db_for_gain_error(0.05);
+/// assert!((e - 0.424).abs() < 0.001);
+/// ```
+pub fn nf_error_db_for_gain_error(gain_error: f64) -> f64 {
+    20.0 * (1.0 + gain_error).log10()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        assert!(noise_factor_direct(0.0, 1.0, 1.0).is_err());
+        assert!(noise_factor_direct(1.0, 0.0, 1.0).is_err());
+        assert!(noise_factor_direct(1.0, 1.0, 0.0).is_err());
+        let f = NoiseFactor::new(2.0).unwrap();
+        assert!(reported_factor_with_gain_error(f, -1.0).is_err());
+        assert!(reported_factor_with_gain_error(f, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn exact_recovery_with_known_gain() {
+        for f_true in [1.0, 2.0, 10.0, 41.7] {
+            let b = 1_000.0;
+            let g = 1e8;
+            let n_out = f_true * BOLTZMANN * T0 * b * g;
+            let f = noise_factor_direct(n_out, b, g).unwrap();
+            assert!((f.value() - f_true).abs() / f_true < 1e-12);
+        }
+    }
+
+    #[test]
+    fn gain_error_skews_estimate_multiplicatively() {
+        let truth = NoiseFactor::new(10.0).unwrap();
+        let high = reported_factor_with_gain_error(truth, 0.10).unwrap();
+        assert!((high.value() - 12.1).abs() < 1e-9);
+        let low = reported_factor_with_gain_error(truth, -0.10).unwrap();
+        assert!((low.value() - 8.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nf_error_in_db_is_dut_independent() {
+        for f_true in [1.5, 2.0, 10.0] {
+            let truth = NoiseFactor::new(f_true).unwrap();
+            let reported = reported_factor_with_gain_error(truth, 0.05).unwrap();
+            let delta = reported.to_figure().db() - truth.to_figure().db();
+            assert!((delta - nf_error_db_for_gain_error(0.05)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn five_percent_gain_error_is_nearly_half_db() {
+        // The scale of the problem the paper highlights: a 5 % gain
+        // drift corrupts the direct method by ≈0.42 dB on any DUT.
+        let e = nf_error_db_for_gain_error(0.05);
+        assert!(e > 0.4 && e < 0.45, "error {e}");
+        assert!(nf_error_db_for_gain_error(0.0).abs() < 1e-12);
+        assert!(nf_error_db_for_gain_error(-0.05) < 0.0);
+    }
+}

@@ -1,0 +1,95 @@
+use std::fmt;
+
+/// Error type for noise-figure estimation.
+///
+/// # Examples
+///
+/// ```
+/// use nfbist_core::yfactor;
+///
+/// // Y = 1 makes the Y-factor equation singular.
+/// let err = yfactor::noise_factor_from_temperatures(1.0, 2900.0, 290.0).unwrap_err();
+/// assert!(err.to_string().contains("y factor"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A parameter was outside its valid domain.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Human-readable constraint description.
+        reason: &'static str,
+    },
+    /// The measured data does not permit an estimate (e.g. Y ≈ 1, or a
+    /// reference line buried in noise).
+    Degenerate {
+        /// What went wrong.
+        reason: &'static str,
+    },
+    /// A DSP-layer operation failed.
+    Dsp(nfbist_dsp::DspError),
+    /// An analog-layer operation failed.
+    Analog(nfbist_analog::AnalogError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter {name}: {reason}")
+            }
+            CoreError::Degenerate { reason } => write!(f, "degenerate measurement: {reason}"),
+            CoreError::Dsp(e) => write!(f, "dsp error: {e}"),
+            CoreError::Analog(e) => write!(f, "analog error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Dsp(e) => Some(e),
+            CoreError::Analog(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<nfbist_dsp::DspError> for CoreError {
+    fn from(e: nfbist_dsp::DspError) -> Self {
+        CoreError::Dsp(e)
+    }
+}
+
+impl From<nfbist_analog::AnalogError> for CoreError {
+    fn from(e: nfbist_analog::AnalogError) -> Self {
+        CoreError::Analog(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = CoreError::Degenerate {
+            reason: "y factor too close to unity",
+        };
+        assert!(e.to_string().contains("degenerate"));
+        assert!(e.source().is_none());
+
+        let e = CoreError::from(nfbist_dsp::DspError::EmptyInput { context: "x" });
+        assert!(e.source().is_some());
+        let e = CoreError::from(nfbist_analog::AnalogError::EmptyInput { context: "x" });
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

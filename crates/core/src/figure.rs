@@ -1,0 +1,226 @@
+//! Noise factor and noise figure types (paper §3.1, eqs. 2–3, Table 1).
+
+use crate::CoreError;
+use std::fmt;
+
+/// Linear noise factor `F = SNR_in / SNR_out` (eq. 2); always ≥ 1 for a
+/// physical two-port.
+///
+/// # Examples
+///
+/// ```
+/// use nfbist_core::figure::{NoiseFactor, NoiseFigure};
+///
+/// # fn main() -> Result<(), nfbist_core::CoreError> {
+/// let f = NoiseFactor::new(10.0)?;
+/// assert!((f.to_figure().db() - 10.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct NoiseFactor(f64);
+
+impl NoiseFactor {
+    /// A noiseless circuit: `F = 1` (NF = 0 dB), Table 1 row 1.
+    pub const NOISELESS: NoiseFactor = NoiseFactor(1.0);
+
+    /// Creates a noise factor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] for values below 1 or
+    /// non-finite.
+    pub fn new(value: f64) -> Result<Self, CoreError> {
+        if !(value >= 1.0) || !value.is_finite() {
+            return Err(CoreError::InvalidParameter {
+                name: "noise_factor",
+                reason: "must be finite and at least 1",
+            });
+        }
+        Ok(NoiseFactor(value))
+    }
+
+    /// Creates a noise factor from a raw estimate that may sit slightly
+    /// below 1 due to estimator variance; values in `[1−tolerance, 1)`
+    /// are clamped to exactly 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] if the value is below the
+    /// tolerance band or non-finite.
+    pub fn from_estimate(value: f64, tolerance: f64) -> Result<Self, CoreError> {
+        if !value.is_finite() || value < 1.0 - tolerance {
+            return Err(CoreError::InvalidParameter {
+                name: "noise_factor",
+                reason: "estimate below the physical limit beyond tolerance",
+            });
+        }
+        Ok(NoiseFactor(value.max(1.0)))
+    }
+
+    /// The linear value.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Converts to a noise figure (eq. 3).
+    pub fn to_figure(self) -> NoiseFigure {
+        NoiseFigure(10.0 * self.0.log10())
+    }
+
+    /// The equivalent input noise temperature `Te = (F−1)·T0` in
+    /// kelvin.
+    pub fn equivalent_temperature(self) -> f64 {
+        (self.0 - 1.0) * 290.0
+    }
+}
+
+impl fmt::Display for NoiseFactor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "F={:.4}", self.0)
+    }
+}
+
+/// Noise figure in dB: `NF = 10·log₁₀(F)` (eq. 3).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct NoiseFigure(f64);
+
+impl NoiseFigure {
+    /// Creates a noise figure from a dB value (must be ≥ 0).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] for negative or
+    /// non-finite values.
+    pub fn from_db(db: f64) -> Result<Self, CoreError> {
+        if !(db >= 0.0) || !db.is_finite() {
+            return Err(CoreError::InvalidParameter {
+                name: "noise_figure_db",
+                reason: "must be finite and non-negative",
+            });
+        }
+        Ok(NoiseFigure(db))
+    }
+
+    /// The dB value.
+    pub fn db(self) -> f64 {
+        self.0
+    }
+
+    /// Converts back to a linear noise factor.
+    pub fn to_factor(self) -> NoiseFactor {
+        NoiseFactor(10f64.powf(self.0 / 10.0))
+    }
+}
+
+impl fmt::Display for NoiseFigure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} dB", self.0)
+    }
+}
+
+/// One row of the paper's Table 1: a reference NF/F pair with its
+/// example circuit class.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReferencePoint {
+    /// Noise figure in dB.
+    pub nf_db: f64,
+    /// Linear noise factor.
+    pub factor: f64,
+    /// The example the paper attaches to this value.
+    pub example: &'static str,
+}
+
+/// The paper's Table 1 ("some reference values for noise figure and
+/// noise factor").
+pub const TABLE_1: [ReferencePoint; 3] = [
+    ReferencePoint {
+        nf_db: 0.0,
+        factor: 1.0,
+        example: "noiseless analog circuit",
+    },
+    ReferencePoint {
+        nf_db: 3.0,
+        factor: 2.0,
+        example: "RF low noise amplifier",
+    },
+    ReferencePoint {
+        nf_db: 10.0,
+        factor: 10.0,
+        example: "RF mixer",
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        assert!(NoiseFactor::new(0.9).is_err());
+        assert!(NoiseFactor::new(f64::NAN).is_err());
+        assert!(NoiseFigure::from_db(-0.1).is_err());
+        assert!(NoiseFigure::from_db(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn roundtrip() {
+        for f in [1.0, 2.0, 10.0, 41.7] {
+            let factor = NoiseFactor::new(f).unwrap();
+            let back = factor.to_figure().to_factor();
+            assert!((back.value() - f).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn table1_is_consistent() {
+        for row in TABLE_1 {
+            let from_factor = NoiseFactor::new(row.factor).unwrap().to_figure().db();
+            // The paper rounds 3.0103 → 3; allow that rounding.
+            assert!(
+                (from_factor - row.nf_db).abs() < 0.02,
+                "{}: {} vs {}",
+                row.example,
+                from_factor,
+                row.nf_db
+            );
+        }
+    }
+
+    #[test]
+    fn noiseless_constant() {
+        assert_eq!(NoiseFactor::NOISELESS.value(), 1.0);
+        assert_eq!(NoiseFactor::NOISELESS.to_figure().db(), 0.0);
+        assert_eq!(NoiseFactor::NOISELESS.equivalent_temperature(), 0.0);
+    }
+
+    #[test]
+    fn equivalent_temperature() {
+        // F = 2 → Te = 290 K.
+        let f = NoiseFactor::new(2.0).unwrap();
+        assert!((f.equivalent_temperature() - 290.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn estimate_clamping() {
+        let f = NoiseFactor::from_estimate(0.995, 0.01).unwrap();
+        assert_eq!(f.value(), 1.0);
+        assert!(NoiseFactor::from_estimate(0.95, 0.01).is_err());
+        let f = NoiseFactor::from_estimate(3.0, 0.01).unwrap();
+        assert_eq!(f.value(), 3.0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(NoiseFactor::new(2.0).unwrap().to_string(), "F=2.0000");
+        assert_eq!(NoiseFigure::from_db(3.01).unwrap().to_string(), "3.01 dB");
+    }
+
+    #[test]
+    fn ordering() {
+        let quiet = NoiseFactor::new(1.5).unwrap();
+        let noisy = NoiseFactor::new(5.0).unwrap();
+        assert!(quiet < noisy);
+        assert!(quiet.to_figure() < noisy.to_figure());
+    }
+}

@@ -1,0 +1,164 @@
+//! Frequency-response measurement through the 1-bit digitizer.
+//!
+//! The paper's conclusion stresses that the same BIST cell "allows one
+//! to perform frequency and noise measurements" (§7, building on
+//! ref. \[3\]). The mechanism mirrors the noise-figure normalization: a
+//! test tone of constant input amplitude is swept across frequency; at
+//! the DUT output it rides on the DUT's own noise, which acts as the
+//! comparator dither. The bitstream line amplitude at each tone
+//! frequency is `≈ √(2/π)·A_out(f)/σ`, and since `σ` (the broadband
+//! output noise) is the same at every sweep point, the *relative*
+//! response `A_out(f)/A_out(f_ref)` survives 1-bit quantization
+//! exactly.
+
+use crate::CoreError;
+
+/// One sweep point: tone frequency and the measured bitstream line
+/// **power** at that frequency.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPoint {
+    /// Tone frequency in hertz.
+    pub frequency: f64,
+    /// Measured line power in the bitstream PSD (any consistent unit).
+    pub line_power: f64,
+}
+
+/// A relative frequency response in dB, normalized to a reference
+/// point.
+///
+/// # Examples
+///
+/// ```
+/// use nfbist_core::frequency_response::{relative_response, SweepPoint};
+///
+/// # fn main() -> Result<(), nfbist_core::CoreError> {
+/// let sweep = [
+///     SweepPoint { frequency: 100.0, line_power: 4.0 },
+///     SweepPoint { frequency: 1_000.0, line_power: 4.0 },
+///     SweepPoint { frequency: 10_000.0, line_power: 1.0 },
+/// ];
+/// let resp = relative_response(&sweep, 0)?;
+/// assert_eq!(resp.len(), 3);
+/// assert!((resp[2].1 + 6.02).abs() < 0.01); // power ÷4 → −6 dB
+/// # Ok(())
+/// # }
+/// ```
+pub fn relative_response(
+    sweep: &[SweepPoint],
+    reference_index: usize,
+) -> Result<Vec<(f64, f64)>, CoreError> {
+    if sweep.is_empty() {
+        return Err(CoreError::InvalidParameter {
+            name: "sweep",
+            reason: "needs at least one point",
+        });
+    }
+    let anchor = sweep.get(reference_index).ok_or(CoreError::InvalidParameter {
+        name: "reference_index",
+        reason: "out of range",
+    })?;
+    if !(anchor.line_power > 0.0) {
+        return Err(CoreError::Degenerate {
+            reason: "reference sweep point carries no line power",
+        });
+    }
+    sweep
+        .iter()
+        .map(|p| {
+            if !(p.line_power > 0.0) || !p.line_power.is_finite() {
+                return Err(CoreError::Degenerate {
+                    reason: "sweep point carries no line power",
+                });
+            }
+            Ok((p.frequency, 10.0 * (p.line_power / anchor.line_power).log10()))
+        })
+        .collect()
+}
+
+/// Locates the −3 dB corner of a relative response by linear
+/// interpolation between the bracketing sweep points.
+///
+/// Assumes a lowpass-shaped response normalized near 0 dB in the
+/// passband; returns `None` when the response never crosses −3 dB.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidParameter`] for an empty response.
+pub fn corner_frequency(response: &[(f64, f64)]) -> Result<Option<f64>, CoreError> {
+    if response.is_empty() {
+        return Err(CoreError::InvalidParameter {
+            name: "response",
+            reason: "needs at least one point",
+        });
+    }
+    const TARGET: f64 = -3.0103; // 10·log10(1/2)
+    for pair in response.windows(2) {
+        let (f1, g1) = pair[0];
+        let (f2, g2) = pair[1];
+        if (g1 - TARGET) * (g2 - TARGET) <= 0.0 && g1 != g2 {
+            let t = (TARGET - g1) / (g2 - g1);
+            return Ok(Some(f1 + t * (f2 - f1)));
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(frequency: f64, line_power: f64) -> SweepPoint {
+        SweepPoint {
+            frequency,
+            line_power,
+        }
+    }
+
+    #[test]
+    fn validation() {
+        assert!(relative_response(&[], 0).is_err());
+        assert!(relative_response(&[point(1.0, 1.0)], 5).is_err());
+        assert!(relative_response(&[point(1.0, 0.0)], 0).is_err());
+        assert!(relative_response(&[point(1.0, 1.0), point(2.0, 0.0)], 0).is_err());
+        assert!(corner_frequency(&[]).is_err());
+    }
+
+    #[test]
+    fn reference_point_is_zero_db() {
+        let resp = relative_response(&[point(100.0, 2.0), point(200.0, 8.0)], 1).unwrap();
+        assert!((resp[1].1).abs() < 1e-12);
+        assert!((resp[0].1 + 6.0206).abs() < 1e-3);
+    }
+
+    #[test]
+    fn corner_interpolation_exact_for_linear_segment() {
+        let resp = vec![(100.0, 0.0), (1_000.0, -6.0206)];
+        let corner = corner_frequency(&resp).unwrap().unwrap();
+        // Linear interpolation in (f, dB): −3.01 dB halfway.
+        assert!((corner - 550.0).abs() < 5.0, "corner {corner}");
+    }
+
+    #[test]
+    fn no_crossing_returns_none() {
+        let resp = vec![(100.0, 0.0), (1_000.0, -1.0)];
+        assert_eq!(corner_frequency(&resp).unwrap(), None);
+    }
+
+    #[test]
+    fn one_pole_response_corner_recovered() {
+        // Synthesize |H(f)|² = 1/(1+(f/fc)²) sampled log-spaced.
+        let fc = 1_000.0;
+        let sweep: Vec<SweepPoint> = (0..30)
+            .map(|i| {
+                let f = 50.0 * 10f64.powf(i as f64 / 10.0);
+                point(f, 1.0 / (1.0 + (f / fc) * (f / fc)))
+            })
+            .collect();
+        let resp = relative_response(&sweep, 0).unwrap();
+        let corner = corner_frequency(&resp).unwrap().unwrap();
+        assert!(
+            (corner - fc).abs() / fc < 0.1,
+            "recovered corner {corner} vs {fc}"
+        );
+    }
+}

@@ -1,0 +1,73 @@
+//! # nfbist-core — noise figure evaluation using a low-cost 1-bit BIST
+//!
+//! This crate is the reproduction of the primary contribution of
+//! Negreiros, Carro & Susin, *"Noise Figure Evaluation Using Low Cost
+//! BIST"* (DATE 2005): estimating the noise figure of an analog circuit
+//! from the bitstream of a single voltage comparator, using a reference
+//! waveform for power normalization and the Y-factor method for the NF
+//! computation.
+//!
+//! * [`figure`] — [`figure::NoiseFactor`] / [`figure::NoiseFigure`]
+//!   types and the Table 1 reference points.
+//! * [`yfactor`] — equations 5–9: Y from hot/cold powers, F from Y.
+//! * [`direct`] — the direct method (eq. 4) and its gain-error
+//!   sensitivity (eq. 10), the weakness that motivates the Y-factor
+//!   BIST.
+//! * [`arcsine`] — the arcsine law (eq. 12) governing the 1-bit
+//!   digitizer, with its linearized small-signal gain.
+//! * [`power_ratio`] — the three power-ratio estimators of Table 2:
+//!   time-domain mean-square, PSD ratio, and the 1-bit PSD ratio with
+//!   reference normalization and exclusion.
+//! * [`normalize`] — the reference-line tracking and spectrum
+//!   normalization procedure of §5.2.
+//! * [`estimator`] — end-to-end helpers gluing a power-ratio estimate to
+//!   a noise-figure number.
+//! * [`uncertainty`] — error propagation: hot-temperature calibration
+//!   error → NF error (the ±0.3 dB guideline), and record-length →
+//!   estimator variance.
+//!
+//! ## Example: the full 1-bit Y-factor estimate
+//!
+//! ```
+//! use nfbist_analog::converter::OneBitDigitizer;
+//! use nfbist_analog::noise::WhiteNoise;
+//! use nfbist_analog::source::{SquareSource, Waveform};
+//! use nfbist_core::power_ratio::OneBitPowerRatio;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let fs = 20_000.0;
+//! let n = 1 << 18;
+//!
+//! // Hot and cold noise, 2:1 power ratio, reference at 3 kHz.
+//! let hot = WhiteNoise::new(1.0, 1)?.generate(n);
+//! let cold = WhiteNoise::new(1.0 / 2f64.sqrt(), 2)?.generate(n);
+//! let reference = SquareSource::new(3_000.0, 0.2)?.generate(n, fs)?;
+//!
+//! let digitizer = OneBitDigitizer::ideal();
+//! let bits_hot = digitizer.digitize(&hot, &reference)?;
+//! let bits_cold = digitizer.digitize(&cold, &reference)?;
+//!
+//! let estimator = OneBitPowerRatio::new(fs, 4096, 3_000.0, (100.0, 1_500.0))?;
+//! let estimate = estimator.estimate(&bits_hot, &bits_cold)?;
+//! assert!((estimate.ratio - 2.0).abs() < 0.2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arcsine;
+pub mod direct;
+pub mod estimator;
+pub mod figure;
+pub mod frequency_response;
+pub mod normalize;
+pub mod power_ratio;
+pub mod snr;
+pub mod uncertainty;
+pub mod yfactor;
+
+mod error;
+
+pub use error::CoreError;

@@ -1,0 +1,301 @@
+//! Reference-line tracking and spectrum normalization (paper §5.2).
+//!
+//! The bitstream PSD loses the absolute power scale (a ±1 stream always
+//! has unit power), but a constant-amplitude reference tone reappears in
+//! it scaled by `√(2/π)·A/σ` — inversely proportional to the noise RMS.
+//! Measuring the reference line in two spectra and rescaling one so the
+//! lines coincide therefore restores the *relative* noise scale, which
+//! is all the Y-factor ratio needs.
+//!
+//! §6 adds the robustness argument: "the normalization process would
+//! track the main frequency component (disregarding harmonics)", so the
+//! tracker here locks onto the fundamental only.
+
+use crate::CoreError;
+use nfbist_dsp::spectrum::Spectrum;
+
+/// A measured reference line in a spectrum.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReferenceLine {
+    /// Bin of the line's peak.
+    pub bin: usize,
+    /// Peak frequency in hertz.
+    pub frequency: f64,
+    /// Total power of the line (main-lobe sum, in the spectrum's power
+    /// units).
+    pub power: f64,
+    /// Bins occupied by the line (to exclude from noise integration).
+    pub bins: Vec<usize>,
+}
+
+/// Configuration for reference tracking.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReferenceTracker {
+    /// Nominal reference frequency in hertz.
+    pub frequency: f64,
+    /// Search window around the nominal frequency, in hertz (the
+    /// low-cost generator may be off-frequency).
+    pub search_window: f64,
+    /// Half-width, in bins, of the line (main lobe plus leakage skirt).
+    pub half_width: usize,
+}
+
+impl ReferenceTracker {
+    /// Creates a tracker for a reference at `frequency` Hz with a
+    /// ±`search_window` Hz search range and a ±`half_width`-bin line
+    /// extent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] for a non-positive
+    /// frequency or negative window.
+    pub fn new(frequency: f64, search_window: f64, half_width: usize) -> Result<Self, CoreError> {
+        if !(frequency > 0.0) || !frequency.is_finite() {
+            return Err(CoreError::InvalidParameter {
+                name: "frequency",
+                reason: "must be positive and finite",
+            });
+        }
+        if !(search_window >= 0.0) || !search_window.is_finite() {
+            return Err(CoreError::InvalidParameter {
+                name: "search_window",
+                reason: "must be non-negative and finite",
+            });
+        }
+        Ok(ReferenceTracker {
+            frequency,
+            search_window,
+            half_width,
+        })
+    }
+
+    /// Locates the reference line in a spectrum: the strongest bin in
+    /// the search window, with the line power summed over the
+    /// configured half-width **after subtracting the local noise
+    /// floor** (estimated from sideband bins flanking the line).
+    ///
+    /// Floor subtraction matters: in the 1-bit bitstream PSD, a weak
+    /// reference line (hot record, large σ) sits barely above the
+    /// floor, and counting the floor as line power destroys the
+    /// normalization — this is the left side of the paper's Fig. 10
+    /// error curve.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Dsp`] wrapping range errors when the search
+    /// band leaves the spectrum, and [`CoreError::Degenerate`] if the
+    /// located line does not rise above the local noise floor.
+    pub fn locate(&self, spectrum: &Spectrum) -> Result<ReferenceLine, CoreError> {
+        let lo = (self.frequency - self.search_window).max(0.0);
+        let hi = (self.frequency + self.search_window).min(spectrum.nyquist());
+        let peak = spectrum.peak_in_band(lo, hi)?;
+        let bins = spectrum.bins_around(peak.frequency, self.half_width)?;
+
+        // Local floor: mean density over sideband annuli on both sides
+        // of the line (each up to 3 line-widths, clipped to the
+        // spectrum).
+        let hw = self.half_width.max(1);
+        let d = spectrum.density();
+        let mut floor_acc = 0.0;
+        let mut floor_n = 0usize;
+        let left_hi = bins[0];
+        let right_lo = *bins.last().expect("bins_around is never empty") + 1;
+        for &v in &d[left_hi.saturating_sub(3 * hw)..left_hi] {
+            floor_acc += v;
+            floor_n += 1;
+        }
+        for &v in &d[right_lo..(right_lo + 3 * hw).min(d.len())] {
+            floor_acc += v;
+            floor_n += 1;
+        }
+        let floor = if floor_n > 0 {
+            floor_acc / floor_n as f64
+        } else {
+            0.0
+        };
+
+        let df = spectrum.resolution();
+        let power: f64 = bins
+            .iter()
+            .map(|&k| (d[k] - floor).max(0.0) * df)
+            .sum();
+        // Reject a "line" indistinguishable from floor fluctuations:
+        // require the summed excess to beat the floor statistics.
+        if !(power > 0.0) || peak.density < 2.0 * floor {
+            return Err(CoreError::Degenerate {
+                reason: "reference line not found above the noise floor",
+            });
+        }
+        Ok(ReferenceLine {
+            bin: peak.bin,
+            frequency: peak.frequency,
+            power,
+            bins,
+        })
+    }
+
+    /// Bins occupied by harmonics `2f, 3f, … n·f` of the located line
+    /// that fall below Nyquist — these must also be excluded from noise
+    /// integration when the reference is a square wave.
+    ///
+    /// # Errors
+    ///
+    /// Propagates range errors from the spectrum.
+    pub fn harmonic_bins(
+        &self,
+        spectrum: &Spectrum,
+        line: &ReferenceLine,
+        max_harmonic: usize,
+    ) -> Result<Vec<usize>, CoreError> {
+        let mut bins = Vec::new();
+        for k in 2..=max_harmonic {
+            let f = line.frequency * k as f64;
+            if f > spectrum.nyquist() {
+                break;
+            }
+            bins.extend(spectrum.bins_around(f, self.half_width)?);
+        }
+        Ok(bins)
+    }
+}
+
+/// The result of normalizing one spectrum against another.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Normalization {
+    /// The scale factor applied to the second spectrum's densities.
+    pub scale: f64,
+    /// Reference line located in the first (anchor) spectrum.
+    pub anchor_line: ReferenceLine,
+    /// Reference line located in the second (rescaled) spectrum.
+    pub scaled_line: ReferenceLine,
+}
+
+/// Rescales `other` so its reference line matches `anchor`'s
+/// (paper §5.2's "simple normalization procedure"), returning the
+/// normalized spectrum and the bookkeeping.
+///
+/// # Errors
+///
+/// Propagates tracking failures from [`ReferenceTracker::locate`].
+///
+/// # Examples
+///
+/// ```
+/// use nfbist_core::normalize::{normalize_to_reference, ReferenceTracker};
+/// use nfbist_dsp::spectrum::Spectrum;
+///
+/// # fn main() -> Result<(), nfbist_core::CoreError> {
+/// // Two flat spectra with a line at bin 8; the second line is 4× weaker.
+/// let mut a = vec![1.0; 17];
+/// let mut b = vec![1.0; 17];
+/// a[8] = 101.0;
+/// b[8] = 26.0; // line 25 vs 100 above the floor of 1
+/// let sa = Spectrum::new(a, 3_200.0, 32)?;
+/// let sb = Spectrum::new(b, 3_200.0, 32)?;
+/// let tracker = ReferenceTracker::new(800.0, 100.0, 0)?;
+/// let (normalized_b, norm) = normalize_to_reference(&sa, &sb, &tracker)?;
+/// // Line excesses above the floor were 100 and 25 → scale 4.
+/// assert!((norm.scale - 4.0).abs() < 1e-9);
+/// assert!((normalized_b.density()[8] - 4.0 * sb.density()[8]).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+pub fn normalize_to_reference(
+    anchor: &Spectrum,
+    other: &Spectrum,
+    tracker: &ReferenceTracker,
+) -> Result<(Spectrum, Normalization), CoreError> {
+    let anchor_line = tracker.locate(anchor)?;
+    let other_line = tracker.locate(other)?;
+    let scale = anchor_line.power / other_line.power;
+    let normalized = other.scaled(scale);
+    Ok((
+        normalized,
+        Normalization {
+            scale,
+            anchor_line,
+            scaled_line: other_line,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spectrum_with_line(floor: f64, line_bin: usize, line_density: f64) -> Spectrum {
+        let mut d = vec![floor; 65];
+        d[line_bin] += line_density;
+        Spectrum::new(d, 12_800.0, 128).unwrap() // Δf = 100 Hz
+    }
+
+    #[test]
+    fn tracker_validation() {
+        assert!(ReferenceTracker::new(0.0, 10.0, 1).is_err());
+        assert!(ReferenceTracker::new(100.0, -1.0, 1).is_err());
+        assert!(ReferenceTracker::new(100.0, 0.0, 1).is_ok());
+    }
+
+    #[test]
+    fn locate_finds_offset_reference() {
+        // Nominal 3 kHz but the line actually sits at 3.1 kHz (bin 31).
+        let s = spectrum_with_line(0.01, 31, 50.0);
+        let tracker = ReferenceTracker::new(3_000.0, 200.0, 1).unwrap();
+        let line = tracker.locate(&s).unwrap();
+        assert_eq!(line.bin, 31);
+        assert_eq!(line.frequency, 3_100.0);
+        assert_eq!(line.bins, vec![30, 31, 32]);
+        // Floor-subtracted power: 50.0 × 100 Hz = 5000.
+        assert!((line.power - 5_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn locate_rejects_window_with_no_line() {
+        let s = spectrum_with_line(0.01, 40, 50.0); // line at 4 kHz
+        let tracker = ReferenceTracker::new(3_000.0, 200.0, 1).unwrap();
+        // Only floor inside the 3 kHz window → degenerate.
+        assert!(matches!(
+            tracker.locate(&s),
+            Err(CoreError::Degenerate { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_spectrum_is_degenerate() {
+        let s = Spectrum::new(vec![0.0; 65], 12_800.0, 128).unwrap();
+        let tracker = ReferenceTracker::new(3_000.0, 200.0, 1).unwrap();
+        assert!(matches!(
+            tracker.locate(&s),
+            Err(CoreError::Degenerate { .. })
+        ));
+    }
+
+    #[test]
+    fn harmonics_enumerated_below_nyquist() {
+        let s = spectrum_with_line(0.01, 20, 50.0); // fundamental 2 kHz
+        let tracker = ReferenceTracker::new(2_000.0, 100.0, 0).unwrap();
+        let line = tracker.locate(&s).unwrap();
+        // Nyquist is 6.4 kHz: harmonics at 4 and 6 kHz fit; 8 kHz does
+        // not.
+        let bins = tracker.harmonic_bins(&s, &line, 5).unwrap();
+        assert_eq!(bins, vec![40, 60]);
+    }
+
+    #[test]
+    fn normalization_restores_relative_scale() {
+        // Simulate the bitstream situation: equal floors, different
+        // line strengths (hot noise → weaker line).
+        let hot = spectrum_with_line(1.0, 30, 10.0);
+        let cold = spectrum_with_line(1.0, 30, 40.0);
+        let tracker = ReferenceTracker::new(3_000.0, 100.0, 0).unwrap();
+        let (cold_norm, norm) = normalize_to_reference(&hot, &cold, &tracker).unwrap();
+        // Floor-subtracted line excesses: 10 vs 40 → scale 0.25.
+        assert!((norm.scale - 0.25).abs() < 1e-9);
+        // Floors now differ by the same factor.
+        let hot_floor = hot.density()[5];
+        let cold_floor = cold_norm.density()[5];
+        assert!((cold_floor / hot_floor - norm.scale).abs() < 1e-12);
+        assert_eq!(norm.anchor_line.bin, 30);
+        assert_eq!(norm.scaled_line.bin, 30);
+    }
+}

@@ -1,0 +1,240 @@
+//! Uncertainty analysis for the Y-factor BIST.
+//!
+//! Paper §4.2 cites the companion analysis (\[6\], ETS'04): "even large
+//! errors like 5 % in the hot temperature can still provide useful
+//! measurements … if an error of ±0.3 dB is acceptable (for noise
+//! figures of 3 dB and 10 dB)". This module reproduces that propagation
+//! analytically, plus the finite-record variance of the power-ratio
+//! estimate.
+
+use crate::figure::NoiseFactor;
+use crate::yfactor;
+use crate::CoreError;
+
+/// NF error (dB) caused by a fractional hot-temperature calibration
+/// error: the source actually emits `Th·(1+δ)` but the Y-factor
+/// computation believes `Th`.
+///
+/// Returns `NF_reported − NF_true` in dB.
+///
+/// # Errors
+///
+/// Propagates Y-factor equation errors for non-physical inputs.
+///
+/// # Examples
+///
+/// ```
+/// use nfbist_core::figure::NoiseFigure;
+/// use nfbist_core::uncertainty::nf_error_from_hot_uncertainty;
+///
+/// # fn main() -> Result<(), nfbist_core::CoreError> {
+/// // The paper's guideline: 5 % hot error keeps |ΔNF| within 0.3 dB
+/// // for NF of 3 and 10 dB.
+/// for nf_db in [3.0, 10.0] {
+///     let f = NoiseFigure::from_db(nf_db)?.to_factor();
+///     let err = nf_error_from_hot_uncertainty(f, 2_900.0, 290.0, 0.05)?;
+///     assert!(err.abs() <= 0.3, "NF {nf_db}: error {err}");
+/// }
+/// # Ok(())
+/// # }
+/// ```
+pub fn nf_error_from_hot_uncertainty(
+    true_factor: NoiseFactor,
+    hot_kelvin: f64,
+    cold_kelvin: f64,
+    hot_error_fraction: f64,
+) -> Result<f64, CoreError> {
+    if !hot_error_fraction.is_finite() || hot_error_fraction <= -1.0 {
+        return Err(CoreError::InvalidParameter {
+            name: "hot_error_fraction",
+            reason: "must be finite and above -1",
+        });
+    }
+    let emitted_hot = hot_kelvin * (1.0 + hot_error_fraction);
+    // The physics: Y reflects the emitted temperature.
+    let y_actual = yfactor::expected_y(true_factor, emitted_hot, cold_kelvin)?;
+    // The computation: eq. 8 with the declared temperature.
+    let reported = yfactor::noise_factor_from_temperatures(y_actual, hot_kelvin, cold_kelvin)?;
+    Ok(reported.to_figure().db() - true_factor.to_figure().db())
+}
+
+/// Relative standard deviation of a noise-power estimate from `n`
+/// independent Gaussian samples: `std(P̂)/P = √(2/n)`.
+///
+/// For band-limited noise observed at a higher sample rate, pass the
+/// effective independent-sample count `≈ 2·B·T`.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidParameter`] for `n == 0`.
+pub fn power_estimate_relative_std(n: usize) -> Result<f64, CoreError> {
+    if n == 0 {
+        return Err(CoreError::InvalidParameter {
+            name: "n",
+            reason: "need at least one sample",
+        });
+    }
+    Ok((2.0 / n as f64).sqrt())
+}
+
+/// Approximate standard deviation of the NF estimate (dB) for a finite
+/// acquisition: propagates the Y-ratio variance through eq. 8 by the
+/// delta method.
+///
+/// * `true_factor` — the DUT's noise factor.
+/// * `hot_kelvin`, `cold_kelvin` — source temperatures.
+/// * `n_effective` — independent samples per record (`≈ 2·B·T`).
+///
+/// # Errors
+///
+/// Propagates parameter errors.
+///
+/// # Examples
+///
+/// ```
+/// use nfbist_core::figure::NoiseFactor;
+/// use nfbist_core::uncertainty::nf_std_from_record_length;
+///
+/// # fn main() -> Result<(), nfbist_core::CoreError> {
+/// let f = NoiseFactor::new(10.0)?;
+/// let long = nf_std_from_record_length(f, 2_900.0, 290.0, 1_000_000)?;
+/// let short = nf_std_from_record_length(f, 2_900.0, 290.0, 10_000)?;
+/// assert!(long < short / 5.0); // 100× samples → 10× tighter
+/// # Ok(())
+/// # }
+/// ```
+pub fn nf_std_from_record_length(
+    true_factor: NoiseFactor,
+    hot_kelvin: f64,
+    cold_kelvin: f64,
+    n_effective: usize,
+) -> Result<f64, CoreError> {
+    let y = yfactor::expected_y(true_factor, hot_kelvin, cold_kelvin)?;
+    // Var of ln(Y) ≈ 2/n + 2/n (hot and cold records independent).
+    let rel_y = (2.0 * 2.0 / n_effective as f64).sqrt();
+    // dF/dY from eq. 8: F = (a − Y·b)/(Y−1), a = Th/T0 − 1,
+    // b = Tc/T0 − 1 ⇒ dF/dY = (b − a)/(Y−1)².
+    let a = hot_kelvin / yfactor::T0 - 1.0;
+    let b = cold_kelvin / yfactor::T0 - 1.0;
+    let dfdy = (b - a) / ((y - 1.0) * (y - 1.0));
+    let sigma_f = dfdy.abs() * rel_y * y;
+    // Convert to dB around the true factor.
+    let f = true_factor.value();
+    Ok(10.0 / std::f64::consts::LN_10 * sigma_f / f)
+}
+
+/// Scans the NF error over a grid of hot-temperature error fractions —
+/// the data behind an uncertainty plot.
+///
+/// Returns `(fraction, nf_error_db)` pairs.
+///
+/// # Errors
+///
+/// Propagates per-point errors.
+pub fn hot_uncertainty_sweep(
+    true_factor: NoiseFactor,
+    hot_kelvin: f64,
+    cold_kelvin: f64,
+    fractions: &[f64],
+) -> Result<Vec<(f64, f64)>, CoreError> {
+    fractions
+        .iter()
+        .map(|&frac| {
+            nf_error_from_hot_uncertainty(true_factor, hot_kelvin, cold_kelvin, frac)
+                .map(|e| (frac, e))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figure::NoiseFigure;
+
+    #[test]
+    fn validation() {
+        let f = NoiseFactor::new(2.0).unwrap();
+        assert!(nf_error_from_hot_uncertainty(f, 2900.0, 290.0, -1.0).is_err());
+        assert!(nf_error_from_hot_uncertainty(f, 2900.0, 290.0, f64::NAN).is_err());
+        assert!(power_estimate_relative_std(0).is_err());
+    }
+
+    #[test]
+    fn zero_error_means_zero_bias() {
+        let f = NoiseFactor::new(4.2).unwrap();
+        let e = nf_error_from_hot_uncertainty(f, 2900.0, 290.0, 0.0).unwrap();
+        assert!(e.abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_guideline_5_percent_within_0_3_db() {
+        // The claim the paper imports from [6].
+        for nf_db in [3.0, 10.0] {
+            let f = NoiseFigure::from_db(nf_db).unwrap().to_factor();
+            for frac in [-0.05, 0.05] {
+                let e = nf_error_from_hot_uncertainty(f, 2900.0, 290.0, frac).unwrap();
+                assert!(e.abs() <= 0.3, "NF {nf_db} frac {frac}: {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn error_sign_is_opposite_to_hot_error_sign() {
+        // The source emits hotter than declared → the measured Y rises
+        // → eq. 8 (using the declared Th) attributes the extra power to
+        // a quieter DUT → the reported NF is *lower* than the truth.
+        let f = NoiseFactor::new(2.0).unwrap();
+        let over = nf_error_from_hot_uncertainty(f, 2900.0, 290.0, 0.05).unwrap();
+        let under = nf_error_from_hot_uncertainty(f, 2900.0, 290.0, -0.05).unwrap();
+        assert!(over < 0.0, "over {over}");
+        assert!(under > 0.0, "under {under}");
+    }
+
+    #[test]
+    fn quieter_duts_are_more_sensitive_to_source_error() {
+        // With a fixed ENR, a low-NF DUT leaves less margin: the same
+        // 5 % source error moves its NF estimate more in dB? Verify
+        // monotonic behaviour numerically rather than asserting a
+        // direction by intuition.
+        let f3 = NoiseFigure::from_db(3.0).unwrap().to_factor();
+        let f10 = NoiseFigure::from_db(10.0).unwrap().to_factor();
+        let e3 = nf_error_from_hot_uncertainty(f3, 2900.0, 290.0, 0.05)
+            .unwrap()
+            .abs();
+        let e10 = nf_error_from_hot_uncertainty(f10, 2900.0, 290.0, 0.05)
+            .unwrap()
+            .abs();
+        // Both are within the paper's envelope and nonzero.
+        assert!(e3 > 0.0 && e10 > 0.0);
+        assert!(e3 <= 0.3 && e10 <= 0.3);
+    }
+
+    #[test]
+    fn power_estimate_scaling() {
+        let a = power_estimate_relative_std(100).unwrap();
+        let b = power_estimate_relative_std(10_000).unwrap();
+        assert!((a / b - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn record_length_variance_reasonable_scale() {
+        // 10⁶ samples over a 1 kHz band at 20 kHz sampling →
+        // n_eff = 2·B·T = 2·1000·50 = 10⁵.
+        let f = NoiseFigure::from_db(10.0).unwrap().to_factor();
+        let s = nf_std_from_record_length(f, 2900.0, 290.0, 100_000).unwrap();
+        assert!(s > 0.001 && s < 0.5, "σ_NF {s} dB");
+    }
+
+    #[test]
+    fn sweep_produces_grid() {
+        let f = NoiseFactor::new(2.0).unwrap();
+        let grid = [-0.05, 0.0, 0.05];
+        let pts = hot_uncertainty_sweep(f, 2900.0, 290.0, &grid).unwrap();
+        assert_eq!(pts.len(), 3);
+        assert_eq!(pts[1], (0.0, pts[1].1));
+        assert!(pts[1].1.abs() < 1e-9);
+        // Monotonically decreasing in the error fraction (see the sign
+        // test above).
+        assert!(pts[0].1 > pts[1].1 && pts[1].1 > pts[2].1);
+    }
+}

@@ -1,0 +1,242 @@
+//! The Y-factor method (paper §3.2, eqs. 5–9).
+//!
+//! Two measurements of DUT output noise power — with the source hot
+//! (`Nh`) and cold (`Nc`) — give `Y = Nh/Nc` (eq. 5). Because the DUT's
+//! own added noise `Na` appears in both (eqs. 6–7), the noise factor
+//! follows as
+//!
+//! `F = ((Th/T0 − 1) − Y·(Tc/T0 − 1)) / (Y − 1)`   (eq. 8)
+//!
+//! with the power form eq. 9 substituting normalized powers for
+//! temperatures.
+
+use crate::figure::NoiseFactor;
+use crate::CoreError;
+
+/// Reference temperature T₀ = 290 K used by eqs. 8–9.
+pub const T0: f64 = 290.0;
+
+/// Computes `Y = Nh / Nc` from the two measured powers (eq. 5).
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidParameter`] for non-positive powers and
+/// [`CoreError::Degenerate`] when `Nh ≤ Nc` (the hot measurement must
+/// carry more power).
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), nfbist_core::CoreError> {
+/// let y = nfbist_core::yfactor::y_from_powers(3.4866, 1.0)?;
+/// assert!((y - 3.4866).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn y_from_powers(hot_power: f64, cold_power: f64) -> Result<f64, CoreError> {
+    if !(hot_power > 0.0) || !(cold_power > 0.0) {
+        return Err(CoreError::InvalidParameter {
+            name: "power",
+            reason: "powers must be positive",
+        });
+    }
+    if hot_power <= cold_power {
+        return Err(CoreError::Degenerate {
+            reason: "hot power does not exceed cold power",
+        });
+    }
+    Ok(hot_power / cold_power)
+}
+
+/// Solves eq. 8 for the noise factor given `Y` and the source
+/// temperatures in kelvin.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidParameter`] for non-physical
+/// temperatures, [`CoreError::Degenerate`] for `Y ≤ 1` (the equation is
+/// singular at Y = 1) or an estimate below the physical limit.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), nfbist_core::CoreError> {
+/// // Table 2's simulation: Th = 10000 K, Tc = 1000 K, Y = 3.4866
+/// // must recover F ≈ 10.03 (NF ≈ 10.01 dB).
+/// let f = nfbist_core::yfactor::noise_factor_from_temperatures(3.4866, 10_000.0, 1_000.0)?;
+/// assert!((f.value() - 10.03).abs() < 0.01);
+/// # Ok(())
+/// # }
+/// ```
+pub fn noise_factor_from_temperatures(
+    y: f64,
+    hot_kelvin: f64,
+    cold_kelvin: f64,
+) -> Result<NoiseFactor, CoreError> {
+    if !(hot_kelvin > cold_kelvin) || !(cold_kelvin >= 0.0) {
+        return Err(CoreError::InvalidParameter {
+            name: "temperatures",
+            reason: "requires hot > cold >= 0",
+        });
+    }
+    if !(y > 1.0) || !y.is_finite() {
+        return Err(CoreError::Degenerate {
+            reason: "y factor must exceed 1 for the method to be solvable",
+        });
+    }
+    let f = ((hot_kelvin / T0 - 1.0) - y * (cold_kelvin / T0 - 1.0)) / (y - 1.0);
+    NoiseFactor::from_estimate(f, 0.2)
+}
+
+/// Eq. 9: the power form, where `hot_norm = Nh/N0` and
+/// `cold_norm = Nc/N0` are the measured powers normalized to the
+/// reference power `N0 = k·T0·B·G`.
+///
+/// # Errors
+///
+/// Same as [`noise_factor_from_temperatures`].
+pub fn noise_factor_from_normalized_powers(
+    y: f64,
+    hot_norm: f64,
+    cold_norm: f64,
+) -> Result<NoiseFactor, CoreError> {
+    if !(hot_norm > cold_norm) || !(cold_norm >= 0.0) {
+        return Err(CoreError::InvalidParameter {
+            name: "normalized powers",
+            reason: "requires hot > cold >= 0",
+        });
+    }
+    if !(y > 1.0) || !y.is_finite() {
+        return Err(CoreError::Degenerate {
+            reason: "y factor must exceed 1 for the method to be solvable",
+        });
+    }
+    let f = ((hot_norm - 1.0) - y * (cold_norm - 1.0)) / (y - 1.0);
+    NoiseFactor::from_estimate(f, 0.2)
+}
+
+/// Forward model: the `Y` a DUT with noise factor `f` produces for
+/// given source temperatures (inverting eq. 8).
+///
+/// `Y = (Th + Te) / (Tc + Te)` with `Te = (F−1)·T0`.
+///
+/// Useful for generating ground truth in tests and experiments.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidParameter`] for non-physical
+/// temperatures.
+///
+/// # Examples
+///
+/// ```
+/// use nfbist_core::figure::NoiseFactor;
+/// use nfbist_core::yfactor::{expected_y, noise_factor_from_temperatures};
+///
+/// # fn main() -> Result<(), nfbist_core::CoreError> {
+/// let f = NoiseFactor::new(10.0)?;
+/// let y = expected_y(f, 10_000.0, 1_000.0)?;
+/// // Round-trips through eq. 8.
+/// let back = noise_factor_from_temperatures(y, 10_000.0, 1_000.0)?;
+/// assert!((back.value() - 10.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+pub fn expected_y(f: NoiseFactor, hot_kelvin: f64, cold_kelvin: f64) -> Result<f64, CoreError> {
+    if !(hot_kelvin > cold_kelvin) || !(cold_kelvin >= 0.0) {
+        return Err(CoreError::InvalidParameter {
+            name: "temperatures",
+            reason: "requires hot > cold >= 0",
+        });
+    }
+    let te = f.equivalent_temperature();
+    Ok((hot_kelvin + te) / (cold_kelvin + te))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn y_from_powers_validation() {
+        assert!(y_from_powers(0.0, 1.0).is_err());
+        assert!(y_from_powers(1.0, -1.0).is_err());
+        assert!(y_from_powers(1.0, 2.0).is_err());
+        assert!(y_from_powers(1.0, 1.0).is_err());
+        assert!((y_from_powers(4.0, 2.0).unwrap() - 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn temperature_form_validation() {
+        assert!(noise_factor_from_temperatures(2.0, 290.0, 290.0).is_err());
+        assert!(noise_factor_from_temperatures(2.0, 290.0, -5.0).is_err());
+        assert!(noise_factor_from_temperatures(1.0, 2900.0, 290.0).is_err());
+        assert!(noise_factor_from_temperatures(0.5, 2900.0, 290.0).is_err());
+        assert!(noise_factor_from_temperatures(f64::NAN, 2900.0, 290.0).is_err());
+    }
+
+    #[test]
+    fn paper_table2_row() {
+        // Table 2, mean-square row: Y = 3.4866 → F = 10.03, NF = 10.01.
+        let f = noise_factor_from_temperatures(3.4866, 10_000.0, 1_000.0).unwrap();
+        assert!((f.value() - 10.03).abs() < 0.01, "F {}", f.value());
+        assert!((f.to_figure().db() - 10.01).abs() < 0.01);
+        // PSD row: Y = 3.4766 → F = 10.08, NF = 10.03.
+        let f = noise_factor_from_temperatures(3.4766, 10_000.0, 1_000.0).unwrap();
+        assert!((f.value() - 10.08).abs() < 0.01);
+        // 1-bit row: Y = 3.5620 → F = 9.66, NF = 9.85.
+        let f = noise_factor_from_temperatures(3.5620, 10_000.0, 1_000.0).unwrap();
+        assert!((f.value() - 9.66).abs() < 0.01);
+        assert!((f.to_figure().db() - 9.85).abs() < 0.01);
+    }
+
+    #[test]
+    fn cold_at_reference_simplifies() {
+        // With Tc = T0 the correction term vanishes:
+        // F = (Th/T0 − 1)/(Y − 1) = ENR_lin/(Y−1).
+        let th = 2900.0;
+        let y = 4.0;
+        let f = noise_factor_from_temperatures(y, th, 290.0).unwrap();
+        assert!((f.value() - (th / T0 - 1.0) / (y - 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn forward_model_roundtrip_over_grid() {
+        for nf_db in [0.5, 3.0, 6.5, 10.1, 16.2] {
+            let f = crate::figure::NoiseFigure::from_db(nf_db).unwrap().to_factor();
+            for (th, tc) in [(2900.0, 290.0), (10_000.0, 1_000.0), (1_000.0, 77.0)] {
+                let y = expected_y(f, th, tc).unwrap();
+                let back = noise_factor_from_temperatures(y, th, tc).unwrap();
+                assert!(
+                    (back.value() - f.value()).abs() / f.value() < 1e-9,
+                    "nf {nf_db} th {th} tc {tc}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn normalized_power_form_matches_temperature_form() {
+        // Eq. 9 with Nh/N0 = Th/T0 etc. reduces to eq. 8.
+        let (th, tc) = (10_000.0, 1_000.0);
+        let y = 3.4866;
+        let a = noise_factor_from_temperatures(y, th, tc).unwrap();
+        let b = noise_factor_from_normalized_powers(y, th / T0, tc / T0).unwrap();
+        assert!((a.value() - b.value()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn higher_y_means_quieter_dut() {
+        let (th, tc) = (2900.0, 290.0);
+        let quiet = noise_factor_from_temperatures(5.0, th, tc).unwrap();
+        let noisy = noise_factor_from_temperatures(2.0, th, tc).unwrap();
+        assert!(quiet.value() < noisy.value());
+    }
+
+    #[test]
+    fn noiseless_dut_yields_temperature_ratio() {
+        let f = NoiseFactor::NOISELESS;
+        let y = expected_y(f, 2900.0, 290.0).unwrap();
+        assert!((y - 10.0).abs() < 1e-12);
+    }
+}

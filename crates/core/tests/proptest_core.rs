@@ -1,0 +1,156 @@
+//! Property-based tests for the estimation core: the Y-factor algebra,
+//! arcsine-law identities and figure conversions must hold over the
+//! whole physical parameter space.
+
+use nfbist_core::arcsine;
+use nfbist_core::direct;
+use nfbist_core::figure::{NoiseFactor, NoiseFigure};
+use nfbist_core::uncertainty;
+use nfbist_core::yfactor;
+use proptest::prelude::*;
+
+/// Strategy over physical noise factors (1 … 1000, i.e. NF 0–30 dB).
+fn noise_factor() -> impl Strategy<Value = NoiseFactor> {
+    (1.0f64..1000.0).prop_map(|f| NoiseFactor::new(f).unwrap())
+}
+
+/// Strategy over hot/cold temperature pairs with a usable ENR.
+fn temperature_pair() -> impl Strategy<Value = (f64, f64)> {
+    (300.0f64..20_000.0, 10.0f64..290.0).prop_map(|(th, tc)| (th.max(tc * 2.0), tc))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn yfactor_roundtrip_over_physical_space(f in noise_factor(), temps in temperature_pair()) {
+        let (th, tc) = temps;
+        let y = yfactor::expected_y(f, th, tc).unwrap();
+        prop_assert!(y > 1.0);
+        let back = yfactor::noise_factor_from_temperatures(y, th, tc).unwrap();
+        prop_assert!((back.value() - f.value()).abs() / f.value() < 1e-6);
+    }
+
+    #[test]
+    fn y_decreases_as_dut_gets_noisier(temps in temperature_pair(), f1 in 1.0f64..100.0, k in 1.01f64..10.0) {
+        let (th, tc) = temps;
+        let quiet = NoiseFactor::new(f1).unwrap();
+        let noisy = NoiseFactor::new(f1 * k).unwrap();
+        let y_quiet = yfactor::expected_y(quiet, th, tc).unwrap();
+        let y_noisy = yfactor::expected_y(noisy, th, tc).unwrap();
+        prop_assert!(y_noisy < y_quiet);
+    }
+
+    #[test]
+    fn y_is_bounded_by_temperature_ratio(f in noise_factor(), temps in temperature_pair()) {
+        let (th, tc) = temps;
+        let y = yfactor::expected_y(f, th, tc).unwrap();
+        // F = 1 gives the maximum Y = Th/Tc; added noise only compresses it.
+        prop_assert!(y <= th / tc + 1e-9);
+    }
+
+    #[test]
+    fn figure_factor_roundtrip(db in 0.0f64..40.0) {
+        let f = NoiseFigure::from_db(db).unwrap().to_factor();
+        prop_assert!((f.to_figure().db() - db).abs() < 1e-9);
+    }
+
+    #[test]
+    fn equivalent_temperature_is_monotone(f1 in 1.0f64..500.0, delta in 0.01f64..500.0) {
+        let a = NoiseFactor::new(f1).unwrap();
+        let b = NoiseFactor::new(f1 + delta).unwrap();
+        prop_assert!(b.equivalent_temperature() > a.equivalent_temperature());
+    }
+
+    #[test]
+    fn arcsine_roundtrip(rho in -1.0f64..1.0) {
+        let out = arcsine::arcsine_law(rho).unwrap();
+        prop_assert!(out.abs() <= 1.0 + 1e-12);
+        let back = arcsine::arcsine_law_inverse(out).unwrap();
+        prop_assert!((back - rho).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arcsine_is_odd_and_monotone(rho in 0.0f64..1.0) {
+        let pos = arcsine::arcsine_law(rho).unwrap();
+        let neg = arcsine::arcsine_law(-rho).unwrap();
+        prop_assert!((pos + neg).abs() < 1e-12);
+        // |arcsine| ≥ linearized value (the law expands correlations).
+        prop_assert!(pos >= arcsine::SMALL_SIGNAL_GAIN * rho - 1e-12);
+    }
+
+    #[test]
+    fn direct_method_gain_error_is_multiplicative(
+        f in 1.0f64..100.0,
+        err in -0.5f64..0.5,
+    ) {
+        // The reported factor clamps at the physical limit; stay above
+        // the clamp tolerance so the multiplicative identity applies.
+        prop_assume!(f * (1.0 + err) * (1.0 + err) >= 0.6);
+        let truth = NoiseFactor::new(f).unwrap();
+        let reported = direct::reported_factor_with_gain_error(truth, err).unwrap();
+        let expected = f * (1.0 + err) * (1.0 + err);
+        prop_assert!((reported.value() - expected.max(1.0)).abs() < 1e-9 * expected);
+    }
+
+    #[test]
+    fn direct_nf_error_matches_closed_form(err in -0.3f64..0.5) {
+        let truth = NoiseFactor::new(50.0).unwrap();
+        let reported = direct::reported_factor_with_gain_error(truth, err).unwrap();
+        let delta = reported.to_figure().db() - truth.to_figure().db();
+        prop_assert!((delta - direct::nf_error_db_for_gain_error(err)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hot_uncertainty_error_is_zero_only_at_zero(
+        f in 1.5f64..50.0,
+        frac in -0.3f64..0.3,
+    ) {
+        let truth = NoiseFactor::new(f).unwrap();
+        let e = uncertainty::nf_error_from_hot_uncertainty(truth, 2_900.0, 290.0, frac).unwrap();
+        if frac.abs() < 1e-12 {
+            prop_assert!(e.abs() < 1e-9);
+        } else {
+            // Error sign is opposite to the calibration error sign.
+            prop_assert!(e * frac < 0.0, "frac {frac} err {e}");
+        }
+    }
+
+    #[test]
+    fn larger_records_never_increase_estimator_std(
+        f in 1.5f64..50.0,
+        n in 100usize..100_000,
+        k in 2usize..10,
+    ) {
+        let truth = NoiseFactor::new(f).unwrap();
+        let small = uncertainty::nf_std_from_record_length(truth, 2_900.0, 290.0, n).unwrap();
+        let large = uncertainty::nf_std_from_record_length(truth, 2_900.0, 290.0, n * k).unwrap();
+        prop_assert!(large <= small + 1e-15);
+    }
+
+    #[test]
+    fn y_from_powers_is_scale_invariant(
+        hot in 1.0f64..1e6,
+        ratio in 1.001f64..100.0,
+        scale in 1e-6f64..1e6,
+    ) {
+        let cold = hot / ratio;
+        let y1 = yfactor::y_from_powers(hot, cold).unwrap();
+        let y2 = yfactor::y_from_powers(hot * scale, cold * scale).unwrap();
+        prop_assert!((y1 - y2).abs() < 1e-9 * y1);
+    }
+
+    #[test]
+    fn normalized_power_form_equals_temperature_form(
+        f in 1.0f64..100.0,
+        temps in temperature_pair(),
+    ) {
+        let (th, tc) = temps;
+        let factor = NoiseFactor::new(f).unwrap();
+        let y = yfactor::expected_y(factor, th, tc).unwrap();
+        let a = yfactor::noise_factor_from_temperatures(y, th, tc).unwrap();
+        let b = yfactor::noise_factor_from_normalized_powers(y, th / yfactor::T0, tc / yfactor::T0)
+            .unwrap();
+        prop_assert!((a.value() - b.value()).abs() < 1e-9 * a.value());
+    }
+}

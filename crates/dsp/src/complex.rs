@@ -1,0 +1,336 @@
+//! Minimal complex arithmetic used by the FFT implementations.
+//!
+//! The reproduction avoids external numeric crates, so this module provides
+//! the small subset of complex operations an FFT needs: addition,
+//! subtraction, multiplication, conjugation, magnitude and `e^{jθ}`
+//! construction.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A double-precision complex number.
+///
+/// # Examples
+///
+/// ```
+/// use nfbist_dsp::complex::Complex64;
+///
+/// let a = Complex64::new(1.0, 2.0);
+/// let b = Complex64::new(3.0, -1.0);
+/// let c = a * b;
+/// assert_eq!(c, Complex64::new(5.0, 5.0));
+/// assert!((Complex64::from_polar(2.0, 0.0).re - 2.0).abs() < 1e-15);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex64 {
+    /// The additive identity `0 + 0j`.
+    pub const ZERO: Complex64 = Complex64 { re: 0.0, im: 0.0 };
+    /// The multiplicative identity `1 + 0j`.
+    pub const ONE: Complex64 = Complex64 { re: 1.0, im: 0.0 };
+    /// The imaginary unit `0 + 1j`.
+    pub const I: Complex64 = Complex64 { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from rectangular coordinates.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex64 { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use nfbist_dsp::complex::Complex64;
+    /// assert_eq!(Complex64::from_real(2.5).im, 0.0);
+    /// ```
+    #[inline]
+    pub const fn from_real(re: f64) -> Self {
+        Complex64 { re, im: 0.0 }
+    }
+
+    /// Creates a complex number from polar coordinates `r·e^{jθ}`.
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        Complex64 {
+            re: r * theta.cos(),
+            im: r * theta.sin(),
+        }
+    }
+
+    /// Returns `e^{jθ}` — a unit phasor at angle `theta` radians.
+    ///
+    /// This is the twiddle-factor constructor used by the FFTs.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        Self::from_polar(1.0, theta)
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Complex64 {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Squared magnitude `re² + im²`.
+    ///
+    /// Prefer this over [`Complex64::abs`] when only relative magnitudes
+    /// matter; it avoids a square root.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude `|z|`.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Argument (phase angle) in radians, in `(-π, π]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Multiplies by a real scalar.
+    #[inline]
+    pub fn scale(self, k: f64) -> Self {
+        Complex64 {
+            re: self.re * k,
+            im: self.im * k,
+        }
+    }
+
+    /// Reciprocal `1/z`.
+    ///
+    /// Returns infinities when `z` is zero, mirroring `f64` division.
+    #[inline]
+    pub fn recip(self) -> Self {
+        let d = self.norm_sqr();
+        Complex64 {
+            re: self.re / d,
+            im: -self.im / d,
+        }
+    }
+
+    /// Returns `true` if either component is NaN.
+    #[inline]
+    pub fn is_nan(self) -> bool {
+        self.re.is_nan() || self.im.is_nan()
+    }
+}
+
+impl From<f64> for Complex64 {
+    fn from(re: f64) -> Self {
+        Complex64::from_real(re)
+    }
+}
+
+impl Add for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn add(self, rhs: Complex64) -> Complex64 {
+        Complex64::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for Complex64 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Complex64) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn sub(self, rhs: Complex64) -> Complex64 {
+        Complex64::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl SubAssign for Complex64 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Complex64) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl Mul for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, rhs: Complex64) -> Complex64 {
+        Complex64::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl MulAssign for Complex64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Complex64) {
+        *self = *self * rhs;
+    }
+}
+
+impl Mul<f64> for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, rhs: f64) -> Complex64 {
+        self.scale(rhs)
+    }
+}
+
+impl Div for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // division via reciprocal multiply
+    fn div(self, rhs: Complex64) -> Complex64 {
+        self * rhs.recip()
+    }
+}
+
+impl Div<f64> for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn div(self, rhs: f64) -> Complex64 {
+        Complex64::new(self.re / rhs, self.im / rhs)
+    }
+}
+
+impl Neg for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn neg(self) -> Complex64 {
+        Complex64::new(-self.re, -self.im)
+    }
+}
+
+impl Sum for Complex64 {
+    fn sum<I: Iterator<Item = Complex64>>(iter: I) -> Complex64 {
+        iter.fold(Complex64::ZERO, |acc, z| acc + z)
+    }
+}
+
+impl fmt::Display for Complex64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}j", self.re, self.im)
+        } else {
+            write!(f, "{}{}j", self.re, self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn construction_and_constants() {
+        assert_eq!(Complex64::ZERO + Complex64::ONE, Complex64::ONE);
+        assert_eq!(Complex64::I * Complex64::I, Complex64::new(-1.0, 0.0));
+        assert_eq!(Complex64::from(3.0), Complex64::new(3.0, 0.0));
+    }
+
+    #[test]
+    fn polar_roundtrip() {
+        let z = Complex64::from_polar(2.0, PI / 3.0);
+        assert!((z.abs() - 2.0).abs() < EPS);
+        assert!((z.arg() - PI / 3.0).abs() < EPS);
+    }
+
+    #[test]
+    fn cis_is_unit_magnitude() {
+        for k in 0..16 {
+            let theta = 2.0 * PI * k as f64 / 16.0;
+            assert!((Complex64::cis(theta).abs() - 1.0).abs() < EPS);
+        }
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = Complex64::new(1.5, -0.5);
+        let b = Complex64::new(-2.0, 4.0);
+        assert_eq!(a + b, b + a);
+        assert_eq!(a * b, b * a);
+        assert_eq!(a - a, Complex64::ZERO);
+        let q = a / b;
+        let back = q * b;
+        assert!((back - a).abs() < EPS);
+    }
+
+    #[test]
+    fn conjugate_properties() {
+        let a = Complex64::new(3.0, 4.0);
+        assert_eq!(a.conj().conj(), a);
+        assert!((a * a.conj()).im.abs() < EPS);
+        assert!(((a * a.conj()).re - a.norm_sqr()).abs() < EPS);
+        assert_eq!(a.norm_sqr(), 25.0);
+        assert_eq!(a.abs(), 5.0);
+    }
+
+    #[test]
+    fn recip_inverts() {
+        let a = Complex64::new(0.3, -0.7);
+        let p = a * a.recip();
+        assert!((p - Complex64::ONE).abs() < EPS);
+    }
+
+    #[test]
+    fn assign_operators() {
+        let mut a = Complex64::new(1.0, 1.0);
+        a += Complex64::new(1.0, -1.0);
+        assert_eq!(a, Complex64::new(2.0, 0.0));
+        a -= Complex64::new(1.0, 0.0);
+        assert_eq!(a, Complex64::ONE);
+        a *= Complex64::new(0.0, 2.0);
+        assert_eq!(a, Complex64::new(0.0, 2.0));
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let zs = [Complex64::new(1.0, 2.0), Complex64::new(3.0, -1.0)];
+        let s: Complex64 = zs.iter().copied().sum();
+        assert_eq!(s, Complex64::new(4.0, 1.0));
+    }
+
+    #[test]
+    fn scalar_ops() {
+        let a = Complex64::new(1.0, -2.0);
+        assert_eq!(a * 2.0, Complex64::new(2.0, -4.0));
+        assert_eq!(a / 2.0, Complex64::new(0.5, -1.0));
+        assert_eq!(-a, Complex64::new(-1.0, 2.0));
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        assert_eq!(Complex64::new(1.0, 2.0).to_string(), "1+2j");
+        assert_eq!(Complex64::new(1.0, -2.0).to_string(), "1-2j");
+    }
+
+    #[test]
+    fn nan_detection() {
+        assert!(Complex64::new(f64::NAN, 0.0).is_nan());
+        assert!(Complex64::new(0.0, f64::NAN).is_nan());
+        assert!(!Complex64::ONE.is_nan());
+    }
+}

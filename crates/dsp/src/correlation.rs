@@ -1,0 +1,270 @@
+//! Auto- and cross-correlation estimators.
+//!
+//! The arcsine law (paper eq. 12) relates the autocorrelation of the
+//! 1-bit digitizer output to that of its Gaussian input; the core crate
+//! verifies this property using these estimators.
+
+use crate::complex::Complex64;
+use crate::fft::Fft;
+use crate::DspError;
+
+/// Normalization convention for correlation estimates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Bias {
+    /// Divide every lag by `N` (biased; the spectral-factorization
+    /// convention — guarantees a positive-semidefinite sequence).
+    Biased,
+    /// Divide lag `k` by `N-k` (unbiased but higher variance at large
+    /// lags).
+    Unbiased,
+}
+
+/// Autocorrelation of `x` for lags `0..=max_lag` (direct `O(N·L)` form).
+///
+/// # Errors
+///
+/// Returns [`DspError::EmptyInput`] for an empty buffer and
+/// [`DspError::InvalidParameter`] if `max_lag >= x.len()`.
+///
+/// # Examples
+///
+/// ```
+/// use nfbist_dsp::correlation::{autocorrelation, Bias};
+///
+/// # fn main() -> Result<(), nfbist_dsp::DspError> {
+/// let x = [1.0, -1.0, 1.0, -1.0];
+/// let r = autocorrelation(&x, 1, Bias::Biased)?;
+/// assert_eq!(r[0], 1.0);        // lag 0: mean square
+/// assert_eq!(r[1], -0.75);      // alternating signal anti-correlates
+/// # Ok(())
+/// # }
+/// ```
+pub fn autocorrelation(x: &[f64], max_lag: usize, bias: Bias) -> Result<Vec<f64>, DspError> {
+    if x.is_empty() {
+        return Err(DspError::EmptyInput {
+            context: "autocorrelation",
+        });
+    }
+    if max_lag >= x.len() {
+        return Err(DspError::InvalidParameter {
+            name: "max_lag",
+            reason: "must be smaller than the input length",
+        });
+    }
+    let n = x.len();
+    let mut out = Vec::with_capacity(max_lag + 1);
+    for lag in 0..=max_lag {
+        let mut acc = 0.0;
+        for i in 0..n - lag {
+            acc += x[i] * x[i + lag];
+        }
+        let denom = match bias {
+            Bias::Biased => n as f64,
+            Bias::Unbiased => (n - lag) as f64,
+        };
+        out.push(acc / denom);
+    }
+    Ok(out)
+}
+
+/// Cross-correlation `R_xy[k] = Σ x[i]·y[i+k]` for lags `0..=max_lag`.
+///
+/// # Errors
+///
+/// Returns [`DspError::EmptyInput`] for empty buffers,
+/// [`DspError::LengthMismatch`] if the buffers differ in length, and
+/// [`DspError::InvalidParameter`] if `max_lag >= x.len()`.
+pub fn cross_correlation(
+    x: &[f64],
+    y: &[f64],
+    max_lag: usize,
+    bias: Bias,
+) -> Result<Vec<f64>, DspError> {
+    if x.is_empty() || y.is_empty() {
+        return Err(DspError::EmptyInput {
+            context: "cross_correlation",
+        });
+    }
+    if x.len() != y.len() {
+        return Err(DspError::LengthMismatch {
+            expected: x.len(),
+            actual: y.len(),
+            context: "cross_correlation",
+        });
+    }
+    if max_lag >= x.len() {
+        return Err(DspError::InvalidParameter {
+            name: "max_lag",
+            reason: "must be smaller than the input length",
+        });
+    }
+    let n = x.len();
+    let mut out = Vec::with_capacity(max_lag + 1);
+    for lag in 0..=max_lag {
+        let mut acc = 0.0;
+        for i in 0..n - lag {
+            acc += x[i] * y[i + lag];
+        }
+        let denom = match bias {
+            Bias::Biased => n as f64,
+            Bias::Unbiased => (n - lag) as f64,
+        };
+        out.push(acc / denom);
+    }
+    Ok(out)
+}
+
+/// FFT-based biased autocorrelation for lags `0..=max_lag` in
+/// `O(N log N)`; numerically equivalent to
+/// `autocorrelation(x, max_lag, Bias::Biased)`.
+///
+/// # Errors
+///
+/// Same as [`autocorrelation`].
+pub fn autocorrelation_fft(x: &[f64], max_lag: usize) -> Result<Vec<f64>, DspError> {
+    if x.is_empty() {
+        return Err(DspError::EmptyInput {
+            context: "autocorrelation_fft",
+        });
+    }
+    if max_lag >= x.len() {
+        return Err(DspError::InvalidParameter {
+            name: "max_lag",
+            reason: "must be smaller than the input length",
+        });
+    }
+    let n = x.len();
+    // Zero-pad to at least 2N to make the circular convolution linear.
+    let m = (2 * n).next_power_of_two();
+    let fft = Fft::new(m)?;
+    let mut buf: Vec<Complex64> = x
+        .iter()
+        .map(|&v| Complex64::from_real(v))
+        .chain(std::iter::repeat(Complex64::ZERO))
+        .take(m)
+        .collect();
+    fft.forward_in_place(&mut buf)?;
+    for z in &mut buf {
+        *z = Complex64::from_real(z.norm_sqr());
+    }
+    fft.inverse_in_place(&mut buf)?;
+    Ok((0..=max_lag).map(|k| buf[k].re / n as f64).collect())
+}
+
+/// Normalized autocorrelation `ρ[k] = R[k]/R[0]` (biased, FFT-based).
+///
+/// This is the quantity inside the arcsine in paper eq. 12.
+///
+/// # Errors
+///
+/// Same as [`autocorrelation`], plus [`DspError::InvalidParameter`] when
+/// the zero-lag power is zero.
+pub fn normalized_autocorrelation(x: &[f64], max_lag: usize) -> Result<Vec<f64>, DspError> {
+    let r = autocorrelation_fft(x, max_lag)?;
+    let r0 = r[0];
+    if r0 == 0.0 {
+        return Err(DspError::InvalidParameter {
+            name: "x",
+            reason: "normalized autocorrelation undefined for zero-power signal",
+        });
+    }
+    Ok(r.iter().map(|v| v / r0).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn empty_and_bad_lag_rejected() {
+        assert!(autocorrelation(&[], 0, Bias::Biased).is_err());
+        assert!(autocorrelation(&[1.0, 2.0], 2, Bias::Biased).is_err());
+        assert!(autocorrelation_fft(&[], 0).is_err());
+        assert!(autocorrelation_fft(&[1.0], 1).is_err());
+        assert!(cross_correlation(&[1.0], &[], 0, Bias::Biased).is_err());
+        assert!(cross_correlation(&[1.0, 2.0], &[1.0], 0, Bias::Biased).is_err());
+    }
+
+    #[test]
+    fn lag_zero_is_mean_square() {
+        let x = [1.0, 2.0, 3.0];
+        let r = autocorrelation(&x, 0, Bias::Biased).unwrap();
+        assert!((r[0] - 14.0 / 3.0).abs() < 1e-12);
+        let r = autocorrelation(&x, 0, Bias::Unbiased).unwrap();
+        assert!((r[0] - 14.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unbiased_matches_hand_computation() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let r = autocorrelation(&x, 2, Bias::Unbiased).unwrap();
+        // lag1: (1·2+2·3+3·4)/3 = 20/3; lag2: (1·3+2·4)/2 = 5.5.
+        assert!((r[1] - 20.0 / 3.0).abs() < 1e-12);
+        assert!((r[2] - 5.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fft_matches_direct() {
+        let x: Vec<f64> = (0..200).map(|j| (j as f64 * 0.37).sin() + 0.1).collect();
+        let direct = autocorrelation(&x, 50, Bias::Biased).unwrap();
+        let fast = autocorrelation_fft(&x, 50).unwrap();
+        for (a, b) in direct.iter().zip(&fast) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn sinusoid_autocorrelation_is_cosine() {
+        // R[k] of A·sin(ωn+φ) tends to (A²/2)·cos(ωk).
+        let n = 100_000;
+        let omega = 2.0 * PI * 0.05;
+        let x: Vec<f64> = (0..n).map(|j| 2.0 * (omega * j as f64).sin()).collect();
+        let r = autocorrelation_fft(&x, 40).unwrap();
+        for (k, v) in r.iter().enumerate() {
+            let expect = 2.0 * (omega * k as f64).cos();
+            assert!((v - expect).abs() < 0.01, "lag {k}: {v} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn normalized_autocorrelation_bounds() {
+        let x: Vec<f64> = (0..5000)
+            .map(|j| (j as f64 * 1.7).sin() + 0.3 * (j as f64 * 0.9).cos())
+            .collect();
+        let rho = normalized_autocorrelation(&x, 100).unwrap();
+        assert!((rho[0] - 1.0).abs() < 1e-12);
+        for v in &rho {
+            assert!(v.abs() <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn normalized_zero_power_rejected() {
+        assert!(normalized_autocorrelation(&[0.0; 16], 4).is_err());
+    }
+
+    #[test]
+    fn cross_correlation_detects_shift() {
+        // y is x delayed by 3 → R_xy peaks at lag 3.
+        let n = 2000;
+        let mut state: u64 = 99;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let x: Vec<f64> = (0..n).map(|_| next()).collect();
+        let mut y = vec![0.0; n];
+        y[3..n].copy_from_slice(&x[..n - 3]);
+        let r = cross_correlation(&x, &y, 10, Bias::Biased).unwrap();
+        let best = r
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(best, 3);
+    }
+}

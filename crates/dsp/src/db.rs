@@ -1,0 +1,138 @@
+//! Decibel conversions for power and amplitude quantities.
+//!
+//! Noise-figure work constantly moves between linear ratios and dB; the
+//! paper's equations 1–3 are exactly these conversions. Keeping them in one
+//! well-tested place avoids the classic 10·log₁₀ vs 20·log₁₀ mixups.
+
+/// Converts a linear **power** ratio to decibels (`10·log₁₀`).
+///
+/// This is the conversion in eq. 3 of the paper, `NF = 10·log₁₀(F)`.
+///
+/// # Examples
+///
+/// ```
+/// use nfbist_dsp::db::power_ratio_to_db;
+/// assert!((power_ratio_to_db(10.0) - 10.0).abs() < 1e-12);
+/// assert!((power_ratio_to_db(2.0) - 3.0103).abs() < 1e-3);
+/// ```
+#[inline]
+pub fn power_ratio_to_db(ratio: f64) -> f64 {
+    10.0 * ratio.log10()
+}
+
+/// Converts decibels back to a linear **power** ratio (`10^{dB/10}`).
+///
+/// # Examples
+///
+/// ```
+/// use nfbist_dsp::db::db_to_power_ratio;
+/// assert!((db_to_power_ratio(3.0103) - 2.0).abs() < 1e-4);
+/// ```
+#[inline]
+pub fn db_to_power_ratio(db: f64) -> f64 {
+    10f64.powf(db / 10.0)
+}
+
+/// Converts a linear **amplitude** (voltage) ratio to decibels
+/// (`20·log₁₀`).
+///
+/// # Examples
+///
+/// ```
+/// use nfbist_dsp::db::amplitude_ratio_to_db;
+/// assert!((amplitude_ratio_to_db(10.0) - 20.0).abs() < 1e-12);
+/// ```
+#[inline]
+pub fn amplitude_ratio_to_db(ratio: f64) -> f64 {
+    20.0 * ratio.log10()
+}
+
+/// Converts decibels back to a linear **amplitude** ratio (`10^{dB/20}`).
+#[inline]
+pub fn db_to_amplitude_ratio(db: f64) -> f64 {
+    10f64.powf(db / 20.0)
+}
+
+/// Signal-to-noise ratio in dB from signal and noise **powers**
+/// (mean-square values), per eq. 1 of the paper.
+///
+/// # Examples
+///
+/// ```
+/// use nfbist_dsp::db::snr_db;
+/// // Equal powers → 0 dB; 100× power → 20 dB.
+/// assert!(snr_db(1.0, 1.0).abs() < 1e-12);
+/// assert!((snr_db(100.0, 1.0) - 20.0).abs() < 1e-12);
+/// ```
+#[inline]
+pub fn snr_db(signal_power: f64, noise_power: f64) -> f64 {
+    power_ratio_to_db(signal_power / noise_power)
+}
+
+/// Converts a power in watts to dBm (decibels relative to 1 mW).
+///
+/// # Examples
+///
+/// ```
+/// use nfbist_dsp::db::watts_to_dbm;
+/// assert!(watts_to_dbm(1e-3).abs() < 1e-12);
+/// assert!((watts_to_dbm(1.0) - 30.0).abs() < 1e-12);
+/// ```
+#[inline]
+pub fn watts_to_dbm(watts: f64) -> f64 {
+    power_ratio_to_db(watts / 1e-3)
+}
+
+/// Converts dBm back to watts.
+#[inline]
+pub fn dbm_to_watts(dbm: f64) -> f64 {
+    db_to_power_ratio(dbm) * 1e-3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_db_roundtrip() {
+        for ratio in [0.01, 0.5, 1.0, 2.0, 10.0, 1e6] {
+            let back = db_to_power_ratio(power_ratio_to_db(ratio));
+            assert!((back - ratio).abs() / ratio < 1e-12);
+        }
+    }
+
+    #[test]
+    fn amplitude_db_roundtrip() {
+        for ratio in [0.1, 1.0, 3.0, 100.0] {
+            let back = db_to_amplitude_ratio(amplitude_ratio_to_db(ratio));
+            assert!((back - ratio).abs() / ratio < 1e-12);
+        }
+    }
+
+    #[test]
+    fn amplitude_is_twice_power_db() {
+        for r in [0.25, 2.0, 7.0] {
+            assert!((amplitude_ratio_to_db(r) - 2.0 * power_ratio_to_db(r)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn paper_table1_values() {
+        // Table 1: NF 0 dB ↔ F=1, 3 dB ↔ F≈2, 10 dB ↔ F=10.
+        assert!(power_ratio_to_db(1.0).abs() < 1e-12);
+        assert!((power_ratio_to_db(2.0) - 3.0).abs() < 0.02);
+        assert!((power_ratio_to_db(10.0) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dbm_roundtrip() {
+        for w in [1e-6, 1e-3, 0.5, 2.0] {
+            assert!((dbm_to_watts(watts_to_dbm(w)) - w).abs() / w < 1e-12);
+        }
+    }
+
+    #[test]
+    fn snr_of_zero_noise_is_infinite() {
+        assert!(snr_db(1.0, 0.0).is_infinite());
+    }
+}

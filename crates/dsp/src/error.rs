@@ -1,0 +1,124 @@
+use std::fmt;
+
+/// Error type returned by all fallible operations in this crate.
+///
+/// # Examples
+///
+/// ```
+/// use nfbist_dsp::fft::Fft;
+///
+/// let err = Fft::new(0).unwrap_err();
+/// assert!(err.to_string().contains("fft size"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DspError {
+    /// The requested FFT size is invalid (zero, or not supported by the
+    /// selected algorithm).
+    InvalidFftSize {
+        /// The offending size.
+        size: usize,
+        /// Why the size was rejected.
+        reason: &'static str,
+    },
+    /// An input buffer had an unexpected length.
+    LengthMismatch {
+        /// What the operation expected.
+        expected: usize,
+        /// What it received.
+        actual: usize,
+        /// The operation that failed.
+        context: &'static str,
+    },
+    /// A buffer was empty where at least one sample is required.
+    EmptyInput {
+        /// The operation that failed.
+        context: &'static str,
+    },
+    /// A numeric parameter was outside its valid domain.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Human-readable constraint description.
+        reason: &'static str,
+    },
+    /// A requested frequency lies outside the representable range
+    /// (negative, or above Nyquist).
+    FrequencyOutOfRange {
+        /// The requested frequency in hertz.
+        frequency: f64,
+        /// The Nyquist frequency in hertz.
+        nyquist: f64,
+    },
+}
+
+impl fmt::Display for DspError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DspError::InvalidFftSize { size, reason } => {
+                write!(f, "invalid fft size {size}: {reason}")
+            }
+            DspError::LengthMismatch {
+                expected,
+                actual,
+                context,
+            } => write!(
+                f,
+                "length mismatch in {context}: expected {expected}, got {actual}"
+            ),
+            DspError::EmptyInput { context } => {
+                write!(f, "empty input in {context}")
+            }
+            DspError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter {name}: {reason}")
+            }
+            DspError::FrequencyOutOfRange { frequency, nyquist } => write!(
+                f,
+                "frequency {frequency} Hz out of range (nyquist {nyquist} Hz)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DspError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let cases: Vec<DspError> = vec![
+            DspError::InvalidFftSize {
+                size: 3,
+                reason: "not a power of two",
+            },
+            DspError::LengthMismatch {
+                expected: 8,
+                actual: 7,
+                context: "forward",
+            },
+            DspError::EmptyInput { context: "mean" },
+            DspError::InvalidParameter {
+                name: "overlap",
+                reason: "must be in [0, 1)",
+            },
+            DspError::FrequencyOutOfRange {
+                frequency: 9000.0,
+                nyquist: 8000.0,
+            },
+        ];
+        for err in cases {
+            let msg = err.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+            assert!(!msg.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DspError>();
+    }
+}

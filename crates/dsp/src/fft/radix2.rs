@@ -1,0 +1,110 @@
+//! Iterative radix-2 Cooley–Tukey kernel shared by [`super::Fft`] and
+//! [`super::ArbitraryFft`].
+
+use crate::complex::Complex64;
+
+/// Precomputes the first `n/2` forward twiddle factors
+/// `W_n^k = e^{-j2πk/n}`.
+pub(crate) fn make_twiddles(n: usize) -> Vec<Complex64> {
+    let half = n / 2;
+    (0..half)
+        .map(|k| Complex64::cis(-2.0 * std::f64::consts::PI * k as f64 / n as f64))
+        .collect()
+}
+
+/// Precomputes the bit-reversal permutation for size `n` (a power of two).
+pub(crate) fn make_bit_reversal(n: usize) -> Vec<u32> {
+    let bits = n.trailing_zeros();
+    (0..n)
+        .map(|i| {
+            if bits == 0 {
+                0
+            } else {
+                (i as u32).reverse_bits() >> (32 - bits)
+            }
+        })
+        .collect()
+}
+
+/// In-place radix-2 decimation-in-time transform.
+///
+/// `inverse` selects conjugated twiddles; scaling is the caller's job.
+pub(crate) fn transform(
+    buf: &mut [Complex64],
+    twiddles: &[Complex64],
+    bit_rev: &[u32],
+    inverse: bool,
+) {
+    let n = buf.len();
+    debug_assert!(n.is_power_of_two());
+    debug_assert_eq!(bit_rev.len(), n);
+
+    // Bit-reversal permutation.
+    for (i, &rev) in bit_rev.iter().enumerate() {
+        let j = rev as usize;
+        if j > i {
+            buf.swap(i, j);
+        }
+    }
+
+    // Butterflies.
+    let mut len = 2;
+    while len <= n {
+        let half = len / 2;
+        let stride = n / len;
+        for start in (0..n).step_by(len) {
+            for k in 0..half {
+                let mut w = twiddles[k * stride];
+                if inverse {
+                    w = w.conj();
+                }
+                let a = buf[start + k];
+                let b = buf[start + k + half] * w;
+                buf[start + k] = a + b;
+                buf[start + k + half] = a - b;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_reversal_of_eight() {
+        assert_eq!(make_bit_reversal(8), vec![0, 4, 2, 6, 1, 5, 3, 7]);
+    }
+
+    #[test]
+    fn bit_reversal_is_an_involution() {
+        for n in [2usize, 16, 64] {
+            let rev = make_bit_reversal(n);
+            for (i, &r) in rev.iter().enumerate() {
+                assert_eq!(rev[r as usize] as usize, i);
+            }
+        }
+    }
+
+    #[test]
+    fn twiddles_are_unit_roots() {
+        let tw = make_twiddles(16);
+        assert_eq!(tw.len(), 8);
+        for (k, w) in tw.iter().enumerate() {
+            assert!((w.abs() - 1.0).abs() < 1e-14);
+            let expected = Complex64::cis(-2.0 * std::f64::consts::PI * k as f64 / 16.0);
+            assert!((*w - expected).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn size_two_butterfly() {
+        let tw = make_twiddles(2);
+        let rev = make_bit_reversal(2);
+        let mut buf = [Complex64::new(1.0, 0.0), Complex64::new(2.0, 0.0)];
+        transform(&mut buf, &tw, &rev, false);
+        assert!((buf[0] - Complex64::new(3.0, 0.0)).abs() < 1e-14);
+        assert!((buf[1] - Complex64::new(-1.0, 0.0)).abs() < 1e-14);
+    }
+}

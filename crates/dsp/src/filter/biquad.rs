@@ -1,0 +1,281 @@
+//! Second-order IIR sections (biquads) in direct form II transposed.
+
+use crate::DspError;
+
+/// Normalized biquad coefficients (`a0 == 1`).
+///
+/// Transfer function:
+/// `H(z) = (b0 + b1·z⁻¹ + b2·z⁻²) / (1 + a1·z⁻¹ + a2·z⁻²)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BiquadCoefficients {
+    /// Feed-forward coefficient b0.
+    pub b0: f64,
+    /// Feed-forward coefficient b1.
+    pub b1: f64,
+    /// Feed-forward coefficient b2.
+    pub b2: f64,
+    /// Feedback coefficient a1.
+    pub a1: f64,
+    /// Feedback coefficient a2.
+    pub a2: f64,
+}
+
+impl BiquadCoefficients {
+    /// RBJ cookbook lowpass with cutoff `fc` and quality `q` at sample
+    /// rate `fs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::FrequencyOutOfRange`] unless `0 < fc < fs/2`
+    /// and [`DspError::InvalidParameter`] for non-positive `q`.
+    pub fn lowpass(fc: f64, q: f64, fs: f64) -> Result<Self, DspError> {
+        Self::validate(fc, q, fs)?;
+        let w0 = 2.0 * std::f64::consts::PI * fc / fs;
+        let alpha = w0.sin() / (2.0 * q);
+        let cw = w0.cos();
+        let a0 = 1.0 + alpha;
+        Ok(BiquadCoefficients {
+            b0: (1.0 - cw) / 2.0 / a0,
+            b1: (1.0 - cw) / a0,
+            b2: (1.0 - cw) / 2.0 / a0,
+            a1: -2.0 * cw / a0,
+            a2: (1.0 - alpha) / a0,
+        })
+    }
+
+    /// RBJ cookbook highpass.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`BiquadCoefficients::lowpass`].
+    pub fn highpass(fc: f64, q: f64, fs: f64) -> Result<Self, DspError> {
+        Self::validate(fc, q, fs)?;
+        let w0 = 2.0 * std::f64::consts::PI * fc / fs;
+        let alpha = w0.sin() / (2.0 * q);
+        let cw = w0.cos();
+        let a0 = 1.0 + alpha;
+        Ok(BiquadCoefficients {
+            b0: (1.0 + cw) / 2.0 / a0,
+            b1: -(1.0 + cw) / a0,
+            b2: (1.0 + cw) / 2.0 / a0,
+            a1: -2.0 * cw / a0,
+            a2: (1.0 - alpha) / a0,
+        })
+    }
+
+    /// RBJ cookbook constant-peak bandpass (peak gain = Q).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`BiquadCoefficients::lowpass`].
+    pub fn bandpass(fc: f64, q: f64, fs: f64) -> Result<Self, DspError> {
+        Self::validate(fc, q, fs)?;
+        let w0 = 2.0 * std::f64::consts::PI * fc / fs;
+        let alpha = w0.sin() / (2.0 * q);
+        let cw = w0.cos();
+        let a0 = 1.0 + alpha;
+        Ok(BiquadCoefficients {
+            b0: alpha / a0,
+            b1: 0.0,
+            b2: -alpha / a0,
+            a1: -2.0 * cw / a0,
+            a2: (1.0 - alpha) / a0,
+        })
+    }
+
+    /// Identity (pass-through) section.
+    pub fn identity() -> Self {
+        BiquadCoefficients {
+            b0: 1.0,
+            b1: 0.0,
+            b2: 0.0,
+            a1: 0.0,
+            a2: 0.0,
+        }
+    }
+
+    fn validate(fc: f64, q: f64, fs: f64) -> Result<(), DspError> {
+        if !(fs > 0.0) {
+            return Err(DspError::InvalidParameter {
+                name: "fs",
+                reason: "must be positive",
+            });
+        }
+        if fc <= 0.0 || fc >= fs / 2.0 {
+            return Err(DspError::FrequencyOutOfRange {
+                frequency: fc,
+                nyquist: fs / 2.0,
+            });
+        }
+        if !(q > 0.0) {
+            return Err(DspError::InvalidParameter {
+                name: "q",
+                reason: "must be positive",
+            });
+        }
+        Ok(())
+    }
+
+    /// Magnitude response at `f` Hz for sample rate `fs`.
+    pub fn magnitude_at(&self, f: f64, fs: f64) -> f64 {
+        let w = 2.0 * std::f64::consts::PI * f / fs;
+        let num_re = self.b0 + self.b1 * w.cos() + self.b2 * (2.0 * w).cos();
+        let num_im = -self.b1 * w.sin() - self.b2 * (2.0 * w).sin();
+        let den_re = 1.0 + self.a1 * w.cos() + self.a2 * (2.0 * w).cos();
+        let den_im = -self.a1 * w.sin() - self.a2 * (2.0 * w).sin();
+        (num_re.hypot(num_im)) / (den_re.hypot(den_im))
+    }
+
+    /// `true` if both poles are inside the unit circle.
+    pub fn is_stable(&self) -> bool {
+        // Jury criterion for a monic quadratic z² + a1·z + a2.
+        self.a2 < 1.0 && (self.a1.abs() - 1.0) < self.a2
+    }
+}
+
+/// A stateful biquad section (direct form II transposed).
+///
+/// # Examples
+///
+/// ```
+/// use nfbist_dsp::filter::{Biquad, BiquadCoefficients};
+///
+/// # fn main() -> Result<(), nfbist_dsp::DspError> {
+/// let mut bq = Biquad::new(BiquadCoefficients::lowpass(1000.0, 0.707, 48_000.0)?);
+/// let y = bq.process(1.0);
+/// assert!(y.is_finite());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Biquad {
+    coeffs: BiquadCoefficients,
+    s1: f64,
+    s2: f64,
+}
+
+impl Biquad {
+    /// Creates a section with zeroed state.
+    pub fn new(coeffs: BiquadCoefficients) -> Self {
+        Biquad {
+            coeffs,
+            s1: 0.0,
+            s2: 0.0,
+        }
+    }
+
+    /// The section's coefficients.
+    pub fn coefficients(&self) -> &BiquadCoefficients {
+        &self.coeffs
+    }
+
+    /// Processes one sample.
+    #[inline]
+    pub fn process(&mut self, x: f64) -> f64 {
+        let c = &self.coeffs;
+        let y = c.b0 * x + self.s1;
+        self.s1 = c.b1 * x - c.a1 * y + self.s2;
+        self.s2 = c.b2 * x - c.a2 * y;
+        y
+    }
+
+    /// Processes a buffer in place.
+    pub fn process_buffer(&mut self, x: &mut [f64]) {
+        for v in x {
+            *v = self.process(*v);
+        }
+    }
+
+    /// Resets the internal state to zero.
+    pub fn reset(&mut self) {
+        self.s1 = 0.0;
+        self.s2 = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coefficient_validation() {
+        assert!(BiquadCoefficients::lowpass(0.0, 0.7, 48e3).is_err());
+        assert!(BiquadCoefficients::lowpass(24e3, 0.7, 48e3).is_err());
+        assert!(BiquadCoefficients::lowpass(1e3, 0.0, 48e3).is_err());
+        assert!(BiquadCoefficients::lowpass(1e3, 0.7, 0.0).is_err());
+        assert!(BiquadCoefficients::lowpass(1e3, 0.7, 48e3).is_ok());
+    }
+
+    #[test]
+    fn lowpass_dc_gain_is_unity() {
+        let c = BiquadCoefficients::lowpass(1000.0, 0.707, 48_000.0).unwrap();
+        assert!((c.magnitude_at(0.0, 48_000.0) - 1.0).abs() < 1e-9);
+        assert!(c.magnitude_at(20_000.0, 48_000.0) < 0.01);
+        assert!(c.is_stable());
+    }
+
+    #[test]
+    fn highpass_blocks_dc() {
+        let c = BiquadCoefficients::highpass(1000.0, 0.707, 48_000.0).unwrap();
+        assert!(c.magnitude_at(0.0, 48_000.0) < 1e-9);
+        assert!((c.magnitude_at(20_000.0, 48_000.0) - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn bandpass_peaks_at_center() {
+        let fs = 48_000.0;
+        let c = BiquadCoefficients::bandpass(2000.0, 5.0, fs).unwrap();
+        let peak = c.magnitude_at(2000.0, fs);
+        assert!(peak > c.magnitude_at(500.0, fs));
+        assert!(peak > c.magnitude_at(8000.0, fs));
+    }
+
+    #[test]
+    fn butterworth_q_gives_minus_3db_at_cutoff() {
+        let fs = 48_000.0;
+        let fc = 3000.0;
+        let c = BiquadCoefficients::lowpass(fc, std::f64::consts::FRAC_1_SQRT_2, fs).unwrap();
+        let g = c.magnitude_at(fc, fs);
+        assert!((g - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-6, "gain {g}");
+    }
+
+    #[test]
+    fn identity_passes_through() {
+        let mut bq = Biquad::new(BiquadCoefficients::identity());
+        for v in [1.0, -2.0, 0.5] {
+            assert_eq!(bq.process(v), v);
+        }
+    }
+
+    #[test]
+    fn dc_step_settles_to_unity_for_lowpass() {
+        let mut bq = Biquad::new(BiquadCoefficients::lowpass(100.0, 0.707, 10_000.0).unwrap());
+        let mut y = 0.0;
+        for _ in 0..10_000 {
+            y = bq.process(1.0);
+        }
+        assert!((y - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut bq = Biquad::new(BiquadCoefficients::lowpass(100.0, 0.707, 10_000.0).unwrap());
+        bq.process(1.0);
+        bq.reset();
+        let fresh = Biquad::new(*bq.coefficients());
+        assert_eq!(bq, fresh);
+    }
+
+    #[test]
+    fn stability_check() {
+        let unstable = BiquadCoefficients {
+            b0: 1.0,
+            b1: 0.0,
+            b2: 0.0,
+            a1: 0.0,
+            a2: 1.5,
+        };
+        assert!(!unstable.is_stable());
+        assert!(BiquadCoefficients::identity().is_stable());
+    }
+}

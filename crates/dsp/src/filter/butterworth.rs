@@ -1,0 +1,198 @@
+//! Butterworth filters of arbitrary even order as biquad cascades.
+
+use crate::filter::{Biquad, BiquadCoefficients};
+use crate::DspError;
+
+/// A Butterworth lowpass/highpass of even order, realized as cascaded
+/// RBJ biquads with the classic Butterworth pole-Q distribution.
+///
+/// The analog simulator uses these to model amplifier bandwidth (a
+/// first-order dominant pole is approximated by a 2nd-order section with
+/// high Q margin) and to shape band-limited noise.
+///
+/// # Examples
+///
+/// ```
+/// use nfbist_dsp::filter::ButterworthFilter;
+///
+/// # fn main() -> Result<(), nfbist_dsp::DspError> {
+/// let mut lp = ButterworthFilter::lowpass(4, 1000.0, 20_000.0)?;
+/// let mut x: Vec<f64> = vec![1.0; 64];
+/// lp.process_buffer(&mut x);
+/// assert!(x.iter().all(|v| v.is_finite()));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ButterworthFilter {
+    sections: Vec<Biquad>,
+    order: usize,
+    cutoff: f64,
+    sample_rate: f64,
+}
+
+impl ButterworthFilter {
+    /// Designs an even-order lowpass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::InvalidParameter`] for odd or zero order, and
+    /// frequency-validation errors from the biquad designer.
+    pub fn lowpass(order: usize, cutoff: f64, sample_rate: f64) -> Result<Self, DspError> {
+        let qs = Self::pole_qs(order)?;
+        let sections = qs
+            .into_iter()
+            .map(|q| BiquadCoefficients::lowpass(cutoff, q, sample_rate).map(Biquad::new))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ButterworthFilter {
+            sections,
+            order,
+            cutoff,
+            sample_rate,
+        })
+    }
+
+    /// Designs an even-order highpass.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ButterworthFilter::lowpass`].
+    pub fn highpass(order: usize, cutoff: f64, sample_rate: f64) -> Result<Self, DspError> {
+        let qs = Self::pole_qs(order)?;
+        let sections = qs
+            .into_iter()
+            .map(|q| BiquadCoefficients::highpass(cutoff, q, sample_rate).map(Biquad::new))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ButterworthFilter {
+            sections,
+            order,
+            cutoff,
+            sample_rate,
+        })
+    }
+
+    /// Q values of the Butterworth pole pairs for an even order:
+    /// `Q_k = 1 / (2·sin((2k+1)π/2N))`.
+    fn pole_qs(order: usize) -> Result<Vec<f64>, DspError> {
+        if order == 0 || !order.is_multiple_of(2) {
+            return Err(DspError::InvalidParameter {
+                name: "order",
+                reason: "must be a positive even number",
+            });
+        }
+        Ok((0..order / 2)
+            .map(|k| {
+                let theta = (2 * k + 1) as f64 * std::f64::consts::PI / (2.0 * order as f64);
+                1.0 / (2.0 * theta.sin())
+            })
+            .collect())
+    }
+
+    /// Filter order.
+    pub fn order(&self) -> usize {
+        self.order
+    }
+
+    /// Cutoff frequency in hertz.
+    pub fn cutoff(&self) -> f64 {
+        self.cutoff
+    }
+
+    /// Processes one sample through the cascade.
+    #[inline]
+    pub fn process(&mut self, x: f64) -> f64 {
+        self.sections.iter_mut().fold(x, |v, s| s.process(v))
+    }
+
+    /// Processes a buffer in place.
+    pub fn process_buffer(&mut self, x: &mut [f64]) {
+        for v in x {
+            *v = self.process(*v);
+        }
+    }
+
+    /// Resets all section states.
+    pub fn reset(&mut self) {
+        for s in &mut self.sections {
+            s.reset();
+        }
+    }
+
+    /// Cascade magnitude response at `f` Hz.
+    pub fn magnitude_at(&self, f: f64) -> f64 {
+        self.sections
+            .iter()
+            .map(|s| s.coefficients().magnitude_at(f, self.sample_rate))
+            .product()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn order_validation() {
+        assert!(ButterworthFilter::lowpass(0, 1e3, 48e3).is_err());
+        assert!(ButterworthFilter::lowpass(3, 1e3, 48e3).is_err());
+        assert!(ButterworthFilter::lowpass(2, 1e3, 48e3).is_ok());
+        assert!(ButterworthFilter::lowpass(8, 1e3, 48e3).is_ok());
+    }
+
+    #[test]
+    fn pole_q_of_second_order_is_butterworth() {
+        let qs = ButterworthFilter::pole_qs(2).unwrap();
+        assert_eq!(qs.len(), 1);
+        assert!((qs[0] - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn minus_3db_at_cutoff_for_any_order() {
+        let fs = 48_000.0;
+        let fc = 2000.0;
+        for order in [2usize, 4, 6, 8] {
+            let f = ButterworthFilter::lowpass(order, fc, fs).unwrap();
+            let g = f.magnitude_at(fc);
+            assert!(
+                (g - std::f64::consts::FRAC_1_SQRT_2).abs() < 0.01,
+                "order {order}: cutoff gain {g}"
+            );
+        }
+    }
+
+    #[test]
+    fn rolloff_steepens_with_order() {
+        let fs = 48_000.0;
+        let fc = 1000.0;
+        let g2 = ButterworthFilter::lowpass(2, fc, fs).unwrap().magnitude_at(4000.0);
+        let g6 = ButterworthFilter::lowpass(6, fc, fs).unwrap().magnitude_at(4000.0);
+        assert!(g6 < g2 / 50.0, "order-6 {g6} vs order-2 {g2}");
+    }
+
+    #[test]
+    fn highpass_mirror() {
+        let fs = 48_000.0;
+        let f = ButterworthFilter::highpass(4, 2000.0, fs).unwrap();
+        assert!(f.magnitude_at(100.0) < 1e-4);
+        assert!((f.magnitude_at(10_000.0) - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn dc_step_settles() {
+        let mut f = ButterworthFilter::lowpass(4, 500.0, 20_000.0).unwrap();
+        let mut y = 0.0;
+        for _ in 0..40_000 {
+            y = f.process(1.0);
+        }
+        assert!((y - 1.0).abs() < 1e-9);
+        f.reset();
+        assert_eq!(f.process(0.0), 0.0);
+    }
+
+    #[test]
+    fn accessors() {
+        let f = ButterworthFilter::lowpass(4, 500.0, 20_000.0).unwrap();
+        assert_eq!(f.order(), 4);
+        assert_eq!(f.cutoff(), 500.0);
+    }
+}

@@ -1,0 +1,346 @@
+//! FIR filter design by the windowed-sinc method, and FIR filtering.
+
+use crate::filter::BandKind;
+use crate::window::Window;
+use crate::DspError;
+
+/// Specification for a windowed-sinc FIR design.
+///
+/// # Examples
+///
+/// ```
+/// use nfbist_dsp::filter::{BandKind, FirSpec};
+/// use nfbist_dsp::window::Window;
+///
+/// # fn main() -> Result<(), nfbist_dsp::DspError> {
+/// // A 1 kHz lowpass at fs = 20 kHz, 129 taps, Hamming window —
+/// // the band limiter used for the paper's noise bandwidth.
+/// let fir = FirSpec::new(BandKind::LowPass { cutoff: 1000.0 }, 129)?
+///     .window(Window::Hamming)
+///     .design(20_000.0)?;
+/// assert_eq!(fir.taps().len(), 129);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct FirSpec {
+    band: BandKind,
+    num_taps: usize,
+    window: Window,
+}
+
+impl FirSpec {
+    /// Creates a specification with the given band and tap count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::InvalidParameter`] unless `num_taps` is odd
+    /// and at least 3 (odd length keeps all band shapes realizable as
+    /// type-I linear phase filters).
+    pub fn new(band: BandKind, num_taps: usize) -> Result<Self, DspError> {
+        if num_taps < 3 || num_taps.is_multiple_of(2) {
+            return Err(DspError::InvalidParameter {
+                name: "num_taps",
+                reason: "must be odd and at least 3",
+            });
+        }
+        Ok(FirSpec {
+            band,
+            num_taps,
+            window: Window::Hamming,
+        })
+    }
+
+    /// Selects the design window (default Hamming).
+    pub fn window(mut self, window: Window) -> Self {
+        self.window = window;
+        self
+    }
+
+    /// Designs the filter for `sample_rate` Hz.
+    ///
+    /// # Errors
+    ///
+    /// Propagates band-validation errors from [`BandKind::validate`].
+    pub fn design(&self, sample_rate: f64) -> Result<FirFilter, DspError> {
+        self.band.validate(sample_rate)?;
+        let n = self.num_taps;
+        let mid = (n - 1) / 2;
+
+        let ideal_lowpass = |fc: f64, k: i64| -> f64 {
+            // Normalized cutoff in cycles/sample.
+            let f = fc / sample_rate;
+            if k == 0 {
+                2.0 * f
+            } else {
+                (2.0 * std::f64::consts::PI * f * k as f64).sin() / (std::f64::consts::PI * k as f64)
+            }
+        };
+
+        let mut taps: Vec<f64> = (0..n)
+            .map(|i| {
+                let k = i as i64 - mid as i64;
+                match self.band {
+                    BandKind::LowPass { cutoff } => ideal_lowpass(cutoff, k),
+                    BandKind::HighPass { cutoff } => {
+                        let delta = if k == 0 { 1.0 } else { 0.0 };
+                        delta - ideal_lowpass(cutoff, k)
+                    }
+                    BandKind::BandPass { low, high } => {
+                        ideal_lowpass(high, k) - ideal_lowpass(low, k)
+                    }
+                    BandKind::BandStop { low, high } => {
+                        let delta = if k == 0 { 1.0 } else { 0.0 };
+                        delta - (ideal_lowpass(high, k) - ideal_lowpass(low, k))
+                    }
+                }
+            })
+            .collect();
+
+        for (t, w) in taps.iter_mut().zip(symmetric_window(self.window, n)) {
+            *t *= w;
+        }
+        Ok(FirFilter { taps })
+    }
+}
+
+/// Symmetric (filter-design) form of a window: `w[i]` over
+/// `i = 0..n` with `w[i] == w[n-1-i]`.
+fn symmetric_window(window: Window, n: usize) -> Vec<f64> {
+    // A periodic window of length n-1 provides the first n-1 samples of
+    // the symmetric length-n window (same formula, denominator n-1); the
+    // final sample closes the symmetry with the value at the left edge.
+    let mut w = window.coefficients(n - 1);
+    let first = w[0];
+    w.push(first);
+    w
+}
+
+/// A designed FIR filter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FirFilter {
+    taps: Vec<f64>,
+}
+
+impl FirFilter {
+    /// Builds a filter directly from taps.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::EmptyInput`] for an empty tap vector.
+    pub fn from_taps(taps: Vec<f64>) -> Result<Self, DspError> {
+        if taps.is_empty() {
+            return Err(DspError::EmptyInput {
+                context: "fir from_taps",
+            });
+        }
+        Ok(FirFilter { taps })
+    }
+
+    /// The filter coefficients.
+    pub fn taps(&self) -> &[f64] {
+        &self.taps
+    }
+
+    /// Group delay in samples (`(N-1)/2` for linear-phase designs).
+    pub fn group_delay(&self) -> f64 {
+        (self.taps.len() as f64 - 1.0) / 2.0
+    }
+
+    /// Filters `x`, returning an output of the same length ("same" mode:
+    /// the output is aligned with the input by discarding the group
+    /// delay's worth of leading transient).
+    pub fn filter(&self, x: &[f64]) -> Vec<f64> {
+        let full = self.convolve(x);
+        let delay = (self.taps.len() - 1) / 2;
+        full[delay..delay + x.len()].to_vec()
+    }
+
+    /// Full linear convolution (`x.len() + taps.len() - 1` samples).
+    pub fn convolve(&self, x: &[f64]) -> Vec<f64> {
+        let n = x.len();
+        let m = self.taps.len();
+        let mut out = vec![0.0; n + m - 1];
+        for (i, &xi) in x.iter().enumerate() {
+            if xi == 0.0 {
+                continue;
+            }
+            for (j, &tj) in self.taps.iter().enumerate() {
+                out[i + j] += xi * tj;
+            }
+        }
+        out
+    }
+
+    /// Magnitude response at frequency `f` for sample rate `fs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::FrequencyOutOfRange`] for `f` outside
+    /// `[0, fs/2]`.
+    pub fn magnitude_at(&self, f: f64, sample_rate: f64) -> Result<f64, DspError> {
+        let nyq = sample_rate / 2.0;
+        if f < 0.0 || f > nyq {
+            return Err(DspError::FrequencyOutOfRange {
+                frequency: f,
+                nyquist: nyq,
+            });
+        }
+        let omega = 2.0 * std::f64::consts::PI * f / sample_rate;
+        let (mut re, mut im) = (0.0f64, 0.0f64);
+        for (k, &t) in self.taps.iter().enumerate() {
+            re += t * (omega * k as f64).cos();
+            im -= t * (omega * k as f64).sin();
+        }
+        Ok(re.hypot(im))
+    }
+
+    /// Equivalent noise bandwidth of the filter in hertz:
+    /// `∫|H|²df / |H|²_peak` evaluated on a fine grid.
+    ///
+    /// Used to convert filtered-noise power back to density.
+    pub fn noise_bandwidth(&self, sample_rate: f64) -> f64 {
+        let grid = 2048;
+        let nyq = sample_rate / 2.0;
+        let mut total = 0.0;
+        let mut peak = 0.0f64;
+        for i in 0..grid {
+            let f = nyq * (i as f64 + 0.5) / grid as f64;
+            let h2 = self.magnitude_at(f, sample_rate).unwrap_or(0.0).powi(2);
+            total += h2;
+            peak = peak.max(h2);
+        }
+        if peak == 0.0 {
+            return 0.0;
+        }
+        total * (nyq / grid as f64) / peak
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_validation() {
+        let band = BandKind::LowPass { cutoff: 100.0 };
+        assert!(FirSpec::new(band, 2).is_err());
+        assert!(FirSpec::new(band, 4).is_err());
+        assert!(FirSpec::new(band, 1).is_err());
+        assert!(FirSpec::new(band, 31).is_ok());
+    }
+
+    #[test]
+    fn design_rejects_bad_band() {
+        let spec = FirSpec::new(BandKind::LowPass { cutoff: 600.0 }, 31).unwrap();
+        assert!(spec.design(1000.0).is_err());
+    }
+
+    #[test]
+    fn lowpass_response_shape() {
+        let fs = 10_000.0;
+        let fir = FirSpec::new(BandKind::LowPass { cutoff: 1000.0 }, 201)
+            .unwrap()
+            .design(fs)
+            .unwrap();
+        // Passband ≈ 1, stopband small, -6 dB near cutoff.
+        assert!((fir.magnitude_at(100.0, fs).unwrap() - 1.0).abs() < 0.01);
+        assert!((fir.magnitude_at(500.0, fs).unwrap() - 1.0).abs() < 0.01);
+        assert!(fir.magnitude_at(2000.0, fs).unwrap() < 0.01);
+        let edge = fir.magnitude_at(1000.0, fs).unwrap();
+        assert!((edge - 0.5).abs() < 0.05, "edge gain {edge}");
+    }
+
+    #[test]
+    fn highpass_blocks_dc() {
+        let fs = 8000.0;
+        let fir = FirSpec::new(BandKind::HighPass { cutoff: 1000.0 }, 201)
+            .unwrap()
+            .design(fs)
+            .unwrap();
+        assert!(fir.magnitude_at(0.0, fs).unwrap() < 1e-3);
+        assert!((fir.magnitude_at(3000.0, fs).unwrap() - 1.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn bandpass_and_bandstop_are_complementary() {
+        let fs = 8000.0;
+        let bp = FirSpec::new(BandKind::BandPass { low: 500.0, high: 1500.0 }, 201)
+            .unwrap()
+            .design(fs)
+            .unwrap();
+        let bs = FirSpec::new(BandKind::BandStop { low: 500.0, high: 1500.0 }, 201)
+            .unwrap()
+            .design(fs)
+            .unwrap();
+        for f in [100.0, 1000.0, 3000.0] {
+            let sum = bp.magnitude_at(f, fs).unwrap() + bs.magnitude_at(f, fs).unwrap();
+            assert!((sum - 1.0).abs() < 0.05, "complementarity at {f}: {sum}");
+        }
+        assert!(bp.magnitude_at(1000.0, fs).unwrap() > 0.95);
+        assert!(bs.magnitude_at(1000.0, fs).unwrap() < 0.05);
+    }
+
+    #[test]
+    fn taps_are_symmetric_linear_phase() {
+        let fir = FirSpec::new(BandKind::LowPass { cutoff: 1000.0 }, 101)
+            .unwrap()
+            .design(10_000.0)
+            .unwrap();
+        let t = fir.taps();
+        for i in 0..t.len() {
+            assert!(
+                (t[i] - t[t.len() - 1 - i]).abs() < 1e-12,
+                "asymmetry at {i}"
+            );
+        }
+        assert_eq!(fir.group_delay(), 50.0);
+    }
+
+    #[test]
+    fn filter_same_mode_preserves_length_and_tone() {
+        let fs = 10_000.0;
+        let fir = FirSpec::new(BandKind::LowPass { cutoff: 1000.0 }, 101)
+            .unwrap()
+            .design(fs)
+            .unwrap();
+        let n = 4000;
+        let x: Vec<f64> = (0..n)
+            .map(|j| (2.0 * std::f64::consts::PI * 200.0 * j as f64 / fs).sin())
+            .collect();
+        let y = fir.filter(&x);
+        assert_eq!(y.len(), n);
+        // Steady-state amplitude preserved in the passband.
+        let peak = y[500..3500].iter().fold(0.0f64, |a, &v| a.max(v.abs()));
+        assert!((peak - 1.0).abs() < 0.02, "passband peak {peak}");
+    }
+
+    #[test]
+    fn convolve_impulse_returns_taps() {
+        let fir = FirFilter::from_taps(vec![0.25, 0.5, 0.25]).unwrap();
+        let y = fir.convolve(&[1.0]);
+        assert_eq!(y, vec![0.25, 0.5, 0.25]);
+        assert!(FirFilter::from_taps(vec![]).is_err());
+    }
+
+    #[test]
+    fn noise_bandwidth_of_lowpass_near_cutoff() {
+        let fs = 20_000.0;
+        let fir = FirSpec::new(BandKind::LowPass { cutoff: 1000.0 }, 401)
+            .unwrap()
+            .design(fs)
+            .unwrap();
+        let nbw = fir.noise_bandwidth(fs);
+        assert!(
+            (nbw - 1000.0).abs() < 50.0,
+            "noise bandwidth {nbw} for 1 kHz cutoff"
+        );
+    }
+
+    #[test]
+    fn magnitude_out_of_range_rejected() {
+        let fir = FirFilter::from_taps(vec![1.0]).unwrap();
+        assert!(fir.magnitude_at(-1.0, 100.0).is_err());
+        assert!(fir.magnitude_at(51.0, 100.0).is_err());
+    }
+}

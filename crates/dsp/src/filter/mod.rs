@@ -1,0 +1,101 @@
+//! Digital filtering: FIR design by windowed sinc, biquad sections and
+//! Butterworth cascades.
+//!
+//! The analog simulator uses these to band-limit synthesized noise (the
+//! paper's prototype confines the measured noise to a 1 kHz bandwidth
+//! while the reference tone sits at 3 kHz) and to model amplifier
+//! bandwidth.
+
+mod biquad;
+mod butterworth;
+mod fir;
+
+pub use biquad::{Biquad, BiquadCoefficients};
+pub use butterworth::ButterworthFilter;
+pub use fir::{FirFilter, FirSpec};
+
+use crate::DspError;
+
+/// Band selection for filter design.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum BandKind {
+    /// Pass everything below the cutoff.
+    LowPass {
+        /// Cutoff frequency in hertz.
+        cutoff: f64,
+    },
+    /// Pass everything above the cutoff.
+    HighPass {
+        /// Cutoff frequency in hertz.
+        cutoff: f64,
+    },
+    /// Pass the band between the two edges.
+    BandPass {
+        /// Lower band edge in hertz.
+        low: f64,
+        /// Upper band edge in hertz.
+        high: f64,
+    },
+    /// Reject the band between the two edges.
+    BandStop {
+        /// Lower band edge in hertz.
+        low: f64,
+        /// Upper band edge in hertz.
+        high: f64,
+    },
+}
+
+impl BandKind {
+    /// Validates the band against a sample rate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::FrequencyOutOfRange`] when an edge is not in
+    /// `(0, fs/2)` and [`DspError::InvalidParameter`] when band edges are
+    /// out of order.
+    pub fn validate(&self, sample_rate: f64) -> Result<(), DspError> {
+        let nyq = sample_rate / 2.0;
+        let check = |f: f64| {
+            if f <= 0.0 || f >= nyq {
+                Err(DspError::FrequencyOutOfRange {
+                    frequency: f,
+                    nyquist: nyq,
+                })
+            } else {
+                Ok(())
+            }
+        };
+        match *self {
+            BandKind::LowPass { cutoff } | BandKind::HighPass { cutoff } => check(cutoff),
+            BandKind::BandPass { low, high } | BandKind::BandStop { low, high } => {
+                check(low)?;
+                check(high)?;
+                if low >= high {
+                    return Err(DspError::InvalidParameter {
+                        name: "band",
+                        reason: "low edge must be below high edge",
+                    });
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn band_validation() {
+        let fs = 1000.0;
+        assert!(BandKind::LowPass { cutoff: 100.0 }.validate(fs).is_ok());
+        assert!(BandKind::LowPass { cutoff: 0.0 }.validate(fs).is_err());
+        assert!(BandKind::LowPass { cutoff: 500.0 }.validate(fs).is_err());
+        assert!(BandKind::HighPass { cutoff: 499.0 }.validate(fs).is_ok());
+        assert!(BandKind::BandPass { low: 100.0, high: 200.0 }.validate(fs).is_ok());
+        assert!(BandKind::BandPass { low: 200.0, high: 100.0 }.validate(fs).is_err());
+        assert!(BandKind::BandStop { low: 100.0, high: 600.0 }.validate(fs).is_err());
+    }
+}

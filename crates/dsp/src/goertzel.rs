@@ -1,0 +1,220 @@
+//! Goertzel algorithm: single-bin DFT evaluation.
+//!
+//! A SoC BIST that only needs the reference line's power (for
+//! normalization) or a handful of tone bins (for frequency-response
+//! tests) does not need a full FFT: the Goertzel recurrence computes one
+//! bin in `O(N)` with two state variables — exactly the kind of
+//! resource-frugal processing the paper's §4 argues a SoC can afford.
+
+use crate::DspError;
+
+/// A planned Goertzel detector for one frequency at one sample rate.
+///
+/// # Examples
+///
+/// ```
+/// use nfbist_dsp::goertzel::Goertzel;
+///
+/// # fn main() -> Result<(), nfbist_dsp::DspError> {
+/// let fs = 8_000.0;
+/// let g = Goertzel::new(1_000.0, fs)?;
+/// let x: Vec<f64> = (0..800)
+///     .map(|n| (2.0 * std::f64::consts::PI * 1_000.0 * n as f64 / fs).sin())
+///     .collect();
+/// // Amplitude of a unit sine is recovered.
+/// let amp = g.amplitude(&x)?;
+/// assert!((amp - 1.0).abs() < 1e-6);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Goertzel {
+    frequency: f64,
+    sample_rate: f64,
+    coeff: f64,
+    omega: f64,
+}
+
+impl Goertzel {
+    /// Plans a detector for `frequency` Hz at `sample_rate` Hz.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::FrequencyOutOfRange`] unless
+    /// `0 < frequency < sample_rate/2`, and
+    /// [`DspError::InvalidParameter`] for a non-positive sample rate.
+    pub fn new(frequency: f64, sample_rate: f64) -> Result<Self, DspError> {
+        if !(sample_rate > 0.0) {
+            return Err(DspError::InvalidParameter {
+                name: "sample_rate",
+                reason: "must be positive",
+            });
+        }
+        if frequency <= 0.0 || frequency >= sample_rate / 2.0 {
+            return Err(DspError::FrequencyOutOfRange {
+                frequency,
+                nyquist: sample_rate / 2.0,
+            });
+        }
+        let omega = std::f64::consts::TAU * frequency / sample_rate;
+        Ok(Goertzel {
+            frequency,
+            sample_rate,
+            coeff: 2.0 * omega.cos(),
+            omega,
+        })
+    }
+
+    /// The detector's target frequency.
+    pub fn frequency(&self) -> f64 {
+        self.frequency
+    }
+
+    /// The sample rate the detector was planned for.
+    pub fn sample_rate(&self) -> f64 {
+        self.sample_rate
+    }
+
+    /// Squared DFT magnitude `|X(f)|²` of the record at the target
+    /// frequency (unnormalized, matching [`crate::fft::Fft::forward`]
+    /// conventions).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::EmptyInput`] for an empty record.
+    pub fn magnitude_sq(&self, x: &[f64]) -> Result<f64, DspError> {
+        if x.is_empty() {
+            return Err(DspError::EmptyInput { context: "goertzel" });
+        }
+        let (mut s1, mut s2) = (0.0f64, 0.0f64);
+        for &v in x {
+            let s0 = v + self.coeff * s1 - s2;
+            s2 = s1;
+            s1 = s0;
+        }
+        Ok(s1 * s1 + s2 * s2 - self.coeff * s1 * s2)
+    }
+
+    /// Estimated amplitude of a sinusoid at the target frequency:
+    /// `2·|X|/N`.
+    ///
+    /// Exact when the record holds an integer number of cycles;
+    /// otherwise scalloping applies as with any unwindowed DFT bin.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::EmptyInput`] for an empty record.
+    pub fn amplitude(&self, x: &[f64]) -> Result<f64, DspError> {
+        Ok(2.0 * self.magnitude_sq(x)?.sqrt() / x.len() as f64)
+    }
+
+    /// Tone **power** estimate `amplitude²/2`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::EmptyInput`] for an empty record.
+    pub fn power(&self, x: &[f64]) -> Result<f64, DspError> {
+        let a = self.amplitude(x)?;
+        Ok(a * a / 2.0)
+    }
+
+    /// The angular frequency in radians/sample (exposed for testing and
+    /// phase-sensitive extensions).
+    pub fn omega(&self) -> f64 {
+        self.omega
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fft::Fft;
+
+    #[test]
+    fn validation() {
+        assert!(Goertzel::new(0.0, 8_000.0).is_err());
+        assert!(Goertzel::new(4_000.0, 8_000.0).is_err());
+        assert!(Goertzel::new(100.0, 0.0).is_err());
+        let g = Goertzel::new(100.0, 8_000.0).unwrap();
+        assert!(g.magnitude_sq(&[]).is_err());
+        assert_eq!(g.frequency(), 100.0);
+        assert_eq!(g.sample_rate(), 8_000.0);
+    }
+
+    #[test]
+    fn matches_fft_bin() {
+        let n = 1024;
+        let fs = 1024.0;
+        let k0 = 100;
+        let x: Vec<f64> = (0..n)
+            .map(|j| {
+                (std::f64::consts::TAU * k0 as f64 * j as f64 / n as f64).sin()
+                    + 0.3 * (j as f64 * 0.71).cos()
+            })
+            .collect();
+        let g = Goertzel::new(k0 as f64, fs).unwrap();
+        let fft_bin = Fft::new(n).unwrap().forward_real(&x).unwrap()[k0];
+        assert!(
+            (g.magnitude_sq(&x).unwrap() - fft_bin.norm_sqr()).abs()
+                < 1e-6 * fft_bin.norm_sqr(),
+            "goertzel vs fft"
+        );
+    }
+
+    #[test]
+    fn amplitude_of_offset_phase_tone() {
+        let fs = 10_000.0;
+        let n = 1_000; // integer cycles of 500 Hz
+        let g = Goertzel::new(500.0, fs).unwrap();
+        let x: Vec<f64> = (0..n)
+            .map(|j| 2.5 * (std::f64::consts::TAU * 500.0 * j as f64 / fs + 1.1).sin())
+            .collect();
+        assert!((g.amplitude(&x).unwrap() - 2.5).abs() < 1e-9);
+        assert!((g.power(&x).unwrap() - 3.125).abs() < 1e-8);
+    }
+
+    #[test]
+    fn rejects_distant_tones() {
+        let fs = 10_000.0;
+        let n = 1_000;
+        let g = Goertzel::new(500.0, fs).unwrap();
+        let x: Vec<f64> = (0..n)
+            .map(|j| (std::f64::consts::TAU * 2_000.0 * j as f64 / fs).sin())
+            .collect();
+        assert!(g.amplitude(&x).unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn tracks_reference_through_one_bit_stream() {
+        // The SoC use case: estimate the reference line amplitude in a
+        // digitizer bitstream without a full FFT. A ±1 stream carrying
+        // a tone of effective amplitude m yields Goertzel amplitude m.
+        let fs = 20_000.0;
+        let n = 200_000;
+        let m = 0.2;
+        // Deterministic pseudo-random dither via LCG.
+        let mut state: u64 = 12345;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let bits: Vec<f64> = (0..n)
+            .map(|j| {
+                let tone = m * (std::f64::consts::TAU * 2_000.0 * j as f64 / fs).sin();
+                // Comparator with uniform dither of width 1 around the
+                // tone: E[bit] = tone (for |tone| < 0.5).
+                if next() < tone {
+                    1.0
+                } else {
+                    -1.0
+                }
+            })
+            .collect();
+        let g = Goertzel::new(2_000.0, fs).unwrap();
+        let est = g.amplitude(&bits).unwrap();
+        // Uniform dither of total width 1 gives slope 2 → amplitude 2m.
+        assert!((est - 2.0 * m).abs() < 0.02, "estimated {est}");
+    }
+}

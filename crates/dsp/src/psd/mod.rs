@@ -1,0 +1,120 @@
+//! Power spectral density estimation.
+//!
+//! [`periodogram`] computes a single modified periodogram; [`WelchConfig`]
+//! implements Welch's method of averaged, overlapped, windowed segments —
+//! the estimator the paper's Matlab processing corresponds to (10⁶-sample
+//! acquisitions split into 10⁴-point FFTs).
+//!
+//! Scaling follows the usual one-sided density convention: for a window
+//! `w` with `U = Σw²`, the one-sided PSD is `|X[k]|²/(fs·U)` doubled on
+//! all bins except DC and Nyquist. White noise of variance σ² then shows a
+//! flat density of `σ²/(fs/2)`, and `Spectrum::total_power` recovers σ².
+
+mod periodogram;
+mod welch;
+
+pub use periodogram::{periodogram, PeriodogramConfig};
+pub use welch::WelchConfig;
+
+use crate::complex::Complex64;
+use crate::fft::{ArbitraryFft, Fft};
+use crate::DspError;
+
+/// Internal dispatch between the radix-2 and Bluestein engines, so PSD
+/// code accepts any FFT length (the paper uses 10⁴).
+#[derive(Debug, Clone)]
+pub(crate) enum AnyFft {
+    Pow2(Fft),
+    Arbitrary(ArbitraryFft),
+}
+
+impl AnyFft {
+    pub(crate) fn new(n: usize) -> Result<Self, DspError> {
+        if n == 0 {
+            return Err(DspError::InvalidFftSize {
+                size: n,
+                reason: "fft size must be nonzero",
+            });
+        }
+        if n.is_power_of_two() {
+            Ok(AnyFft::Pow2(Fft::new(n)?))
+        } else {
+            Ok(AnyFft::Arbitrary(ArbitraryFft::new(n)?))
+        }
+    }
+
+    #[cfg(test)]
+    pub(crate) fn size(&self) -> usize {
+        match self {
+            AnyFft::Pow2(f) => f.size(),
+            AnyFft::Arbitrary(f) => f.size(),
+        }
+    }
+
+    pub(crate) fn forward_real(&self, x: &[f64]) -> Result<Vec<Complex64>, DspError> {
+        match self {
+            AnyFft::Pow2(f) => f.forward_real(x),
+            AnyFft::Arbitrary(f) => f.forward_real(x),
+        }
+    }
+}
+
+/// Converts a full complex spectrum of a real signal into one-sided PSD
+/// densities with the scaling described in the module docs.
+pub(crate) fn one_sided_density(
+    spec: &[Complex64],
+    sample_rate: f64,
+    window_power: f64,
+) -> Vec<f64> {
+    let n = spec.len();
+    let half = n / 2 + 1;
+    let base = 1.0 / (sample_rate * window_power);
+    let mut out = Vec::with_capacity(half);
+    for (k, z) in spec.iter().take(half).enumerate() {
+        let mut d = z.norm_sqr() * base;
+        let is_dc = k == 0;
+        let is_nyquist = n.is_multiple_of(2) && k == n / 2;
+        if !is_dc && !is_nyquist {
+            d *= 2.0;
+        }
+        out.push(d);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_fft_dispatch() {
+        assert!(matches!(AnyFft::new(1024).unwrap(), AnyFft::Pow2(_)));
+        assert!(matches!(AnyFft::new(10_000).unwrap(), AnyFft::Arbitrary(_)));
+        assert!(AnyFft::new(0).is_err());
+        assert_eq!(AnyFft::new(10_000).unwrap().size(), 10_000);
+    }
+
+    #[test]
+    fn one_sided_density_doubles_interior_bins() {
+        // Spectrum of all-ones magnitude, N=8.
+        let spec = vec![Complex64::ONE; 8];
+        let d = one_sided_density(&spec, 1.0, 1.0);
+        assert_eq!(d.len(), 5);
+        assert_eq!(d[0], 1.0); // DC not doubled
+        assert_eq!(d[4], 1.0); // Nyquist not doubled
+        for &v in &d[1..4] {
+            assert_eq!(v, 2.0);
+        }
+    }
+
+    #[test]
+    fn one_sided_density_odd_length_has_no_nyquist() {
+        let spec = vec![Complex64::ONE; 7];
+        let d = one_sided_density(&spec, 1.0, 1.0);
+        assert_eq!(d.len(), 4);
+        assert_eq!(d[0], 1.0);
+        for &v in &d[1..4] {
+            assert_eq!(v, 2.0);
+        }
+    }
+}

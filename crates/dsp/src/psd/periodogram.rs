@@ -1,0 +1,197 @@
+//! Single-segment (modified) periodogram.
+
+use crate::psd::{one_sided_density, AnyFft};
+use crate::spectrum::Spectrum;
+use crate::window::Window;
+use crate::DspError;
+
+/// Configuration for a modified periodogram.
+///
+/// # Examples
+///
+/// ```
+/// use nfbist_dsp::psd::PeriodogramConfig;
+/// use nfbist_dsp::window::Window;
+///
+/// # fn main() -> Result<(), nfbist_dsp::DspError> {
+/// let x = vec![1.0; 256];
+/// let psd = PeriodogramConfig::new()
+///     .window(Window::Rectangular)
+///     .estimate(&x, 1000.0)?;
+/// // All power of a DC signal lands in bin 0.
+/// assert!(psd.density()[0] > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct PeriodogramConfig {
+    window: Window,
+    detrend: bool,
+}
+
+impl PeriodogramConfig {
+    /// Default configuration: rectangular window, no detrending.
+    pub fn new() -> Self {
+        PeriodogramConfig {
+            window: Window::Rectangular,
+            detrend: false,
+        }
+    }
+
+    /// Selects the analysis window.
+    pub fn window(mut self, window: Window) -> Self {
+        self.window = window;
+        self
+    }
+
+    /// Enables mean removal before windowing. Useful when a DC offset
+    /// would otherwise leak into low bins through the window skirts.
+    pub fn detrend(mut self, on: bool) -> Self {
+        self.detrend = on;
+        self
+    }
+
+    /// Computes the periodogram of `x` at `sample_rate` Hz; the FFT length
+    /// equals `x.len()` (any size — Bluestein handles non-powers of two).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::EmptyInput`] for an empty buffer and
+    /// [`DspError::InvalidParameter`] for a non-positive sample rate.
+    pub fn estimate(&self, x: &[f64], sample_rate: f64) -> Result<Spectrum, DspError> {
+        if x.is_empty() {
+            return Err(DspError::EmptyInput {
+                context: "periodogram",
+            });
+        }
+        if !(sample_rate > 0.0) {
+            return Err(DspError::InvalidParameter {
+                name: "sample_rate",
+                reason: "must be positive",
+            });
+        }
+        let n = x.len();
+        let fft = AnyFft::new(n)?;
+        let mut seg = x.to_vec();
+        if self.detrend {
+            let mu = crate::stats::mean(&seg)?;
+            for v in &mut seg {
+                *v -= mu;
+            }
+        }
+        self.window.apply(&mut seg, n)?;
+        let spec = fft.forward_real(&seg)?;
+        let density = one_sided_density(&spec, sample_rate, self.window.power_gain(n));
+        Spectrum::new(density, sample_rate, n)
+    }
+}
+
+impl Default for PeriodogramConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Convenience wrapper: rectangular-window periodogram of `x`.
+///
+/// # Errors
+///
+/// Same as [`PeriodogramConfig::estimate`].
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), nfbist_dsp::DspError> {
+/// let x: Vec<f64> = (0..128).map(|n| (n as f64 * 0.3).sin()).collect();
+/// let psd = nfbist_dsp::psd::periodogram(&x, 1000.0)?;
+/// assert_eq!(psd.len(), 65);
+/// # Ok(())
+/// # }
+/// ```
+pub fn periodogram(x: &[f64], sample_rate: f64) -> Result<Spectrum, DspError> {
+    PeriodogramConfig::new().estimate(x, sample_rate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn empty_and_bad_rate_rejected() {
+        assert!(periodogram(&[], 1000.0).is_err());
+        assert!(periodogram(&[1.0], 0.0).is_err());
+        assert!(periodogram(&[1.0], -1.0).is_err());
+    }
+
+    #[test]
+    fn parseval_total_power_equals_mean_square() {
+        let n = 512;
+        let x: Vec<f64> = (0..n).map(|j| (j as f64 * 0.17).sin() + 0.5).collect();
+        let psd = periodogram(&x, 2000.0).unwrap();
+        let ms = crate::stats::mean_square(&x).unwrap();
+        assert!(
+            (psd.total_power() - ms).abs() / ms < 1e-9,
+            "{} vs {}",
+            psd.total_power(),
+            ms
+        );
+    }
+
+    #[test]
+    fn bin_centred_tone_power() {
+        let n = 1024;
+        let fs = 1024.0;
+        let k0 = 100;
+        let amp = 2.0;
+        let x: Vec<f64> = (0..n)
+            .map(|j| amp * (2.0 * PI * k0 as f64 * j as f64 / n as f64).sin())
+            .collect();
+        let psd = periodogram(&x, fs).unwrap();
+        // Tone power = amp²/2.
+        let p = psd.tone_power(k0, 1).unwrap();
+        assert!((p - amp * amp / 2.0).abs() < 1e-9, "tone power {p}");
+    }
+
+    #[test]
+    fn hann_window_preserves_tone_power_with_skirt() {
+        let n = 1024;
+        let fs = 1024.0;
+        let k0 = 100;
+        let x: Vec<f64> = (0..n)
+            .map(|j| (2.0 * PI * k0 as f64 * j as f64 / n as f64).sin())
+            .collect();
+        let psd = PeriodogramConfig::new()
+            .window(Window::Hann)
+            .estimate(&x, fs)
+            .unwrap();
+        // Summing PSD·Δf over the tone's main lobe recovers the tone
+        // power directly (the window normalization cancels).
+        let p = psd.tone_power(k0, 2).unwrap();
+        assert!((p - 0.5).abs() < 0.01, "main-lobe tone power {p}");
+        // Reading only the single peak bin instead requires the ENBW
+        // correction.
+        let single = psd.tone_power(k0, 0).unwrap() * Window::Hann.enbw_bins(n);
+        assert!((single - 0.5).abs() < 0.01, "enbw-corrected single bin {single}");
+    }
+
+    #[test]
+    fn detrend_removes_dc() {
+        let x = vec![5.0; 256];
+        let psd = PeriodogramConfig::new()
+            .detrend(true)
+            .estimate(&x, 1000.0)
+            .unwrap();
+        assert!(psd.total_power() < 1e-20);
+    }
+
+    #[test]
+    fn non_power_of_two_length() {
+        let n = 300;
+        let x: Vec<f64> = (0..n).map(|j| (j as f64 * 0.21).cos()).collect();
+        let psd = periodogram(&x, 600.0).unwrap();
+        assert_eq!(psd.len(), 151);
+        let ms = crate::stats::mean_square(&x).unwrap();
+        assert!((psd.total_power() - ms).abs() / ms < 1e-8);
+    }
+}

@@ -1,0 +1,187 @@
+//! Sample-rate conversion: decimation with anti-alias filtering and
+//! zero-stuffing interpolation.
+//!
+//! The BIST pipeline sometimes over-samples the comparator (the sampler
+//! flip-flop can run much faster than the analysis bandwidth needs);
+//! decimation brings the bitstream down to the processing rate.
+
+use crate::filter::{BandKind, FirSpec};
+use crate::window::Window;
+use crate::DspError;
+
+/// Decimates `x` by the integer `factor` after applying a windowed-sinc
+/// anti-alias lowpass at 80 % of the new Nyquist rate.
+///
+/// Returns the filtered-and-kept samples; the output length is
+/// `ceil(x.len() / factor)`.
+///
+/// # Errors
+///
+/// Returns [`DspError::InvalidParameter`] for a zero factor and
+/// [`DspError::EmptyInput`] for an empty buffer.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), nfbist_dsp::DspError> {
+/// let x: Vec<f64> = (0..1000).map(|n| (n as f64 * 0.01).sin()).collect();
+/// let y = nfbist_dsp::resample::decimate(&x, 4, 1000.0)?;
+/// assert_eq!(y.len(), 250);
+/// # Ok(())
+/// # }
+/// ```
+pub fn decimate(x: &[f64], factor: usize, sample_rate: f64) -> Result<Vec<f64>, DspError> {
+    if factor == 0 {
+        return Err(DspError::InvalidParameter {
+            name: "factor",
+            reason: "must be at least 1",
+        });
+    }
+    if x.is_empty() {
+        return Err(DspError::EmptyInput { context: "decimate" });
+    }
+    if factor == 1 {
+        return Ok(x.to_vec());
+    }
+    let new_nyquist = sample_rate / (2.0 * factor as f64);
+    let fir = FirSpec::new(
+        BandKind::LowPass {
+            cutoff: 0.8 * new_nyquist,
+        },
+        127,
+    )?
+    .window(Window::Blackman)
+    .design(sample_rate)?;
+    let filtered = fir.filter(x);
+    Ok(filtered.iter().copied().step_by(factor).collect())
+}
+
+/// Decimates without anti-alias filtering (raw sample dropping).
+///
+/// Only safe when the signal is already band-limited below the new
+/// Nyquist rate — which is exactly the case for the BIST noise band.
+///
+/// # Errors
+///
+/// Same as [`decimate`].
+pub fn decimate_unfiltered(x: &[f64], factor: usize) -> Result<Vec<f64>, DspError> {
+    if factor == 0 {
+        return Err(DspError::InvalidParameter {
+            name: "factor",
+            reason: "must be at least 1",
+        });
+    }
+    if x.is_empty() {
+        return Err(DspError::EmptyInput {
+            context: "decimate_unfiltered",
+        });
+    }
+    Ok(x.iter().copied().step_by(factor).collect())
+}
+
+/// Zero-stuffing interpolation by `factor` followed by an image-reject
+/// lowpass with gain `factor` (so amplitudes are preserved).
+///
+/// # Errors
+///
+/// Same as [`decimate`].
+pub fn interpolate(x: &[f64], factor: usize, sample_rate: f64) -> Result<Vec<f64>, DspError> {
+    if factor == 0 {
+        return Err(DspError::InvalidParameter {
+            name: "factor",
+            reason: "must be at least 1",
+        });
+    }
+    if x.is_empty() {
+        return Err(DspError::EmptyInput {
+            context: "interpolate",
+        });
+    }
+    if factor == 1 {
+        return Ok(x.to_vec());
+    }
+    let new_rate = sample_rate * factor as f64;
+    let mut stuffed = vec![0.0; x.len() * factor];
+    for (i, &v) in x.iter().enumerate() {
+        stuffed[i * factor] = v * factor as f64;
+    }
+    let fir = FirSpec::new(
+        BandKind::LowPass {
+            cutoff: 0.45 * sample_rate,
+        },
+        127,
+    )?
+    .window(Window::Blackman)
+    .design(new_rate)?;
+    Ok(fir.filter(&stuffed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn validation() {
+        assert!(decimate(&[1.0], 0, 1000.0).is_err());
+        assert!(decimate(&[], 2, 1000.0).is_err());
+        assert!(decimate_unfiltered(&[], 2).is_err());
+        assert!(interpolate(&[], 2, 1000.0).is_err());
+        assert!(interpolate(&[1.0], 0, 1000.0).is_err());
+    }
+
+    #[test]
+    fn factor_one_is_identity() {
+        let x = vec![1.0, 2.0, 3.0];
+        assert_eq!(decimate(&x, 1, 100.0).unwrap(), x);
+        assert_eq!(interpolate(&x, 1, 100.0).unwrap(), x);
+    }
+
+    #[test]
+    fn decimated_length() {
+        let x = vec![0.0; 1001];
+        assert_eq!(decimate(&x, 4, 1000.0).unwrap().len(), 251);
+        assert_eq!(decimate_unfiltered(&x, 10).unwrap().len(), 101);
+    }
+
+    #[test]
+    fn tone_survives_decimation() {
+        let fs = 16_000.0;
+        let f0 = 100.0;
+        let n = 8000;
+        let x: Vec<f64> = (0..n).map(|j| (2.0 * PI * f0 * j as f64 / fs).sin()).collect();
+        let y = decimate(&x, 4, fs).unwrap();
+        // Peak amplitude in steady state stays ≈ 1.
+        let peak = y[200..y.len() - 200]
+            .iter()
+            .fold(0.0f64, |a, &v| a.max(v.abs()));
+        assert!((peak - 1.0).abs() < 0.03, "peak {peak}");
+    }
+
+    #[test]
+    fn out_of_band_tone_removed_by_decimation() {
+        let fs = 16_000.0;
+        let f0 = 7000.0; // above the new Nyquist of 2 kHz
+        let n = 8000;
+        let x: Vec<f64> = (0..n).map(|j| (2.0 * PI * f0 * j as f64 / fs).sin()).collect();
+        let y = decimate(&x, 4, fs).unwrap();
+        let peak = y[200..y.len() - 200]
+            .iter()
+            .fold(0.0f64, |a, &v| a.max(v.abs()));
+        assert!(peak < 0.01, "aliased peak {peak}");
+    }
+
+    #[test]
+    fn interpolation_preserves_tone_amplitude() {
+        let fs = 2000.0;
+        let f0 = 100.0;
+        let n = 2000;
+        let x: Vec<f64> = (0..n).map(|j| (2.0 * PI * f0 * j as f64 / fs).sin()).collect();
+        let y = interpolate(&x, 4, fs).unwrap();
+        assert_eq!(y.len(), n * 4);
+        let peak = y[500..y.len() - 500]
+            .iter()
+            .fold(0.0f64, |a, &v| a.max(v.abs()));
+        assert!((peak - 1.0).abs() < 0.05, "peak {peak}");
+    }
+}

@@ -1,0 +1,377 @@
+//! One-sided power-spectral-density container and band arithmetic.
+//!
+//! The paper's method lives in this representation: PSDs of the digitizer
+//! bitstream are normalized against a reference line, the reference bins
+//! are excluded, and noise power is integrated over the measurement band.
+//! [`Spectrum`] provides exactly those verbs.
+
+use crate::DspError;
+
+/// A located spectral peak.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Peak {
+    /// Bin index into the spectrum.
+    pub bin: usize,
+    /// Bin centre frequency in hertz.
+    pub frequency: f64,
+    /// PSD value at the peak (power per hertz).
+    pub density: f64,
+}
+
+/// A one-sided power spectral density.
+///
+/// Values are power densities (e.g. V²/Hz) at uniformly spaced bin
+/// centres `k·Δf` for `k = 0..len`, where `Δf = fs / nfft`.
+///
+/// # Examples
+///
+/// ```
+/// use nfbist_dsp::spectrum::Spectrum;
+///
+/// # fn main() -> Result<(), nfbist_dsp::DspError> {
+/// // A flat density of 1e-3 V²/Hz over 0..=500 Hz (fs = 1 kHz, nfft = 8).
+/// let s = Spectrum::new(vec![1e-3; 5], 1000.0, 8)?;
+/// // All five bins (Δf = 125 Hz each) fall in the band.
+/// let p = s.band_power(0.0, 500.0)?;
+/// assert!((p - 5.0 * 1e-3 * 125.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spectrum {
+    density: Vec<f64>,
+    sample_rate: f64,
+    nfft: usize,
+}
+
+impl Spectrum {
+    /// Builds a spectrum from one-sided densities.
+    ///
+    /// `density.len()` must equal `nfft/2 + 1` (the one-sided bin count).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::InvalidParameter`] for a non-positive sample
+    /// rate or zero `nfft`, and [`DspError::LengthMismatch`] when the
+    /// density length is not `nfft/2 + 1`.
+    pub fn new(density: Vec<f64>, sample_rate: f64, nfft: usize) -> Result<Self, DspError> {
+        if !(sample_rate > 0.0) {
+            return Err(DspError::InvalidParameter {
+                name: "sample_rate",
+                reason: "must be positive",
+            });
+        }
+        if nfft == 0 {
+            return Err(DspError::InvalidParameter {
+                name: "nfft",
+                reason: "must be nonzero",
+            });
+        }
+        let expected = nfft / 2 + 1;
+        if density.len() != expected {
+            return Err(DspError::LengthMismatch {
+                expected,
+                actual: density.len(),
+                context: "spectrum construction",
+            });
+        }
+        Ok(Spectrum {
+            density,
+            sample_rate,
+            nfft,
+        })
+    }
+
+    /// Number of one-sided bins.
+    pub fn len(&self) -> usize {
+        self.density.len()
+    }
+
+    /// `true` if the spectrum has no bins (cannot happen for a valid
+    /// construction, but provided for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.density.is_empty()
+    }
+
+    /// Sample rate in hertz.
+    pub fn sample_rate(&self) -> f64 {
+        self.sample_rate
+    }
+
+    /// FFT length the spectrum was computed with.
+    pub fn nfft(&self) -> usize {
+        self.nfft
+    }
+
+    /// Frequency resolution `Δf = fs / nfft` in hertz.
+    pub fn resolution(&self) -> f64 {
+        self.sample_rate / self.nfft as f64
+    }
+
+    /// Nyquist frequency in hertz.
+    pub fn nyquist(&self) -> f64 {
+        self.sample_rate / 2.0
+    }
+
+    /// The density values.
+    pub fn density(&self) -> &[f64] {
+        &self.density
+    }
+
+    /// Centre frequency of bin `k`.
+    pub fn bin_frequency(&self, k: usize) -> f64 {
+        k as f64 * self.resolution()
+    }
+
+    /// Nearest bin index for frequency `f`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::FrequencyOutOfRange`] if `f` is negative or
+    /// above Nyquist.
+    pub fn bin_of(&self, f: f64) -> Result<usize, DspError> {
+        if f < 0.0 || f > self.nyquist() {
+            return Err(DspError::FrequencyOutOfRange {
+                frequency: f,
+                nyquist: self.nyquist(),
+            });
+        }
+        Ok(((f / self.resolution()).round() as usize).min(self.density.len() - 1))
+    }
+
+    /// Integrated power in `[f_lo, f_hi]` (inclusive of the bins whose
+    /// centres fall in the range): `Σ density[k] · Δf`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::InvalidParameter`] if `f_lo > f_hi` and
+    /// [`DspError::FrequencyOutOfRange`] if either bound is outside
+    /// `[0, nyquist]`.
+    pub fn band_power(&self, f_lo: f64, f_hi: f64) -> Result<f64, DspError> {
+        self.band_power_excluding(f_lo, f_hi, &[])
+    }
+
+    /// Integrated band power with a set of bins excluded.
+    ///
+    /// This is the paper's "the reference waveform must be excluded from
+    /// the power ratio evaluation" (Section 5.2): pass the bins occupied
+    /// by the reference line.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Spectrum::band_power`].
+    pub fn band_power_excluding(
+        &self,
+        f_lo: f64,
+        f_hi: f64,
+        excluded_bins: &[usize],
+    ) -> Result<f64, DspError> {
+        if f_lo > f_hi {
+            return Err(DspError::InvalidParameter {
+                name: "band",
+                reason: "f_lo must not exceed f_hi",
+            });
+        }
+        let lo = self.bin_of(f_lo)?;
+        let hi = self.bin_of(f_hi)?;
+        let df = self.resolution();
+        let mut acc = 0.0;
+        for k in lo..=hi {
+            if excluded_bins.contains(&k) {
+                continue;
+            }
+            acc += self.density[k] * df;
+        }
+        Ok(acc)
+    }
+
+    /// Total power across the whole one-sided spectrum.
+    pub fn total_power(&self) -> f64 {
+        self.density.iter().sum::<f64>() * self.resolution()
+    }
+
+    /// Largest-density bin in `[f_lo, f_hi]`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Spectrum::band_power`], plus [`DspError::EmptyInput`] if
+    /// the band contains no bins.
+    pub fn peak_in_band(&self, f_lo: f64, f_hi: f64) -> Result<Peak, DspError> {
+        if f_lo > f_hi {
+            return Err(DspError::InvalidParameter {
+                name: "band",
+                reason: "f_lo must not exceed f_hi",
+            });
+        }
+        let lo = self.bin_of(f_lo)?;
+        let hi = self.bin_of(f_hi)?;
+        let mut best: Option<Peak> = None;
+        for k in lo..=hi {
+            if best.is_none_or(|p| self.density[k] > p.density) {
+                best = Some(Peak {
+                    bin: k,
+                    frequency: self.bin_frequency(k),
+                    density: self.density[k],
+                });
+            }
+        }
+        best.ok_or(DspError::EmptyInput {
+            context: "peak_in_band",
+        })
+    }
+
+    /// Global peak.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::EmptyInput`] for an empty spectrum.
+    pub fn peak(&self) -> Result<Peak, DspError> {
+        self.peak_in_band(0.0, self.nyquist())
+    }
+
+    /// Multiplies every density by `k` (power-scale normalization).
+    ///
+    /// Used by the reference-normalization procedure: after measuring the
+    /// reference line in two spectra, one spectrum is rescaled so the
+    /// lines coincide.
+    pub fn scale(&mut self, k: f64) {
+        for v in &mut self.density {
+            *v *= k;
+        }
+    }
+
+    /// Returns a copy scaled by `k`.
+    pub fn scaled(&self, k: f64) -> Spectrum {
+        let mut s = self.clone();
+        s.scale(k);
+        s
+    }
+
+    /// Interpolated tone power around bin `k0`, summing `±half_width`
+    /// bins to capture leakage skirts. Returns **power** (density × Δf
+    /// summed), not density.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::InvalidParameter`] if `k0` is out of bounds.
+    pub fn tone_power(&self, k0: usize, half_width: usize) -> Result<f64, DspError> {
+        if k0 >= self.density.len() {
+            return Err(DspError::InvalidParameter {
+                name: "k0",
+                reason: "bin index out of bounds",
+            });
+        }
+        let lo = k0.saturating_sub(half_width);
+        let hi = (k0 + half_width).min(self.density.len() - 1);
+        Ok(self.density[lo..=hi].iter().sum::<f64>() * self.resolution())
+    }
+
+    /// The bins within `±half_width` of the nearest bin to `f`, for use
+    /// with [`Spectrum::band_power_excluding`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::FrequencyOutOfRange`] if `f` is out of range.
+    pub fn bins_around(&self, f: f64, half_width: usize) -> Result<Vec<usize>, DspError> {
+        let k0 = self.bin_of(f)?;
+        let lo = k0.saturating_sub(half_width);
+        let hi = (k0 + half_width).min(self.density.len() - 1);
+        Ok((lo..=hi).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flat(density: f64, bins: usize, fs: f64) -> Spectrum {
+        Spectrum::new(vec![density; bins], fs, (bins - 1) * 2).unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(Spectrum::new(vec![1.0; 5], 0.0, 8).is_err());
+        assert!(Spectrum::new(vec![1.0; 5], 1000.0, 0).is_err());
+        assert!(Spectrum::new(vec![1.0; 4], 1000.0, 8).is_err());
+        assert!(Spectrum::new(vec![1.0; 5], 1000.0, 8).is_ok());
+    }
+
+    #[test]
+    fn geometry() {
+        let s = flat(1.0, 9, 1600.0); // nfft 16, Δf = 100
+        assert_eq!(s.len(), 9);
+        assert!(!s.is_empty());
+        assert_eq!(s.resolution(), 100.0);
+        assert_eq!(s.nyquist(), 800.0);
+        assert_eq!(s.bin_frequency(3), 300.0);
+        assert_eq!(s.bin_of(249.0).unwrap(), 2);
+        assert_eq!(s.bin_of(251.0).unwrap(), 3);
+        assert!(s.bin_of(-1.0).is_err());
+        assert!(s.bin_of(801.0).is_err());
+    }
+
+    #[test]
+    fn band_power_flat_density() {
+        let s = flat(2.0, 9, 1600.0); // Δf=100, 9 bins 0..800
+        // Bins 0..=8, each contributes 200.
+        assert!((s.total_power() - 9.0 * 200.0).abs() < 1e-9);
+        assert!((s.band_power(100.0, 300.0).unwrap() - 3.0 * 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn band_power_excluding_bins() {
+        let s = flat(1.0, 9, 1600.0);
+        let all = s.band_power(0.0, 800.0).unwrap();
+        let missing_two = s.band_power_excluding(0.0, 800.0, &[2, 5]).unwrap();
+        assert!((all - missing_two - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn band_validation() {
+        let s = flat(1.0, 9, 1600.0);
+        assert!(s.band_power(300.0, 100.0).is_err());
+        assert!(s.band_power(0.0, 900.0).is_err());
+    }
+
+    #[test]
+    fn peak_detection() {
+        let mut d = vec![1.0; 9];
+        d[4] = 10.0;
+        let s = Spectrum::new(d, 1600.0, 16).unwrap();
+        let p = s.peak().unwrap();
+        assert_eq!(p.bin, 4);
+        assert_eq!(p.frequency, 400.0);
+        assert_eq!(p.density, 10.0);
+        // Band-restricted search misses it.
+        let p2 = s.peak_in_band(0.0, 300.0).unwrap();
+        assert_eq!(p2.density, 1.0);
+    }
+
+    #[test]
+    fn scaling() {
+        let s = flat(1.0, 9, 1600.0);
+        let s2 = s.scaled(2.5);
+        assert!((s2.total_power() - 2.5 * s.total_power()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tone_power_window() {
+        let mut d = vec![0.0; 9];
+        d[3] = 4.0;
+        d[4] = 8.0;
+        d[5] = 4.0;
+        let s = Spectrum::new(d, 1600.0, 16).unwrap();
+        // Δf = 100: power of the skirted tone = (4+8+4)*100.
+        assert!((s.tone_power(4, 1).unwrap() - 1600.0).abs() < 1e-9);
+        assert!((s.tone_power(4, 0).unwrap() - 800.0).abs() < 1e-9);
+        assert!(s.tone_power(99, 1).is_err());
+    }
+
+    #[test]
+    fn bins_around_clamps_at_edges() {
+        let s = flat(1.0, 9, 1600.0);
+        assert_eq!(s.bins_around(0.0, 2).unwrap(), vec![0, 1, 2]);
+        assert_eq!(s.bins_around(800.0, 2).unwrap(), vec![6, 7, 8]);
+        assert_eq!(s.bins_around(400.0, 1).unwrap(), vec![3, 4, 5]);
+    }
+}

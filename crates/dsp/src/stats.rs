@@ -1,0 +1,407 @@
+//! Sample statistics used throughout the reproduction.
+//!
+//! Table 2 of the paper compares power-ratio estimates from time-domain
+//! mean-square values against spectral estimates, so mean-square and
+//! friends live here with careful empty-input handling.
+
+use crate::DspError;
+
+/// Arithmetic mean of a sample buffer.
+///
+/// # Errors
+///
+/// Returns [`DspError::EmptyInput`] for an empty slice.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), nfbist_dsp::DspError> {
+/// let m = nfbist_dsp::stats::mean(&[1.0, 2.0, 3.0])?;
+/// assert_eq!(m, 2.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn mean(x: &[f64]) -> Result<f64, DspError> {
+    if x.is_empty() {
+        return Err(DspError::EmptyInput { context: "mean" });
+    }
+    Ok(x.iter().sum::<f64>() / x.len() as f64)
+}
+
+/// Mean-square value `⟨x²⟩` — the average **power** of the buffer.
+///
+/// This is the "mean square ratio" numerator/denominator in Table 2 of the
+/// paper.
+///
+/// # Errors
+///
+/// Returns [`DspError::EmptyInput`] for an empty slice.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), nfbist_dsp::DspError> {
+/// let p = nfbist_dsp::stats::mean_square(&[3.0, -3.0, 3.0, -3.0])?;
+/// assert_eq!(p, 9.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn mean_square(x: &[f64]) -> Result<f64, DspError> {
+    if x.is_empty() {
+        return Err(DspError::EmptyInput {
+            context: "mean_square",
+        });
+    }
+    Ok(x.iter().map(|v| v * v).sum::<f64>() / x.len() as f64)
+}
+
+/// Root-mean-square value `√⟨x²⟩`.
+///
+/// # Errors
+///
+/// Returns [`DspError::EmptyInput`] for an empty slice.
+pub fn rms(x: &[f64]) -> Result<f64, DspError> {
+    mean_square(x).map(f64::sqrt)
+}
+
+/// Population variance `⟨(x-μ)²⟩` (divides by `n`).
+///
+/// # Errors
+///
+/// Returns [`DspError::EmptyInput`] for an empty slice.
+pub fn variance(x: &[f64]) -> Result<f64, DspError> {
+    let mu = mean(x)?;
+    Ok(x.iter().map(|v| (v - mu) * (v - mu)).sum::<f64>() / x.len() as f64)
+}
+
+/// Sample variance with Bessel's correction (divides by `n-1`).
+///
+/// # Errors
+///
+/// Returns [`DspError::InvalidParameter`] if fewer than two samples are
+/// provided.
+pub fn sample_variance(x: &[f64]) -> Result<f64, DspError> {
+    if x.len() < 2 {
+        return Err(DspError::InvalidParameter {
+            name: "x",
+            reason: "sample variance needs at least two samples",
+        });
+    }
+    let mu = mean(x)?;
+    Ok(x.iter().map(|v| (v - mu) * (v - mu)).sum::<f64>() / (x.len() - 1) as f64)
+}
+
+/// Population standard deviation.
+///
+/// # Errors
+///
+/// Returns [`DspError::EmptyInput`] for an empty slice.
+pub fn std_dev(x: &[f64]) -> Result<f64, DspError> {
+    variance(x).map(f64::sqrt)
+}
+
+/// Minimum and maximum of the buffer, ignoring NaNs is **not** done —
+/// a NaN poisons the result like it does elsewhere in `f64` arithmetic.
+///
+/// # Errors
+///
+/// Returns [`DspError::EmptyInput`] for an empty slice.
+pub fn min_max(x: &[f64]) -> Result<(f64, f64), DspError> {
+    if x.is_empty() {
+        return Err(DspError::EmptyInput { context: "min_max" });
+    }
+    let mut lo = x[0];
+    let mut hi = x[0];
+    for &v in &x[1..] {
+        if v < lo {
+            lo = v;
+        }
+        if v > hi {
+            hi = v;
+        }
+    }
+    Ok((lo, hi))
+}
+
+/// Peak absolute value of the buffer.
+///
+/// # Errors
+///
+/// Returns [`DspError::EmptyInput`] for an empty slice.
+pub fn peak(x: &[f64]) -> Result<f64, DspError> {
+    if x.is_empty() {
+        return Err(DspError::EmptyInput { context: "peak" });
+    }
+    Ok(x.iter().fold(0.0f64, |acc, v| acc.max(v.abs())))
+}
+
+/// Crest factor: peak amplitude divided by RMS.
+///
+/// Gaussian noise has an unbounded crest factor that grows slowly with
+/// record length (≈4–5 for 10⁶ samples); a square wave has exactly 1.
+///
+/// # Errors
+///
+/// Returns [`DspError::EmptyInput`] for an empty slice and
+/// [`DspError::InvalidParameter`] when the RMS is zero.
+pub fn crest_factor(x: &[f64]) -> Result<f64, DspError> {
+    let r = rms(x)?;
+    if r == 0.0 {
+        return Err(DspError::InvalidParameter {
+            name: "x",
+            reason: "crest factor undefined for all-zero signal",
+        });
+    }
+    Ok(peak(x)? / r)
+}
+
+/// Third standardized moment (skewness, population form).
+///
+/// Near zero for symmetric distributions such as the Gaussian noise the
+/// BIST digitizer relies on.
+///
+/// # Errors
+///
+/// Returns [`DspError::EmptyInput`] for an empty slice and
+/// [`DspError::InvalidParameter`] for zero variance.
+pub fn skewness(x: &[f64]) -> Result<f64, DspError> {
+    let mu = mean(x)?;
+    let var = variance(x)?;
+    if var == 0.0 {
+        return Err(DspError::InvalidParameter {
+            name: "x",
+            reason: "skewness undefined for zero variance",
+        });
+    }
+    let m3 = x.iter().map(|v| (v - mu).powi(3)).sum::<f64>() / x.len() as f64;
+    Ok(m3 / var.powf(1.5))
+}
+
+/// Excess kurtosis (population form; 0 for a Gaussian).
+///
+/// Useful to sanity-check synthesized noise before feeding the digitizer:
+/// the arcsine law (paper eq. 12) assumes a normal process.
+///
+/// # Errors
+///
+/// Returns [`DspError::EmptyInput`] for an empty slice and
+/// [`DspError::InvalidParameter`] for zero variance.
+pub fn excess_kurtosis(x: &[f64]) -> Result<f64, DspError> {
+    let mu = mean(x)?;
+    let var = variance(x)?;
+    if var == 0.0 {
+        return Err(DspError::InvalidParameter {
+            name: "x",
+            reason: "kurtosis undefined for zero variance",
+        });
+    }
+    let m4 = x.iter().map(|v| (v - mu).powi(4)).sum::<f64>() / x.len() as f64;
+    Ok(m4 / (var * var) - 3.0)
+}
+
+/// A fixed-bin histogram over a closed range.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), nfbist_dsp::DspError> {
+/// use nfbist_dsp::stats::Histogram;
+///
+/// let mut h = Histogram::new(-1.0, 1.0, 4)?;
+/// h.extend([-0.9, -0.1, 0.1, 0.9, 2.0]);
+/// assert_eq!(h.counts(), &[1, 1, 1, 1]);
+/// assert_eq!(h.outliers(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    outliers: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram spanning `[lo, hi]` with `bins` equal bins.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::InvalidParameter`] if `bins` is zero or
+    /// `lo >= hi` or either bound is non-finite.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Result<Self, DspError> {
+        if bins == 0 {
+            return Err(DspError::InvalidParameter {
+                name: "bins",
+                reason: "must be at least 1",
+            });
+        }
+        if !(lo.is_finite() && hi.is_finite() && lo < hi) {
+            return Err(DspError::InvalidParameter {
+                name: "range",
+                reason: "requires finite lo < hi",
+            });
+        }
+        Ok(Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            outliers: 0,
+        })
+    }
+
+    /// Adds one observation.
+    pub fn add(&mut self, v: f64) {
+        if !v.is_finite() || v < self.lo || v > self.hi {
+            self.outliers += 1;
+            return;
+        }
+        let n = self.counts.len();
+        let t = (v - self.lo) / (self.hi - self.lo);
+        let idx = ((t * n as f64) as usize).min(n - 1);
+        self.counts[idx] += 1;
+    }
+
+    /// Adds many observations.
+    pub fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for v in iter {
+            self.add(v);
+        }
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Observations that fell outside `[lo, hi]` (or were non-finite).
+    pub fn outliers(&self) -> u64 {
+        self.outliers
+    }
+
+    /// Total in-range observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Centre value of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        assert!(i < self.counts.len(), "bin index out of bounds");
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        self.lo + (i as f64 + 0.5) * w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance_of_known_data() {
+        let x = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&x).unwrap(), 5.0);
+        assert_eq!(variance(&x).unwrap(), 4.0);
+        assert_eq!(std_dev(&x).unwrap(), 2.0);
+        assert!((sample_variance(&x).unwrap() - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_square_vs_variance_for_zero_mean() {
+        let x = [1.0, -1.0, 2.0, -2.0];
+        assert_eq!(mean(&x).unwrap(), 0.0);
+        assert_eq!(mean_square(&x).unwrap(), variance(&x).unwrap());
+    }
+
+    #[test]
+    fn rms_of_square_wave() {
+        let x = [1.5, -1.5, 1.5, -1.5];
+        assert_eq!(rms(&x).unwrap(), 1.5);
+        assert_eq!(crest_factor(&x).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn empty_inputs_error() {
+        assert!(mean(&[]).is_err());
+        assert!(mean_square(&[]).is_err());
+        assert!(rms(&[]).is_err());
+        assert!(variance(&[]).is_err());
+        assert!(min_max(&[]).is_err());
+        assert!(peak(&[]).is_err());
+    }
+
+    #[test]
+    fn sample_variance_needs_two() {
+        assert!(sample_variance(&[1.0]).is_err());
+        assert!(sample_variance(&[1.0, 2.0]).is_ok());
+    }
+
+    #[test]
+    fn min_max_and_peak() {
+        let x = [-3.0, 1.0, 2.5];
+        assert_eq!(min_max(&x).unwrap(), (-3.0, 2.5));
+        assert_eq!(peak(&x).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn gaussian_moments_are_near_nominal() {
+        // Deterministic pseudo-Gaussian via sum of sinusoids is not
+        // Gaussian; instead use a simple LCG + central limit sum.
+        let mut state: u64 = 0x9E3779B97F4A7C15;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let x: Vec<f64> = (0..20000)
+            .map(|_| (0..12).map(|_| next()).sum::<f64>() - 6.0)
+            .collect();
+        assert!(mean(&x).unwrap().abs() < 0.05);
+        assert!((variance(&x).unwrap() - 1.0).abs() < 0.05);
+        assert!(skewness(&x).unwrap().abs() < 0.08);
+        assert!(excess_kurtosis(&x).unwrap().abs() < 0.15);
+    }
+
+    #[test]
+    fn skewness_of_asymmetric_data_positive() {
+        let x = [0.0, 0.0, 0.0, 0.0, 10.0];
+        assert!(skewness(&x).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn zero_variance_rejected() {
+        let x = [1.0, 1.0, 1.0];
+        assert!(skewness(&x).is_err());
+        assert!(excess_kurtosis(&x).is_err());
+        assert!(crest_factor(&[0.0, 0.0]).is_err());
+    }
+
+    #[test]
+    fn histogram_bins_and_edges() {
+        let mut h = Histogram::new(0.0, 1.0, 2).unwrap();
+        h.extend([0.0, 0.49, 0.5, 1.0]);
+        // Right edge lands in the last bin.
+        assert_eq!(h.counts(), &[2, 2]);
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.outliers(), 0);
+        assert!((h.bin_center(0) - 0.25).abs() < 1e-15);
+        assert!((h.bin_center(1) - 0.75).abs() < 1e-15);
+    }
+
+    #[test]
+    fn histogram_rejects_bad_config() {
+        assert!(Histogram::new(0.0, 1.0, 0).is_err());
+        assert!(Histogram::new(1.0, 0.0, 4).is_err());
+        assert!(Histogram::new(f64::NAN, 1.0, 4).is_err());
+    }
+
+    #[test]
+    fn histogram_counts_nan_as_outlier() {
+        let mut h = Histogram::new(0.0, 1.0, 2).unwrap();
+        h.add(f64::NAN);
+        assert_eq!(h.outliers(), 1);
+        assert_eq!(h.total(), 0);
+    }
+}

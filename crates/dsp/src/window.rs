@@ -1,0 +1,278 @@
+//! Window functions for spectral estimation.
+//!
+//! The reference-normalization step of the paper reads the amplitude of a
+//! known tone out of a PSD, so the *coherent gain* and *equivalent noise
+//! bandwidth* of the analysis window matter: both are provided for every
+//! window so PSD estimates can be calibrated exactly.
+
+use crate::DspError;
+
+/// The supported window shapes.
+///
+/// # Examples
+///
+/// ```
+/// use nfbist_dsp::window::Window;
+///
+/// let w = Window::Hann.coefficients(8);
+/// assert_eq!(w.len(), 8);
+/// // Hann is zero at the edges (periodic form: only the left edge).
+/// assert!(w[0].abs() < 1e-15);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum Window {
+    /// Rectangular (no tapering). Best resolution, worst leakage.
+    Rectangular,
+    /// Hann (raised cosine). The default for Welch estimates here, as in
+    /// most Matlab `pwelch` workflows.
+    Hann,
+    /// Hamming.
+    Hamming,
+    /// Blackman (3-term).
+    Blackman,
+    /// Blackman–Harris (4-term, very low sidelobes).
+    BlackmanHarris,
+    /// Flat-top (5-term); near-unity scalloping loss, ideal for reading
+    /// tone amplitudes such as the BIST reference line.
+    FlatTop,
+    /// Kaiser window with shape parameter β.
+    Kaiser(f64),
+}
+
+impl Window {
+    /// Generates the window coefficients in **periodic** form (suitable
+    /// for spectral averaging), length `n`.
+    ///
+    /// Returns an empty vector for `n == 0` and `[1.0]` for `n == 1`.
+    pub fn coefficients(self, n: usize) -> Vec<f64> {
+        if n == 0 {
+            return Vec::new();
+        }
+        if n == 1 {
+            return vec![1.0];
+        }
+        let nn = n as f64;
+        let tau = std::f64::consts::TAU;
+        match self {
+            Window::Rectangular => vec![1.0; n],
+            Window::Hann => (0..n)
+                .map(|i| 0.5 - 0.5 * (tau * i as f64 / nn).cos())
+                .collect(),
+            Window::Hamming => (0..n)
+                .map(|i| 0.54 - 0.46 * (tau * i as f64 / nn).cos())
+                .collect(),
+            Window::Blackman => (0..n)
+                .map(|i| {
+                    let t = tau * i as f64 / nn;
+                    0.42 - 0.5 * t.cos() + 0.08 * (2.0 * t).cos()
+                })
+                .collect(),
+            Window::BlackmanHarris => (0..n)
+                .map(|i| {
+                    let t = tau * i as f64 / nn;
+                    0.35875 - 0.48829 * t.cos() + 0.14128 * (2.0 * t).cos()
+                        - 0.01168 * (3.0 * t).cos()
+                })
+                .collect(),
+            Window::FlatTop => (0..n)
+                .map(|i| {
+                    let t = tau * i as f64 / nn;
+                    0.21557895 - 0.41663158 * t.cos() + 0.277263158 * (2.0 * t).cos()
+                        - 0.083578947 * (3.0 * t).cos()
+                        + 0.006947368 * (4.0 * t).cos()
+                })
+                .collect(),
+            Window::Kaiser(beta) => {
+                let denom = bessel_i0(beta);
+                (0..n)
+                    .map(|i| {
+                        let x = 2.0 * i as f64 / nn - 1.0;
+                        bessel_i0(beta * (1.0 - x * x).max(0.0).sqrt()) / denom
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// Coherent gain: the mean of the window coefficients.
+    ///
+    /// A tone's spectral line amplitude is attenuated by exactly this
+    /// factor; the normalization module divides it back out.
+    pub fn coherent_gain(self, n: usize) -> f64 {
+        let w = self.coefficients(n);
+        if w.is_empty() {
+            return 0.0;
+        }
+        w.iter().sum::<f64>() / n as f64
+    }
+
+    /// Sum of squared coefficients, the denominator of the PSD
+    /// normalization (`U = Σw²`).
+    pub fn power_gain(self, n: usize) -> f64 {
+        self.coefficients(n).iter().map(|v| v * v).sum()
+    }
+
+    /// Equivalent noise bandwidth in **bins**:
+    /// `ENBW = N·Σw² / (Σw)²`.
+    ///
+    /// 1.0 for rectangular, 1.5 for Hann, ≈3.77 for flat-top.
+    pub fn enbw_bins(self, n: usize) -> f64 {
+        let w = self.coefficients(n);
+        let sum: f64 = w.iter().sum();
+        let sq: f64 = w.iter().map(|v| v * v).sum();
+        n as f64 * sq / (sum * sum)
+    }
+
+    /// Multiplies `x` by the window, in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::LengthMismatch`] if the buffer length differs
+    /// from the provided window length `n`.
+    pub fn apply(self, x: &mut [f64], n: usize) -> Result<(), DspError> {
+        if x.len() != n {
+            return Err(DspError::LengthMismatch {
+                expected: n,
+                actual: x.len(),
+                context: "window apply",
+            });
+        }
+        for (v, w) in x.iter_mut().zip(self.coefficients(n)) {
+            *v *= w;
+        }
+        Ok(())
+    }
+}
+
+/// Modified Bessel function of the first kind, order zero, via its power
+/// series. Accurate to ~1e-15 for the argument range used by Kaiser
+/// windows (β ≤ 20).
+fn bessel_i0(x: f64) -> f64 {
+    let mut term = 1.0f64;
+    let mut sum = 1.0f64;
+    let half_x = x / 2.0;
+    for k in 1..64 {
+        term *= (half_x / k as f64) * (half_x / k as f64);
+        sum += term;
+        if term < sum * 1e-17 {
+            break;
+        }
+    }
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degenerate_lengths() {
+        assert!(Window::Hann.coefficients(0).is_empty());
+        assert_eq!(Window::Hann.coefficients(1), vec![1.0]);
+    }
+
+    #[test]
+    fn rectangular_properties() {
+        let n = 64;
+        assert!((Window::Rectangular.coherent_gain(n) - 1.0).abs() < 1e-15);
+        assert!((Window::Rectangular.enbw_bins(n) - 1.0).abs() < 1e-15);
+        assert!((Window::Rectangular.power_gain(n) - n as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hann_properties() {
+        let n = 1024;
+        // Periodic Hann: coherent gain exactly 0.5, ENBW exactly 1.5.
+        assert!((Window::Hann.coherent_gain(n) - 0.5).abs() < 1e-12);
+        assert!((Window::Hann.enbw_bins(n) - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hamming_coherent_gain() {
+        let n = 1024;
+        assert!((Window::Hamming.coherent_gain(n) - 0.54).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flattop_enbw_is_large() {
+        let n = 4096;
+        let enbw = Window::FlatTop.enbw_bins(n);
+        assert!(enbw > 3.5 && enbw < 4.0, "flat-top enbw {enbw}");
+    }
+
+    #[test]
+    fn blackman_harris_sidelobe_window_is_positive() {
+        for w in Window::BlackmanHarris.coefficients(256) {
+            assert!(w >= -1e-12);
+        }
+    }
+
+    #[test]
+    fn kaiser_zero_beta_is_rectangular() {
+        let w = Window::Kaiser(0.0).coefficients(32);
+        for v in w {
+            assert!((v - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn kaiser_large_beta_tapers() {
+        let w = Window::Kaiser(10.0).coefficients(64);
+        assert!(w[0] < 0.01);
+        let mid = w[32];
+        assert!((mid - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bessel_i0_reference_values() {
+        // I0(0)=1, I0(1)≈1.2660658, I0(5)≈27.239871.
+        assert!((bessel_i0(0.0) - 1.0).abs() < 1e-15);
+        assert!((bessel_i0(1.0) - 1.2660658777520084).abs() < 1e-12);
+        assert!((bessel_i0(5.0) - 27.239871823604442).abs() < 1e-9);
+    }
+
+    #[test]
+    fn windows_are_symmetric_about_center() {
+        // Periodic windows satisfy w[i] == w[n-i] for i in 1..n.
+        for win in [
+            Window::Hann,
+            Window::Hamming,
+            Window::Blackman,
+            Window::BlackmanHarris,
+            Window::FlatTop,
+        ] {
+            let n = 128;
+            let w = win.coefficients(n);
+            for i in 1..n {
+                assert!(
+                    (w[i] - w[n - i]).abs() < 1e-12,
+                    "{win:?} asymmetric at {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn apply_windows_in_place() {
+        let mut x = vec![1.0; 16];
+        Window::Hann.apply(&mut x, 16).unwrap();
+        assert!((x[0]).abs() < 1e-15);
+        assert!(Window::Hann.apply(&mut x, 8).is_err());
+    }
+
+    #[test]
+    fn enbw_at_least_one() {
+        for win in [
+            Window::Rectangular,
+            Window::Hann,
+            Window::Hamming,
+            Window::Blackman,
+            Window::BlackmanHarris,
+            Window::FlatTop,
+            Window::Kaiser(8.0),
+        ] {
+            assert!(win.enbw_bins(256) >= 1.0 - 1e-12, "{win:?}");
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Property-based tests for the DSP substrate: transform identities,
+//! window invariants and spectrum arithmetic that must hold for *any*
+//! input, not just the unit-test vectors.
+
+use nfbist_dsp::complex::Complex64;
+use nfbist_dsp::correlation::{autocorrelation, autocorrelation_fft, Bias};
+use nfbist_dsp::db::{db_to_power_ratio, power_ratio_to_db};
+use nfbist_dsp::fft::{dft_naive, ArbitraryFft, Fft};
+use nfbist_dsp::filter::{BandKind, FirSpec};
+use nfbist_dsp::psd::periodogram;
+use nfbist_dsp::spectrum::Spectrum;
+use nfbist_dsp::stats;
+use nfbist_dsp::window::Window;
+use proptest::prelude::*;
+
+fn finite_signal(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e3f64..1e3, 1..max_len)
+}
+
+fn pow2_len() -> impl Strategy<Value = usize> {
+    (1u32..9).prop_map(|k| 1usize << k)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn fft_roundtrip_is_identity(signal in finite_signal(256), seed_len in pow2_len()) {
+        let n = seed_len;
+        let x: Vec<Complex64> = (0..n)
+            .map(|i| Complex64::new(signal[i % signal.len()], signal[(i * 7 + 3) % signal.len()]))
+            .collect();
+        let plan = Fft::new(n).unwrap();
+        let back = plan.inverse(&plan.forward(&x).unwrap()).unwrap();
+        for (a, b) in x.iter().zip(&back) {
+            prop_assert!((*a - *b).abs() < 1e-6 * (1.0 + a.abs()));
+        }
+    }
+
+    #[test]
+    fn fft_preserves_energy(signal in finite_signal(128)) {
+        let n = signal.len().next_power_of_two();
+        let mut x = signal.clone();
+        x.resize(n, 0.0);
+        let spec = Fft::new(n).unwrap().forward_real(&x).unwrap();
+        let time: f64 = x.iter().map(|v| v * v).sum();
+        let freq: f64 = spec.iter().map(|z| z.norm_sqr()).sum::<f64>() / n as f64;
+        prop_assert!((time - freq).abs() <= 1e-6 * (1.0 + time));
+    }
+
+    #[test]
+    fn bluestein_matches_naive(len in 2usize..40, phase in 0.0f64..6.25) {
+        let x: Vec<Complex64> = (0..len)
+            .map(|i| Complex64::cis(phase * i as f64) * (1.0 + i as f64 * 0.1))
+            .collect();
+        let fast = ArbitraryFft::new(len).unwrap().forward(&x).unwrap();
+        let slow = dft_naive(&x);
+        for (a, b) in fast.iter().zip(&slow) {
+            prop_assert!((*a - *b).abs() < 1e-6 * len as f64);
+        }
+    }
+
+    #[test]
+    fn parseval_for_periodogram(signal in finite_signal(200)) {
+        let psd = periodogram(&signal, 1_000.0).unwrap();
+        let ms = stats::mean_square(&signal).unwrap();
+        prop_assert!((psd.total_power() - ms).abs() <= 1e-6 * (1.0 + ms));
+    }
+
+    #[test]
+    fn windows_are_bounded_and_symmetric(n in 4usize..512) {
+        for w in [Window::Hann, Window::Hamming, Window::Blackman, Window::FlatTop] {
+            let c = w.coefficients(n);
+            prop_assert_eq!(c.len(), n);
+            for i in 1..n {
+                prop_assert!((c[i] - c[n - i]).abs() < 1e-9);
+            }
+            // Cosine-sum windows stay within [-0.1, 1.1] (flat-top dips
+            // slightly negative by design).
+            prop_assert!(c.iter().all(|v| (-0.2..=1.2).contains(v)));
+        }
+    }
+
+    #[test]
+    fn enbw_is_at_least_one(n in 8usize..1024) {
+        for w in [Window::Rectangular, Window::Hann, Window::Hamming, Window::Kaiser(6.0)] {
+            prop_assert!(w.enbw_bins(n) >= 1.0 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn db_roundtrip(ratio in 1e-6f64..1e6) {
+        let back = db_to_power_ratio(power_ratio_to_db(ratio));
+        prop_assert!((back - ratio).abs() / ratio < 1e-9);
+    }
+
+    #[test]
+    fn autocorrelation_peak_at_zero_lag(signal in finite_signal(200)) {
+        let max_lag = (signal.len() - 1).min(20);
+        let r = autocorrelation(&signal, max_lag, Bias::Biased).unwrap();
+        for v in &r[1..] {
+            prop_assert!(v.abs() <= r[0] + 1e-9);
+        }
+    }
+
+    #[test]
+    fn fft_autocorrelation_matches_direct(signal in finite_signal(150)) {
+        let max_lag = (signal.len() - 1).min(16);
+        let direct = autocorrelation(&signal, max_lag, Bias::Biased).unwrap();
+        let fast = autocorrelation_fft(&signal, max_lag).unwrap();
+        for (a, b) in direct.iter().zip(&fast) {
+            prop_assert!((a - b).abs() < 1e-6 * (1.0 + a.abs()));
+        }
+    }
+
+    #[test]
+    fn spectrum_band_power_is_monotone_in_band(
+        density in prop::collection::vec(0.0f64..10.0, 9),
+        hi_bin in 1usize..8,
+    ) {
+        let s = Spectrum::new(density, 1_600.0, 16).unwrap();
+        let f_hi = s.bin_frequency(hi_bin);
+        let narrow = s.band_power(0.0, f_hi).unwrap();
+        let wide = s.band_power(0.0, s.nyquist()).unwrap();
+        prop_assert!(narrow <= wide + 1e-12);
+    }
+
+    #[test]
+    fn spectrum_exclusion_never_increases_power(
+        density in prop::collection::vec(0.0f64..10.0, 9),
+        excluded in prop::collection::vec(0usize..9, 0..5),
+    ) {
+        let s = Spectrum::new(density, 1_600.0, 16).unwrap();
+        let all = s.band_power(0.0, s.nyquist()).unwrap();
+        let some = s.band_power_excluding(0.0, s.nyquist(), &excluded).unwrap();
+        prop_assert!(some <= all + 1e-12);
+    }
+
+    #[test]
+    fn fir_filter_is_linear(
+        a in finite_signal(64),
+        k in -5.0f64..5.0,
+    ) {
+        let fir = FirSpec::new(BandKind::LowPass { cutoff: 100.0 }, 21)
+            .unwrap()
+            .design(1_000.0)
+            .unwrap();
+        let scaled_in: Vec<f64> = a.iter().map(|v| v * k).collect();
+        let y1: Vec<f64> = fir.filter(&a).iter().map(|v| v * k).collect();
+        let y2 = fir.filter(&scaled_in);
+        for (p, q) in y1.iter().zip(&y2) {
+            prop_assert!((p - q).abs() < 1e-6 * (1.0 + p.abs()));
+        }
+    }
+
+    #[test]
+    fn stats_variance_is_shift_invariant(signal in finite_signal(100), shift in -100.0f64..100.0) {
+        let shifted: Vec<f64> = signal.iter().map(|v| v + shift).collect();
+        let v1 = stats::variance(&signal).unwrap();
+        let v2 = stats::variance(&shifted).unwrap();
+        prop_assert!((v1 - v2).abs() < 1e-6 * (1.0 + v1.abs()));
+    }
+
+    #[test]
+    fn mean_square_scales_quadratically(signal in finite_signal(100), k in 0.1f64..10.0) {
+        let scaled: Vec<f64> = signal.iter().map(|v| v * k).collect();
+        let p1 = stats::mean_square(&signal).unwrap();
+        let p2 = stats::mean_square(&scaled).unwrap();
+        prop_assert!((p2 - k * k * p1).abs() <= 1e-9 * (1.0 + p2));
+    }
+}

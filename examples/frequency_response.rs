@@ -1,0 +1,51 @@
+//! The BIST cell's second trick (paper §7): measuring an amplifier's
+//! frequency response — and its −3 dB corner — with the same 1-bit
+//! comparator, using the DUT's own noise as dither and a Goertzel
+//! readout of the bitstream.
+//!
+//! Run with `cargo run --release --example frequency_response`.
+
+use nfbist_analog::component::Amplifier;
+use nfbist_soc::freqresp::FrequencyResponseTester;
+use nfbist_soc::report::Table;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let fs = 40_000.0;
+    let true_corner = 2_500.0;
+
+    // The DUT: a gain-of-4 amplifier with a one-pole bandwidth limit.
+    let dut = Amplifier::ideal(4.0)?.with_bandwidth(true_corner, fs)?;
+
+    // Log-spaced sweep from 200 Hz to 10 kHz; the first point anchors
+    // the normalization in the passband.
+    let frequencies: Vec<f64> = (0..12)
+        .map(|i| 200.0 * 10f64.powf(i as f64 * 1.7 / 11.0))
+        .collect();
+    let tester = FrequencyResponseTester::new(fs, 150_000, 0.25, 1.0, frequencies, 7)?;
+
+    let m = tester.measure(&dut)?;
+
+    let mut table = Table::new(vec!["Frequency (Hz)", "Relative gain (dB)", "One-pole model (dB)"]);
+    for (f, g) in &m.response {
+        let model = -10.0 * (1.0 + (f / true_corner) * (f / true_corner)).log10()
+            + 10.0 * (1.0 + (m.response[0].0 / true_corner).powi(2)).log10();
+        table.row(vec![
+            format!("{f:.0}"),
+            format!("{g:+.2}"),
+            format!("{model:+.2}"),
+        ]);
+    }
+    print!("{table}");
+    match m.corner_hz {
+        Some(corner) => println!(
+            "\nmeasured -3 dB corner: {corner:.0} Hz (true {true_corner:.0} Hz, {:+.1} %)",
+            (corner - true_corner) / true_corner * 100.0
+        ),
+        None => println!("\nsweep did not cross -3 dB"),
+    }
+    println!(
+        "the same comparator that measured noise figure just measured bandwidth —\n\
+         the paper's §7 claim, reproduced."
+    );
+    Ok(())
+}

@@ -1,0 +1,54 @@
+//! Simultaneous noise-figure observation at several analog test points
+//! — the SoC observability argument of paper §4.3.
+//!
+//! A three-stage amplifier chain gets one permanently attached 1-bit
+//! digitizer per stage output; a single hot/cold acquisition pair
+//! yields the cumulative NF at every point, verifying Friis along the
+//! way.
+//!
+//! Run with `cargo run --release --example multipoint_bist`.
+
+use nfbist_analog::circuits::NonInvertingAmplifier;
+use nfbist_analog::opamp::OpampModel;
+use nfbist_analog::units::Ohms;
+use nfbist_soc::multipoint::MultipointBist;
+use nfbist_soc::report::Table;
+use nfbist_soc::setup::BistSetup;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A realistic front end: quiet low-gain input stage, then two
+    // progressively noisier stages.
+    let stages = vec![
+        NonInvertingAmplifier::new(OpampModel::op27(), Ohms::new(1_000.0), Ohms::new(1_000.0))?,
+        NonInvertingAmplifier::new(OpampModel::tl081(), Ohms::new(2_200.0), Ohms::new(1_000.0))?,
+        NonInvertingAmplifier::new(OpampModel::ca3140(), Ohms::new(4_700.0), Ohms::new(1_000.0))?,
+    ];
+    let bist = MultipointBist::new(BistSetup::quick(99), stages)?;
+    println!(
+        "observing {} test points from one hot/cold acquisition pair\n",
+        bist.points()
+    );
+
+    let points = bist.measure_all()?;
+    let mut table = Table::new(vec![
+        "Test point",
+        "Expected cumulative NF (dB)",
+        "Measured NF (dB)",
+        "Y",
+    ]);
+    for p in &points {
+        table.row(vec![
+            format!("stage {} output", p.stage),
+            format!("{:.2}", p.expected_nf_db),
+            format!("{:.2}", p.nf.figure.db()),
+            format!("{:.3}", p.nf.y),
+        ]);
+    }
+    print!("{table}");
+    println!(
+        "\nFriis in action: the cumulative NF grows along the cascade, dominated\n\
+         by the first stage — and every point was observed *simultaneously*,\n\
+         which a shared-ADC/mux test cannot do."
+    );
+    Ok(())
+}

@@ -1,0 +1,51 @@
+//! Quickstart: measure a noise power ratio — and a noise figure — with
+//! the 1-bit BIST digitizer.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use nfbist_analog::converter::OneBitDigitizer;
+use nfbist_analog::noise::WhiteNoise;
+use nfbist_analog::source::{SineSource, Waveform};
+use nfbist_core::estimator::NfMeasurement;
+use nfbist_core::power_ratio::OneBitPowerRatio;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ---- The scene: a DUT with F = 4 (NF ≈ 6 dB) observed with a
+    //      10:1 hot/cold noise source (Th = 2900 K, Tc = 290 K).
+    let fs = 20_000.0;
+    let n = 1 << 19;
+    let f_true = nfbist_core::figure::NoiseFactor::new(4.0)?;
+    let y_true = nfbist_core::yfactor::expected_y(f_true, 2_900.0, 290.0)?;
+    println!("ground truth: F = 4 (6.02 dB), expected Y = {y_true:.4}");
+
+    // ---- Analog side: hot/cold noise records with that power ratio,
+    //      plus a 3 kHz reference sine at 30 % of the cold RMS.
+    let sigma_cold = 0.5;
+    let sigma_hot = sigma_cold * y_true.sqrt();
+    let hot = WhiteNoise::new(sigma_hot, 1)?.generate(n);
+    let cold = WhiteNoise::new(sigma_cold, 2)?.generate(n);
+    let reference = SineSource::new(3_000.0, 0.3 * sigma_cold)?.generate(n, fs)?;
+
+    // ---- The BIST cell: one comparator.
+    let digitizer = OneBitDigitizer::ideal();
+    let bits_hot = digitizer.digitize(&hot, &reference)?;
+    let bits_cold = digitizer.digitize(&cold, &reference)?;
+    println!(
+        "stored {} + {} bytes of 1-bit records",
+        bits_hot.memory_bytes(),
+        bits_cold.memory_bytes()
+    );
+
+    // ---- The DSP side: reference-normalized power ratio, then the
+    //      Y-factor equation.
+    let estimator = OneBitPowerRatio::new(fs, 4_096, 3_000.0, (100.0, 1_500.0))?;
+    let ratio = estimator.estimate(&bits_hot, &bits_cold)?;
+    let nf = NfMeasurement::from_y(ratio.ratio, 2_900.0, 290.0)?;
+
+    println!("measured: {nf}");
+    println!(
+        "error vs truth: {:+.2} dB",
+        nf.figure.db() - f_true.to_figure().db()
+    );
+    Ok(())
+}

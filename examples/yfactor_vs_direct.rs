@@ -1,0 +1,68 @@
+//! Why the paper picks the Y-factor method over the direct method:
+//! sensitivity to conditioning-amplifier gain error (paper §4.1 vs
+//! §4.2, eqs. 10–11).
+//!
+//! The direct method divides the measured output power by the
+//! *believed* gain, so any gain drift lands straight in the NF
+//! estimate. The Y-factor ratio contains the (unknown, drifted) gain in
+//! both numerator and denominator and cancels it.
+//!
+//! Run with `cargo run --release --example yfactor_vs_direct`.
+
+use nfbist_analog::constants::BOLTZMANN;
+use nfbist_core::direct;
+use nfbist_core::figure::NoiseFactor;
+use nfbist_core::yfactor;
+use nfbist_soc::report::Table;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let f_true = NoiseFactor::new(2.0)?; // a 3 dB LNA
+    let nf_true = f_true.to_figure().db();
+    let bandwidth = 1_000.0;
+    let believed_power_gain = 1e8;
+    let (th, tc) = (2_900.0, 290.0);
+
+    println!("DUT truth: NF = {nf_true:.2} dB; sweeping conditioning-amplifier gain error\n");
+    let mut table = Table::new(vec![
+        "Gain error (%)",
+        "Direct method NF (dB)",
+        "Direct error (dB)",
+        "Y-factor NF (dB)",
+        "Y-factor error (dB)",
+    ]);
+
+    for gain_error in [-0.10, -0.05, -0.02, 0.0, 0.02, 0.05, 0.10] {
+        let actual_power_gain = believed_power_gain * (1.0 + gain_error) * (1.0 + gain_error);
+
+        // Direct method: measures F·kT0·B·G_actual, divides by
+        // kT0·B·G_believed (eq. 10).
+        let measured_power = f_true.value() * BOLTZMANN * 290.0 * bandwidth * actual_power_gain;
+        let direct_f = direct::noise_factor_direct(measured_power, bandwidth, believed_power_gain)?;
+        let direct_nf = direct_f.to_figure().db();
+
+        // Y-factor: both hot and cold powers scale with the actual
+        // gain, so Y — and therefore F — is untouched (eq. 11).
+        let te = f_true.equivalent_temperature();
+        let hot_power = BOLTZMANN * (th + te) * bandwidth * actual_power_gain;
+        let cold_power = BOLTZMANN * (tc + te) * bandwidth * actual_power_gain;
+        let y = yfactor::y_from_powers(hot_power, cold_power)?;
+        let yf_nf = yfactor::noise_factor_from_temperatures(y, th, tc)?
+            .to_figure()
+            .db();
+
+        table.row(vec![
+            format!("{:+.0}", gain_error * 100.0),
+            format!("{direct_nf:.3}"),
+            format!("{:+.3}", direct_nf - nf_true),
+            format!("{yf_nf:.3}"),
+            format!("{:+.3}", yf_nf - nf_true),
+        ]);
+    }
+    print!("{table}");
+    println!(
+        "\nanalytic check: a ±5 % gain error biases the direct method by\n\
+         ±{:.2} dB on any DUT, while the Y-factor cancels it exactly.",
+        direct::nf_error_db_for_gain_error(0.05)
+    );
+    Ok(())
+}

@@ -1,0 +1,125 @@
+//! Cross-crate integration between the analog simulator and the DSP
+//! layer: the arcsine law, shaped-noise synthesis closing the loop
+//! through Welch estimation, and deterministic waveform spectra.
+
+use nfbist_analog::converter::OneBitDigitizer;
+use nfbist_analog::noise::{ShapedNoise, WhiteNoise};
+use nfbist_analog::source::{SquareSource, Waveform};
+use nfbist_core::arcsine;
+use nfbist_dsp::correlation::normalized_autocorrelation;
+use nfbist_dsp::psd::WelchConfig;
+
+#[test]
+fn arcsine_law_closes_the_loop() {
+    // Correlated Gaussian noise → hard limiter → measured bitstream
+    // autocorrelation must match eq. 12, and the inverse mapping must
+    // recover the analog correlation.
+    let n = 400_000;
+    let raw = WhiteNoise::new(1.0, 77).expect("noise").generate(n);
+    let mut x = vec![0.0f64; n];
+    let a = 0.7;
+    for i in 1..n {
+        x[i] = a * x[i - 1] + raw[i];
+    }
+    let bits = OneBitDigitizer::ideal()
+        .digitize_sign(&x)
+        .expect("digitize");
+    let y = bits.to_bipolar();
+
+    let rho_x = normalized_autocorrelation(&x, 8).expect("analog acf");
+    let rho_y = normalized_autocorrelation(&y, 8).expect("bitstream acf");
+
+    for lag in 1..=8 {
+        let forward = arcsine::arcsine_law(rho_x[lag]).expect("arcsine");
+        assert!(
+            (rho_y[lag] - forward).abs() < 0.02,
+            "lag {lag}: bitstream {} vs arcsine {}",
+            rho_y[lag],
+            forward
+        );
+        let recovered = arcsine::arcsine_law_inverse(rho_y[lag]).expect("inverse");
+        assert!(
+            (recovered - rho_x[lag]).abs() < 0.03,
+            "lag {lag}: recovered {} vs analog {}",
+            recovered,
+            rho_x[lag]
+        );
+    }
+}
+
+#[test]
+fn shaped_noise_roundtrips_through_welch() {
+    // Synthesize noise with a two-level density and verify the PSD
+    // estimator reads the same shape back.
+    let fs = 20_000.0;
+    let density = |f: f64| if f < 2_000.0 { 4e-4 } else { 1e-4 };
+    let mut src = ShapedNoise::new(density, fs, 1 << 14, 5).expect("shaped noise");
+    let x = src.generate(400_000).expect("generate");
+    let psd = WelchConfig::new(2_048)
+        .expect("welch")
+        .estimate(&x, fs)
+        .expect("estimate");
+    let low = psd.band_power(200.0, 1_800.0).expect("low band") / 1_600.0;
+    let high = psd.band_power(3_000.0, 8_000.0).expect("high band") / 5_000.0;
+    assert!((low - 4e-4).abs() / 4e-4 < 0.08, "low {low}");
+    assert!((high - 1e-4).abs() / 1e-4 < 0.08, "high {high}");
+}
+
+#[test]
+fn square_wave_harmonic_structure_survives_digitization_with_dither() {
+    // A square reference under Gaussian dither keeps its odd-harmonic
+    // structure in the bitstream PSD (the property the normalization
+    // relies on).
+    let fs = 32_768.0;
+    let n = 1 << 19;
+    let f0 = 512.0;
+    let reference = SquareSource::new(f0, 0.3)
+        .expect("square")
+        .generate(n, fs)
+        .expect("generate");
+    let noise = WhiteNoise::new(1.0, 9).expect("noise").generate(n);
+    let bits = OneBitDigitizer::ideal()
+        .digitize(&noise, &reference)
+        .expect("digitize");
+    let psd = WelchConfig::new(4_096)
+        .expect("welch")
+        .estimate(&bits.to_bipolar(), fs)
+        .expect("psd");
+
+    let tone = |f: f64| {
+        let k = psd.bin_of(f).expect("bin");
+        psd.tone_power(k, 2).expect("tone")
+    };
+    let floor = psd.band_power(5_000.0, 10_000.0).expect("floor") / 5_000.0;
+    let fundamental = tone(f0);
+    let third = tone(3.0 * f0);
+    let second = tone(2.0 * f0);
+
+    // Fundamental well above floor; 3rd harmonic ≈ 1/9 of fundamental;
+    // even harmonic absent (at the floor level).
+    assert!(fundamental > 50.0 * floor * psd.resolution());
+    assert!(
+        (third / fundamental - 1.0 / 9.0).abs() < 0.05,
+        "third/fundamental {}",
+        third / fundamental
+    );
+    // The "tone" at 2f is just the local floor (5 bins of it), not a
+    // spectral line.
+    let floor_in_window = floor * 5.0 * psd.resolution();
+    assert!(
+        second < 3.0 * floor_in_window,
+        "even harmonic {second} vs floor window {floor_in_window}"
+    );
+}
+
+#[test]
+fn bitstream_total_power_is_unity() {
+    // The property that motivates normalization: a ±1 stream has unit
+    // power regardless of the analog level.
+    for sigma in [0.1, 1.0, 10.0] {
+        let x = WhiteNoise::new(sigma, 3).expect("noise").generate(100_000);
+        let bits = OneBitDigitizer::ideal().digitize_sign(&x).expect("digitize");
+        let p = nfbist_dsp::stats::mean_square(&bits.to_bipolar()).expect("power");
+        assert!((p - 1.0).abs() < 1e-12, "sigma {sigma}: power {p}");
+    }
+}

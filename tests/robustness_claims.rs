@@ -1,0 +1,180 @@
+//! Robustness claims from the paper's §6 ("Analysis"), tested
+//! end-to-end:
+//!
+//! * a *low-quality* reference generator is fine — the normalization
+//!   tracks only the fundamental, so harmonic distortion is harmless;
+//! * the one property that matters is a *constant amplitude* of the
+//!   main component — amplitude drift degrades the estimate;
+//! * out-of-band interference (mains-style hum) does not disturb the
+//!   in-band ratio;
+//! * a slightly off-frequency reference is tolerated by the tracker's
+//!   search window.
+
+use nfbist_analog::component::sum_signals;
+use nfbist_analog::converter::OneBitDigitizer;
+use nfbist_analog::noise::WhiteNoise;
+use nfbist_analog::source::{SineSource, SquareSource, Waveform};
+use nfbist_core::power_ratio::OneBitPowerRatio;
+
+const FS: f64 = 20_000.0;
+const N: usize = 1 << 18;
+const TRUE_RATIO: f64 = 2.0;
+
+/// Builds hot/cold noise with the canonical 2:1 ratio.
+fn noise_pair(seed: u64) -> (Vec<f64>, Vec<f64>) {
+    let sigma_cold = 1.0;
+    let sigma_hot = sigma_cold * TRUE_RATIO.sqrt();
+    (
+        WhiteNoise::new(sigma_hot, seed).expect("noise").generate(N),
+        WhiteNoise::new(sigma_cold, seed ^ 0xBEEF)
+            .expect("noise")
+            .generate(N),
+    )
+}
+
+fn estimate_with_reference(reference: &[f64], seed: u64, ref_freq: f64) -> f64 {
+    let (hot, cold) = noise_pair(seed);
+    let d = OneBitDigitizer::ideal();
+    let bh = d.digitize(&hot, reference).expect("digitize");
+    let bc = d.digitize(&cold, reference).expect("digitize");
+    OneBitPowerRatio::new(FS, 2_048, ref_freq, (100.0, 1_500.0))
+        .expect("estimator")
+        .estimate(&bh, &bc)
+        .expect("estimate")
+        .ratio
+}
+
+#[test]
+fn distorted_square_reference_works_like_a_clean_sine() {
+    // §6: "this would enable the use of low quality reference
+    // waveforms, as the harmonics are not used in the normalization
+    // process". Compare a clean sine against a 3-harmonic band-limited
+    // square (a heavily distorted "sine") of the same fundamental.
+    let clean = SineSource::new(3_000.0, 0.3)
+        .expect("sine")
+        .generate(N, FS)
+        .expect("generate");
+    // Fundamental amplitude 4A/π·(…), choose the level so the
+    // fundamental matches the sine's 0.3.
+    let level = 0.3 * std::f64::consts::PI / 4.0;
+    let distorted = SquareSource::new(3_000.0, level)
+        .expect("square")
+        .with_harmonics(3)
+        .expect("harmonics")
+        .generate(N, FS)
+        .expect("generate");
+
+    let r_clean = estimate_with_reference(&clean, 1, 3_000.0);
+    let r_distorted = estimate_with_reference(&distorted, 1, 3_000.0);
+    assert!(
+        (r_clean - TRUE_RATIO).abs() / TRUE_RATIO < 0.12,
+        "clean {r_clean}"
+    );
+    assert!(
+        (r_distorted - TRUE_RATIO).abs() / TRUE_RATIO < 0.12,
+        "distorted {r_distorted}"
+    );
+    // The two estimates agree closely: harmonics did not matter.
+    assert!((r_clean - r_distorted).abs() / TRUE_RATIO < 0.10);
+}
+
+#[test]
+fn amplitude_drift_between_acquisitions_biases_the_ratio() {
+    // §6: "the amplitude of the main component, however, should be
+    // constant". Emulate a generator that drifted 20 % between the hot
+    // and cold acquisitions: the normalization mistakes the drift for
+    // a noise-level change, biasing Y by the drift squared.
+    let (hot, cold) = noise_pair(2);
+    let ref_hot = SineSource::new(3_000.0, 0.30)
+        .expect("sine")
+        .generate(N, FS)
+        .expect("generate");
+    let ref_cold = SineSource::new(3_000.0, 0.36) // +20 % drift
+        .expect("sine")
+        .generate(N, FS)
+        .expect("generate");
+    let d = OneBitDigitizer::ideal();
+    let bh = d.digitize(&hot, &ref_hot).expect("digitize");
+    let bc = d.digitize(&cold, &ref_cold).expect("digitize");
+    let est = OneBitPowerRatio::new(FS, 2_048, 3_000.0, (100.0, 1_500.0))
+        .expect("estimator")
+        .estimate(&bh, &bc)
+        .expect("estimate");
+    // Expected bias: the cold line is 1.2× too strong in amplitude, so
+    // the cold spectrum is scaled down by an extra 1.44 and Y inflates
+    // by ≈1.44.
+    let biased_expectation = TRUE_RATIO * 1.44;
+    assert!(
+        (est.ratio - biased_expectation).abs() / biased_expectation < 0.12,
+        "ratio {} (unbiased would be {TRUE_RATIO})",
+        est.ratio
+    );
+}
+
+#[test]
+fn out_of_band_hum_does_not_disturb_the_ratio() {
+    // A strong 60 Hz mains-style tone *below* the 100–1500 Hz noise
+    // band: the band-limited integration ignores it.
+    let (hot, cold) = noise_pair(3);
+    let hum = SineSource::new(60.0, 0.5)
+        .expect("hum")
+        .generate(N, FS)
+        .expect("generate");
+    let hot_hum = sum_signals(&[&hot[..], &hum[..]]).expect("sum");
+    let cold_hum = sum_signals(&[&cold[..], &hum[..]]).expect("sum");
+    let reference = SineSource::new(3_000.0, 0.3)
+        .expect("sine")
+        .generate(N, FS)
+        .expect("generate");
+    let d = OneBitDigitizer::ideal();
+    let bh = d.digitize(&hot_hum, &reference).expect("digitize");
+    let bc = d.digitize(&cold_hum, &reference).expect("digitize");
+    let r = OneBitPowerRatio::new(FS, 2_048, 3_000.0, (100.0, 1_500.0))
+        .expect("estimator")
+        .estimate(&bh, &bc)
+        .expect("estimate")
+        .ratio;
+    assert!((r - TRUE_RATIO).abs() / TRUE_RATIO < 0.10, "ratio {r}");
+}
+
+#[test]
+fn off_frequency_reference_is_tracked() {
+    // The estimator is told 3 kHz but the generator actually runs at
+    // 2.97 kHz (−1 %): the tracker's search window locks on anyway.
+    let actual = SineSource::new(2_970.0, 0.3)
+        .expect("sine")
+        .generate(N, FS)
+        .expect("generate");
+    let r = estimate_with_reference(&actual, 4, 3_000.0);
+    assert!((r - TRUE_RATIO).abs() / TRUE_RATIO < 0.08, "ratio {r}");
+}
+
+#[test]
+fn in_band_interference_is_the_known_failure_mode() {
+    // A tone *inside* the noise band that is present in both states
+    // pulls the ratio toward 1 — the same mechanism as an unexcluded
+    // reference. This is a documented limitation, not a regression.
+    let (hot, cold) = noise_pair(5);
+    let hum = SineSource::new(700.0, 0.8)
+        .expect("hum")
+        .generate(N, FS)
+        .expect("generate");
+    let hot_hum = sum_signals(&[&hot[..], &hum[..]]).expect("sum");
+    let cold_hum = sum_signals(&[&cold[..], &hum[..]]).expect("sum");
+    let reference = SineSource::new(3_000.0, 0.3)
+        .expect("sine")
+        .generate(N, FS)
+        .expect("generate");
+    let d = OneBitDigitizer::ideal();
+    let bh = d.digitize(&hot_hum, &reference).expect("digitize");
+    let bc = d.digitize(&cold_hum, &reference).expect("digitize");
+    let r = OneBitPowerRatio::new(FS, 2_048, 3_000.0, (100.0, 1_500.0))
+        .expect("estimator")
+        .estimate(&bh, &bc)
+        .expect("estimate")
+        .ratio;
+    assert!(
+        r < TRUE_RATIO * 0.95,
+        "in-band interference should compress the ratio, got {r}"
+    );
+}
