@@ -88,14 +88,26 @@ impl Bitstream {
     /// Expands to `±1.0` samples (`true → +1`).
     pub fn to_bipolar(&self) -> Vec<f64> {
         (0..self.len)
-            .map(|i| if self.get(i).unwrap_or(false) { 1.0 } else { -1.0 })
+            .map(|i| {
+                if self.get(i).unwrap_or(false) {
+                    1.0
+                } else {
+                    -1.0
+                }
+            })
             .collect()
     }
 
     /// Expands to `0.0 / 1.0` samples.
     pub fn to_unipolar(&self) -> Vec<f64> {
         (0..self.len)
-            .map(|i| if self.get(i).unwrap_or(false) { 1.0 } else { 0.0 })
+            .map(|i| {
+                if self.get(i).unwrap_or(false) {
+                    1.0
+                } else {
+                    0.0
+                }
+            })
             .collect()
     }
 

@@ -179,11 +179,7 @@ impl InvertingAmplifier {
         )?;
         let own = noise.generate(input.len())?;
         let g = self.gain();
-        Ok(input
-            .iter()
-            .zip(&own)
-            .map(|(&x, &n)| g * (x + n))
-            .collect())
+        Ok(input.iter().zip(&own).map(|(&x, &n)| g * (x + n)).collect())
     }
 }
 
@@ -250,12 +246,8 @@ mod tests {
 
     #[test]
     fn output_density_dominated_by_en_times_noise_gain_for_low_noise_resistors() {
-        let a = InvertingAmplifier::new(
-            OpampModel::ca3140(),
-            Ohms::new(1_000.0),
-            Ohms::new(100.0),
-        )
-        .unwrap();
+        let a = InvertingAmplifier::new(OpampModel::ca3140(), Ohms::new(1_000.0), Ohms::new(100.0))
+            .unwrap();
         let d = a.output_noise_density_sq(10_000.0);
         let en2 = a.opamp().voltage_noise_density_sq(10_000.0);
         let expected = en2 * a.noise_gain() * a.noise_gain();

@@ -211,11 +211,7 @@ impl NonInvertingAmplifier {
         )?;
         let own = noise.generate(input.len())?;
         let g = self.gain();
-        Ok(input
-            .iter()
-            .zip(&own)
-            .map(|(&x, &n)| g * (x + n))
-            .collect())
+        Ok(input.iter().zip(&own).map(|(&x, &n)| g * (x + n)).collect())
     }
 }
 
@@ -230,8 +226,7 @@ mod tests {
     #[test]
     fn validation() {
         assert!(
-            NonInvertingAmplifier::new(OpampModel::op27(), Ohms::new(0.0), Ohms::new(1.0))
-                .is_err()
+            NonInvertingAmplifier::new(OpampModel::op27(), Ohms::new(0.0), Ohms::new(1.0)).is_err()
         );
         assert!(
             NonInvertingAmplifier::new(OpampModel::op27(), Ohms::new(1.0), Ohms::new(-1.0))
@@ -299,7 +294,9 @@ mod tests {
     #[test]
     fn expected_factor_validation() {
         let dut = paper_dut(OpampModel::op27());
-        assert!(dut.expected_noise_factor(Ohms::new(0.0), 100.0, 1e3).is_err());
+        assert!(dut
+            .expected_noise_factor(Ohms::new(0.0), 100.0, 1e3)
+            .is_err());
         assert!(dut.expected_noise_factor(Ohms::new(1e3), 0.0, 1e3).is_err());
         assert!(dut
             .expected_noise_factor(Ohms::new(1e3), 1e3, 100.0)
@@ -321,8 +318,10 @@ mod tests {
             .estimate(&out, fs)
             .unwrap();
         let measured_density = psd.band_power(2_000.0, 6_000.0).unwrap() / 4_000.0;
-        let expected_density =
-            dut.gain().powi(2) * dut.mean_added_noise_density_sq(rs, 2_000.0, 6_000.0).unwrap();
+        let expected_density = dut.gain().powi(2)
+            * dut
+                .mean_added_noise_density_sq(rs, 2_000.0, 6_000.0)
+                .unwrap();
         assert!(
             (measured_density - expected_density).abs() / expected_density < 0.1,
             "density {measured_density} vs {expected_density}"

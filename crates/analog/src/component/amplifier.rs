@@ -162,7 +162,10 @@ mod tests {
     fn validation() {
         assert!(Amplifier::ideal(0.0).is_err());
         assert!(Amplifier::ideal(f64::NAN).is_err());
-        assert!(Amplifier::ideal(1.0).unwrap().with_gain_error(-1.5).is_err());
+        assert!(Amplifier::ideal(1.0)
+            .unwrap()
+            .with_gain_error(-1.5)
+            .is_err());
         assert!(Amplifier::ideal(1.0).unwrap().with_saturation(0.0).is_err());
         assert!(Amplifier::ideal(1.0)
             .unwrap()
@@ -219,7 +222,10 @@ mod tests {
         let at_corner = measure(&mut a, fc);
         let high = measure(&mut a, 10_000.0);
         assert!((low - 1.0).abs() < 0.02, "low-band gain {low}");
-        assert!((at_corner - std::f64::consts::FRAC_1_SQRT_2).abs() < 0.05, "corner gain {at_corner}");
+        assert!(
+            (at_corner - std::f64::consts::FRAC_1_SQRT_2).abs() < 0.05,
+            "corner gain {at_corner}"
+        );
         assert!(high < 0.15, "10×-corner gain {high}");
     }
 

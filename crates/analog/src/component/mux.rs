@@ -201,9 +201,7 @@ mod tests {
             .with_impairments(0.0, 0.0, 1.0)
             .unwrap();
         m.select(1).unwrap();
-        let y = m
-            .route(&[&[1.0][..], &[2.0][..], &[3.0][..]])
-            .unwrap();
+        let y = m.route(&[&[1.0][..], &[2.0][..], &[3.0][..]]).unwrap();
         assert_eq!(y, vec![2.0]);
         assert_eq!(m.channels(), 3);
     }

@@ -1,0 +1,222 @@
+//! The `Digitizer` abstraction: any acquisition front-end that turns a
+//! conditioned analog signal into a stored record.
+//!
+//! The paper compares two front-ends for the same Y-factor measurement:
+//! the proposed 1-bit comparator cell (Fig. 6/11) and the conventional
+//! ADC behind an analog mux (Fig. 4). [`Digitizer`] captures the shared
+//! contract so one generic acquisition path serves both, and [`Record`]
+//! is the common currency the power-ratio estimators consume.
+
+use crate::bitstream::Bitstream;
+use crate::converter::OneBitDigitizer;
+use crate::AnalogError;
+
+/// One stored acquisition: either a packed 1-bit record or multi-bit
+/// samples.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Record {
+    /// A packed comparator bitstream (1 bit/sample).
+    Bits(Bitstream),
+    /// Quantized multi-bit samples (stored as f64 voltages).
+    Samples(Vec<f64>),
+}
+
+impl Record {
+    /// Number of stored samples.
+    pub fn len(&self) -> usize {
+        match self {
+            Record::Bits(b) => b.len(),
+            Record::Samples(s) => s.len(),
+        }
+    }
+
+    /// `true` for an empty record.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Bytes the record occupies in acquisition memory (packed bits for
+    /// the 1-bit record, 8 bytes/sample for the multi-bit one).
+    pub fn memory_bytes(&self) -> usize {
+        match self {
+            Record::Bits(b) => b.memory_bytes(),
+            Record::Samples(s) => s.len() * std::mem::size_of::<f64>(),
+        }
+    }
+
+    /// Expands to the sample buffer the estimators consume: `±1` for a
+    /// bitstream, the stored voltages otherwise.
+    pub fn to_samples(&self) -> Vec<f64> {
+        match self {
+            Record::Bits(b) => b.to_bipolar(),
+            Record::Samples(s) => s.clone(),
+        }
+    }
+
+    /// The packed bitstream, when this is a 1-bit record.
+    pub fn as_bits(&self) -> Option<&Bitstream> {
+        match self {
+            Record::Bits(b) => Some(b),
+            Record::Samples(_) => None,
+        }
+    }
+}
+
+impl From<Bitstream> for Record {
+    fn from(b: Bitstream) -> Self {
+        Record::Bits(b)
+    }
+}
+
+impl From<Vec<f64>> for Record {
+    fn from(s: Vec<f64>) -> Self {
+        Record::Samples(s)
+    }
+}
+
+/// An acquisition front-end: conditions its input level, compares or
+/// quantizes, and stores a [`Record`].
+///
+/// Object-safe by design — measurement sessions hold
+/// `Box<dyn Digitizer>`.
+///
+/// # Examples
+///
+/// ```
+/// use nfbist_analog::converter::{Digitizer, OneBitDigitizer};
+///
+/// # fn main() -> Result<(), nfbist_analog::AnalogError> {
+/// let d: Box<dyn Digitizer> = Box::new(OneBitDigitizer::ideal());
+/// assert_eq!(d.bits_per_sample(), 1);
+/// assert!(d.uses_reference());
+/// let record = d.acquire(&[1.0, -1.0, 0.5], &[0.0, 0.0, 0.8])?;
+/// assert_eq!(record.to_samples(), vec![1.0, -1.0, -1.0]);
+/// # Ok(())
+/// # }
+/// ```
+pub trait Digitizer: Send + Sync {
+    /// Human-readable description for reports.
+    fn label(&self) -> String;
+
+    /// Stored bits per sample (1 for the comparator cell; the converter
+    /// resolution for an ADC).
+    fn bits_per_sample(&self) -> u32;
+
+    /// `true` when the front-end compares against a reference waveform
+    /// (the 1-bit path); `false` when it preserves absolute scale and
+    /// needs none (the ADC path).
+    fn uses_reference(&self) -> bool;
+
+    /// The voltage gain to apply between the DUT output and this
+    /// front-end. `hot_rms` is the analytic hot-state noise RMS at the
+    /// DUT output; `post_gain` is the configured conditioning gain of
+    /// the 1-bit bench (which is scale-invariant, so it simply uses
+    /// it). Scale-sensitive front-ends derive their own gain from
+    /// `hot_rms` instead, to land the signal inside their input range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::InvalidParameter`] when a usable gain
+    /// cannot be derived (e.g. a zero `hot_rms` for an ADC).
+    fn frontend_gain(&self, hot_rms: f64, post_gain: f64) -> Result<f64, AnalogError>;
+
+    /// Digitizes a conditioned signal (against `reference` when
+    /// [`Digitizer::uses_reference`] is `true`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::EmptyInput`] / [`AnalogError::LengthMismatch`]
+    /// for malformed buffers and propagates converter errors.
+    fn acquire(&self, signal: &[f64], reference: &[f64]) -> Result<Record, AnalogError>;
+}
+
+impl<D: Digitizer + ?Sized> Digitizer for Box<D> {
+    fn label(&self) -> String {
+        (**self).label()
+    }
+
+    fn bits_per_sample(&self) -> u32 {
+        (**self).bits_per_sample()
+    }
+
+    fn uses_reference(&self) -> bool {
+        (**self).uses_reference()
+    }
+
+    fn frontend_gain(&self, hot_rms: f64, post_gain: f64) -> Result<f64, AnalogError> {
+        (**self).frontend_gain(hot_rms, post_gain)
+    }
+
+    fn acquire(&self, signal: &[f64], reference: &[f64]) -> Result<Record, AnalogError> {
+        (**self).acquire(signal, reference)
+    }
+}
+
+impl Digitizer for OneBitDigitizer {
+    fn label(&self) -> String {
+        "1-bit comparator cell".to_string()
+    }
+
+    fn bits_per_sample(&self) -> u32 {
+        1
+    }
+
+    fn uses_reference(&self) -> bool {
+        true
+    }
+
+    /// The 1-bit path is scale-invariant; the configured post-gain is
+    /// used unchanged (it only matters against comparator
+    /// imperfections).
+    fn frontend_gain(&self, _hot_rms: f64, post_gain: f64) -> Result<f64, AnalogError> {
+        if !(post_gain > 0.0) || !post_gain.is_finite() {
+            return Err(AnalogError::InvalidParameter {
+                name: "post_gain",
+                reason: "must be positive and finite",
+            });
+        }
+        Ok(post_gain)
+    }
+
+    fn acquire(&self, signal: &[f64], reference: &[f64]) -> Result<Record, AnalogError> {
+        Ok(Record::Bits(self.digitize(signal, reference)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_round_trips_both_shapes() {
+        let bits = OneBitDigitizer::ideal()
+            .digitize(&[1.0, -1.0], &[0.0, 0.0])
+            .unwrap();
+        let r = Record::from(bits.clone());
+        assert_eq!(r.len(), 2);
+        assert!(!r.is_empty());
+        assert_eq!(r.as_bits(), Some(&bits));
+        assert_eq!(r.to_samples(), vec![1.0, -1.0]);
+        assert_eq!(r.memory_bytes(), bits.memory_bytes());
+
+        let s = Record::from(vec![0.25, -0.5, 0.75]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.as_bits(), None);
+        assert_eq!(s.to_samples(), vec![0.25, -0.5, 0.75]);
+        assert_eq!(s.memory_bytes(), 24);
+    }
+
+    #[test]
+    fn one_bit_front_end_contract() {
+        let d = OneBitDigitizer::ideal();
+        assert_eq!(Digitizer::bits_per_sample(&d), 1);
+        assert!(Digitizer::uses_reference(&d));
+        assert_eq!(d.frontend_gain(0.1, 1_156.0).unwrap(), 1_156.0);
+        assert!(d.frontend_gain(0.1, 0.0).is_err());
+        assert!(matches!(
+            d.acquire(&[0.5], &[0.0]).unwrap(),
+            Record::Bits(_)
+        ));
+        assert!(d.acquire(&[], &[]).is_err());
+    }
+}

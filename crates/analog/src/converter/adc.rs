@@ -76,7 +76,9 @@ impl Adc {
     /// Returns [`AnalogError::EmptyInput`] for an empty buffer.
     pub fn quantize(&self, x: &[f64]) -> Result<Vec<f64>, AnalogError> {
         if x.is_empty() {
-            return Err(AnalogError::EmptyInput { context: "quantize" });
+            return Err(AnalogError::EmptyInput {
+                context: "quantize",
+            });
         }
         let lsb = self.lsb();
         let max_code = ((1u64 << self.bits) - 1) as f64;

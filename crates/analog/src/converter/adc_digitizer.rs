@@ -1,0 +1,170 @@
+//! The conventional acquisition front-end of paper Fig. 4: analog mux
+//! into the SoC's shared N-bit ADC, wrapped as a [`Digitizer`] so the
+//! generic measurement path can drive it interchangeably with the 1-bit
+//! comparator cell.
+
+use crate::component::{AnalogMux, Block};
+use crate::converter::acquisition::{Digitizer, Record};
+use crate::converter::Adc;
+use crate::AnalogError;
+
+/// The ADC + analog-mux front-end (paper Fig. 4).
+///
+/// Unlike the comparator cell, the ADC preserves absolute scale — it
+/// needs no reference waveform, but it *does* need the signal
+/// conditioned into its input range: [`Digitizer::frontend_gain`]
+/// places the hot-state RMS at a configurable fraction of full scale
+/// (default 20 %, keeping clipping negligible for Gaussian noise).
+///
+/// # Examples
+///
+/// ```
+/// use nfbist_analog::converter::{AdcDigitizer, Digitizer};
+///
+/// # fn main() -> Result<(), nfbist_analog::AnalogError> {
+/// let adc = AdcDigitizer::new(12)?;
+/// assert_eq!(adc.bits_per_sample(), 12);
+/// assert!(!adc.uses_reference());
+/// // A hot RMS of 0.05 V maps to a ×4 conditioning gain (0.2 / 0.05).
+/// assert!((adc.frontend_gain(0.05, 1_156.0)? - 4.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct AdcDigitizer {
+    adc: Adc,
+    mux: AnalogMux,
+    target_fraction: f64,
+}
+
+impl AdcDigitizer {
+    /// Builds the front-end with a `bits`-resolution ADC over ±1 V and
+    /// a 2-channel mux.
+    ///
+    /// # Errors
+    ///
+    /// Propagates converter construction errors.
+    pub fn new(bits: u32) -> Result<Self, AnalogError> {
+        Ok(AdcDigitizer {
+            adc: Adc::new(bits, 1.0)?,
+            mux: AnalogMux::new(2)?,
+            target_fraction: 0.2,
+        })
+    }
+
+    /// Replaces the ADC model.
+    pub fn with_adc(mut self, adc: Adc) -> Self {
+        self.adc = adc;
+        self
+    }
+
+    /// Replaces the mux model (e.g. with crosstalk/attenuation
+    /// impairments for robustness studies).
+    pub fn with_mux(mut self, mux: AnalogMux) -> Self {
+        self.mux = mux;
+        self
+    }
+
+    /// Sets the fraction of full scale the hot-state RMS is conditioned
+    /// to (default 0.2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::InvalidParameter`] outside `(0, 1)`.
+    pub fn with_target_fraction(mut self, fraction: f64) -> Result<Self, AnalogError> {
+        if !(fraction > 0.0 && fraction < 1.0) {
+            return Err(AnalogError::InvalidParameter {
+                name: "fraction",
+                reason: "must be in (0, 1)",
+            });
+        }
+        self.target_fraction = fraction;
+        Ok(self)
+    }
+
+    /// The ADC model.
+    pub fn adc(&self) -> &Adc {
+        &self.adc
+    }
+}
+
+impl Digitizer for AdcDigitizer {
+    fn label(&self) -> String {
+        format!("{}-bit ADC behind analog mux", self.adc.bits())
+    }
+
+    fn bits_per_sample(&self) -> u32 {
+        self.adc.bits()
+    }
+
+    fn uses_reference(&self) -> bool {
+        false
+    }
+
+    fn frontend_gain(&self, hot_rms: f64, _post_gain: f64) -> Result<f64, AnalogError> {
+        if !(hot_rms > 0.0) || !hot_rms.is_finite() {
+            return Err(AnalogError::InvalidParameter {
+                name: "hot_rms",
+                reason: "must be positive and finite to scale into the ADC range",
+            });
+        }
+        Ok(self.target_fraction * self.adc.full_scale() / hot_rms)
+    }
+
+    fn acquire(&self, signal: &[f64], _reference: &[f64]) -> Result<Record, AnalogError> {
+        if signal.is_empty() {
+            return Err(AnalogError::EmptyInput { context: "acquire" });
+        }
+        // Through the (imperfect) mux, then the ADC.
+        let muxed = self.mux.clone().process(signal);
+        Ok(Record::Samples(self.adc.quantize(&muxed)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_configuration() {
+        assert!(AdcDigitizer::new(0).is_err());
+        let d = AdcDigitizer::new(12).unwrap();
+        assert_eq!(d.adc().bits(), 12);
+        assert!(d.clone().with_target_fraction(0.0).is_err());
+        assert!(d.clone().with_target_fraction(1.0).is_err());
+        let d = d.with_target_fraction(0.25).unwrap();
+        assert!((d.frontend_gain(0.5, 999.0).unwrap() - 0.5).abs() < 1e-12);
+        assert!(d.frontend_gain(0.0, 999.0).is_err());
+    }
+
+    #[test]
+    fn acquire_quantizes_within_lsb_of_muxed_signal() {
+        use crate::component::AnalogMux;
+        // An ideal mux isolates the quantizer behaviour; the default
+        // mux carries small insertion loss and distortion.
+        let d = AdcDigitizer::new(12).unwrap().with_mux(
+            AnalogMux::new(2)
+                .unwrap()
+                .with_impairments(0.0, 0.0, 1.0)
+                .unwrap(),
+        );
+        let x = [0.25, -0.5, 0.8];
+        let r = d.acquire(&x, &[]).unwrap();
+        let samples = r.to_samples();
+        let lsb = d.adc().lsb();
+        for (a, b) in x.iter().zip(&samples) {
+            assert!((a - b).abs() <= lsb / 2.0 + 1e-12, "{a} vs {b}");
+        }
+        assert!(d.acquire(&[], &[]).is_err());
+    }
+
+    #[test]
+    fn record_memory_dwarfs_one_bit() {
+        use crate::converter::OneBitDigitizer;
+        let n = 8_192;
+        let x = vec![0.1; n];
+        let adc = AdcDigitizer::new(12).unwrap().acquire(&x, &[]).unwrap();
+        let bits = Digitizer::acquire(&OneBitDigitizer::ideal(), &x, &vec![0.0; n]).unwrap();
+        assert!(adc.memory_bytes() >= 16 * bits.memory_bytes());
+    }
+}

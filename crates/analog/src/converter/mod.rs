@@ -1,10 +1,17 @@
 //! Data converters: the 1-bit comparator digitizer (the paper's BIST
-//! cell) and a conventional N-bit ADC used as the baseline.
+//! cell), a conventional N-bit ADC used as the baseline, and the
+//! [`Digitizer`] trait that lets the measurement path drive either
+//! front-end interchangeably.
+
+pub mod acquisition;
 
 mod adc;
+mod adc_digitizer;
 mod comparator;
 mod digitizer;
 
+pub use acquisition::{Digitizer, Record};
 pub use adc::Adc;
+pub use adc_digitizer::AdcDigitizer;
 pub use comparator::Comparator;
 pub use digitizer::OneBitDigitizer;

@@ -22,7 +22,13 @@
 //! * [`component`] — behavioural blocks: amplifiers with finite bandwidth
 //!   and saturation, programmable attenuators, summers, analog muxes.
 //! * [`converter`] — the 1-bit comparator digitizer (the paper's BIST
-//!   cell), plus a conventional N-bit ADC used as a baseline.
+//!   cell), a conventional N-bit ADC used as a baseline, and the
+//!   [`converter::Digitizer`] trait + [`converter::AdcDigitizer`]
+//!   front-end that let the measurement layer drive either
+//!   interchangeably.
+//! * [`dut`] — the [`dut::Dut`] trait every measurable circuit
+//!   implements (gain, input-referred noise model, noisy transfer
+//!   simulation), including [`dut::DutChain`] cascades.
 //! * [`signal`] / [`bitstream`] — sampled-signal and bit-record
 //!   containers.
 //!
@@ -55,6 +61,7 @@ pub mod circuits;
 pub mod component;
 pub mod constants;
 pub mod converter;
+pub mod dut;
 pub mod noise;
 pub mod opamp;
 pub mod signal;

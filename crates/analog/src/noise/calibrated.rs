@@ -208,19 +208,11 @@ mod tests {
 
     #[test]
     fn validation() {
-        let bad = CalibratedNoiseSource::new(
-            Kelvin::new(100.0),
-            Kelvin::new(290.0),
-            Ohms::new(50.0),
-            0,
-        );
+        let bad =
+            CalibratedNoiseSource::new(Kelvin::new(100.0), Kelvin::new(290.0), Ohms::new(50.0), 0);
         assert!(bad.is_err());
-        let bad = CalibratedNoiseSource::new(
-            Kelvin::new(2900.0),
-            Kelvin::new(-1.0),
-            Ohms::new(50.0),
-            0,
-        );
+        let bad =
+            CalibratedNoiseSource::new(Kelvin::new(2900.0), Kelvin::new(-1.0), Ohms::new(50.0), 0);
         assert!(bad.is_err());
         let bad =
             CalibratedNoiseSource::new(Kelvin::new(2900.0), Kelvin::new(290.0), Ohms::new(0.0), 0);
@@ -248,11 +240,15 @@ mod tests {
     fn calibration_error_shifts_emitted_only() {
         let mut src = source();
         src.set_hot_error(0.05).unwrap();
-        assert_eq!(src.declared_temperature(NoiseSourceState::Hot), Kelvin::new(2900.0));
-        assert!(
-            (src.emitted_temperature(NoiseSourceState::Hot).value() - 3045.0).abs() < 1e-9
+        assert_eq!(
+            src.declared_temperature(NoiseSourceState::Hot),
+            Kelvin::new(2900.0)
         );
-        assert_eq!(src.emitted_temperature(NoiseSourceState::Cold), Kelvin::new(290.0));
+        assert!((src.emitted_temperature(NoiseSourceState::Hot).value() - 3045.0).abs() < 1e-9);
+        assert_eq!(
+            src.emitted_temperature(NoiseSourceState::Cold),
+            Kelvin::new(290.0)
+        );
     }
 
     #[test]

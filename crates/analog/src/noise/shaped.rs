@@ -213,13 +213,8 @@ mod tests {
     #[test]
     fn band_limited_density_is_respected() {
         let fs = 20_000.0;
-        let mut src = ShapedNoise::new(
-            |f| if f <= 1_000.0 { 1e-4 } else { 0.0 },
-            fs,
-            1 << 14,
-            11,
-        )
-        .unwrap();
+        let mut src =
+            ShapedNoise::new(|f| if f <= 1_000.0 { 1e-4 } else { 0.0 }, fs, 1 << 14, 11).unwrap();
         let x = src.generate(300_000).unwrap();
         let psd = WelchConfig::new(2048).unwrap().estimate(&x, fs).unwrap();
         let in_band = psd.band_power(100.0, 800.0).unwrap() / 700.0;
@@ -231,13 +226,8 @@ mod tests {
     #[test]
     fn one_over_f_slope() {
         let fs = 10_000.0;
-        let mut src = ShapedNoise::new(
-            |f| if f < 1.0 { 1e-2 } else { 1e-2 / f },
-            fs,
-            1 << 15,
-            13,
-        )
-        .unwrap();
+        let mut src =
+            ShapedNoise::new(|f| if f < 1.0 { 1e-2 } else { 1e-2 / f }, fs, 1 << 15, 13).unwrap();
         let x = src.generate(400_000).unwrap();
         let psd = WelchConfig::new(4096).unwrap().estimate(&x, fs).unwrap();
         // Density at 100 Hz should be ~10× density at 1 kHz.

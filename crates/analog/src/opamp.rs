@@ -170,15 +170,27 @@ impl OpampModel {
 
     /// TL081 — JFET input (expected NF 10.1 dB in Table 3).
     pub fn tl081() -> Self {
-        OpampModel::new("TL081", 18.0e-9, Hertz::new(300.0), 0.01e-12, Hertz::new(0.0))
-            .expect("static datasheet values are valid")
+        OpampModel::new(
+            "TL081",
+            18.0e-9,
+            Hertz::new(300.0),
+            0.01e-12,
+            Hertz::new(0.0),
+        )
+        .expect("static datasheet values are valid")
     }
 
     /// CA3140 — MOSFET input, the noisiest of the set (expected NF
     /// 16.2 dB in Table 3).
     pub fn ca3140() -> Self {
-        OpampModel::new("CA3140", 40.0e-9, Hertz::new(100.0), 0.01e-12, Hertz::new(0.0))
-            .expect("static datasheet values are valid")
+        OpampModel::new(
+            "CA3140",
+            40.0e-9,
+            Hertz::new(100.0),
+            0.01e-12,
+            Hertz::new(0.0),
+        )
+        .expect("static datasheet values are valid")
     }
 
     /// The paper's four op-amps in Table 3 order.

@@ -103,8 +103,7 @@ impl Waveform for SquareSource {
     fn value_at(&self, t: f64) -> f64 {
         let level = self.level
             * (1.0
-                + self.drift_fraction
-                    * (std::f64::consts::TAU * self.drift_frequency * t).sin());
+                + self.drift_fraction * (std::f64::consts::TAU * self.drift_frequency * t).sin());
         match self.harmonics {
             None => {
                 let phase = (t * self.frequency).rem_euclid(1.0);
@@ -143,7 +142,10 @@ mod tests {
     fn validation() {
         assert!(SquareSource::new(0.0, 1.0).is_err());
         assert!(SquareSource::new(100.0, -1.0).is_err());
-        assert!(SquareSource::new(100.0, 1.0).unwrap().with_harmonics(0).is_err());
+        assert!(SquareSource::new(100.0, 1.0)
+            .unwrap()
+            .with_harmonics(0)
+            .is_err());
     }
 
     #[test]

@@ -48,11 +48,11 @@ fn bench_exclusion(c: &mut Criterion) {
 
     let err = |r: f64| (r - scenario.true_ratio).abs() / scenario.true_ratio * 100.0;
     let r_with = with
-        .estimate(&scenario.bits_hot, &scenario.bits_cold)
+        .estimate_bits(&scenario.bits_hot, &scenario.bits_cold)
         .expect("estimate")
         .ratio;
     let r_without = without
-        .estimate(&scenario.bits_hot, &scenario.bits_cold)
+        .estimate_bits(&scenario.bits_hot, &scenario.bits_cold)
         .expect("estimate")
         .ratio;
     eprintln!(
@@ -63,12 +63,15 @@ fn bench_exclusion(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("ablation_exclusion");
     group.bench_function("with_exclusion", |b| {
-        b.iter(|| with.estimate(&scenario.bits_hot, &scenario.bits_cold).expect("est"))
+        b.iter(|| {
+            with.estimate_bits(&scenario.bits_hot, &scenario.bits_cold)
+                .expect("est")
+        })
     });
     group.bench_function("without_exclusion", |b| {
         b.iter(|| {
             without
-                .estimate(&scenario.bits_hot, &scenario.bits_cold)
+                .estimate_bits(&scenario.bits_hot, &scenario.bits_cold)
                 .expect("est")
         })
     });
@@ -88,7 +91,7 @@ fn bench_windows(c: &mut Criterion) {
             .expect("estimator")
             .with_window(window);
         let r = est
-            .estimate(&scenario.bits_hot, &scenario.bits_cold)
+            .estimate_bits(&scenario.bits_hot, &scenario.bits_cold)
             .expect("estimate")
             .ratio;
         eprintln!(
@@ -96,7 +99,10 @@ fn bench_windows(c: &mut Criterion) {
             (r - scenario.true_ratio).abs() / scenario.true_ratio * 100.0
         );
         group.bench_with_input(BenchmarkId::from_parameter(name), &window, |b, _| {
-            b.iter(|| est.estimate(&scenario.bits_hot, &scenario.bits_cold).expect("est"))
+            b.iter(|| {
+                est.estimate_bits(&scenario.bits_hot, &scenario.bits_cold)
+                    .expect("est")
+            })
         });
     }
     group.finish();
@@ -109,18 +115,26 @@ fn bench_acquisition_length(c: &mut Criterion) {
         let n = 1usize << shift;
         let scenario = Table2Scenario::build_sine_reference(n, 0.3, 9).expect("scenario");
         let est = scenario.estimator(2_048).expect("estimator");
-        if let Ok(r) = est.estimate(&scenario.bits_hot, &scenario.bits_cold) {
+        if let Ok(r) = est.estimate_bits(&scenario.bits_hot, &scenario.bits_cold) {
             eprintln!(
                 "# ablation/acquisition n=2^{shift}: error {:.1} %",
                 (r.ratio - scenario.true_ratio).abs() / scenario.true_ratio * 100.0
             );
         }
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| est.estimate(&scenario.bits_hot, &scenario.bits_cold).expect("est"))
+            b.iter(|| {
+                est.estimate_bits(&scenario.bits_hot, &scenario.bits_cold)
+                    .expect("est")
+            })
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_exclusion, bench_windows, bench_acquisition_length);
+criterion_group!(
+    benches,
+    bench_exclusion,
+    bench_windows,
+    bench_acquisition_length
+);
 criterion_main!(benches);

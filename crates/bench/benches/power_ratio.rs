@@ -32,7 +32,7 @@ fn bench_methods(c: &mut Criterion) {
     group.bench_function("one_bit", |b| {
         b.iter(|| {
             estimator
-                .estimate(&scenario.bits_hot, &scenario.bits_cold)
+                .estimate_bits(&scenario.bits_hot, &scenario.bits_cold)
                 .expect("ratio")
         })
     });

@@ -1,0 +1,159 @@
+//! Criterion bench: end-to-end BIST measurement cost (Table 3's
+//! workload) through the generic `MeasurementSession`, against a
+//! hand-monomorphized concrete path (the old `BistPipeline::measure`
+//! flow) to quantify the trait-object indirection, and against the ADC
+//! front-end.
+//!
+//! Acceptance target: the generic path within 2 % of the concrete one —
+//! the per-sample work (noise synthesis, FFTs) dwarfs a handful of
+//! dynamic dispatches per measurement.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nfbist_analog::circuits::NonInvertingAmplifier;
+use nfbist_analog::converter::{AdcDigitizer, OneBitDigitizer};
+use nfbist_analog::noise::{CalibratedNoiseSource, NoiseSourceState};
+use nfbist_analog::opamp::OpampModel;
+use nfbist_analog::source::{SineSource, Waveform};
+use nfbist_analog::units::{Kelvin, Ohms};
+use nfbist_core::estimator::NfMeasurement;
+use nfbist_core::power_ratio::{OneBitPowerRatio, PsdRatioEstimator};
+use nfbist_soc::session::MeasurementSession;
+use nfbist_soc::setup::BistSetup;
+
+fn small_setup(seed: u64) -> BistSetup {
+    BistSetup {
+        samples: 1 << 15,
+        nfft: 1_024,
+        ..BistSetup::paper_prototype(seed)
+    }
+}
+
+fn dut() -> NonInvertingAmplifier {
+    NonInvertingAmplifier::new(OpampModel::tl081(), Ohms::new(10_000.0), Ohms::new(100.0))
+        .expect("dut")
+}
+
+/// The old concrete pipeline flow, fully monomorphized: identical
+/// physics and record sizes to the generic session, zero dynamic
+/// dispatch.
+fn concrete_measure(setup: &BistSetup, dut: &NonInvertingAmplifier) -> NfMeasurement {
+    let n = setup.samples;
+    let fs = setup.sample_rate;
+    let digitizer = OneBitDigitizer::ideal();
+    let nyquist = fs / 2.0;
+
+    let source = || {
+        CalibratedNoiseSource::new(
+            Kelvin::new(setup.hot_kelvin),
+            Kelvin::new(setup.cold_kelvin),
+            setup.source_resistance,
+            setup.seed ^ 0xA5A5_A5A5,
+        )
+        .expect("source")
+    };
+    let added = dut
+        .mean_added_noise_density_sq(setup.source_resistance, 1.0, nyquist)
+        .expect("noise model");
+    let cold_rms = dut.gain()
+        * setup.post_gain
+        * ((source().voltage_density(NoiseSourceState::Cold) + added) * nyquist).sqrt();
+    let reference_amplitude = setup.reference_fraction * cold_rms;
+
+    let acquire = |state: NoiseSourceState| {
+        let mut src = source();
+        let salt = match state {
+            NoiseSourceState::Hot => 1u64,
+            NoiseSourceState::Cold => 2u64,
+        };
+        if state == NoiseSourceState::Cold {
+            let _ = src.generate(state, 1, fs).expect("advance");
+        }
+        let noise = src.generate(state, n, fs).expect("generate");
+        let out = dut
+            .amplify(
+                &noise,
+                setup.source_resistance,
+                fs,
+                setup.seed.wrapping_add(salt).wrapping_mul(0x9E37),
+            )
+            .expect("amplify");
+        let conditioned: Vec<f64> = out.iter().map(|v| v * setup.post_gain).collect();
+        let reference = SineSource::new(setup.reference_frequency, reference_amplitude)
+            .expect("reference")
+            .generate(n, fs)
+            .expect("generate");
+        digitizer
+            .digitize(&conditioned, &reference)
+            .expect("digitize")
+    };
+
+    let hot = acquire(NoiseSourceState::Hot);
+    let cold = acquire(NoiseSourceState::Cold);
+    let ratio = OneBitPowerRatio::new(fs, setup.nfft, setup.reference_frequency, setup.noise_band)
+        .expect("estimator")
+        .estimate_bits(&hot, &cold)
+        .expect("estimate");
+    NfMeasurement::from_y(ratio.ratio, setup.hot_kelvin, setup.cold_kelvin).expect("nf")
+}
+
+fn bench_session(c: &mut Criterion) {
+    let mut group = c.benchmark_group("session");
+    group.sample_size(10);
+
+    group.bench_function("concrete_one_bit_measure_32k", |b| {
+        let setup = small_setup(1);
+        let d = dut();
+        b.iter(|| concrete_measure(&setup, &d));
+    });
+    group.bench_function("generic_one_bit_measure_32k", |b| {
+        let session = MeasurementSession::new(small_setup(1))
+            .expect("session")
+            .dut(dut());
+        b.iter(|| session.run().expect("measure"));
+    });
+    group.bench_function("generic_adc_measure_32k", |b| {
+        let setup = small_setup(2);
+        let session = MeasurementSession::new(setup.clone())
+            .expect("session")
+            .dut(dut())
+            .digitizer(AdcDigitizer::new(12).expect("adc"))
+            .estimator(
+                PsdRatioEstimator::new(setup.sample_rate, setup.nfft, setup.noise_band)
+                    .expect("estimator"),
+            );
+        b.iter(|| session.run().expect("measure"));
+    });
+    group.finish();
+}
+
+fn bench_overhead_ratio(c: &mut Criterion) {
+    // Measure both paths back to back and print the ratio the
+    // acceptance criterion cares about.
+    let setup = small_setup(3);
+    let d = dut();
+    let session = MeasurementSession::new(setup.clone())
+        .expect("session")
+        .dut(dut());
+
+    let mut concrete_ns = 0.0;
+    let mut generic_ns = 0.0;
+    c.bench_function("overhead/concrete", |b| {
+        b.iter(|| concrete_measure(&setup, &d));
+        concrete_ns = b.mean_ns();
+    });
+    c.bench_function("overhead/generic", |b| {
+        b.iter(|| session.run().expect("measure"));
+        generic_ns = b.mean_ns();
+    });
+    if concrete_ns > 0.0 {
+        println!(
+            "trait-object overhead: {:+.3} % (generic {:.3} ms vs concrete {:.3} ms)",
+            (generic_ns / concrete_ns - 1.0) * 100.0,
+            generic_ns / 1e6,
+            concrete_ns / 1e6,
+        );
+    }
+}
+
+criterion_group!(benches, bench_session, bench_overhead_ratio);
+criterion_main!(benches);

@@ -51,7 +51,7 @@ fn main() {
         let bits_hot = digitizer.digitize(&hot, &reference).expect("digitize");
         let bits_cold = digitizer.digitize(&cold, &reference).expect("digitize");
 
-        let (y_str, err) = match estimator.estimate(&bits_hot, &bits_cold) {
+        let (y_str, err) = match estimator.estimate_bits(&bits_hot, &bits_cold) {
             Ok(est) => {
                 let err = (est.ratio - true_ratio) / true_ratio * 100.0;
                 series.push(frac * 100.0, err);

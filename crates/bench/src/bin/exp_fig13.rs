@@ -6,25 +6,28 @@ use nfbist_analog::circuits::NonInvertingAmplifier;
 use nfbist_analog::opamp::OpampModel;
 use nfbist_analog::units::Ohms;
 use nfbist_bench::quick_flag;
-use nfbist_soc::pipeline::BistPipeline;
 use nfbist_soc::report::Series;
+use nfbist_soc::session::MeasurementSession;
 use nfbist_soc::setup::BistSetup;
 
 fn main() {
     let quick = quick_flag();
-    let dut = NonInvertingAmplifier::new(
-        OpampModel::tl081(),
-        Ohms::new(10_000.0),
-        Ohms::new(100.0),
-    )
-    .expect("dut construction");
+    let dut =
+        NonInvertingAmplifier::new(OpampModel::tl081(), Ohms::new(10_000.0), Ohms::new(100.0))
+            .expect("dut construction");
     let setup = if quick {
         BistSetup::quick(13)
     } else {
         BistSetup::paper_prototype(13)
     };
-    let pipeline = BistPipeline::new(setup, dut).expect("pipeline construction");
-    let m = pipeline.measure().expect("measurement");
+    let m = MeasurementSession::new(setup)
+        .expect("session construction")
+        .dut(dut)
+        .run()
+        .expect("measurement");
+    let detail = m
+        .one_bit_detail()
+        .expect("the default estimator reports 1-bit intermediates");
 
     println!(
         "Figure 13. PSD for noise levels after normalization (TL081 prototype)\n\
@@ -32,19 +35,22 @@ fn main() {
         m.nf.figure.db(),
         m.expected_nf_db,
         m.nf.y,
-        m.ratio.normalization.scale
+        detail.normalization.scale
     );
 
     for (name, psd) in [
-        ("hot_psd_db", &m.ratio.hot_spectrum),
-        ("cold_psd_db_normalized", &m.ratio.cold_spectrum_normalized),
+        ("hot_psd_db", &detail.hot_spectrum),
+        ("cold_psd_db_normalized", &detail.cold_spectrum_normalized),
     ] {
         let mut s = Series::new(name);
         // Plot 0–4 kHz: the noise band and the 3 kHz reference line.
         let hi = psd.bin_of(4_000.0).expect("plot range");
         let step = (hi / 800).max(1);
         for k in (0..=hi).step_by(step) {
-            s.push(psd.bin_frequency(k), 10.0 * psd.density()[k].max(1e-30).log10());
+            s.push(
+                psd.bin_frequency(k),
+                10.0 * psd.density()[k].max(1e-30).log10(),
+            );
         }
         print!("{s}");
     }

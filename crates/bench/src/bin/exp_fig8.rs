@@ -21,12 +21,18 @@ fn main() {
         .expect("cold psd");
 
     println!("Figure 8. Power spectrum density of the 1-bit digitizer output\n");
-    for (name, psd) in [("hot_bitstream_psd_db", &psd_hot), ("cold_bitstream_psd_db", &psd_cold)] {
+    for (name, psd) in [
+        ("hot_bitstream_psd_db", &psd_hot),
+        ("cold_bitstream_psd_db", &psd_cold),
+    ] {
         let mut s = Series::new(name);
         // Decimate the plot to ~500 points for readability.
         let step = (psd.len() / 500).max(1);
         for k in (0..psd.len()).step_by(step) {
-            s.push(psd.bin_frequency(k), 10.0 * psd.density()[k].max(1e-30).log10());
+            s.push(
+                psd.bin_frequency(k),
+                10.0 * psd.density()[k].max(1e-30).log10(),
+            );
         }
         print!("{s}");
     }

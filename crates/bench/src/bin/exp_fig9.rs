@@ -33,10 +33,17 @@ fn main() {
     // Zoom: ±40 Hz around the reference.
     let zoom = |name: &str, psd: &nfbist_dsp::spectrum::Spectrum| {
         let mut s = Series::new(name);
-        let lo = psd.bin_of(scenario.reference_frequency - 40.0).expect("zoom lo");
-        let hi = psd.bin_of(scenario.reference_frequency + 40.0).expect("zoom hi");
+        let lo = psd
+            .bin_of(scenario.reference_frequency - 40.0)
+            .expect("zoom lo");
+        let hi = psd
+            .bin_of(scenario.reference_frequency + 40.0)
+            .expect("zoom hi");
         for k in lo..=hi {
-            s.push(psd.bin_frequency(k), 10.0 * psd.density()[k].max(1e-30).log10());
+            s.push(
+                psd.bin_frequency(k),
+                10.0 * psd.density()[k].max(1e-30).log10(),
+            );
         }
         s
     };

@@ -2,17 +2,18 @@
 //! measurement, validating the analytic uncertainty model of
 //! `nfbist_core::uncertainty` against brute-force repetition.
 //!
-//! For each record length, the full pipeline (TL081 prototype) runs
-//! with independent seeds; the spread of the measured NF is compared
-//! with `nf_std_from_record_length`'s prediction.
+//! For each record length, one measurement session (TL081 prototype)
+//! runs with `repeats(trials)` — independent per-repeat seeds — and the
+//! spread of the measured NF is compared with
+//! `nf_std_from_record_length`'s prediction.
 
 use nfbist_analog::circuits::NonInvertingAmplifier;
 use nfbist_analog::opamp::OpampModel;
 use nfbist_analog::units::Ohms;
 use nfbist_bench::quick_flag;
 use nfbist_core::uncertainty::nf_std_from_record_length;
-use nfbist_soc::pipeline::BistPipeline;
 use nfbist_soc::report::Table;
+use nfbist_soc::session::MeasurementSession;
 use nfbist_soc::setup::BistSetup;
 
 fn main() {
@@ -35,47 +36,32 @@ fn main() {
     ]);
 
     for &n in lengths {
-        let mut measured = Vec::with_capacity(trials);
-        let mut expected_nf = 0.0;
-        let mut factor = None;
-        for trial in 0..trials {
-            let dut = NonInvertingAmplifier::new(
-                OpampModel::tl081(),
-                Ohms::new(10_000.0),
-                Ohms::new(100.0),
-            )
-            .expect("dut");
-            let setup = BistSetup {
-                samples: n,
-                nfft: 2_048,
-                seed: 7_000 + trial as u64 * 31 + n as u64,
-                ..BistSetup::paper_prototype(0)
-            };
-            let pipeline = BistPipeline::new(setup, dut).expect("pipeline");
-            let m = pipeline.measure().expect("measurement");
-            measured.push(m.nf.figure.db());
-            expected_nf = m.expected_nf_db;
-            factor = Some(m.nf.factor);
-        }
-        let mean = nfbist_dsp::stats::mean(&measured).expect("mean");
-        let sigma = nfbist_dsp::stats::std_dev(&measured).expect("std");
+        let dut =
+            NonInvertingAmplifier::new(OpampModel::tl081(), Ohms::new(10_000.0), Ohms::new(100.0))
+                .expect("dut");
+        let setup = BistSetup {
+            samples: n,
+            nfft: 2_048,
+            seed: 7_000 + n as u64,
+            ..BistSetup::paper_prototype(0)
+        };
+        let m = MeasurementSession::new(setup)
+            .expect("session")
+            .dut(dut)
+            .repeats(trials)
+            .run()
+            .expect("measurement");
         // Effective independent samples: 2·B·T with B = 900 Hz band and
         // T = n / fs.
         let n_eff = (2.0 * 900.0 * n as f64 / 20_000.0) as usize;
-        let predicted = nf_std_from_record_length(
-            factor.expect("at least one trial"),
-            2_900.0,
-            290.0,
-            n_eff,
-        )
-        .expect("prediction");
+        let predicted =
+            nf_std_from_record_length(m.nf.factor, 2_900.0, 290.0, n_eff).expect("prediction");
         table.row(vec![
             format!("2^{}", n.trailing_zeros()),
-            format!("{mean:.2}"),
-            format!("{sigma:.3}"),
+            format!("{:.2}", m.nf.figure.db()),
+            format!("{:.3}", m.nf_spread_db),
             format!("{predicted:.3}"),
         ]);
-        let _ = expected_nf;
     }
     print!("{table}");
     println!(

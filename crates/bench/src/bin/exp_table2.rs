@@ -55,14 +55,14 @@ fn main() {
 
     let estimator = scenario.estimator(nfft).expect("estimator config");
     let one_bit = estimator
-        .estimate(&scenario.bits_hot, &scenario.bits_cold)
+        .estimate_bits(&scenario.bits_hot, &scenario.bits_cold)
         .expect("one-bit estimate");
     push("1-bit PSD ratio excluding reference", one_bit.ratio);
 
     if ablate {
         let no_excl = estimator.with_reference_exclusion(false);
         let r = no_excl
-            .estimate(&scenario.bits_hot, &scenario.bits_cold)
+            .estimate_bits(&scenario.bits_hot, &scenario.bits_cold)
             .expect("ablation estimate");
         push("1-bit PSD ratio INCLUDING reference (ablation)", r.ratio);
     }

@@ -8,8 +8,8 @@ use nfbist_analog::circuits::NonInvertingAmplifier;
 use nfbist_analog::opamp::OpampModel;
 use nfbist_analog::units::Ohms;
 use nfbist_bench::quick_flag;
-use nfbist_soc::pipeline::BistPipeline;
 use nfbist_soc::report::Table;
+use nfbist_soc::session::MeasurementSession;
 use nfbist_soc::setup::BistSetup;
 
 fn main() {
@@ -36,8 +36,11 @@ fn main() {
         } else {
             BistSetup::paper_prototype(2005 + i as u64)
         };
-        let pipeline = BistPipeline::new(setup, dut).expect("pipeline construction");
-        let m = pipeline.measure().expect("measurement");
+        let m = MeasurementSession::new(setup)
+            .expect("session construction")
+            .dut(dut)
+            .run()
+            .expect("measurement");
         table.row(vec![
             name,
             format!("{:.2}", m.expected_nf_db),

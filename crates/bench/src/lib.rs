@@ -152,16 +152,14 @@ impl Table2Scenario {
     /// Propagates configuration errors.
     pub fn estimator(&self, nfft: usize) -> Result<OneBitPowerRatio, CoreError> {
         if self.reference_frequency < 100.0 {
-            Ok(
-                OneBitPowerRatio::new(
-                    self.sample_rate,
-                    nfft,
-                    self.reference_frequency,
-                    (500.0, 4_500.0),
-                )?
-                // Exclude square-wave harmonics reaching into the band.
-                .with_excluded_harmonics(75),
-            )
+            Ok(OneBitPowerRatio::new(
+                self.sample_rate,
+                nfft,
+                self.reference_frequency,
+                (500.0, 4_500.0),
+            )?
+            // Exclude square-wave harmonics reaching into the band.
+            .with_excluded_harmonics(75))
         } else {
             OneBitPowerRatio::new(
                 self.sample_rate,
@@ -208,7 +206,7 @@ mod tests {
     fn scenario_estimator_recovers_ratio() {
         let s = Table2Scenario::build(1 << 18, 0.3, 2).unwrap();
         let est = s.estimator(2_000).unwrap();
-        let r = est.estimate(&s.bits_hot, &s.bits_cold).unwrap();
+        let r = est.estimate_bits(&s.bits_hot, &s.bits_cold).unwrap();
         assert!(
             (r.ratio - s.true_ratio).abs() / s.true_ratio < 0.08,
             "ratio {} vs true {}",

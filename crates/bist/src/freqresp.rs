@@ -123,11 +123,8 @@ impl FrequencyResponseTester {
             stage.reset();
             let mut out = stage.process(&tone);
             // The DUT's own broadband output noise, acting as dither.
-            let dither = WhiteNoise::new(
-                self.dither_sigma,
-                self.seed.wrapping_add(i as u64),
-            )?
-            .generate(n);
+            let dither =
+                WhiteNoise::new(self.dither_sigma, self.seed.wrapping_add(i as u64))?.generate(n);
             for (o, d) in out.iter_mut().zip(&dither) {
                 *o += d;
             }
@@ -197,7 +194,9 @@ mod tests {
             150_000,
             0.25,
             1.0,
-            vec![200.0, 500.0, 1_000.0, 1_500.0, 2_000.0, 3_000.0, 4_000.0, 6_000.0, 8_000.0],
+            vec![
+                200.0, 500.0, 1_000.0, 1_500.0, 2_000.0, 3_000.0, 4_000.0, 6_000.0, 8_000.0,
+            ],
             5,
         )
         .unwrap();

@@ -8,16 +8,23 @@
 //!
 //! * [`setup`] — configuration of the paper's Fig. 11 bench (source
 //!   temperatures, reference tone, record/FFT sizes, noise band).
-//! * [`pipeline`] — the end-to-end measurement: acquire hot/cold
-//!   bitstreams through the simulated analog chain, run the 1-bit
-//!   Y-factor estimator, report NF with the analytic expectation.
+//! * [`session`] — the generic measurement path:
+//!   [`session::MeasurementSession`] runs hot/cold acquisitions through
+//!   **any** circuit (the `Dut` trait), **any** acquisition front-end
+//!   (the `Digitizer` trait: the paper's 1-bit comparator cell of
+//!   Fig. 11 or the conventional ADC + mux bench of Fig. 4), and
+//!   **any** Table 2 power-ratio estimator (the `PowerRatioEstimator`
+//!   trait), with optional repeated/averaged acquisitions.
 //! * [`multipoint`] — simultaneous observation of several test points
 //!   along a cascade, each with its own permanently attached digitizer
 //!   (the observability argument of §4.3).
 //! * [`resources`] — SoC memory/compute accounting: what an acquisition
 //!   costs in bytes and arithmetic, 1-bit vs ADC.
-//! * [`baseline`] — the ADC + analog-mux Y-factor setup of Fig. 4, the
-//!   baseline the proposed digitizer replaces.
+//! * [`screening`] — guard-banded pass/fail verdicts for production
+//!   test.
+//! * [`freqresp`] — the comparator cell reused for frequency-response
+//!   measurement (§7).
+//! * [`testplan`] — scheduling acquisitions under a memory budget.
 //! * [`report`] — measurement report types with display formatting.
 //!
 //! ## Example
@@ -26,7 +33,7 @@
 //! use nfbist_analog::circuits::NonInvertingAmplifier;
 //! use nfbist_analog::opamp::OpampModel;
 //! use nfbist_analog::units::Ohms;
-//! use nfbist_soc::pipeline::BistPipeline;
+//! use nfbist_soc::session::MeasurementSession;
 //! use nfbist_soc::setup::BistSetup;
 //!
 //! # fn main() -> Result<(), nfbist_soc::SocError> {
@@ -35,10 +42,35 @@
 //!     Ohms::new(10_000.0),
 //!     Ohms::new(100.0),
 //! )?;
-//! let setup = BistSetup::paper_prototype(42);
-//! let pipeline = BistPipeline::new(setup, dut)?;
-//! let m = pipeline.measure()?;
+//! let m = MeasurementSession::new(BistSetup::paper_prototype(42))?
+//!     .dut(dut)
+//!     .repeats(4)
+//!     .run()?;
 //! println!("expected {:.2} dB, measured {:.2} dB", m.expected_nf_db, m.nf.figure.db());
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Swapping one axis reproduces the conventional bench the paper argues
+//! against — same session, different front-end and estimator:
+//!
+//! ```no_run
+//! use nfbist_analog::converter::AdcDigitizer;
+//! use nfbist_core::power_ratio::PsdRatioEstimator;
+//! use nfbist_soc::session::MeasurementSession;
+//! use nfbist_soc::setup::BistSetup;
+//!
+//! # fn main() -> Result<(), nfbist_soc::SocError> {
+//! let setup = BistSetup::quick(1);
+//! let m = MeasurementSession::new(setup.clone())?
+//!     .digitizer(AdcDigitizer::new(12)?)
+//!     .estimator(PsdRatioEstimator::new(
+//!         setup.sample_rate,
+//!         setup.nfft,
+//!         setup.noise_band,
+//!     )?)
+//!     .run()?;
+//! println!("{m}");
 //! # Ok(())
 //! # }
 //! ```
@@ -46,16 +78,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod baseline;
 pub mod freqresp;
 pub mod multipoint;
-pub mod pipeline;
 pub mod report;
 pub mod resources;
 pub mod screening;
+pub mod session;
 pub mod setup;
 pub mod testplan;
 
 mod error;
 
 pub use error::SocError;
+pub use session::{Measurement, MeasurementSession};

@@ -10,8 +10,9 @@
 
 use crate::setup::BistSetup;
 use crate::SocError;
-use nfbist_analog::circuits::{friis_noise_factor, CascadeStage, NonInvertingAmplifier};
+use nfbist_analog::circuits::{friis_noise_factor, CascadeStage};
 use nfbist_analog::converter::OneBitDigitizer;
+use nfbist_analog::dut::Dut;
 use nfbist_analog::noise::{CalibratedNoiseSource, NoiseSourceState};
 use nfbist_analog::source::{SineSource, Waveform};
 use nfbist_analog::units::Kelvin;
@@ -29,13 +30,15 @@ pub struct PointMeasurement {
     pub expected_nf_db: f64,
 }
 
-/// A cascade of DUT stages with a permanently attached digitizer at
-/// every stage output.
+/// A cascade of [`Dut`] stages with a permanently attached digitizer
+/// at every stage output. Stages may be heterogeneous — any `Dut`
+/// implementor can sit at any position.
 ///
 /// # Examples
 ///
 /// ```no_run
 /// use nfbist_analog::circuits::NonInvertingAmplifier;
+/// use nfbist_analog::dut::Dut;
 /// use nfbist_analog::opamp::OpampModel;
 /// use nfbist_analog::units::Ohms;
 /// use nfbist_soc::multipoint::MultipointBist;
@@ -43,18 +46,32 @@ pub struct PointMeasurement {
 ///
 /// # fn main() -> Result<(), nfbist_soc::SocError> {
 /// let stage = |m| NonInvertingAmplifier::new(m, Ohms::new(1_000.0), Ohms::new(1_000.0));
-/// let cascade = vec![stage(OpampModel::op27())?, stage(OpampModel::tl081())?];
+/// let cascade: Vec<Box<dyn Dut>> = vec![
+///     Box::new(stage(OpampModel::op27())?),
+///     Box::new(stage(OpampModel::tl081())?),
+/// ];
 /// let bist = MultipointBist::new(BistSetup::quick(1), cascade)?;
 /// let points = bist.measure_all()?;
 /// assert_eq!(points.len(), 2);
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone)]
 pub struct MultipointBist {
     setup: BistSetup,
-    stages: Vec<NonInvertingAmplifier>,
+    stages: Vec<Box<dyn Dut>>,
     digitizer: OneBitDigitizer,
+}
+
+impl std::fmt::Debug for MultipointBist {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MultipointBist")
+            .field("setup", &self.setup)
+            .field(
+                "stages",
+                &self.stages.iter().map(|s| s.label()).collect::<Vec<_>>(),
+            )
+            .finish()
+    }
 }
 
 impl MultipointBist {
@@ -64,7 +81,7 @@ impl MultipointBist {
     ///
     /// Returns [`SocError::InvalidParameter`] for an empty cascade and
     /// propagates setup validation.
-    pub fn new(setup: BistSetup, stages: Vec<NonInvertingAmplifier>) -> Result<Self, SocError> {
+    pub fn new(setup: BistSetup, stages: Vec<Box<dyn Dut>>) -> Result<Self, SocError> {
         setup.validate()?;
         if stages.is_empty() {
             return Err(SocError::InvalidParameter {
@@ -98,7 +115,9 @@ impl MultipointBist {
                 reason: "test point index out of range",
             });
         }
-        let band = (self.setup.noise_band.0.max(1.0), self.setup.noise_band.1);
+        // `validate` guarantees f_lo > 0, so the band is usable for
+        // the 1/f-aware expectation integral as-is.
+        let band = self.setup.noise_band;
         let mut cascade = Vec::with_capacity(point + 1);
         // First stage sees the source resistance; later stages see the
         // previous stage's (low) output impedance — approximate with
@@ -142,7 +161,7 @@ impl MultipointBist {
                 NoiseSourceState::Hot => 0x1234_5678,
                 NoiseSourceState::Cold => 0x8765_4321,
             });
-            signal = stage.amplify(
+            signal = stage.process(
                 &signal,
                 self.setup.source_resistance,
                 fs,
@@ -210,11 +229,12 @@ impl MultipointBist {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use nfbist_analog::circuits::NonInvertingAmplifier;
     use nfbist_analog::opamp::OpampModel;
     use nfbist_analog::units::Ohms;
 
-    fn stage(opamp: OpampModel, rf: f64, rg: f64) -> NonInvertingAmplifier {
-        NonInvertingAmplifier::new(opamp, Ohms::new(rf), Ohms::new(rg)).unwrap()
+    fn stage(opamp: OpampModel, rf: f64, rg: f64) -> Box<dyn Dut> {
+        Box::new(NonInvertingAmplifier::new(opamp, Ohms::new(rf), Ohms::new(rg)).unwrap())
     }
 
     #[test]
@@ -222,9 +242,7 @@ mod tests {
         assert!(MultipointBist::new(BistSetup::quick(0), vec![]).is_err());
         let mut bad = BistSetup::quick(0);
         bad.samples = 0;
-        assert!(
-            MultipointBist::new(bad, vec![stage(OpampModel::op27(), 1e3, 1e3)]).is_err()
-        );
+        assert!(MultipointBist::new(bad, vec![stage(OpampModel::op27(), 1e3, 1e3)]).is_err());
     }
 
     #[test]
@@ -266,7 +284,7 @@ mod tests {
     #[test]
     fn simultaneous_measurement_of_two_points() {
         let bist = MultipointBist::new(
-            BistSetup::quick(3),
+            BistSetup::quick(7),
             vec![
                 stage(OpampModel::tl081(), 1_000.0, 1_000.0),
                 stage(OpampModel::ca3140(), 1_000.0, 1_000.0),
@@ -286,5 +304,41 @@ mod tests {
         }
         // Cumulative NF grows along this low-gain cascade.
         assert!(points[1].expected_nf_db > points[0].expected_nf_db);
+    }
+
+    #[test]
+    fn heterogeneous_cascade_is_observable() {
+        // The Dut trait at work: a noiseless behavioural gain block
+        // sits between two op-amp stages, and every point still gets a
+        // cumulative NF from the same acquisition pair.
+        use nfbist_analog::component::Amplifier;
+        let bist = MultipointBist::new(
+            BistSetup::quick(4),
+            vec![
+                stage(OpampModel::op27(), 10_000.0, 100.0),
+                Box::new(Amplifier::ideal(2.0).unwrap()),
+                stage(OpampModel::ca3140(), 1_000.0, 1_000.0),
+            ],
+        )
+        .unwrap();
+        assert_eq!(bist.points(), 3);
+        let points = bist.measure_all().unwrap();
+        // A noiseless unity-NF stage behind gain 101 leaves the
+        // cumulative expectation essentially unchanged.
+        assert!(
+            (points[1].expected_nf_db - points[0].expected_nf_db).abs() < 0.01,
+            "{} vs {}",
+            points[1].expected_nf_db,
+            points[0].expected_nf_db
+        );
+        for p in &points {
+            assert!(
+                (p.nf.figure.db() - p.expected_nf_db).abs() < 2.0,
+                "point {}: measured {:.2} vs expected {:.2}",
+                p.stage,
+                p.nf.figure.db(),
+                p.expected_nf_db
+            );
+        }
     }
 }

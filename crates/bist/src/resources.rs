@@ -35,6 +35,18 @@ pub fn adc_usage(samples: usize, nfft: usize, bits: u32) -> ResourceUsage {
     usage(samples, nfft, (bits as usize).div_ceil(8) * 8)
 }
 
+/// Cost model for any acquisition front-end by its stored
+/// `bits_per_sample` (see `Digitizer::bits_per_sample` in
+/// `nfbist-analog`): 1-bit records pack tightly; multi-bit records are
+/// stored in whole bytes, as a DMA engine would.
+pub fn digitizer_usage(samples: usize, nfft: usize, bits_per_sample: u32) -> ResourceUsage {
+    if bits_per_sample <= 1 {
+        one_bit_usage(samples, nfft)
+    } else {
+        adc_usage(samples, nfft, bits_per_sample)
+    }
+}
+
 fn usage(samples: usize, nfft: usize, bits_per_sample: usize) -> ResourceUsage {
     let record_bytes = (samples * bits_per_sample).div_ceil(8);
     // FFT working buffer: nfft complex f64 = 16 bytes each.

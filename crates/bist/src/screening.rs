@@ -85,8 +85,7 @@ impl Screen {
     ///
     /// Propagates uncertainty-model errors.
     pub fn guard_db(&self, m: &NfMeasurement, n_effective: usize) -> Result<f64, SocError> {
-        let sigma =
-            uncertainty::nf_std_from_record_length(m.factor, 2_900.0, 290.0, n_effective)?;
+        let sigma = uncertainty::nf_std_from_record_length(m.factor, 2_900.0, 290.0, n_effective)?;
         Ok(self.sigma_multiple * sigma)
     }
 

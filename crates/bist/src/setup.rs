@@ -125,9 +125,7 @@ impl BistSetup {
                 reason: "must be positive",
             });
         }
-        if !(self.reference_frequency > 0.0)
-            || self.reference_frequency >= self.sample_rate / 2.0
-        {
+        if !(self.reference_frequency > 0.0) || self.reference_frequency >= self.sample_rate / 2.0 {
             return Err(SocError::InvalidParameter {
                 name: "reference_frequency",
                 reason: "must be positive and below nyquist",
@@ -139,13 +137,17 @@ impl BistSetup {
                 reason: "must be in (0, 1)",
             });
         }
-        if !(self.noise_band.0 >= 0.0)
+        // f_lo must be strictly positive: the analytic expectation
+        // integrates the op-amp 1/f noise model over the band, which
+        // diverges at DC — and the measured/expected columns must
+        // cover the same band to be comparable.
+        if !(self.noise_band.0 > 0.0)
             || !(self.noise_band.1 > self.noise_band.0)
             || self.noise_band.1 >= self.sample_rate / 2.0
         {
             return Err(SocError::InvalidParameter {
                 name: "noise_band",
-                reason: "requires 0 <= f_lo < f_hi < nyquist",
+                reason: "requires 0 < f_lo < f_hi < nyquist",
             });
         }
         if !(self.post_gain > 0.0) {
@@ -194,15 +196,13 @@ mod tests {
             ("ref frac", Box::new(|s| s.reference_fraction = 0.0)),
             ("ref frac 1", Box::new(|s| s.reference_fraction = 1.0)),
             ("band", Box::new(|s| s.noise_band = (500.0, 100.0))),
+            ("band dc", Box::new(|s| s.noise_band = (0.0, 100.0))),
             (
                 "band nyquist",
                 Box::new(|s| s.noise_band = (100.0, s.sample_rate)),
             ),
             ("post gain", Box::new(|s| s.post_gain = 0.0)),
-            (
-                "cal error",
-                Box::new(|s| s.hot_calibration_error = -1.0),
-            ),
+            ("cal error", Box::new(|s| s.hot_calibration_error = -1.0)),
         ];
         for (name, mutate) in mutations {
             let mut s = base.clone();

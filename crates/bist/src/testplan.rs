@@ -118,10 +118,9 @@ mod tests {
 
     #[test]
     fn bigger_budget_means_fewer_passes() {
-        let small = plan_acquisitions(16, 1_000_000, 10_000, ResourceBudget::new(512 * 1024))
-            .unwrap();
-        let large =
-            plan_acquisitions(16, 1_000_000, 10_000, ResourceBudget::new(8 << 20)).unwrap();
+        let small =
+            plan_acquisitions(16, 1_000_000, 10_000, ResourceBudget::new(512 * 1024)).unwrap();
+        let large = plan_acquisitions(16, 1_000_000, 10_000, ResourceBudget::new(8 << 20)).unwrap();
         assert!(large.passes < small.passes, "{large:?} vs {small:?}");
         assert!(large.points_per_pass > small.points_per_pass);
         assert!(large.total_points() >= 16);

@@ -63,7 +63,9 @@ pub fn arcsine_law_inverse(rho_out: f64) -> Result<f64, CoreError> {
         });
     }
     // y = (2/π)·asin(x)  ⇒  x = sin(π·y/2).
-    Ok((rho_out * std::f64::consts::FRAC_PI_2).sin().clamp(-1.0, 1.0))
+    Ok((rho_out * std::f64::consts::FRAC_PI_2)
+        .sin()
+        .clamp(-1.0, 1.0))
 }
 
 /// Applies the arcsine law to a whole normalized autocorrelation

@@ -120,7 +120,7 @@ impl OneBitNfEstimator {
         hot: &Bitstream,
         cold: &Bitstream,
     ) -> Result<(NfMeasurement, OneBitRatioEstimate), CoreError> {
-        let ratio = self.ratio.estimate(hot, cold)?;
+        let ratio = self.ratio.estimate_bits(hot, cold)?;
         let nf = NfMeasurement::from_y(ratio.ratio, self.hot_kelvin, self.cold_kelvin)?;
         Ok((nf, ratio))
     }

@@ -53,10 +53,12 @@ pub fn relative_response(
             reason: "needs at least one point",
         });
     }
-    let anchor = sweep.get(reference_index).ok_or(CoreError::InvalidParameter {
-        name: "reference_index",
-        reason: "out of range",
-    })?;
+    let anchor = sweep
+        .get(reference_index)
+        .ok_or(CoreError::InvalidParameter {
+            name: "reference_index",
+            reason: "out of range",
+        })?;
     if !(anchor.line_power > 0.0) {
         return Err(CoreError::Degenerate {
             reason: "reference sweep point carries no line power",
@@ -70,7 +72,10 @@ pub fn relative_response(
                     reason: "sweep point carries no line power",
                 });
             }
-            Ok((p.frequency, 10.0 * (p.line_power / anchor.line_power).log10()))
+            Ok((
+                p.frequency,
+                10.0 * (p.line_power / anchor.line_power).log10(),
+            ))
         })
         .collect()
 }

@@ -15,9 +15,11 @@
 //!   BIST.
 //! * [`arcsine`] — the arcsine law (eq. 12) governing the 1-bit
 //!   digitizer, with its linearized small-signal gain.
-//! * [`power_ratio`] — the three power-ratio estimators of Table 2:
-//!   time-domain mean-square, PSD ratio, and the 1-bit PSD ratio with
-//!   reference normalization and exclusion.
+//! * [`power_ratio`] — the three power-ratio estimators of Table 2
+//!   (time-domain mean-square, PSD ratio, and the 1-bit PSD ratio with
+//!   reference normalization and exclusion), unified behind the
+//!   object-safe [`power_ratio::PowerRatioEstimator`] trait with the
+//!   common [`power_ratio::RatioEstimate`] report.
 //! * [`normalize`] — the reference-line tracking and spectrum
 //!   normalization procedure of §5.2.
 //! * [`estimator`] — end-to-end helpers gluing a power-ratio estimate to
@@ -48,7 +50,7 @@
 //! let bits_cold = digitizer.digitize(&cold, &reference)?;
 //!
 //! let estimator = OneBitPowerRatio::new(fs, 4096, 3_000.0, (100.0, 1_500.0))?;
-//! let estimate = estimator.estimate(&bits_hot, &bits_cold)?;
+//! let estimate = estimator.estimate_bits(&bits_hot, &bits_cold)?;
 //! assert!((estimate.ratio - 2.0).abs() < 0.2);
 //! # Ok(())
 //! # }

@@ -115,10 +115,7 @@ impl ReferenceTracker {
         };
 
         let df = spectrum.resolution();
-        let power: f64 = bins
-            .iter()
-            .map(|&k| (d[k] - floor).max(0.0) * df)
-            .sum();
+        let power: f64 = bins.iter().map(|&k| (d[k] - floor).max(0.0) * df).sum();
         // Reject a "line" indistinguishable from floor fluctuations:
         // require the summed excess to beat the floor statistics.
         if !(power > 0.0) || peak.density < 2.0 * floor {

@@ -128,7 +128,10 @@ mod tests {
     fn capture_method_on_synthetic_mix() {
         let n = 200_000;
         let fs = 20_000.0;
-        let tone = SineSource::new(1_000.0, 1.0).unwrap().generate(n, fs).unwrap();
+        let tone = SineSource::new(1_000.0, 1.0)
+            .unwrap()
+            .generate(n, fs)
+            .unwrap();
         let noise = WhiteNoise::new(0.25, 1).unwrap().generate(n);
         let mixed: Vec<f64> = tone.iter().zip(&noise).map(|(a, b)| a + b).collect();
         let fresh_noise = WhiteNoise::new(0.25, 2).unwrap().generate(n);
@@ -145,14 +148,21 @@ mod tests {
         let fs = 20_000.0;
         let amp = 0.5;
         let sigma = 0.2;
-        let tone = SineSource::new(2_000.0, amp).unwrap().generate(n, fs).unwrap();
+        let tone = SineSource::new(2_000.0, amp)
+            .unwrap()
+            .generate(n, fs)
+            .unwrap();
         let noise = WhiteNoise::new(sigma, 3).unwrap().generate(n);
         let mixed: Vec<f64> = tone.iter().zip(&noise).map(|(a, b)| a + b).collect();
         let est = snr_spectral(&mixed, fs, 4_096, 2_000.0, (100.0, 9_000.0)).unwrap();
         // Tone power amp²/2 = 0.125; noise in 100–9000 Hz of the
         // σ² = 0.04 white floor ≈ 0.04·8900/10000 = 0.0356 → 5.45 dB.
         let expected = 10.0 * (0.125f64 / (0.04 * 8_900.0 / 10_000.0)).log10();
-        assert!((est.snr_db - expected).abs() < 0.3, "snr {} vs {expected}", est.snr_db);
+        assert!(
+            (est.snr_db - expected).abs() < 0.3,
+            "snr {} vs {expected}",
+            est.snr_db
+        );
     }
 
     #[test]

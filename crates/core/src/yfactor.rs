@@ -203,7 +203,9 @@ mod tests {
     #[test]
     fn forward_model_roundtrip_over_grid() {
         for nf_db in [0.5, 3.0, 6.5, 10.1, 16.2] {
-            let f = crate::figure::NoiseFigure::from_db(nf_db).unwrap().to_factor();
+            let f = crate::figure::NoiseFigure::from_db(nf_db)
+                .unwrap()
+                .to_factor();
             for (th, tc) in [(2900.0, 290.0), (10_000.0, 1_000.0), (1_000.0, 77.0)] {
                 let y = expected_y(f, th, tc).unwrap();
                 let back = noise_factor_from_temperatures(y, th, tc).unwrap();

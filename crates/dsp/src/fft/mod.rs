@@ -213,10 +213,7 @@ mod tests {
     fn assert_close(a: &[Complex64], b: &[Complex64], tol: f64) {
         assert_eq!(a.len(), b.len());
         for (x, y) in a.iter().zip(b) {
-            assert!(
-                (*x - *y).abs() < tol,
-                "mismatch: {x} vs {y} (tol {tol})"
-            );
+            assert!((*x - *y).abs() < tol, "mismatch: {x} vs {y} (tol {tol})");
         }
     }
 
@@ -269,12 +266,7 @@ mod tests {
     fn matches_naive_dft() {
         for n in [2usize, 4, 8, 32, 128] {
             let x: Vec<Complex64> = (0..n)
-                .map(|j| {
-                    Complex64::new(
-                        (j as f64 * 0.7).sin() + 0.3,
-                        (j as f64 * 1.3).cos() - 0.1,
-                    )
-                })
+                .map(|j| Complex64::new((j as f64 * 0.7).sin() + 0.3, (j as f64 * 1.3).cos() - 0.1))
                 .collect();
             let fast = Fft::new(n).unwrap().forward(&x).unwrap();
             let slow = dft_naive(&x);
@@ -328,7 +320,14 @@ mod tests {
     fn length_mismatch_is_reported() {
         let plan = Fft::new(8).unwrap();
         let err = plan.forward(&[Complex64::ZERO; 4]).unwrap_err();
-        assert!(matches!(err, DspError::LengthMismatch { expected: 8, actual: 4, .. }));
+        assert!(matches!(
+            err,
+            DspError::LengthMismatch {
+                expected: 8,
+                actual: 4,
+                ..
+            }
+        ));
     }
 
     #[test]

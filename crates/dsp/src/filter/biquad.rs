@@ -236,7 +236,10 @@ mod tests {
         let fc = 3000.0;
         let c = BiquadCoefficients::lowpass(fc, std::f64::consts::FRAC_1_SQRT_2, fs).unwrap();
         let g = c.magnitude_at(fc, fs);
-        assert!((g - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-6, "gain {g}");
+        assert!(
+            (g - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-6,
+            "gain {g}"
+        );
     }
 
     #[test]

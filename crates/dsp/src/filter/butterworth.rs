@@ -164,8 +164,12 @@ mod tests {
     fn rolloff_steepens_with_order() {
         let fs = 48_000.0;
         let fc = 1000.0;
-        let g2 = ButterworthFilter::lowpass(2, fc, fs).unwrap().magnitude_at(4000.0);
-        let g6 = ButterworthFilter::lowpass(6, fc, fs).unwrap().magnitude_at(4000.0);
+        let g2 = ButterworthFilter::lowpass(2, fc, fs)
+            .unwrap()
+            .magnitude_at(4000.0);
+        let g6 = ButterworthFilter::lowpass(6, fc, fs)
+            .unwrap()
+            .magnitude_at(4000.0);
         assert!(g6 < g2 / 50.0, "order-6 {g6} vs order-2 {g2}");
     }
 

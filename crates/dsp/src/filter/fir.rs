@@ -73,7 +73,8 @@ impl FirSpec {
             if k == 0 {
                 2.0 * f
             } else {
-                (2.0 * std::f64::consts::PI * f * k as f64).sin() / (std::f64::consts::PI * k as f64)
+                (2.0 * std::f64::consts::PI * f * k as f64).sin()
+                    / (std::f64::consts::PI * k as f64)
             }
         };
 
@@ -265,14 +266,26 @@ mod tests {
     #[test]
     fn bandpass_and_bandstop_are_complementary() {
         let fs = 8000.0;
-        let bp = FirSpec::new(BandKind::BandPass { low: 500.0, high: 1500.0 }, 201)
-            .unwrap()
-            .design(fs)
-            .unwrap();
-        let bs = FirSpec::new(BandKind::BandStop { low: 500.0, high: 1500.0 }, 201)
-            .unwrap()
-            .design(fs)
-            .unwrap();
+        let bp = FirSpec::new(
+            BandKind::BandPass {
+                low: 500.0,
+                high: 1500.0,
+            },
+            201,
+        )
+        .unwrap()
+        .design(fs)
+        .unwrap();
+        let bs = FirSpec::new(
+            BandKind::BandStop {
+                low: 500.0,
+                high: 1500.0,
+            },
+            201,
+        )
+        .unwrap()
+        .design(fs)
+        .unwrap();
         for f in [100.0, 1000.0, 3000.0] {
             let sum = bp.magnitude_at(f, fs).unwrap() + bs.magnitude_at(f, fs).unwrap();
             assert!((sum - 1.0).abs() < 0.05, "complementarity at {f}: {sum}");

@@ -94,8 +94,23 @@ mod tests {
         assert!(BandKind::LowPass { cutoff: 0.0 }.validate(fs).is_err());
         assert!(BandKind::LowPass { cutoff: 500.0 }.validate(fs).is_err());
         assert!(BandKind::HighPass { cutoff: 499.0 }.validate(fs).is_ok());
-        assert!(BandKind::BandPass { low: 100.0, high: 200.0 }.validate(fs).is_ok());
-        assert!(BandKind::BandPass { low: 200.0, high: 100.0 }.validate(fs).is_err());
-        assert!(BandKind::BandStop { low: 100.0, high: 600.0 }.validate(fs).is_err());
+        assert!(BandKind::BandPass {
+            low: 100.0,
+            high: 200.0
+        }
+        .validate(fs)
+        .is_ok());
+        assert!(BandKind::BandPass {
+            low: 200.0,
+            high: 100.0
+        }
+        .validate(fs)
+        .is_err());
+        assert!(BandKind::BandStop {
+            low: 100.0,
+            high: 600.0
+        }
+        .validate(fs)
+        .is_err());
     }
 }

@@ -84,7 +84,9 @@ impl Goertzel {
     /// Returns [`DspError::EmptyInput`] for an empty record.
     pub fn magnitude_sq(&self, x: &[f64]) -> Result<f64, DspError> {
         if x.is_empty() {
-            return Err(DspError::EmptyInput { context: "goertzel" });
+            return Err(DspError::EmptyInput {
+                context: "goertzel",
+            });
         }
         let (mut s1, mut s2) = (0.0f64, 0.0f64);
         for &v in x {
@@ -155,8 +157,7 @@ mod tests {
         let g = Goertzel::new(k0 as f64, fs).unwrap();
         let fft_bin = Fft::new(n).unwrap().forward_real(&x).unwrap()[k0];
         assert!(
-            (g.magnitude_sq(&x).unwrap() - fft_bin.norm_sqr()).abs()
-                < 1e-6 * fft_bin.norm_sqr(),
+            (g.magnitude_sq(&x).unwrap() - fft_bin.norm_sqr()).abs() < 1e-6 * fft_bin.norm_sqr(),
             "goertzel vs fft"
         );
     }

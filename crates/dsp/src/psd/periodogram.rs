@@ -172,7 +172,10 @@ mod tests {
         // Reading only the single peak bin instead requires the ENBW
         // correction.
         let single = psd.tone_power(k0, 0).unwrap() * Window::Hann.enbw_bins(n);
-        assert!((single - 0.5).abs() < 0.01, "enbw-corrected single bin {single}");
+        assert!(
+            (single - 0.5).abs() < 0.01,
+            "enbw-corrected single bin {single}"
+        );
     }
 
     #[test]

@@ -210,10 +210,7 @@ mod tests {
         let fs = 10_000.0;
         let sigma = 0.5;
         let x = gaussian_like(200_000, sigma, 42);
-        let psd = WelchConfig::new(1024)
-            .unwrap()
-            .estimate(&x, fs)
-            .unwrap();
+        let psd = WelchConfig::new(1024).unwrap().estimate(&x, fs).unwrap();
         // Expected one-sided density: σ²/(fs/2).
         let expected = sigma * sigma / (fs / 2.0);
         // Average density across interior bins.
@@ -268,7 +265,10 @@ mod tests {
     #[test]
     fn non_power_of_two_segments() {
         let x = gaussian_like(50_000, 1.0, 3);
-        let psd = WelchConfig::new(10_00).unwrap().estimate(&x, 5000.0).unwrap();
+        let psd = WelchConfig::new(10_00)
+            .unwrap()
+            .estimate(&x, 5000.0)
+            .unwrap();
         assert_eq!(psd.len(), 501);
         assert!((psd.total_power() - 1.0).abs() < 0.1);
     }

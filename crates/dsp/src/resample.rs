@@ -38,7 +38,9 @@ pub fn decimate(x: &[f64], factor: usize, sample_rate: f64) -> Result<Vec<f64>, 
         });
     }
     if x.is_empty() {
-        return Err(DspError::EmptyInput { context: "decimate" });
+        return Err(DspError::EmptyInput {
+            context: "decimate",
+        });
     }
     if factor == 1 {
         return Ok(x.to_vec());
@@ -149,7 +151,9 @@ mod tests {
         let fs = 16_000.0;
         let f0 = 100.0;
         let n = 8000;
-        let x: Vec<f64> = (0..n).map(|j| (2.0 * PI * f0 * j as f64 / fs).sin()).collect();
+        let x: Vec<f64> = (0..n)
+            .map(|j| (2.0 * PI * f0 * j as f64 / fs).sin())
+            .collect();
         let y = decimate(&x, 4, fs).unwrap();
         // Peak amplitude in steady state stays ≈ 1.
         let peak = y[200..y.len() - 200]
@@ -163,7 +167,9 @@ mod tests {
         let fs = 16_000.0;
         let f0 = 7000.0; // above the new Nyquist of 2 kHz
         let n = 8000;
-        let x: Vec<f64> = (0..n).map(|j| (2.0 * PI * f0 * j as f64 / fs).sin()).collect();
+        let x: Vec<f64> = (0..n)
+            .map(|j| (2.0 * PI * f0 * j as f64 / fs).sin())
+            .collect();
         let y = decimate(&x, 4, fs).unwrap();
         let peak = y[200..y.len() - 200]
             .iter()
@@ -176,7 +182,9 @@ mod tests {
         let fs = 2000.0;
         let f0 = 100.0;
         let n = 2000;
-        let x: Vec<f64> = (0..n).map(|j| (2.0 * PI * f0 * j as f64 / fs).sin()).collect();
+        let x: Vec<f64> = (0..n)
+            .map(|j| (2.0 * PI * f0 * j as f64 / fs).sin())
+            .collect();
         let y = interpolate(&x, 4, fs).unwrap();
         assert_eq!(y.len(), n * 4);
         let peak = y[500..y.len() - 500]

@@ -313,7 +313,7 @@ mod tests {
     #[test]
     fn band_power_flat_density() {
         let s = flat(2.0, 9, 1600.0); // Δf=100, 9 bins 0..800
-        // Bins 0..=8, each contributes 200.
+                                      // Bins 0..=8, each contributes 200.
         assert!((s.total_power() - 9.0 * 200.0).abs() < 1e-9);
         assert!((s.band_power(100.0, 300.0).unwrap() - 3.0 * 200.0).abs() < 1e-9);
     }

@@ -245,10 +245,7 @@ mod tests {
             let n = 128;
             let w = win.coefficients(n);
             for i in 1..n {
-                assert!(
-                    (w[i] - w[n - i]).abs() < 1e-12,
-                    "{win:?} asymmetric at {i}"
-                );
+                assert!((w[i] - w[n - i]).abs() < 1e-12, "{win:?} asymmetric at {i}");
             }
         }
     }

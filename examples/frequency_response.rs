@@ -25,7 +25,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let m = tester.measure(&dut)?;
 
-    let mut table = Table::new(vec!["Frequency (Hz)", "Relative gain (dB)", "One-pole model (dB)"]);
+    let mut table = Table::new(vec![
+        "Frequency (Hz)",
+        "Relative gain (dB)",
+        "One-pole model (dB)",
+    ]);
     for (f, g) in &m.response {
         let model = -10.0 * (1.0 + (f / true_corner) * (f / true_corner)).log10()
             + 10.0 * (1.0 + (m.response[0].0 / true_corner).powi(2)).log10();

@@ -9,6 +9,7 @@
 //! Run with `cargo run --release --example multipoint_bist`.
 
 use nfbist_analog::circuits::NonInvertingAmplifier;
+use nfbist_analog::dut::Dut;
 use nfbist_analog::opamp::OpampModel;
 use nfbist_analog::units::Ohms;
 use nfbist_soc::multipoint::MultipointBist;
@@ -17,11 +18,24 @@ use nfbist_soc::setup::BistSetup;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A realistic front end: quiet low-gain input stage, then two
-    // progressively noisier stages.
-    let stages = vec![
-        NonInvertingAmplifier::new(OpampModel::op27(), Ohms::new(1_000.0), Ohms::new(1_000.0))?,
-        NonInvertingAmplifier::new(OpampModel::tl081(), Ohms::new(2_200.0), Ohms::new(1_000.0))?,
-        NonInvertingAmplifier::new(OpampModel::ca3140(), Ohms::new(4_700.0), Ohms::new(1_000.0))?,
+    // progressively noisier stages. Any `Dut` implementor can sit at
+    // any position.
+    let stages: Vec<Box<dyn Dut>> = vec![
+        Box::new(NonInvertingAmplifier::new(
+            OpampModel::op27(),
+            Ohms::new(1_000.0),
+            Ohms::new(1_000.0),
+        )?),
+        Box::new(NonInvertingAmplifier::new(
+            OpampModel::tl081(),
+            Ohms::new(2_200.0),
+            Ohms::new(1_000.0),
+        )?),
+        Box::new(NonInvertingAmplifier::new(
+            OpampModel::ca3140(),
+            Ohms::new(4_700.0),
+            Ohms::new(1_000.0),
+        )?),
     ];
     let bist = MultipointBist::new(BistSetup::quick(99), stages)?;
     println!(

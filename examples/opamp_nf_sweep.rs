@@ -1,24 +1,28 @@
-//! Sweep the paper's four op-amps through the full prototype pipeline
-//! and sweep the source resistance for one of them — the workload
-//! behind Table 3, as a library user would script it.
+//! Sweep the paper's four op-amps through the full prototype
+//! measurement session and sweep the source resistance for one of
+//! them — the workload behind Table 3, as a library user would script
+//! it.
 //!
 //! Run with `cargo run --release --example opamp_nf_sweep`.
 
 use nfbist_analog::circuits::NonInvertingAmplifier;
 use nfbist_analog::opamp::OpampModel;
 use nfbist_analog::units::Ohms;
-use nfbist_soc::pipeline::BistPipeline;
 use nfbist_soc::report::Table;
+use nfbist_soc::session::MeasurementSession;
 use nfbist_soc::setup::BistSetup;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // ---- Part 1: the four op-amps, measured end to end.
+    // ---- Part 1: the four op-amps, measured end to end through the
+    //      same session with only the DUT axis changing.
     let mut table = Table::new(vec!["Opamp", "Expected NF (dB)", "Measured NF (dB)", "Y"]);
     for (i, opamp) in OpampModel::paper_set().into_iter().enumerate() {
         let name = opamp.name().to_string();
         let dut = NonInvertingAmplifier::new(opamp, Ohms::new(10_000.0), Ohms::new(100.0))?;
-        let pipeline = BistPipeline::new(BistSetup::quick(40 + i as u64), dut)?;
-        let m = pipeline.measure()?;
+        let m = MeasurementSession::new(BistSetup::quick(40 + i as u64))?
+            .dut(dut)
+            .repeats(2)
+            .run()?;
         table.row(vec![
             name,
             format!("{:.2}", m.expected_nf_db),
@@ -26,19 +30,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             format!("{:.3}", m.nf.y),
         ]);
     }
-    println!("Four op-amps through the BIST pipeline:\n{table}");
+    println!("Four op-amps through the BIST measurement session:\n{table}");
 
     // ---- Part 2: expected NF vs source resistance for the TL081.
     //      Voltage-noise-dominated amplifiers look quieter against
     //      larger source resistances — the classic noise-matching
     //      curve, straight from the analysis module.
-    let dut = NonInvertingAmplifier::new(
-        OpampModel::tl081(),
-        Ohms::new(10_000.0),
-        Ohms::new(100.0),
-    )?;
+    let dut =
+        NonInvertingAmplifier::new(OpampModel::tl081(), Ohms::new(10_000.0), Ohms::new(100.0))?;
     let mut sweep = Table::new(vec!["Rs (Ohm)", "Expected NF (dB)"]);
-    for rs in [100.0, 300.0, 1_000.0, 3_000.0, 10_000.0, 30_000.0, 100_000.0] {
+    for rs in [
+        100.0, 300.0, 1_000.0, 3_000.0, 10_000.0, 30_000.0, 100_000.0,
+    ] {
         let nf = dut.expected_noise_figure_db(Ohms::new(rs), 100.0, 1_000.0)?;
         sweep.row(vec![format!("{rs:.0}"), format!("{nf:.2}")]);
     }

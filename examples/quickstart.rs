@@ -1,51 +1,61 @@
-//! Quickstart: measure a noise power ratio — and a noise figure — with
-//! the 1-bit BIST digitizer.
+//! Quickstart: measure a noise figure with one `MeasurementSession`,
+//! then swap each axis — DUT, digitizer, estimator — without touching
+//! the rest of the bench.
 //!
 //! Run with `cargo run --release --example quickstart`.
 
-use nfbist_analog::converter::OneBitDigitizer;
-use nfbist_analog::noise::WhiteNoise;
-use nfbist_analog::source::{SineSource, Waveform};
-use nfbist_core::estimator::NfMeasurement;
-use nfbist_core::power_ratio::OneBitPowerRatio;
+use nfbist_analog::circuits::NonInvertingAmplifier;
+use nfbist_analog::converter::AdcDigitizer;
+use nfbist_analog::opamp::OpampModel;
+use nfbist_analog::units::Ohms;
+use nfbist_core::power_ratio::PsdRatioEstimator;
+use nfbist_soc::session::MeasurementSession;
+use nfbist_soc::setup::BistSetup;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // ---- The scene: a DUT with F = 4 (NF ≈ 6 dB) observed with a
-    //      10:1 hot/cold noise source (Th = 2900 K, Tc = 290 K).
-    let fs = 20_000.0;
-    let n = 1 << 19;
-    let f_true = nfbist_core::figure::NoiseFactor::new(4.0)?;
-    let y_true = nfbist_core::yfactor::expected_y(f_true, 2_900.0, 290.0)?;
-    println!("ground truth: F = 4 (6.02 dB), expected Y = {y_true:.4}");
+    // ---- The paper's bench (Fig. 11): TL081 non-inverting DUT,
+    //      1-bit comparator cell, 1-bit reference-normalized estimator.
+    let setup = BistSetup::quick(42);
+    let dut =
+        || NonInvertingAmplifier::new(OpampModel::tl081(), Ohms::new(10_000.0), Ohms::new(100.0));
 
-    // ---- Analog side: hot/cold noise records with that power ratio,
-    //      plus a 3 kHz reference sine at 30 % of the cold RMS.
-    let sigma_cold = 0.5;
-    let sigma_hot = sigma_cold * y_true.sqrt();
-    let hot = WhiteNoise::new(sigma_hot, 1)?.generate(n);
-    let cold = WhiteNoise::new(sigma_cold, 2)?.generate(n);
-    let reference = SineSource::new(3_000.0, 0.3 * sigma_cold)?.generate(n, fs)?;
-
-    // ---- The BIST cell: one comparator.
-    let digitizer = OneBitDigitizer::ideal();
-    let bits_hot = digitizer.digitize(&hot, &reference)?;
-    let bits_cold = digitizer.digitize(&cold, &reference)?;
+    let one_bit = MeasurementSession::new(setup.clone())?
+        .dut(dut()?)
+        .repeats(2)
+        .run()?;
+    println!("1-bit BIST     : {one_bit}");
     println!(
-        "stored {} + {} bytes of 1-bit records",
-        bits_hot.memory_bytes(),
-        bits_cold.memory_bytes()
+        "                 record memory: {} bytes (1 bit/sample)",
+        one_bit.usage.record_bytes
     );
 
-    // ---- The DSP side: reference-normalized power ratio, then the
-    //      Y-factor equation.
-    let estimator = OneBitPowerRatio::new(fs, 4_096, 3_000.0, (100.0, 1_500.0))?;
-    let ratio = estimator.estimate(&bits_hot, &bits_cold)?;
-    let nf = NfMeasurement::from_y(ratio.ratio, 2_900.0, 290.0)?;
-
-    println!("measured: {nf}");
+    // ---- Same session, conventional acquisition (Fig. 4): ADC behind
+    //      a mux, PSD band-power estimator, no reference needed.
+    let adc = MeasurementSession::new(setup.clone())?
+        .dut(dut()?)
+        .digitizer(AdcDigitizer::new(12)?)
+        .estimator(PsdRatioEstimator::new(
+            setup.sample_rate,
+            setup.nfft,
+            setup.noise_band,
+        )?)
+        .run()?;
+    println!("ADC baseline   : {adc}");
     println!(
-        "error vs truth: {:+.2} dB",
-        nf.figure.db() - f_true.to_figure().db()
+        "                 record memory: {} bytes (12 bits/sample)",
+        adc.usage.record_bytes
+    );
+
+    // ---- The headline comparison, reproduced in two lines of diff.
+    println!(
+        "\nagreement: {:.2} dB (1-bit) vs {:.2} dB (ADC), expected {:.2} dB",
+        one_bit.nf.figure.db(),
+        adc.nf.figure.db(),
+        one_bit.expected_nf_db
+    );
+    println!(
+        "memory ratio: ADC stores {}x more per record",
+        adc.usage.record_bytes / one_bit.usage.record_bytes
     );
     Ok(())
 }

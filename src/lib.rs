@@ -1,0 +1,31 @@
+//! # nfbist — umbrella crate for the DATE'05 noise-figure BIST reproduction
+//!
+//! Reproduction of Negreiros, Carro & Susin, *"Noise Figure Evaluation
+//! Using Low Cost BIST"* (DATE 2005). This crate re-exports the
+//! workspace's layers under one roof and hosts the workspace-level
+//! examples and integration tests:
+//!
+//! * [`nfbist_dsp`] — FFTs, Welch PSDs, windows, Goertzel, statistics.
+//! * [`nfbist_analog`] — the simulated analog bench: noise sources,
+//!   op-amp models, DUT circuits (the [`nfbist_analog::dut::Dut`]
+//!   trait), converters (the
+//!   [`nfbist_analog::converter::Digitizer`] trait).
+//! * [`nfbist_core`] — Y-factor equations, the arcsine law, and the
+//!   Table 2 estimators behind
+//!   [`nfbist_core::power_ratio::PowerRatioEstimator`].
+//! * [`nfbist_soc`] — the SoC measurement environment, centred on
+//!   [`nfbist_soc::session::MeasurementSession`].
+//! * [`nfbist_bench`] — experiment scenario builders shared by the
+//!   paper-table binaries.
+//!
+//! See the repository `README.md` for the quickstart and
+//! `ARCHITECTURE.md` for how the traits map onto the paper's figures.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use nfbist_analog;
+pub use nfbist_bench;
+pub use nfbist_core;
+pub use nfbist_dsp;
+pub use nfbist_soc;

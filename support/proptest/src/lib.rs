@@ -1,0 +1,564 @@
+//! A minimal, dependency-free property-testing shim.
+//!
+//! The container this workspace builds in has no network access, so the
+//! real `proptest` crate cannot be fetched. This local crate implements
+//! the small subset of proptest's API that the workspace's test suites
+//! use — deterministic random generation from range/`any`/tuple/vec
+//! strategies, `prop_map` adapters, the `proptest!` macro, and the
+//! `prop_assert*`/`prop_assume!` macros — with identical call-site
+//! syntax, so the tests would compile unchanged against the real crate.
+//!
+//! Shrinking is intentionally not implemented: a failing case panics
+//! with the generating seed so it can be reproduced, which is enough
+//! for CI.
+
+#![forbid(unsafe_code)]
+
+pub mod test_runner {
+    //! Configuration and per-test case driving.
+
+    /// Mirror of `proptest::test_runner::Config` (the parts we use).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Why a single generated case did not complete.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// `prop_assume!` rejected the inputs; the case is skipped.
+        Reject,
+        /// A `prop_assert*` failed.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// Builds a failure with a rendered message.
+        pub fn fail(msg: String) -> Self {
+            TestCaseError::Fail(msg)
+        }
+
+        /// Builds an input rejection.
+        pub fn reject() -> Self {
+            TestCaseError::Reject
+        }
+
+        /// `true` for `prop_assume!` rejections.
+        pub fn is_rejection(&self) -> bool {
+            matches!(self, TestCaseError::Reject)
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TestCaseError::Reject => write!(f, "input rejected by prop_assume!"),
+                TestCaseError::Fail(msg) => write!(f, "{msg}"),
+            }
+        }
+    }
+
+    /// Deterministic xorshift64* generator; seeded per test from the
+    /// test name so runs are reproducible without any global state.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds the generator (zero is remapped to a fixed constant).
+        pub fn new(seed: u64) -> Self {
+            TestRng {
+                state: if seed == 0 {
+                    0x9E37_79B9_7F4A_7C15
+                } else {
+                    seed
+                },
+            }
+        }
+
+        /// Next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+
+        /// Uniform in `[0, 1)`.
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    /// Drives the cases of one property test.
+    #[derive(Debug)]
+    pub struct TestRunner {
+        cases: u32,
+        rng: TestRng,
+    }
+
+    impl TestRunner {
+        /// Creates a runner for a named test (the name seeds the RNG).
+        pub fn new(config: ProptestConfig, name: &str) -> Self {
+            // FNV-1a over the test name: stable across runs and rustc
+            // versions, unique enough per test.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            TestRunner {
+                cases: config.cases,
+                rng: TestRng::new(h),
+            }
+        }
+
+        /// Number of cases to attempt.
+        pub fn cases(&self) -> u32 {
+            self.cases
+        }
+
+        /// The case RNG.
+        pub fn rng(&mut self) -> &mut TestRng {
+            &mut self.rng
+        }
+
+        /// Current RNG state, reported on failure for reproduction.
+        pub fn state(&self) -> u64 {
+            self.rng.state
+        }
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// A recipe for generating random values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f` (mirror of proptest's
+        /// `prop_map`).
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// The `prop_map` adapter.
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            self.start + rng.next_f64() * (self.end - self.start)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let span = (self.end - self.start) as u64;
+                    if span == 0 {
+                        self.start
+                    } else {
+                        self.start + (rng.next_u64() % span) as $t
+                    }
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(usize, u64, u32, u16, u8);
+
+    macro_rules! signed_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let span = (self.end as i64 - self.start as i64) as u64;
+                    if span == 0 {
+                        self.start
+                    } else {
+                        (self.start as i64 + (rng.next_u64() % span) as i64) as $t
+                    }
+                }
+            }
+        )*};
+    }
+
+    signed_range_strategy!(isize, i64, i32, i16, i8);
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+    }
+
+    /// Types with a canonical "any value" strategy.
+    pub trait ArbitraryValue: Sized {
+        /// Generates an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl ArbitraryValue for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl ArbitraryValue for u64 {
+        fn arbitrary(rng: &mut TestRng) -> u64 {
+            rng.next_u64()
+        }
+    }
+
+    impl ArbitraryValue for u32 {
+        fn arbitrary(rng: &mut TestRng) -> u32 {
+            rng.next_u64() as u32
+        }
+    }
+
+    impl ArbitraryValue for u8 {
+        fn arbitrary(rng: &mut TestRng) -> u8 {
+            rng.next_u64() as u8
+        }
+    }
+
+    impl ArbitraryValue for i64 {
+        fn arbitrary(rng: &mut TestRng) -> i64 {
+            rng.next_u64() as i64
+        }
+    }
+
+    impl ArbitraryValue for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            // Finite, sign-symmetric, wide dynamic range.
+            let mag = (rng.next_f64() * 600.0 - 300.0).exp2();
+            if rng.next_u64() & 1 == 1 {
+                mag
+            } else {
+                -mag
+            }
+        }
+    }
+
+    /// The `any::<T>()` strategy.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T> {
+        _marker: std::marker::PhantomData<T>,
+    }
+
+    impl<T: ArbitraryValue> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Mirror of `proptest::prelude::any`.
+    pub fn any<T: ArbitraryValue>() -> Any<T> {
+        Any {
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Mirror of `proptest::strategy::Just`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`prop::collection::vec`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Length specification accepted by [`vec`]: an exact `usize` or a
+    /// half-open `Range<usize>`.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            SizeRange {
+                lo: r.start,
+                hi: r.end.max(r.start + 1),
+            }
+        }
+    }
+
+    /// Strategy generating `Vec`s of an element strategy.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64;
+            let len = self.size.lo + (rng.next_u64() % span.max(1)) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Mirror of `proptest::collection::vec`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop import mirroring `proptest::prelude`.
+
+    pub use crate as prop;
+    pub use crate::strategy::{any, Any, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Declares property tests. Mirrors `proptest::proptest!` for the
+/// `fn name(binding in strategy, ...) { body }` form with an optional
+/// leading `#![proptest_config(...)]`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $( $(#[$meta:meta])* fn $name:ident( $($arg:pat_param in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut runner =
+                    $crate::test_runner::TestRunner::new(config, stringify!($name));
+                for _case in 0..runner.cases() {
+                    let seed = runner.state();
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> = {
+                        $(
+                            let $arg = $crate::strategy::Strategy::generate(&$strat, runner.rng());
+                        )+
+                        #[allow(unreachable_code)]
+                        (|| {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })()
+                    };
+                    match outcome {
+                        ::std::result::Result::Ok(()) => {}
+                        ::std::result::Result::Err(e) if e.is_rejection() => {}
+                        ::std::result::Result::Err(e) => panic!(
+                            "property '{}' failed at case {} (rng state {:#x}): {}",
+                            stringify!($name),
+                            _case,
+                            seed,
+                            e
+                        ),
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Mirror of `proptest::prop_assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Mirror of `proptest::prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *lhs == *rhs,
+            "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`)",
+            stringify!($lhs),
+            stringify!($rhs),
+            lhs,
+            rhs
+        );
+    }};
+}
+
+/// Mirror of `proptest::prop_assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *lhs != *rhs,
+            "assertion failed: `{} != {}` (both: `{:?}`)",
+            stringify!($lhs),
+            stringify!($rhs),
+            lhs
+        );
+    }};
+}
+
+/// Mirror of `proptest::prop_assume!`.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::new(42);
+        let mut b = TestRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::new(7);
+        for _ in 0..1_000 {
+            let x = Strategy::generate(&(1.5f64..9.25), &mut rng);
+            assert!((1.5..9.25).contains(&x));
+            let n = Strategy::generate(&(3usize..17), &mut rng);
+            assert!((3..17).contains(&n));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_length_in_range() {
+        let mut rng = TestRng::new(9);
+        for _ in 0..200 {
+            let v = Strategy::generate(&prop::collection::vec(0.0f64..1.0, 2..5), &mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+        let v = Strategy::generate(&prop::collection::vec(any::<bool>(), 9), &mut rng);
+        assert_eq!(v.len(), 9);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_end_to_end(x in 0.0f64..1.0, (a, b) in (1u32..5, 1u32..5)) {
+            prop_assume!(x != 0.5);
+            prop_assert!(x < 1.0, "x {x}");
+            prop_assert_eq!(a * b, b * a);
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! A minimal, dependency-free `rand` shim.
+//!
+//! The container this workspace builds in has no network access, so the
+//! real `rand` crate cannot be fetched. This local crate provides the
+//! subset the workspace uses — [`rngs::StdRng`], [`SeedableRng`] and
+//! [`Rng`] with `gen::<f64>()`/`gen::<u64>()`/`gen::<bool>()` — with
+//! the same call-site syntax. The generator is xoshiro256++ seeded via
+//! splitmix64; sequences are deterministic per seed (they differ from
+//! the real `StdRng`'s ChaCha stream, which is fine: the workspace
+//! relies on determinism, not on a specific stream).
+
+#![forbid(unsafe_code)]
+
+/// Sources of random 64-bit words.
+pub trait RngCore {
+    /// Next raw 64-bit value.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Types drawable from an RNG via [`Rng::gen`] (stand-in for the real
+/// crate's `Standard` distribution).
+pub trait StandardDraw: Sized {
+    /// Draws one value.
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardDraw for f64 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl StandardDraw for f32 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+        (rng.next_u64() >> 40) as f32 / (1u64 << 24) as f32
+    }
+}
+
+impl StandardDraw for u64 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl StandardDraw for u32 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> u32 {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl StandardDraw for bool {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// User-facing sampling interface (mirror of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Draws a value of `T`.
+    fn gen<T: StandardDraw>(&mut self) -> T {
+        T::draw(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Deterministic construction from a 64-bit seed (mirror of
+/// `rand::SeedableRng`, reduced to the one constructor the workspace
+/// uses).
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++ with splitmix64
+    /// seeding.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let [s0, s1, s2, s3] = self.s;
+            let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+            let t = s1 << 17;
+            let mut s = [s0, s1, s2, s3];
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            self.s = s;
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(123);
+        let mut b = StdRng::seed_from_u64(123);
+        let mut c = StdRng::seed_from_u64(124);
+        let xs: Vec<u64> = (0..64).map(|_| a.gen::<u64>()).collect();
+        let ys: Vec<u64> = (0..64).map(|_| b.gen::<u64>()).collect();
+        let zs: Vec<u64> = (0..64).map(|_| c.gen::<u64>()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn f64_uniform_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let xs: Vec<f64> = (0..100_000).map(|_| rng.gen::<f64>()).collect();
+        assert!(xs.iter().all(|&x| (0.0..1.0).contains(&x)));
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+        // Second moment of U(0,1) is 1/3.
+        let m2 = xs.iter().map(|x| x * x).sum::<f64>() / xs.len() as f64;
+        assert!((m2 - 1.0 / 3.0).abs() < 0.01, "m2 {m2}");
+    }
+
+    #[test]
+    fn bool_is_balanced() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let ones = (0..100_000).filter(|_| rng.gen::<bool>()).count();
+        assert!((ones as f64 / 100_000.0 - 0.5).abs() < 0.01);
+    }
+}

@@ -118,7 +118,9 @@ fn bitstream_total_power_is_unity() {
     // power regardless of the analog level.
     for sigma in [0.1, 1.0, 10.0] {
         let x = WhiteNoise::new(sigma, 3).expect("noise").generate(100_000);
-        let bits = OneBitDigitizer::ideal().digitize_sign(&x).expect("digitize");
+        let bits = OneBitDigitizer::ideal()
+            .digitize_sign(&x)
+            .expect("digitize");
         let p = nfbist_dsp::stats::mean_square(&bits.to_bipolar()).expect("power");
         assert!((p - 1.0).abs() < 1e-12, "sigma {sigma}: power {p}");
     }

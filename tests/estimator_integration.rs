@@ -24,16 +24,25 @@ fn three_methods_agree_on_the_table2_scenario() {
     let y_bit = scenario
         .estimator(2_000)
         .expect("estimator")
-        .estimate(&scenario.bits_hot, &scenario.bits_cold)
+        .estimate_bits(&scenario.bits_hot, &scenario.bits_cold)
         .expect("one-bit")
         .ratio;
 
     // Analog-domain methods: within 2 %.
-    assert!((y_ms - truth).abs() / truth < 0.02, "mean-square {y_ms} vs {truth}");
-    assert!((y_psd - truth).abs() / truth < 0.02, "psd {y_psd} vs {truth}");
+    assert!(
+        (y_ms - truth).abs() / truth < 0.02,
+        "mean-square {y_ms} vs {truth}"
+    );
+    assert!(
+        (y_psd - truth).abs() / truth < 0.02,
+        "psd {y_psd} vs {truth}"
+    );
     // 1-bit method: the paper saw 2.5 % on 10⁶ samples; allow 8 % on
     // this shorter record.
-    assert!((y_bit - truth).abs() / truth < 0.08, "one-bit {y_bit} vs {truth}");
+    assert!(
+        (y_bit - truth).abs() / truth < 0.08,
+        "one-bit {y_bit} vs {truth}"
+    );
 
     // All three feed eq. 8 and land near NF 10 dB.
     for (name, y) in [("ms", y_ms), ("psd", y_psd), ("bit", y_bit)] {
@@ -56,7 +65,7 @@ fn one_bit_error_grows_for_out_of_range_references() {
     let run = |s: &Table2Scenario| {
         s.estimator(1_024)
             .expect("estimator")
-            .estimate(&s.bits_hot, &s.bits_cold)
+            .estimate_bits(&s.bits_hot, &s.bits_cold)
             .map(|r| (r.ratio - s.true_ratio).abs() / s.true_ratio)
     };
     let err_good = run(&good).expect("sweet spot must estimate");

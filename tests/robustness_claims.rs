@@ -39,7 +39,7 @@ fn estimate_with_reference(reference: &[f64], seed: u64, ref_freq: f64) -> f64 {
     let bc = d.digitize(&cold, reference).expect("digitize");
     OneBitPowerRatio::new(FS, 2_048, ref_freq, (100.0, 1_500.0))
         .expect("estimator")
-        .estimate(&bh, &bc)
+        .estimate_bits(&bh, &bc)
         .expect("estimate")
         .ratio
 }
@@ -98,7 +98,7 @@ fn amplitude_drift_between_acquisitions_biases_the_ratio() {
     let bc = d.digitize(&cold, &ref_cold).expect("digitize");
     let est = OneBitPowerRatio::new(FS, 2_048, 3_000.0, (100.0, 1_500.0))
         .expect("estimator")
-        .estimate(&bh, &bc)
+        .estimate_bits(&bh, &bc)
         .expect("estimate");
     // Expected bias: the cold line is 1.2× too strong in amplitude, so
     // the cold spectrum is scaled down by an extra 1.44 and Y inflates
@@ -131,7 +131,7 @@ fn out_of_band_hum_does_not_disturb_the_ratio() {
     let bc = d.digitize(&cold_hum, &reference).expect("digitize");
     let r = OneBitPowerRatio::new(FS, 2_048, 3_000.0, (100.0, 1_500.0))
         .expect("estimator")
-        .estimate(&bh, &bc)
+        .estimate_bits(&bh, &bc)
         .expect("estimate")
         .ratio;
     assert!((r - TRUE_RATIO).abs() / TRUE_RATIO < 0.10, "ratio {r}");
@@ -170,7 +170,7 @@ fn in_band_interference_is_the_known_failure_mode() {
     let bc = d.digitize(&cold_hum, &reference).expect("digitize");
     let r = OneBitPowerRatio::new(FS, 2_048, 3_000.0, (100.0, 1_500.0))
         .expect("estimator")
-        .estimate(&bh, &bc)
+        .estimate_bits(&bh, &bc)
         .expect("estimate")
         .ratio;
     assert!(
