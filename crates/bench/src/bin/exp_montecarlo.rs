@@ -6,18 +6,25 @@
 //! runs with `repeats(trials)` — independent per-repeat seeds — and the
 //! spread of the measured NF is compared with
 //! `nf_std_from_record_length`'s prediction.
+//!
+//! The trials are fanned out across worker threads by the
+//! `nfbist-runtime` batch engine (`--workers N`, default: all cores);
+//! per-repeat seeds are derived from the repeat index, so the table is
+//! bit-identical for any worker count.
 
 use nfbist_analog::circuits::NonInvertingAmplifier;
 use nfbist_analog::opamp::OpampModel;
 use nfbist_analog::units::Ohms;
-use nfbist_bench::quick_flag;
+use nfbist_bench::{quick_flag, workers_flag};
 use nfbist_core::uncertainty::nf_std_from_record_length;
+use nfbist_runtime::BatchPlan;
 use nfbist_soc::report::Table;
 use nfbist_soc::session::MeasurementSession;
 use nfbist_soc::setup::BistSetup;
 
 fn main() {
     let quick = quick_flag();
+    let workers = workers_flag();
     let trials = if quick { 5 } else { 12 };
     let lengths: &[usize] = if quick {
         &[1 << 15, 1 << 17]
@@ -26,8 +33,10 @@ fn main() {
     };
 
     println!(
-        "Monte-Carlo repeatability of the BIST NF measurement (TL081 prototype, {trials} trials per point)\n"
+        "Monte-Carlo repeatability of the BIST NF measurement (TL081 prototype, {trials} trials per point, {workers} worker{})\n",
+        if workers == 1 { "" } else { "s" }
     );
+    let plan = BatchPlan::new().workers(workers);
     let mut table = Table::new(vec![
         "Record length",
         "mean NF (dB)",
@@ -45,12 +54,14 @@ fn main() {
             seed: 7_000 + n as u64,
             ..BistSetup::paper_prototype(0)
         };
-        let m = MeasurementSession::new(setup)
+        let session = MeasurementSession::new(setup)
             .expect("session")
             .dut(dut)
-            .repeats(trials)
-            .run()
-            .expect("measurement");
+            .repeats(trials);
+        // The batch engine fans the `trials` repeats across workers;
+        // the recombined measurement is bit-identical to the old
+        // sequential `session.run()`.
+        let m = plan.run_session(&session).expect("measurement");
         // Effective independent samples: 2·B·T with B = 900 Hz band and
         // T = n / fs.
         let n_eff = (2.0 * 900.0 * n as f64 / 20_000.0) as usize;

@@ -177,6 +177,20 @@ pub fn quick_flag() -> bool {
     std::env::args().any(|a| a == "--quick")
 }
 
+/// Parses `--workers N` (the batch-engine worker count); defaults to
+/// the machine's available parallelism when absent or malformed.
+pub fn workers_flag() -> usize {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--workers" {
+            if let Some(n) = args.next().and_then(|v| v.parse::<usize>().ok()) {
+                return n.max(1);
+            }
+        }
+    }
+    nfbist_runtime::BatchExecutor::with_available_parallelism().workers()
+}
+
 /// Record length / FFT size for the current mode.
 pub fn record_sizes(quick: bool) -> (usize, usize) {
     if quick {

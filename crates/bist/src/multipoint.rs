@@ -101,6 +101,11 @@ impl MultipointBist {
         self.stages.len()
     }
 
+    /// The measurement setup.
+    pub fn setup(&self) -> &BistSetup {
+        &self.setup
+    }
+
     /// Friis expectation of the cumulative noise figure at stage `i`'s
     /// output.
     ///
@@ -196,6 +201,55 @@ impl MultipointBist {
         Ok((density * nyquist).sqrt())
     }
 
+    /// Builds the setup-matched NF estimator every test point shares.
+    /// Construct it **once** per run and pass it to each
+    /// [`MultipointBist::measure_point`] call: the estimator caches its
+    /// Welch FFT plan and scratch internally, and supports concurrent
+    /// callers, so one instance serves a whole (possibly parallel)
+    /// multipoint sweep without re-planning per point.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration errors.
+    pub fn estimator(&self) -> Result<OneBitNfEstimator, SocError> {
+        let ratio = OneBitPowerRatio::new(
+            self.setup.sample_rate,
+            self.setup.nfft,
+            self.setup.reference_frequency,
+            self.setup.noise_band,
+        )?;
+        Ok(OneBitNfEstimator::new(
+            ratio,
+            self.setup.hot_kelvin,
+            self.setup.cold_kelvin,
+        )?)
+    }
+
+    /// Estimates the cumulative noise figure at one test point from its
+    /// already-acquired hot/cold records, using a shared estimator from
+    /// [`MultipointBist::estimator`]. Each point's estimation is
+    /// independent of every other point's, which is what lets the batch
+    /// runner in `nfbist-runtime` fan the points out across workers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates estimation errors; [`SocError::InvalidParameter`] for
+    /// an out-of-range index.
+    pub fn measure_point(
+        &self,
+        estimator: &OneBitNfEstimator,
+        point: usize,
+        hot: &nfbist_analog::bitstream::Bitstream,
+        cold: &nfbist_analog::bitstream::Bitstream,
+    ) -> Result<PointMeasurement, SocError> {
+        let (nf, _) = estimator.estimate(hot, cold)?;
+        Ok(PointMeasurement {
+            stage: point,
+            nf,
+            expected_nf_db: self.expected_nf_db(point)?,
+        })
+    }
+
     /// Measures the cumulative noise figure at every test point from
     /// one hot and one cold multi-point acquisition.
     ///
@@ -205,24 +259,12 @@ impl MultipointBist {
     pub fn measure_all(&self) -> Result<Vec<PointMeasurement>, SocError> {
         let hot = self.acquire_all(NoiseSourceState::Hot)?;
         let cold = self.acquire_all(NoiseSourceState::Cold)?;
-        let ratio = OneBitPowerRatio::new(
-            self.setup.sample_rate,
-            self.setup.nfft,
-            self.setup.reference_frequency,
-            self.setup.noise_band,
-        )?;
-        let estimator =
-            OneBitNfEstimator::new(ratio, self.setup.hot_kelvin, self.setup.cold_kelvin)?;
-        let mut out = Vec::with_capacity(self.stages.len());
-        for (i, (h, c)) in hot.iter().zip(&cold).enumerate() {
-            let (nf, _) = estimator.estimate(h, c)?;
-            out.push(PointMeasurement {
-                stage: i,
-                nf,
-                expected_nf_db: self.expected_nf_db(i)?,
-            });
-        }
-        Ok(out)
+        let estimator = self.estimator()?;
+        hot.iter()
+            .zip(&cold)
+            .enumerate()
+            .map(|(i, (h, c))| self.measure_point(&estimator, i, h, c))
+            .collect()
     }
 }
 

@@ -36,6 +36,12 @@ use nfbist_core::power_ratio::{
     OneBitPowerRatio, OneBitRatioEstimate, PowerRatioEstimator, RatioEstimate,
 };
 
+/// The golden-ratio stride a session uses to derive per-repeat seeds
+/// (`setup.seed + repeat·stride`, wrapping). Exported so batch-level
+/// fan-out (`nfbist-runtime`) can derive per-trial/per-cell seeds with
+/// the exact same scheme.
+pub const REPEAT_SEED_STRIDE: u64 = 0x9E37_79B9_7F4A_7C15;
+
 /// Outcome of one repeated acquisition within a session run.
 #[derive(Debug, Clone)]
 pub struct RepeatMeasurement {
@@ -264,7 +270,7 @@ impl MeasurementSession {
     fn repeat_seed(&self, repeat: usize) -> u64 {
         self.setup
             .seed
-            .wrapping_add((repeat as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add((repeat as u64).wrapping_mul(REPEAT_SEED_STRIDE))
     }
 
     fn source(&self, repeat: usize) -> Result<CalibratedNoiseSource, SocError> {
@@ -401,37 +407,67 @@ impl MeasurementSession {
         Ok(self.digitizer.acquire(&conditioned, reference)?)
     }
 
-    /// Runs the complete measurement: `repeats` hot/cold acquisition
-    /// pairs, the selected estimator on each, the Y-factor equation on
-    /// the mean ratio, the analytic expectation, and resource
-    /// accounting.
+    /// The run-invariant conditioning shared by every repeat: the
+    /// front-end gain and the reference waveform. Computed once per run
+    /// (or once per batch when a parallel executor fans the repeats
+    /// out) and passed to
+    /// [`MeasurementSession::measure_repeat_conditioned`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates model errors.
+    pub fn conditioning(&self) -> Result<(f64, Vec<f64>), SocError> {
+        Ok((self.frontend_gain()?, self.reference_waveform()?))
+    }
+
+    /// Runs one complete repeat — hot and cold acquisition plus the
+    /// ratio estimate — with the run-invariant conditioning supplied by
+    /// the caller (see [`MeasurementSession::conditioning`]).
+    ///
+    /// Each repeat is fully determined by `(setup seed, repeat index)`,
+    /// which is what makes fan-out across worker threads bit-identical
+    /// to the sequential loop.
     ///
     /// # Errors
     ///
     /// Propagates acquisition and estimation errors.
-    pub fn run(&self) -> Result<Measurement, SocError> {
-        // Run-invariant conditioning, computed once for all repeats.
-        let gain = self.frontend_gain()?;
-        let reference = self.reference_waveform()?;
+    pub fn measure_repeat_conditioned(
+        &self,
+        repeat: usize,
+        gain: f64,
+        reference: &[f64],
+    ) -> Result<RepeatMeasurement, SocError> {
+        let hot = self.acquire_conditioned(NoiseSourceState::Hot, repeat, gain, reference)?;
+        let cold = self.acquire_conditioned(NoiseSourceState::Cold, repeat, gain, reference)?;
+        let ratio = self
+            .estimator
+            .estimate(&hot.to_samples(), &cold.to_samples())?;
+        // A single noisy repeat may estimate Y <= 1 (degenerate on
+        // its own) yet still contribute to a valid mean, so the
+        // per-repeat NF is optional rather than an abort.
+        let nf =
+            NfMeasurement::from_y(ratio.ratio, self.setup.hot_kelvin, self.setup.cold_kelvin).ok();
+        Ok(RepeatMeasurement { nf, ratio })
+    }
 
-        let mut repeats = Vec::with_capacity(self.repeats);
-        let mut y_sum = 0.0;
-        for r in 0..self.repeats {
-            let hot = self.acquire_conditioned(NoiseSourceState::Hot, r, gain, &reference)?;
-            let cold = self.acquire_conditioned(NoiseSourceState::Cold, r, gain, &reference)?;
-            let ratio = self
-                .estimator
-                .estimate(&hot.to_samples(), &cold.to_samples())?;
-            // A single noisy repeat may estimate Y <= 1 (degenerate on
-            // its own) yet still contribute to a valid mean, so the
-            // per-repeat NF is optional rather than an abort.
-            let nf =
-                NfMeasurement::from_y(ratio.ratio, self.setup.hot_kelvin, self.setup.cold_kelvin)
-                    .ok();
-            y_sum += ratio.ratio;
-            repeats.push(RepeatMeasurement { nf, ratio });
+    /// Assembles the final [`Measurement`] from per-repeat outcomes (in
+    /// acquisition order): Y-factor on the mean ratio, NF spread,
+    /// analytic expectation, and resource accounting scaled by the
+    /// repeat count (saturating, so enormous batch configurations
+    /// cannot overflow in release builds).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SocError::InvalidParameter`] for an empty repeat list
+    /// and propagates Y-factor/model errors.
+    pub fn combine(&self, repeats: Vec<RepeatMeasurement>) -> Result<Measurement, SocError> {
+        if repeats.is_empty() {
+            return Err(SocError::InvalidParameter {
+                name: "repeats",
+                reason: "at least one repeat measurement is required",
+            });
         }
-
+        let y_sum: f64 = repeats.iter().map(|r| r.ratio.ratio).sum();
         let mean_y = y_sum / repeats.len() as f64;
         let nf = NfMeasurement::from_y(mean_y, self.setup.hot_kelvin, self.setup.cold_kelvin)?;
         let dbs: Vec<f64> = repeats
@@ -455,8 +491,8 @@ impl MeasurementSession {
             self.setup.nfft,
             self.digitizer.bits_per_sample(),
         );
-        usage.fft_count *= self.repeats;
-        usage.estimated_flops *= self.repeats as u64;
+        usage.fft_count = usage.fft_count.saturating_mul(repeats.len());
+        usage.estimated_flops = usage.estimated_flops.saturating_mul(repeats.len() as u64);
 
         let reference_amplitude = if self.digitizer.uses_reference() {
             self.reference_amplitude()?
@@ -475,6 +511,30 @@ impl MeasurementSession {
             digitizer: self.digitizer.label(),
             estimator: self.estimator.label(),
         })
+    }
+
+    /// Runs the complete measurement: `repeats` hot/cold acquisition
+    /// pairs, the selected estimator on each, the Y-factor equation on
+    /// the mean ratio, the analytic expectation, and resource
+    /// accounting.
+    ///
+    /// The body is exactly [`MeasurementSession::conditioning`] → a
+    /// sequential loop of
+    /// [`MeasurementSession::measure_repeat_conditioned`] →
+    /// [`MeasurementSession::combine`]; the parallel batch runner in
+    /// `nfbist-runtime` replaces only the loop, so its output is
+    /// bit-identical by construction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates acquisition and estimation errors.
+    pub fn run(&self) -> Result<Measurement, SocError> {
+        let (gain, reference) = self.conditioning()?;
+        let mut repeats = Vec::with_capacity(self.repeats);
+        for r in 0..self.repeats {
+            repeats.push(self.measure_repeat_conditioned(r, gain, &reference)?);
+        }
+        self.combine(repeats)
     }
 }
 
@@ -640,6 +700,36 @@ mod tests {
         // Clipping should be rare: the RMS sits near 0.2 of full scale.
         let rms = nfbist_dsp::stats::rms(&x).unwrap();
         assert!(rms > 0.1 && rms < 0.35, "rms {rms}");
+    }
+
+    #[test]
+    fn decomposed_run_matches_manual_assembly() {
+        let mut setup = BistSetup::quick(21);
+        setup.samples = 1 << 15;
+        let session = MeasurementSession::new(setup)
+            .unwrap()
+            .dut(dut(OpampModel::tl081()))
+            .repeats(2);
+        let direct = session.run().unwrap();
+        // The same three public pieces the parallel runner uses.
+        let (gain, reference) = session.conditioning().unwrap();
+        let repeats: Vec<_> = (0..2)
+            .map(|r| {
+                session
+                    .measure_repeat_conditioned(r, gain, &reference)
+                    .unwrap()
+            })
+            .collect();
+        let assembled = session.combine(repeats).unwrap();
+        assert_eq!(direct.nf.y, assembled.nf.y);
+        assert_eq!(direct.nf.figure.db(), assembled.nf.figure.db());
+        assert_eq!(direct.nf_spread_db, assembled.nf_spread_db);
+        assert_eq!(direct.usage, assembled.usage);
+        for (a, b) in direct.repeats.iter().zip(&assembled.repeats) {
+            assert_eq!(a.ratio.ratio, b.ratio.ratio);
+        }
+        // Combining nothing is rejected.
+        assert!(session.combine(Vec::new()).is_err());
     }
 
     #[test]

@@ -7,9 +7,53 @@
 use crate::normalize::{normalize_to_reference, Normalization, ReferenceTracker};
 use crate::CoreError;
 use nfbist_analog::bitstream::Bitstream;
-use nfbist_dsp::psd::WelchConfig;
+use nfbist_dsp::psd::{DspWorkspace, WelchConfig};
 use nfbist_dsp::spectrum::Spectrum;
 use nfbist_dsp::window::Window;
+use std::ops::{Deref, DerefMut};
+use std::sync::{Mutex, MutexGuard, TryLockError};
+
+/// The workspace an estimate runs against: the estimator's cached one
+/// when it is free, or a fresh throwaway under contention.
+enum WorkspaceHandle<'a> {
+    Cached(MutexGuard<'a, DspWorkspace>),
+    Fresh(DspWorkspace),
+}
+
+impl Deref for WorkspaceHandle<'_> {
+    type Target = DspWorkspace;
+    fn deref(&self) -> &DspWorkspace {
+        match self {
+            WorkspaceHandle::Cached(guard) => guard,
+            WorkspaceHandle::Fresh(ws) => ws,
+        }
+    }
+}
+
+impl DerefMut for WorkspaceHandle<'_> {
+    fn deref_mut(&mut self) -> &mut DspWorkspace {
+        match self {
+            WorkspaceHandle::Cached(guard) => guard,
+            WorkspaceHandle::Fresh(ws) => ws,
+        }
+    }
+}
+
+/// Grabs the estimator's cached [`DspWorkspace`] without blocking.
+/// Under contention — several worker threads driving the *same*
+/// estimator instance — the call falls back to a fresh local
+/// workspace, so parallel fan-outs never serialize on the cache; the
+/// contended call merely forfeits the steady-state allocation win
+/// (results are bit-identical either way — the workspace holds only
+/// plans and scratch, never data). A poisoned lock is recovered for
+/// the same reason.
+fn workspace_handle(ws: &Mutex<DspWorkspace>) -> WorkspaceHandle<'_> {
+    match ws.try_lock() {
+        Ok(guard) => WorkspaceHandle::Cached(guard),
+        Err(TryLockError::Poisoned(poisoned)) => WorkspaceHandle::Cached(poisoned.into_inner()),
+        Err(TryLockError::WouldBlock) => WorkspaceHandle::Fresh(DspWorkspace::new()),
+    }
+}
 
 /// Estimator-specific intermediate results carried by a
 /// [`RatioEstimate`].
@@ -130,11 +174,35 @@ impl PowerRatioEstimator for MeanSquareEstimator {
 
 /// Table 2 row 2 as a [`PowerRatioEstimator`]: the ratio of Welch PSD
 /// band powers (see [`psd_ratio`]).
-#[derive(Debug, Clone, Copy, PartialEq)]
+///
+/// Holds a [`DspWorkspace`] behind a mutex so the FFT plan and Welch
+/// scratch buffers are built once and reused across every hot/cold
+/// estimate (cloning starts a fresh, empty workspace).
+#[derive(Debug)]
 pub struct PsdRatioEstimator {
     sample_rate: f64,
     nfft: usize,
     band: (f64, f64),
+    workspace: Mutex<DspWorkspace>,
+}
+
+impl Clone for PsdRatioEstimator {
+    fn clone(&self) -> Self {
+        PsdRatioEstimator {
+            sample_rate: self.sample_rate,
+            nfft: self.nfft,
+            band: self.band,
+            workspace: Mutex::new(DspWorkspace::new()),
+        }
+    }
+}
+
+impl PartialEq for PsdRatioEstimator {
+    /// Configuration equality; the cached workspace is not part of the
+    /// estimator's identity.
+    fn eq(&self, other: &Self) -> bool {
+        self.sample_rate == other.sample_rate && self.nfft == other.nfft && self.band == other.band
+    }
 }
 
 impl PsdRatioEstimator {
@@ -167,6 +235,7 @@ impl PsdRatioEstimator {
             sample_rate,
             nfft,
             band,
+            workspace: Mutex::new(DspWorkspace::new()),
         })
     }
 
@@ -186,8 +255,9 @@ impl PowerRatioEstimator for PsdRatioEstimator {
 
     fn estimate(&self, hot: &[f64], cold: &[f64]) -> Result<RatioEstimate, CoreError> {
         let welch = WelchConfig::new(self.nfft)?;
-        let psd_hot = welch.estimate(hot, self.sample_rate)?;
-        let psd_cold = welch.estimate(cold, self.sample_rate)?;
+        let mut ws = workspace_handle(&self.workspace);
+        let psd_hot = welch.estimate_with(hot, self.sample_rate, &mut ws)?;
+        let psd_cold = welch.estimate_with(cold, self.sample_rate, &mut ws)?;
         let hot_power = psd_hot.band_power(self.band.0, self.band.1)?;
         let cold_power = psd_cold.band_power(self.band.0, self.band.1)?;
         if !(cold_power > 0.0) {
@@ -311,7 +381,11 @@ pub struct OneBitRatioEstimate {
 /// # Examples
 ///
 /// See the crate-level example in [`crate`].
-#[derive(Debug, Clone)]
+///
+/// Holds a [`DspWorkspace`] behind a mutex so the Welch FFT plan and
+/// scratch buffers are built once and reused across every hot/cold
+/// estimate (cloning starts a fresh, empty workspace).
+#[derive(Debug)]
 pub struct OneBitPowerRatio {
     sample_rate: f64,
     nfft: usize,
@@ -320,6 +394,22 @@ pub struct OneBitPowerRatio {
     excluded_harmonics: usize,
     window: Window,
     exclude_reference: bool,
+    workspace: Mutex<DspWorkspace>,
+}
+
+impl Clone for OneBitPowerRatio {
+    fn clone(&self) -> Self {
+        OneBitPowerRatio {
+            sample_rate: self.sample_rate,
+            nfft: self.nfft,
+            noise_band: self.noise_band,
+            tracker: self.tracker,
+            excluded_harmonics: self.excluded_harmonics,
+            window: self.window,
+            exclude_reference: self.exclude_reference,
+            workspace: Mutex::new(DspWorkspace::new()),
+        }
+    }
 }
 
 impl OneBitPowerRatio {
@@ -371,6 +461,7 @@ impl OneBitPowerRatio {
             excluded_harmonics: 9,
             window: Window::Hann,
             exclude_reference: true,
+            workspace: Mutex::new(DspWorkspace::new()),
         })
     }
 
@@ -436,8 +527,13 @@ impl OneBitPowerRatio {
         cold: &[f64],
     ) -> Result<OneBitRatioEstimate, CoreError> {
         let welch = WelchConfig::new(self.nfft)?.window(self.window);
-        let psd_hot = welch.estimate(hot, self.sample_rate)?;
-        let psd_cold = welch.estimate(cold, self.sample_rate)?;
+        let (psd_hot, psd_cold) = {
+            let mut ws = workspace_handle(&self.workspace);
+            (
+                welch.estimate_with(hot, self.sample_rate, &mut ws)?,
+                welch.estimate_with(cold, self.sample_rate, &mut ws)?,
+            )
+        };
 
         let (psd_cold_norm, normalization) =
             normalize_to_reference(&psd_hot, &psd_cold, &self.tracker)?;
@@ -712,6 +808,37 @@ mod tests {
             Err(CoreError::Degenerate { .. })
         ));
         assert!(est.label().contains("mean-square"));
+    }
+
+    #[test]
+    fn workspace_reuse_is_deterministic_and_estimators_stay_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MeanSquareEstimator>();
+        assert_send_sync::<PsdRatioEstimator>();
+        assert_send_sync::<OneBitPowerRatio>();
+
+        let hot = WhiteNoise::new(2.0, 77).unwrap().generate(50_000);
+        let cold = WhiteNoise::new(1.0, 78).unwrap().generate(50_000);
+        let est = PsdRatioEstimator::new(FS, 1_024, (100.0, 9_000.0)).unwrap();
+        // Same estimator instance, warm workspace: bit-identical ratios.
+        let first = est.estimate(&hot, &cold).unwrap();
+        let second = est.estimate(&hot, &cold).unwrap();
+        assert_eq!(first.ratio, second.ratio);
+        // A clone (fresh workspace) agrees exactly too, and compares
+        // equal on configuration.
+        let cloned = est.clone();
+        assert_eq!(est, cloned);
+        assert_eq!(cloned.estimate(&hot, &cold).unwrap().ratio, first.ratio);
+
+        let (bh, bc) = digitized_pair(1.0, 0.5, 0.1, 1 << 16);
+        let one_bit = OneBitPowerRatio::new(FS, 2_048, 3_000.0, (100.0, 1_500.0)).unwrap();
+        let a = one_bit.estimate_bits(&bh, &bc).unwrap();
+        let b = one_bit.estimate_bits(&bh, &bc).unwrap();
+        assert_eq!(a.ratio, b.ratio);
+        assert_eq!(
+            one_bit.clone().estimate_bits(&bh, &bc).unwrap().ratio,
+            a.ratio
+        );
     }
 
     #[test]

@@ -98,6 +98,12 @@ impl ArbitraryFft {
         self.size
     }
 
+    /// Length of the caller-owned scratch buffer the `_into` transforms
+    /// require (the internal power-of-two convolution length `M`).
+    pub fn scratch_len(&self) -> usize {
+        self.inner.size()
+    }
+
     /// Forward DFT (no scaling), matching [`Fft::forward`] conventions.
     ///
     /// # Errors
@@ -111,17 +117,74 @@ impl ArbitraryFft {
                 context: "arbitrary fft forward",
             });
         }
-        let m = self.inner.size();
-        let mut work = vec![Complex64::ZERO; m];
-        for n in 0..self.size {
-            work[n] = x[n] * self.chirp[n];
+        let mut scratch = vec![Complex64::ZERO; self.scratch_len()];
+        let mut out = vec![Complex64::ZERO; self.size];
+        self.chirp_convolve(&mut scratch, &mut out, |n| x[n])?;
+        Ok(out)
+    }
+
+    /// Forward DFT of a real buffer into a caller-owned output buffer,
+    /// using caller-owned scratch of length [`ArbitraryFft::scratch_len`]
+    /// — the zero-allocation variant used by the PSD workspace hot path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::LengthMismatch`] when `x`/`out` differ from
+    /// `self.size()` or `scratch` from `self.scratch_len()`.
+    pub fn forward_real_into(
+        &self,
+        x: &[f64],
+        scratch: &mut [Complex64],
+        out: &mut [Complex64],
+    ) -> Result<(), DspError> {
+        if x.len() != self.size {
+            return Err(DspError::LengthMismatch {
+                expected: self.size,
+                actual: x.len(),
+                context: "arbitrary fft forward_real_into (input)",
+            });
         }
-        self.inner.forward_in_place(&mut work)?;
-        for (w, k) in work.iter_mut().zip(&self.kernel_spectrum) {
+        self.chirp_convolve(scratch, out, |n| Complex64::from_real(x[n]))
+    }
+
+    /// The Bluestein body shared by the allocating and `_into` paths:
+    /// chirp-premultiplied input → convolution with the planned kernel →
+    /// chirp-postmultiplied output.
+    fn chirp_convolve<G: Fn(usize) -> Complex64>(
+        &self,
+        scratch: &mut [Complex64],
+        out: &mut [Complex64],
+        input: G,
+    ) -> Result<(), DspError> {
+        if scratch.len() != self.scratch_len() {
+            return Err(DspError::LengthMismatch {
+                expected: self.scratch_len(),
+                actual: scratch.len(),
+                context: "arbitrary fft (scratch)",
+            });
+        }
+        if out.len() != self.size {
+            return Err(DspError::LengthMismatch {
+                expected: self.size,
+                actual: out.len(),
+                context: "arbitrary fft (output)",
+            });
+        }
+        for (n, (s, c)) in scratch[..self.size].iter_mut().zip(&self.chirp).enumerate() {
+            *s = input(n) * *c;
+        }
+        for s in scratch[self.size..].iter_mut() {
+            *s = Complex64::ZERO;
+        }
+        self.inner.forward_in_place(scratch)?;
+        for (w, k) in scratch.iter_mut().zip(&self.kernel_spectrum) {
             *w *= *k;
         }
-        self.inner.inverse_in_place(&mut work)?;
-        Ok((0..self.size).map(|n| work[n] * self.chirp[n]).collect())
+        self.inner.inverse_in_place(scratch)?;
+        for ((o, s), c) in out.iter_mut().zip(scratch.iter()).zip(&self.chirp) {
+            *o = *s * *c;
+        }
+        Ok(())
     }
 
     /// Inverse DFT with the `1/N` scale, matching [`Fft::inverse`].
@@ -242,5 +305,38 @@ mod tests {
         assert!(plan.forward(&[Complex64::ZERO; 4]).is_err());
         assert!(plan.inverse(&[Complex64::ZERO; 6]).is_err());
         assert!(plan.forward_real(&[0.0; 3]).is_err());
+    }
+
+    #[test]
+    fn into_variant_matches_allocating_path_bitwise() {
+        let n = 300;
+        let plan = ArbitraryFft::new(n).unwrap();
+        let x: Vec<f64> = (0..n).map(|j| (j as f64 * 0.83).sin()).collect();
+        let alloc = plan.forward_real(&x).unwrap();
+        let mut scratch = vec![Complex64::ZERO; plan.scratch_len()];
+        // Dirty scratch must not leak into the result.
+        scratch.fill(Complex64::new(7.0, -3.0));
+        let mut out = vec![Complex64::ZERO; n];
+        plan.forward_real_into(&x, &mut scratch, &mut out).unwrap();
+        assert_eq!(alloc, out, "into-buffer path must be bit-identical");
+    }
+
+    #[test]
+    fn into_variant_rejects_bad_buffer_lengths() {
+        let plan = ArbitraryFft::new(10).unwrap();
+        let x = [0.0; 10];
+        let mut good_scratch = vec![Complex64::ZERO; plan.scratch_len()];
+        let mut out = vec![Complex64::ZERO; 10];
+        assert!(plan
+            .forward_real_into(&x[..9], &mut good_scratch, &mut out)
+            .is_err());
+        let mut bad_scratch = vec![Complex64::ZERO; plan.scratch_len() - 1];
+        assert!(plan
+            .forward_real_into(&x, &mut bad_scratch, &mut out)
+            .is_err());
+        let mut bad_out = vec![Complex64::ZERO; 9];
+        assert!(plan
+            .forward_real_into(&x, &mut good_scratch, &mut bad_out)
+            .is_err());
     }
 }

@@ -145,6 +145,24 @@ impl Fft {
         Ok(buf)
     }
 
+    /// Forward transform of a real buffer into a caller-owned output
+    /// buffer — the zero-allocation variant of [`Fft::forward_real`]
+    /// used by the PSD workspace hot path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::LengthMismatch`] if `x.len()` or `out.len()`
+    /// differs from `self.size()`.
+    pub fn forward_real_into(&self, x: &[f64], out: &mut [Complex64]) -> Result<(), DspError> {
+        self.check_len(x.len(), "fft forward_real_into (input)")?;
+        self.check_len(out.len(), "fft forward_real_into (output)")?;
+        for (o, &v) in out.iter_mut().zip(x) {
+            *o = Complex64::from_real(v);
+        }
+        radix2::transform(out, &self.twiddles, &self.bit_rev, false);
+        Ok(())
+    }
+
     /// Forward transform of a real buffer, returning only the `N/2 + 1`
     /// non-redundant (one-sided) bins.
     ///
@@ -296,6 +314,21 @@ mod tests {
             let b = spec[n - k].conj();
             assert!((a - b).abs() < 1e-9, "symmetry broken at bin {k}");
         }
+    }
+
+    #[test]
+    fn forward_real_into_matches_allocating_path_bitwise() {
+        let n = 128;
+        let plan = Fft::new(n).unwrap();
+        let x: Vec<f64> = (0..n).map(|j| (j as f64 * 0.47).sin() - 0.1).collect();
+        let alloc = plan.forward_real(&x).unwrap();
+        let mut out = vec![Complex64::new(9.0, 9.0); n];
+        plan.forward_real_into(&x, &mut out).unwrap();
+        assert_eq!(alloc, out, "into-buffer path must be bit-identical");
+        assert!(plan.forward_real_into(&x[..n - 1], &mut out).is_err());
+        assert!(plan
+            .forward_real_into(&x, &mut out[..n - 1].to_vec())
+            .is_err());
     }
 
     #[test]

@@ -12,9 +12,11 @@
 
 mod periodogram;
 mod welch;
+mod workspace;
 
 pub use periodogram::{periodogram, PeriodogramConfig};
 pub use welch::WelchConfig;
+pub use workspace::{DspWorkspace, PsdPlan};
 
 use crate::complex::Complex64;
 use crate::fft::{ArbitraryFft, Fft};
@@ -51,35 +53,67 @@ impl AnyFft {
         }
     }
 
-    pub(crate) fn forward_real(&self, x: &[f64]) -> Result<Vec<Complex64>, DspError> {
+    /// Scratch length the `_into` transform needs (0 for the radix-2
+    /// engine, the convolution length for Bluestein).
+    pub(crate) fn scratch_len(&self) -> usize {
         match self {
-            AnyFft::Pow2(f) => f.forward_real(x),
-            AnyFft::Arbitrary(f) => f.forward_real(x),
+            AnyFft::Pow2(_) => 0,
+            AnyFft::Arbitrary(f) => f.scratch_len(),
+        }
+    }
+
+    /// Transforms a real buffer into `out` without allocating; `scratch`
+    /// must be [`AnyFft::scratch_len`] elements long.
+    pub(crate) fn forward_real_into(
+        &self,
+        x: &[f64],
+        scratch: &mut [Complex64],
+        out: &mut [Complex64],
+    ) -> Result<(), DspError> {
+        match self {
+            AnyFft::Pow2(f) => f.forward_real_into(x, out),
+            AnyFft::Arbitrary(f) => f.forward_real_into(x, scratch, out),
         }
     }
 }
 
 /// Converts a full complex spectrum of a real signal into one-sided PSD
-/// densities with the scaling described in the module docs.
+/// densities with the scaling described in the module docs (test-only
+/// wrapper over [`one_sided_density_accumulate`], which the estimators
+/// use directly).
+#[cfg(test)]
 pub(crate) fn one_sided_density(
     spec: &[Complex64],
     sample_rate: f64,
     window_power: f64,
 ) -> Vec<f64> {
+    let mut out = vec![0.0; spec.len() / 2 + 1];
+    one_sided_density_accumulate(spec, sample_rate, window_power, &mut out);
+    out
+}
+
+/// Adds the one-sided densities of `spec` onto `acc` (the Welch
+/// segment-averaging inner loop, allocation-free). `acc` must hold
+/// `spec.len()/2 + 1` bins.
+pub(crate) fn one_sided_density_accumulate(
+    spec: &[Complex64],
+    sample_rate: f64,
+    window_power: f64,
+    acc: &mut [f64],
+) {
     let n = spec.len();
     let half = n / 2 + 1;
+    debug_assert_eq!(acc.len(), half);
     let base = 1.0 / (sample_rate * window_power);
-    let mut out = Vec::with_capacity(half);
-    for (k, z) in spec.iter().take(half).enumerate() {
+    for (k, (a, z)) in acc.iter_mut().zip(spec.iter().take(half)).enumerate() {
         let mut d = z.norm_sqr() * base;
         let is_dc = k == 0;
         let is_nyquist = n.is_multiple_of(2) && k == n / 2;
         if !is_dc && !is_nyquist {
             d *= 2.0;
         }
-        out.push(d);
+        *a += d;
     }
-    out
 }
 
 #[cfg(test)]

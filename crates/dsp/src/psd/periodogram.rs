@@ -1,6 +1,6 @@
 //! Single-segment (modified) periodogram.
 
-use crate::psd::{one_sided_density, AnyFft};
+use crate::psd::{one_sided_density_accumulate, DspWorkspace};
 use crate::spectrum::Spectrum;
 use crate::window::Window;
 use crate::DspError;
@@ -54,11 +54,52 @@ impl PeriodogramConfig {
     /// Computes the periodogram of `x` at `sample_rate` Hz; the FFT length
     /// equals `x.len()` (any size — Bluestein handles non-powers of two).
     ///
+    /// Plans the FFT per call; steady-state code should hold a
+    /// [`DspWorkspace`] and use [`PeriodogramConfig::estimate_with`].
+    ///
     /// # Errors
     ///
     /// Returns [`DspError::EmptyInput`] for an empty buffer and
     /// [`DspError::InvalidParameter`] for a non-positive sample rate.
     pub fn estimate(&self, x: &[f64], sample_rate: f64) -> Result<Spectrum, DspError> {
+        self.estimate_with(x, sample_rate, &mut DspWorkspace::new())
+    }
+
+    /// Computes the periodogram reusing the plans and scratch buffers of
+    /// `workspace`; only the returned [`Spectrum`]'s density vector is
+    /// allocated. When no detrend or windowing copy is required
+    /// (rectangular window, detrend off) the input is transformed
+    /// directly, without staging it through the segment buffer.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PeriodogramConfig::estimate`].
+    pub fn estimate_with(
+        &self,
+        x: &[f64],
+        sample_rate: f64,
+        workspace: &mut DspWorkspace,
+    ) -> Result<Spectrum, DspError> {
+        let n = x.len();
+        let mut out = vec![0.0f64; n / 2 + 1];
+        self.estimate_into(x, sample_rate, workspace, &mut out)?;
+        Spectrum::new(out, sample_rate, n)
+    }
+
+    /// The fully allocation-free periodogram: writes the one-sided
+    /// densities into the caller-owned `out` (length `x.len()/2 + 1`).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PeriodogramConfig::estimate`], plus
+    /// [`DspError::LengthMismatch`] for a wrongly sized `out`.
+    pub fn estimate_into(
+        &self,
+        x: &[f64],
+        sample_rate: f64,
+        workspace: &mut DspWorkspace,
+        out: &mut [f64],
+    ) -> Result<(), DspError> {
         if x.is_empty() {
             return Err(DspError::EmptyInput {
                 context: "periodogram",
@@ -71,18 +112,37 @@ impl PeriodogramConfig {
             });
         }
         let n = x.len();
-        let fft = AnyFft::new(n)?;
-        let mut seg = x.to_vec();
-        if self.detrend {
-            let mu = crate::stats::mean(&seg)?;
-            for v in &mut seg {
-                *v -= mu;
-            }
+        if out.len() != n / 2 + 1 {
+            return Err(DspError::LengthMismatch {
+                expected: n / 2 + 1,
+                actual: out.len(),
+                context: "periodogram estimate_into (output)",
+            });
         }
-        self.window.apply(&mut seg, n)?;
-        let spec = fft.forward_real(&seg)?;
-        let density = one_sided_density(&spec, sample_rate, self.window.power_gain(n));
-        Spectrum::new(density, sample_rate, n)
+        let plan = workspace.plan(n, self.window)?;
+        // The rectangular, no-detrend case needs no per-sample rewrite,
+        // so the input feeds the FFT directly instead of being copied
+        // into the segment buffer first.
+        let src: &[f64] = if self.detrend || self.window != Window::Rectangular {
+            plan.seg.copy_from_slice(x);
+            if self.detrend {
+                let mu = crate::stats::mean(&plan.seg)?;
+                for v in &mut plan.seg {
+                    *v -= mu;
+                }
+            }
+            for (v, w) in plan.seg.iter_mut().zip(&plan.coeffs) {
+                *v *= w;
+            }
+            &plan.seg
+        } else {
+            x
+        };
+        plan.fft
+            .forward_real_into(src, &mut plan.scratch, &mut plan.spec)?;
+        out.fill(0.0);
+        one_sided_density_accumulate(&plan.spec, sample_rate, plan.window_power, out);
+        Ok(())
     }
 }
 
@@ -186,6 +246,26 @@ mod tests {
             .estimate(&x, 1000.0)
             .unwrap();
         assert!(psd.total_power() < 1e-20);
+    }
+
+    #[test]
+    fn workspace_path_is_bit_identical_to_allocating_path() {
+        let x: Vec<f64> = (0..600).map(|j| (j as f64 * 0.13).sin() + 0.2).collect();
+        let mut ws = DspWorkspace::new();
+        for window in [Window::Rectangular, Window::Hann] {
+            for detrend in [false, true] {
+                let cfg = PeriodogramConfig::new().window(window).detrend(detrend);
+                let alloc = cfg.estimate(&x, 1_200.0).unwrap();
+                let reused = cfg.estimate_with(&x, 1_200.0, &mut ws).unwrap();
+                assert_eq!(alloc, reused, "window {window:?} detrend {detrend}");
+            }
+        }
+        assert_eq!(ws.plan_count(), 2);
+        // Wrongly sized output buffer rejected.
+        let mut bad = vec![0.0; 600 / 2];
+        assert!(PeriodogramConfig::new()
+            .estimate_into(&x, 1_200.0, &mut ws, &mut bad)
+            .is_err());
     }
 
     #[test]

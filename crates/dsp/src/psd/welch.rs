@@ -1,7 +1,7 @@
 //! Welch's method: averaged modified periodograms over overlapped
 //! segments.
 
-use crate::psd::{one_sided_density, AnyFft};
+use crate::psd::{one_sided_density_accumulate, DspWorkspace};
 use crate::spectrum::Spectrum;
 use crate::window::Window;
 use crate::DspError;
@@ -108,12 +108,55 @@ impl WelchConfig {
 
     /// Runs the estimator over `x` sampled at `sample_rate` Hz.
     ///
+    /// Plans the FFT and allocates scratch per call; steady-state code
+    /// should hold a [`DspWorkspace`] and use
+    /// [`WelchConfig::estimate_with`] (or [`WelchConfig::estimate_into`]
+    /// for a fully allocation-free inner loop) instead.
+    ///
     /// # Errors
     ///
     /// Returns [`DspError::EmptyInput`] if `x` is shorter than one
     /// segment, and [`DspError::InvalidParameter`] for a non-positive
     /// sample rate.
     pub fn estimate(&self, x: &[f64], sample_rate: f64) -> Result<Spectrum, DspError> {
+        self.estimate_with(x, sample_rate, &mut DspWorkspace::new())
+    }
+
+    /// Runs the estimator reusing the plans and scratch buffers of
+    /// `workspace`; only the returned [`Spectrum`]'s density vector is
+    /// allocated.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`WelchConfig::estimate`].
+    pub fn estimate_with(
+        &self,
+        x: &[f64],
+        sample_rate: f64,
+        workspace: &mut DspWorkspace,
+    ) -> Result<Spectrum, DspError> {
+        let mut out = vec![0.0f64; self.segment_len / 2 + 1];
+        self.estimate_into(x, sample_rate, workspace, &mut out)?;
+        Spectrum::new(out, sample_rate, self.segment_len)
+    }
+
+    /// The fully allocation-free estimator: reuses `workspace` plans and
+    /// scratch, and writes the one-sided densities into the caller-owned
+    /// `out` (length `segment_len/2 + 1`). In the steady state — after
+    /// the workspace holds this configuration's plan — a call performs
+    /// no FFT planning and no heap allocation at all.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`WelchConfig::estimate`], plus
+    /// [`DspError::LengthMismatch`] for a wrongly sized `out`.
+    pub fn estimate_into(
+        &self,
+        x: &[f64],
+        sample_rate: f64,
+        workspace: &mut DspWorkspace,
+        out: &mut [f64],
+    ) -> Result<(), DspError> {
         if !(sample_rate > 0.0) {
             return Err(DspError::InvalidParameter {
                 name: "sample_rate",
@@ -126,39 +169,41 @@ impl WelchConfig {
                 context: "welch (input shorter than one segment)",
             });
         }
-        let fft = AnyFft::new(n)?;
-        let coeffs = self.window.coefficients(n);
-        let window_power: f64 = coeffs.iter().map(|w| w * w).sum();
+        if out.len() != n / 2 + 1 {
+            return Err(DspError::LengthMismatch {
+                expected: n / 2 + 1,
+                actual: out.len(),
+                context: "welch estimate_into (output)",
+            });
+        }
+        let plan = workspace.plan(n, self.window)?;
         let hop = self.hop();
 
-        let mut acc = vec![0.0f64; n / 2 + 1];
+        out.fill(0.0);
         let mut segments = 0usize;
-        let mut seg = vec![0.0f64; n];
         let mut start = 0usize;
         while start + n <= x.len() {
-            seg.copy_from_slice(&x[start..start + n]);
+            plan.seg.copy_from_slice(&x[start..start + n]);
             if self.detrend {
-                let mu = crate::stats::mean(&seg)?;
-                for v in &mut seg {
+                let mu = crate::stats::mean(&plan.seg)?;
+                for v in &mut plan.seg {
                     *v -= mu;
                 }
             }
-            for (v, w) in seg.iter_mut().zip(&coeffs) {
+            for (v, w) in plan.seg.iter_mut().zip(&plan.coeffs) {
                 *v *= w;
             }
-            let spec = fft.forward_real(&seg)?;
-            let density = one_sided_density(&spec, sample_rate, window_power);
-            for (a, d) in acc.iter_mut().zip(&density) {
-                *a += d;
-            }
+            plan.fft
+                .forward_real_into(&plan.seg, &mut plan.scratch, &mut plan.spec)?;
+            one_sided_density_accumulate(&plan.spec, sample_rate, plan.window_power, out);
             segments += 1;
             start += hop;
         }
         let inv = 1.0 / segments as f64;
-        for a in &mut acc {
-            *a *= inv;
+        for o in out.iter_mut() {
+            *o *= inv;
         }
-        Spectrum::new(acc, sample_rate, n)
+        Ok(())
     }
 }
 
@@ -260,6 +305,40 @@ mod tests {
             spread(&many_seg) < spread(&one_seg) / 4.0,
             "averaging did not reduce relative variance"
         );
+    }
+
+    #[test]
+    fn workspace_path_is_bit_identical_to_allocating_path() {
+        let fs = 20_000.0;
+        let x = gaussian_like(30_000, 1.0, 99);
+        let mut ws = DspWorkspace::new();
+        for nfft in [1_024usize, 1_000] {
+            for detrend in [false, true] {
+                let cfg = WelchConfig::new(nfft)
+                    .unwrap()
+                    .window(Window::Hann)
+                    .detrend(detrend);
+                let alloc = cfg.estimate(&x, fs).unwrap();
+                let reused = cfg.estimate_with(&x, fs, &mut ws).unwrap();
+                assert_eq!(alloc, reused, "nfft {nfft} detrend {detrend}");
+                // Second pass over the now-warm workspace: still identical.
+                let again = cfg.estimate_with(&x, fs, &mut ws).unwrap();
+                assert_eq!(alloc, again);
+            }
+        }
+        assert_eq!(ws.plan_count(), 2, "one plan per (size, window)");
+    }
+
+    #[test]
+    fn estimate_into_validates_output_length() {
+        let x = gaussian_like(4_096, 1.0, 5);
+        let cfg = WelchConfig::new(512).unwrap();
+        let mut ws = DspWorkspace::new();
+        let mut bad = vec![0.0; 512 / 2];
+        assert!(cfg.estimate_into(&x, 1_000.0, &mut ws, &mut bad).is_err());
+        let mut good = vec![0.0; 512 / 2 + 1];
+        cfg.estimate_into(&x, 1_000.0, &mut ws, &mut good).unwrap();
+        assert_eq!(good, cfg.estimate(&x, 1_000.0).unwrap().density());
     }
 
     #[test]

@@ -1,0 +1,134 @@
+//! Proof that the steady-state workspace PSD path is allocation-free.
+//!
+//! A counting global allocator wraps the system allocator; after a
+//! warm-up call populates the [`DspWorkspace`] plan cache, repeated
+//! `estimate_into` calls must perform **zero** heap allocations — no
+//! FFT re-planning, no segment/spectrum/accumulator buffers. This is
+//! the acceptance criterion of the batch-execution redesign: the Welch
+//! hot loop runs at memory-bandwidth speed with nothing for the
+//! allocator to do.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+use nfbist_dsp::psd::{DspWorkspace, PeriodogramConfig, WelchConfig};
+use nfbist_dsp::window::Window;
+
+/// The allocation counter is process-global while libtest runs tests
+/// on concurrent threads, so every test body in this binary holds this
+/// lock: otherwise another test's setup allocations could land inside
+/// a measured window and fail the `count == 0` assertion spuriously.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serialize_test() -> MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+// SAFETY-FREE NOTE: the allocator merely delegates to `System` and
+// bumps a counter; `unsafe` is confined to the required trait impl.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations<R>(f: impl FnOnce() -> R) -> (usize, R) {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let out = f();
+    (ALLOCATIONS.load(Ordering::Relaxed) - before, out)
+}
+
+fn noise(n: usize, seed: u64) -> Vec<f64> {
+    let mut state = seed;
+    (0..n)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        })
+        .collect()
+}
+
+#[test]
+fn steady_state_welch_estimate_is_allocation_free() {
+    let _serial = serialize_test();
+    // Radix-2 and Bluestein (the paper's 10⁴-point size, scaled down
+    // to keep the test quick) both have to hold the property.
+    for nfft in [1_024usize, 1_000] {
+        let x = noise(20_000, 42);
+        let cfg = WelchConfig::new(nfft).unwrap().window(Window::Hann);
+        let mut ws = DspWorkspace::new();
+        let mut out = vec![0.0f64; nfft / 2 + 1];
+
+        // Warm-up: plans the FFT and allocates every scratch buffer.
+        cfg.estimate_into(&x, 20_000.0, &mut ws, &mut out).unwrap();
+        let warm = out.clone();
+
+        let (count, result) = allocations(|| cfg.estimate_into(&x, 20_000.0, &mut ws, &mut out));
+        result.unwrap();
+        assert_eq!(
+            count, 0,
+            "steady-state welch (nfft {nfft}) must not allocate"
+        );
+        assert_eq!(out, warm, "reused buffers must not change the result");
+    }
+}
+
+#[test]
+fn steady_state_detrended_welch_is_allocation_free() {
+    let _serial = serialize_test();
+    let x = noise(10_000, 7);
+    let cfg = WelchConfig::new(512).unwrap().detrend(true);
+    let mut ws = DspWorkspace::new();
+    let mut out = vec![0.0f64; 257];
+    cfg.estimate_into(&x, 8_000.0, &mut ws, &mut out).unwrap();
+    let (count, result) = allocations(|| cfg.estimate_into(&x, 8_000.0, &mut ws, &mut out));
+    result.unwrap();
+    assert_eq!(count, 0, "detrend path must not allocate either");
+}
+
+#[test]
+fn steady_state_periodogram_is_allocation_free() {
+    let _serial = serialize_test();
+    let x = noise(2_048, 3);
+    let cfg = PeriodogramConfig::new().window(Window::Hann);
+    let mut ws = DspWorkspace::new();
+    let mut out = vec![0.0f64; 1_025];
+    cfg.estimate_into(&x, 4_000.0, &mut ws, &mut out).unwrap();
+    let (count, result) = allocations(|| cfg.estimate_into(&x, 4_000.0, &mut ws, &mut out));
+    result.unwrap();
+    assert_eq!(count, 0, "steady-state periodogram must not allocate");
+}
+
+#[test]
+fn allocating_entry_point_still_allocates_but_matches() {
+    let _serial = serialize_test();
+    // Sanity check on the counter itself, and on result equivalence
+    // between the two entry points.
+    let x = noise(8_192, 11);
+    let cfg = WelchConfig::new(1_024).unwrap();
+    let mut ws = DspWorkspace::new();
+    let reused = cfg.estimate_with(&x, 10_000.0, &mut ws).unwrap();
+    let (count, alloc) = allocations(|| cfg.estimate(&x, 10_000.0).unwrap());
+    assert!(count > 0, "the per-call path does allocate");
+    assert_eq!(alloc, reused);
+}

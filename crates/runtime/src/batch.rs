@@ -1,0 +1,356 @@
+//! Batch plans over measurement sessions: deterministic parallel
+//! fan-out of repeats, Monte Carlo trials, sweep cells and multipoint
+//! slots.
+//!
+//! Determinism is the design constraint: a batch run with `N` workers
+//! must produce **bit-identical** output to the same batch run with 1
+//! worker (or the plain sequential API). Two properties deliver that:
+//!
+//! 1. Every task is self-contained and fully determined by its index —
+//!    per-repeat seeds come from the session's own
+//!    `(setup seed, repeat index)` derivation, per-trial seeds from
+//!    [`derive_seed`].
+//! 2. The executor is slot-indexed (task `i`'s result lands at index
+//!    `i`), so reduction order never depends on scheduling.
+
+use crate::executor::BatchExecutor;
+use nfbist_analog::noise::NoiseSourceState;
+use nfbist_soc::multipoint::{MultipointBist, PointMeasurement};
+use nfbist_soc::session::{Measurement, MeasurementSession, RepeatMeasurement};
+use nfbist_soc::SocError;
+
+/// The golden-ratio increment seeding the derivation walk —
+/// re-exported from the session itself
+/// ([`nfbist_soc::session::REPEAT_SEED_STRIDE`]) so the two layers
+/// share one constant.
+pub const SEED_STRIDE: u64 = nfbist_soc::session::REPEAT_SEED_STRIDE;
+
+/// Derives the seed for batch element `index` from a base seed:
+/// a golden-ratio walk followed by the SplitMix64 finalizer.
+///
+/// The finalizer matters: sessions derive *repeat* seeds as the plain
+/// arithmetic walk `seed + repeat·φ⁶⁴`, so if trials used the same
+/// walk, trial `t+1` repeat `0` would draw bit-identical noise to
+/// trial `t` repeat `1` and a Monte Carlo batch with `repeats > 1`
+/// would silently understate its trial-to-trial spread. Mixing the
+/// walk through a bijective hash keeps the derivation deterministic
+/// and collision-free while decorrelating it from the repeat walk.
+///
+/// # Examples
+///
+/// ```
+/// use nfbist_runtime::batch::derive_seed;
+///
+/// // Deterministic, and distinct per index.
+/// assert_eq!(derive_seed(7, 1), derive_seed(7, 1));
+/// assert_ne!(derive_seed(7, 1), derive_seed(7, 2));
+/// ```
+pub fn derive_seed(base: u64, index: u64) -> u64 {
+    // SplitMix64 output function over the walked state (a bijection on
+    // u64, so distinct (base, index) walks stay distinct).
+    let mut z = base.wrapping_add(index.wrapping_add(1).wrapping_mul(SEED_STRIDE));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// How a batch is executed: the worker count, and the executor built
+/// from it.
+///
+/// # Examples
+///
+/// Fanning a session's repeats across workers, bit-identical to
+/// `session.run()`:
+///
+/// ```no_run
+/// use nfbist_runtime::batch::BatchPlan;
+/// use nfbist_soc::session::MeasurementSession;
+/// use nfbist_soc::setup::BistSetup;
+///
+/// # fn main() -> Result<(), nfbist_soc::SocError> {
+/// let session = MeasurementSession::new(BistSetup::quick(7))?.repeats(8);
+/// let parallel = BatchPlan::new().run_session(&session)?;
+/// let sequential = session.run()?;
+/// assert_eq!(parallel.nf.y, sequential.nf.y);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchPlan {
+    workers: usize,
+}
+
+impl BatchPlan {
+    /// A plan sized to the machine's available parallelism.
+    pub fn new() -> Self {
+        BatchPlan {
+            workers: BatchExecutor::with_available_parallelism().workers(),
+        }
+    }
+
+    /// A single-worker plan: every batch degenerates to the sequential
+    /// path (useful as the determinism baseline).
+    pub fn sequential() -> Self {
+        BatchPlan { workers: 1 }
+    }
+
+    /// Overrides the worker count (clamped to at least 1).
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = n.max(1);
+        self
+    }
+
+    /// The effective worker count.
+    pub fn worker_count(&self) -> usize {
+        self.workers
+    }
+
+    /// The executor this plan drives.
+    pub fn executor(&self) -> BatchExecutor {
+        BatchExecutor::new(self.workers)
+    }
+
+    /// Runs one session with its repeats fanned out across workers.
+    ///
+    /// The run-invariant conditioning (front-end gain, reference
+    /// waveform) is computed once and shared by reference; each repeat
+    /// is then an independent task seeded by its index, and the
+    /// outcomes are recombined with the session's own
+    /// [`MeasurementSession::combine`] — making the result
+    /// bit-identical to [`MeasurementSession::run`] for any worker
+    /// count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates acquisition, estimation and combination errors (the
+    /// first failing repeat wins, in repeat order).
+    pub fn run_session(&self, session: &MeasurementSession) -> Result<Measurement, SocError> {
+        let (gain, reference) = session.conditioning()?;
+        let reference = &reference;
+        let tasks: Vec<_> = (0..session.repeat_count())
+            .map(|r| move || session.measure_repeat_conditioned(r, gain, reference))
+            .collect();
+        let outcomes = self.executor().run(tasks);
+        let mut repeats: Vec<RepeatMeasurement> = Vec::with_capacity(outcomes.len());
+        for outcome in outcomes {
+            repeats.push(outcome?);
+        }
+        session.combine(repeats)
+    }
+
+    /// Runs `trials` independent sessions — a Monte Carlo batch — with
+    /// whole trials fanned out across workers. `build` receives the
+    /// trial index and constructs that trial's session (typically from
+    /// a seed derived via [`derive_seed`]); each task then builds *and*
+    /// runs its session so per-trial state (estimator workspaces, DSP
+    /// plans) never crosses a thread.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing trial, in trial order.
+    pub fn run_monte_carlo<B>(&self, trials: usize, build: B) -> Result<SessionBatch, SocError>
+    where
+        B: Fn(usize) -> Result<MeasurementSession, SocError> + Sync,
+    {
+        let build = &build;
+        let tasks: Vec<_> = (0..trials)
+            .map(|t| move || build(t).and_then(|session| session.run()))
+            .collect();
+        let outcomes = self.executor().run(tasks);
+        let mut measurements = Vec::with_capacity(outcomes.len());
+        for outcome in outcomes {
+            measurements.push(outcome?);
+        }
+        Ok(SessionBatch { measurements })
+    }
+
+    /// Fans arbitrary independent cells (table sweep rows, ablation
+    /// arms, estimator comparisons) across workers, preserving cell
+    /// order in the output.
+    pub fn run_cells<T, F>(&self, cells: Vec<F>) -> Vec<T>
+    where
+        F: FnOnce() -> T + Send,
+        T: Send,
+    {
+        self.executor().run(cells)
+    }
+
+    /// Runs a multipoint BIST with the hot and cold cascade
+    /// acquisitions performed concurrently and every test point's
+    /// estimation fanned out across workers. Output is identical to
+    /// [`MultipointBist::measure_all`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates acquisition and estimation errors (acquisition
+    /// first; then the first failing point, in point order).
+    pub fn run_multipoint(&self, bist: &MultipointBist) -> Result<Vec<PointMeasurement>, SocError> {
+        type AcquireTask<'a> = Box<
+            dyn FnOnce() -> Result<Vec<nfbist_analog::bitstream::Bitstream>, SocError> + Send + 'a,
+        >;
+        let acquisitions: Vec<AcquireTask> = vec![
+            Box::new(|| bist.acquire_all(NoiseSourceState::Hot)),
+            Box::new(|| bist.acquire_all(NoiseSourceState::Cold)),
+        ];
+        let mut acquired = self.executor().run(acquisitions).into_iter();
+        let hot = acquired.next().expect("hot acquisition slot")?;
+        let cold = acquired.next().expect("cold acquisition slot")?;
+
+        // One estimator *clone* per point task: concurrent workers each
+        // need their own FFT plan anyway (a shared cache would either
+        // serialize them or thrash its try_lock fallback), and the
+        // single planning cost per task amortizes over that task's full
+        // hot+cold Welch run. The sequential `measure_all` keeps one
+        // shared instance and hits its cache on every point.
+        let base_estimator = bist.estimator()?;
+        let estimators: Vec<_> = (0..hot.len()).map(|_| base_estimator.clone()).collect();
+        let tasks: Vec<_> = hot
+            .iter()
+            .zip(&cold)
+            .zip(&estimators)
+            .enumerate()
+            .map(|(i, ((h, c), est))| move || bist.measure_point(est, i, h, c))
+            .collect();
+        let outcomes = self.executor().run(tasks);
+        let mut points = Vec::with_capacity(outcomes.len());
+        for outcome in outcomes {
+            points.push(outcome?);
+        }
+        Ok(points)
+    }
+}
+
+impl Default for BatchPlan {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The ordered results of a Monte Carlo batch, with the summary
+/// statistics the repeatability experiments read off it.
+#[derive(Debug, Clone)]
+pub struct SessionBatch {
+    measurements: Vec<Measurement>,
+}
+
+impl SessionBatch {
+    /// The per-trial measurements, in trial order.
+    pub fn measurements(&self) -> &[Measurement] {
+        &self.measurements
+    }
+
+    /// Consumes the batch, returning the measurements.
+    pub fn into_measurements(self) -> Vec<Measurement> {
+        self.measurements
+    }
+
+    /// Number of trials.
+    pub fn len(&self) -> usize {
+        self.measurements.len()
+    }
+
+    /// `true` for an empty batch.
+    pub fn is_empty(&self) -> bool {
+        self.measurements.is_empty()
+    }
+
+    /// Mean measured noise figure across trials, in dB.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SocError::InvalidParameter`] for an empty batch.
+    pub fn mean_nf_db(&self) -> Result<f64, SocError> {
+        if self.measurements.is_empty() {
+            return Err(SocError::InvalidParameter {
+                name: "batch",
+                reason: "statistics need at least one trial",
+            });
+        }
+        let sum: f64 = self.measurements.iter().map(|m| m.nf.figure.db()).sum();
+        Ok(sum / self.measurements.len() as f64)
+    }
+
+    /// Sample standard deviation of the measured NF across trials, in
+    /// dB (0 for a single trial).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SocError::InvalidParameter`] for an empty batch.
+    pub fn nf_std_db(&self) -> Result<f64, SocError> {
+        if self.measurements.is_empty() {
+            return Err(SocError::InvalidParameter {
+                name: "batch",
+                reason: "statistics need at least one trial",
+            });
+        }
+        if self.measurements.len() == 1 {
+            return Ok(0.0);
+        }
+        let dbs: Vec<f64> = self.measurements.iter().map(|m| m.nf.figure.db()).collect();
+        Ok(nfbist_dsp::stats::std_dev(&dbs)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_derivation_is_deterministic_and_distinct() {
+        assert_eq!(derive_seed(1234, 0), derive_seed(1234, 0));
+        let seeds: Vec<u64> = (0..64).map(|i| derive_seed(1234, i)).collect();
+        let mut unique = seeds.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), seeds.len(), "derived seeds must not collide");
+        // Wrapping arithmetic keeps extreme bases valid.
+        let _ = derive_seed(u64::MAX, u64::MAX);
+    }
+
+    #[test]
+    fn trial_seeds_do_not_alias_the_repeat_walk() {
+        // A session derives repeat seeds as `trial_seed + r·φ⁶⁴`. With
+        // a plain arithmetic trial walk, trial t2's repeat 0 would
+        // equal trial t1's repeat (t2−t1) — identical noise records.
+        // The hashed derivation must keep every (trial, repeat) seed
+        // distinct across a realistic grid.
+        let base = 42u64;
+        let mut all: Vec<u64> = Vec::new();
+        for t in 0..32u64 {
+            let trial_seed = derive_seed(base, t);
+            for r in 0..32u64 {
+                all.push(trial_seed.wrapping_add(r.wrapping_mul(SEED_STRIDE)));
+            }
+        }
+        let count = all.len();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(count, all.len(), "(trial, repeat) seed grid collided");
+    }
+
+    #[test]
+    fn plan_worker_configuration() {
+        assert_eq!(BatchPlan::sequential().worker_count(), 1);
+        assert_eq!(BatchPlan::new().workers(0).worker_count(), 1);
+        assert_eq!(BatchPlan::new().workers(6).worker_count(), 6);
+        assert_eq!(BatchPlan::new().workers(6).executor().workers(), 6);
+    }
+
+    #[test]
+    fn cells_preserve_order() {
+        let plan = BatchPlan::new().workers(3);
+        let out = plan.run_cells((0..10).map(|i| move || i + 100).collect::<Vec<_>>());
+        assert_eq!(out, (100..110).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_batch_statistics_are_rejected() {
+        let batch = SessionBatch {
+            measurements: Vec::new(),
+        };
+        assert!(batch.is_empty());
+        assert_eq!(batch.len(), 0);
+        assert!(batch.mean_nf_db().is_err());
+        assert!(batch.nf_std_db().is_err());
+    }
+}

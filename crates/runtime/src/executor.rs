@@ -1,0 +1,167 @@
+//! The scoped-thread batch executor: deterministic fan-out of
+//! independent tasks across a fixed worker pool.
+//!
+//! Built on `std::thread::scope` only — no external runtime — so task
+//! closures may borrow the caller's data (a shared
+//! `MeasurementSession`, a reference waveform, acquisition records).
+//! Results come back **slot-indexed**: task `i`'s output lands at
+//! index `i` of the returned vector regardless of which worker ran it
+//! or in what order tasks finished, which is what makes parallel
+//! batches bit-identical to their sequential counterparts.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, PoisonError};
+use std::thread;
+
+/// A fixed-size worker pool executing batches of independent tasks.
+///
+/// # Examples
+///
+/// ```
+/// use nfbist_runtime::executor::BatchExecutor;
+///
+/// let tasks: Vec<_> = (0..8).map(|i| move || i * i).collect();
+/// let squares = BatchExecutor::new(4).run(tasks);
+/// assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchExecutor {
+    workers: usize,
+}
+
+impl BatchExecutor {
+    /// Creates an executor with `workers` worker threads (values below
+    /// 1 are clamped to 1; a single worker runs every task inline on
+    /// the calling thread).
+    pub fn new(workers: usize) -> Self {
+        BatchExecutor {
+            workers: workers.max(1),
+        }
+    }
+
+    /// Creates an executor sized to the machine
+    /// (`std::thread::available_parallelism`, falling back to 1).
+    pub fn with_available_parallelism() -> Self {
+        Self::new(thread::available_parallelism().map_or(1, |n| n.get()))
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs every task and returns their outputs in task order.
+    ///
+    /// Tasks are claimed work-stealing style off a shared index, so a
+    /// slow task never blocks the others; each output is written into
+    /// its task's slot. With one worker (or at most one task) the
+    /// batch degenerates to a plain sequential loop on the calling
+    /// thread — no threads are spawned at all.
+    ///
+    /// A panicking task propagates the panic to the caller once the
+    /// scope joins.
+    pub fn run<T, F>(&self, tasks: Vec<F>) -> Vec<T>
+    where
+        F: FnOnce() -> T + Send,
+        T: Send,
+    {
+        if self.workers == 1 || tasks.len() <= 1 {
+            return tasks.into_iter().map(|task| task()).collect();
+        }
+        let n = tasks.len();
+        let slots: Vec<Mutex<Option<F>>> = tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
+        let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+
+        thread::scope(|scope| {
+            for _ in 0..self.workers.min(n) {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let task = take_slot(&slots[i]).expect("each task index is claimed once");
+                    let out = task();
+                    *results[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(out);
+                });
+            }
+        });
+
+        results
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .expect("every claimed task stores its result")
+            })
+            .collect()
+    }
+}
+
+impl Default for BatchExecutor {
+    fn default() -> Self {
+        Self::with_available_parallelism()
+    }
+}
+
+fn take_slot<F>(slot: &Mutex<Option<F>>) -> Option<F> {
+    slot.lock().unwrap_or_else(PoisonError::into_inner).take()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_count_is_clamped() {
+        assert_eq!(BatchExecutor::new(0).workers(), 1);
+        assert_eq!(BatchExecutor::new(5).workers(), 5);
+        assert!(BatchExecutor::with_available_parallelism().workers() >= 1);
+    }
+
+    #[test]
+    fn results_come_back_in_task_order() {
+        for workers in [1usize, 2, 4, 9] {
+            let tasks: Vec<_> = (0..23u64).map(|i| move || i * 10).collect();
+            let out = BatchExecutor::new(workers).run(tasks);
+            assert_eq!(out, (0..23u64).map(|i| i * 10).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn single_worker_runs_inline_on_the_calling_thread() {
+        let caller = thread::current().id();
+        let tasks: Vec<_> = (0..4)
+            .map(|_| move || thread::current().id() == caller)
+            .collect();
+        assert!(
+            BatchExecutor::new(1).run(tasks).into_iter().all(|b| b),
+            "a 1-worker batch must degenerate to the sequential loop"
+        );
+    }
+
+    #[test]
+    fn single_task_avoids_thread_spawn_even_with_many_workers() {
+        let caller = thread::current().id();
+        let out = BatchExecutor::new(8).run(vec![move || thread::current().id() == caller]);
+        assert_eq!(out, vec![true]);
+    }
+
+    #[test]
+    fn tasks_may_borrow_caller_data() {
+        let data: Vec<u64> = (0..100).collect();
+        let chunks: Vec<_> = data.chunks(10).collect();
+        let tasks: Vec<_> = chunks
+            .iter()
+            .map(|c| move || c.iter().sum::<u64>())
+            .collect();
+        let sums = BatchExecutor::new(3).run(tasks);
+        assert_eq!(sums.iter().sum::<u64>(), data.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let out: Vec<u32> = BatchExecutor::new(4).run(Vec::<fn() -> u32>::new());
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,55 @@
+//! # nfbist-runtime — parallel batch execution for the DATE'05 reproduction
+//!
+//! The paper's headline numbers come from *many* independent
+//! acquisitions: Monte Carlo repeatability trials, `repeats(n)`
+//! Y-averaging, the four-op-amp Table 3 sweep, per-point multipoint
+//! estimates. Every one of those batches is embarrassingly parallel —
+//! and, because the whole simulation is seeded, every one of them can
+//! be parallel **without changing a single bit of output**.
+//!
+//! This crate is the seam that delivers it:
+//!
+//! * [`executor::BatchExecutor`] — a scoped-thread worker pool
+//!   (std-only, no external runtime) returning slot-indexed results,
+//!   so reduction order never depends on scheduling. One worker runs
+//!   tasks inline on the calling thread.
+//! * [`batch::BatchPlan`] — batch entry points over the measurement
+//!   stack: [`batch::BatchPlan::run_session`] fans a session's repeats
+//!   out (bit-identical to `MeasurementSession::run`),
+//!   [`batch::BatchPlan::run_monte_carlo`] fans whole trials,
+//!   [`batch::BatchPlan::run_cells`] fans arbitrary sweep cells, and
+//!   [`batch::BatchPlan::run_multipoint`] fans a multipoint BIST's
+//!   acquisitions and per-point estimates.
+//! * [`batch::SessionBatch`] — ordered Monte Carlo results with the
+//!   summary statistics the repeatability experiments need.
+//! * [`batch::derive_seed`] — deterministic per-index seed derivation
+//!   (golden-ratio walk + SplitMix64 finalizer), hashed so trial-level
+//!   seeds never alias the session's arithmetic per-repeat walk.
+//!
+//! ## Example
+//!
+//! ```no_run
+//! use nfbist_runtime::batch::{derive_seed, BatchPlan};
+//! use nfbist_soc::session::MeasurementSession;
+//! use nfbist_soc::setup::BistSetup;
+//!
+//! # fn main() -> Result<(), nfbist_soc::SocError> {
+//! // 12 Monte Carlo trials across all cores; per-trial seeds derived
+//! // deterministically, so the batch reproduces exactly on any
+//! // machine and any worker count.
+//! let batch = BatchPlan::new().run_monte_carlo(12, |trial| {
+//!     MeasurementSession::new(BistSetup::quick(derive_seed(42, trial as u64)))
+//! })?;
+//! println!("NF spread over 12 trials: {:.3} dB", batch.nf_std_db()?);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod executor;
+
+pub use batch::{derive_seed, BatchPlan, SessionBatch};
+pub use executor::BatchExecutor;

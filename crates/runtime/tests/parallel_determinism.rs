@@ -1,0 +1,184 @@
+//! The batch engine's core contract: parallel execution is
+//! **bit-for-bit identical** to sequential execution for the same
+//! seeds — over the whole (trials × repeats × workers) grid, for both
+//! the fast scale-preserving path and the full 1-bit estimator.
+
+use nfbist_analog::circuits::NonInvertingAmplifier;
+use nfbist_analog::converter::AdcDigitizer;
+use nfbist_analog::opamp::OpampModel;
+use nfbist_analog::units::Ohms;
+use nfbist_core::power_ratio::MeanSquareEstimator;
+use nfbist_runtime::batch::{derive_seed, BatchPlan};
+use nfbist_soc::multipoint::MultipointBist;
+use nfbist_soc::session::{Measurement, MeasurementSession};
+use nfbist_soc::setup::BistSetup;
+use nfbist_soc::SocError;
+use proptest::prelude::*;
+
+/// A reduced setup that keeps the grid sweep fast: short records, tiny
+/// FFT.
+fn tiny_setup(seed: u64) -> BistSetup {
+    BistSetup {
+        samples: 1 << 12,
+        nfft: 512,
+        seed,
+        ..BistSetup::paper_prototype(seed)
+    }
+}
+
+/// A fast session: ADC front-end (scale-preserving) + time-domain
+/// mean-square estimator, so a 4096-sample repeat costs microseconds.
+fn fast_session(seed: u64, repeats: usize) -> Result<MeasurementSession, SocError> {
+    let dut =
+        NonInvertingAmplifier::new(OpampModel::tl081(), Ohms::new(10_000.0), Ohms::new(100.0))
+            .expect("dut");
+    Ok(MeasurementSession::new(tiny_setup(seed))?
+        .dut(dut)
+        .digitizer(AdcDigitizer::new(12)?)
+        .estimator(MeanSquareEstimator)
+        .repeats(repeats))
+}
+
+/// Bitwise equality of everything a `Measurement` reports: Y, F, NF,
+/// spread, reference amplitude, per-repeat ratios and band powers.
+fn assert_bit_identical(a: &Measurement, b: &Measurement) {
+    assert_eq!(a.nf.y.to_bits(), b.nf.y.to_bits(), "mean Y differs");
+    assert_eq!(
+        a.nf.factor.value().to_bits(),
+        b.nf.factor.value().to_bits(),
+        "noise factor differs"
+    );
+    assert_eq!(
+        a.nf.figure.db().to_bits(),
+        b.nf.figure.db().to_bits(),
+        "NF differs"
+    );
+    assert_eq!(
+        a.nf_spread_db.to_bits(),
+        b.nf_spread_db.to_bits(),
+        "spread differs"
+    );
+    assert_eq!(
+        a.reference_amplitude.to_bits(),
+        b.reference_amplitude.to_bits()
+    );
+    assert_eq!(a.usage, b.usage);
+    assert_eq!(a.repeats.len(), b.repeats.len());
+    for (ra, rb) in a.repeats.iter().zip(&b.repeats) {
+        assert_eq!(
+            ra.ratio.ratio.to_bits(),
+            rb.ratio.ratio.to_bits(),
+            "per-repeat ratio differs"
+        );
+        assert_eq!(ra.ratio.hot_power.to_bits(), rb.ratio.hot_power.to_bits());
+        assert_eq!(ra.ratio.cold_power.to_bits(), rb.ratio.cold_power.to_bits());
+        assert_eq!(
+            ra.nf.map(|nf| nf.figure.db().to_bits()),
+            rb.nf.map(|nf| nf.figure.db().to_bits())
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The trials × repeats grid: a parallel Monte Carlo batch must be
+    /// bit-for-bit identical to the sequential batch for any worker
+    /// count and any seed.
+    #[test]
+    fn parallel_session_batch_is_bit_identical_to_sequential(
+        seed in 0u64..u64::MAX / 2,
+        trials in 1usize..4,
+        repeats in 1usize..4,
+        workers in 2usize..5,
+    ) {
+        let build = |t: usize| fast_session(derive_seed(seed, t as u64), repeats);
+        let sequential = BatchPlan::sequential()
+            .run_monte_carlo(trials, build)
+            .unwrap();
+        let parallel = BatchPlan::new()
+            .workers(workers)
+            .run_monte_carlo(trials, build)
+            .unwrap();
+        prop_assert_eq!(sequential.len(), parallel.len());
+        for (s, p) in sequential
+            .measurements()
+            .iter()
+            .zip(parallel.measurements())
+        {
+            assert_bit_identical(s, p);
+        }
+    }
+
+    /// Repeat fan-out: `BatchPlan::run_session` must reproduce
+    /// `MeasurementSession::run` exactly for any worker count.
+    #[test]
+    fn parallel_repeats_match_sequential_run(
+        seed in 0u64..u64::MAX / 2,
+        repeats in 1usize..6,
+        workers in 1usize..5,
+    ) {
+        let session = fast_session(seed, repeats).unwrap();
+        let sequential = session.run().unwrap();
+        let parallel = BatchPlan::new().workers(workers).run_session(&session).unwrap();
+        assert_bit_identical(&sequential, &parallel);
+    }
+}
+
+/// The full 1-bit estimator path (Welch PSDs, reference normalization,
+/// workspace reuse inside the estimator) through the parallel repeat
+/// fan-out: one heavier case, still bit-identical.
+#[test]
+fn one_bit_session_parallel_repeats_are_bit_identical() {
+    let mut setup = BistSetup::quick(17);
+    setup.samples = 1 << 15;
+    setup.nfft = 1_024;
+    let build = || {
+        let dut =
+            NonInvertingAmplifier::new(OpampModel::tl081(), Ohms::new(10_000.0), Ohms::new(100.0))
+                .expect("dut");
+        MeasurementSession::new(setup.clone())
+            .expect("session")
+            .dut(dut)
+            .repeats(4)
+    };
+    // Separate session instances so estimator workspaces are not
+    // shared between the two runs.
+    let sequential = build().run().expect("sequential run");
+    let parallel = BatchPlan::new()
+        .workers(4)
+        .run_session(&build())
+        .expect("parallel run");
+    assert_bit_identical(&sequential, &parallel);
+}
+
+/// Multipoint fan-out (the §4.3 simultaneous-observation scenario):
+/// parallel per-point estimation matches `measure_all`.
+#[test]
+fn multipoint_parallel_points_match_sequential() {
+    let stage = |m: OpampModel| {
+        Box::new(NonInvertingAmplifier::new(m, Ohms::new(1_000.0), Ohms::new(1_000.0)).unwrap())
+            as Box<dyn nfbist_analog::dut::Dut>
+    };
+    let mut setup = BistSetup::quick(5);
+    setup.samples = 1 << 15;
+    setup.nfft = 1_024;
+    let bist = MultipointBist::new(
+        setup,
+        vec![
+            stage(OpampModel::op27()),
+            stage(OpampModel::tl081()),
+            stage(OpampModel::ca3140()),
+        ],
+    )
+    .unwrap();
+    let sequential = bist.measure_all().unwrap();
+    let parallel = BatchPlan::new().workers(3).run_multipoint(&bist).unwrap();
+    assert_eq!(sequential.len(), parallel.len());
+    for (s, p) in sequential.iter().zip(&parallel) {
+        assert_eq!(s.stage, p.stage);
+        assert_eq!(s.nf.y.to_bits(), p.nf.y.to_bits());
+        assert_eq!(s.nf.figure.db().to_bits(), p.nf.figure.db().to_bits());
+        assert_eq!(s.expected_nf_db.to_bits(), p.expected_nf_db.to_bits());
+    }
+}

@@ -15,6 +15,10 @@
 //!   [`nfbist_core::power_ratio::PowerRatioEstimator`].
 //! * [`nfbist_soc`] — the SoC measurement environment, centred on
 //!   [`nfbist_soc::session::MeasurementSession`].
+//! * [`nfbist_runtime`] — the parallel batch-execution engine:
+//!   [`nfbist_runtime::BatchExecutor`] and
+//!   [`nfbist_runtime::BatchPlan`], deterministic fan-out of repeats,
+//!   Monte Carlo trials, sweep cells and multipoint slots.
 //! * [`nfbist_bench`] — experiment scenario builders shared by the
 //!   paper-table binaries.
 //!
@@ -28,4 +32,5 @@ pub use nfbist_analog;
 pub use nfbist_bench;
 pub use nfbist_core;
 pub use nfbist_dsp;
+pub use nfbist_runtime;
 pub use nfbist_soc;

@@ -74,7 +74,7 @@ pub struct Bencher {
 impl Bencher {
     /// Runs `f` repeatedly, recording the mean wall-clock time per
     /// iteration. One warm-up call calibrates the iteration count so
-    /// the measured phase lasts roughly [`TARGET_TIME`].
+    /// the measured phase lasts roughly `TARGET_TIME`.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
         let start = Instant::now();
         black_box(f());

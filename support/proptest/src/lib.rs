@@ -349,8 +349,8 @@ pub mod collection {
     use crate::test_runner::TestRng;
     use std::ops::Range;
 
-    /// Length specification accepted by [`vec`]: an exact `usize` or a
-    /// half-open `Range<usize>`.
+    /// Length specification accepted by [`vec()`]: an exact `usize` or
+    /// a half-open `Range<usize>`.
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         lo: usize,
