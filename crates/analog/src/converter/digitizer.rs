@@ -78,11 +78,6 @@ impl OneBitDigitizer {
     /// Returns [`AnalogError::LengthMismatch`] for unequal buffer
     /// lengths and [`AnalogError::EmptyInput`] for empty buffers.
     pub fn digitize(&self, signal: &[f64], reference: &[f64]) -> Result<Bitstream, AnalogError> {
-        if signal.is_empty() {
-            return Err(AnalogError::EmptyInput {
-                context: "digitize",
-            });
-        }
         if signal.len() != reference.len() {
             return Err(AnalogError::LengthMismatch {
                 expected: signal.len(),
@@ -90,27 +85,43 @@ impl OneBitDigitizer {
                 context: "digitize",
             });
         }
-        let mut comparator = self.comparator.clone();
-        let mut bits = Bitstream::with_capacity(signal.len() / self.decimation + 1);
-        for (i, (&s, &r)) in signal.iter().zip(reference).enumerate() {
-            let decision = comparator.compare(s, r);
-            if i % self.decimation == 0 {
-                bits.push(decision);
-            }
-        }
-        Ok(bits)
+        self.digitize_pairs(
+            signal.iter().zip(reference).map(|(&s, &r)| (s, r)),
+            "digitize",
+        )
     }
 
     /// Digitizes against an implicit zero reference (plain sign
     /// quantization) — the degenerate mode used to verify the arcsine
-    /// law directly.
+    /// law directly. No reference buffer is materialized.
     ///
     /// # Errors
     ///
     /// Returns [`AnalogError::EmptyInput`] for an empty buffer.
     pub fn digitize_sign(&self, signal: &[f64]) -> Result<Bitstream, AnalogError> {
-        let zeros = vec![0.0; signal.len()];
-        self.digitize(signal, &zeros)
+        self.digitize_pairs(signal.iter().map(|&s| (s, 0.0)), "digitize_sign")
+    }
+
+    /// The shared acquisition loop: comparator decisions over
+    /// `(signal, reference)` pairs streamed straight into whole packed
+    /// words. The comparator must see every sample — decimation only
+    /// drops latches, not comparisons.
+    fn digitize_pairs(
+        &self,
+        pairs: impl ExactSizeIterator<Item = (f64, f64)>,
+        context: &'static str,
+    ) -> Result<Bitstream, AnalogError> {
+        if pairs.len() == 0 {
+            return Err(AnalogError::EmptyInput { context });
+        }
+        let mut comparator = self.comparator.clone();
+        let mut bits = Bitstream::with_capacity(pairs.len() / self.decimation + 1);
+        let decimation = self.decimation;
+        bits.extend_from_bits(pairs.enumerate().filter_map(|(i, (s, r))| {
+            let decision = comparator.compare(s, r);
+            (i % decimation == 0).then_some(decision)
+        }));
+        Ok(bits)
     }
 }
 
@@ -192,10 +203,11 @@ mod tests {
             x[i] = a * x[i - 1] + raw[i];
         }
         let d = OneBitDigitizer::ideal();
-        let y = d.digitize_sign(&x).unwrap().to_bipolar();
+        let bits = d.digitize_sign(&x).unwrap();
 
         let rx = nfbist_dsp::correlation::normalized_autocorrelation(&x, 6).unwrap();
-        let ry = nfbist_dsp::correlation::normalized_autocorrelation(&y, 6).unwrap();
+        // Bit-domain path: XOR + popcount on the packed words.
+        let ry = bits.normalized_autocorrelation(6).unwrap();
         for lag in 1..=6 {
             let predicted = 2.0 / std::f64::consts::PI * rx[lag].asin();
             assert!(

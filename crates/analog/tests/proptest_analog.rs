@@ -32,6 +32,55 @@ proptest! {
     }
 
     #[test]
+    fn popcount_autocorrelation_matches_float_reference(
+        // 2..300 sweeps through sub-word, word-aligned and straddling
+        // lengths; the lag fraction covers lag 0 through len-1.
+        bits in prop::collection::vec(any::<bool>(), 2..300),
+        lag_frac in 0.0f64..1.0,
+    ) {
+        use nfbist_dsp::correlation::{autocorrelation, Bias};
+        let bs: Bitstream = bits.iter().copied().collect();
+        let max_lag = ((bits.len() - 1) as f64 * lag_frac) as usize;
+        let x = bs.to_bipolar();
+        for bias in [Bias::Biased, Bias::Unbiased] {
+            let fast = bs.autocorrelation(max_lag, bias).unwrap();
+            let reference = autocorrelation(&x, max_lag, bias).unwrap();
+            // ±1 lag sums are exact integers, so the popcount kernel is
+            // bitwise-identical to the float reference, not just close.
+            prop_assert_eq!(&fast, &reference);
+        }
+    }
+
+    #[test]
+    fn bulk_bit_append_matches_per_bit_push(
+        head in prop::collection::vec(any::<bool>(), 0..200),
+        tail in prop::collection::vec(any::<bool>(), 0..200),
+    ) {
+        let mut by_push = Bitstream::new();
+        for &b in head.iter().chain(&tail) {
+            by_push.push(b);
+        }
+        let mut by_bulk: Bitstream = head.iter().copied().collect();
+        by_bulk.extend_from_bits(tail.iter().copied());
+        prop_assert_eq!(&by_push, &by_bulk);
+        // Word-wise expansion agrees with per-bit reads.
+        let mut expanded = vec![0.0; by_push.len()];
+        if !by_push.is_empty() {
+            by_push.expand_bipolar_into(&mut expanded).unwrap();
+            for (i, v) in expanded.iter().enumerate() {
+                let expect = if by_push.get(i).unwrap() { 1.0 } else { -1.0 };
+                prop_assert_eq!(*v, expect);
+            }
+        }
+        // Popcount mean agrees with the float mean of the expansion.
+        if !head.is_empty() {
+            let hs: Bitstream = head.iter().copied().collect();
+            let float_mean: f64 = hs.to_bipolar().iter().sum::<f64>() / head.len() as f64;
+            prop_assert!((hs.bipolar_mean() - float_mean).abs() < 1e-12);
+        }
+    }
+
+    #[test]
     fn amplifier_is_homogeneous(gain in -100.0f64..100.0, x in -10.0f64..10.0) {
         prop_assume!(gain != 0.0 && gain.abs() > 1e-6);
         let mut a = Amplifier::ideal(gain).unwrap();

@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use nfbist_analog::noise::WhiteNoise;
 use nfbist_dsp::complex::Complex64;
-use nfbist_dsp::fft::{ArbitraryFft, Fft};
+use nfbist_dsp::fft::{ArbitraryFft, Fft, RealFft};
 use nfbist_dsp::psd::WelchConfig;
 
 fn bench_fft(c: &mut Criterion) {
@@ -32,6 +32,29 @@ fn bench_fft(c: &mut Criterion) {
     group.finish();
 }
 
+/// Real-input transform: the packed one-sided engine vs widening to a
+/// full N-point complex transform (the PR 2 path).
+fn bench_fft_real_vs_complex(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft_real");
+    for &n in &[1_024usize, 4_096, 16_384] {
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+        group.throughput(Throughput::Elements(n as u64));
+
+        let complex_plan = Fft::new(n).expect("plan");
+        let mut full = vec![Complex64::ZERO; n];
+        group.bench_with_input(BenchmarkId::new("complex_full", n), &n, |b, _| {
+            b.iter(|| complex_plan.forward_real_into(&x, &mut full).expect("fft"));
+        });
+
+        let real_plan = RealFft::new(n).expect("plan");
+        let mut one_sided = vec![Complex64::ZERO; real_plan.output_len()];
+        group.bench_with_input(BenchmarkId::new("real_packed", n), &n, |b, _| {
+            b.iter(|| real_plan.forward_into(&x, &mut one_sided).expect("fft"));
+        });
+    }
+    group.finish();
+}
+
 fn bench_welch(c: &mut Criterion) {
     let fs = 20_000.0;
     let x = WhiteNoise::new(1.0, 1).expect("noise").generate(200_000);
@@ -46,5 +69,5 @@ fn bench_welch(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_fft, bench_welch);
+criterion_group!(benches, bench_fft, bench_fft_real_vs_complex, bench_welch);
 criterion_main!(benches);

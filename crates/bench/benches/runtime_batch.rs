@@ -9,7 +9,8 @@
 //!    through `nfbist-runtime`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use nfbist_analog::converter::AdcDigitizer;
+use nfbist_analog::bitstream::Bitstream;
+use nfbist_analog::converter::{AdcDigitizer, OneBitDigitizer};
 use nfbist_analog::noise::WhiteNoise;
 use nfbist_core::power_ratio::PsdRatioEstimator;
 use nfbist_dsp::psd::{DspWorkspace, WelchConfig};
@@ -83,9 +84,35 @@ fn bench_batch_throughput(c: &mut Criterion) {
     group.finish();
 }
 
+/// One-bit autocorrelation at the paper's record size: XOR+popcount on
+/// the packed words vs expanding to ±1 floats and multiplying (the
+/// pre-bit-kernel path). The two produce bit-identical lag estimates.
+fn bench_onebit_autocorr_popcount_vs_float(c: &mut Criterion) {
+    use nfbist_dsp::correlation::{autocorrelation, Bias};
+
+    let n = 1_000_000;
+    let max_lag = 64;
+    let x = WhiteNoise::new(1.0, 11).expect("noise").generate(n);
+    let bits: Bitstream = OneBitDigitizer::ideal().digitize_sign(&x).expect("bits");
+
+    let mut group = c.benchmark_group("onebit_autocorr");
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("float_expand_direct", |b| {
+        b.iter(|| autocorrelation(&bits.to_bipolar(), max_lag, Bias::Biased).expect("float"));
+    });
+    group.bench_function("popcount", |b| {
+        b.iter(|| {
+            bits.autocorrelation(max_lag, Bias::Biased)
+                .expect("popcount")
+        });
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_welch_workspace_vs_allocating,
-    bench_batch_throughput
+    bench_batch_throughput,
+    bench_onebit_autocorr_popcount_vs_float
 );
 criterion_main!(benches);

@@ -1,0 +1,269 @@
+//! Quick perf smoke for the spectral and bit-domain hot paths,
+//! recording the PR 3 speedups as a JSON trajectory point.
+//!
+//! Three comparisons, each new-engine vs the pre-real-FFT baseline it
+//! replaced (the baseline is reconstructed here from the still-public
+//! complex/float primitives, so the comparison stays honest after the
+//! estimators themselves moved on):
+//!
+//! 1. **Welch at the paper's record class** — a 2²⁰-sample record
+//!    through 4096-point Hann segments: workspace `estimate_into`
+//!    (packed real FFT, one-sided spectrum) vs the PR 2 path (full
+//!    `N`-point complex FFT per segment).
+//! 2. **Single transform** — `RealFft::forward_into` vs
+//!    `Fft::forward_real_into` at 4096 points.
+//! 3. **One-bit autocorrelation** — XOR+popcount on the packed words
+//!    vs expand-to-±1 + float lag products.
+//!
+//! Usage: `bench_smoke [--json [PATH]] [--reps N]`. With `--json` the
+//! results are written to `PATH` (default `BENCH_pr3.json`).
+
+use std::time::Instant;
+
+use nfbist_analog::bitstream::Bitstream;
+use nfbist_analog::converter::OneBitDigitizer;
+use nfbist_analog::noise::WhiteNoise;
+use nfbist_dsp::complex::Complex64;
+use nfbist_dsp::correlation::{autocorrelation, Bias};
+use nfbist_dsp::fft::{Fft, RealFft};
+use nfbist_dsp::psd::{DspWorkspace, WelchConfig};
+use nfbist_dsp::window::Window;
+
+struct Case {
+    name: &'static str,
+    baseline: &'static str,
+    baseline_ns: f64,
+    new_ns: f64,
+}
+
+impl Case {
+    fn speedup(&self) -> f64 {
+        self.baseline_ns / self.new_ns
+    }
+}
+
+/// Mean wall-clock nanoseconds per call over `reps` calls (after one
+/// warm-up call).
+fn time_ns<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
+    std::hint::black_box(f());
+    let start = Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(f());
+    }
+    start.elapsed().as_nanos() as f64 / reps as f64
+}
+
+/// The PR 2 Welch inner loop: full `N`-point complex FFT per segment,
+/// reconstructed from the public complex primitives with its scratch
+/// state planned once up front (mirroring what `PsdPlan` cached then).
+struct WelchComplexBaseline {
+    fs: f64,
+    coeffs: Vec<f64>,
+    window_power: f64,
+    fft: Fft,
+    seg: Vec<f64>,
+    spec: Vec<Complex64>,
+}
+
+impl WelchComplexBaseline {
+    fn new(nfft: usize, fs: f64) -> Self {
+        let coeffs = Window::Hann.coefficients(nfft);
+        let window_power = coeffs.iter().map(|w| w * w).sum();
+        WelchComplexBaseline {
+            fs,
+            coeffs,
+            window_power,
+            fft: Fft::new(nfft).expect("baseline plan"),
+            seg: vec![0.0; nfft],
+            spec: vec![Complex64::ZERO; nfft],
+        }
+    }
+
+    fn estimate_into(&mut self, x: &[f64], out: &mut [f64]) {
+        let nfft = self.seg.len();
+        out.fill(0.0);
+        let hop = nfft / 2;
+        let mut segments = 0usize;
+        let mut start = 0usize;
+        while start + nfft <= x.len() {
+            self.seg.copy_from_slice(&x[start..start + nfft]);
+            for (v, w) in self.seg.iter_mut().zip(&self.coeffs) {
+                *v *= w;
+            }
+            self.fft
+                .forward_real_into(&self.seg, &mut self.spec)
+                .expect("baseline fft");
+            let base = 1.0 / (self.fs * self.window_power);
+            for (k, (a, z)) in out.iter_mut().zip(self.spec.iter()).enumerate() {
+                let mut d = z.norm_sqr() * base;
+                if k != 0 && k != nfft / 2 {
+                    d *= 2.0;
+                }
+                *a += d;
+            }
+            segments += 1;
+            start += hop;
+        }
+        let inv = 1.0 / segments as f64;
+        for o in out.iter_mut() {
+            *o *= inv;
+        }
+    }
+}
+
+fn run(reps: usize) -> Vec<Case> {
+    let mut cases = Vec::new();
+    let fs = 20_000.0;
+
+    // --- Case 1: Welch over a 2^20-sample record, 4096-point segments.
+    {
+        let samples = 1 << 20;
+        let nfft = 4_096;
+        let x = WhiteNoise::new(1.0, 42).expect("noise").generate(samples);
+        let cfg = WelchConfig::new(nfft).expect("config").window(Window::Hann);
+        let mut ws = DspWorkspace::new();
+        let mut out_new = vec![0.0f64; nfft / 2 + 1];
+        cfg.estimate_into(&x, fs, &mut ws, &mut out_new)
+            .expect("warm-up");
+
+        let mut baseline = WelchComplexBaseline::new(nfft, fs);
+        let mut out_base = vec![0.0f64; nfft / 2 + 1];
+        baseline.estimate_into(&x, &mut out_base);
+        // The two engines must agree on the estimate itself.
+        for (a, b) in out_new.iter().zip(&out_base) {
+            assert!((a - b).abs() < 1e-9 * (1.0 + b.abs()), "engines disagree");
+        }
+
+        let new_ns = time_ns(reps, || {
+            cfg.estimate_into(&x, fs, &mut ws, &mut out_new)
+                .expect("estimate")
+        });
+        let baseline_ns = time_ns(reps, || baseline.estimate_into(&x, &mut out_base));
+        cases.push(Case {
+            name: "welch_2pow20_nfft4096",
+            baseline: "full complex-FFT segments (PR 2 path)",
+            baseline_ns,
+            new_ns,
+        });
+    }
+
+    // --- Case 2: one 4096-point transform, real vs complex engine.
+    {
+        let n = 4_096;
+        let x: Vec<f64> = (0..n).map(|j| (j as f64 * 0.37).sin() + 0.2).collect();
+        let real_plan = RealFft::new(n).expect("real plan");
+        let complex_plan = Fft::new(n).expect("complex plan");
+        let mut one_sided = vec![Complex64::ZERO; real_plan.output_len()];
+        let mut full = vec![Complex64::ZERO; n];
+        let new_ns = time_ns(reps * 64, || {
+            real_plan
+                .forward_into(&x, &mut one_sided)
+                .expect("real fft")
+        });
+        let baseline_ns = time_ns(reps * 64, || {
+            complex_plan
+                .forward_real_into(&x, &mut full)
+                .expect("complex fft")
+        });
+        cases.push(Case {
+            name: "fft_real_vs_complex_4096",
+            baseline: "Fft::forward_real_into (full N-point complex)",
+            baseline_ns,
+            new_ns,
+        });
+    }
+
+    // --- Case 3: one-bit autocorrelation, popcount vs float.
+    {
+        let n = 1 << 20;
+        let max_lag = 64;
+        let x = WhiteNoise::new(1.0, 7).expect("noise").generate(n);
+        let bits: Bitstream = OneBitDigitizer::ideal().digitize_sign(&x).expect("bits");
+        let popcount = bits
+            .autocorrelation(max_lag, Bias::Biased)
+            .expect("popcount");
+        let float_ref = autocorrelation(&bits.to_bipolar(), max_lag, Bias::Biased).expect("float");
+        assert_eq!(popcount, float_ref, "popcount kernel must be bit-exact");
+
+        let new_ns = time_ns(reps, || {
+            bits.autocorrelation(max_lag, Bias::Biased)
+                .expect("popcount")
+        });
+        let baseline_ns = time_ns(reps, || {
+            autocorrelation(&bits.to_bipolar(), max_lag, Bias::Biased).expect("float")
+        });
+        cases.push(Case {
+            name: "onebit_autocorr_2pow20_lag64",
+            baseline: "expand to ±1 + float lag products",
+            baseline_ns,
+            new_ns,
+        });
+    }
+
+    cases
+}
+
+fn write_json(path: &str, cases: &[Case]) -> std::io::Result<()> {
+    let mut body = String::from("{\n  \"pr\": 3,\n  \"bench\": \"bench_smoke\",\n  \"cases\": [\n");
+    for (i, c) in cases.iter().enumerate() {
+        body.push_str(&format!(
+            "    {{\"name\": \"{}\", \"baseline\": \"{}\", \"baseline_ns\": {:.0}, \"new_ns\": {:.0}, \"speedup\": {:.3}}}{}\n",
+            c.name,
+            c.baseline,
+            c.baseline_ns,
+            c.new_ns,
+            c.speedup(),
+            if i + 1 == cases.len() { "" } else { "," }
+        ));
+    }
+    body.push_str("  ]\n}\n");
+    std::fs::write(path, body)
+}
+
+fn main() {
+    let mut json_path: Option<String> = None;
+    let mut reps = 5usize;
+    let mut args = std::env::args().skip(1).peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => {
+                let path = match args.peek() {
+                    Some(p) if !p.starts_with("--") => args.next().expect("peeked"),
+                    _ => "BENCH_pr3.json".to_string(),
+                };
+                json_path = Some(path);
+            }
+            "--reps" => {
+                reps = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--reps takes a positive integer");
+            }
+            other => {
+                eprintln!(
+                    "unknown argument {other}; usage: bench_smoke [--json [PATH]] [--reps N]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let cases = run(reps);
+    println!(
+        "{:<32} {:>14} {:>14} {:>9}",
+        "case", "baseline", "new", "speedup"
+    );
+    for c in &cases {
+        println!(
+            "{:<32} {:>11.3} ms {:>11.3} ms {:>8.2}x",
+            c.name,
+            c.baseline_ns / 1e6,
+            c.new_ns / 1e6,
+            c.speedup()
+        );
+    }
+    if let Some(path) = json_path {
+        write_json(&path, &cases).expect("write json");
+        println!("wrote {path}");
+    }
+}

@@ -131,7 +131,9 @@ impl FrequencyResponseTester {
             // Skip the filter transient before digitizing.
             let skip = (n / 10).min(5_000);
             let bits = digitizer.digitize_sign(&out[skip..])?;
-            let line_power = Goertzel::new(f, fs)?.power(&bits.to_bipolar())?;
+            // Goertzel reads the tone line straight off the packed
+            // bitstream — no ±1 float expansion is materialized.
+            let line_power = Goertzel::new(f, fs)?.power_iter(bits.iter_bipolar())?;
             sweep.push(SweepPoint {
                 frequency: f,
                 line_power,

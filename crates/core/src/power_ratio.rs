@@ -499,6 +499,13 @@ impl OneBitPowerRatio {
 
     /// Runs the estimator on two packed bitstreams.
     ///
+    /// The ±1 expansion of each record goes through the workspace's
+    /// reusable staging buffer
+    /// ([`DspWorkspace::take_record_buf`]), so the bit path
+    /// materializes no per-call float vectors in the steady state —
+    /// results are bit-identical to
+    /// [`OneBitPowerRatio::estimate_samples`] on the expanded records.
+    ///
     /// (The [`PowerRatioEstimator`] impl accepts pre-expanded sample
     /// buffers instead, which is what generic measurement sessions
     /// use.)
@@ -513,7 +520,26 @@ impl OneBitPowerRatio {
         hot: &Bitstream,
         cold: &Bitstream,
     ) -> Result<OneBitRatioEstimate, CoreError> {
-        self.estimate_samples(&hot.to_bipolar(), &cold.to_bipolar())
+        let welch = WelchConfig::new(self.nfft)?.window(self.window);
+        let (psd_hot, psd_cold) = {
+            let mut ws = workspace_handle(&self.workspace);
+            let mut buf = ws.take_record_buf();
+            let expand_and_estimate =
+                |bits: &Bitstream, buf: &mut Vec<f64>, ws: &mut DspWorkspace| {
+                    buf.resize(bits.len(), 0.0);
+                    bits.expand_bipolar_into(buf)?;
+                    Ok::<_, CoreError>(welch.estimate_with(buf, self.sample_rate, ws)?)
+                };
+            // A failed hot estimate must not pay for a cold one, but the
+            // staging buffer goes back to the workspace on every path.
+            let psds = expand_and_estimate(hot, &mut buf, &mut ws).and_then(|psd_hot| {
+                let psd_cold = expand_and_estimate(cold, &mut buf, &mut ws)?;
+                Ok((psd_hot, psd_cold))
+            });
+            ws.return_record_buf(buf);
+            psds?
+        };
+        self.finish(psd_hot, psd_cold)
     }
 
     /// Runs the estimator on pre-expanded ±1 sample buffers.
@@ -534,7 +560,17 @@ impl OneBitPowerRatio {
                 welch.estimate_with(cold, self.sample_rate, &mut ws)?,
             )
         };
+        self.finish(psd_hot, psd_cold)
+    }
 
+    /// The estimator tail shared by the bit and sample entry points:
+    /// reference normalization, exclusion bookkeeping and the band
+    /// ratio.
+    fn finish(
+        &self,
+        psd_hot: Spectrum,
+        psd_cold: Spectrum,
+    ) -> Result<OneBitRatioEstimate, CoreError> {
         let (psd_cold_norm, normalization) =
             normalize_to_reference(&psd_hot, &psd_cold, &self.tracker)?;
 
@@ -672,6 +708,30 @@ mod tests {
             r_without < r_with * 0.85,
             "exclusion made no difference: {r_without} vs {r_with}"
         );
+    }
+
+    #[test]
+    fn bit_path_is_bit_identical_to_expanded_sample_path() {
+        // The packed entry point stages its expansion through the
+        // workspace record buffer; the result must be bit-identical to
+        // estimating over a caller-expanded buffer.
+        let (hot, cold) = digitized_pair(1.0, 0.5, 0.1, 1 << 16);
+        let est = OneBitPowerRatio::new(FS, 2048, 3_000.0, (100.0, 1_500.0)).unwrap();
+        let from_bits = est.estimate_bits(&hot, &cold).unwrap();
+        let from_samples = est
+            .estimate_samples(&hot.to_bipolar(), &cold.to_bipolar())
+            .unwrap();
+        assert_eq!(from_bits.ratio, from_samples.ratio);
+        assert_eq!(from_bits.hot_noise_power, from_samples.hot_noise_power);
+        assert_eq!(from_bits.cold_noise_power, from_samples.cold_noise_power);
+        assert_eq!(
+            from_bits.hot_spectrum.density(),
+            from_samples.hot_spectrum.density()
+        );
+        // Records of different lengths reuse the same staging buffer.
+        let (short_hot, short_cold) = digitized_pair(1.0, 0.5, 0.1, (1 << 16) - 777);
+        let r = est.estimate_bits(&short_hot, &short_cold).unwrap();
+        assert!(r.ratio > 0.0);
     }
 
     #[test]

@@ -1,9 +1,14 @@
 //! Fast Fourier transforms.
 //!
-//! Two engines are provided:
+//! Three engines are provided:
 //!
 //! * [`Fft`] — a planned, iterative radix-2 Cooley–Tukey transform for
-//!   power-of-two sizes. This is the workhorse behind the PSD estimators.
+//!   power-of-two sizes, with branch-free forward/inverse butterfly
+//!   loops and twiddle-free first stages.
+//! * [`RealFft`] — the real-input engine behind the PSD estimators: it
+//!   packs `N` real samples into an `N/2`-point complex transform and
+//!   untangles the conjugate-symmetric spectrum into the `N/2 + 1`
+//!   one-sided bins, halving the butterfly work.
 //! * [`ArbitraryFft`] — Bluestein's chirp-z algorithm for any size,
 //!   built on top of the radix-2 kernel. Used when an experiment asks for
 //!   a non-power-of-two record (the paper's prototype used a 10⁴-point
@@ -32,22 +37,31 @@
 
 mod bluestein;
 mod radix2;
+mod real;
 
 pub use bluestein::ArbitraryFft;
+pub use real::RealFft;
 
 use crate::complex::Complex64;
 use crate::DspError;
+use std::sync::OnceLock;
 
 /// A planned radix-2 FFT of a fixed power-of-two size.
 ///
-/// Plans precompute twiddle factors and the bit-reversal permutation so
-/// repeated transforms (e.g. Welch segment averaging over a 10⁶-sample
-/// acquisition) do no trigonometry in the hot loop.
+/// Plans precompute the stage-ordered twiddle tables and the
+/// bit-reversal permutation so repeated transforms (e.g. Welch segment
+/// averaging over a 10⁶-sample acquisition) do no trigonometry in the
+/// hot loop, and the butterfly loops stream their twiddles in cache
+/// order.
 #[derive(Debug, Clone)]
 pub struct Fft {
     size: usize,
-    twiddles: Vec<Complex64>,
+    stage_twiddles: Vec<Complex64>,
     bit_rev: Vec<u32>,
+    /// Lazily-built packed real engine backing
+    /// [`Fft::forward_real_half`] (boxed: `RealFft` holds a half-size
+    /// `Fft` of its own).
+    real_half: OnceLock<Box<RealFft>>,
 }
 
 impl Fft {
@@ -72,8 +86,9 @@ impl Fft {
         }
         Ok(Fft {
             size,
-            twiddles: radix2::make_twiddles(size),
+            stage_twiddles: radix2::make_stage_twiddles(size),
             bit_rev: radix2::make_bit_reversal(size),
+            real_half: OnceLock::new(),
         })
     }
 
@@ -101,7 +116,7 @@ impl Fft {
     /// Returns [`DspError::LengthMismatch`] if `buf.len() != self.size()`.
     pub fn forward_in_place(&self, buf: &mut [Complex64]) -> Result<(), DspError> {
         self.check_len(buf.len(), "fft forward_in_place")?;
-        radix2::transform(buf, &self.twiddles, &self.bit_rev, false);
+        radix2::forward(buf, &self.stage_twiddles, &self.bit_rev);
         Ok(())
     }
 
@@ -124,7 +139,7 @@ impl Fft {
     /// Returns [`DspError::LengthMismatch`] if `buf.len() != self.size()`.
     pub fn inverse_in_place(&self, buf: &mut [Complex64]) -> Result<(), DspError> {
         self.check_len(buf.len(), "fft inverse_in_place")?;
-        radix2::transform(buf, &self.twiddles, &self.bit_rev, true);
+        radix2::inverse(buf, &self.stage_twiddles, &self.bit_rev);
         let scale = 1.0 / self.size as f64;
         for z in buf.iter_mut() {
             *z = z.scale(scale);
@@ -159,20 +174,26 @@ impl Fft {
         for (o, &v) in out.iter_mut().zip(x) {
             *o = Complex64::from_real(v);
         }
-        radix2::transform(out, &self.twiddles, &self.bit_rev, false);
+        radix2::forward(out, &self.stage_twiddles, &self.bit_rev);
         Ok(())
     }
 
     /// Forward transform of a real buffer, returning only the `N/2 + 1`
     /// non-redundant (one-sided) bins.
     ///
+    /// Runs through the packed [`RealFft`] engine, so only half the
+    /// butterfly work of [`Fft::forward_real`] is done and the mirrored
+    /// upper bins are never computed or allocated. The real engine is
+    /// planned once on first use and cached inside this plan.
+    ///
     /// # Errors
     ///
     /// Returns [`DspError::LengthMismatch`] if `x.len() != self.size()`.
     pub fn forward_real_half(&self, x: &[f64]) -> Result<Vec<Complex64>, DspError> {
-        let mut full = self.forward_real(x)?;
-        full.truncate(self.size / 2 + 1);
-        Ok(full)
+        self.check_len(x.len(), "fft forward_real_half")?;
+        self.real_half
+            .get_or_init(|| Box::new(RealFft::new(self.size).expect("size validated by Fft::new")))
+            .forward(x)
     }
 
     fn check_len(&self, actual: usize, context: &'static str) -> Result<(), DspError> {
@@ -336,6 +357,20 @@ mod tests {
         let plan = Fft::new(32).unwrap();
         let x = vec![0.0; 32];
         assert_eq!(plan.forward_real_half(&x).unwrap().len(), 17);
+        assert!(plan.forward_real_half(&x[..31]).is_err());
+    }
+
+    #[test]
+    fn forward_real_half_matches_real_fft_bitwise_and_full_numerically() {
+        let n = 64;
+        let plan = Fft::new(n).unwrap();
+        let x: Vec<f64> = (0..n).map(|j| (j as f64 * 0.29).sin() + 0.4).collect();
+        let half = plan.forward_real_half(&x).unwrap();
+        assert_eq!(half, RealFft::new(n).unwrap().forward(&x).unwrap());
+        let full = plan.forward_real(&x).unwrap();
+        for (k, (a, b)) in half.iter().zip(&full).enumerate() {
+            assert!((*a - *b).abs() < 1e-9, "bin {k}: {a} vs {b}");
+        }
     }
 
     #[test]

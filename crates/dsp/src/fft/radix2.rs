@@ -1,15 +1,46 @@
-//! Iterative radix-2 Cooley–Tukey kernel shared by [`super::Fft`] and
-//! [`super::ArbitraryFft`].
+//! Iterative radix-2 Cooley–Tukey kernel shared by [`super::Fft`],
+//! [`super::RealFft`] and [`super::ArbitraryFft`].
+//!
+//! The kernel is organized for throughput rather than brevity:
+//!
+//! * **Branch-free direction.** Forward and inverse are separate
+//!   monomorphized loops ([`forward`] / [`inverse`]) — there is no
+//!   `if inverse` test inside any butterfly. The inverse conjugates
+//!   each twiddle as it streams past (one negation, no branch).
+//! * **Twiddle-free first stages.** The length-2 stage multiplies by
+//!   `W⁰ = 1` only and the length-4 stage by `1` and `∓j`, so both are
+//!   specialized to pure add/sub/swap butterflies and never touch the
+//!   twiddle table.
+//! * **Sequential twiddle access.** Twiddles are stored per stage,
+//!   contiguously: stage `len` owns `W_len^k` for `k < len/2`. The
+//!   inner loop walks that slice linearly instead of striding through
+//!   one size-`N` table, so every stage streams its coefficients in
+//!   cache order.
 
 use crate::complex::Complex64;
 
-/// Precomputes the first `n/2` forward twiddle factors
-/// `W_n^k = e^{-j2πk/n}`.
-pub(crate) fn make_twiddles(n: usize) -> Vec<Complex64> {
-    let half = n / 2;
-    (0..half)
-        .map(|k| Complex64::cis(-2.0 * std::f64::consts::PI * k as f64 / n as f64))
-        .collect()
+/// Precomputes the stage-ordered twiddle table for size `n` (a power of
+/// two): the tables for stages `len = 8, 16, …, n` concatenated, where
+/// stage `len` holds `W_len^k = e^{-j2πk/len}` for `k` in `0..len/2`.
+///
+/// Stages 2 and 4 need no twiddles (their factors are `1` and `∓j`) and
+/// have no entries, so the table is empty for `n < 8` and holds `n - 4`
+/// coefficients otherwise.
+pub(crate) fn make_stage_twiddles(n: usize) -> Vec<Complex64> {
+    debug_assert!(n.is_power_of_two() || n == 0);
+    let mut table = Vec::new();
+    let mut len = 8usize;
+    while len <= n {
+        let half = len / 2;
+        table.reserve(half);
+        for k in 0..half {
+            table.push(Complex64::cis(
+                -2.0 * std::f64::consts::PI * k as f64 / len as f64,
+            ));
+        }
+        len <<= 1;
+    }
+    table
 }
 
 /// Precomputes the bit-reversal permutation for size `n` (a power of two).
@@ -26,46 +57,117 @@ pub(crate) fn make_bit_reversal(n: usize) -> Vec<u32> {
         .collect()
 }
 
-/// In-place radix-2 decimation-in-time transform.
-///
-/// `inverse` selects conjugated twiddles; scaling is the caller's job.
-pub(crate) fn transform(
-    buf: &mut [Complex64],
-    twiddles: &[Complex64],
-    bit_rev: &[u32],
-    inverse: bool,
-) {
-    let n = buf.len();
-    debug_assert!(n.is_power_of_two());
-    debug_assert_eq!(bit_rev.len(), n);
-
-    // Bit-reversal permutation.
+/// Applies the bit-reversal permutation.
+#[inline]
+fn permute(buf: &mut [Complex64], bit_rev: &[u32]) {
+    debug_assert_eq!(bit_rev.len(), buf.len());
     for (i, &rev) in bit_rev.iter().enumerate() {
         let j = rev as usize;
         if j > i {
             buf.swap(i, j);
         }
     }
+}
 
-    // Butterflies.
-    let mut len = 2;
+/// Length-2 stage: every twiddle is `W⁰ = 1`, so each butterfly is one
+/// add and one subtract.
+#[inline]
+fn stage_len2(buf: &mut [Complex64]) {
+    for pair in buf.chunks_exact_mut(2) {
+        let a = pair[0];
+        let b = pair[1];
+        pair[0] = a + b;
+        pair[1] = a - b;
+    }
+}
+
+/// Length-4 stage, forward direction: twiddles are `1` and
+/// `W₄¹ = e^{-jπ/2} = -j`; multiplication by `-j` is a component swap
+/// with one negation.
+#[inline]
+fn stage_len4_forward(buf: &mut [Complex64]) {
+    for quad in buf.chunks_exact_mut(4) {
+        let (a0, a1, b0, b1) = (quad[0], quad[1], quad[2], quad[3]);
+        // k = 0: w = 1.
+        quad[0] = a0 + b0;
+        quad[2] = a0 - b0;
+        // k = 1: w = -j, so b·w = (b.im, -b.re).
+        let t = Complex64::new(b1.im, -b1.re);
+        quad[1] = a1 + t;
+        quad[3] = a1 - t;
+    }
+}
+
+/// Length-4 stage, inverse direction: twiddles are `1` and `+j`.
+#[inline]
+fn stage_len4_inverse(buf: &mut [Complex64]) {
+    for quad in buf.chunks_exact_mut(4) {
+        let (a0, a1, b0, b1) = (quad[0], quad[1], quad[2], quad[3]);
+        quad[0] = a0 + b0;
+        quad[2] = a0 - b0;
+        // k = 1: w = +j, so b·w = (-b.im, b.re).
+        let t = Complex64::new(-b1.im, b1.re);
+        quad[1] = a1 + t;
+        quad[3] = a1 - t;
+    }
+}
+
+/// The stages `len ≥ 8`, parameterized on how a streamed twiddle enters
+/// the butterfly (identity for forward, conjugation for inverse — the
+/// closure is monomorphized away, leaving two branch-free loops).
+#[inline]
+fn tail_stages(
+    buf: &mut [Complex64],
+    stage_twiddles: &[Complex64],
+    twiddle: impl Fn(Complex64) -> Complex64,
+) {
+    let n = buf.len();
+    let mut offset = 0usize;
+    let mut len = 8usize;
     while len <= n {
         let half = len / 2;
-        let stride = n / len;
-        for start in (0..n).step_by(len) {
-            for k in 0..half {
-                let mut w = twiddles[k * stride];
-                if inverse {
-                    w = w.conj();
-                }
-                let a = buf[start + k];
-                let b = buf[start + k + half] * w;
-                buf[start + k] = a + b;
-                buf[start + k + half] = a - b;
+        let stage = &stage_twiddles[offset..offset + half];
+        for block in buf.chunks_exact_mut(len) {
+            let (lo, hi) = block.split_at_mut(half);
+            for ((a, b), &w) in lo.iter_mut().zip(hi.iter_mut()).zip(stage) {
+                let t = *b * twiddle(w);
+                let x = *a;
+                *a = x + t;
+                *b = x - t;
             }
         }
+        offset += half;
         len <<= 1;
     }
+}
+
+/// In-place forward radix-2 decimation-in-time transform (no scaling).
+pub(crate) fn forward(buf: &mut [Complex64], stage_twiddles: &[Complex64], bit_rev: &[u32]) {
+    let n = buf.len();
+    debug_assert!(n.is_power_of_two());
+    permute(buf, bit_rev);
+    if n >= 2 {
+        stage_len2(buf);
+    }
+    if n >= 4 {
+        stage_len4_forward(buf);
+    }
+    tail_stages(buf, stage_twiddles, |w| w);
+}
+
+/// In-place inverse radix-2 transform (conjugated twiddles; the `1/N`
+/// scale is the caller's job).
+pub(crate) fn inverse(buf: &mut [Complex64], stage_twiddles: &[Complex64], bit_rev: &[u32]) {
+    let n = buf.len();
+    debug_assert!(n.is_power_of_two());
+    permute(buf, bit_rev);
+    if n >= 2 {
+        stage_len2(buf);
+    }
+    if n >= 4 {
+        stage_len4_inverse(buf);
+    }
+    tail_stages(buf, stage_twiddles, Complex64::conj);
 }
 
 #[cfg(test)]
@@ -88,23 +190,52 @@ mod tests {
     }
 
     #[test]
-    fn twiddles_are_unit_roots() {
-        let tw = make_twiddles(16);
-        assert_eq!(tw.len(), 8);
-        for (k, w) in tw.iter().enumerate() {
-            assert!((w.abs() - 1.0).abs() < 1e-14);
+    fn stage_table_sizes() {
+        assert!(make_stage_twiddles(1).is_empty());
+        assert!(make_stage_twiddles(4).is_empty());
+        assert_eq!(make_stage_twiddles(8).len(), 4);
+        // Stages 8..=64 hold 4 + 8 + 16 + 32 coefficients.
+        assert_eq!(make_stage_twiddles(64).len(), 60);
+    }
+
+    #[test]
+    fn stage_twiddles_are_unit_roots() {
+        let tw = make_stage_twiddles(16);
+        // First stage (len 8): W₈^k for k in 0..4, then len 16.
+        for (k, w) in tw[..4].iter().enumerate() {
+            let expected = Complex64::cis(-2.0 * std::f64::consts::PI * k as f64 / 8.0);
+            assert!((*w - expected).abs() < 1e-14);
+        }
+        for (k, w) in tw[4..].iter().enumerate() {
             let expected = Complex64::cis(-2.0 * std::f64::consts::PI * k as f64 / 16.0);
             assert!((*w - expected).abs() < 1e-14);
+            assert!((w.abs() - 1.0).abs() < 1e-14);
         }
     }
 
     #[test]
     fn size_two_butterfly() {
-        let tw = make_twiddles(2);
+        let tw = make_stage_twiddles(2);
         let rev = make_bit_reversal(2);
         let mut buf = [Complex64::new(1.0, 0.0), Complex64::new(2.0, 0.0)];
-        transform(&mut buf, &tw, &rev, false);
+        forward(&mut buf, &tw, &rev);
         assert!((buf[0] - Complex64::new(3.0, 0.0)).abs() < 1e-14);
         assert!((buf[1] - Complex64::new(-1.0, 0.0)).abs() < 1e-14);
+    }
+
+    #[test]
+    fn forward_then_inverse_is_scaled_identity() {
+        let n = 32;
+        let tw = make_stage_twiddles(n);
+        let rev = make_bit_reversal(n);
+        let x: Vec<Complex64> = (0..n)
+            .map(|j| Complex64::new((j as f64 * 0.9).sin(), (j as f64 * 0.4).cos()))
+            .collect();
+        let mut buf = x.clone();
+        forward(&mut buf, &tw, &rev);
+        inverse(&mut buf, &tw, &rev);
+        for (a, &b) in buf.iter().zip(&x) {
+            assert!((a.scale(1.0 / n as f64) - b).abs() < 1e-12);
+        }
     }
 }

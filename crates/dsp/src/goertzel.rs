@@ -75,6 +75,20 @@ impl Goertzel {
         self.sample_rate
     }
 
+    /// Runs the Goertzel recurrence over a sample stream, returning the
+    /// squared magnitude and the number of samples consumed.
+    fn run(&self, x: impl Iterator<Item = f64>) -> (f64, usize) {
+        let (mut s1, mut s2) = (0.0f64, 0.0f64);
+        let mut n = 0usize;
+        for v in x {
+            let s0 = v + self.coeff * s1 - s2;
+            s2 = s1;
+            s1 = s0;
+            n += 1;
+        }
+        (s1 * s1 + s2 * s2 - self.coeff * s1 * s2, n)
+    }
+
     /// Squared DFT magnitude `|X(f)|²` of the record at the target
     /// frequency (unnormalized, matching [`crate::fft::Fft::forward`]
     /// conventions).
@@ -83,18 +97,27 @@ impl Goertzel {
     ///
     /// Returns [`DspError::EmptyInput`] for an empty record.
     pub fn magnitude_sq(&self, x: &[f64]) -> Result<f64, DspError> {
-        if x.is_empty() {
+        self.magnitude_sq_iter(x.iter().copied())
+    }
+
+    /// [`Goertzel::magnitude_sq`] over any sample stream — lets packed
+    /// records (e.g. a digitizer bitstream's ±1 expansion) feed the
+    /// recurrence directly, without materializing a float vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::EmptyInput`] for an empty stream.
+    pub fn magnitude_sq_iter<I>(&self, x: I) -> Result<f64, DspError>
+    where
+        I: IntoIterator<Item = f64>,
+    {
+        let (mag_sq, n) = self.run(x.into_iter());
+        if n == 0 {
             return Err(DspError::EmptyInput {
                 context: "goertzel",
             });
         }
-        let (mut s1, mut s2) = (0.0f64, 0.0f64);
-        for &v in x {
-            let s0 = v + self.coeff * s1 - s2;
-            s2 = s1;
-            s1 = s0;
-        }
-        Ok(s1 * s1 + s2 * s2 - self.coeff * s1 * s2)
+        Ok(mag_sq)
     }
 
     /// Estimated amplitude of a sinusoid at the target frequency:
@@ -107,7 +130,25 @@ impl Goertzel {
     ///
     /// Returns [`DspError::EmptyInput`] for an empty record.
     pub fn amplitude(&self, x: &[f64]) -> Result<f64, DspError> {
-        Ok(2.0 * self.magnitude_sq(x)?.sqrt() / x.len() as f64)
+        self.amplitude_iter(x.iter().copied())
+    }
+
+    /// [`Goertzel::amplitude`] over any sample stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::EmptyInput`] for an empty stream.
+    pub fn amplitude_iter<I>(&self, x: I) -> Result<f64, DspError>
+    where
+        I: IntoIterator<Item = f64>,
+    {
+        let (mag_sq, n) = self.run(x.into_iter());
+        if n == 0 {
+            return Err(DspError::EmptyInput {
+                context: "goertzel",
+            });
+        }
+        Ok(2.0 * mag_sq.sqrt() / n as f64)
     }
 
     /// Tone **power** estimate `amplitude²/2`.
@@ -116,7 +157,19 @@ impl Goertzel {
     ///
     /// Returns [`DspError::EmptyInput`] for an empty record.
     pub fn power(&self, x: &[f64]) -> Result<f64, DspError> {
-        let a = self.amplitude(x)?;
+        self.power_iter(x.iter().copied())
+    }
+
+    /// [`Goertzel::power`] over any sample stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::EmptyInput`] for an empty stream.
+    pub fn power_iter<I>(&self, x: I) -> Result<f64, DspError>
+    where
+        I: IntoIterator<Item = f64>,
+    {
+        let a = self.amplitude_iter(x)?;
         Ok(a * a / 2.0)
     }
 
@@ -172,6 +225,29 @@ mod tests {
             .collect();
         assert!((g.amplitude(&x).unwrap() - 2.5).abs() < 1e-9);
         assert!((g.power(&x).unwrap() - 3.125).abs() < 1e-8);
+    }
+
+    #[test]
+    fn iterator_path_is_bit_identical_to_slice_path() {
+        let fs = 10_000.0;
+        let g = Goertzel::new(500.0, fs).unwrap();
+        let x: Vec<f64> = (0..777)
+            .map(|j| (std::f64::consts::TAU * 500.0 * j as f64 / fs).sin() + 0.1)
+            .collect();
+        assert_eq!(
+            g.magnitude_sq(&x).unwrap(),
+            g.magnitude_sq_iter(x.iter().copied()).unwrap()
+        );
+        assert_eq!(
+            g.amplitude(&x).unwrap(),
+            g.amplitude_iter(x.iter().copied()).unwrap()
+        );
+        assert_eq!(
+            g.power(&x).unwrap(),
+            g.power_iter(x.iter().copied()).unwrap()
+        );
+        assert!(g.power_iter(std::iter::empty()).is_err());
+        assert!(g.amplitude_iter(std::iter::empty()).is_err());
     }
 
     #[test]

@@ -19,14 +19,19 @@ pub use welch::WelchConfig;
 pub use workspace::{DspWorkspace, PsdPlan};
 
 use crate::complex::Complex64;
-use crate::fft::{ArbitraryFft, Fft};
+use crate::fft::{ArbitraryFft, RealFft};
 use crate::DspError;
 
-/// Internal dispatch between the radix-2 and Bluestein engines, so PSD
-/// code accepts any FFT length (the paper uses 10⁴).
+/// Internal dispatch between the packed real-FFT and Bluestein
+/// engines, so PSD code accepts any FFT length (the paper uses 10⁴).
+///
+/// Power-of-two sizes run through [`RealFft`] — half the butterfly
+/// work and only the `N/2 + 1` one-sided bins ever materialized; other
+/// sizes fall back to Bluestein's full complex spectrum, of which the
+/// density pass reads the non-redundant half.
 #[derive(Debug, Clone)]
 pub(crate) enum AnyFft {
-    Pow2(Fft),
+    Pow2(RealFft),
     Arbitrary(ArbitraryFft),
 }
 
@@ -39,7 +44,7 @@ impl AnyFft {
             });
         }
         if n.is_power_of_two() {
-            Ok(AnyFft::Pow2(Fft::new(n)?))
+            Ok(AnyFft::Pow2(RealFft::new(n)?))
         } else {
             Ok(AnyFft::Arbitrary(ArbitraryFft::new(n)?))
         }
@@ -53,8 +58,8 @@ impl AnyFft {
         }
     }
 
-    /// Scratch length the `_into` transform needs (0 for the radix-2
-    /// engine, the convolution length for Bluestein).
+    /// Scratch length the `_into` transform needs (0 for the packed
+    /// real engine, the convolution length for Bluestein).
     pub(crate) fn scratch_len(&self) -> usize {
         match self {
             AnyFft::Pow2(_) => 0,
@@ -62,8 +67,20 @@ impl AnyFft {
         }
     }
 
-    /// Transforms a real buffer into `out` without allocating; `scratch`
-    /// must be [`AnyFft::scratch_len`] elements long.
+    /// Length of the spectrum buffer this engine writes: the one-sided
+    /// `n/2 + 1` bins for the real engine, the full `n` bins for
+    /// Bluestein.
+    pub(crate) fn spectrum_len(&self) -> usize {
+        match self {
+            AnyFft::Pow2(f) => f.output_len(),
+            AnyFft::Arbitrary(f) => f.size(),
+        }
+    }
+
+    /// Transforms a real buffer into `out` (length
+    /// [`AnyFft::spectrum_len`]) without allocating; `scratch` must be
+    /// [`AnyFft::scratch_len`] elements long. In both cases
+    /// `out[..n/2 + 1]` holds the one-sided bins afterwards.
     pub(crate) fn forward_real_into(
         &self,
         x: &[f64],
@@ -71,7 +88,7 @@ impl AnyFft {
         out: &mut [Complex64],
     ) -> Result<(), DspError> {
         match self {
-            AnyFft::Pow2(f) => f.forward_real_into(x, out),
+            AnyFft::Pow2(f) => f.forward_into(x, out),
             AnyFft::Arbitrary(f) => f.forward_real_into(x, scratch, out),
         }
     }
@@ -87,28 +104,33 @@ pub(crate) fn one_sided_density(
     sample_rate: f64,
     window_power: f64,
 ) -> Vec<f64> {
-    let mut out = vec![0.0; spec.len() / 2 + 1];
-    one_sided_density_accumulate(spec, sample_rate, window_power, &mut out);
+    let n = spec.len();
+    let mut out = vec![0.0; n / 2 + 1];
+    one_sided_density_accumulate(&spec[..n / 2 + 1], n, sample_rate, window_power, &mut out);
     out
 }
 
-/// Adds the one-sided densities of `spec` onto `acc` (the Welch
-/// segment-averaging inner loop, allocation-free). `acc` must hold
-/// `spec.len()/2 + 1` bins.
+/// Adds the one-sided densities of the `nfft/2 + 1` non-redundant bins
+/// in `spec` onto `acc` (the Welch segment-averaging inner loop,
+/// allocation-free). `spec` and `acc` must both hold `nfft/2 + 1`
+/// entries — for the packed real engine that is the whole spectrum
+/// buffer, for Bluestein the caller passes the lower half of the full
+/// spectrum.
 pub(crate) fn one_sided_density_accumulate(
     spec: &[Complex64],
+    nfft: usize,
     sample_rate: f64,
     window_power: f64,
     acc: &mut [f64],
 ) {
-    let n = spec.len();
-    let half = n / 2 + 1;
+    let half = nfft / 2 + 1;
+    debug_assert_eq!(spec.len(), half);
     debug_assert_eq!(acc.len(), half);
     let base = 1.0 / (sample_rate * window_power);
-    for (k, (a, z)) in acc.iter_mut().zip(spec.iter().take(half)).enumerate() {
+    for (k, (a, z)) in acc.iter_mut().zip(spec).enumerate() {
         let mut d = z.norm_sqr() * base;
         let is_dc = k == 0;
-        let is_nyquist = n.is_multiple_of(2) && k == n / 2;
+        let is_nyquist = nfft.is_multiple_of(2) && k == nfft / 2;
         if !is_dc && !is_nyquist {
             d *= 2.0;
         }

@@ -141,7 +141,13 @@ impl PeriodogramConfig {
         plan.fft
             .forward_real_into(src, &mut plan.scratch, &mut plan.spec)?;
         out.fill(0.0);
-        one_sided_density_accumulate(&plan.spec, sample_rate, plan.window_power, out);
+        one_sided_density_accumulate(
+            &plan.spec[..n / 2 + 1],
+            n,
+            sample_rate,
+            plan.window_power,
+            out,
+        );
         Ok(())
     }
 }

@@ -195,7 +195,13 @@ impl WelchConfig {
             }
             plan.fft
                 .forward_real_into(&plan.seg, &mut plan.scratch, &mut plan.spec)?;
-            one_sided_density_accumulate(&plan.spec, sample_rate, plan.window_power, out);
+            one_sided_density_accumulate(
+                &plan.spec[..n / 2 + 1],
+                n,
+                sample_rate,
+                plan.window_power,
+                out,
+            );
             segments += 1;
             start += hop;
         }

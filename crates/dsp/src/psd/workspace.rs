@@ -51,10 +51,12 @@ pub struct PsdPlan {
     /// accumulate straight into the caller's output, so no separate
     /// accumulator lives here).
     pub(crate) seg: Vec<f64>,
-    /// Full complex spectrum buffer, length `n`.
+    /// Complex spectrum buffer: the one-sided `n/2 + 1` bins for
+    /// power-of-two sizes (packed real FFT), the full `n` bins for
+    /// Bluestein sizes.
     pub(crate) spec: Vec<Complex64>,
-    /// FFT-internal scratch (empty for radix-2, the convolution length
-    /// for Bluestein sizes).
+    /// FFT-internal scratch (empty for the packed real engine, the
+    /// convolution length for Bluestein sizes).
     pub(crate) scratch: Vec<Complex64>,
 }
 
@@ -64,13 +66,14 @@ impl PsdPlan {
         let coeffs = window.coefficients(n);
         let window_power: f64 = coeffs.iter().map(|w| w * w).sum();
         let scratch = vec![Complex64::ZERO; fft.scratch_len()];
+        let spec = vec![Complex64::ZERO; fft.spectrum_len()];
         Ok(PsdPlan {
             fft,
             window,
             coeffs,
             window_power,
             seg: vec![0.0; n],
-            spec: vec![Complex64::ZERO; n],
+            spec,
             scratch,
         })
     }
@@ -98,12 +101,34 @@ impl PsdPlan {
 #[derive(Debug, Default)]
 pub struct DspWorkspace {
     plans: Vec<PsdPlan>,
+    /// Reusable real-sample staging buffer for callers that must
+    /// expand a packed record (e.g. a ±1 bitstream) before estimating;
+    /// moved out/in with [`DspWorkspace::take_record_buf`] /
+    /// [`DspWorkspace::return_record_buf`] so its capacity survives
+    /// across estimates without fighting the borrow on the plan cache.
+    record_buf: Option<Vec<f64>>,
 }
 
 impl DspWorkspace {
     /// Creates an empty workspace (no plans until first use).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Moves the reusable record staging buffer out of the workspace
+    /// (an empty vector on first use). Callers resize and fill it,
+    /// run their estimates — the workspace stays borrowable because
+    /// the buffer is owned, not borrowed — and hand it back with
+    /// [`DspWorkspace::return_record_buf`] so the steady state
+    /// allocates nothing.
+    pub fn take_record_buf(&mut self) -> Vec<f64> {
+        self.record_buf.take().unwrap_or_default()
+    }
+
+    /// Returns a buffer taken with [`DspWorkspace::take_record_buf`],
+    /// preserving its capacity for the next estimate.
+    pub fn return_record_buf(&mut self, buf: Vec<f64>) {
+        self.record_buf = Some(buf);
     }
 
     /// Returns the cached plan for `(n, window)`, building it on first
@@ -156,15 +181,31 @@ mod tests {
     #[test]
     fn plan_buffers_match_fft_requirements() {
         let mut ws = DspWorkspace::new();
-        // Power of two: no Bluestein scratch.
+        // Power of two: no Bluestein scratch, one-sided spectrum only.
         let p = ws.plan(1024, Window::Hann).unwrap();
         assert_eq!(p.size(), 1024);
         assert_eq!(p.scratch.len(), 0);
-        assert_eq!(p.spec.len(), 1024);
-        // The paper's 10⁴-point size goes through Bluestein.
+        assert_eq!(p.spec.len(), 513);
+        // The paper's 10⁴-point size goes through Bluestein, which
+        // needs the full spectrum buffer.
         let p = ws.plan(10_000, Window::Hann).unwrap();
         assert!(p.scratch.len() >= 2 * 10_000 - 1);
+        assert_eq!(p.spec.len(), 10_000);
         assert_eq!(p.window(), Window::Hann);
+    }
+
+    #[test]
+    fn record_buf_round_trips_with_capacity() {
+        let mut ws = DspWorkspace::new();
+        let mut buf = ws.take_record_buf();
+        assert!(buf.is_empty());
+        buf.resize(4_096, 0.5);
+        let cap = buf.capacity();
+        ws.return_record_buf(buf);
+        let again = ws.take_record_buf();
+        assert_eq!(again.capacity(), cap);
+        assert_eq!(again.len(), 4_096);
+        ws.return_record_buf(again);
     }
 
     #[test]

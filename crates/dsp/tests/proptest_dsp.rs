@@ -5,7 +5,7 @@
 use nfbist_dsp::complex::Complex64;
 use nfbist_dsp::correlation::{autocorrelation, autocorrelation_fft, Bias};
 use nfbist_dsp::db::{db_to_power_ratio, power_ratio_to_db};
-use nfbist_dsp::fft::{dft_naive, ArbitraryFft, Fft};
+use nfbist_dsp::fft::{dft_naive, ArbitraryFft, Fft, RealFft};
 use nfbist_dsp::filter::{BandKind, FirSpec};
 use nfbist_dsp::psd::periodogram;
 use nfbist_dsp::spectrum::Spectrum;
@@ -46,6 +46,64 @@ proptest! {
         let time: f64 = x.iter().map(|v| v * v).sum();
         let freq: f64 = spec.iter().map(|z| z.norm_sqr()).sum::<f64>() / n as f64;
         prop_assert!((time - freq).abs() <= 1e-6 * (1.0 + time));
+    }
+
+    #[test]
+    fn real_fft_matches_naive_oracle(signal in finite_signal(128), k in 0u32..9) {
+        let n = 1usize << k;
+        let x: Vec<f64> = (0..n).map(|i| signal[i % signal.len()]).collect();
+        let packed: Vec<Complex64> = x.iter().map(|&v| Complex64::from_real(v)).collect();
+        let oracle = dft_naive(&packed);
+        let fast = RealFft::new(n).unwrap().forward(&x).unwrap();
+        prop_assert_eq!(fast.len(), n / 2 + 1);
+        for (k, (a, b)) in fast.iter().zip(&oracle).enumerate() {
+            prop_assert!(
+                (*a - *b).abs() < 1e-7 * n as f64 * 1e3,
+                "n {} bin {}: {} vs {}", n, k, a, b
+            );
+        }
+    }
+
+    #[test]
+    fn real_fft_agrees_with_complex_engine(signal in finite_signal(256), k in 1u32..10) {
+        let n = 1usize << k;
+        let x: Vec<f64> = (0..n).map(|i| signal[(i * 5 + 1) % signal.len()]).collect();
+        let plan = Fft::new(n).unwrap();
+        let full = plan.forward_real(&x).unwrap();
+        let real_plan = RealFft::new(n).unwrap();
+        let half = real_plan.forward(&x).unwrap();
+        for (a, b) in half.iter().zip(&full) {
+            prop_assert!((*a - *b).abs() < 1e-7 * n as f64 * 1e3);
+        }
+        // The planned one-sided convenience is the same engine — exact.
+        prop_assert_eq!(&plan.forward_real_half(&x).unwrap(), &half);
+        // And the zero-allocation entry point is bitwise-identical.
+        let mut out = vec![Complex64::new(3.0, -3.0); real_plan.output_len()];
+        real_plan.forward_into(&x, &mut out).unwrap();
+        prop_assert_eq!(&out, &half);
+    }
+
+    #[test]
+    fn one_sided_psd_matches_naive_for_any_engine(signal in finite_signal(48), n in 2usize..48) {
+        // Exercises the one-sided density path through both FFT
+        // engines: power-of-two `n` takes the packed real FFT, other
+        // sizes take Bluestein's full spectrum.
+        let fs = 1_000.0;
+        let x: Vec<f64> = (0..n).map(|i| signal[i % signal.len()]).collect();
+        let psd = periodogram(&x, fs).unwrap();
+        let packed: Vec<Complex64> = x.iter().map(|&v| Complex64::from_real(v)).collect();
+        let oracle = dft_naive(&packed);
+        let scale = 1.0 / (fs * n as f64);
+        for (k, d) in psd.density().iter().enumerate() {
+            let mut expect = oracle[k].norm_sqr() * scale;
+            if k != 0 && !(n % 2 == 0 && k == n / 2) {
+                expect *= 2.0;
+            }
+            prop_assert!(
+                (d - expect).abs() <= 1e-6 * (1.0 + expect),
+                "n {} bin {}: {} vs {}", n, k, d, expect
+            );
+        }
     }
 
     #[test]

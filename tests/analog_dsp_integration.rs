@@ -24,10 +24,20 @@ fn arcsine_law_closes_the_loop() {
     let bits = OneBitDigitizer::ideal()
         .digitize_sign(&x)
         .expect("digitize");
-    let y = bits.to_bipolar();
 
     let rho_x = normalized_autocorrelation(&x, 8).expect("analog acf");
-    let rho_y = normalized_autocorrelation(&y, 8).expect("bitstream acf");
+    // The bitstream correlation comes straight from the packed words
+    // (XOR + popcount) — no ±1 expansion. Sanity-check it against the
+    // float estimator on the expanded record first.
+    let rho_y = bits.normalized_autocorrelation(8).expect("bitstream acf");
+    let rho_y_float =
+        normalized_autocorrelation(&bits.to_bipolar(), 8).expect("float bitstream acf");
+    for (lag, (a, b)) in rho_y.iter().zip(&rho_y_float).enumerate() {
+        assert!(
+            (a - b).abs() < 1e-9,
+            "popcount vs float acf at lag {lag}: {a} vs {b}"
+        );
+    }
 
     for lag in 1..=8 {
         let forward = arcsine::arcsine_law(rho_x[lag]).expect("arcsine");
