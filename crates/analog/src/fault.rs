@@ -1,0 +1,1032 @@
+//! Parametric fault injection: defective variants of any [`Dut`] and
+//! any [`Digitizer`], for defect-coverage campaigns.
+//!
+//! The paper's argument is production test — a BIST earns its silicon
+//! only if it *catches* defective parts. This module turns every
+//! circuit in [`crate::circuits`] / [`crate::component`] and every
+//! acquisition front-end in [`crate::converter`] into a fault target:
+//!
+//! * [`AnalogFault`] — parametric analog defects (input-path loss,
+//!   gain drift, degraded op-amp noise, lost bandwidth, injected
+//!   interference), composed onto any DUT by [`FaultyDut`];
+//! * [`BitFault`] — digital defects on the stored 1-bit stream (stuck
+//!   and flipped latch/memory cells), composed onto any front-end by
+//!   [`FaultyDigitizer`].
+//!
+//! ## Production-test semantics
+//!
+//! A [`FaultyDut`] reports the **healthy** analytic model (`gain`,
+//! `added_noise_density_sq`, expected NF) and injects faults only into
+//! the signal path (`process`). This mirrors the production line: the
+//! test plan — conditioning gains, screening limits, expected values —
+//! is derived from the healthy design, while the physical part on the
+//! socket may be defective. A session measuring a `FaultyDut`
+//! therefore conditions and judges exactly as a real tester would.
+//! [`FaultyDut::faulty_expected_noise_factor`] gives the analytic NF
+//! the *defective* part should measure, for the fault classes that
+//! shift it.
+//!
+//! Not every defect shifts the noise figure the same way. Input-path
+//! loss and excess noise change the in-band hot/cold power ratio
+//! directly. A pure output-gain deviation
+//! ([`AnalogFault::GainDeviation`]) or a bandwidth loss
+//! ([`AnalogFault::ReducedBandwidth`]) cancels out of the Y ratio
+//! itself — but the 1-bit bench's reference amplitude is calibrated
+//! for the *healthy* signal level, so such faults still move the
+//! effective reference fraction off the paper's Fig. 10 working
+//! point: mild deviations escape the NF screen, while gross ones
+//! bias the normalization into detection or lose the reference line
+//! outright (a gross reject). Fully characterizing those classes
+//! needs the frequency-response BIST mode (paper §7); coverage
+//! campaigns exist to quantify exactly this boundary.
+
+use crate::bitstream::Bitstream;
+use crate::converter::{Digitizer, Record};
+use crate::dut::Dut;
+use crate::noise::ShapedNoise;
+use crate::units::{Kelvin, Ohms};
+use crate::AnalogError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Salt mixed into the per-fault noise-synthesis seeds so injected
+/// fault noise never aliases the DUT's own synthesized noise stream.
+const FAULT_SEED_SALT: u64 = 0xD1B5_4A32_D192_ED03;
+
+/// A parametric analog defect, applied to a [`Dut`] by [`FaultyDut`].
+///
+/// # Examples
+///
+/// ```
+/// use nfbist_analog::fault::AnalogFault;
+///
+/// let fault = AnalogFault::InputAttenuation { factor: 2.0 };
+/// assert!(fault.validate().is_ok());
+/// assert_eq!(fault.class(), "input_attenuation");
+/// assert!(fault.to_string().contains("2.00"));
+/// // Out-of-domain parameters are rejected.
+/// assert!(AnalogFault::ExcessNoise { factor: 0.5 }.validate().is_err());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AnalogFault {
+    /// Loss in the input path (cracked trace, drifted series
+    /// resistance): the voltage reaching the DUT input is divided by
+    /// `factor` (≥ 1) while the DUT's own noise is unchanged — so the
+    /// measured NF **rises** by up to `factor²` in the added-noise
+    /// term.
+    InputAttenuation {
+        /// Voltage attenuation factor (2.0 = the signal is halved,
+        /// ≈ 6 dB of loss).
+        factor: f64,
+    },
+    /// Output-gain drift (out-of-tolerance feedback network): the DUT
+    /// output is multiplied by `factor`. The scale itself cancels in
+    /// the Y ratio; what remains visible is the shifted
+    /// signal-to-reference working point of the 1-bit bench (gain-down
+    /// raises the effective reference fraction, gain-up sinks the
+    /// reference toward the noise floor). Mild deviations therefore
+    /// **escape** an NF screen; gross ones are caught indirectly.
+    GainDeviation {
+        /// Multiplicative gain error (0.5 = output 6 dB low).
+        factor: f64,
+    },
+    /// Degraded op-amp noise (damaged input stage, ESD event): the
+    /// input-referred added-noise *power* of the DUT is multiplied by
+    /// `factor` (≥ 1). The excess is synthesized with the same
+    /// spectral shape as the healthy added noise.
+    ExcessNoise {
+        /// Input-referred added-noise power multiplier.
+        factor: f64,
+    },
+    /// Lost bandwidth (degraded GBW, drifted compensation): a
+    /// one-pole low-pass at `corner_hz` is applied to the DUT output.
+    /// Hot and cold records are filtered identically, so the in-band Y
+    /// ratio barely moves; only the shifted reference working point
+    /// (the filtered noise RMS drops while the reference stays put)
+    /// leaks into the NF verdict. Proper detection needs the
+    /// frequency-response mode.
+    ReducedBandwidth {
+        /// Corner frequency of the defect pole, in hertz.
+        corner_hz: f64,
+    },
+    /// Injected interference (coupling from a neighbouring block): a
+    /// deterministic sine at `frequency` is added to the DUT output.
+    /// The amplitude is `amplitude_fraction` of the healthy DUT's
+    /// analytic output noise RMS with the source at the 290 K
+    /// reference temperature — an *absolute* level, identical in the
+    /// hot and cold acquisitions, so an in-band tone compresses the Y
+    /// ratio toward 1 and inflates the measured NF.
+    InterferenceTone {
+        /// Tone frequency in hertz.
+        frequency: f64,
+        /// Amplitude as a fraction of the cold-reference output noise
+        /// RMS.
+        amplitude_fraction: f64,
+    },
+}
+
+impl AnalogFault {
+    /// Checks the fault parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::InvalidParameter`] describing the
+    /// violated constraint.
+    pub fn validate(&self) -> Result<(), AnalogError> {
+        match *self {
+            AnalogFault::InputAttenuation { factor } => {
+                if !(factor >= 1.0) || !factor.is_finite() {
+                    return Err(AnalogError::InvalidParameter {
+                        name: "factor",
+                        reason: "input attenuation must be at least 1 and finite",
+                    });
+                }
+            }
+            AnalogFault::GainDeviation { factor } => {
+                if !(factor > 0.0) || !factor.is_finite() {
+                    return Err(AnalogError::InvalidParameter {
+                        name: "factor",
+                        reason: "gain deviation must be positive and finite",
+                    });
+                }
+            }
+            AnalogFault::ExcessNoise { factor } => {
+                if !(factor >= 1.0) || !factor.is_finite() {
+                    return Err(AnalogError::InvalidParameter {
+                        name: "factor",
+                        reason: "excess noise factor must be at least 1 and finite",
+                    });
+                }
+            }
+            AnalogFault::ReducedBandwidth { corner_hz } => {
+                if !(corner_hz > 0.0) || !corner_hz.is_finite() {
+                    return Err(AnalogError::InvalidParameter {
+                        name: "corner_hz",
+                        reason: "corner frequency must be positive and finite",
+                    });
+                }
+            }
+            AnalogFault::InterferenceTone {
+                frequency,
+                amplitude_fraction,
+            } => {
+                if !(frequency > 0.0) || !frequency.is_finite() {
+                    return Err(AnalogError::InvalidParameter {
+                        name: "frequency",
+                        reason: "tone frequency must be positive and finite",
+                    });
+                }
+                if !(amplitude_fraction > 0.0) || !amplitude_fraction.is_finite() {
+                    return Err(AnalogError::InvalidParameter {
+                        name: "amplitude_fraction",
+                        reason: "tone amplitude fraction must be positive and finite",
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The fault class this defect belongs to (stable snake_case key,
+    /// used for grouping in coverage reports).
+    pub fn class(&self) -> &'static str {
+        match self {
+            AnalogFault::InputAttenuation { .. } => "input_attenuation",
+            AnalogFault::GainDeviation { .. } => "gain_deviation",
+            AnalogFault::ExcessNoise { .. } => "excess_noise",
+            AnalogFault::ReducedBandwidth { .. } => "reduced_bandwidth",
+            AnalogFault::InterferenceTone { .. } => "interference",
+        }
+    }
+}
+
+impl std::fmt::Display for AnalogFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            AnalogFault::InputAttenuation { factor } => {
+                write!(f, "input attenuation ÷{factor:.2}")
+            }
+            AnalogFault::GainDeviation { factor } => write!(f, "gain ×{factor:.2}"),
+            AnalogFault::ExcessNoise { factor } => write!(f, "noise ×{factor:.2}"),
+            AnalogFault::ReducedBandwidth { corner_hz } => {
+                write!(f, "bandwidth {corner_hz:.0} Hz")
+            }
+            AnalogFault::InterferenceTone {
+                frequency,
+                amplitude_fraction,
+            } => write!(f, "tone {frequency:.0} Hz @{amplitude_fraction:.2}·RMS"),
+        }
+    }
+}
+
+/// A defective variant of any [`Dut`]: the healthy analytic model with
+/// a faulted signal path (see the [module docs](self) for why the
+/// analytic side stays healthy).
+///
+/// Faults compose — the wrapper applies every injected fault, in
+/// insertion order for the output-stage effects.
+///
+/// # Examples
+///
+/// ```
+/// use nfbist_analog::circuits::NonInvertingAmplifier;
+/// use nfbist_analog::dut::Dut;
+/// use nfbist_analog::fault::{AnalogFault, FaultyDut};
+/// use nfbist_analog::opamp::OpampModel;
+/// use nfbist_analog::units::Ohms;
+///
+/// # fn main() -> Result<(), nfbist_analog::AnalogError> {
+/// let healthy = NonInvertingAmplifier::new(
+///     OpampModel::tl081(),
+///     Ohms::new(10_000.0),
+///     Ohms::new(100.0),
+/// )?;
+/// let rs = Ohms::new(2_000.0);
+/// let expected = healthy.expected_noise_figure_db(rs, 100.0, 1_000.0)?;
+///
+/// let faulty = FaultyDut::new(healthy)
+///     .with_fault(AnalogFault::InputAttenuation { factor: 2.0 })?;
+/// // The analytic (test-plan) side stays healthy …
+/// assert_eq!(faulty.expected_noise_figure_db(rs, 100.0, 1_000.0)?, expected);
+/// // … while the defective part should *measure* several dB worse.
+/// let defective = faulty.faulty_expected_noise_figure_db(rs, 100.0, 1_000.0)?;
+/// assert!(defective > expected + 3.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct FaultyDut<D> {
+    inner: D,
+    faults: Vec<AnalogFault>,
+}
+
+impl<D: Dut> FaultyDut<D> {
+    /// Wraps a healthy DUT with no faults yet (an identity wrapper).
+    pub fn new(inner: D) -> Self {
+        FaultyDut {
+            inner,
+            faults: Vec::new(),
+        }
+    }
+
+    /// Adds one fault (builder style).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::InvalidParameter`] for out-of-domain
+    /// fault parameters.
+    pub fn with_fault(mut self, fault: AnalogFault) -> Result<Self, AnalogError> {
+        fault.validate()?;
+        self.faults.push(fault);
+        Ok(self)
+    }
+
+    /// Adds every fault in `faults`, in order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::InvalidParameter`] for the first
+    /// out-of-domain fault.
+    pub fn with_faults(
+        mut self,
+        faults: impl IntoIterator<Item = AnalogFault>,
+    ) -> Result<Self, AnalogError> {
+        for fault in faults {
+            self = self.with_fault(fault)?;
+        }
+        Ok(self)
+    }
+
+    /// The wrapped healthy DUT.
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+
+    /// The injected faults, in application order.
+    pub fn faults(&self) -> &[AnalogFault] {
+        &self.faults
+    }
+
+    /// The noise factor the *defective* part should measure over the
+    /// band, accounting for the fault classes that shift it
+    /// analytically: [`AnalogFault::ExcessNoise`] multiplies the
+    /// added-noise term and [`AnalogFault::InputAttenuation`] divides
+    /// the source power seen by the DUT (`F' = 1 + k·a²·(F−1)` for
+    /// noise factor `k` and attenuation `a`). Gain, bandwidth,
+    /// interference and bit faults leave the analytic NF unchanged
+    /// (their signatures are signal-level, not density-level).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the healthy model's errors.
+    pub fn faulty_expected_noise_factor(
+        &self,
+        rs: Ohms,
+        f_lo: f64,
+        f_hi: f64,
+    ) -> Result<f64, AnalogError> {
+        let healthy = self.inner.expected_noise_factor(rs, f_lo, f_hi)?;
+        let mut scale = 1.0;
+        for fault in &self.faults {
+            match *fault {
+                AnalogFault::ExcessNoise { factor } => scale *= factor,
+                AnalogFault::InputAttenuation { factor } => scale *= factor * factor,
+                _ => {}
+            }
+        }
+        Ok(1.0 + scale * (healthy - 1.0))
+    }
+
+    /// [`FaultyDut::faulty_expected_noise_factor`] in dB.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the healthy model's errors.
+    pub fn faulty_expected_noise_figure_db(
+        &self,
+        rs: Ohms,
+        f_lo: f64,
+        f_hi: f64,
+    ) -> Result<f64, AnalogError> {
+        Ok(10.0 * self.faulty_expected_noise_factor(rs, f_lo, f_hi)?.log10())
+    }
+
+    /// Analytic output noise RMS of the healthy DUT with the source at
+    /// the 290 K reference — the absolute level interference
+    /// amplitudes are specified against.
+    fn reference_output_rms(&self, rs: Ohms, sample_rate: f64) -> Result<f64, AnalogError> {
+        let nyquist = sample_rate / 2.0;
+        let source = rs.thermal_noise_density_sq(Kelvin::REFERENCE);
+        let added = self.inner.mean_added_noise_density_sq(rs, 1.0, nyquist)?;
+        Ok(self.inner.gain() * ((source + added) * nyquist).sqrt())
+    }
+}
+
+impl<D: Dut> Dut for FaultyDut<D> {
+    fn label(&self) -> String {
+        if self.faults.is_empty() {
+            self.inner.label()
+        } else {
+            let list: Vec<String> = self.faults.iter().map(|f| f.to_string()).collect();
+            format!("{} [faults: {}]", self.inner.label(), list.join(", "))
+        }
+    }
+
+    fn gain(&self) -> f64 {
+        self.inner.gain()
+    }
+
+    fn added_noise_density_sq(&self, rs: Ohms, f: f64) -> f64 {
+        self.inner.added_noise_density_sq(rs, f)
+    }
+
+    fn mean_added_noise_density_sq(
+        &self,
+        rs: Ohms,
+        f_lo: f64,
+        f_hi: f64,
+    ) -> Result<f64, AnalogError> {
+        self.inner.mean_added_noise_density_sq(rs, f_lo, f_hi)
+    }
+
+    fn process(
+        &self,
+        input: &[f64],
+        rs: Ohms,
+        sample_rate: f64,
+        seed: u64,
+    ) -> Result<Vec<f64>, AnalogError> {
+        // Input-path faults first: the DUT sees the attenuated signal.
+        let mut attenuation = 1.0;
+        for fault in &self.faults {
+            if let AnalogFault::InputAttenuation { factor } = fault {
+                attenuation *= factor;
+            }
+        }
+        let mut out = if attenuation != 1.0 {
+            let scaled: Vec<f64> = input.iter().map(|v| v / attenuation).collect();
+            self.inner.process(&scaled, rs, sample_rate, seed)?
+        } else {
+            self.inner.process(input, rs, sample_rate, seed)?
+        };
+
+        // Output-stage faults, in insertion order.
+        for (i, fault) in self.faults.iter().enumerate() {
+            match *fault {
+                AnalogFault::InputAttenuation { .. } => {}
+                AnalogFault::GainDeviation { factor } => {
+                    for v in &mut out {
+                        *v *= factor;
+                    }
+                }
+                AnalogFault::ExcessNoise { factor } => {
+                    // Excess with the healthy spectral shape, at the
+                    // output: (k−1)·added(f)·G².
+                    let g = self.inner.gain();
+                    let fault_seed =
+                        seed.wrapping_add((i as u64 + 1).wrapping_mul(FAULT_SEED_SALT));
+                    let mut noise = ShapedNoise::new(
+                        |f| {
+                            if f == 0.0 {
+                                0.0
+                            } else {
+                                (factor - 1.0) * self.inner.added_noise_density_sq(rs, f) * g * g
+                            }
+                        },
+                        sample_rate,
+                        1 << 15,
+                        fault_seed,
+                    )?;
+                    let extra = noise.generate(out.len())?;
+                    for (v, n) in out.iter_mut().zip(&extra) {
+                        *v += n;
+                    }
+                }
+                AnalogFault::ReducedBandwidth { corner_hz } => {
+                    let alpha = 1.0 - (-std::f64::consts::TAU * corner_hz / sample_rate).exp();
+                    let mut y = 0.0;
+                    for v in &mut out {
+                        y += alpha * (*v - y);
+                        *v = y;
+                    }
+                }
+                AnalogFault::InterferenceTone {
+                    frequency,
+                    amplitude_fraction,
+                } => {
+                    let amplitude =
+                        amplitude_fraction * self.reference_output_rms(rs, sample_rate)?;
+                    let w = std::f64::consts::TAU * frequency / sample_rate;
+                    for (idx, v) in out.iter_mut().enumerate() {
+                        *v += amplitude * (w * idx as f64).sin();
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// A digital defect on the stored 1-bit stream, applied by
+/// [`FaultyDigitizer`]. Defect positions are fixed per wrapper — the
+/// semantics of bad latch/memory *cells*, which sit at fixed addresses
+/// — so records stay deterministic per seed.
+///
+/// # Examples
+///
+/// ```
+/// use nfbist_analog::bitstream::Bitstream;
+/// use nfbist_analog::fault::BitFault;
+///
+/// let bits: Bitstream = [true, false, true, false].into_iter().collect();
+/// let fault = BitFault::StuckBits { period: 2, value: false };
+/// let broken = fault.apply(&bits);
+/// // Every 2nd cell (positions 0, 2, …) reads back stuck-at-0.
+/// assert_eq!(broken.to_bipolar(), vec![-1.0, -1.0, -1.0, -1.0]);
+/// assert_eq!(fault.class(), "stuck_bits");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BitFault {
+    /// Every `period`-th stored bit (positions `0, period, 2·period,
+    /// …`) reads back as `value` regardless of the comparator
+    /// decision — a stuck latch or memory column.
+    StuckBits {
+        /// Defect spacing in samples (1 sticks every bit).
+        period: usize,
+        /// The value the defective cells are stuck at.
+        value: bool,
+    },
+    /// A random-but-fixed subset of positions reads back inverted —
+    /// scattered single-cell defects. Each position is defective with
+    /// `probability`, drawn deterministically from `seed`.
+    FlippedBits {
+        /// Per-position defect probability, in `(0, 1]`.
+        probability: f64,
+        /// Seed fixing the defective positions.
+        seed: u64,
+    },
+}
+
+impl BitFault {
+    /// Checks the fault parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::InvalidParameter`] describing the
+    /// violated constraint.
+    pub fn validate(&self) -> Result<(), AnalogError> {
+        match *self {
+            BitFault::StuckBits { period, .. } => {
+                if period == 0 {
+                    return Err(AnalogError::InvalidParameter {
+                        name: "period",
+                        reason: "stuck-bit period must be at least 1",
+                    });
+                }
+            }
+            BitFault::FlippedBits { probability, .. } => {
+                if !(probability > 0.0) || !(probability <= 1.0) {
+                    return Err(AnalogError::InvalidParameter {
+                        name: "probability",
+                        reason: "flip probability must be in (0, 1]",
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The fault class this defect belongs to (stable snake_case key).
+    pub fn class(&self) -> &'static str {
+        match self {
+            BitFault::StuckBits { .. } => "stuck_bits",
+            BitFault::FlippedBits { .. } => "flipped_bits",
+        }
+    }
+
+    /// Applies the defect to a stored record, returning the corrupted
+    /// stream (same length).
+    pub fn apply(&self, bits: &Bitstream) -> Bitstream {
+        match *self {
+            BitFault::StuckBits { period, value } => bits
+                .iter()
+                .enumerate()
+                .map(|(i, b)| if i % period == 0 { value } else { b })
+                .collect(),
+            BitFault::FlippedBits { probability, seed } => {
+                let mut rng = StdRng::seed_from_u64(seed);
+                bits.iter()
+                    .map(|b| {
+                        if rng.gen::<f64>() < probability {
+                            !b
+                        } else {
+                            b
+                        }
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for BitFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            BitFault::StuckBits { period, value } => {
+                write!(f, "stuck@{} every {period}", u8::from(value))
+            }
+            BitFault::FlippedBits { probability, .. } => {
+                write!(f, "flips p={probability:.3}")
+            }
+        }
+    }
+}
+
+/// A defective variant of any [`Digitizer`]: the acquisition contract
+/// (reference use, conditioning gain, bits per sample) is untouched,
+/// but stored **1-bit** records pass through the injected
+/// [`BitFault`]s in insertion order. Multi-bit sample records are
+/// returned unchanged — these faults model the comparator cell's
+/// latch/memory path (paper Fig. 6), which the ADC bench does not
+/// share.
+///
+/// # Examples
+///
+/// ```
+/// use nfbist_analog::converter::{Digitizer, OneBitDigitizer};
+/// use nfbist_analog::fault::{BitFault, FaultyDigitizer};
+///
+/// # fn main() -> Result<(), nfbist_analog::AnalogError> {
+/// let cell = FaultyDigitizer::new(OneBitDigitizer::ideal())
+///     .with_fault(BitFault::StuckBits { period: 2, value: true })?;
+/// let record = cell.acquire(&[-1.0, -1.0, -1.0, -1.0], &[0.0; 4])?;
+/// // A healthy cell would store all zeros; the stuck cells read 1.
+/// assert_eq!(record.to_samples(), vec![1.0, -1.0, 1.0, -1.0]);
+/// assert!(cell.label().contains("stuck"));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct FaultyDigitizer<D> {
+    inner: D,
+    faults: Vec<BitFault>,
+}
+
+impl<D: Digitizer> FaultyDigitizer<D> {
+    /// Wraps a healthy front-end with no faults yet.
+    pub fn new(inner: D) -> Self {
+        FaultyDigitizer {
+            inner,
+            faults: Vec::new(),
+        }
+    }
+
+    /// Adds one bit fault (builder style).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::InvalidParameter`] for out-of-domain
+    /// fault parameters.
+    pub fn with_fault(mut self, fault: BitFault) -> Result<Self, AnalogError> {
+        fault.validate()?;
+        self.faults.push(fault);
+        Ok(self)
+    }
+
+    /// Adds every fault in `faults`, in order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::InvalidParameter`] for the first
+    /// out-of-domain fault.
+    pub fn with_faults(
+        mut self,
+        faults: impl IntoIterator<Item = BitFault>,
+    ) -> Result<Self, AnalogError> {
+        for fault in faults {
+            self = self.with_fault(fault)?;
+        }
+        Ok(self)
+    }
+
+    /// The wrapped healthy front-end.
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+
+    /// The injected faults, in application order.
+    pub fn faults(&self) -> &[BitFault] {
+        &self.faults
+    }
+}
+
+impl<D: Digitizer> Digitizer for FaultyDigitizer<D> {
+    fn label(&self) -> String {
+        if self.faults.is_empty() {
+            self.inner.label()
+        } else {
+            let list: Vec<String> = self.faults.iter().map(|f| f.to_string()).collect();
+            format!("{} [faults: {}]", self.inner.label(), list.join(", "))
+        }
+    }
+
+    fn bits_per_sample(&self) -> u32 {
+        self.inner.bits_per_sample()
+    }
+
+    fn uses_reference(&self) -> bool {
+        self.inner.uses_reference()
+    }
+
+    fn frontend_gain(&self, hot_rms: f64, post_gain: f64) -> Result<f64, AnalogError> {
+        self.inner.frontend_gain(hot_rms, post_gain)
+    }
+
+    fn acquire(&self, signal: &[f64], reference: &[f64]) -> Result<Record, AnalogError> {
+        match self.inner.acquire(signal, reference)? {
+            Record::Bits(mut bits) => {
+                for fault in &self.faults {
+                    bits = fault.apply(&bits);
+                }
+                Ok(Record::Bits(bits))
+            }
+            samples @ Record::Samples(_) => Ok(samples),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuits::NonInvertingAmplifier;
+    use crate::component::Amplifier;
+    use crate::converter::{AdcDigitizer, OneBitDigitizer};
+    use crate::opamp::OpampModel;
+
+    fn paper_dut() -> NonInvertingAmplifier {
+        NonInvertingAmplifier::new(OpampModel::tl081(), Ohms::new(10_000.0), Ohms::new(100.0))
+            .unwrap()
+    }
+
+    #[test]
+    fn fault_validation() {
+        assert!(AnalogFault::InputAttenuation { factor: 0.5 }
+            .validate()
+            .is_err());
+        assert!(AnalogFault::GainDeviation { factor: 0.0 }
+            .validate()
+            .is_err());
+        assert!(AnalogFault::ExcessNoise { factor: 0.99 }
+            .validate()
+            .is_err());
+        assert!(AnalogFault::ReducedBandwidth { corner_hz: -1.0 }
+            .validate()
+            .is_err());
+        assert!(AnalogFault::InterferenceTone {
+            frequency: 0.0,
+            amplitude_fraction: 0.5
+        }
+        .validate()
+        .is_err());
+        assert!(AnalogFault::InterferenceTone {
+            frequency: 500.0,
+            amplitude_fraction: f64::NAN
+        }
+        .validate()
+        .is_err());
+        assert!(BitFault::StuckBits {
+            period: 0,
+            value: true
+        }
+        .validate()
+        .is_err());
+        assert!(BitFault::FlippedBits {
+            probability: 0.0,
+            seed: 1
+        }
+        .validate()
+        .is_err());
+        assert!(BitFault::FlippedBits {
+            probability: 1.5,
+            seed: 1
+        }
+        .validate()
+        .is_err());
+        // Builder surfaces the validation.
+        assert!(FaultyDut::new(paper_dut())
+            .with_fault(AnalogFault::ExcessNoise { factor: 0.1 })
+            .is_err());
+        assert!(FaultyDigitizer::new(OneBitDigitizer::ideal())
+            .with_fault(BitFault::StuckBits {
+                period: 0,
+                value: false
+            })
+            .is_err());
+    }
+
+    #[test]
+    fn analytic_model_stays_healthy() {
+        let rs = Ohms::new(2_000.0);
+        let healthy = paper_dut();
+        let faulty = FaultyDut::new(paper_dut())
+            .with_faults([
+                AnalogFault::InputAttenuation { factor: 2.0 },
+                AnalogFault::ExcessNoise { factor: 4.0 },
+                AnalogFault::GainDeviation { factor: 0.5 },
+            ])
+            .unwrap();
+        assert_eq!(Dut::gain(&faulty), Dut::gain(&healthy));
+        assert_eq!(
+            faulty.added_noise_density_sq(rs, 500.0),
+            Dut::added_noise_density_sq(&healthy, rs, 500.0)
+        );
+        assert_eq!(
+            faulty.expected_noise_figure_db(rs, 100.0, 1_000.0).unwrap(),
+            healthy
+                .expected_noise_figure_db(rs, 100.0, 1_000.0)
+                .unwrap()
+        );
+        assert_eq!(faulty.faults().len(), 3);
+        assert!(faulty.label().contains("faults:"));
+        // No faults → identity wrapper with the inner label.
+        let identity = FaultyDut::new(paper_dut());
+        assert_eq!(identity.label(), paper_dut().label());
+    }
+
+    #[test]
+    fn faulty_expectation_composes_noise_and_attenuation() {
+        let rs = Ohms::new(2_000.0);
+        let dut = FaultyDut::new(paper_dut())
+            .with_faults([
+                AnalogFault::InputAttenuation { factor: 2.0 },
+                AnalogFault::ExcessNoise { factor: 3.0 },
+                // NF-invisible classes must not shift the expectation.
+                AnalogFault::GainDeviation { factor: 0.5 },
+                AnalogFault::ReducedBandwidth { corner_hz: 500.0 },
+            ])
+            .unwrap();
+        let healthy = paper_dut()
+            .expected_noise_factor(rs, 100.0, 1_000.0)
+            .unwrap();
+        let faulty = dut
+            .faulty_expected_noise_factor(rs, 100.0, 1_000.0)
+            .unwrap();
+        // F' = 1 + a²·k·(F−1) with a = 2, k = 3.
+        assert!((faulty - (1.0 + 12.0 * (healthy - 1.0))).abs() < 1e-12);
+        // And the healthy wrapper is the identity.
+        let identity = FaultyDut::new(paper_dut());
+        let same = identity
+            .faulty_expected_noise_factor(rs, 100.0, 1_000.0)
+            .unwrap();
+        assert!((same - healthy).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gain_deviation_scales_the_output_exactly() {
+        let fs = 20_000.0;
+        let rs = Ohms::new(2_000.0);
+        let tone: Vec<f64> = (0..4_096)
+            .map(|i| 0.01 * (std::f64::consts::TAU * 500.0 * i as f64 / fs).sin())
+            .collect();
+        let healthy = Dut::process(&paper_dut(), &tone, rs, fs, 9).unwrap();
+        let faulty = FaultyDut::new(paper_dut())
+            .with_fault(AnalogFault::GainDeviation { factor: 0.5 })
+            .unwrap();
+        let broken = faulty.process(&tone, rs, fs, 9).unwrap();
+        for (h, b) in healthy.iter().zip(&broken) {
+            assert!((b - 0.5 * h).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn input_attenuation_halves_the_signal_but_not_the_noise() {
+        let fs = 20_000.0;
+        let rs = Ohms::new(2_000.0);
+        // A noiseless behavioural stage isolates the signal path.
+        let faulty = FaultyDut::new(Amplifier::ideal(10.0).unwrap())
+            .with_fault(AnalogFault::InputAttenuation { factor: 2.0 })
+            .unwrap();
+        let out = faulty.process(&[1.0, -2.0], rs, fs, 0).unwrap();
+        assert!((out[0] - 5.0).abs() < 1e-12);
+        assert!((out[1] + 10.0).abs() < 1e-12);
+        // On a noisy DUT, silence in → the DUT's own noise out,
+        // unattenuated: same output power as healthy.
+        let silence = vec![0.0; 65_536];
+        let healthy_out = Dut::process(&paper_dut(), &silence, rs, fs, 5).unwrap();
+        let faulty_dut = FaultyDut::new(paper_dut())
+            .with_fault(AnalogFault::InputAttenuation { factor: 2.0 })
+            .unwrap();
+        let faulty_out = faulty_dut.process(&silence, rs, fs, 5).unwrap();
+        let ph = nfbist_dsp::stats::mean_square(&healthy_out).unwrap();
+        let pf = nfbist_dsp::stats::mean_square(&faulty_out).unwrap();
+        assert!((ph - pf).abs() / ph < 1e-9, "{ph} vs {pf}");
+    }
+
+    #[test]
+    fn excess_noise_raises_output_power_by_the_factor() {
+        let fs = 20_000.0;
+        let rs = Ohms::new(2_000.0);
+        let silence = vec![0.0; 1 << 17];
+        let healthy = Dut::process(&paper_dut(), &silence, rs, fs, 21).unwrap();
+        let faulty = FaultyDut::new(paper_dut())
+            .with_fault(AnalogFault::ExcessNoise { factor: 4.0 })
+            .unwrap();
+        let broken = faulty.process(&silence, rs, fs, 21).unwrap();
+        let ph = nfbist_dsp::stats::mean_square(&healthy).unwrap();
+        let pf = nfbist_dsp::stats::mean_square(&broken).unwrap();
+        // Independent excess of (k−1)× the healthy power ⇒ total ≈ k×.
+        assert!(
+            (pf / ph - 4.0).abs() < 0.4,
+            "power ratio {} (expected ≈4)",
+            pf / ph
+        );
+    }
+
+    #[test]
+    fn reduced_bandwidth_attenuates_high_frequencies_more() {
+        let fs = 20_000.0;
+        let rs = Ohms::new(1_000.0);
+        let faulty = FaultyDut::new(Amplifier::ideal(1.0).unwrap())
+            .with_fault(AnalogFault::ReducedBandwidth { corner_hz: 200.0 })
+            .unwrap();
+        let n = 8_192;
+        let tone = |f: f64| -> Vec<f64> {
+            (0..n)
+                .map(|i| (std::f64::consts::TAU * f * i as f64 / fs).sin())
+                .collect()
+        };
+        let lo = faulty.process(&tone(100.0), rs, fs, 0).unwrap();
+        let hi = faulty.process(&tone(2_000.0), rs, fs, 0).unwrap();
+        let p_lo = nfbist_dsp::stats::mean_square(&lo[n / 2..]).unwrap();
+        let p_hi = nfbist_dsp::stats::mean_square(&hi[n / 2..]).unwrap();
+        assert!(p_lo > 4.0 * p_hi, "lo {p_lo} vs hi {p_hi}");
+    }
+
+    #[test]
+    fn interference_tone_is_absolute_and_detectable() {
+        let fs = 20_000.0;
+        let rs = Ohms::new(2_000.0);
+        let faulty = FaultyDut::new(paper_dut())
+            .with_fault(AnalogFault::InterferenceTone {
+                frequency: 500.0,
+                amplitude_fraction: 1.0,
+            })
+            .unwrap();
+        let silence = vec![0.0; 1 << 15];
+        let out = faulty.process(&silence, rs, fs, 3).unwrap();
+        // The tone stands out of the noise floor on a Goertzel line.
+        let g = nfbist_dsp::goertzel::Goertzel::new(500.0, fs).unwrap();
+        let line = g.power_iter(out.iter().copied()).unwrap();
+        let total = nfbist_dsp::stats::mean_square(&out).unwrap();
+        assert!(
+            line / total > 0.3,
+            "tone fraction {} of total power",
+            line / total
+        );
+        // Identical absolute amplitude regardless of the input level:
+        // the tone must NOT scale with a hot acquisition.
+        let healthy_rms = faulty.reference_output_rms(rs, fs).unwrap();
+        assert!(healthy_rms > 0.0);
+    }
+
+    #[test]
+    fn stuck_and_flipped_bits_are_deterministic() {
+        let bits: Bitstream = (0..1_000).map(|i| i % 3 == 0).collect();
+        let stuck = BitFault::StuckBits {
+            period: 4,
+            value: true,
+        };
+        let broken = stuck.apply(&bits);
+        assert_eq!(broken.len(), bits.len());
+        for i in (0..1_000).step_by(4) {
+            assert_eq!(broken.get(i), Some(true));
+        }
+        // Un-stuck positions are untouched.
+        assert_eq!(broken.get(1), bits.get(1));
+
+        let flip = BitFault::FlippedBits {
+            probability: 1.0,
+            seed: 5,
+        };
+        let inverted = flip.apply(&bits);
+        for i in 0..1_000 {
+            assert_eq!(inverted.get(i), bits.get(i).map(|b| !b));
+        }
+        // Fixed defect positions: two applications agree.
+        let flip = BitFault::FlippedBits {
+            probability: 0.2,
+            seed: 5,
+        };
+        assert_eq!(flip.apply(&bits), flip.apply(&bits));
+        let differing = (0..1_000)
+            .filter(|&i| flip.apply(&bits).get(i) != bits.get(i))
+            .count();
+        assert!(
+            (100..350).contains(&differing),
+            "flip count {differing} for p = 0.2"
+        );
+    }
+
+    #[test]
+    fn faulty_digitizer_corrupts_bits_but_not_samples() {
+        let signal = vec![-1.0; 64];
+        let reference = vec![0.0; 64];
+        let faulty = FaultyDigitizer::new(OneBitDigitizer::ideal())
+            .with_fault(BitFault::StuckBits {
+                period: 2,
+                value: true,
+            })
+            .unwrap();
+        assert_eq!(faulty.bits_per_sample(), 1);
+        assert!(faulty.uses_reference());
+        assert_eq!(faulty.frontend_gain(0.1, 100.0).unwrap(), 100.0);
+        let record = faulty.acquire(&signal, &reference).unwrap();
+        let bits = record.as_bits().unwrap();
+        assert_eq!(bits.ones(), 32, "half the cells are stuck at 1");
+
+        // The ADC path stores samples; bit faults do not apply.
+        let adc = FaultyDigitizer::new(AdcDigitizer::new(12).unwrap())
+            .with_fault(BitFault::StuckBits {
+                period: 2,
+                value: true,
+            })
+            .unwrap();
+        let clean = AdcDigitizer::new(12)
+            .unwrap()
+            .acquire(&signal, &reference)
+            .unwrap();
+        let faulted = adc.acquire(&signal, &reference).unwrap();
+        assert_eq!(clean.to_samples(), faulted.to_samples());
+        assert!(!adc.uses_reference());
+        // Identity wrapper keeps the inner label.
+        assert_eq!(
+            FaultyDigitizer::new(OneBitDigitizer::ideal()).label(),
+            OneBitDigitizer::ideal().label()
+        );
+    }
+
+    #[test]
+    fn faults_compose_in_order() {
+        let bits: Bitstream = (0..100).map(|_| false).collect();
+        let d = FaultyDigitizer::new(OneBitDigitizer::ideal())
+            .with_faults([
+                BitFault::StuckBits {
+                    period: 2,
+                    value: true,
+                },
+                BitFault::FlippedBits {
+                    probability: 1.0,
+                    seed: 0,
+                },
+            ])
+            .unwrap();
+        assert_eq!(d.faults().len(), 2);
+        // stuck-at-1 every 2, then invert all: even positions 0, odd 1.
+        let record = d.acquire(&vec![-1.0; 100], &vec![0.0; 100]).unwrap();
+        let out = record.as_bits().unwrap();
+        for i in 0..100 {
+            assert_eq!(out.get(i), Some(i % 2 == 1), "position {i}");
+        }
+        let _ = bits;
+    }
+}

@@ -29,6 +29,12 @@
 //! * [`dut`] — the [`dut::Dut`] trait every measurable circuit
 //!   implements (gain, input-referred noise model, noisy transfer
 //!   simulation), including [`dut::DutChain`] cascades.
+//! * [`fault`] — parametric fault injection: [`fault::FaultyDut`]
+//!   composes analog defects (input-path loss, gain drift, excess
+//!   noise, lost bandwidth, interference) onto any `Dut`, and
+//!   [`fault::FaultyDigitizer`] composes stuck/flipped-cell defects
+//!   onto any front-end's 1-bit stream — the raw material of
+//!   defect-coverage campaigns.
 //! * [`signal`] / [`bitstream`] — sampled-signal and bit-record
 //!   containers.
 //!
@@ -62,6 +68,7 @@ pub mod component;
 pub mod constants;
 pub mod converter;
 pub mod dut;
+pub mod fault;
 pub mod noise;
 pub mod opamp;
 pub mod signal;

@@ -1,0 +1,137 @@
+//! Beyond the paper: defect-coverage qualification of the 1-bit NF
+//! BIST — the production-test question the paper's economics rest on.
+//!
+//! A [`FaultUniverse`] of defective TL081 prototypes (input-path loss,
+//! degraded noise, gain drift, interference, stuck/flipped storage
+//! cells) is screened at several acquisition lengths by the full
+//! session → guard-banded screen → retest-escalation flow, and the
+//! per-class detection/escape/retest rates are tabulated against the
+//! test time. Longer records buy narrower guard bands (fewer retests,
+//! fewer escapes) at linear test-time cost — the tradeoff a test
+//! engineer actually schedules.
+//!
+//! Campaign cells are fanned out across worker threads by the
+//! `nfbist-runtime` batch engine (`--workers N`, default: all cores);
+//! every cell is seeded by its index, so the report is **bit-identical
+//! for any worker count** (self-checked against a sequential run in
+//! `--quick` mode).
+
+use nfbist_analog::circuits::NonInvertingAmplifier;
+use nfbist_analog::opamp::OpampModel;
+use nfbist_analog::units::Ohms;
+use nfbist_bench::{quick_flag, workers_flag};
+use nfbist_runtime::BatchPlan;
+use nfbist_soc::coverage::{CoverageCampaign, CoverageReport, FaultUniverse};
+use nfbist_soc::report::Table;
+use nfbist_soc::screening::{RetestPolicy, Screen};
+use nfbist_soc::setup::BistSetup;
+
+fn build_campaign(samples: usize, nfft: usize, trials: usize, screen: Screen) -> CoverageCampaign {
+    let setup = BistSetup {
+        samples,
+        nfft,
+        seed: 20_050_307, // DATE'05 desk copy
+        ..BistSetup::paper_prototype(0)
+    };
+    CoverageCampaign::new(
+        setup,
+        screen,
+        FaultUniverse::paper_grid().expect("universe"),
+    )
+    .expect("campaign")
+    .trials(trials)
+    .retest(RetestPolicy::new(3, 4).expect("policy"))
+}
+
+fn main() {
+    let quick = quick_flag();
+    let workers = workers_flag();
+    let trials = if quick { 6 } else { 12 };
+    let nfft = if quick { 1_024 } else { 2_048 };
+    let lengths: &[usize] = if quick {
+        &[1 << 14, 1 << 16]
+    } else {
+        &[1 << 15, 1 << 17, 1 << 19]
+    };
+
+    // Screen at the healthy TL081 expectation + 1.2 dB margin, 3-sigma
+    // guard band — a realistic production limit for the prototype DUT.
+    let expected =
+        NonInvertingAmplifier::new(OpampModel::tl081(), Ohms::new(10_000.0), Ohms::new(100.0))
+            .expect("dut")
+            .expected_noise_figure_db(Ohms::new(2_000.0), 100.0, 1_000.0)
+            .expect("expected NF");
+    let screen = Screen::new(expected + 1.2, 3.0).expect("screen");
+
+    println!(
+        "Defect-coverage campaign: 1-bit BIST screening a faulted TL081 population\n\
+         limit {:.2} dB (expected {expected:.2} dB + 1.2 dB margin), 3-sigma guard, \
+         retest ×4 up to 3 rounds, {trials} trials/variant, {workers} worker{}\n",
+        expected + 1.2,
+        if workers == 1 { "" } else { "s" }
+    );
+
+    let plan = BatchPlan::new().workers(workers);
+    let mut tradeoff = Table::new(vec![
+        "Record length",
+        "Detection",
+        "Escapes",
+        "Yield loss",
+        "Retest rate",
+        "Mean test samples/DUT",
+    ]);
+    let mut reports: Vec<(usize, CoverageReport)> = Vec::new();
+
+    for &samples in lengths {
+        let campaign = build_campaign(samples, nfft, trials, screen);
+        let report = plan.run_coverage(&campaign).expect("campaign run");
+
+        if quick {
+            // Acceptance self-check: the report must be bit-identical
+            // for any worker count.
+            let sequential = BatchPlan::sequential()
+                .run_coverage(&campaign)
+                .expect("sequential run");
+            assert_eq!(
+                report, sequential,
+                "coverage report differs between {workers} workers and 1 worker"
+            );
+        }
+
+        println!("== Record length 2^{} ==", samples.trailing_zeros());
+        print!("{report}");
+        println!();
+
+        tradeoff.row(vec![
+            format!("2^{}", samples.trailing_zeros()),
+            format!(
+                "{:.1} %",
+                100.0 * report.overall_detection_rate().unwrap_or(0.0)
+            ),
+            format!(
+                "{:.1} %",
+                100.0 * report.overall_escape_rate().unwrap_or(0.0)
+            ),
+            format!("{:.1} %", 100.0 * report.yield_loss().unwrap_or(0.0)),
+            format!("{:.1} %", 100.0 * report.retest_rate()),
+            format!("{:.0}", report.mean_test_samples()),
+        ]);
+        reports.push((samples, report));
+    }
+
+    println!("== Coverage vs acquisition length ==");
+    print!("{tradeoff}");
+    if quick {
+        println!("\nworker-determinism self-check passed: report bit-identical at 1 and {workers} worker(s)");
+    }
+    println!(
+        "\nchecks: gross noise/attenuation faults are caught at every length, and\n\
+         longer records trade test time for fewer retests and escapes. The blind\n\
+         spots are structural, not statistical: mild gain drift cancels out of\n\
+         the Y ratio (only the shifted reference working point leaks through),\n\
+         and uniform stuck/flipped storage cells corrupt hot, cold and reference\n\
+         lines identically, so the reference normalization self-calibrates them\n\
+         away — catching those classes needs the frequency-response mode (§7)\n\
+         or a trivial on-line duty-cycle check, not a longer acquisition."
+    );
+}

@@ -54,6 +54,9 @@ fn main() {
             seed: 7_000 + n as u64,
             ..BistSetup::paper_prototype(0)
         };
+        // Effective independent samples: 2·B·T over the configured
+        // noise band.
+        let n_eff = setup.effective_samples();
         let session = MeasurementSession::new(setup)
             .expect("session")
             .dut(dut)
@@ -62,9 +65,6 @@ fn main() {
         // the recombined measurement is bit-identical to the old
         // sequential `session.run()`.
         let m = plan.run_session(&session).expect("measurement");
-        // Effective independent samples: 2·B·T with B = 900 Hz band and
-        // T = n / fs.
-        let n_eff = (2.0 * 900.0 * n as f64 / 20_000.0) as usize;
         let predicted =
             nf_std_from_record_length(m.nf.factor, 2_900.0, 290.0, n_eff).expect("prediction");
         table.row(vec![

@@ -14,6 +14,7 @@
 //! | Fig. 10 (error vs reference amplitude) | `exp_fig10` |
 //! | Table 3 (4 op-amps, prototype) | `exp_table3` |
 //! | Fig. 13 (prototype PSD) | `exp_fig13` |
+//! | — (beyond the paper: defect coverage vs test time) | `exp_coverage` |
 //!
 //! Every binary accepts `--quick` to run a reduced record length for
 //! smoke testing; without it the paper's sizes (10⁶ samples, 10⁴-point

@@ -1,0 +1,1081 @@
+//! Defect-coverage campaigns: what fraction of defective DUTs does a
+//! test plan actually catch, at what test time?
+//!
+//! The paper's economics (§1: "test costs must be kept lower for the
+//! device to be competitive") only close if the BIST screens real
+//! defects. This module asks that question quantitatively:
+//!
+//! 1. a [`FaultUniverse`] enumerates the healthy design plus faulted
+//!    variants over a parameter grid (built on
+//!    [`nfbist_analog::fault`]);
+//! 2. a [`CoverageCampaign`] measures every variant × Monte Carlo
+//!    trial through the full session → screen → retest flow, each
+//!    cell an independent, index-seeded task (so `nfbist-runtime` can
+//!    fan cells across workers with bit-identical output);
+//! 3. a [`CoverageReport`] aggregates verdicts per fault class:
+//!    detection rate, escape rate, yield loss on healthy parts, and
+//!    retest rate/test time.
+//!
+//! The report is as interesting for what *escapes* as for what is
+//! caught: pure gain drift and bandwidth loss cancel out of the
+//! Y-factor ratio itself and reach the verdict only through the
+//! shifted signal-to-reference working point of the 1-bit bench —
+//! mild deviations escape, gross ones get caught indirectly or lose
+//! the reference line (a gross reject). Fully covering those classes
+//! needs the frequency-response mode (paper §7); the campaign puts
+//! numbers on that boundary.
+
+use crate::screening::{screen_with_retest, RetestPolicy, Screen, Verdict};
+use crate::session::{derive_seed, MeasurementSession};
+use crate::setup::BistSetup;
+use crate::SocError;
+use nfbist_analog::circuits::NonInvertingAmplifier;
+use nfbist_analog::converter::OneBitDigitizer;
+use nfbist_analog::dut::Dut;
+use nfbist_analog::fault::{AnalogFault, BitFault, FaultyDigitizer, FaultyDut};
+use nfbist_analog::opamp::OpampModel;
+use nfbist_analog::units::Ohms;
+
+/// One member of a [`FaultUniverse`]: a named fault signature (zero
+/// faults = the healthy variant).
+///
+/// # Examples
+///
+/// ```
+/// use nfbist_soc::coverage::FaultVariant;
+/// use nfbist_analog::fault::AnalogFault;
+///
+/// let v = FaultVariant::new("excess_noise", "noise ×4")
+///     .analog(AnalogFault::ExcessNoise { factor: 4.0 })?;
+/// assert_eq!(v.class(), "excess_noise");
+/// assert!(!v.is_healthy());
+/// assert!(FaultVariant::healthy().is_healthy());
+/// # Ok::<(), nfbist_soc::SocError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct FaultVariant {
+    class: String,
+    label: String,
+    analog: Vec<AnalogFault>,
+    bit: Vec<BitFault>,
+}
+
+impl FaultVariant {
+    /// The healthy (fault-free) variant.
+    pub fn healthy() -> Self {
+        FaultVariant {
+            class: "healthy".to_string(),
+            label: "healthy".to_string(),
+            analog: Vec::new(),
+            bit: Vec::new(),
+        }
+    }
+
+    /// A named empty variant; add faults with [`FaultVariant::analog`]
+    /// / [`FaultVariant::bit`]. `class` groups variants in the report
+    /// (conventionally the fault's own
+    /// [`AnalogFault::class`]/[`BitFault::class`]), `label`
+    /// distinguishes grid points within a class.
+    pub fn new(class: impl Into<String>, label: impl Into<String>) -> Self {
+        FaultVariant {
+            class: class.into(),
+            label: label.into(),
+            analog: Vec::new(),
+            bit: Vec::new(),
+        }
+    }
+
+    /// Adds an analog fault (builder style).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SocError::Analog`] for out-of-domain fault
+    /// parameters.
+    pub fn analog(mut self, fault: AnalogFault) -> Result<Self, SocError> {
+        fault.validate()?;
+        self.analog.push(fault);
+        Ok(self)
+    }
+
+    /// Adds a 1-bit stream fault (builder style).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SocError::Analog`] for out-of-domain fault
+    /// parameters.
+    pub fn bit(mut self, fault: BitFault) -> Result<Self, SocError> {
+        fault.validate()?;
+        self.bit.push(fault);
+        Ok(self)
+    }
+
+    /// The fault class used for report grouping.
+    pub fn class(&self) -> &str {
+        &self.class
+    }
+
+    /// The grid-point label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The analog faults of this variant.
+    pub fn analog_faults(&self) -> &[AnalogFault] {
+        &self.analog
+    }
+
+    /// The bit faults of this variant.
+    pub fn bit_faults(&self) -> &[BitFault] {
+        &self.bit
+    }
+
+    /// `true` for the fault-free variant.
+    pub fn is_healthy(&self) -> bool {
+        self.analog.is_empty() && self.bit.is_empty()
+    }
+}
+
+/// Seed fixing the defective positions of grid-generated
+/// [`BitFault::FlippedBits`] variants (positions must be a pure
+/// function of the universe, not of time).
+const FLIPPED_CELLS_SEED: u64 = 0xB17F_A017_5EED_0001;
+
+/// The population a campaign screens: the healthy design plus faulted
+/// variants over a parameter grid.
+///
+/// # Examples
+///
+/// ```
+/// use nfbist_soc::coverage::FaultUniverse;
+///
+/// let universe = FaultUniverse::new()
+///     .input_attenuation(&[1.5, 2.0])?
+///     .excess_noise(&[4.0])?
+///     .stuck_bits(&[2])?;
+/// // Healthy + 2 + 1 + 1 variants.
+/// assert_eq!(universe.len(), 5);
+/// assert!(universe.get(0).unwrap().is_healthy());
+/// # Ok::<(), nfbist_soc::SocError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct FaultUniverse {
+    variants: Vec<FaultVariant>,
+}
+
+impl FaultUniverse {
+    /// A universe containing only the healthy variant (always variant
+    /// 0, so yield loss is measurable in every campaign).
+    pub fn new() -> Self {
+        FaultUniverse {
+            variants: vec![FaultVariant::healthy()],
+        }
+    }
+
+    /// Appends a custom variant (builder style).
+    pub fn variant(mut self, variant: FaultVariant) -> Self {
+        self.variants.push(variant);
+        self
+    }
+
+    /// Adds one input-path-loss variant per attenuation factor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SocError::Analog`] for out-of-domain factors.
+    pub fn input_attenuation(mut self, factors: &[f64]) -> Result<Self, SocError> {
+        for &factor in factors {
+            let fault = AnalogFault::InputAttenuation { factor };
+            self.variants
+                .push(FaultVariant::new(fault.class(), fault.to_string()).analog(fault)?);
+        }
+        Ok(self)
+    }
+
+    /// Adds one output-gain-drift variant per gain factor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SocError::Analog`] for out-of-domain factors.
+    pub fn gain_deviation(mut self, factors: &[f64]) -> Result<Self, SocError> {
+        for &factor in factors {
+            let fault = AnalogFault::GainDeviation { factor };
+            self.variants
+                .push(FaultVariant::new(fault.class(), fault.to_string()).analog(fault)?);
+        }
+        Ok(self)
+    }
+
+    /// Adds one degraded-noise variant per noise-power factor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SocError::Analog`] for out-of-domain factors.
+    pub fn excess_noise(mut self, factors: &[f64]) -> Result<Self, SocError> {
+        for &factor in factors {
+            let fault = AnalogFault::ExcessNoise { factor };
+            self.variants
+                .push(FaultVariant::new(fault.class(), fault.to_string()).analog(fault)?);
+        }
+        Ok(self)
+    }
+
+    /// Adds one interference variant per `(frequency, amplitude
+    /// fraction)` tone.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SocError::Analog`] for out-of-domain tones.
+    pub fn interference(mut self, tones: &[(f64, f64)]) -> Result<Self, SocError> {
+        for &(frequency, amplitude_fraction) in tones {
+            let fault = AnalogFault::InterferenceTone {
+                frequency,
+                amplitude_fraction,
+            };
+            self.variants
+                .push(FaultVariant::new(fault.class(), fault.to_string()).analog(fault)?);
+        }
+        Ok(self)
+    }
+
+    /// Adds one stuck-cell variant per defect period (cells stuck at
+    /// 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SocError::Analog`] for a zero period.
+    pub fn stuck_bits(mut self, periods: &[usize]) -> Result<Self, SocError> {
+        for &period in periods {
+            let fault = BitFault::StuckBits {
+                period,
+                value: true,
+            };
+            self.variants
+                .push(FaultVariant::new(fault.class(), fault.to_string()).bit(fault)?);
+        }
+        Ok(self)
+    }
+
+    /// Adds one scattered-flipped-cell variant per defect probability
+    /// (defective positions fixed by an internal seed, distinct per
+    /// variant).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SocError::Analog`] for out-of-domain probabilities.
+    pub fn flipped_bits(mut self, probabilities: &[f64]) -> Result<Self, SocError> {
+        for &probability in probabilities {
+            let fault = BitFault::FlippedBits {
+                probability,
+                seed: derive_seed(FLIPPED_CELLS_SEED, self.variants.len() as u64),
+            };
+            self.variants
+                .push(FaultVariant::new(fault.class(), fault.to_string()).bit(fault)?);
+        }
+        Ok(self)
+    }
+
+    /// The default campaign grid used by the `exp_coverage`
+    /// experiment: every fault class at moderate and gross severity.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in practice (the grid is in-domain by
+    /// construction); the signature propagates validation anyway.
+    pub fn paper_grid() -> Result<Self, SocError> {
+        Self::new()
+            .input_attenuation(&[std::f64::consts::SQRT_2, 2.0])?
+            .excess_noise(&[2.0, 4.0])?
+            .gain_deviation(&[0.5, 2.0])?
+            .interference(&[(500.0, 0.5)])?
+            .stuck_bits(&[2])?
+            .flipped_bits(&[0.02])
+    }
+
+    /// Number of variants (healthy included).
+    pub fn len(&self) -> usize {
+        self.variants.len()
+    }
+
+    /// `true` when the universe has no variants (not constructible via
+    /// [`FaultUniverse::new`], which always seeds the healthy variant).
+    pub fn is_empty(&self) -> bool {
+        self.variants.is_empty()
+    }
+
+    /// Variant `i`, if present.
+    pub fn get(&self, i: usize) -> Option<&FaultVariant> {
+        self.variants.get(i)
+    }
+
+    /// All variants, in index order.
+    pub fn variants(&self) -> &[FaultVariant] {
+        &self.variants
+    }
+}
+
+impl Default for FaultUniverse {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The outcome of one campaign cell (one variant × one Monte Carlo
+/// trial), including its retest history.
+///
+/// # Examples
+///
+/// ```
+/// use nfbist_soc::coverage::CellOutcome;
+/// use nfbist_soc::screening::Verdict;
+///
+/// let cell = CellOutcome {
+///     variant: 1,
+///     trial: 0,
+///     verdict: Verdict::Fail,
+///     retests: 1,
+///     nf_db: 16.4,
+///     test_samples: 2 * (8_192 + 32_768),
+/// };
+/// assert_eq!(cell.verdict, Verdict::Fail);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellOutcome {
+    /// Index of the variant in the universe.
+    pub variant: usize,
+    /// Monte Carlo trial index within the variant.
+    pub trial: usize,
+    /// Final screening verdict after retest escalation.
+    pub verdict: Verdict,
+    /// Retests performed (rounds beyond the first).
+    pub retests: usize,
+    /// NF measured in the final round, in dB (`f64::INFINITY` for an
+    /// unmeasurable gross reject).
+    pub nf_db: f64,
+    /// Total samples acquired across all rounds, hot+cold, all
+    /// repeats — the cell's test-time cost.
+    pub test_samples: u64,
+}
+
+/// The builder for a healthy DUT instance, called once per cell (each
+/// cell wraps its own copy in the variant's faults).
+pub type DutBuilder = Box<dyn Fn() -> Result<Box<dyn Dut>, SocError> + Send + Sync>;
+
+/// A defect-coverage campaign: every universe variant × `trials`
+/// Monte Carlo instances, measured by the paper's 1-bit BIST session
+/// and judged by a guard-banded [`Screen`] with retest escalation.
+///
+/// Cells are independent and fully determined by their index (seeds
+/// from [`derive_seed`]), so the campaign can run sequentially
+/// ([`CoverageCampaign::run`]) or be fanned across workers by
+/// `nfbist_runtime::BatchPlan::run_coverage` with **bit-identical**
+/// reports.
+///
+/// # Examples
+///
+/// ```
+/// use nfbist_soc::coverage::{CoverageCampaign, FaultUniverse};
+/// use nfbist_soc::screening::Screen;
+/// use nfbist_soc::setup::BistSetup;
+///
+/// # fn main() -> Result<(), nfbist_soc::SocError> {
+/// let mut setup = BistSetup::quick(42);
+/// setup.samples = 1 << 13;
+/// setup.nfft = 1_024;
+/// let universe = FaultUniverse::new().excess_noise(&[8.0])?;
+/// let campaign = CoverageCampaign::new(setup, Screen::new(12.0, 3.0)?, universe)?
+///     .trials(2);
+/// assert_eq!(campaign.cell_count(), 4); // 2 variants × 2 trials
+/// let report = campaign.run()?;
+/// // A gross noise fault against a generous limit: caught.
+/// assert_eq!(report.class("excess_noise").unwrap().detected, 2);
+/// # Ok(())
+/// # }
+/// ```
+pub struct CoverageCampaign {
+    setup: BistSetup,
+    screen: Screen,
+    universe: FaultUniverse,
+    trials: usize,
+    repeats: usize,
+    retest: RetestPolicy,
+    build_dut: DutBuilder,
+}
+
+impl std::fmt::Debug for CoverageCampaign {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CoverageCampaign")
+            .field("setup", &self.setup)
+            .field("screen", &self.screen)
+            .field("variants", &self.universe.len())
+            .field("trials", &self.trials)
+            .field("repeats", &self.repeats)
+            .field("retest", &self.retest)
+            .finish()
+    }
+}
+
+impl CoverageCampaign {
+    /// Creates a campaign over a validated setup. Defaults: 8 trials
+    /// per variant, 1 repeat per measurement, no retest escalation
+    /// ([`RetestPolicy::single`]), and the paper's TL081 non-inverting
+    /// prototype as the healthy DUT.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SocError::InvalidParameter`] for an invalid setup or
+    /// an empty universe.
+    pub fn new(
+        setup: BistSetup,
+        screen: Screen,
+        universe: FaultUniverse,
+    ) -> Result<Self, SocError> {
+        setup.validate()?;
+        if universe.is_empty() {
+            return Err(SocError::InvalidParameter {
+                name: "universe",
+                reason: "a campaign needs at least one variant",
+            });
+        }
+        Ok(CoverageCampaign {
+            setup,
+            screen,
+            universe,
+            trials: 8,
+            repeats: 1,
+            retest: RetestPolicy::single(),
+            build_dut: Box::new(|| {
+                Ok(Box::new(NonInvertingAmplifier::new(
+                    OpampModel::tl081(),
+                    Ohms::new(10_000.0),
+                    Ohms::new(100.0),
+                )?))
+            }),
+        })
+    }
+
+    /// Sets the Monte Carlo trials per variant (clamped to ≥ 1).
+    pub fn trials(mut self, n: usize) -> Self {
+        self.trials = n.max(1);
+        self
+    }
+
+    /// Sets the hot/cold repeats averaged per measurement (clamped to
+    /// ≥ 1).
+    pub fn repeats(mut self, n: usize) -> Self {
+        self.repeats = n.max(1);
+        self
+    }
+
+    /// Enables retest escalation with the given policy.
+    pub fn retest(mut self, policy: RetestPolicy) -> Self {
+        self.retest = policy;
+        self
+    }
+
+    /// Overrides the healthy-DUT builder (called once per cell).
+    pub fn dut_builder<F>(mut self, build: F) -> Self
+    where
+        F: Fn() -> Result<Box<dyn Dut>, SocError> + Send + Sync + 'static,
+    {
+        self.build_dut = Box::new(build);
+        self
+    }
+
+    /// The screening limit in force.
+    pub fn screen(&self) -> &Screen {
+        &self.screen
+    }
+
+    /// The campaign's base measurement setup.
+    pub fn setup(&self) -> &BistSetup {
+        &self.setup
+    }
+
+    /// The fault universe under screen.
+    pub fn universe(&self) -> &FaultUniverse {
+        &self.universe
+    }
+
+    /// Trials per variant.
+    pub fn trial_count(&self) -> usize {
+        self.trials
+    }
+
+    /// Total cells: variants × trials.
+    pub fn cell_count(&self) -> usize {
+        self.universe.len() * self.trials
+    }
+
+    /// Runs one cell: builds the variant's faulty DUT and front-end,
+    /// measures through the full session flow, judges with retest
+    /// escalation. Cell `i` is variant `i / trials`, trial
+    /// `i % trials`, seeded by `derive_seed(setup.seed, i)` — fully
+    /// self-contained, which is what makes worker fan-out
+    /// bit-identical to the sequential loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SocError::InvalidParameter`] for an out-of-range cell
+    /// index and propagates configuration errors (an *unmeasurable*
+    /// DUT is a [`Verdict::Fail`], not an error — see
+    /// [`screen_with_retest`]).
+    pub fn run_cell(&self, cell: usize) -> Result<CellOutcome, SocError> {
+        if cell >= self.cell_count() {
+            return Err(SocError::InvalidParameter {
+                name: "cell",
+                reason: "cell index beyond variants × trials",
+            });
+        }
+        let variant_index = cell / self.trials;
+        let trial = cell % self.trials;
+        let variant = &self.universe.variants[variant_index];
+
+        let mut setup = self.setup.clone();
+        setup.seed = derive_seed(self.setup.seed, cell as u64);
+
+        let outcome = screen_with_retest(&self.screen, &setup, &self.retest, |round_setup| {
+            let dut =
+                FaultyDut::new((self.build_dut)()?).with_faults(variant.analog.iter().copied())?;
+            let digitizer = FaultyDigitizer::new(OneBitDigitizer::ideal())
+                .with_faults(variant.bit.iter().copied())?;
+            Ok(MeasurementSession::new(round_setup)?
+                .dut(dut)
+                .digitizer(digitizer)
+                .repeats(self.repeats))
+        })?;
+
+        let final_round = outcome
+            .rounds
+            .last()
+            .expect("screen_with_retest always records at least one round");
+        Ok(CellOutcome {
+            variant: variant_index,
+            trial,
+            verdict: outcome.verdict,
+            retests: outcome.retests(),
+            nf_db: final_round.nf_db,
+            // Hot + cold per repeat, per round.
+            test_samples: outcome.total_samples() * 2 * self.repeats as u64,
+        })
+    }
+
+    /// Aggregates cell outcomes (in any order) into the per-class
+    /// report. Classes appear in universe order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SocError::InvalidParameter`] when `cells` does not
+    /// cover exactly every cell of the campaign.
+    pub fn assemble(&self, cells: Vec<CellOutcome>) -> Result<CoverageReport, SocError> {
+        if cells.len() != self.cell_count() {
+            return Err(SocError::InvalidParameter {
+                name: "cells",
+                reason: "outcome count must equal variants × trials",
+            });
+        }
+        // Every (variant, trial) pair exactly once — a right-sized
+        // list from a different campaign (or with duplicated/missing
+        // cells) must be rejected, not silently aggregated.
+        let mut seen = vec![false; self.cell_count()];
+        for cell in &cells {
+            if cell.variant >= self.universe.len() || cell.trial >= self.trials {
+                return Err(SocError::InvalidParameter {
+                    name: "cells",
+                    reason: "cell index beyond the campaign's variants × trials",
+                });
+            }
+            let slot = &mut seen[cell.variant * self.trials + cell.trial];
+            if *slot {
+                return Err(SocError::InvalidParameter {
+                    name: "cells",
+                    reason: "duplicate outcome for one (variant, trial) cell",
+                });
+            }
+            *slot = true;
+        }
+        // Classes in universe order.
+        let mut classes: Vec<ClassStats> = Vec::new();
+        let mut class_of_variant: Vec<usize> = Vec::with_capacity(self.universe.len());
+        for variant in &self.universe.variants {
+            let idx = classes
+                .iter()
+                .position(|c| c.class == variant.class)
+                .unwrap_or_else(|| {
+                    classes.push(ClassStats {
+                        class: variant.class.clone(),
+                        healthy: variant.is_healthy(),
+                        trials: 0,
+                        detected: 0,
+                        escaped: 0,
+                        unresolved: 0,
+                        gross: 0,
+                        retested: 0,
+                        test_samples: 0,
+                        mean_nf_db: 0.0,
+                    });
+                    classes.len() - 1
+                });
+            class_of_variant.push(idx);
+        }
+
+        let mut nf_sums = vec![(0.0f64, 0usize); classes.len()];
+        for cell in &cells {
+            let stats = &mut classes[class_of_variant[cell.variant]];
+            stats.trials += 1;
+            match cell.verdict {
+                Verdict::Fail => stats.detected += 1,
+                Verdict::Pass => stats.escaped += 1,
+                Verdict::Retest => stats.unresolved += 1,
+            }
+            if cell.nf_db == f64::INFINITY {
+                stats.gross += 1;
+            } else {
+                let (sum, n) = &mut nf_sums[class_of_variant[cell.variant]];
+                *sum += cell.nf_db;
+                *n += 1;
+            }
+            if cell.retests > 0 {
+                stats.retested += 1;
+            }
+            stats.test_samples += cell.test_samples;
+        }
+        for (stats, (sum, n)) in classes.iter_mut().zip(nf_sums) {
+            stats.mean_nf_db = if n > 0 { sum / n as f64 } else { f64::INFINITY };
+        }
+        Ok(CoverageReport { classes })
+    }
+
+    /// Runs the whole campaign sequentially, in cell order. The
+    /// parallel twin is `nfbist_runtime::BatchPlan::run_coverage`,
+    /// whose report is bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing cell, in cell order.
+    pub fn run(&self) -> Result<CoverageReport, SocError> {
+        let cells = (0..self.cell_count())
+            .map(|c| self.run_cell(c))
+            .collect::<Result<Vec<_>, _>>()?;
+        self.assemble(cells)
+    }
+}
+
+/// Aggregated screening outcomes for one fault class.
+///
+/// # Examples
+///
+/// ```
+/// use nfbist_soc::coverage::ClassStats;
+///
+/// let stats = ClassStats {
+///     class: "excess_noise".into(),
+///     healthy: false,
+///     trials: 8,
+///     detected: 6,
+///     escaped: 1,
+///     unresolved: 1,
+///     gross: 2,
+///     retested: 4,
+///     test_samples: 1 << 20,
+///     mean_nf_db: 15.3,
+/// };
+/// assert_eq!(stats.detection_rate(), 0.75);
+/// assert_eq!(stats.escape_rate(), 0.125);
+/// assert_eq!(stats.retest_rate(), 0.5);
+/// assert_eq!(stats.mean_test_samples(), (1 << 17) as f64);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassStats {
+    /// The fault class key (`"healthy"` for the fault-free variant).
+    pub class: String,
+    /// `true` for the healthy class.
+    pub healthy: bool,
+    /// Cells screened in this class (variants × trials).
+    pub trials: usize,
+    /// Cells judged [`Verdict::Fail`] — detections for a faulty
+    /// class, yield loss for the healthy class.
+    pub detected: usize,
+    /// Cells judged [`Verdict::Pass`] — escapes for a faulty class,
+    /// good yield for the healthy class.
+    pub escaped: usize,
+    /// Cells still [`Verdict::Retest`] when the round budget ran out.
+    pub unresolved: usize,
+    /// Detections that were *gross* rejects (unmeasurable DUT), a
+    /// subset of `detected`.
+    pub gross: usize,
+    /// Cells that needed at least one retest.
+    pub retested: usize,
+    /// Total samples acquired by this class (hot+cold, all repeats and
+    /// rounds) — its test-time bill.
+    pub test_samples: u64,
+    /// Mean measured NF in dB over the class's measurable cells
+    /// (`f64::INFINITY` when every cell was a gross reject).
+    pub mean_nf_db: f64,
+}
+
+impl ClassStats {
+    /// Fraction of cells judged Fail.
+    pub fn detection_rate(&self) -> f64 {
+        self.detected as f64 / self.trials as f64
+    }
+
+    /// Fraction of cells judged Pass.
+    pub fn escape_rate(&self) -> f64 {
+        self.escaped as f64 / self.trials as f64
+    }
+
+    /// Fraction of cells that needed a retest.
+    pub fn retest_rate(&self) -> f64 {
+        self.retested as f64 / self.trials as f64
+    }
+
+    /// Mean test time per cell, in samples.
+    pub fn mean_test_samples(&self) -> f64 {
+        self.test_samples as f64 / self.trials as f64
+    }
+}
+
+/// The campaign's aggregate answer: detection, escapes, yield loss and
+/// test time per fault class (and overall).
+///
+/// # Examples
+///
+/// ```
+/// use nfbist_soc::coverage::{CoverageCampaign, FaultUniverse};
+/// use nfbist_soc::screening::Screen;
+/// use nfbist_soc::setup::BistSetup;
+///
+/// # fn main() -> Result<(), nfbist_soc::SocError> {
+/// let mut setup = BistSetup::quick(9);
+/// setup.samples = 1 << 13;
+/// setup.nfft = 1_024;
+/// let campaign = CoverageCampaign::new(
+///     setup,
+///     Screen::new(12.0, 3.0)?,
+///     FaultUniverse::new().input_attenuation(&[4.0])?,
+/// )?
+/// .trials(2);
+/// let report = campaign.run()?;
+/// assert_eq!(report.classes().len(), 2);
+/// // The report prints as a paper-style table.
+/// assert!(report.to_string().contains("healthy"));
+/// assert!(report.overall_detection_rate().unwrap() > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoverageReport {
+    classes: Vec<ClassStats>,
+}
+
+impl CoverageReport {
+    /// Per-class statistics, in universe order (healthy first).
+    pub fn classes(&self) -> &[ClassStats] {
+        &self.classes
+    }
+
+    /// Statistics for one class, by key.
+    pub fn class(&self, class: &str) -> Option<&ClassStats> {
+        self.classes.iter().find(|c| c.class == class)
+    }
+
+    /// Detection rate over all *faulty* cells, or `None` if the
+    /// universe had no faulty class.
+    pub fn overall_detection_rate(&self) -> Option<f64> {
+        let (detected, trials) = self
+            .classes
+            .iter()
+            .filter(|c| !c.healthy)
+            .fold((0usize, 0usize), |(d, t), c| (d + c.detected, t + c.trials));
+        (trials > 0).then(|| detected as f64 / trials as f64)
+    }
+
+    /// Escape rate over all faulty cells (defective parts shipped), or
+    /// `None` if the universe had no faulty class.
+    pub fn overall_escape_rate(&self) -> Option<f64> {
+        let (escaped, trials) = self
+            .classes
+            .iter()
+            .filter(|c| !c.healthy)
+            .fold((0usize, 0usize), |(e, t), c| (e + c.escaped, t + c.trials));
+        (trials > 0).then(|| escaped as f64 / trials as f64)
+    }
+
+    /// Fraction of *healthy* cells wrongly rejected, or `None` if the
+    /// universe had no healthy class.
+    pub fn yield_loss(&self) -> Option<f64> {
+        let (detected, trials) = self
+            .classes
+            .iter()
+            .filter(|c| c.healthy)
+            .fold((0usize, 0usize), |(d, t), c| (d + c.detected, t + c.trials));
+        (trials > 0).then(|| detected as f64 / trials as f64)
+    }
+
+    /// Fraction of all cells that needed at least one retest.
+    pub fn retest_rate(&self) -> f64 {
+        let (retested, trials) = self
+            .classes
+            .iter()
+            .fold((0usize, 0usize), |(r, t), c| (r + c.retested, t + c.trials));
+        if trials == 0 {
+            0.0
+        } else {
+            retested as f64 / trials as f64
+        }
+    }
+
+    /// Mean test time per screened DUT, in samples.
+    pub fn mean_test_samples(&self) -> f64 {
+        let (samples, trials) = self.classes.iter().fold((0u64, 0usize), |(s, t), c| {
+            (s + c.test_samples, t + c.trials)
+        });
+        if trials == 0 {
+            0.0
+        } else {
+            samples as f64 / trials as f64
+        }
+    }
+
+    /// The report as a formatted table (one row per class).
+    pub fn to_table(&self) -> crate::report::Table {
+        let mut table = crate::report::Table::new(vec![
+            "Fault class",
+            "Trials",
+            "Detected",
+            "Escaped",
+            "Unresolved",
+            "Detection",
+            "Retest rate",
+            "Mean NF (dB)",
+        ]);
+        for c in &self.classes {
+            table.row(vec![
+                c.class.clone(),
+                c.trials.to_string(),
+                if c.gross > 0 {
+                    format!("{} ({} gross)", c.detected, c.gross)
+                } else {
+                    c.detected.to_string()
+                },
+                c.escaped.to_string(),
+                c.unresolved.to_string(),
+                format!("{:.1} %", 100.0 * c.detection_rate()),
+                format!("{:.1} %", 100.0 * c.retest_rate()),
+                if c.mean_nf_db.is_finite() {
+                    format!("{:.2}", c.mean_nf_db)
+                } else {
+                    "∞".to_string()
+                },
+            ]);
+        }
+        table
+    }
+}
+
+impl std::fmt::Display for CoverageReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.to_table())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_setup(seed: u64) -> BistSetup {
+        let mut setup = BistSetup::quick(seed);
+        setup.samples = 1 << 13;
+        setup.nfft = 1_024;
+        setup
+    }
+
+    #[test]
+    fn universe_grids_and_accessors() {
+        let u = FaultUniverse::paper_grid().unwrap();
+        // healthy + 2 + 2 + 2 + 1 + 1 + 1.
+        assert_eq!(u.len(), 10);
+        assert!(!u.is_empty());
+        assert!(u.get(0).unwrap().is_healthy());
+        assert_eq!(u.get(1).unwrap().class(), "input_attenuation");
+        assert!(u.get(10).is_none());
+        let classes: std::collections::HashSet<&str> =
+            u.variants().iter().map(|v| v.class()).collect();
+        assert_eq!(classes.len(), 7);
+        // Distinct labels within a class (grid points).
+        assert_ne!(u.get(1).unwrap().label(), u.get(2).unwrap().label());
+        // Grid-generated flipped-cell variants use distinct masks.
+        let seeds: Vec<u64> = FaultUniverse::new()
+            .flipped_bits(&[0.1, 0.1])
+            .unwrap()
+            .variants()
+            .iter()
+            .filter_map(|v| match v.bit_faults().first() {
+                Some(BitFault::FlippedBits { seed, .. }) => Some(*seed),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(seeds.len(), 2);
+        assert_ne!(seeds[0], seeds[1]);
+    }
+
+    #[test]
+    fn campaign_validation() {
+        let screen = Screen::new(10.0, 3.0).unwrap();
+        let mut bad = tiny_setup(1);
+        bad.samples = 0;
+        assert!(CoverageCampaign::new(bad, screen, FaultUniverse::new()).is_err());
+        let empty = FaultUniverse {
+            variants: Vec::new(),
+        };
+        assert!(CoverageCampaign::new(tiny_setup(1), screen, empty).is_err());
+        let campaign = CoverageCampaign::new(tiny_setup(1), screen, FaultUniverse::new()).unwrap();
+        assert!(campaign.run_cell(campaign.cell_count()).is_err());
+        assert!(campaign.assemble(Vec::new()).is_err());
+        // Right-sized but wrong-shaped outcome lists are rejected too.
+        let cell = |variant: usize, trial: usize| CellOutcome {
+            variant,
+            trial,
+            verdict: Verdict::Pass,
+            retests: 0,
+            nf_db: 9.0,
+            test_samples: 1,
+        };
+        let two_trials = campaign.trials(2);
+        assert_eq!(two_trials.cell_count(), 2);
+        assert!(
+            two_trials.assemble(vec![cell(0, 0), cell(7, 0)]).is_err(),
+            "variant index beyond the universe must be rejected"
+        );
+        assert!(
+            two_trials.assemble(vec![cell(0, 0), cell(0, 0)]).is_err(),
+            "a duplicated cell (and a missing one) must be rejected"
+        );
+        assert!(
+            two_trials.assemble(vec![cell(0, 1), cell(0, 0)]).is_ok(),
+            "complete coverage in any order is accepted"
+        );
+        let campaign = two_trials.trials(1);
+        // Clamps.
+        let campaign = campaign.trials(0).repeats(0);
+        assert_eq!(campaign.trial_count(), 1);
+        assert_eq!(campaign.cell_count(), 1);
+        assert!(format!("{campaign:?}").contains("CoverageCampaign"));
+    }
+
+    #[test]
+    fn cells_are_deterministic_and_self_contained() {
+        let screen = Screen::new(11.0, 3.0).unwrap();
+        let universe = FaultUniverse::new().excess_noise(&[4.0]).unwrap();
+        let campaign = CoverageCampaign::new(tiny_setup(7), screen, universe.clone())
+            .unwrap()
+            .trials(2);
+        let a = campaign.run_cell(3).unwrap();
+        let b = campaign.run_cell(3).unwrap();
+        assert_eq!(a, b, "a cell must be a pure function of its index");
+        assert_eq!(a.variant, 1);
+        assert_eq!(a.trial, 1);
+        // Different trials of the same variant draw different noise.
+        let c = campaign.run_cell(2).unwrap();
+        assert_ne!(a.nf_db, c.nf_db);
+        // Sequential run == assembled shuffled cells (order-free
+        // reduction).
+        let report = campaign.run().unwrap();
+        let mut cells: Vec<CellOutcome> = (0..campaign.cell_count())
+            .map(|i| campaign.run_cell(i).unwrap())
+            .collect();
+        cells.reverse();
+        assert_eq!(report, campaign.assemble(cells).unwrap());
+    }
+
+    #[test]
+    fn gross_noise_fault_is_detected_and_healthy_passes() {
+        // Limit 1.2 dB above the TL081's expected NF: healthy parts
+        // pass, an 8× noise fault (+~8 dB) fails decisively.
+        let dut =
+            NonInvertingAmplifier::new(OpampModel::tl081(), Ohms::new(10_000.0), Ohms::new(100.0))
+                .unwrap();
+        let expected = dut
+            .expected_noise_figure_db(Ohms::new(2_000.0), 100.0, 1_000.0)
+            .unwrap();
+        let screen = Screen::new(expected + 1.2, 3.0).unwrap();
+        let universe = FaultUniverse::new().excess_noise(&[8.0]).unwrap();
+        let campaign = CoverageCampaign::new(tiny_setup(3), screen, universe)
+            .unwrap()
+            .trials(3)
+            .retest(RetestPolicy::new(3, 4).unwrap());
+        let report = campaign.run().unwrap();
+        let healthy = report.class("healthy").unwrap();
+        let faulty = report.class("excess_noise").unwrap();
+        assert_eq!(healthy.detected, 0, "healthy yield loss: {report}");
+        assert_eq!(faulty.detected, 3, "missed gross fault: {report}");
+        assert_eq!(report.overall_detection_rate(), Some(1.0));
+        assert_eq!(report.overall_escape_rate(), Some(0.0));
+        assert_eq!(report.yield_loss(), Some(0.0));
+        assert!(report.mean_test_samples() >= (2 << 13) as f64);
+        assert!(faulty.mean_nf_db > healthy.mean_nf_db + 4.0);
+        // Table formatting smoke.
+        let shown = report.to_string();
+        assert!(shown.contains("excess_noise") && shown.contains("100.0 %"));
+    }
+
+    #[test]
+    fn gain_deviation_escapes_the_nf_screen() {
+        // The partial blindness the module docs describe: a gain-down
+        // fault cancels out of the Y ratio and only *raises* the
+        // effective reference fraction (deeper into Fig. 10's valid
+        // region), so the NF screen has nothing to catch.
+        let dut =
+            NonInvertingAmplifier::new(OpampModel::tl081(), Ohms::new(10_000.0), Ohms::new(100.0))
+                .unwrap();
+        let expected = dut
+            .expected_noise_figure_db(Ohms::new(2_000.0), 100.0, 1_000.0)
+            .unwrap();
+        let screen = Screen::new(expected + 1.2, 3.0).unwrap();
+        let universe = FaultUniverse::new().gain_deviation(&[0.5]).unwrap();
+        let campaign = CoverageCampaign::new(tiny_setup(13), screen, universe)
+            .unwrap()
+            .trials(3)
+            .retest(RetestPolicy::new(3, 4).unwrap());
+        let report = campaign.run().unwrap();
+        let gain = report.class("gain_deviation").unwrap();
+        assert_eq!(
+            gain.escaped, 3,
+            "gain faults must escape an NF screen: {report}"
+        );
+    }
+
+    #[test]
+    fn custom_dut_builder_is_used() {
+        // An OP27 (quiet) healthy DUT against a limit tuned for it.
+        let dut =
+            NonInvertingAmplifier::new(OpampModel::op27(), Ohms::new(10_000.0), Ohms::new(100.0))
+                .unwrap();
+        let expected = dut
+            .expected_noise_figure_db(Ohms::new(2_000.0), 100.0, 1_000.0)
+            .unwrap();
+        // A quiet DUT has a high Y, which pushes the hot-state
+        // reference fraction to the bottom of Fig. 10's valid region:
+        // reliable measurement needs the full quick record length, not
+        // the shrunken campaign grids the other tests use. This test
+        // checks *which DUT* was measured, not the screen calibration.
+        let mut setup = BistSetup::quick(17);
+        setup.nfft = 1_024;
+        let screen = Screen::new(expected + 3.0, 3.0).unwrap();
+        let campaign = CoverageCampaign::new(setup, screen, FaultUniverse::new())
+            .unwrap()
+            .trials(2)
+            .retest(RetestPolicy::new(3, 4).unwrap())
+            .dut_builder(|| {
+                Ok(Box::new(NonInvertingAmplifier::new(
+                    OpampModel::op27(),
+                    Ohms::new(10_000.0),
+                    Ohms::new(100.0),
+                )?))
+            });
+        let report = campaign.run().unwrap();
+        let healthy = report.class("healthy").unwrap();
+        assert_eq!(healthy.escaped, 2, "{report}");
+        assert!(healthy.mean_nf_db < 6.0, "OP27 NF {}", healthy.mean_nf_db);
+    }
+}

@@ -21,7 +21,12 @@
 //! * [`resources`] — SoC memory/compute accounting: what an acquisition
 //!   costs in bytes and arithmetic, 1-bit vs ADC.
 //! * [`screening`] — guard-banded pass/fail verdicts for production
-//!   test.
+//!   test, with the documented retest-escalation loop
+//!   ([`screening::screen_with_retest`]).
+//! * [`coverage`] — defect-coverage campaigns: a
+//!   [`coverage::FaultUniverse`] of defective DUT variants screened
+//!   through the full flow, reduced to detection/escape/yield-loss
+//!   rates per fault class ([`coverage::CoverageReport`]).
 //! * [`freqresp`] — the comparator cell reused for frequency-response
 //!   measurement (§7).
 //! * [`testplan`] — scheduling acquisitions under a memory budget.
@@ -76,8 +81,9 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
+pub mod coverage;
 pub mod freqresp;
 pub mod multipoint;
 pub mod report;

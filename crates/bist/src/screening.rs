@@ -8,6 +8,8 @@
 //! deviation (from `nfbist_core::uncertainty`) into guard-banded
 //! verdicts.
 
+use crate::session::{derive_seed, MeasurementSession};
+use crate::setup::BistSetup;
 use crate::SocError;
 use nfbist_core::estimator::NfMeasurement;
 use nfbist_core::uncertainty;
@@ -130,6 +132,206 @@ impl Screen {
     }
 }
 
+/// How a [`Verdict::Retest`] escalates: up to `max_rounds` total
+/// measurement rounds, growing the record length by `growth`× per
+/// round (longer records shrink the guard band until the DUT resolves
+/// to [`Verdict::Pass`] or [`Verdict::Fail`]).
+///
+/// # Examples
+///
+/// ```
+/// use nfbist_soc::screening::RetestPolicy;
+///
+/// let policy = RetestPolicy::new(3, 4)?;
+/// assert_eq!(policy.max_rounds(), 3);
+/// assert_eq!(policy.growth(), 4);
+/// // A single-round policy never retests.
+/// assert_eq!(RetestPolicy::single().max_rounds(), 1);
+/// assert!(RetestPolicy::new(0, 2).is_err());
+/// # Ok::<(), nfbist_soc::SocError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetestPolicy {
+    max_rounds: usize,
+    growth: usize,
+}
+
+impl RetestPolicy {
+    /// Creates a policy with `max_rounds` total rounds (≥ 1) and a
+    /// per-retest record-length multiplier `growth` (≥ 2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SocError::InvalidParameter`] for zero rounds or a
+    /// growth factor below 2.
+    pub fn new(max_rounds: usize, growth: usize) -> Result<Self, SocError> {
+        if max_rounds == 0 {
+            return Err(SocError::InvalidParameter {
+                name: "max_rounds",
+                reason: "at least one measurement round is required",
+            });
+        }
+        if growth < 2 {
+            return Err(SocError::InvalidParameter {
+                name: "growth",
+                reason: "the record length must at least double per retest",
+            });
+        }
+        Ok(RetestPolicy { max_rounds, growth })
+    }
+
+    /// A one-round policy: judge once, never escalate (the final
+    /// verdict may then be [`Verdict::Retest`]).
+    pub fn single() -> Self {
+        RetestPolicy {
+            max_rounds: 1,
+            growth: 2,
+        }
+    }
+
+    /// Total measurement rounds allowed.
+    pub fn max_rounds(&self) -> usize {
+        self.max_rounds
+    }
+
+    /// Record-length multiplier applied per retest.
+    pub fn growth(&self) -> usize {
+        self.growth
+    }
+}
+
+/// One measurement round within [`screen_with_retest`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetestRound {
+    /// Record length this round acquired.
+    pub samples: usize,
+    /// Measured NF in dB (`f64::INFINITY` for an unmeasurable DUT —
+    /// see [`screen_with_retest`]).
+    pub nf_db: f64,
+    /// This round's verdict.
+    pub verdict: Verdict,
+}
+
+/// The outcome of a guard-banded screening with retest escalation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScreeningOutcome {
+    /// The final verdict ([`Verdict::Retest`] only when the policy's
+    /// round budget ran out with the DUT still inside the guard band).
+    pub verdict: Verdict,
+    /// Every round, in execution order (never empty).
+    pub rounds: Vec<RetestRound>,
+}
+
+impl ScreeningOutcome {
+    /// Number of retests performed (rounds beyond the first).
+    pub fn retests(&self) -> usize {
+        self.rounds.len().saturating_sub(1)
+    }
+
+    /// Total samples acquired per source state across all rounds — the
+    /// test-time currency of a coverage campaign.
+    pub fn total_samples(&self) -> u64 {
+        self.rounds.iter().map(|r| r.samples as u64).sum()
+    }
+}
+
+/// Runs the documented screening flow end to end: measure, judge
+/// against the guard-banded limit, and on [`Verdict::Retest`] re-test
+/// with a `growth`× longer acquisition, up to the policy's round
+/// budget.
+///
+/// `build` constructs the round's [`MeasurementSession`] from the
+/// round's setup (record length grown per round; the seed is
+/// re-derived per round so retests draw fresh noise). This closure
+/// indirection is what makes the loop expressible at all: a session's
+/// record length is fixed at construction, so every escalation needs a
+/// freshly built session.
+///
+/// The guard band is evaluated at the session's full averaging depth:
+/// `2·B·T` effective samples per acquisition
+/// ([`BistSetup::effective_samples`]) × the session's repeat count,
+/// since the judged NF comes from the mean Y over the repeats and the
+/// Y variance shrinks accordingly.
+///
+/// A DUT whose measurement is *degenerate* (estimated Y ≤ 1, or a
+/// noise factor below the physical limit — gross faults can do both)
+/// is an unambiguous production reject, not a tester failure: it is
+/// reported as [`Verdict::Fail`] with `nf_db = f64::INFINITY` rather
+/// than as an error. Configuration errors still propagate.
+///
+/// # Examples
+///
+/// ```
+/// use nfbist_soc::screening::{screen_with_retest, RetestPolicy, Screen, Verdict};
+/// use nfbist_soc::session::MeasurementSession;
+/// use nfbist_soc::setup::BistSetup;
+///
+/// # fn main() -> Result<(), nfbist_soc::SocError> {
+/// let mut setup = BistSetup::quick(11);
+/// setup.samples = 1 << 13;
+/// setup.nfft = 1_024;
+/// // OP27 default DUT (≈3.7 dB) against a 10 dB limit: passes, and
+/// // within the round budget.
+/// let screen = Screen::new(10.0, 3.0)?;
+/// let policy = RetestPolicy::new(3, 4)?;
+/// let outcome = screen_with_retest(&screen, &setup, &policy, MeasurementSession::new)?;
+/// assert_eq!(outcome.verdict, Verdict::Pass);
+/// assert!(outcome.rounds.len() <= 3);
+/// assert!(outcome.total_samples() >= (1 << 13) as u64);
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+///
+/// Propagates session construction errors and non-degenerate
+/// measurement errors.
+pub fn screen_with_retest<F>(
+    screen: &Screen,
+    setup: &BistSetup,
+    policy: &RetestPolicy,
+    build: F,
+) -> Result<ScreeningOutcome, SocError>
+where
+    F: Fn(BistSetup) -> Result<MeasurementSession, SocError>,
+{
+    let mut samples = setup.samples;
+    let mut rounds: Vec<RetestRound> = Vec::new();
+    loop {
+        let mut round_setup = setup.clone();
+        round_setup.samples = samples;
+        if !rounds.is_empty() {
+            // Retests draw fresh noise: a marginal verdict must not be
+            // re-judged on the very record that produced it.
+            round_setup.seed = derive_seed(setup.seed, rounds.len() as u64);
+        }
+        let session = build(round_setup.clone())?;
+        // The session averages Y over its repeats, so the estimator
+        // variance — and with it the guard band — shrinks by the
+        // repeat count.
+        let n_effective = round_setup
+            .effective_samples()
+            .saturating_mul(session.repeat_count());
+        let (nf_db, verdict) = match session.run() {
+            Ok(m) => (m.nf.figure.db(), screen.judge(&m.nf, n_effective)?),
+            // Unmeasurable ⇒ gross reject (see the function docs).
+            Err(SocError::Core(e)) if e.indicates_unmeasurable_estimate() => {
+                (f64::INFINITY, Verdict::Fail)
+            }
+            Err(e) => return Err(e),
+        };
+        rounds.push(RetestRound {
+            samples,
+            nf_db,
+            verdict,
+        });
+        if verdict != Verdict::Retest || rounds.len() >= policy.max_rounds {
+            return Ok(ScreeningOutcome { verdict, rounds });
+        }
+        samples = samples.saturating_mul(policy.growth);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -176,6 +378,60 @@ mod tests {
         let wide = screen.guard_db(&m, 1_000).unwrap();
         let narrow = screen.guard_db(&m, 1_000_000).unwrap();
         assert!(narrow < wide / 10.0, "{narrow} vs {wide}");
+    }
+
+    #[test]
+    fn retest_escalation_grows_the_record() {
+        // Measure once to learn where this seed's NF lands, then put
+        // the limit exactly on top of it: round 1 must land in the
+        // guard band and escalate with a doubled record.
+        let mut setup = BistSetup::quick(31);
+        setup.samples = 1 << 13;
+        setup.nfft = 1_024;
+        let probe = MeasurementSession::new(setup.clone())
+            .unwrap()
+            .run()
+            .unwrap();
+        let screen = Screen::new(probe.nf.figure.db(), 3.0).unwrap();
+        let policy = RetestPolicy::new(2, 2).unwrap();
+        let outcome =
+            screen_with_retest(&screen, &setup, &policy, MeasurementSession::new).unwrap();
+        assert_eq!(outcome.rounds.len(), 2, "on-limit DUT must retest");
+        assert_eq!(outcome.retests(), 1);
+        assert_eq!(outcome.rounds[0].verdict, Verdict::Retest);
+        assert_eq!(outcome.rounds[0].samples, 1 << 13);
+        assert_eq!(outcome.rounds[1].samples, 1 << 14);
+        assert_eq!(outcome.total_samples(), (1 << 13) + (1 << 14));
+        // Round 2 drew fresh noise, so its NF is not a copy of round 1.
+        assert_ne!(outcome.rounds[0].nf_db, outcome.rounds[1].nf_db);
+    }
+
+    #[test]
+    fn unmeasurable_dut_is_a_gross_reject_not_an_error() {
+        use nfbist_analog::fault::{AnalogFault, FaultyDut};
+
+        // An interference tone 50× the reference noise RMS swamps both
+        // source states: Y collapses to ≈1 and the Y-factor equation
+        // degenerates. The screen must report Fail, not abort.
+        let mut setup = BistSetup::quick(5);
+        setup.samples = 1 << 13;
+        setup.nfft = 1_024;
+        let screen = Screen::new(10.0, 3.0).unwrap();
+        let outcome = screen_with_retest(&screen, &setup, &RetestPolicy::single(), |round_setup| {
+            let dut = FaultyDut::new(nfbist_analog::circuits::NonInvertingAmplifier::new(
+                nfbist_analog::opamp::OpampModel::op27(),
+                nfbist_analog::units::Ohms::new(10_000.0),
+                nfbist_analog::units::Ohms::new(100.0),
+            )?)
+            .with_fault(AnalogFault::InterferenceTone {
+                frequency: 500.0,
+                amplitude_fraction: 50.0,
+            })?;
+            Ok(MeasurementSession::new(round_setup)?.dut(dut))
+        })
+        .unwrap();
+        assert_eq!(outcome.verdict, Verdict::Fail);
+        assert_eq!(outcome.rounds[0].nf_db, f64::INFINITY);
     }
 
     #[test]

@@ -42,6 +42,39 @@ use nfbist_core::power_ratio::{
 /// the exact same scheme.
 pub const REPEAT_SEED_STRIDE: u64 = 0x9E37_79B9_7F4A_7C15;
 
+/// Derives the seed for batch element `index` from a base seed: a
+/// golden-ratio walk followed by the SplitMix64 finalizer.
+///
+/// The finalizer matters: sessions derive *repeat* seeds as the plain
+/// arithmetic walk `seed + repeat·φ⁶⁴`, so if batch elements (Monte
+/// Carlo trials, coverage cells) used the same walk, element `t+1`
+/// repeat `0` would draw bit-identical noise to element `t` repeat `1`
+/// and a batch with `repeats > 1` would silently understate its
+/// element-to-element spread. Mixing the walk through a bijective hash
+/// keeps the derivation deterministic and collision-free while
+/// decorrelating it from the repeat walk.
+///
+/// This is the one canonical derivation; `nfbist-runtime` re-exports
+/// it for trial fan-out and the coverage campaign uses it per cell.
+///
+/// # Examples
+///
+/// ```
+/// use nfbist_soc::session::derive_seed;
+///
+/// // Deterministic, and distinct per index.
+/// assert_eq!(derive_seed(7, 1), derive_seed(7, 1));
+/// assert_ne!(derive_seed(7, 1), derive_seed(7, 2));
+/// ```
+pub fn derive_seed(base: u64, index: u64) -> u64 {
+    // SplitMix64 output function over the walked state (a bijection on
+    // u64, so distinct (base, index) walks stay distinct).
+    let mut z = base.wrapping_add(index.wrapping_add(1).wrapping_mul(REPEAT_SEED_STRIDE));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// Outcome of one repeated acquisition within a session run.
 #[derive(Debug, Clone)]
 pub struct RepeatMeasurement {

@@ -88,6 +88,28 @@ impl BistSetup {
         }
     }
 
+    /// Effective number of independent samples per acquisition for
+    /// uncertainty/guard-band purposes: `2·B·T` with `B` the noise
+    /// bandwidth and `T = samples / sample_rate` the record duration
+    /// (clamped to at least 1). This is the `n_effective` that
+    /// [`crate::screening::Screen::judge`] and the coverage campaign
+    /// feed the guard-band model.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use nfbist_soc::setup::BistSetup;
+    ///
+    /// // Paper prototype: B = 900 Hz, T = 10⁶ / 20 kHz = 50 s.
+    /// let setup = BistSetup::paper_prototype(0);
+    /// assert_eq!(setup.effective_samples(), 90_000);
+    /// ```
+    pub fn effective_samples(&self) -> usize {
+        let bandwidth = self.noise_band.1 - self.noise_band.0;
+        let duration = self.samples as f64 / self.sample_rate;
+        ((2.0 * bandwidth * duration) as usize).max(1)
+    }
+
     /// Checks all invariants.
     ///
     /// # Errors

@@ -33,6 +33,39 @@ pub enum CoreError {
     Analog(nfbist_analog::AnalogError),
 }
 
+impl CoreError {
+    /// `true` when the error means the *measured data* could not yield
+    /// a physical estimate — a degenerate measurement (Y ≤ 1, a
+    /// reference line buried in noise) or a noise-factor estimate
+    /// below the physical limit beyond tolerance
+    /// ([`crate::figure::NoiseFactor::from_estimate`]).
+    ///
+    /// Production screening uses this to classify a DUT as a gross
+    /// reject instead of aborting: an unmeasurable part is a verdict,
+    /// not a tester failure. Configuration errors return `false`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use nfbist_core::yfactor;
+    ///
+    /// let err = yfactor::noise_factor_from_temperatures(0.9, 2_900.0, 290.0).unwrap_err();
+    /// assert!(err.indicates_unmeasurable_estimate());
+    /// let err = yfactor::noise_factor_from_temperatures(3.0, 290.0, 2_900.0).unwrap_err();
+    /// assert!(!err.indicates_unmeasurable_estimate(), "a config error is not a verdict");
+    /// ```
+    pub fn indicates_unmeasurable_estimate(&self) -> bool {
+        matches!(
+            self,
+            CoreError::Degenerate { .. }
+                | CoreError::InvalidParameter {
+                    name: "noise_factor",
+                    ..
+                }
+        )
+    }
+}
+
 impl fmt::Display for CoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -91,5 +124,26 @@ mod tests {
     fn error_is_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<CoreError>();
+    }
+
+    #[test]
+    fn unmeasurable_classification_is_pinned_to_its_producers() {
+        // The two ways measured data fails to yield a physical
+        // estimate; screening relies on both classifying as
+        // unmeasurable, so this test pins them to the actual
+        // producers.
+        let degenerate =
+            crate::yfactor::noise_factor_from_temperatures(1.0, 2_900.0, 290.0).unwrap_err();
+        assert!(degenerate.indicates_unmeasurable_estimate());
+        let below_limit = crate::figure::NoiseFactor::from_estimate(0.5, 0.01).unwrap_err();
+        assert!(below_limit.indicates_unmeasurable_estimate());
+        // Configuration mistakes are not verdicts.
+        let config =
+            crate::yfactor::noise_factor_from_temperatures(3.0, 290.0, 2_900.0).unwrap_err();
+        assert!(!config.indicates_unmeasurable_estimate());
+        assert!(
+            !CoreError::from(nfbist_dsp::DspError::EmptyInput { context: "x" })
+                .indicates_unmeasurable_estimate()
+        );
     }
 }

@@ -15,6 +15,7 @@
 
 use crate::executor::BatchExecutor;
 use nfbist_analog::noise::NoiseSourceState;
+use nfbist_soc::coverage::{CellOutcome, CoverageCampaign, CoverageReport};
 use nfbist_soc::multipoint::{MultipointBist, PointMeasurement};
 use nfbist_soc::session::{Measurement, MeasurementSession, RepeatMeasurement};
 use nfbist_soc::SocError;
@@ -25,34 +26,11 @@ use nfbist_soc::SocError;
 /// share one constant.
 pub const SEED_STRIDE: u64 = nfbist_soc::session::REPEAT_SEED_STRIDE;
 
-/// Derives the seed for batch element `index` from a base seed:
-/// a golden-ratio walk followed by the SplitMix64 finalizer.
-///
-/// The finalizer matters: sessions derive *repeat* seeds as the plain
-/// arithmetic walk `seed + repeat·φ⁶⁴`, so if trials used the same
-/// walk, trial `t+1` repeat `0` would draw bit-identical noise to
-/// trial `t` repeat `1` and a Monte Carlo batch with `repeats > 1`
-/// would silently understate its trial-to-trial spread. Mixing the
-/// walk through a bijective hash keeps the derivation deterministic
-/// and collision-free while decorrelating it from the repeat walk.
-///
-/// # Examples
-///
-/// ```
-/// use nfbist_runtime::batch::derive_seed;
-///
-/// // Deterministic, and distinct per index.
-/// assert_eq!(derive_seed(7, 1), derive_seed(7, 1));
-/// assert_ne!(derive_seed(7, 1), derive_seed(7, 2));
-/// ```
-pub fn derive_seed(base: u64, index: u64) -> u64 {
-    // SplitMix64 output function over the walked state (a bijection on
-    // u64, so distinct (base, index) walks stay distinct).
-    let mut z = base.wrapping_add(index.wrapping_add(1).wrapping_mul(SEED_STRIDE));
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
+/// Deterministic per-index seed derivation (golden-ratio walk +
+/// SplitMix64 finalizer), re-exported from
+/// [`nfbist_soc::session::derive_seed`] — the one canonical scheme
+/// shared by trial fan-out here and the coverage campaign's cells.
+pub use nfbist_soc::session::derive_seed;
 
 /// How a batch is executed: the worker count, and the executor built
 /// from it.
@@ -173,6 +151,50 @@ impl BatchPlan {
         T: Send,
     {
         self.executor().run(cells)
+    }
+
+    /// Runs a defect-coverage campaign with every cell (fault variant
+    /// × Monte Carlo trial) fanned out across workers, then reduces
+    /// the slot-ordered outcomes with the campaign's own
+    /// [`CoverageCampaign::assemble`] — so the [`CoverageReport`] is
+    /// **bit-identical** to the sequential [`CoverageCampaign::run`]
+    /// for any worker count.
+    ///
+    /// # Examples
+    ///
+    /// ```no_run
+    /// use nfbist_runtime::batch::BatchPlan;
+    /// use nfbist_soc::coverage::{CoverageCampaign, FaultUniverse};
+    /// use nfbist_soc::screening::Screen;
+    /// use nfbist_soc::setup::BistSetup;
+    ///
+    /// # fn main() -> Result<(), nfbist_soc::SocError> {
+    /// let campaign = CoverageCampaign::new(
+    ///     BistSetup::quick(42),
+    ///     Screen::new(11.0, 3.0)?,
+    ///     FaultUniverse::paper_grid()?,
+    /// )?
+    /// .trials(8);
+    /// let parallel = BatchPlan::new().run_coverage(&campaign)?;
+    /// assert_eq!(parallel, campaign.run()?); // any worker count
+    /// println!("{parallel}");
+    /// # Ok(())
+    /// # }
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing cell, in cell order.
+    pub fn run_coverage(&self, campaign: &CoverageCampaign) -> Result<CoverageReport, SocError> {
+        let tasks: Vec<_> = (0..campaign.cell_count())
+            .map(|c| move || campaign.run_cell(c))
+            .collect();
+        let outcomes = self.executor().run(tasks);
+        let mut cells: Vec<CellOutcome> = Vec::with_capacity(outcomes.len());
+        for outcome in outcomes {
+            cells.push(outcome?);
+        }
+        campaign.assemble(cells)
     }
 
     /// Runs a multipoint BIST with the hot and cold cascade

@@ -17,9 +17,11 @@
 //!   stack: [`batch::BatchPlan::run_session`] fans a session's repeats
 //!   out (bit-identical to `MeasurementSession::run`),
 //!   [`batch::BatchPlan::run_monte_carlo`] fans whole trials,
-//!   [`batch::BatchPlan::run_cells`] fans arbitrary sweep cells, and
+//!   [`batch::BatchPlan::run_cells`] fans arbitrary sweep cells,
 //!   [`batch::BatchPlan::run_multipoint`] fans a multipoint BIST's
-//!   acquisitions and per-point estimates.
+//!   acquisitions and per-point estimates, and
+//!   [`batch::BatchPlan::run_coverage`] fans a defect-coverage
+//!   campaign's variant × trial cells.
 //! * [`batch::SessionBatch`] — ordered Monte Carlo results with the
 //!   summary statistics the repeatability experiments need.
 //! * [`batch::derive_seed`] — deterministic per-index seed derivation
@@ -46,7 +48,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod batch;
 pub mod executor;

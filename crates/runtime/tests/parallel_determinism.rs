@@ -182,3 +182,51 @@ fn multipoint_parallel_points_match_sequential() {
         assert_eq!(s.expected_nf_db.to_bits(), p.expected_nf_db.to_bits());
     }
 }
+
+/// Coverage-campaign fan-out: the parallel report must be bit-identical
+/// to the sequential `CoverageCampaign::run` for any worker count —
+/// including gross-reject cells (±∞ sentinels) and retest escalation.
+#[test]
+fn coverage_campaign_parallel_report_matches_sequential() {
+    use nfbist_soc::coverage::{CoverageCampaign, FaultUniverse};
+    use nfbist_soc::screening::{RetestPolicy, Screen};
+
+    let mut setup = BistSetup::quick(23);
+    setup.samples = 1 << 13;
+    setup.nfft = 1_024;
+    let universe = FaultUniverse::new()
+        .input_attenuation(&[2.0])
+        .unwrap()
+        .gain_deviation(&[0.5])
+        .unwrap()
+        .interference(&[(500.0, 50.0)]) // gross: degenerates on purpose
+        .unwrap();
+    // Limit at the TL081's healthy expectation + margin (the campaign
+    // default DUT).
+    let expected =
+        NonInvertingAmplifier::new(OpampModel::tl081(), Ohms::new(10_000.0), Ohms::new(100.0))
+            .unwrap()
+            .expected_noise_figure_db(Ohms::new(2_000.0), 100.0, 1_000.0)
+            .unwrap();
+    let campaign =
+        CoverageCampaign::new(setup, Screen::new(expected + 1.2, 3.0).unwrap(), universe)
+            .unwrap()
+            .trials(3)
+            .retest(RetestPolicy::new(2, 2).unwrap());
+    let sequential = campaign.run().unwrap();
+    for workers in [1usize, 2, 4] {
+        let parallel = BatchPlan::new()
+            .workers(workers)
+            .run_coverage(&campaign)
+            .unwrap();
+        assert_eq!(
+            sequential, parallel,
+            "coverage report differs at {workers} workers"
+        );
+    }
+    // And the cells really exercised the interesting outcomes: gross
+    // rejects in the swamped class, no detections in the NF-blind one
+    // (marginal cells may exhaust the round budget, but never Fail).
+    assert!(sequential.class("interference").unwrap().gross > 0);
+    assert_eq!(sequential.class("gain_deviation").unwrap().detected, 0);
+}

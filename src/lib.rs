@@ -22,11 +22,16 @@
 //! * [`nfbist_bench`] — experiment scenario builders shared by the
 //!   paper-table binaries.
 //!
-//! See the repository `README.md` for the quickstart and
-//! `ARCHITECTURE.md` for how the traits map onto the paper's figures.
+//! See the repository `README.md` for the quickstart, the [`workflow`]
+//! module for the end-to-end walkthrough (DUT → digitizer → estimator
+//! → screen → coverage campaign), and `ARCHITECTURE.md` for how the
+//! traits map onto the paper's figures.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+#[doc = include_str!("../docs/WORKFLOW.md")]
+pub mod workflow {}
 
 pub use nfbist_analog;
 pub use nfbist_bench;
