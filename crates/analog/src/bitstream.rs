@@ -354,6 +354,169 @@ impl Bitstream {
     }
 }
 
+/// A chunked accumulator for the popcount lag kernels: lag products
+/// (and with them autocorrelations) of an arbitrarily long 1-bit stream
+/// in `O(max_lag)` memory.
+///
+/// The batch kernels ([`Bitstream::lag_product`],
+/// [`Bitstream::autocorrelation`]) need the whole packed record; this
+/// accumulator consumes it chunk by chunk, carrying only the last
+/// `max_lag` bits across chunk boundaries so boundary-straddling pairs
+/// are counted exactly once. Every count is an exact integer, so the
+/// result is **bit-identical** to the batch kernel over the
+/// concatenated stream — for any chunking, word-aligned or not.
+///
+/// # Examples
+///
+/// ```
+/// use nfbist_analog::bitstream::{Bitstream, StreamingLagAccumulator};
+/// use nfbist_dsp::correlation::Bias;
+///
+/// # fn main() -> Result<(), nfbist_analog::AnalogError> {
+/// let whole: Bitstream = (0..1_000).map(|i| i % 3 == 0).collect();
+/// let mut acc = StreamingLagAccumulator::new(4);
+/// // Push in ragged, non-word-aligned chunks.
+/// let bits: Vec<bool> = whole.iter().collect();
+/// for chunk in bits.chunks(77) {
+///     acc.push(&chunk.iter().copied().collect::<Bitstream>());
+/// }
+/// assert_eq!(
+///     acc.autocorrelation(Bias::Biased)?,
+///     whole.autocorrelation(4, Bias::Biased)?,
+/// );
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct StreamingLagAccumulator {
+    max_lag: usize,
+    /// The last `min(max_lag, len)` bits seen, for boundary pairs.
+    tail: Bitstream,
+    /// Differing-pair counts per lag `1..=max_lag` (`differing[k-1]`).
+    differing: Vec<u64>,
+    len: usize,
+    ones: usize,
+}
+
+impl StreamingLagAccumulator {
+    /// Creates an accumulator tracking lags `0..=max_lag`.
+    pub fn new(max_lag: usize) -> Self {
+        StreamingLagAccumulator {
+            max_lag,
+            tail: Bitstream::new(),
+            differing: vec![0; max_lag],
+            len: 0,
+            ones: 0,
+        }
+    }
+
+    /// The largest tracked lag.
+    pub fn max_lag(&self) -> usize {
+        self.max_lag
+    }
+
+    /// Total bits consumed so far.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` before any bit has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Count of `true` bits consumed so far.
+    pub fn ones(&self) -> usize {
+        self.ones
+    }
+
+    /// Sum of the `±1` expansion of everything consumed so far.
+    pub fn bipolar_sum(&self) -> i64 {
+        2 * self.ones as i64 - self.len as i64
+    }
+
+    /// Consumes one chunk of the stream.
+    ///
+    /// Pairs that straddle the previous chunk boundary are counted
+    /// against the carried tail; pairs wholly inside the tail were
+    /// counted on an earlier push and are subtracted back out.
+    pub fn push(&mut self, chunk: &Bitstream) {
+        if chunk.is_empty() {
+            return;
+        }
+        // tail ++ chunk: every not-yet-counted pair for lags <= max_lag
+        // lives inside this window.
+        let mut ext = self.tail.clone();
+        ext.extend_from_bits(chunk.iter());
+        let count = |s: &Bitstream, lag: usize| s.xor_popcount_lag(lag).unwrap_or(0) as u64;
+        for lag in 1..=self.max_lag {
+            self.differing[lag - 1] += count(&ext, lag) - count(&self.tail, lag);
+        }
+        self.ones += chunk.ones();
+        self.len += chunk.len();
+        let keep = self.max_lag.min(ext.len());
+        self.tail = ext.iter().skip(ext.len() - keep).collect();
+    }
+
+    /// Sum of lag-`lag` products of the `±1` expansion of everything
+    /// consumed so far — the streaming counterpart of
+    /// [`Bitstream::lag_product`].
+    ///
+    /// Returns `None` when `lag >= len` or `lag > max_lag`.
+    pub fn lag_product(&self, lag: usize) -> Option<i64> {
+        if lag >= self.len || lag > self.max_lag {
+            return None;
+        }
+        if lag == 0 {
+            return Some(self.len as i64);
+        }
+        Some((self.len - lag) as i64 - 2 * self.differing[lag - 1] as i64)
+    }
+
+    /// Autocorrelation for lags `0..=max_lag`, bit-identical to
+    /// [`Bitstream::autocorrelation`] over the concatenated stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::EmptyInput`] before any bit arrived and
+    /// [`AnalogError::InvalidParameter`] while `max_lag >= len`.
+    pub fn autocorrelation(&self, bias: Bias) -> Result<Vec<f64>, AnalogError> {
+        if self.is_empty() {
+            return Err(AnalogError::EmptyInput {
+                context: "bitstream autocorrelation",
+            });
+        }
+        if self.max_lag >= self.len {
+            return Err(AnalogError::InvalidParameter {
+                name: "max_lag",
+                reason: "must be smaller than the stream length",
+            });
+        }
+        let n = self.len;
+        Ok((0..=self.max_lag)
+            .map(|lag| {
+                let acc = self.lag_product(lag).expect("lag < len") as f64;
+                let denom = match bias {
+                    Bias::Biased => n as f64,
+                    Bias::Unbiased => (n - lag) as f64,
+                };
+                acc / denom
+            })
+            .collect())
+    }
+
+    /// Normalized autocorrelation `ρ[k] = R[k]/R[0]` (for ±1 samples,
+    /// identical to the biased autocorrelation) — the streaming side of
+    /// the arcsine-law readout.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`StreamingLagAccumulator::autocorrelation`].
+    pub fn normalized_autocorrelation(&self) -> Result<Vec<f64>, AnalogError> {
+        self.autocorrelation(Bias::Biased)
+    }
+}
+
 impl FromIterator<bool> for Bitstream {
     fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
         let mut bs = Bitstream::new();
@@ -559,5 +722,85 @@ mod tests {
         let collected: Vec<f64> = bs.iter_bipolar().collect();
         assert_eq!(collected, out);
         assert_eq!(bs.iter_bipolar().len(), 130);
+    }
+}
+
+#[cfg(test)]
+mod streaming_lag_tests {
+    use super::*;
+
+    fn pseudo_stream(n: usize, seed: u64) -> Bitstream {
+        let mut state = seed;
+        (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 33) & 1 == 1
+            })
+            .collect()
+    }
+
+    #[test]
+    fn chunked_lag_products_are_bit_exact() {
+        let whole = pseudo_stream(5_000, 9);
+        let bits: Vec<bool> = whole.iter().collect();
+        // Word-aligned, ragged, tiny and huge chunkings all agree.
+        for chunk in [1usize, 63, 64, 65, 777, 5_000] {
+            let mut acc = StreamingLagAccumulator::new(16);
+            for c in bits.chunks(chunk) {
+                acc.push(&c.iter().copied().collect::<Bitstream>());
+            }
+            assert_eq!(acc.len(), whole.len());
+            assert_eq!(acc.ones(), whole.ones());
+            assert_eq!(acc.bipolar_sum(), whole.bipolar_sum());
+            for lag in 0..=16 {
+                assert_eq!(
+                    acc.lag_product(lag),
+                    whole.lag_product(lag),
+                    "chunk {chunk} lag {lag}"
+                );
+            }
+            assert_eq!(
+                acc.autocorrelation(Bias::Unbiased).unwrap(),
+                whole.autocorrelation(16, Bias::Unbiased).unwrap(),
+                "chunk {chunk}"
+            );
+            assert_eq!(
+                acc.normalized_autocorrelation().unwrap(),
+                whole.normalized_autocorrelation(16).unwrap(),
+            );
+        }
+    }
+
+    #[test]
+    fn error_and_edge_semantics_mirror_the_batch_kernel() {
+        let mut acc = StreamingLagAccumulator::new(4);
+        assert!(acc.is_empty());
+        assert!(acc.autocorrelation(Bias::Biased).is_err(), "empty");
+        assert_eq!(acc.lag_product(0), None);
+        acc.push(&Bitstream::new()); // empty chunk is a no-op
+        assert!(acc.is_empty());
+        acc.push(&pseudo_stream(3, 1));
+        // max_lag >= len still errors, like the batch kernel.
+        assert!(acc.autocorrelation(Bias::Biased).is_err());
+        acc.push(&pseudo_stream(10, 2));
+        assert!(acc.autocorrelation(Bias::Biased).is_ok());
+        assert_eq!(acc.max_lag(), 4);
+        // Lags beyond the configured window are not tracked.
+        assert_eq!(acc.lag_product(5), None);
+    }
+
+    #[test]
+    fn matches_float_reference_on_expanded_stream() {
+        let whole = pseudo_stream(2_000, 33);
+        let mut acc = StreamingLagAccumulator::new(8);
+        let bits: Vec<bool> = whole.iter().collect();
+        for c in bits.chunks(131) {
+            acc.push(&c.iter().copied().collect::<Bitstream>());
+        }
+        let float_ref =
+            nfbist_dsp::correlation::autocorrelation(&whole.to_bipolar(), 8, Bias::Biased).unwrap();
+        assert_eq!(acc.autocorrelation(Bias::Biased).unwrap(), float_ref);
     }
 }

@@ -165,7 +165,22 @@ impl InvertingAmplifier {
         if input.is_empty() {
             return Err(AnalogError::EmptyInput { context: "amplify" });
         }
-        let mut noise = ShapedNoise::new(
+        let mut noise = self.noise_stream(sample_rate, seed)?;
+        let own = noise.generate(input.len())?;
+        let g = self.gain();
+        Ok(input.iter().zip(&own).map(|(&x, &n)| g * (x + n)).collect())
+    }
+
+    /// The input-referred noise generator a single
+    /// [`InvertingAmplifier::amplify`] call draws from — exposed to the
+    /// streaming DUT path so chunked processing synthesizes the
+    /// *identical* noise sequence (DC zeroed, as in `amplify`).
+    pub(crate) fn noise_stream(
+        &self,
+        sample_rate: f64,
+        seed: u64,
+    ) -> Result<ShapedNoise, AnalogError> {
+        ShapedNoise::new(
             |f| {
                 if f == 0.0 {
                     0.0
@@ -176,10 +191,7 @@ impl InvertingAmplifier {
             sample_rate,
             1 << 15,
             seed,
-        )?;
-        let own = noise.generate(input.len())?;
-        let g = self.gain();
-        Ok(input.iter().zip(&own).map(|(&x, &n)| g * (x + n)).collect())
+        )
     }
 }
 

@@ -188,16 +188,33 @@ impl NonInvertingAmplifier {
         if input.is_empty() {
             return Err(AnalogError::EmptyInput { context: "amplify" });
         }
+        let mut noise = self.noise_stream(rs, sample_rate, seed)?;
+        let own = noise.generate(input.len())?;
+        let g = self.gain();
+        Ok(input.iter().zip(&own).map(|(&x, &n)| g * (x + n)).collect())
+    }
+
+    /// The input-referred noise generator a single
+    /// [`NonInvertingAmplifier::amplify`] call draws from — exposed to
+    /// the streaming DUT path (`Dut::process_stream`) so chunked
+    /// processing synthesizes the *identical* noise sequence.
+    ///
+    /// DC is zeroed: sub-bin 1/f power would otherwise synthesize as a
+    /// spurious per-block offset, and the physical path is AC-coupled
+    /// anyway.
+    pub(crate) fn noise_stream(
+        &self,
+        rs: Ohms,
+        sample_rate: f64,
+        seed: u64,
+    ) -> Result<ShapedNoise, AnalogError> {
         if !(rs.value() > 0.0) {
             return Err(AnalogError::InvalidParameter {
                 name: "rs",
                 reason: "source resistance must be positive",
             });
         }
-        // DC is zeroed: sub-bin 1/f power would otherwise synthesize as
-        // a spurious per-block offset, and the physical path is
-        // AC-coupled anyway.
-        let mut noise = ShapedNoise::new(
+        ShapedNoise::new(
             |f| {
                 if f == 0.0 {
                     0.0
@@ -208,10 +225,7 @@ impl NonInvertingAmplifier {
             sample_rate,
             1 << 15,
             seed,
-        )?;
-        let own = noise.generate(input.len())?;
-        let g = self.gain();
-        Ok(input.iter().zip(&own).map(|(&x, &n)| g * (x + n)).collect())
+        )
     }
 }
 

@@ -128,6 +128,23 @@ pub trait Digitizer: Send + Sync {
     /// Returns [`AnalogError::EmptyInput`] / [`AnalogError::LengthMismatch`]
     /// for malformed buffers and propagates converter errors.
     fn acquire(&self, signal: &[f64], reference: &[f64]) -> Result<Record, AnalogError>;
+
+    /// Begins one streaming [`Digitizer::acquire`] pass: the returned
+    /// [`CaptureStream`] accepts conditioned chunks and yields expanded
+    /// estimator samples whose concatenation matches
+    /// `acquire(whole).to_samples()`.
+    ///
+    /// The default implementation buffers the record and acquires at
+    /// finish — correct for every implementor, at whole-record memory
+    /// cost. The comparator cell and the ADC front-end override it with
+    /// `O(chunk)`-memory incremental captures.
+    fn begin_capture<'a>(&'a self) -> Box<dyn CaptureStream + 'a> {
+        Box::new(BufferedCapture {
+            digitizer: self,
+            signal: Vec::new(),
+            reference: Vec::new(),
+        })
+    }
 }
 
 impl<D: Digitizer + ?Sized> Digitizer for Box<D> {
@@ -149,6 +166,147 @@ impl<D: Digitizer + ?Sized> Digitizer for Box<D> {
 
     fn acquire(&self, signal: &[f64], reference: &[f64]) -> Result<Record, AnalogError> {
         (**self).acquire(signal, reference)
+    }
+
+    fn begin_capture<'a>(&'a self) -> Box<dyn CaptureStream + 'a> {
+        (**self).begin_capture()
+    }
+}
+
+/// A stateful, chunk-by-chunk view of one [`Digitizer::acquire`] pass:
+/// the front-end half of bounded-memory (streaming) acquisition.
+///
+/// Obtained from [`Digitizer::begin_capture`]. Conditioned signal
+/// chunks (with their matching reference chunks, for reference-using
+/// front-ends) go in; *expanded estimator samples* — `±1` for a 1-bit
+/// cell, quantized voltages for an ADC — come out, in the same order
+/// and (for this crate's front-ends) with the same bits as
+/// `acquire(whole).to_samples()`, because comparator/converter state
+/// evolves sequentially either way.
+///
+/// The default implementation every [`Digitizer`] gets for free
+/// buffers the chunks and runs the batch `acquire` at finish
+/// (correct, whole-record memory); see
+/// [`CaptureStream::is_incremental`].
+pub trait CaptureStream {
+    /// Feeds one conditioned chunk and its reference chunk (pass an
+    /// equally sized zero chunk when the front-end uses no reference);
+    /// appends newly available expanded samples to `out`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::LengthMismatch`] for unequal chunk
+    /// lengths and propagates converter errors.
+    fn push(
+        &mut self,
+        signal: &[f64],
+        reference: &[f64],
+        out: &mut Vec<f64>,
+    ) -> Result<(), AnalogError>;
+
+    /// Signals end-of-record; appends any remaining samples to `out`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::EmptyInput`] when no sample was ever
+    /// pushed (mirroring [`Digitizer::acquire`] on an empty record) and
+    /// propagates converter errors.
+    fn finish(&mut self, out: &mut Vec<f64>) -> Result<(), AnalogError>;
+
+    /// `true` when samples are emitted per push with `O(chunk)` memory;
+    /// `false` for the buffered whole-record fallback.
+    fn is_incremental(&self) -> bool {
+        false
+    }
+}
+
+/// The buffered fallback capture: accumulates the record and runs the
+/// batch [`Digitizer::acquire`] once at finish.
+struct BufferedCapture<'a, D: Digitizer + ?Sized> {
+    digitizer: &'a D,
+    signal: Vec<f64>,
+    reference: Vec<f64>,
+}
+
+impl<D: Digitizer + ?Sized> CaptureStream for BufferedCapture<'_, D> {
+    fn push(
+        &mut self,
+        signal: &[f64],
+        reference: &[f64],
+        out: &mut Vec<f64>,
+    ) -> Result<(), AnalogError> {
+        if signal.len() != reference.len() {
+            return Err(AnalogError::LengthMismatch {
+                expected: signal.len(),
+                actual: reference.len(),
+                context: "capture push",
+            });
+        }
+        self.signal.extend_from_slice(signal);
+        self.reference.extend_from_slice(reference);
+        let _ = out;
+        Ok(())
+    }
+
+    fn finish(&mut self, out: &mut Vec<f64>) -> Result<(), AnalogError> {
+        // An empty record errors inside `acquire`, like the batch path.
+        let record = self.digitizer.acquire(&self.signal, &self.reference)?;
+        self.signal = Vec::new();
+        self.reference = Vec::new();
+        out.extend_from_slice(&record.to_samples());
+        Ok(())
+    }
+}
+
+/// Incremental capture for the 1-bit comparator cell: one comparator
+/// instance (hysteresis state included) survives across chunks, and
+/// the decimation phase is tracked by absolute sample index — exactly
+/// the sequence a whole-record [`OneBitDigitizer::digitize`] produces.
+/// No packed record is stored at all: decisions leave as `±1.0`
+/// estimator samples immediately.
+struct OneBitCapture {
+    comparator: crate::converter::Comparator,
+    decimation: usize,
+    index: usize,
+}
+
+impl CaptureStream for OneBitCapture {
+    fn push(
+        &mut self,
+        signal: &[f64],
+        reference: &[f64],
+        out: &mut Vec<f64>,
+    ) -> Result<(), AnalogError> {
+        if signal.len() != reference.len() {
+            return Err(AnalogError::LengthMismatch {
+                expected: signal.len(),
+                actual: reference.len(),
+                context: "capture push",
+            });
+        }
+        for (&s, &r) in signal.iter().zip(reference) {
+            // The comparator sees every sample; decimation only drops
+            // latches, exactly as in the batch acquisition loop.
+            let decision = self.comparator.compare(s, r);
+            if self.index.is_multiple_of(self.decimation) {
+                out.push(if decision { 1.0 } else { -1.0 });
+            }
+            self.index += 1;
+        }
+        Ok(())
+    }
+
+    fn finish(&mut self, _out: &mut Vec<f64>) -> Result<(), AnalogError> {
+        if self.index == 0 {
+            return Err(AnalogError::EmptyInput {
+                context: "begin_capture",
+            });
+        }
+        Ok(())
+    }
+
+    fn is_incremental(&self) -> bool {
+        true
     }
 }
 
@@ -180,6 +338,14 @@ impl Digitizer for OneBitDigitizer {
 
     fn acquire(&self, signal: &[f64], reference: &[f64]) -> Result<Record, AnalogError> {
         Ok(Record::Bits(self.digitize(signal, reference)?))
+    }
+
+    fn begin_capture<'a>(&'a self) -> Box<dyn CaptureStream + 'a> {
+        Box::new(OneBitCapture {
+            comparator: self.comparator().clone(),
+            decimation: self.decimation(),
+            index: 0,
+        })
     }
 }
 
@@ -218,5 +384,108 @@ mod tests {
             Record::Bits(_)
         ));
         assert!(d.acquire(&[], &[]).is_err());
+    }
+}
+
+#[cfg(test)]
+mod capture_tests {
+    use super::*;
+    use crate::converter::{AdcDigitizer, Comparator};
+    use crate::noise::WhiteNoise;
+
+    fn signals(n: usize) -> (Vec<f64>, Vec<f64>) {
+        let mut w = WhiteNoise::new(1.0, 21).unwrap();
+        let signal = w.generate(n);
+        let reference: Vec<f64> = (0..n)
+            .map(|i| 0.3 * (std::f64::consts::TAU * 0.15 * i as f64).sin())
+            .collect();
+        (signal, reference)
+    }
+
+    fn run_capture(d: &dyn Digitizer, s: &[f64], r: &[f64], chunk: usize) -> (Vec<f64>, bool) {
+        let mut cap = d.begin_capture();
+        let incremental = cap.is_incremental();
+        let mut out = Vec::new();
+        for (sc, rc) in s.chunks(chunk).zip(r.chunks(chunk)) {
+            cap.push(sc, rc, &mut out).unwrap();
+        }
+        cap.finish(&mut out).unwrap();
+        (out, incremental)
+    }
+
+    #[test]
+    fn one_bit_capture_matches_batch_bitwise() {
+        let (s, r) = signals(10_000);
+        // Hysteresis makes the comparator stateful across chunk
+        // boundaries — the capture must carry that state.
+        let d =
+            OneBitDigitizer::with_comparator(Comparator::ideal().with_hysteresis(0.05).unwrap());
+        let batch = d.acquire(&s, &r).unwrap().to_samples();
+        for chunk in [1usize, 63, 1_000, 10_000] {
+            let (streamed, incremental) = run_capture(&d, &s, &r, chunk);
+            assert!(incremental);
+            assert_eq!(streamed, batch, "chunk {chunk}");
+        }
+    }
+
+    #[test]
+    fn decimated_capture_keeps_the_latch_phase_across_chunks() {
+        let (s, r) = signals(1_000);
+        let d = OneBitDigitizer::ideal().with_decimation(3).unwrap();
+        let batch = d.acquire(&s, &r).unwrap().to_samples();
+        let (streamed, _) = run_capture(&d, &s, &r, 7);
+        assert_eq!(streamed, batch);
+    }
+
+    #[test]
+    fn adc_capture_matches_batch_bitwise() {
+        let (s, _) = signals(5_000);
+        let zeros = vec![0.0; s.len()];
+        let d = AdcDigitizer::new(12).unwrap();
+        let batch = d.acquire(&s, &zeros).unwrap().to_samples();
+        for chunk in [97usize, 2_048, 5_000] {
+            let (streamed, incremental) = run_capture(&d, &s, &zeros, chunk);
+            assert!(incremental);
+            assert_eq!(streamed, batch, "chunk {chunk}");
+        }
+    }
+
+    #[test]
+    fn capture_error_semantics() {
+        let d = OneBitDigitizer::ideal();
+        let mut cap = d.begin_capture();
+        let mut out = Vec::new();
+        assert!(cap.push(&[1.0], &[0.0, 0.0], &mut out).is_err(), "mismatch");
+        let mut cap = d.begin_capture();
+        assert!(cap.finish(&mut out).is_err(), "empty capture");
+        // The buffered fallback validates per push too.
+        struct Opaque;
+        impl Digitizer for Opaque {
+            fn label(&self) -> String {
+                "opaque".into()
+            }
+            fn bits_per_sample(&self) -> u32 {
+                8
+            }
+            fn uses_reference(&self) -> bool {
+                false
+            }
+            fn frontend_gain(&self, _h: f64, _p: f64) -> Result<f64, AnalogError> {
+                Ok(1.0)
+            }
+            fn acquire(&self, signal: &[f64], _r: &[f64]) -> Result<Record, AnalogError> {
+                if signal.is_empty() {
+                    return Err(AnalogError::EmptyInput { context: "acquire" });
+                }
+                Ok(Record::Samples(signal.to_vec()))
+            }
+        }
+        let mut cap = Opaque.begin_capture();
+        assert!(!cap.is_incremental());
+        assert!(cap.push(&[1.0], &[], &mut out).is_err());
+        cap.push(&[1.0, 2.0], &[0.0, 0.0], &mut out).unwrap();
+        assert!(out.is_empty());
+        cap.finish(&mut out).unwrap();
+        assert_eq!(out, vec![1.0, 2.0]);
     }
 }

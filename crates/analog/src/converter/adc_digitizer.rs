@@ -4,9 +4,53 @@
 //! comparator cell.
 
 use crate::component::{AnalogMux, Block};
-use crate::converter::acquisition::{Digitizer, Record};
+use crate::converter::acquisition::{CaptureStream, Digitizer, Record};
 use crate::converter::Adc;
 use crate::AnalogError;
+
+/// Incremental capture for the ADC front-end: one mux instance
+/// survives across chunks and the quantizer is memoryless, so chunked
+/// acquisition reproduces the batch record sample for sample.
+struct AdcCapture {
+    mux: AnalogMux,
+    adc: Adc,
+    fed: bool,
+}
+
+impl CaptureStream for AdcCapture {
+    fn push(
+        &mut self,
+        signal: &[f64],
+        reference: &[f64],
+        out: &mut Vec<f64>,
+    ) -> Result<(), AnalogError> {
+        if signal.len() != reference.len() {
+            return Err(AnalogError::LengthMismatch {
+                expected: signal.len(),
+                actual: reference.len(),
+                context: "capture push",
+            });
+        }
+        if signal.is_empty() {
+            return Ok(());
+        }
+        let muxed = self.mux.process(signal);
+        out.extend_from_slice(&self.adc.quantize(&muxed)?);
+        self.fed = true;
+        Ok(())
+    }
+
+    fn finish(&mut self, _out: &mut Vec<f64>) -> Result<(), AnalogError> {
+        if !self.fed {
+            return Err(AnalogError::EmptyInput { context: "acquire" });
+        }
+        Ok(())
+    }
+
+    fn is_incremental(&self) -> bool {
+        true
+    }
+}
 
 /// The ADC + analog-mux front-end (paper Fig. 4).
 ///
@@ -118,6 +162,14 @@ impl Digitizer for AdcDigitizer {
         // Through the (imperfect) mux, then the ADC.
         let muxed = self.mux.clone().process(signal);
         Ok(Record::Samples(self.adc.quantize(&muxed)?))
+    }
+
+    fn begin_capture<'a>(&'a self) -> Box<dyn CaptureStream + 'a> {
+        Box::new(AdcCapture {
+            mux: self.mux.clone(),
+            adc: self.adc,
+            fed: false,
+        })
     }
 }
 

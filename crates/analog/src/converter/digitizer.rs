@@ -70,6 +70,12 @@ impl OneBitDigitizer {
         &self.comparator
     }
 
+    /// The decimation factor (1 = the flip-flop latches every
+    /// comparison).
+    pub fn decimation(&self) -> usize {
+        self.decimation
+    }
+
     /// Digitizes `signal` against `reference` (paper Fig. 6: signal on
     /// (+), reference on (−)).
     ///

@@ -10,7 +10,7 @@ mod adc_digitizer;
 mod comparator;
 mod digitizer;
 
-pub use acquisition::{Digitizer, Record};
+pub use acquisition::{CaptureStream, Digitizer, Record};
 pub use adc::Adc;
 pub use adc_digitizer::AdcDigitizer;
 pub use comparator::Comparator;

@@ -13,8 +13,222 @@
 
 use crate::circuits::{InvertingAmplifier, NonInvertingAmplifier};
 use crate::component::{Amplifier, Attenuator, Block};
+use crate::noise::ShapedNoise;
 use crate::units::{Kelvin, Ohms};
 use crate::AnalogError;
+
+/// A stateful, chunk-by-chunk view of one [`Dut::process`] pass: the
+/// backbone of bounded-memory (streaming) acquisition.
+///
+/// Obtained from [`Dut::process_stream`]. Input chunks go in through
+/// [`DutStream::push`]; output samples come back out in the same
+/// order — and, for every stream this crate ships, with the **same
+/// bits** — as one whole-record [`Dut::process`] call, because the
+/// underlying noise synthesis and filter state evolve sequentially
+/// either way.
+///
+/// Implementations fall into two classes, distinguished by
+/// [`DutStream::is_incremental`]:
+///
+/// * *incremental* — output is emitted as input arrives, memory stays
+///   `O(chunk)` (the amplifier circuits, behavioural blocks, and
+///   chains of those);
+/// * *buffered* — the default fallback every [`Dut`] gets for free: it
+///   collects the input and runs the batch `process` at
+///   [`DutStream::finish`]. Correct for any circuit, but memory grows
+///   with the record — streaming sessions report which class they got.
+pub trait DutStream {
+    /// Feeds one input chunk; appends whatever output samples become
+    /// available to `out` (possibly none, for a buffered stream).
+    ///
+    /// # Errors
+    ///
+    /// Propagates synthesis/model errors.
+    fn push(&mut self, input: &[f64], out: &mut Vec<f64>) -> Result<(), AnalogError>;
+
+    /// Signals end-of-record; appends any remaining output to `out`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::EmptyInput`] when no sample was ever
+    /// pushed (mirroring [`Dut::process`] on an empty record) and
+    /// propagates model errors.
+    fn finish(&mut self, out: &mut Vec<f64>) -> Result<(), AnalogError>;
+
+    /// `true` when output is emitted per push with `O(chunk)` memory;
+    /// `false` for the buffered whole-record fallback.
+    fn is_incremental(&self) -> bool {
+        false
+    }
+}
+
+/// The buffered fallback stream: collects every chunk and runs the
+/// batch [`Dut::process`] once at finish. Correct (bit-identical to the
+/// batch path by construction) for any circuit, at whole-record memory
+/// cost.
+struct BufferedDutStream<'a, D: Dut + ?Sized> {
+    dut: &'a D,
+    rs: Ohms,
+    sample_rate: f64,
+    seed: u64,
+    input: Vec<f64>,
+}
+
+impl<D: Dut + ?Sized> DutStream for BufferedDutStream<'_, D> {
+    fn push(&mut self, input: &[f64], _out: &mut Vec<f64>) -> Result<(), AnalogError> {
+        self.input.extend_from_slice(input);
+        Ok(())
+    }
+
+    fn finish(&mut self, out: &mut Vec<f64>) -> Result<(), AnalogError> {
+        // An empty record errors inside `process`, like the batch path.
+        let processed = self
+            .dut
+            .process(&self.input, self.rs, self.sample_rate, self.seed)?;
+        self.input = Vec::new();
+        out.extend_from_slice(&processed);
+        Ok(())
+    }
+}
+
+/// Incremental stream for the noisy amplifier circuits: per-chunk
+/// synthesis from the same sequential [`ShapedNoise`] generator one
+/// batch `amplify` call would use, so concatenated chunks carry
+/// identical bits.
+struct NoisyGainStream {
+    noise: ShapedNoise,
+    gain: f64,
+    fed: bool,
+}
+
+impl DutStream for NoisyGainStream {
+    fn push(&mut self, input: &[f64], out: &mut Vec<f64>) -> Result<(), AnalogError> {
+        if input.is_empty() {
+            return Ok(());
+        }
+        let own = self.noise.generate(input.len())?;
+        let g = self.gain;
+        out.extend(input.iter().zip(&own).map(|(&x, &n)| g * (x + n)));
+        self.fed = true;
+        Ok(())
+    }
+
+    fn finish(&mut self, _out: &mut Vec<f64>) -> Result<(), AnalogError> {
+        if !self.fed {
+            return Err(AnalogError::EmptyInput {
+                context: "process_stream",
+            });
+        }
+        Ok(())
+    }
+
+    fn is_incremental(&self) -> bool {
+        true
+    }
+}
+
+/// Incremental stream for behavioural [`Block`] stages (ideal
+/// amplifier, attenuator): the block's filter state lives across
+/// chunks, so chunked processing equals the whole-record pass.
+struct BlockDutStream<B: Block> {
+    stage: B,
+    fed: bool,
+}
+
+impl<B: Block> DutStream for BlockDutStream<B> {
+    fn push(&mut self, input: &[f64], out: &mut Vec<f64>) -> Result<(), AnalogError> {
+        if input.is_empty() {
+            return Ok(());
+        }
+        out.extend(self.stage.process(input));
+        self.fed = true;
+        Ok(())
+    }
+
+    fn finish(&mut self, _out: &mut Vec<f64>) -> Result<(), AnalogError> {
+        if !self.fed {
+            return Err(AnalogError::EmptyInput {
+                context: "process_stream",
+            });
+        }
+        Ok(())
+    }
+
+    fn is_incremental(&self) -> bool {
+        true
+    }
+}
+
+/// Streaming composition of a [`DutChain`]: each stage's stream feeds
+/// the next, and at finish every stage's tail is flushed through the
+/// remainder of the chain in order.
+struct ChainStream<'a> {
+    stages: Vec<Box<dyn DutStream + 'a>>,
+    /// Ping-pong buffers reused across pushes, so the steady-state
+    /// chain cascade allocates nothing once their capacity has grown
+    /// to one chunk.
+    ping: Vec<f64>,
+    pong: Vec<f64>,
+    fed: bool,
+}
+
+impl ChainStream<'_> {
+    /// Pushes `chunk` through stages `from..`, appending the final
+    /// stage's output to `out`.
+    fn cascade(
+        &mut self,
+        from: usize,
+        chunk: &[f64],
+        out: &mut Vec<f64>,
+    ) -> Result<(), AnalogError> {
+        self.ping.clear();
+        self.ping.extend_from_slice(chunk);
+        for stage in &mut self.stages[from..] {
+            self.pong.clear();
+            stage.push(&self.ping, &mut self.pong)?;
+            std::mem::swap(&mut self.ping, &mut self.pong);
+        }
+        out.extend_from_slice(&self.ping);
+        Ok(())
+    }
+}
+
+impl DutStream for ChainStream<'_> {
+    fn push(&mut self, input: &[f64], out: &mut Vec<f64>) -> Result<(), AnalogError> {
+        if input.is_empty() {
+            return Ok(());
+        }
+        self.fed = true;
+        if self.stages.is_empty() {
+            out.extend_from_slice(input);
+            return Ok(());
+        }
+        self.cascade(0, input, out)
+    }
+
+    fn finish(&mut self, out: &mut Vec<f64>) -> Result<(), AnalogError> {
+        if !self.fed {
+            return Err(AnalogError::EmptyInput {
+                context: "process_stream",
+            });
+        }
+        // Once per record, not per chunk — fresh buffers are fine.
+        for i in 0..self.stages.len() {
+            let mut flushed = Vec::new();
+            self.stages[i].finish(&mut flushed)?;
+            if i + 1 < self.stages.len() {
+                self.cascade(i + 1, &flushed, out)?;
+            } else {
+                out.extend_from_slice(&flushed);
+            }
+        }
+        Ok(())
+    }
+
+    fn is_incremental(&self) -> bool {
+        self.stages.iter().all(|s| s.is_incremental())
+    }
+}
 
 /// A device under test: a circuit with a known gain, an analytic
 /// input-referred noise model, and a signal-level simulation of its
@@ -111,6 +325,36 @@ pub trait Dut: Send + Sync {
     fn expected_noise_figure_db(&self, rs: Ohms, f_lo: f64, f_hi: f64) -> Result<f64, AnalogError> {
         Ok(10.0 * self.expected_noise_factor(rs, f_lo, f_hi)?.log10())
     }
+
+    /// Begins one streaming [`Dut::process`] pass: the returned
+    /// [`DutStream`] accepts input chunks and yields output chunks
+    /// whose concatenation matches a single whole-record `process`
+    /// call with the same arguments.
+    ///
+    /// The default implementation buffers the input and runs the batch
+    /// `process` at finish — correct for **every** implementor, at
+    /// whole-record memory cost. Circuits whose synthesis is
+    /// sequential (all of this crate's) override it with a bounded
+    /// `O(chunk)`-memory stream; see [`DutStream::is_incremental`].
+    ///
+    /// # Errors
+    ///
+    /// Returns construction-time model errors (e.g. an invalid source
+    /// resistance).
+    fn process_stream<'a>(
+        &'a self,
+        rs: Ohms,
+        sample_rate: f64,
+        seed: u64,
+    ) -> Result<Box<dyn DutStream + 'a>, AnalogError> {
+        Ok(Box::new(BufferedDutStream {
+            dut: self,
+            rs,
+            sample_rate,
+            seed,
+            input: Vec::new(),
+        }))
+    }
 }
 
 impl<D: Dut + ?Sized> Dut for Box<D> {
@@ -148,6 +392,15 @@ impl<D: Dut + ?Sized> Dut for Box<D> {
     fn expected_noise_factor(&self, rs: Ohms, f_lo: f64, f_hi: f64) -> Result<f64, AnalogError> {
         (**self).expected_noise_factor(rs, f_lo, f_hi)
     }
+
+    fn process_stream<'a>(
+        &'a self,
+        rs: Ohms,
+        sample_rate: f64,
+        seed: u64,
+    ) -> Result<Box<dyn DutStream + 'a>, AnalogError> {
+        (**self).process_stream(rs, sample_rate, seed)
+    }
 }
 
 impl Dut for NonInvertingAmplifier {
@@ -184,6 +437,19 @@ impl Dut for NonInvertingAmplifier {
         seed: u64,
     ) -> Result<Vec<f64>, AnalogError> {
         self.amplify(input, rs, sample_rate, seed)
+    }
+
+    fn process_stream<'a>(
+        &'a self,
+        rs: Ohms,
+        sample_rate: f64,
+        seed: u64,
+    ) -> Result<Box<dyn DutStream + 'a>, AnalogError> {
+        Ok(Box::new(NoisyGainStream {
+            noise: self.noise_stream(rs, sample_rate, seed)?,
+            gain: NonInvertingAmplifier::gain(self),
+            fed: false,
+        }))
     }
 }
 
@@ -239,6 +505,20 @@ impl Dut for InvertingAmplifier {
     ) -> Result<Vec<f64>, AnalogError> {
         self.amplify(input, sample_rate, seed)
     }
+
+    fn process_stream<'a>(
+        &'a self,
+        _rs: Ohms,
+        sample_rate: f64,
+        seed: u64,
+    ) -> Result<Box<dyn DutStream + 'a>, AnalogError> {
+        Ok(Box::new(NoisyGainStream {
+            noise: self.noise_stream(sample_rate, seed)?,
+            // The batch `amplify` applies the signed gain.
+            gain: InvertingAmplifier::gain(self),
+            fed: false,
+        }))
+    }
 }
 
 impl Dut for Amplifier {
@@ -283,6 +563,17 @@ impl Dut for Amplifier {
         let mut stage = self.clone();
         Block::reset(&mut stage);
         Ok(Block::process(&mut stage, input))
+    }
+
+    fn process_stream<'a>(
+        &'a self,
+        _rs: Ohms,
+        _sample_rate: f64,
+        _seed: u64,
+    ) -> Result<Box<dyn DutStream + 'a>, AnalogError> {
+        let mut stage = self.clone();
+        Block::reset(&mut stage);
+        Ok(Box::new(BlockDutStream { stage, fed: false }))
     }
 }
 
@@ -329,6 +620,18 @@ impl Dut for Attenuator {
         }
         let mut stage = self.clone();
         Ok(Block::process(&mut stage, input))
+    }
+
+    fn process_stream<'a>(
+        &'a self,
+        _rs: Ohms,
+        _sample_rate: f64,
+        _seed: u64,
+    ) -> Result<Box<dyn DutStream + 'a>, AnalogError> {
+        Ok(Box::new(BlockDutStream {
+            stage: self.clone(),
+            fed: false,
+        }))
     }
 }
 
@@ -470,6 +773,32 @@ impl Dut for DutChain {
         }
         Ok(buf)
     }
+
+    fn process_stream<'a>(
+        &'a self,
+        rs: Ohms,
+        sample_rate: f64,
+        seed: u64,
+    ) -> Result<Box<dyn DutStream + 'a>, AnalogError> {
+        // Per-stage seeds derived exactly as in the batch `process`
+        // loop above, so the chained streams draw identical noise.
+        let stages = self
+            .stages
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let stage_seed =
+                    seed.wrapping_add((i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                s.process_stream(rs, sample_rate, stage_seed)
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Box::new(ChainStream {
+            stages,
+            ping: Vec::new(),
+            pong: Vec::new(),
+            fed: false,
+        }))
+    }
 }
 
 #[cfg(test)]
@@ -603,5 +932,146 @@ mod tests {
         assert!(boxed.expected_noise_figure_db(rs, 100.0, 1_000.0).is_ok());
         let out = boxed.process(&[0.0; 16], rs, 2e4, 1).unwrap();
         assert_eq!(out.len(), 16);
+    }
+}
+
+#[cfg(test)]
+mod stream_tests {
+    use super::*;
+    use crate::opamp::OpampModel;
+
+    fn paper_dut() -> NonInvertingAmplifier {
+        NonInvertingAmplifier::new(OpampModel::op27(), Ohms::new(10_000.0), Ohms::new(100.0))
+            .unwrap()
+    }
+
+    fn noise_input(n: usize, seed: u64) -> Vec<f64> {
+        let mut w = crate::noise::WhiteNoise::new(1e-6, seed).unwrap();
+        w.generate(n)
+    }
+
+    fn run_stream(dut: &dyn Dut, input: &[f64], chunk: usize) -> (Vec<f64>, bool) {
+        let rs = Ohms::new(2_000.0);
+        let mut stream = dut.process_stream(rs, 2e4, 99).unwrap();
+        let incremental = stream.is_incremental();
+        let mut out = Vec::new();
+        for c in input.chunks(chunk) {
+            stream.push(c, &mut out).unwrap();
+        }
+        stream.finish(&mut out).unwrap();
+        (out, incremental)
+    }
+
+    #[test]
+    fn streamed_noninverting_matches_batch_bitwise() {
+        let dut = paper_dut();
+        let input = noise_input(10_000, 5);
+        let batch = Dut::process(&dut, &input, Ohms::new(2_000.0), 2e4, 99).unwrap();
+        for chunk in [1usize, 777, 4_096, 10_000] {
+            let (streamed, incremental) = run_stream(&dut, &input, chunk);
+            assert!(incremental, "amplifier stream must be incremental");
+            assert_eq!(streamed, batch, "chunk {chunk}");
+        }
+    }
+
+    #[test]
+    fn streamed_inverting_and_blocks_match_batch_bitwise() {
+        let input = noise_input(5_000, 7);
+        let rs = Ohms::new(2_000.0);
+        let duts: Vec<Box<dyn Dut>> = vec![
+            Box::new(
+                InvertingAmplifier::new(
+                    OpampModel::tl081(),
+                    Ohms::new(10_000.0),
+                    Ohms::new(1_000.0),
+                )
+                .unwrap(),
+            ),
+            Box::new(Amplifier::ideal(5.0).unwrap()),
+            Box::new(Attenuator::from_db(6.0).unwrap()),
+        ];
+        for dut in &duts {
+            let batch = dut.process(&input, rs, 2e4, 99).unwrap();
+            let (streamed, incremental) = run_stream(dut.as_ref(), &input, 311);
+            assert!(incremental, "{}", dut.label());
+            assert_eq!(streamed, batch, "{}", dut.label());
+        }
+    }
+
+    #[test]
+    fn streamed_chain_matches_batch_bitwise() {
+        let chain = DutChain::new()
+            .stage(Attenuator::from_db(6.0).unwrap())
+            .stage(paper_dut())
+            .stage(Amplifier::ideal(2.0).unwrap());
+        let input = noise_input(4_096, 11);
+        let batch = chain.process(&input, Ohms::new(2_000.0), 2e4, 99).unwrap();
+        for chunk in [63usize, 1_000, 4_096] {
+            let (streamed, incremental) = run_stream(&chain, &input, chunk);
+            assert!(incremental, "all-incremental chain");
+            assert_eq!(streamed, batch, "chunk {chunk}");
+        }
+    }
+
+    #[test]
+    fn buffered_fallback_is_correct_for_unknown_duts() {
+        /// A DUT with only the batch entry point implemented.
+        struct Opaque;
+        impl Dut for Opaque {
+            fn label(&self) -> String {
+                "opaque".into()
+            }
+            fn gain(&self) -> f64 {
+                1.0
+            }
+            fn added_noise_density_sq(&self, _rs: Ohms, _f: f64) -> f64 {
+                0.0
+            }
+            fn mean_added_noise_density_sq(
+                &self,
+                _rs: Ohms,
+                _f_lo: f64,
+                _f_hi: f64,
+            ) -> Result<f64, AnalogError> {
+                Ok(0.0)
+            }
+            fn process(
+                &self,
+                input: &[f64],
+                _rs: Ohms,
+                _sample_rate: f64,
+                _seed: u64,
+            ) -> Result<Vec<f64>, AnalogError> {
+                if input.is_empty() {
+                    return Err(AnalogError::EmptyInput { context: "process" });
+                }
+                // Deliberately non-causal: output depends on the whole
+                // record, so only the buffered fallback can be right.
+                let mean = input.iter().sum::<f64>() / input.len() as f64;
+                Ok(input.iter().map(|v| v - mean).collect())
+            }
+        }
+        let input = noise_input(1_000, 3);
+        let batch = Opaque.process(&input, Ohms::new(1.0), 1e4, 0).unwrap();
+        let mut stream = Opaque.process_stream(Ohms::new(1.0), 1e4, 0).unwrap();
+        assert!(!stream.is_incremental(), "fallback is buffered");
+        let mut out = Vec::new();
+        for c in input.chunks(97) {
+            stream.push(c, &mut out).unwrap();
+        }
+        assert!(out.is_empty(), "buffered stream emits only at finish");
+        stream.finish(&mut out).unwrap();
+        assert_eq!(out, batch);
+    }
+
+    #[test]
+    fn empty_streams_error_like_batch() {
+        let dut = paper_dut();
+        let mut stream = dut.process_stream(Ohms::new(2_000.0), 2e4, 0).unwrap();
+        let mut out = Vec::new();
+        stream.push(&[], &mut out).unwrap();
+        assert!(stream.finish(&mut out).is_err(), "no samples ever pushed");
+        // Invalid source resistance is caught at stream construction.
+        assert!(dut.process_stream(Ohms::new(0.0), 2e4, 0).is_err());
     }
 }

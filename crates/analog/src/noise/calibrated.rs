@@ -179,6 +179,47 @@ impl CalibratedNoiseSource {
         n: usize,
         sample_rate: f64,
     ) -> Result<Vec<f64>, AnalogError> {
+        Ok(self.stream(state, sample_rate)?.generate(n))
+    }
+
+    /// Begins one acquisition as a *stream*: returns the stateful
+    /// white-noise generator a single [`CalibratedNoiseSource::generate`]
+    /// call would have used internally, so filling a record chunk by
+    /// chunk from the returned generator is **bitwise identical** to one
+    /// whole-record `generate` call — with the record never materialized
+    /// here.
+    ///
+    /// Like `generate`, each call advances the internal seed, so
+    /// consecutive streams draw independent noise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::InvalidParameter`] for a non-positive
+    /// sample rate.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use nfbist_analog::noise::{CalibratedNoiseSource, NoiseSourceState};
+    /// use nfbist_analog::units::{Kelvin, Ohms};
+    ///
+    /// # fn main() -> Result<(), nfbist_analog::AnalogError> {
+    /// let fresh = || CalibratedNoiseSource::new(
+    ///     Kelvin::new(2_900.0), Kelvin::new(290.0), Ohms::new(2_000.0), 7,
+    /// ).unwrap();
+    /// let whole = fresh().generate(NoiseSourceState::Hot, 100, 2e4)?;
+    /// let mut stream = fresh().stream(NoiseSourceState::Hot, 2e4)?;
+    /// let mut chunked = stream.generate(33);
+    /// chunked.extend(stream.generate(67));
+    /// assert_eq!(whole, chunked);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn stream(
+        &mut self,
+        state: NoiseSourceState,
+        sample_rate: f64,
+    ) -> Result<WhiteNoise, AnalogError> {
         if !(sample_rate > 0.0) {
             return Err(AnalogError::InvalidParameter {
                 name: "sample_rate",
@@ -186,9 +227,9 @@ impl CalibratedNoiseSource {
             });
         }
         let sigma = (self.voltage_density(state) * sample_rate / 2.0).sqrt();
-        let mut white = WhiteNoise::new(sigma, self.seed)?;
+        let white = WhiteNoise::new(sigma, self.seed)?;
         self.seed = self.seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
-        Ok(white.generate(n))
+        Ok(white)
     }
 }
 

@@ -39,13 +39,50 @@ pub trait Waveform {
     /// Returns [`AnalogError::InvalidParameter`] for a non-positive
     /// sample rate.
     fn generate(&self, n: usize, sample_rate: f64) -> Result<Vec<f64>, AnalogError> {
+        // Delegates to the chunked form so the two defaults cannot
+        // drift apart — an impl overriding either one keeps
+        // `generate(n) == concat(generate_chunk(..))` by construction.
+        self.generate_chunk(0, n, sample_rate)
+    }
+
+    /// Samples `n` points starting at absolute sample index `offset` —
+    /// the chunked form of [`Waveform::generate`]. Because every sample
+    /// is computed from its absolute index, concatenated chunks are
+    /// **bitwise identical** to one [`Waveform::generate`] call over the
+    /// whole record; streaming acquisition relies on that.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::InvalidParameter`] for a non-positive
+    /// sample rate.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use nfbist_analog::source::{SineSource, Waveform};
+    ///
+    /// # fn main() -> Result<(), nfbist_analog::AnalogError> {
+    /// let s = SineSource::new(50.0, 1.0)?;
+    /// let whole = s.generate(100, 1_000.0)?;
+    /// let mut chunked = s.generate_chunk(0, 33, 1_000.0)?;
+    /// chunked.extend(s.generate_chunk(33, 67, 1_000.0)?);
+    /// assert_eq!(whole, chunked);
+    /// # Ok(())
+    /// # }
+    /// ```
+    fn generate_chunk(
+        &self,
+        offset: usize,
+        n: usize,
+        sample_rate: f64,
+    ) -> Result<Vec<f64>, AnalogError> {
         if !(sample_rate > 0.0) {
             return Err(AnalogError::InvalidParameter {
                 name: "sample_rate",
                 reason: "must be positive",
             });
         }
-        Ok((0..n)
+        Ok((offset..offset + n)
             .map(|i| self.value_at(i as f64 / sample_rate))
             .collect())
     }

@@ -1,11 +1,17 @@
 //! Quick perf smoke for the spectral and bit-domain hot paths,
-//! recording the PR 3 speedups as a JSON trajectory point.
+//! recording the perf trajectory (the PR 3 speedups plus the PR 5
+//! streaming case) as a JSON point.
 //!
-//! Three comparisons, each new-engine vs the pre-real-FFT baseline it
-//! replaced (the baseline is reconstructed here from the still-public
-//! complex/float primitives, so the comparison stays honest after the
-//! estimators themselves moved on):
+//! Four comparisons, each new-engine vs the baseline it replaced or
+//! competes with (baselines are reconstructed from the still-public
+//! primitives, so the comparison stays honest after the estimators
+//! themselves moved on):
 //!
+//! 0. **Streaming Welch at 2²⁴ samples** — chunked `StreamingWelch`
+//!    vs the batch estimator over a materialized record. Runs first
+//!    and proves bounded memory: the chunked pass's peak-RSS growth
+//!    must stay a small fraction of the 128 MiB record (asserted), and
+//!    the two estimates must agree bit for bit.
 //! 1. **Welch at the paper's record class** — a 2²⁰-sample record
 //!    through 4096-point Hann segments: workspace `estimate_into`
 //!    (packed real FFT, one-sided spectrum) vs the PR 2 path (full
@@ -16,7 +22,10 @@
 //!    vs expand-to-±1 + float lag products.
 //!
 //! Usage: `bench_smoke [--json [PATH]] [--reps N]`. With `--json` the
-//! results are written to `PATH` (default `BENCH_pr3.json`).
+//! results are written to `PATH` (default `BENCH_pr3.json`); the JSON
+//! `cases` keys (`name`, `baseline`, `baseline_ns`, `new_ns`,
+//! `speedup`) are exactly the README perf-table columns, so the table
+//! regenerates field for field.
 
 use std::time::Instant;
 
@@ -111,9 +120,104 @@ impl WelchComplexBaseline {
     }
 }
 
+/// Peak resident set size (`VmHWM`) in bytes, when the platform
+/// exposes it (Linux `/proc`); `None` elsewhere — the RSS proof is
+/// then skipped, the timing comparison still runs.
+fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
 fn run(reps: usize) -> Vec<Case> {
     let mut cases = Vec::new();
     let fs = 20_000.0;
+
+    // --- Case 0 (first, so earlier cases cannot mask its memory
+    // footprint): streaming vs batch Welch over a 2^24-sample record.
+    //
+    // The streaming pass generates the record chunk by chunk straight
+    // into `StreamingWelch` — the 128 MiB record never exists — and
+    // its peak-RSS delta must stay bounded by the chunk/segment
+    // working set, not the record length. The batch pass then
+    // materializes the same record; both estimates must agree to the
+    // last bit.
+    {
+        use nfbist_dsp::psd::StreamingWelch;
+
+        let samples = 1usize << 24;
+        let nfft = 4_096;
+        let chunk = 1usize << 16;
+        let record_bytes = samples * std::mem::size_of::<f64>();
+        let cfg = WelchConfig::new(nfft).expect("config").window(Window::Hann);
+
+        // RSS proof: one full bounded-memory pass, record never built.
+        let rss_before = peak_rss_bytes();
+        let mut sw = StreamingWelch::new(cfg.clone(), fs).expect("streaming");
+        let mut gen = WhiteNoise::new(1.0, 42).expect("noise");
+        let mut fed = 0usize;
+        while fed < samples {
+            let m = chunk.min(samples - fed);
+            sw.push(&gen.generate(m)).expect("push");
+            fed += m;
+        }
+        let mut out_streamed = vec![0.0f64; nfft / 2 + 1];
+        sw.finalize_into(&mut out_streamed).expect("finalize");
+        let streaming_peak_delta = match (rss_before, peak_rss_bytes()) {
+            (Some(b), Some(a)) => Some(a.saturating_sub(b)),
+            _ => None,
+        };
+        if let Some(delta) = streaming_peak_delta {
+            assert!(
+                delta < (record_bytes / 8) as u64,
+                "streaming pass peak memory grew by {delta} B — not bounded \
+                 (record is {record_bytes} B)"
+            );
+        }
+
+        // Same seed, materialized: the batch estimate must carry the
+        // same bits (this is the acceptance check of the PR).
+        let x = WhiteNoise::new(1.0, 42).expect("noise").generate(samples);
+        let rss_after_record = peak_rss_bytes();
+        let mut ws = DspWorkspace::new();
+        let mut out_batch = vec![0.0f64; nfft / 2 + 1];
+        cfg.estimate_into(&x, fs, &mut ws, &mut out_batch)
+            .expect("batch estimate");
+        for (s, b) in out_streamed.iter().zip(&out_batch) {
+            assert_eq!(s.to_bits(), b.to_bits(), "streaming != batch");
+        }
+
+        // Throughput: the pure estimator loop over an existing record
+        // (chunked pushes vs one batch call).
+        let new_ns = time_ns(reps, || {
+            sw.reset();
+            for c in x.chunks(chunk) {
+                sw.push(c).expect("push");
+            }
+            sw.finalize_into(&mut out_streamed).expect("finalize")
+        });
+        let baseline_ns = time_ns(reps, || {
+            cfg.estimate_into(&x, fs, &mut ws, &mut out_batch)
+                .expect("estimate")
+        });
+        match (streaming_peak_delta, rss_before, rss_after_record) {
+            (Some(delta), Some(_), Some(after)) => println!(
+                "streaming RSS proof: peak grew {:.1} MiB during the chunked pass \
+                 (record itself is {:.0} MiB; peak after materializing it: {:.0} MiB)",
+                delta as f64 / (1 << 20) as f64,
+                record_bytes as f64 / (1 << 20) as f64,
+                after as f64 / (1 << 20) as f64,
+            ),
+            _ => println!("streaming RSS proof: /proc not available, skipped"),
+        }
+        cases.push(Case {
+            name: "welch_2pow24_streaming",
+            baseline: "batch Welch over a materialized 2^24-sample record",
+            baseline_ns,
+            new_ns,
+        });
+    }
 
     // --- Case 1: Welch over a 2^20-sample record, 4096-point segments.
     {
@@ -204,7 +308,7 @@ fn run(reps: usize) -> Vec<Case> {
 }
 
 fn write_json(path: &str, cases: &[Case]) -> std::io::Result<()> {
-    let mut body = String::from("{\n  \"pr\": 3,\n  \"bench\": \"bench_smoke\",\n  \"cases\": [\n");
+    let mut body = String::from("{\n  \"pr\": 5,\n  \"bench\": \"bench_smoke\",\n  \"cases\": [\n");
     for (i, c) in cases.iter().enumerate() {
         body.push_str(&format!(
             "    {{\"name\": \"{}\", \"baseline\": \"{}\", \"baseline_ns\": {:.0}, \"new_ns\": {:.0}, \"speedup\": {:.3}}}{}\n",

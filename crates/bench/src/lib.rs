@@ -178,6 +178,14 @@ pub fn quick_flag() -> bool {
     std::env::args().any(|a| a == "--quick")
 }
 
+/// `true` when `--streaming` was passed: experiment binaries that
+/// support it then run their sessions in chunked (bounded-memory)
+/// streaming mode — output is bit-identical to the batch mode by
+/// construction, only the memory profile changes.
+pub fn streaming_flag() -> bool {
+    std::env::args().any(|a| a == "--streaming")
+}
+
 /// Parses `--workers N` (the batch-engine worker count); defaults to
 /// the machine's available parallelism when absent or malformed.
 pub fn workers_flag() -> usize {

@@ -407,6 +407,39 @@ mod tests {
     }
 
     #[test]
+    fn budgeted_retest_growth_is_bitwise_identical_to_unbudgeted() {
+        // The documented payoff of streaming mode: retest escalation
+        // grows the record 4× per round, but a memory-budgeted builder
+        // keeps every round's allocation bounded — and the screening
+        // outcome (NF per round, verdicts, sample counts) is
+        // bit-identical to the unbudgeted flow.
+        let mut setup = BistSetup::quick(31);
+        setup.samples = 1 << 13;
+        setup.nfft = 1_024;
+        let probe = MeasurementSession::new(setup.clone())
+            .unwrap()
+            .run()
+            .unwrap();
+        // Limit on top of the measured NF → round 1 lands in the guard
+        // band and escalates.
+        let screen = Screen::new(probe.nf.figure.db(), 3.0).unwrap();
+        let policy = RetestPolicy::new(3, 4).unwrap();
+        let plain = screen_with_retest(&screen, &setup, &policy, MeasurementSession::new).unwrap();
+        let budget = 16 * 1024; // well under round 1's 64 KiB record
+        let budgeted = screen_with_retest(&screen, &setup, &policy, |round_setup| {
+            let session = MeasurementSession::new(round_setup)?.memory_budget(budget);
+            assert!(
+                session.streaming_active(),
+                "every round must exceed the budget and stream"
+            );
+            Ok(session)
+        })
+        .unwrap();
+        assert_eq!(plain, budgeted, "ScreeningOutcome must match bitwise");
+        assert!(plain.retests() >= 1, "the probe-limit setup must escalate");
+    }
+
+    #[test]
     fn unmeasurable_dut_is_a_gross_reject_not_an_error() {
         use nfbist_analog::fault::{AnalogFault, FaultyDut};
 

@@ -198,6 +198,8 @@ pub struct MeasurementSession {
     digitizer: Box<dyn Digitizer>,
     estimator: Box<dyn PowerRatioEstimator>,
     repeats: usize,
+    memory_budget: Option<usize>,
+    streaming_chunk: Option<usize>,
 }
 
 impl std::fmt::Debug for MeasurementSession {
@@ -208,9 +210,16 @@ impl std::fmt::Debug for MeasurementSession {
             .field("digitizer", &self.digitizer.label())
             .field("estimator", &self.estimator.label())
             .field("repeats", &self.repeats)
+            .field("memory_budget", &self.memory_budget)
             .finish()
     }
 }
+
+/// How many chunk-sized float buffers the streaming acquisition
+/// pipeline keeps alive at once (source chunk, DUT output, reference
+/// chunk, captured samples, plus per-stage slack) — the divisor that
+/// turns a memory budget into a chunk length.
+const STREAMING_PIPELINE_BUFFERS: usize = 8;
 
 impl MeasurementSession {
     /// Starts a session from a validated setup, with the paper's
@@ -240,6 +249,8 @@ impl MeasurementSession {
             digitizer: Box::new(OneBitDigitizer::ideal()),
             estimator: Box::new(estimator),
             repeats: 1,
+            memory_budget: None,
+            streaming_chunk: None,
         })
     }
 
@@ -272,6 +283,80 @@ impl MeasurementSession {
     pub fn repeats(mut self, n: usize) -> Self {
         self.repeats = n.max(1);
         self
+    }
+
+    /// Caps the session's transient acquisition memory at `bytes`.
+    ///
+    /// When the batch record footprint (`samples × 8` bytes of expanded
+    /// estimator samples per acquisition) would exceed the budget *and*
+    /// the selected estimator supports streaming
+    /// ([`PowerRatioEstimator::streaming`]), the session switches to
+    /// **streaming mode**: the whole source → DUT → conditioning →
+    /// digitizer → estimator pipeline runs chunk by chunk and no buffer
+    /// ever holds the full record. The result is bit-identical to the
+    /// batch run — only the memory profile changes. Record length then
+    /// costs time, not RAM, which is exactly the paper's
+    /// accuracy-for-test-time trade: retest escalation can keep growing
+    /// the acquisition without growing allocation.
+    ///
+    /// The budget sizes the streaming chunk
+    /// ([`MeasurementSession::streaming_chunk_samples`]), whose floor
+    /// of 1024 samples puts a practical lower bound of roughly 64 KiB
+    /// (8 pipeline buffers × 1024 samples × 8 bytes) on the transient
+    /// working set — budgets below that still stream, with the
+    /// smallest chunk, but cannot shrink the buffers further. Add the
+    /// Welch plan (`O(nfft)`) on top. The budget is a sizing target
+    /// for the chunked pipeline, not a hard allocator cap.
+    ///
+    /// With no budget (the default) the session always materializes
+    /// records, as before.
+    pub fn memory_budget(mut self, bytes: usize) -> Self {
+        self.memory_budget = Some(bytes);
+        self
+    }
+
+    /// Overrides the derived streaming chunk length (in samples) —
+    /// chiefly a test hook for proving chunk-size invariance; values
+    /// are clamped to `[1, samples]`.
+    pub fn streaming_chunk_len(mut self, samples: usize) -> Self {
+        self.streaming_chunk = Some(samples);
+        self
+    }
+
+    /// The configured memory budget, if any.
+    pub fn memory_budget_bytes(&self) -> Option<usize> {
+        self.memory_budget
+    }
+
+    /// `true` when [`MeasurementSession::run`] will take the streaming
+    /// path: a memory budget is set, the batch record footprint exceeds
+    /// it, and the estimator supports chunked accumulation.
+    pub fn streaming_active(&self) -> bool {
+        match self.memory_budget {
+            Some(budget) => {
+                self.setup.samples.saturating_mul(8) > budget
+                    && self.estimator.streaming().is_some()
+            }
+            None => false,
+        }
+    }
+
+    /// The chunk length (in samples) the streaming pipeline uses:
+    /// the explicit override when set, otherwise the budget divided
+    /// across the pipeline's live buffers. Floored at 1024 samples —
+    /// below that, shrinking chunks further buys no meaningful memory
+    /// (the Welch plan dominates) while the per-chunk overhead grows,
+    /// so sub-64 KiB budgets run at the floor rather than honoring
+    /// the cap exactly (see [`MeasurementSession::memory_budget`]).
+    pub fn streaming_chunk_samples(&self) -> usize {
+        let cap = self.setup.samples.max(1);
+        if let Some(n) = self.streaming_chunk {
+            return n.clamp(1, cap);
+        }
+        let budget = self.memory_budget.unwrap_or(usize::MAX);
+        (budget / (8 * STREAMING_PIPELINE_BUFFERS))
+            .max(1_024)
+            .min(cap)
     }
 
     /// The setup.
@@ -483,6 +568,176 @@ impl MeasurementSession {
         Ok(RepeatMeasurement { nf, ratio })
     }
 
+    /// Runs one complete repeat in **streaming mode**: hot and cold
+    /// acquisitions flow chunk by chunk through source → DUT →
+    /// conditioning → digitizer into the estimator's
+    /// [`RatioAccumulator`](nfbist_core::streaming::RatioAccumulator),
+    /// with no buffer ever holding a full record. Because every stage
+    /// evolves the same sequential state the batch path does, the
+    /// returned [`RepeatMeasurement`] is **bit-identical** to
+    /// [`MeasurementSession::measure_repeat_conditioned`] for the same
+    /// `(seed, repeat)` — for any chunk length.
+    ///
+    /// `gain` is the run-invariant front-end gain
+    /// ([`MeasurementSession::frontend_gain`]); unlike the batch path
+    /// no materialized reference waveform is passed — reference chunks
+    /// are synthesized on the fly from the absolute sample index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SocError::InvalidParameter`] when the selected
+    /// estimator has no streaming support, and propagates acquisition
+    /// and estimation errors.
+    pub fn measure_repeat_streaming(
+        &self,
+        repeat: usize,
+        gain: f64,
+    ) -> Result<RepeatMeasurement, SocError> {
+        let streaming = self
+            .estimator
+            .streaming()
+            .ok_or(SocError::InvalidParameter {
+                name: "estimator",
+                reason: "the selected estimator does not support streaming",
+            })?;
+        let mut acc = streaming.begin()?;
+        let chunk = self.streaming_chunk_samples();
+        self.acquire_streaming(NoiseSourceState::Hot, repeat, gain, chunk, &mut |s| {
+            acc.push_hot(s)
+        })?;
+        self.acquire_streaming(NoiseSourceState::Cold, repeat, gain, chunk, &mut |s| {
+            acc.push_cold(s)
+        })?;
+        let ratio = acc.finish()?;
+        let nf =
+            NfMeasurement::from_y(ratio.ratio, self.setup.hot_kelvin, self.setup.cold_kelvin).ok();
+        Ok(RepeatMeasurement { nf, ratio })
+    }
+
+    /// One chunked acquisition: streams the source noise through the
+    /// DUT and digitizer, handing each captured chunk of expanded
+    /// estimator samples to `sink`.
+    ///
+    /// The seed handling mirrors [`MeasurementSession::acquire_conditioned`]
+    /// step for step (including the cold-state source advance), so the
+    /// concatenated samples match the batch record bitwise.
+    fn acquire_streaming(
+        &self,
+        state: NoiseSourceState,
+        repeat: usize,
+        gain: f64,
+        chunk_len: usize,
+        sink: &mut dyn FnMut(&[f64]) -> Result<(), nfbist_core::CoreError>,
+    ) -> Result<(), SocError> {
+        let n = self.setup.samples;
+        let fs = self.setup.sample_rate;
+        let seed = self.repeat_seed(repeat);
+        let mut src = self.source(repeat)?;
+        let state_salt = match state {
+            NoiseSourceState::Hot => 1u64,
+            NoiseSourceState::Cold => 2u64,
+        };
+        if state == NoiseSourceState::Cold {
+            // Advance the source stream so hot/cold records are
+            // independent (identical to the batch path).
+            let _ = src.generate(state, 1, fs)?;
+        }
+        let mut source_stream = src.stream(state, fs)?;
+        let mut dut_stream = self.dut.process_stream(
+            self.setup.source_resistance,
+            fs,
+            seed.wrapping_add(state_salt).wrapping_mul(0x9E37),
+        )?;
+        let mut capture = self.digitizer.begin_capture();
+        let reference = if self.digitizer.uses_reference() {
+            Some(SineSource::new(
+                self.setup.reference_frequency,
+                self.reference_amplitude()?,
+            )?)
+        } else {
+            None
+        };
+
+        let mut dut_out: Vec<f64> = Vec::new();
+        let mut captured: Vec<f64> = Vec::new();
+        let mut zeros: Vec<f64> = Vec::new();
+        let mut produced = 0usize; // source samples fed to the DUT
+        let mut emitted = 0usize; // DUT samples seen by the digitizer
+        while produced < n {
+            let m = chunk_len.min(n - produced);
+            let source_chunk = source_stream.generate(m);
+            produced += m;
+            dut_out.clear();
+            dut_stream.push(&source_chunk, &mut dut_out)?;
+            emitted = self.condition_capture_chunk(
+                gain,
+                &reference,
+                emitted,
+                &mut dut_out,
+                &mut captured,
+                &mut zeros,
+                capture.as_mut(),
+                sink,
+            )?;
+        }
+        dut_out.clear();
+        dut_stream.finish(&mut dut_out)?;
+        emitted = self.condition_capture_chunk(
+            gain,
+            &reference,
+            emitted,
+            &mut dut_out,
+            &mut captured,
+            &mut zeros,
+            capture.as_mut(),
+            sink,
+        )?;
+        debug_assert_eq!(emitted, n, "every source sample must reach the digitizer");
+        captured.clear();
+        capture.finish(&mut captured)?;
+        sink(&captured)?;
+        Ok(())
+    }
+
+    /// Conditions one DUT output chunk, digitizes it against the
+    /// matching reference chunk (synthesized from the absolute sample
+    /// offset `emitted`) and forwards the captured samples to `sink`.
+    /// Returns the updated absolute offset.
+    #[allow(clippy::too_many_arguments)]
+    fn condition_capture_chunk(
+        &self,
+        gain: f64,
+        reference: &Option<SineSource>,
+        emitted: usize,
+        dut_out: &mut [f64],
+        captured: &mut Vec<f64>,
+        zeros: &mut Vec<f64>,
+        capture: &mut dyn nfbist_analog::converter::CaptureStream,
+        sink: &mut dyn FnMut(&[f64]) -> Result<(), nfbist_core::CoreError>,
+    ) -> Result<usize, SocError> {
+        if dut_out.is_empty() {
+            return Ok(emitted);
+        }
+        for v in dut_out.iter_mut() {
+            *v *= gain;
+        }
+        captured.clear();
+        match reference {
+            Some(sine) => {
+                let ref_chunk =
+                    sine.generate_chunk(emitted, dut_out.len(), self.setup.sample_rate)?;
+                capture.push(dut_out, &ref_chunk, captured)?;
+            }
+            None => {
+                zeros.clear();
+                zeros.resize(dut_out.len(), 0.0);
+                capture.push(dut_out, zeros, captured)?;
+            }
+        }
+        sink(captured)?;
+        Ok(emitted + dut_out.len())
+    }
+
     /// Assembles the final [`Measurement`] from per-repeat outcomes (in
     /// acquisition order): Y-factor on the mean ratio, NF spread,
     /// analytic expectation, and resource accounting scaled by the
@@ -561,7 +816,38 @@ impl MeasurementSession {
     /// # Errors
     ///
     /// Propagates acquisition and estimation errors.
+    ///
+    /// # Streaming
+    ///
+    /// When [`MeasurementSession::streaming_active`] is `true` (see
+    /// [`MeasurementSession::memory_budget`]), the loop body is
+    /// [`MeasurementSession::measure_repeat_streaming`] instead and no
+    /// full record — not even the reference waveform — is ever
+    /// materialized. The returned [`Measurement`] is bit-identical
+    /// either way.
     pub fn run(&self) -> Result<Measurement, SocError> {
+        if self.streaming_active() {
+            let gain = self.frontend_gain()?;
+            let mut repeats = Vec::with_capacity(self.repeats);
+            for r in 0..self.repeats {
+                repeats.push(self.measure_repeat_streaming(r, gain)?);
+            }
+            self.combine(repeats)
+        } else {
+            self.run_batch_reference()
+        }
+    }
+
+    /// Runs the measurement on the **batch** path unconditionally, even
+    /// when a memory budget would select streaming — the reference
+    /// against which streaming output is asserted bit-identical (the
+    /// `exp_montecarlo --streaming` smoke and the integration tests
+    /// use it).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`MeasurementSession::run`].
+    pub fn run_batch_reference(&self) -> Result<Measurement, SocError> {
         let (gain, reference) = self.conditioning()?;
         let mut repeats = Vec::with_capacity(self.repeats);
         for r in 0..self.repeats {
@@ -763,6 +1049,138 @@ mod tests {
         }
         // Combining nothing is rejected.
         assert!(session.combine(Vec::new()).is_err());
+    }
+
+    #[test]
+    fn streaming_run_is_bitwise_identical_to_batch_across_chunk_sizes() {
+        let mut setup = BistSetup::quick(17);
+        setup.samples = 1 << 14;
+        setup.nfft = 1_024;
+        let build = || {
+            MeasurementSession::new(setup.clone())
+                .unwrap()
+                .dut(dut(OpampModel::tl081()))
+                .repeats(2)
+        };
+        let batch = build().run().unwrap();
+        assert!(!build().streaming_active());
+        // Chunk sizes below, at, and off the Welch segment length.
+        for chunk in [1_000usize, 1_024, 1_025, 7_777] {
+            let session = build().memory_budget(1).streaming_chunk_len(chunk);
+            assert!(session.streaming_active(), "budget 1 byte forces streaming");
+            let streamed = session.run().unwrap();
+            assert_eq!(
+                streamed.nf.y.to_bits(),
+                batch.nf.y.to_bits(),
+                "chunk {chunk}"
+            );
+            assert_eq!(
+                streamed.nf.figure.db().to_bits(),
+                batch.nf.figure.db().to_bits()
+            );
+            assert_eq!(
+                streamed.nf_spread_db.to_bits(),
+                batch.nf_spread_db.to_bits()
+            );
+            assert_eq!(streamed.usage, batch.usage);
+            for (s, b) in streamed.repeats.iter().zip(&batch.repeats) {
+                assert_eq!(s.ratio.ratio.to_bits(), b.ratio.ratio.to_bits());
+                assert_eq!(s.ratio.hot_power.to_bits(), b.ratio.hot_power.to_bits());
+                assert_eq!(s.ratio.cold_power.to_bits(), b.ratio.cold_power.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_adc_psd_session_matches_batch() {
+        let mut setup = BistSetup::quick(19);
+        setup.samples = 1 << 14;
+        setup.nfft = 1_024;
+        let build = || {
+            MeasurementSession::new(setup.clone())
+                .unwrap()
+                .dut(dut(OpampModel::tl081()))
+                .digitizer(AdcDigitizer::new(12).unwrap())
+                .estimator(
+                    PsdRatioEstimator::new(setup.sample_rate, setup.nfft, setup.noise_band)
+                        .unwrap(),
+                )
+        };
+        let batch = build().run().unwrap();
+        let streamed = build().memory_budget(64 * 1024).run().unwrap();
+        assert_eq!(streamed.nf.y.to_bits(), batch.nf.y.to_bits());
+        assert_eq!(
+            streamed.reference_amplitude, 0.0,
+            "no reference on the ADC path"
+        );
+    }
+
+    #[test]
+    fn budget_large_enough_keeps_the_batch_path() {
+        let mut setup = BistSetup::quick(23);
+        setup.samples = 1 << 13;
+        setup.nfft = 1_024;
+        let session = MeasurementSession::new(setup)
+            .unwrap()
+            .memory_budget(usize::MAX);
+        assert!(!session.streaming_active(), "record fits the budget");
+        assert_eq!(session.memory_budget_bytes(), Some(usize::MAX));
+    }
+
+    #[test]
+    fn streaming_chunk_derivation_respects_budget_and_floor() {
+        let mut setup = BistSetup::quick(29);
+        setup.samples = 1 << 17;
+        let session = MeasurementSession::new(setup.clone()).unwrap();
+        // 1 MiB budget across 8 pipeline buffers of 8-byte samples.
+        let s = MeasurementSession::new(setup.clone())
+            .unwrap()
+            .memory_budget(1 << 20);
+        assert_eq!(s.streaming_chunk_samples(), (1 << 20) / 64);
+        // Tiny budgets floor at 1024 samples, never pathological chunks.
+        let tiny = MeasurementSession::new(setup.clone())
+            .unwrap()
+            .memory_budget(16);
+        assert_eq!(tiny.streaming_chunk_samples(), 1_024);
+        // Explicit override clamps to the record.
+        let forced = session.streaming_chunk_len(usize::MAX);
+        assert_eq!(forced.streaming_chunk_samples(), 1 << 17);
+    }
+
+    #[test]
+    fn streaming_with_unsupported_estimator_falls_back_to_batch() {
+        use nfbist_core::power_ratio::RatioEstimate;
+
+        /// A batch-only estimator (no streaming override).
+        struct BatchOnly;
+        impl PowerRatioEstimator for BatchOnly {
+            fn label(&self) -> String {
+                "batch-only".into()
+            }
+            fn estimate(
+                &self,
+                hot: &[f64],
+                cold: &[f64],
+            ) -> Result<RatioEstimate, nfbist_core::CoreError> {
+                nfbist_core::power_ratio::MeanSquareEstimator.estimate(hot, cold)
+            }
+        }
+        let mut setup = BistSetup::quick(31);
+        setup.samples = 1 << 13;
+        setup.nfft = 1_024;
+        // A scale-preserving front-end: the mean-square ratio is
+        // meaningless on ±1 comparator samples.
+        let session = MeasurementSession::new(setup)
+            .unwrap()
+            .digitizer(AdcDigitizer::new(12).unwrap())
+            .estimator(BatchOnly)
+            .memory_budget(1);
+        // The budget is exceeded but the estimator cannot stream: the
+        // session stays on the (correct) batch path rather than failing.
+        assert!(!session.streaming_active());
+        session.run().unwrap();
+        // Asking for the streaming repeat explicitly *is* an error.
+        assert!(session.measure_repeat_streaming(0, 1.0).is_err());
     }
 
     #[test]

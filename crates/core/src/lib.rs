@@ -57,7 +57,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod arcsine;
 pub mod direct;
@@ -67,6 +67,7 @@ pub mod frequency_response;
 pub mod normalize;
 pub mod power_ratio;
 pub mod snr;
+pub mod streaming;
 pub mod uncertainty;
 pub mod yfactor;
 

@@ -133,6 +133,17 @@ pub trait PowerRatioEstimator: Send + Sync {
     /// Returns [`CoreError::Degenerate`] when a usable ratio cannot be
     /// formed and propagates analysis errors.
     fn estimate(&self, hot: &[f64], cold: &[f64]) -> Result<RatioEstimate, CoreError>;
+
+    /// The streaming view of this estimator, when it has one.
+    ///
+    /// All three Table 2 estimators support chunked, bounded-memory
+    /// estimation through
+    /// [`crate::streaming::StreamingPowerRatioEstimator`]; a custom
+    /// estimator that does not override this simply reports `None` and
+    /// measurement sessions keep using the batch path for it.
+    fn streaming(&self) -> Option<&dyn crate::streaming::StreamingPowerRatioEstimator> {
+        None
+    }
 }
 
 impl<E: PowerRatioEstimator + ?Sized> PowerRatioEstimator for Box<E> {
@@ -142,6 +153,10 @@ impl<E: PowerRatioEstimator + ?Sized> PowerRatioEstimator for Box<E> {
 
     fn estimate(&self, hot: &[f64], cold: &[f64]) -> Result<RatioEstimate, CoreError> {
         (**self).estimate(hot, cold)
+    }
+
+    fn streaming(&self) -> Option<&dyn crate::streaming::StreamingPowerRatioEstimator> {
+        (**self).streaming()
     }
 }
 
@@ -153,6 +168,10 @@ pub struct MeanSquareEstimator;
 impl PowerRatioEstimator for MeanSquareEstimator {
     fn label(&self) -> String {
         "time-domain mean-square ratio".to_string()
+    }
+
+    fn streaming(&self) -> Option<&dyn crate::streaming::StreamingPowerRatioEstimator> {
+        Some(self)
     }
 
     fn estimate(&self, hot: &[f64], cold: &[f64]) -> Result<RatioEstimate, CoreError> {
@@ -243,6 +262,16 @@ impl PsdRatioEstimator {
     pub fn band(&self) -> (f64, f64) {
         self.band
     }
+
+    /// The Welch segment / FFT length.
+    pub fn nfft(&self) -> usize {
+        self.nfft
+    }
+
+    /// The sample rate in hertz.
+    pub fn sample_rate(&self) -> f64 {
+        self.sample_rate
+    }
 }
 
 impl PowerRatioEstimator for PsdRatioEstimator {
@@ -251,6 +280,10 @@ impl PowerRatioEstimator for PsdRatioEstimator {
             "PSD band-power ratio ({:.0}–{:.0} Hz, nfft {})",
             self.band.0, self.band.1, self.nfft
         )
+    }
+
+    fn streaming(&self) -> Option<&dyn crate::streaming::StreamingPowerRatioEstimator> {
+        Some(self)
     }
 
     fn estimate(&self, hot: &[f64], cold: &[f64]) -> Result<RatioEstimate, CoreError> {
@@ -280,6 +313,10 @@ impl PowerRatioEstimator for PsdRatioEstimator {
 impl PowerRatioEstimator for OneBitPowerRatio {
     fn label(&self) -> String {
         "1-bit reference-normalized PSD ratio".to_string()
+    }
+
+    fn streaming(&self) -> Option<&dyn crate::streaming::StreamingPowerRatioEstimator> {
+        Some(self)
     }
 
     fn estimate(&self, hot: &[f64], cold: &[f64]) -> Result<RatioEstimate, CoreError> {
@@ -497,6 +534,21 @@ impl OneBitPowerRatio {
         self.noise_band
     }
 
+    /// The Welch segment / FFT length.
+    pub fn nfft(&self) -> usize {
+        self.nfft
+    }
+
+    /// The sample rate in hertz.
+    pub fn sample_rate(&self) -> f64 {
+        self.sample_rate
+    }
+
+    /// The configured analysis window.
+    pub fn window(&self) -> Window {
+        self.window
+    }
+
     /// Runs the estimator on two packed bitstreams.
     ///
     /// The ±1 expansion of each record goes through the workspace's
@@ -563,10 +615,11 @@ impl OneBitPowerRatio {
         self.finish(psd_hot, psd_cold)
     }
 
-    /// The estimator tail shared by the bit and sample entry points:
+    /// The estimator tail shared by the bit and sample entry points
+    /// (and by the streaming accumulator in [`crate::streaming`]):
     /// reference normalization, exclusion bookkeeping and the band
     /// ratio.
-    fn finish(
+    pub(crate) fn finish(
         &self,
         psd_hot: Spectrum,
         psd_cold: Spectrum,

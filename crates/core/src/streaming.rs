@@ -1,0 +1,385 @@
+//! Streaming (bounded-memory) power-ratio estimation.
+//!
+//! The batch [`PowerRatioEstimator`] consumes whole hot/cold records,
+//! which ties the achievable acquisition length to RAM. The paper's
+//! accuracy, however, improves with *longer* records (the Welch
+//! variance shrinks as `1/segments`), so record length should be a pure
+//! test-*time* cost — as it is in the real hardware, where the
+//! correlator integrates on the fly.
+//!
+//! This module restores that property to the estimation layer:
+//! [`StreamingPowerRatioEstimator::begin`] opens a [`RatioAccumulator`]
+//! that consumes the two records chunk by chunk in `O(segment)` memory
+//! and finishes into the **identical** [`RatioEstimate`] — bitwise, per
+//! `f64::to_bits` — that the batch estimator computes over the
+//! concatenated records. All three Table 2 estimators implement it:
+//!
+//! * [`MeanSquareEstimator`] — running power sums (the float
+//!   accumulation order is exactly the batch fold);
+//! * [`PsdRatioEstimator`] — one [`StreamingWelch`] per record;
+//! * [`OneBitPowerRatio`] — two [`StreamingWelch`] accumulators feeding
+//!   the same reference-normalization tail as the batch path.
+//!
+//! Measurement sessions discover streaming support through
+//! [`PowerRatioEstimator::streaming`], so `Box<dyn PowerRatioEstimator>`
+//! stays the only estimator currency.
+//!
+//! ```
+//! use nfbist_core::power_ratio::{PowerRatioEstimator, PsdRatioEstimator};
+//!
+//! # fn main() -> Result<(), nfbist_core::CoreError> {
+//! let est = PsdRatioEstimator::new(20_000.0, 1_024, (100.0, 9_000.0))?;
+//! let hot: Vec<f64> = (0..8_192).map(|i| ((i * 37) % 101) as f64 - 50.0).collect();
+//! let cold: Vec<f64> = hot.iter().map(|v| v * 0.5).collect();
+//!
+//! let batch = est.estimate(&hot, &cold)?;
+//! let mut acc = est.streaming().expect("PSD estimator streams").begin()?;
+//! for (h, c) in hot.chunks(700).zip(cold.chunks(700)) {
+//!     acc.push_hot(h)?;
+//!     acc.push_cold(c)?;
+//! }
+//! let streamed = acc.finish()?;
+//! assert_eq!(streamed.ratio.to_bits(), batch.ratio.to_bits());
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::power_ratio::{
+    MeanSquareEstimator, OneBitPowerRatio, PowerRatioEstimator, PsdRatioEstimator, RatioDetail,
+    RatioEstimate,
+};
+use crate::CoreError;
+use nfbist_dsp::psd::{StreamingWelch, WelchConfig};
+
+/// An in-flight streaming ratio estimate: hot/cold chunks in, one
+/// [`RatioEstimate`] out.
+///
+/// Hot and cold pushes may be interleaved arbitrarily — the two
+/// records accumulate independently; only the per-record chunk order
+/// matters (and it is the record order).
+pub trait RatioAccumulator: Send {
+    /// Consumes one chunk of the hot record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates analysis errors.
+    fn push_hot(&mut self, chunk: &[f64]) -> Result<(), CoreError>;
+
+    /// Consumes one chunk of the cold record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates analysis errors.
+    fn push_cold(&mut self, chunk: &[f64]) -> Result<(), CoreError>;
+
+    /// Closes both records and forms the ratio — bitwise identical to
+    /// the batch estimator over the concatenated records.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the batch estimator's failure modes: empty/short records
+    /// and [`CoreError::Degenerate`] ratios.
+    fn finish(self: Box<Self>) -> Result<RatioEstimate, CoreError>;
+}
+
+/// A [`PowerRatioEstimator`] that can also run chunked with bounded
+/// memory. Obtained through [`PowerRatioEstimator::streaming`].
+pub trait StreamingPowerRatioEstimator: PowerRatioEstimator {
+    /// Opens a fresh accumulator for one hot/cold record pair.
+    ///
+    /// # Errors
+    ///
+    /// Returns configuration errors (invalid FFT size or sample rate).
+    fn begin(&self) -> Result<Box<dyn RatioAccumulator>, CoreError>;
+}
+
+/// Running power sums for the time-domain mean-square ratio.
+///
+/// The sums accumulate sample by sample in record order — the same
+/// fold, in the same order, as `stats::mean_square` over the whole
+/// record, so the result carries identical bits.
+struct MeanSquareAccumulator {
+    hot_sum: f64,
+    hot_n: usize,
+    cold_sum: f64,
+    cold_n: usize,
+}
+
+impl RatioAccumulator for MeanSquareAccumulator {
+    fn push_hot(&mut self, chunk: &[f64]) -> Result<(), CoreError> {
+        for &v in chunk {
+            self.hot_sum += v * v;
+        }
+        self.hot_n += chunk.len();
+        Ok(())
+    }
+
+    fn push_cold(&mut self, chunk: &[f64]) -> Result<(), CoreError> {
+        for &v in chunk {
+            self.cold_sum += v * v;
+        }
+        self.cold_n += chunk.len();
+        Ok(())
+    }
+
+    fn finish(self: Box<Self>) -> Result<RatioEstimate, CoreError> {
+        if self.hot_n == 0 || self.cold_n == 0 {
+            return Err(CoreError::Dsp(nfbist_dsp::DspError::EmptyInput {
+                context: "mean_square",
+            }));
+        }
+        let hot_power = self.hot_sum / self.hot_n as f64;
+        let cold_power = self.cold_sum / self.cold_n as f64;
+        if !(cold_power > 0.0) {
+            return Err(CoreError::Degenerate {
+                reason: "cold record carries no power",
+            });
+        }
+        Ok(RatioEstimate {
+            ratio: hot_power / cold_power,
+            hot_power,
+            cold_power,
+            detail: RatioDetail::MeanSquare,
+        })
+    }
+}
+
+impl StreamingPowerRatioEstimator for MeanSquareEstimator {
+    fn begin(&self) -> Result<Box<dyn RatioAccumulator>, CoreError> {
+        Ok(Box::new(MeanSquareAccumulator {
+            hot_sum: 0.0,
+            hot_n: 0,
+            cold_sum: 0.0,
+            cold_n: 0,
+        }))
+    }
+}
+
+/// One [`StreamingWelch`] per record for the PSD band-power ratio.
+struct PsdRatioAccumulator {
+    hot: StreamingWelch,
+    cold: StreamingWelch,
+    nfft: usize,
+    band: (f64, f64),
+}
+
+impl RatioAccumulator for PsdRatioAccumulator {
+    fn push_hot(&mut self, chunk: &[f64]) -> Result<(), CoreError> {
+        Ok(self.hot.push(chunk)?)
+    }
+
+    fn push_cold(&mut self, chunk: &[f64]) -> Result<(), CoreError> {
+        Ok(self.cold.push(chunk)?)
+    }
+
+    fn finish(self: Box<Self>) -> Result<RatioEstimate, CoreError> {
+        let psd_hot = self.hot.finalize()?;
+        let psd_cold = self.cold.finalize()?;
+        let hot_power = psd_hot.band_power(self.band.0, self.band.1)?;
+        let cold_power = psd_cold.band_power(self.band.0, self.band.1)?;
+        if !(cold_power > 0.0) {
+            return Err(CoreError::Degenerate {
+                reason: "cold band carries no power",
+            });
+        }
+        Ok(RatioEstimate {
+            ratio: hot_power / cold_power,
+            hot_power,
+            cold_power,
+            detail: RatioDetail::Psd {
+                nfft: self.nfft,
+                band: self.band,
+            },
+        })
+    }
+}
+
+impl StreamingPowerRatioEstimator for PsdRatioEstimator {
+    fn begin(&self) -> Result<Box<dyn RatioAccumulator>, CoreError> {
+        let cfg = WelchConfig::new(self.nfft())?;
+        Ok(Box::new(PsdRatioAccumulator {
+            hot: StreamingWelch::new(cfg.clone(), self.sample_rate())?,
+            cold: StreamingWelch::new(cfg, self.sample_rate())?,
+            nfft: self.nfft(),
+            band: self.band(),
+        }))
+    }
+}
+
+/// Two [`StreamingWelch`] accumulators feeding the 1-bit estimator's
+/// reference-normalization tail.
+struct OneBitAccumulator {
+    estimator: OneBitPowerRatio,
+    hot: StreamingWelch,
+    cold: StreamingWelch,
+}
+
+impl RatioAccumulator for OneBitAccumulator {
+    fn push_hot(&mut self, chunk: &[f64]) -> Result<(), CoreError> {
+        Ok(self.hot.push(chunk)?)
+    }
+
+    fn push_cold(&mut self, chunk: &[f64]) -> Result<(), CoreError> {
+        Ok(self.cold.push(chunk)?)
+    }
+
+    fn finish(self: Box<Self>) -> Result<RatioEstimate, CoreError> {
+        let psd_hot = self.hot.finalize()?;
+        let psd_cold = self.cold.finalize()?;
+        let est = self.estimator.finish(psd_hot, psd_cold)?;
+        Ok(RatioEstimate {
+            ratio: est.ratio,
+            hot_power: est.hot_noise_power,
+            cold_power: est.cold_noise_power,
+            detail: RatioDetail::OneBit(Box::new(est)),
+        })
+    }
+}
+
+impl StreamingPowerRatioEstimator for OneBitPowerRatio {
+    fn begin(&self) -> Result<Box<dyn RatioAccumulator>, CoreError> {
+        let cfg = WelchConfig::new(self.nfft())?.window(self.window());
+        Ok(Box::new(OneBitAccumulator {
+            estimator: self.clone(),
+            hot: StreamingWelch::new(cfg.clone(), self.sample_rate())?,
+            cold: StreamingWelch::new(cfg, self.sample_rate())?,
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfbist_analog::converter::OneBitDigitizer;
+    use nfbist_analog::noise::WhiteNoise;
+    use nfbist_analog::source::{SquareSource, Waveform};
+
+    const FS: f64 = 20_000.0;
+
+    fn records(n: usize) -> (Vec<f64>, Vec<f64>) {
+        (
+            WhiteNoise::new(2.0, 51).unwrap().generate(n),
+            WhiteNoise::new(1.0, 52).unwrap().generate(n),
+        )
+    }
+
+    fn stream_estimate(
+        est: &dyn PowerRatioEstimator,
+        hot: &[f64],
+        cold: &[f64],
+        chunk: usize,
+    ) -> RatioEstimate {
+        let mut acc = est.streaming().expect("streaming support").begin().unwrap();
+        for c in hot.chunks(chunk) {
+            acc.push_hot(c).unwrap();
+        }
+        for c in cold.chunks(chunk) {
+            acc.push_cold(c).unwrap();
+        }
+        acc.finish().unwrap()
+    }
+
+    #[test]
+    fn mean_square_streaming_is_bitwise_identical() {
+        let (hot, cold) = records(50_000);
+        let est = MeanSquareEstimator;
+        let batch = est.estimate(&hot, &cold).unwrap();
+        for chunk in [1usize, 997, 50_000] {
+            let streamed = stream_estimate(&est, &hot, &cold, chunk);
+            assert_eq!(streamed.ratio.to_bits(), batch.ratio.to_bits());
+            assert_eq!(streamed.hot_power.to_bits(), batch.hot_power.to_bits());
+            assert_eq!(streamed.cold_power.to_bits(), batch.cold_power.to_bits());
+        }
+    }
+
+    #[test]
+    fn psd_streaming_is_bitwise_identical() {
+        let (hot, cold) = records(30_000);
+        let est = PsdRatioEstimator::new(FS, 1_024, (100.0, 9_000.0)).unwrap();
+        let batch = PowerRatioEstimator::estimate(&est, &hot, &cold).unwrap();
+        for chunk in [511usize, 1_024, 1_025, 30_000] {
+            let streamed = stream_estimate(&est, &hot, &cold, chunk);
+            assert_eq!(streamed.ratio.to_bits(), batch.ratio.to_bits());
+            assert_eq!(streamed.hot_power.to_bits(), batch.hot_power.to_bits());
+        }
+    }
+
+    #[test]
+    fn one_bit_streaming_is_bitwise_identical_with_full_detail() {
+        let n = 1 << 16;
+        let hot = WhiteNoise::new(1.0, 61).unwrap().generate(n);
+        let cold = WhiteNoise::new(0.5, 62).unwrap().generate(n);
+        let reference = SquareSource::new(3_000.0, 0.1)
+            .unwrap()
+            .generate(n, FS)
+            .unwrap();
+        let d = OneBitDigitizer::ideal();
+        let bh = d.digitize(&hot, &reference).unwrap().to_bipolar();
+        let bc = d.digitize(&cold, &reference).unwrap().to_bipolar();
+
+        let est = OneBitPowerRatio::new(FS, 2_048, 3_000.0, (100.0, 1_500.0)).unwrap();
+        let batch = PowerRatioEstimator::estimate(&est, &bh, &bc).unwrap();
+        for chunk in [777usize, 2_048, 4_099] {
+            let streamed = stream_estimate(&est, &bh, &bc, chunk);
+            assert_eq!(streamed.ratio.to_bits(), batch.ratio.to_bits());
+            let (sd, bd) = (
+                streamed.one_bit().expect("detail"),
+                batch.one_bit().expect("detail"),
+            );
+            assert_eq!(
+                sd.normalization.scale.to_bits(),
+                bd.normalization.scale.to_bits()
+            );
+            assert_eq!(sd.hot_spectrum.density(), bd.hot_spectrum.density());
+            assert_eq!(
+                sd.cold_spectrum_normalized.density(),
+                bd.cold_spectrum_normalized.density()
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_and_empty_cases_match_batch_semantics() {
+        // Empty records error like the batch estimator.
+        let acc = MeanSquareEstimator.streaming().unwrap().begin().unwrap();
+        assert!(acc.finish().is_err());
+        // A powerless cold record is Degenerate, not a panic.
+        let mut acc = MeanSquareEstimator.streaming().unwrap().begin().unwrap();
+        acc.push_hot(&[1.0, -1.0]).unwrap();
+        acc.push_cold(&[0.0, 0.0]).unwrap();
+        assert!(matches!(acc.finish(), Err(CoreError::Degenerate { .. })));
+        // Too-short PSD records error like "input shorter than one
+        // segment".
+        let est = PsdRatioEstimator::new(FS, 1_024, (100.0, 9_000.0)).unwrap();
+        let mut acc = est.streaming().unwrap().begin().unwrap();
+        acc.push_hot(&[0.5; 100]).unwrap();
+        acc.push_cold(&[0.5; 100]).unwrap();
+        assert!(acc.finish().is_err());
+    }
+
+    #[test]
+    fn discovery_through_trait_objects() {
+        let boxed: Box<dyn PowerRatioEstimator> =
+            Box::new(PsdRatioEstimator::new(FS, 512, (100.0, 9_000.0)).unwrap());
+        assert!(boxed.streaming().is_some());
+        let boxed: Box<dyn PowerRatioEstimator> = Box::new(MeanSquareEstimator);
+        assert!(boxed.streaming().is_some());
+        let boxed: Box<dyn PowerRatioEstimator> =
+            Box::new(OneBitPowerRatio::new(FS, 512, 3_000.0, (100.0, 1_500.0)).unwrap());
+        assert!(boxed.streaming().is_some());
+
+        /// An estimator that never opted in.
+        #[derive(Debug)]
+        struct Opaque;
+        impl PowerRatioEstimator for Opaque {
+            fn label(&self) -> String {
+                "opaque".into()
+            }
+            fn estimate(&self, _h: &[f64], _c: &[f64]) -> Result<RatioEstimate, CoreError> {
+                Err(CoreError::Degenerate { reason: "stub" })
+            }
+        }
+        let boxed: Box<dyn PowerRatioEstimator> = Box::new(Opaque);
+        assert!(boxed.streaming().is_none(), "default is no streaming");
+    }
+}

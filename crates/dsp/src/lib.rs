@@ -54,7 +54,7 @@
 //! | [`db`] | Decibel conversions for power and amplitude quantities |
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod complex;
 pub mod correlation;

@@ -11,10 +11,12 @@
 //! flat density of `σ²/(fs/2)`, and `Spectrum::total_power` recovers σ².
 
 mod periodogram;
+mod streaming;
 mod welch;
 mod workspace;
 
 pub use periodogram::{periodogram, PeriodogramConfig};
+pub use streaming::StreamingWelch;
 pub use welch::WelchConfig;
 pub use workspace::{DspWorkspace, PsdPlan};
 

@@ -1,0 +1,336 @@
+//! Chunked Welch estimation with bounded memory.
+//!
+//! The batch estimator ([`WelchConfig::estimate`]) needs the whole
+//! record in RAM, which caps acquisition length at memory. In the real
+//! hardware the correlator integrates on the fly — record length is a
+//! *time* cost, not a *memory* cost — and [`StreamingWelch`] restores
+//! that property to the simulation: samples arrive in chunks of any
+//! size, segments straddling chunk boundaries are reassembled through a
+//! carry buffer, and the finalized [`Spectrum`] is **bitwise identical**
+//! to the batch estimator run over the concatenated record (both paths
+//! run the same segment kernel, in the same order, with one final
+//! scaling — there is no numerical reordering to drift on).
+//!
+//! Steady-state memory is `O(segment)`: the carry buffer never exceeds
+//! one segment, the accumulator holds the one-sided bin count, and the
+//! FFT plan is the same one the batch path caches. After the first few
+//! pushes have grown the buffers, pushing further chunks performs no
+//! heap allocation at all (enforced by `crates/dsp/tests/alloc_free.rs`).
+
+use crate::psd::welch::accumulate_segment;
+use crate::psd::{DspWorkspace, WelchConfig};
+use crate::spectrum::Spectrum;
+use crate::DspError;
+
+/// A push-based Welch accumulator over a conceptually unbounded record.
+///
+/// Feed chunks with [`StreamingWelch::push`]; read the running estimate
+/// at any point with [`StreamingWelch::finalize`] (non-destructive, so
+/// a monitor can poll a live estimate mid-acquisition).
+///
+/// # Examples
+///
+/// ```
+/// use nfbist_dsp::psd::{StreamingWelch, WelchConfig};
+///
+/// # fn main() -> Result<(), nfbist_dsp::DspError> {
+/// let x: Vec<f64> = (0..8192).map(|n| (n as f64 * 0.37).sin()).collect();
+/// let cfg = WelchConfig::new(1024)?;
+///
+/// // Batch reference.
+/// let batch = cfg.estimate(&x, 10_000.0)?;
+///
+/// // Same record pushed in odd-sized chunks: bitwise identical.
+/// let mut sw = StreamingWelch::new(cfg, 10_000.0)?;
+/// for chunk in x.chunks(777) {
+///     sw.push(chunk)?;
+/// }
+/// assert_eq!(sw.finalize()?, batch);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct StreamingWelch {
+    config: WelchConfig,
+    sample_rate: f64,
+    workspace: DspWorkspace,
+    /// Samples waiting for enough successors to complete a segment
+    /// (global positions `[consumed, consumed + carry.len())`). Never
+    /// grows beyond one segment length.
+    carry: Vec<f64>,
+    /// Un-normalized density accumulator (`segment_len/2 + 1` bins).
+    accum: Vec<f64>,
+    segments: usize,
+    pushed: usize,
+}
+
+impl StreamingWelch {
+    /// Creates an accumulator for `config` at `sample_rate` Hz.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::InvalidParameter`] for a non-positive sample
+    /// rate.
+    pub fn new(config: WelchConfig, sample_rate: f64) -> Result<Self, DspError> {
+        if !(sample_rate > 0.0) {
+            return Err(DspError::InvalidParameter {
+                name: "sample_rate",
+                reason: "must be positive",
+            });
+        }
+        let n = config.segment_len();
+        Ok(StreamingWelch {
+            config,
+            sample_rate,
+            workspace: DspWorkspace::new(),
+            carry: Vec::with_capacity(n),
+            accum: vec![0.0; n / 2 + 1],
+            segments: 0,
+            pushed: 0,
+        })
+    }
+
+    /// The Welch configuration being accumulated.
+    pub fn config(&self) -> &WelchConfig {
+        &self.config
+    }
+
+    /// The sample rate in hertz.
+    pub fn sample_rate(&self) -> f64 {
+        self.sample_rate
+    }
+
+    /// Total samples pushed so far.
+    pub fn samples_pushed(&self) -> usize {
+        self.pushed
+    }
+
+    /// Segments averaged so far.
+    pub fn segments(&self) -> usize {
+        self.segments
+    }
+
+    /// Appends a chunk of samples (any length, including empty).
+    ///
+    /// Every segment completed by the chunk is processed immediately —
+    /// the chunk itself is never retained beyond the at-most-one-segment
+    /// carry.
+    ///
+    /// # Errors
+    ///
+    /// Propagates FFT/plan errors (which cannot occur for a validated
+    /// configuration, but the signature stays honest).
+    pub fn push(&mut self, chunk: &[f64]) -> Result<(), DspError> {
+        let n = self.config.segment_len();
+        let hop = self.config.hop();
+        let detrend = self.config.detrend_enabled();
+        let plan = self.workspace.plan(n, self.config.window_kind())?;
+        let mut rest = chunk;
+        loop {
+            // Top the carry up to exactly one segment.
+            let need = n - self.carry.len();
+            let take = need.min(rest.len());
+            self.carry.extend_from_slice(&rest[..take]);
+            rest = &rest[take..];
+            if self.carry.len() < n {
+                break;
+            }
+            accumulate_segment(
+                plan,
+                detrend,
+                self.sample_rate,
+                &self.carry,
+                &mut self.accum,
+            )?;
+            self.segments += 1;
+            // Advance by one hop; the overlap tail stays for the next
+            // segment. `drain` shifts in place — no allocation.
+            self.carry.drain(..hop.min(self.carry.len()));
+        }
+        self.pushed += chunk.len();
+        Ok(())
+    }
+
+    /// The running estimate: mean of the accumulated segment densities,
+    /// exactly as the batch estimator would scale them.
+    ///
+    /// Non-destructive — more chunks may be pushed afterwards and the
+    /// estimate re-read.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::EmptyInput`] before the first complete
+    /// segment (mirroring the batch estimator's "input shorter than one
+    /// segment").
+    pub fn finalize(&self) -> Result<Spectrum, DspError> {
+        let mut out = vec![0.0f64; self.accum.len()];
+        self.finalize_into(&mut out)?;
+        Spectrum::new(out, self.sample_rate, self.config.segment_len())
+    }
+
+    /// [`StreamingWelch::finalize`] into a caller-owned buffer of
+    /// `segment_len/2 + 1` densities (no allocation).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`StreamingWelch::finalize`], plus
+    /// [`DspError::LengthMismatch`] for a wrongly sized `out`.
+    pub fn finalize_into(&self, out: &mut [f64]) -> Result<(), DspError> {
+        if out.len() != self.accum.len() {
+            return Err(DspError::LengthMismatch {
+                expected: self.accum.len(),
+                actual: out.len(),
+                context: "streaming welch finalize (output)",
+            });
+        }
+        if self.segments == 0 {
+            return Err(DspError::EmptyInput {
+                context: "streaming welch (input shorter than one segment)",
+            });
+        }
+        let inv = 1.0 / self.segments as f64;
+        for (o, a) in out.iter_mut().zip(&self.accum) {
+            *o = a * inv;
+        }
+        Ok(())
+    }
+
+    /// Clears the accumulated state (carry, densities, counters) so the
+    /// instance — and its cached FFT plan — can accumulate a fresh
+    /// record.
+    pub fn reset(&mut self) {
+        self.carry.clear();
+        self.accum.fill(0.0);
+        self.segments = 0;
+        self.pushed = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::window::Window;
+
+    fn noise(n: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed;
+        (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+            })
+            .collect()
+    }
+
+    #[test]
+    fn construction_validation() {
+        let cfg = WelchConfig::new(64).unwrap();
+        assert!(StreamingWelch::new(cfg.clone(), 0.0).is_err());
+        assert!(StreamingWelch::new(cfg, 1_000.0).is_ok());
+    }
+
+    #[test]
+    fn matches_batch_bitwise_for_many_chunkings() {
+        let fs = 20_000.0;
+        let x = noise(10_240, 7);
+        for nfft in [512usize, 500] {
+            for detrend in [false, true] {
+                let cfg = WelchConfig::new(nfft)
+                    .unwrap()
+                    .window(Window::Hann)
+                    .detrend(detrend);
+                let batch = cfg.estimate(&x, fs).unwrap();
+                for chunk in [1usize, 63, nfft / 2, nfft, nfft + 1, 3 * nfft, x.len()] {
+                    let mut sw = StreamingWelch::new(cfg.clone(), fs).unwrap();
+                    for c in x.chunks(chunk) {
+                        sw.push(c).unwrap();
+                    }
+                    assert_eq!(sw.samples_pushed(), x.len());
+                    assert_eq!(sw.segments(), cfg.segment_count(x.len()));
+                    let streamed = sw.finalize().unwrap();
+                    assert_eq!(
+                        streamed, batch,
+                        "nfft {nfft} detrend {detrend} chunk {chunk}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn overlap_and_rectangular_window_also_match() {
+        let fs = 8_000.0;
+        let x = noise(6_000, 3);
+        let cfg = WelchConfig::new(256)
+            .unwrap()
+            .window(Window::Rectangular)
+            .overlap(0.75)
+            .unwrap();
+        let batch = cfg.estimate(&x, fs).unwrap();
+        let mut sw = StreamingWelch::new(cfg, fs).unwrap();
+        for c in x.chunks(97) {
+            sw.push(c).unwrap();
+        }
+        assert_eq!(sw.finalize().unwrap(), batch);
+    }
+
+    #[test]
+    fn finalize_is_nondestructive_and_progressive() {
+        let fs = 1_000.0;
+        let x = noise(4_096, 11);
+        let cfg = WelchConfig::new(256).unwrap();
+        let mut sw = StreamingWelch::new(cfg.clone(), fs).unwrap();
+        sw.push(&x[..2_048]).unwrap();
+        let mid = sw.finalize().unwrap();
+        assert_eq!(mid, cfg.estimate(&x[..2_048], fs).unwrap());
+        sw.push(&x[2_048..]).unwrap();
+        let full = sw.finalize().unwrap();
+        assert_eq!(full, cfg.estimate(&x, fs).unwrap());
+    }
+
+    #[test]
+    fn empty_and_short_inputs_error_like_batch() {
+        let cfg = WelchConfig::new(256).unwrap();
+        let sw = StreamingWelch::new(cfg.clone(), 1_000.0).unwrap();
+        assert!(sw.finalize().is_err(), "no segment yet");
+        let mut sw = StreamingWelch::new(cfg, 1_000.0).unwrap();
+        sw.push(&[]).unwrap();
+        sw.push(&noise(255, 1)).unwrap();
+        assert_eq!(sw.segments(), 0);
+        assert!(sw.finalize().is_err());
+        let mut out = vec![0.0; 5];
+        assert!(sw.finalize_into(&mut out).is_err(), "wrong output length");
+    }
+
+    #[test]
+    fn carry_stays_bounded_by_one_segment() {
+        let cfg = WelchConfig::new(128).unwrap();
+        let mut sw = StreamingWelch::new(cfg, 1_000.0).unwrap();
+        for c in noise(10_000, 5).chunks(1_000) {
+            sw.push(c).unwrap();
+            assert!(sw.carry.len() < 128, "carry {}", sw.carry.len());
+            assert!(sw.carry.capacity() <= 128, "capacity grew");
+        }
+    }
+
+    #[test]
+    fn reset_reuses_the_plan_for_a_fresh_record() {
+        let fs = 2_000.0;
+        let a = noise(2_048, 21);
+        let b = noise(2_048, 22);
+        let cfg = WelchConfig::new(512).unwrap();
+        let mut sw = StreamingWelch::new(cfg.clone(), fs).unwrap();
+        sw.push(&a).unwrap();
+        let _ = sw.finalize().unwrap();
+        sw.reset();
+        assert_eq!(sw.segments(), 0);
+        assert_eq!(sw.samples_pushed(), 0);
+        for c in b.chunks(300) {
+            sw.push(c).unwrap();
+        }
+        assert_eq!(sw.finalize().unwrap(), cfg.estimate(&b, fs).unwrap());
+        assert_eq!(sw.config().segment_len(), 512);
+        assert_eq!(sw.sample_rate(), fs);
+    }
+}

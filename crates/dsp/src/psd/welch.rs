@@ -1,10 +1,47 @@
 //! Welch's method: averaged modified periodograms over overlapped
 //! segments.
 
-use crate::psd::{one_sided_density_accumulate, DspWorkspace};
+use crate::psd::{one_sided_density_accumulate, DspWorkspace, PsdPlan};
 use crate::spectrum::Spectrum;
 use crate::window::Window;
 use crate::DspError;
+
+/// Processes one Welch segment — detrend, window, real FFT, one-sided
+/// density accumulation into `out` — through an already-built plan.
+///
+/// This is the single segment kernel shared by the batch estimator
+/// ([`WelchConfig::estimate_into`]) and the chunked accumulator
+/// ([`crate::psd::StreamingWelch`]); sharing it is what makes the two
+/// paths bitwise-identical by construction.
+pub(crate) fn accumulate_segment(
+    plan: &mut PsdPlan,
+    detrend: bool,
+    sample_rate: f64,
+    segment: &[f64],
+    out: &mut [f64],
+) -> Result<(), DspError> {
+    let n = plan.size();
+    plan.seg.copy_from_slice(segment);
+    if detrend {
+        let mu = crate::stats::mean(&plan.seg)?;
+        for v in &mut plan.seg {
+            *v -= mu;
+        }
+    }
+    for (v, w) in plan.seg.iter_mut().zip(&plan.coeffs) {
+        *v *= w;
+    }
+    plan.fft
+        .forward_real_into(&plan.seg, &mut plan.scratch, &mut plan.spec)?;
+    one_sided_density_accumulate(
+        &plan.spec[..n / 2 + 1],
+        n,
+        sample_rate,
+        plan.window_power,
+        out,
+    );
+    Ok(())
+}
 
 /// Configuration for a Welch PSD estimate.
 ///
@@ -101,9 +138,25 @@ impl WelchConfig {
         1 + (input_len - self.segment_len) / hop
     }
 
-    fn hop(&self) -> usize {
+    /// Hop between consecutive segment starts, in samples (at least 1).
+    pub(crate) fn hop(&self) -> usize {
         let hop = ((1.0 - self.overlap) * self.segment_len as f64).round() as usize;
         hop.max(1)
+    }
+
+    /// The configured analysis window.
+    pub fn window_kind(&self) -> Window {
+        self.window
+    }
+
+    /// The configured fractional overlap.
+    pub fn overlap_fraction(&self) -> f64 {
+        self.overlap
+    }
+
+    /// `true` when per-segment mean removal is enabled.
+    pub fn detrend_enabled(&self) -> bool {
+        self.detrend
     }
 
     /// Runs the estimator over `x` sampled at `sample_rate` Hz.
@@ -183,25 +236,7 @@ impl WelchConfig {
         let mut segments = 0usize;
         let mut start = 0usize;
         while start + n <= x.len() {
-            plan.seg.copy_from_slice(&x[start..start + n]);
-            if self.detrend {
-                let mu = crate::stats::mean(&plan.seg)?;
-                for v in &mut plan.seg {
-                    *v -= mu;
-                }
-            }
-            for (v, w) in plan.seg.iter_mut().zip(&plan.coeffs) {
-                *v *= w;
-            }
-            plan.fft
-                .forward_real_into(&plan.seg, &mut plan.scratch, &mut plan.spec)?;
-            one_sided_density_accumulate(
-                &plan.spec[..n / 2 + 1],
-                n,
-                sample_rate,
-                plan.window_power,
-                out,
-            );
+            accumulate_segment(plan, self.detrend, sample_rate, &x[start..start + n], out)?;
             segments += 1;
             start += hop;
         }

@@ -132,3 +132,41 @@ fn allocating_entry_point_still_allocates_but_matches() {
     assert!(count > 0, "the per-call path does allocate");
     assert_eq!(alloc, reused);
 }
+
+#[test]
+fn steady_state_streaming_welch_push_is_allocation_free() {
+    let _serial = serialize_test();
+    use nfbist_dsp::psd::StreamingWelch;
+    // O(segment) memory means: once the carry, accumulator and plan
+    // exist, pushing more chunks of a long record allocates nothing —
+    // record length is a pure time cost.
+    for nfft in [1_024usize, 1_000] {
+        let chunk = noise(1_777, 13);
+        let cfg = WelchConfig::new(nfft).unwrap().window(Window::Hann);
+        let mut sw = StreamingWelch::new(cfg, 20_000.0).unwrap();
+        // Warm-up: plans the FFT, grows the carry to one segment.
+        sw.push(&chunk).unwrap();
+        sw.push(&chunk).unwrap();
+        let (count, result) = allocations(|| {
+            for _ in 0..32 {
+                sw.push(&chunk)?;
+            }
+            Ok::<(), nfbist_dsp::DspError>(())
+        });
+        result.unwrap();
+        assert_eq!(
+            count, 0,
+            "steady-state streaming push (nfft {nfft}) must not allocate"
+        );
+        assert!(sw.segments() > 0);
+    }
+    // And the no-allocation finalize writes into caller scratch.
+    let chunk = noise(4_096, 14);
+    let mut sw = StreamingWelch::new(WelchConfig::new(512).unwrap(), 8_000.0).unwrap();
+    sw.push(&chunk).unwrap();
+    let mut out = vec![0.0f64; 257];
+    sw.finalize_into(&mut out).unwrap();
+    let (count, result) = allocations(|| sw.finalize_into(&mut out));
+    result.unwrap();
+    assert_eq!(count, 0, "finalize_into must not allocate");
+}

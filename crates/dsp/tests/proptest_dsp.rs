@@ -227,3 +227,48 @@ proptest! {
         prop_assert!((p2 - k * k * p1).abs() <= 1e-9 * (1.0 + p2));
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The chunked Welch accumulator must agree with the batch
+    /// estimator to the last bit, for chunk sizes smaller than, equal
+    /// to, and non-divisors of the segment length (and across pow2 /
+    /// Bluestein segment sizes, windows, and detrending).
+    #[test]
+    fn streaming_welch_is_bitwise_equal_to_batch(
+        signal in finite_signal(96),
+        seg_pow in 5u32..9,
+        bluestein in any::<bool>(),
+        detrend in any::<bool>(),
+        chunk_class in 0usize..3,
+        jitter in 1usize..31,
+    ) {
+        use nfbist_dsp::psd::{StreamingWelch, WelchConfig};
+
+        let nfft = if bluestein {
+            (1usize << seg_pow) - 7 // odd size -> Bluestein engine
+        } else {
+            1usize << seg_pow
+        };
+        let total = nfft * 5 + jitter; // several segments + ragged tail
+        let x: Vec<f64> = (0..total).map(|i| signal[i % signal.len()]).collect();
+        let chunk = match chunk_class {
+            0 => jitter,                       // smaller than a segment
+            1 => nfft,                         // exactly one segment
+            _ => nfft + jitter,                // non-divisor straddler
+        };
+
+        let cfg = WelchConfig::new(nfft).unwrap().detrend(detrend);
+        let batch = cfg.estimate(&x, 10_000.0).unwrap();
+        let mut sw = StreamingWelch::new(cfg, 10_000.0).unwrap();
+        for c in x.chunks(chunk) {
+            sw.push(c).unwrap();
+        }
+        let streamed = sw.finalize().unwrap();
+        prop_assert_eq!(streamed.len(), batch.len());
+        for (s, b) in streamed.density().iter().zip(batch.density()) {
+            prop_assert_eq!(s.to_bits(), b.to_bits());
+        }
+    }
+}

@@ -98,17 +98,35 @@ impl BatchPlan {
     /// bit-identical to [`MeasurementSession::run`] for any worker
     /// count.
     ///
+    /// A session in streaming mode
+    /// ([`MeasurementSession::streaming_active`]) fans out
+    /// [`MeasurementSession::measure_repeat_streaming`] cells instead:
+    /// each worker runs its repeats chunk by chunk under the memory
+    /// budget (no materialized reference waveform either), and the
+    /// recombined measurement is *still* bit-identical to the
+    /// sequential run for any worker count — the streaming repeat is a
+    /// pure function of `(setup seed, repeat index)` exactly like the
+    /// batch one.
+    ///
     /// # Errors
     ///
     /// Propagates acquisition, estimation and combination errors (the
     /// first failing repeat wins, in repeat order).
     pub fn run_session(&self, session: &MeasurementSession) -> Result<Measurement, SocError> {
-        let (gain, reference) = session.conditioning()?;
-        let reference = &reference;
-        let tasks: Vec<_> = (0..session.repeat_count())
-            .map(|r| move || session.measure_repeat_conditioned(r, gain, reference))
-            .collect();
-        let outcomes = self.executor().run(tasks);
+        let outcomes = if session.streaming_active() {
+            let gain = session.frontend_gain()?;
+            let tasks: Vec<_> = (0..session.repeat_count())
+                .map(|r| move || session.measure_repeat_streaming(r, gain))
+                .collect();
+            self.executor().run(tasks)
+        } else {
+            let (gain, reference) = session.conditioning()?;
+            let reference = &reference;
+            let tasks: Vec<_> = (0..session.repeat_count())
+                .map(|r| move || session.measure_repeat_conditioned(r, gain, reference))
+                .collect();
+            self.executor().run(tasks)
+        };
         let mut repeats: Vec<RepeatMeasurement> = Vec::with_capacity(outcomes.len());
         for outcome in outcomes {
             repeats.push(outcome?);

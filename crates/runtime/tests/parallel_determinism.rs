@@ -230,3 +230,37 @@ fn coverage_campaign_parallel_report_matches_sequential() {
     assert!(sequential.class("interference").unwrap().gross > 0);
     assert_eq!(sequential.class("gain_deviation").unwrap().detected, 0);
 }
+
+#[test]
+fn streaming_session_is_bit_identical_across_worker_counts() {
+    // A streaming-mode session (memory budget far below the record)
+    // fanned across 1 and 3 workers must recombine to the same bits —
+    // and to the sequential streaming run.
+    let mut setup = BistSetup::quick(17);
+    setup.samples = 1 << 14;
+    setup.nfft = 1_024;
+    let session = MeasurementSession::new(setup)
+        .expect("session")
+        .dut(
+            NonInvertingAmplifier::new(OpampModel::tl081(), Ohms::new(10_000.0), Ohms::new(100.0))
+                .expect("dut"),
+        )
+        .repeats(4)
+        .memory_budget(32 * 1024);
+    assert!(session.streaming_active());
+    let sequential = session.run().expect("sequential run");
+    for workers in [1usize, 3] {
+        let fanned = BatchPlan::new()
+            .workers(workers)
+            .run_session(&session)
+            .expect("fanned run");
+        assert_eq!(fanned.nf.y.to_bits(), sequential.nf.y.to_bits());
+        assert_eq!(
+            fanned.nf_spread_db.to_bits(),
+            sequential.nf_spread_db.to_bits()
+        );
+        for (a, b) in fanned.repeats.iter().zip(&sequential.repeats) {
+            assert_eq!(a.ratio.ratio.to_bits(), b.ratio.ratio.to_bits());
+        }
+    }
+}

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Dead-relative-link check over the repository's markdown docs.
+
+Scans README.md, ARCHITECTURE.md and docs/*.md for markdown links and
+images, and fails if a relative target does not exist on disk.
+External (http/https/mailto) and pure-anchor links are ignored;
+fragments are stripped before the existence check.
+
+Run from the repository root: `python3 scripts/check_doc_links.py`.
+"""
+
+import pathlib
+import re
+import sys
+
+LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+
+def targets(md: pathlib.Path):
+    # Strip fenced code blocks: `](` inside them is code, not a link.
+    text = re.sub(r"```.*?```", "", md.read_text(encoding="utf-8"), flags=re.S)
+    for m in LINK.finditer(text):
+        yield m.group(1)
+
+def main() -> int:
+    root = pathlib.Path(__file__).resolve().parent.parent
+    docs = [root / "README.md", root / "ARCHITECTURE.md"]
+    docs += sorted((root / "docs").glob("*.md"))
+    broken = []
+    for md in docs:
+        if not md.exists():
+            broken.append(f"{md}: file listed for checking does not exist")
+            continue
+        for raw in targets(md):
+            if raw.startswith(("http://", "https://", "mailto:")):
+                continue
+            target = raw.split("#", 1)[0]
+            if not target:  # pure in-page anchor
+                continue
+            resolved = (md.parent / target).resolve()
+            if not resolved.exists():
+                broken.append(f"{md.relative_to(root)}: broken link -> {raw}")
+    for b in broken:
+        print(b, file=sys.stderr)
+    if broken:
+        print(f"{len(broken)} broken relative link(s)", file=sys.stderr)
+        return 1
+    print(f"doc links OK across {len(docs)} file(s)")
+    return 0
+
+if __name__ == "__main__":
+    sys.exit(main())

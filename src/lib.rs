@@ -24,11 +24,16 @@
 //!
 //! See the repository `README.md` for the quickstart, the [`workflow`]
 //! module for the end-to-end walkthrough (DUT → digitizer → estimator
-//! → screen → coverage campaign), and `ARCHITECTURE.md` for how the
-//! traits map onto the paper's figures.
+//! → screen → coverage campaign), the [`theory`] module for the
+//! paper-to-code map (Y-factor equations, arcsine law, Welch variance
+//! vs test time), and `ARCHITECTURE.md` for how the traits map onto
+//! the paper's figures.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+#[doc = include_str!("../docs/THEORY.md")]
+pub mod theory {}
 
 #[doc = include_str!("../docs/WORKFLOW.md")]
 pub mod workflow {}
