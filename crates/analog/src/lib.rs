@@ -35,6 +35,10 @@
 //!   [`fault::FaultyDigitizer`] composes stuck/flipped-cell defects
 //!   onto any front-end's 1-bit stream — the raw material of
 //!   defect-coverage campaigns.
+//! * [`wafer`] — fleet-scale population synthesis: wafer-disc die
+//!   maps, seeded per-die process variation, spatially correlated
+//!   defect models (edge rings, cluster blobs) and the [`wafer::Lot`]
+//!   type whose every die is a pure function of `(lot seed, index)`.
 //! * [`signal`] / [`bitstream`] — sampled-signal and bit-record
 //!   containers.
 //!
@@ -74,6 +78,7 @@ pub mod opamp;
 pub mod signal;
 pub mod source;
 pub mod units;
+pub mod wafer;
 
 mod error;
 

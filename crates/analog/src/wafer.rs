@@ -1,0 +1,863 @@
+//! Wafer/lot population synthesis: the die populations a fleet-scale
+//! screening run measures.
+//!
+//! The paper's BIST only pays off at production volume — the same
+//! on-chip noise-figure test replicated across every die on every
+//! wafer. This module synthesizes that population deterministically:
+//!
+//! * [`WaferMap`] — the die-site geometry: a square grid clipped to
+//!   the wafer disc, each [`DieSite`] carrying its normalized
+//!   coordinates (the raw material of spatial yield models).
+//! * [`ProcessVariation`] — per-die parametric variation: a seeded
+//!   Gaussian spread of excess-noise and gain multipliers plus a
+//!   center-to-edge systematic noise gradient (edge dies run hotter).
+//! * [`DefectModel`] — spatially *correlated* defects: a uniform
+//!   background rate, an edge-ring gradient, and cluster blobs (the
+//!   classic scratch/particle signatures) that concentrate defective
+//!   dies in patches instead of scattering them uniformly.
+//! * [`Lot`] — ties the three together under one lot seed and answers
+//!   the only question the screening layer asks: *what is die `i`?*
+//!   Every [`DieSpec`] is a pure function of `(lot configuration,
+//!   die index)`, which is what lets a fleet scheduler fan thousands
+//!   of die screens across workers with bit-identical results.
+//!
+//! The seed scheme mirrors the measurement stack's: [`die_seed`] is
+//! the same golden-ratio walk + SplitMix64 finalizer as
+//! `nfbist_soc::session::derive_seed`, so a die's *measurement* seed
+//! upstairs and its *population* draws here never collide by
+//! construction (the population draws salt the lot seed first).
+//!
+//! # Examples
+//!
+//! ```
+//! use nfbist_analog::wafer::{DefectModel, Lot, ProcessVariation, WaferMap};
+//!
+//! # fn main() -> Result<(), nfbist_analog::AnalogError> {
+//! let wafer = WaferMap::disc(12)?; // 12×12 grid clipped to the disc
+//! let defects = DefectModel::new()
+//!     .background(0.02)?
+//!     .edge_gradient(0.10)?
+//!     .seeded_clusters(2, 0.25, 0.6, 7)?;
+//! let lot = Lot::new(wafer, ProcessVariation::default(), defects, 42)?
+//!     .defect_kinds(9);
+//! let die = lot.die(17)?;
+//! assert_eq!(die, lot.die(17)?); // a die is a pure function of its index
+//! assert!(die.noise_scale >= 1.0);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::error::AnalogError;
+use crate::noise::standard_normal;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The golden-ratio increment of the seed-derivation walk (φ·2⁶⁴) —
+/// the same constant as `nfbist_soc::session::REPEAT_SEED_STRIDE`.
+const SEED_STRIDE: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Salt separating a die's *population* draws (variation, defect
+/// assignment) from its *measurement* seed: both walk from the lot
+/// seed, but the population walk starts from a salted base.
+const POPULATION_SALT: u64 = 0x5AFE_D1E5_0F4B_1C05;
+
+/// Deterministic per-die seed derivation: golden-ratio walk +
+/// SplitMix64 finalizer over `(lot_seed, die_index)`.
+///
+/// This is intentionally the **same function** as
+/// `nfbist_soc::session::derive_seed` (the measurement stack's
+/// canonical scheme), restated here because the analog layer sits
+/// below the SoC crate; the fleet tests pin the two implementations
+/// together bit for bit.
+///
+/// # Examples
+///
+/// ```
+/// use nfbist_analog::wafer::die_seed;
+///
+/// assert_eq!(die_seed(42, 7), die_seed(42, 7));
+/// assert_ne!(die_seed(42, 7), die_seed(42, 8));
+/// ```
+pub fn die_seed(lot_seed: u64, die_index: u64) -> u64 {
+    let mut z = lot_seed.wrapping_add(die_index.wrapping_add(1).wrapping_mul(SEED_STRIDE));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One die site on a wafer: grid position plus normalized wafer
+/// coordinates (`x`, `y` in `[-1, 1]`, `radius` in `[0, 1]` from
+/// center to edge).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DieSite {
+    /// Dense die index, row-major over the on-wafer sites.
+    pub index: usize,
+    /// Grid row.
+    pub row: usize,
+    /// Grid column.
+    pub col: usize,
+    /// Normalized horizontal position of the die center.
+    pub x: f64,
+    /// Normalized vertical position of the die center.
+    pub y: f64,
+    /// Normalized distance from the wafer center (0 = center,
+    /// 1 = edge).
+    pub radius: f64,
+}
+
+/// The die-site layout of one wafer: a `grid × grid` reticle map
+/// clipped to the wafer disc.
+///
+/// # Examples
+///
+/// ```
+/// use nfbist_analog::wafer::WaferMap;
+///
+/// let map = WaferMap::disc(10)?;
+/// // The disc keeps ~π/4 of the 100 grid cells.
+/// assert!(map.dies() > 60 && map.dies() < 90);
+/// assert!(map.site(0).unwrap().radius <= 1.0);
+/// # Ok::<(), nfbist_analog::AnalogError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct WaferMap {
+    grid: usize,
+    sites: Vec<DieSite>,
+}
+
+impl WaferMap {
+    /// A `grid × grid` reticle map keeping the cells whose centers lie
+    /// within the wafer disc.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::InvalidParameter`] for a zero grid.
+    pub fn disc(grid: usize) -> Result<Self, AnalogError> {
+        if grid == 0 {
+            return Err(AnalogError::InvalidParameter {
+                name: "grid",
+                reason: "a wafer map needs at least one reticle cell",
+            });
+        }
+        let half = grid as f64 / 2.0;
+        let mut sites = Vec::new();
+        for row in 0..grid {
+            for col in 0..grid {
+                let x = (col as f64 + 0.5 - half) / half;
+                let y = (row as f64 + 0.5 - half) / half;
+                let radius = (x * x + y * y).sqrt();
+                if radius <= 1.0 {
+                    sites.push(DieSite {
+                        index: sites.len(),
+                        row,
+                        col,
+                        x,
+                        y,
+                        radius,
+                    });
+                }
+            }
+        }
+        Ok(WaferMap { grid, sites })
+    }
+
+    /// The grid dimension (rows = columns).
+    pub fn grid(&self) -> usize {
+        self.grid
+    }
+
+    /// Number of on-wafer die sites.
+    pub fn dies(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Site `i`, if present.
+    pub fn site(&self, i: usize) -> Option<&DieSite> {
+        self.sites.get(i)
+    }
+
+    /// All sites, in die-index (row-major) order.
+    pub fn sites(&self) -> &[DieSite] {
+        &self.sites
+    }
+
+    /// Renders the wafer as ASCII art: `mark(site)` supplies each
+    /// on-wafer cell's character, off-wafer cells print as `·`.
+    /// Columns are space-separated so the disc keeps its aspect ratio
+    /// in a terminal.
+    pub fn render(&self, mut mark: impl FnMut(&DieSite) -> char) -> String {
+        let mut out = String::new();
+        let mut next = self.sites.iter().peekable();
+        for row in 0..self.grid {
+            for col in 0..self.grid {
+                if col > 0 {
+                    out.push(' ');
+                }
+                match next.peek() {
+                    Some(site) if site.row == row && site.col == col => {
+                        let site = next.next().expect("peeked");
+                        out.push(mark(site));
+                    }
+                    _ => out.push('·'),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Per-die parametric process variation: seeded Gaussian spreads plus
+/// a center-to-edge systematic noise gradient.
+///
+/// The drawn multipliers feed the fault layer directly: the noise
+/// scale becomes an `ExcessNoise` power factor (floored at 1 — the
+/// datasheet model is the healthy floor), the gain scale a
+/// `GainDeviation` factor (log-normal around 1).
+///
+/// # Examples
+///
+/// ```
+/// use nfbist_analog::wafer::ProcessVariation;
+///
+/// let v = ProcessVariation::new()
+///     .noise_sigma(0.1)?
+///     .gain_sigma(0.02)?
+///     .radial_noise(0.3)?;
+/// assert_eq!(v, v.clone());
+/// # Ok::<(), nfbist_analog::AnalogError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProcessVariation {
+    noise_sigma: f64,
+    gain_sigma: f64,
+    radial_noise: f64,
+}
+
+impl ProcessVariation {
+    /// Default variation: 5 % noise spread, 2 % gain spread, 20 %
+    /// extra noise power at the wafer edge.
+    pub fn new() -> Self {
+        ProcessVariation {
+            noise_sigma: 0.05,
+            gain_sigma: 0.02,
+            radial_noise: 0.20,
+        }
+    }
+
+    /// Sets the fractional σ of the per-die excess-noise multiplier.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::InvalidParameter`] for a negative or
+    /// non-finite σ.
+    pub fn noise_sigma(mut self, sigma: f64) -> Result<Self, AnalogError> {
+        if !(sigma >= 0.0) || !sigma.is_finite() {
+            return Err(AnalogError::InvalidParameter {
+                name: "noise_sigma",
+                reason: "noise spread must be non-negative and finite",
+            });
+        }
+        self.noise_sigma = sigma;
+        Ok(self)
+    }
+
+    /// Sets the fractional σ of the per-die gain multiplier.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::InvalidParameter`] for a negative or
+    /// non-finite σ.
+    pub fn gain_sigma(mut self, sigma: f64) -> Result<Self, AnalogError> {
+        if !(sigma >= 0.0) || !sigma.is_finite() {
+            return Err(AnalogError::InvalidParameter {
+                name: "gain_sigma",
+                reason: "gain spread must be non-negative and finite",
+            });
+        }
+        self.gain_sigma = sigma;
+        Ok(self)
+    }
+
+    /// Sets the systematic noise-power excess at the wafer edge
+    /// (`0.2` = an edge die runs 20 % hotter than a center die before
+    /// the random spread).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::InvalidParameter`] for a negative or
+    /// non-finite gradient.
+    pub fn radial_noise(mut self, fraction: f64) -> Result<Self, AnalogError> {
+        if !(fraction >= 0.0) || !fraction.is_finite() {
+            return Err(AnalogError::InvalidParameter {
+                name: "radial_noise",
+                reason: "the radial gradient must be non-negative and finite",
+            });
+        }
+        self.radial_noise = fraction;
+        Ok(self)
+    }
+}
+
+impl Default for ProcessVariation {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One spatial defect cluster: a disc of elevated defect probability
+/// in normalized wafer coordinates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DefectCluster {
+    /// Cluster center, normalized horizontal coordinate.
+    pub x: f64,
+    /// Cluster center, normalized vertical coordinate.
+    pub y: f64,
+    /// Cluster radius as a fraction of the wafer radius.
+    pub radius: f64,
+    /// Defect probability added to dies inside the cluster disc.
+    pub probability: f64,
+}
+
+/// A spatially correlated defect model: uniform background rate,
+/// edge-ring gradient, and cluster blobs.
+///
+/// The per-die defect probability is
+/// `min(1, background + edge·r² + Σ cluster p over covering blobs)` —
+/// deliberately simple, but enough to reproduce the two canonical
+/// wafer-map signatures (edge ring, particle cluster) that make
+/// defective dies *spatially* correlated while each die's draw stays
+/// an independent pure function of its index.
+///
+/// # Examples
+///
+/// ```
+/// use nfbist_analog::wafer::{DefectModel, WaferMap};
+///
+/// let model = DefectModel::new().background(0.01)?.edge_gradient(0.2)?;
+/// let map = WaferMap::disc(8)?;
+/// let center = map.sites().iter().find(|s| s.radius < 0.3).unwrap();
+/// let edge = map.sites().iter().find(|s| s.radius > 0.9).unwrap();
+/// assert!(model.defect_probability(edge) > model.defect_probability(center));
+/// # Ok::<(), nfbist_analog::AnalogError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DefectModel {
+    background: f64,
+    edge: f64,
+    clusters: Vec<DefectCluster>,
+}
+
+fn validated_probability(p: f64, name: &'static str) -> Result<f64, AnalogError> {
+    if !(0.0..=1.0).contains(&p) || !p.is_finite() {
+        return Err(AnalogError::InvalidParameter {
+            name,
+            reason: "a probability must lie in [0, 1]",
+        });
+    }
+    Ok(p)
+}
+
+impl DefectModel {
+    /// A defect-free model; add terms with the builder methods.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the spatially uniform background defect probability.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::InvalidParameter`] for a probability
+    /// outside `[0, 1]`.
+    pub fn background(mut self, p: f64) -> Result<Self, AnalogError> {
+        self.background = validated_probability(p, "background")?;
+        Ok(self)
+    }
+
+    /// Sets the edge-ring gradient: `p·r²` extra defect probability at
+    /// normalized radius `r` (the full `p` at the wafer edge).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::InvalidParameter`] for a probability
+    /// outside `[0, 1]`.
+    pub fn edge_gradient(mut self, p: f64) -> Result<Self, AnalogError> {
+        self.edge = validated_probability(p, "edge_gradient")?;
+        Ok(self)
+    }
+
+    /// Adds one explicit cluster blob.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::InvalidParameter`] for a non-positive
+    /// radius, an out-of-disc center, or a probability outside
+    /// `[0, 1]`.
+    pub fn cluster(
+        mut self,
+        x: f64,
+        y: f64,
+        radius: f64,
+        probability: f64,
+    ) -> Result<Self, AnalogError> {
+        if !(radius > 0.0) || !radius.is_finite() {
+            return Err(AnalogError::InvalidParameter {
+                name: "radius",
+                reason: "a cluster needs a positive, finite radius",
+            });
+        }
+        if !x.is_finite() || !y.is_finite() || x * x + y * y > 1.0 {
+            return Err(AnalogError::InvalidParameter {
+                name: "center",
+                reason: "a cluster center must lie within the unit disc",
+            });
+        }
+        let probability = validated_probability(probability, "probability")?;
+        self.clusters.push(DefectCluster {
+            x,
+            y,
+            radius,
+            probability,
+        });
+        Ok(self)
+    }
+
+    /// Adds `count` clusters of the given radius and probability with
+    /// centers drawn uniformly over the wafer disc from `seed` — the
+    /// cluster geometry is a pure function of the seed, never of
+    /// time or scheduling.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the per-cluster validation of
+    /// [`DefectModel::cluster`].
+    pub fn seeded_clusters(
+        mut self,
+        count: usize,
+        radius: f64,
+        probability: f64,
+        seed: u64,
+    ) -> Result<Self, AnalogError> {
+        let mut rng = StdRng::seed_from_u64(die_seed(seed ^ POPULATION_SALT, 0));
+        for _ in 0..count {
+            // Rejection-sample a uniform point in the unit disc.
+            let (x, y) = loop {
+                let x = 2.0 * rng.gen::<f64>() - 1.0;
+                let y = 2.0 * rng.gen::<f64>() - 1.0;
+                if x * x + y * y <= 1.0 {
+                    break (x, y);
+                }
+            };
+            self = self.cluster(x, y, radius, probability)?;
+        }
+        Ok(self)
+    }
+
+    /// The cluster blobs currently in the model.
+    pub fn clusters(&self) -> &[DefectCluster] {
+        &self.clusters
+    }
+
+    /// The defect probability at one die site (clamped to 1).
+    pub fn defect_probability(&self, site: &DieSite) -> f64 {
+        let mut p = self.background + self.edge * site.radius * site.radius;
+        for c in &self.clusters {
+            let dx = site.x - c.x;
+            let dy = site.y - c.y;
+            if dx * dx + dy * dy <= c.radius * c.radius {
+                p += c.probability;
+            }
+        }
+        p.min(1.0)
+    }
+}
+
+/// One synthesized die: where it sits, how its process varied, and
+/// whether (and how) it is defective. A pure function of the lot
+/// configuration and the die index.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DieSpec {
+    /// Die index within the lot.
+    pub index: usize,
+    /// Grid row.
+    pub row: usize,
+    /// Grid column.
+    pub col: usize,
+    /// Normalized distance from the wafer center.
+    pub radius: f64,
+    /// Excess-noise power multiplier from process variation (≥ 1; the
+    /// datasheet model is the healthy floor).
+    pub noise_scale: f64,
+    /// Gain multiplier from process variation (log-normal around 1).
+    pub gain_scale: f64,
+    /// `Some(kind)` when the die carries a defect; `kind` indexes the
+    /// screening layer's fault-variant space (`0..defect_kinds`).
+    pub defect: Option<usize>,
+    /// The die's measurement seed: [`die_seed`]`(lot_seed, index)` —
+    /// the one value the whole screening result is a function of.
+    pub seed: u64,
+}
+
+/// A lot: one wafer's worth of dies synthesized from a single seed.
+///
+/// # Examples
+///
+/// ```
+/// use nfbist_analog::wafer::{DefectModel, Lot, ProcessVariation, WaferMap};
+///
+/// # fn main() -> Result<(), nfbist_analog::AnalogError> {
+/// let lot = Lot::new(
+///     WaferMap::disc(8)?,
+///     ProcessVariation::default(),
+///     DefectModel::new().background(0.5)?,
+///     1,
+/// )?
+/// .defect_kinds(3);
+/// let defective = (0..lot.dies())
+///     .filter(|&i| lot.die(i).unwrap().defect.is_some())
+///     .count();
+/// // Background 0.5: roughly half the lot is defective.
+/// assert!(defective > lot.dies() / 5 && defective < lot.dies() * 4 / 5);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Lot {
+    wafer: WaferMap,
+    variation: ProcessVariation,
+    defects: DefectModel,
+    kinds: usize,
+    seed: u64,
+}
+
+impl Lot {
+    /// Assembles a lot from its wafer geometry, variation model,
+    /// defect model and seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::InvalidParameter`] for an empty wafer
+    /// map.
+    pub fn new(
+        wafer: WaferMap,
+        variation: ProcessVariation,
+        defects: DefectModel,
+        seed: u64,
+    ) -> Result<Self, AnalogError> {
+        if wafer.dies() == 0 {
+            return Err(AnalogError::InvalidParameter {
+                name: "wafer",
+                reason: "a lot needs at least one die site",
+            });
+        }
+        Ok(Lot {
+            wafer,
+            variation,
+            defects,
+            kinds: 1,
+            seed,
+        })
+    }
+
+    /// Sets the number of defect kinds a defective die is assigned
+    /// among (clamped to ≥ 1). The screening layer maps each kind to
+    /// a fault-universe variant.
+    pub fn defect_kinds(mut self, n: usize) -> Self {
+        self.kinds = n.max(1);
+        self
+    }
+
+    /// The lot seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Number of dies in the lot.
+    pub fn dies(&self) -> usize {
+        self.wafer.dies()
+    }
+
+    /// The wafer geometry.
+    pub fn wafer(&self) -> &WaferMap {
+        &self.wafer
+    }
+
+    /// The expected number of defective dies (the sum of per-site
+    /// defect probabilities) — the ground truth a yield report is
+    /// judged against.
+    pub fn expected_defects(&self) -> f64 {
+        self.wafer
+            .sites()
+            .iter()
+            .map(|s| self.defects.defect_probability(s))
+            .sum()
+    }
+
+    /// Synthesizes die `i`. Deterministic: the same index always
+    /// yields the same [`DieSpec`], independent of call order — the
+    /// property the fleet scheduler's bit-identical fan-out rests on.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::InvalidParameter`] for an out-of-range
+    /// index.
+    pub fn die(&self, i: usize) -> Result<DieSpec, AnalogError> {
+        let site = self.wafer.site(i).ok_or(AnalogError::InvalidParameter {
+            name: "die",
+            reason: "die index beyond the wafer map",
+        })?;
+        // Population draws walk from a salted base so they can never
+        // collide with the measurement seeds derived from the raw lot
+        // seed.
+        let mut rng = StdRng::seed_from_u64(die_seed(self.seed ^ POPULATION_SALT, i as u64));
+        let z_noise = standard_normal(&mut rng);
+        let z_gain = standard_normal(&mut rng);
+        let u_defect: f64 = rng.gen();
+        let u_kind: f64 = rng.gen();
+
+        let r2 = site.radius * site.radius;
+        let noise_scale = ((1.0 + self.variation.radial_noise * r2)
+            * (self.variation.noise_sigma * z_noise).exp())
+        .max(1.0);
+        let gain_scale = (self.variation.gain_sigma * z_gain).exp();
+        let defect = (u_defect < self.defects.defect_probability(site))
+            .then(|| ((u_kind * self.kinds as f64) as usize).min(self.kinds - 1));
+
+        Ok(DieSpec {
+            index: site.index,
+            row: site.row,
+            col: site.col,
+            radius: site.radius,
+            noise_scale,
+            gain_scale,
+            defect,
+            seed: die_seed(self.seed, i as u64),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_derivation_matches_the_canonical_scheme() {
+        // Spot values of the SplitMix64 walk; the cross-crate pin
+        // against `nfbist_soc::session::derive_seed` lives in the
+        // runtime fleet tests.
+        assert_eq!(die_seed(0, 0), die_seed(0, 0));
+        let seeds: Vec<u64> = (0..256).map(|i| die_seed(99, i)).collect();
+        let mut unique = seeds.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), seeds.len(), "die seeds must not collide");
+        let _ = die_seed(u64::MAX, u64::MAX);
+    }
+
+    #[test]
+    fn disc_geometry() {
+        assert!(WaferMap::disc(0).is_err());
+        let one = WaferMap::disc(1).unwrap();
+        assert_eq!(one.dies(), 1);
+        let map = WaferMap::disc(20).unwrap();
+        // Disc area fraction of the square: π/4 ≈ 0.785.
+        let fill = map.dies() as f64 / (20.0 * 20.0);
+        assert!((fill - 0.785).abs() < 0.1, "fill {fill}");
+        // Sites are dense, row-major, on-disc.
+        for (k, site) in map.sites().iter().enumerate() {
+            assert_eq!(site.index, k);
+            assert!(site.radius <= 1.0);
+        }
+        assert!(map.site(map.dies()).is_none());
+        // Corners are off-wafer.
+        assert!(!map.sites().iter().any(|s| s.row == 0 && s.col == 0));
+    }
+
+    #[test]
+    fn render_marks_sites_and_offwafer_cells() {
+        let map = WaferMap::disc(6).unwrap();
+        let art = map.render(|_| 'o');
+        assert_eq!(art.lines().count(), 6);
+        assert_eq!(art.matches('o').count(), map.dies());
+        assert_eq!(art.matches('·').count(), 6 * 6 - map.dies());
+        // The mark closure sees each site exactly once, in index order.
+        let mut seen = Vec::new();
+        map.render(|s| {
+            seen.push(s.index);
+            'x'
+        });
+        assert_eq!(seen, (0..map.dies()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn variation_validation_and_defaults() {
+        assert!(ProcessVariation::new().noise_sigma(-0.1).is_err());
+        assert!(ProcessVariation::new().gain_sigma(f64::NAN).is_err());
+        assert!(ProcessVariation::new().radial_noise(-1.0).is_err());
+        assert_eq!(ProcessVariation::default(), ProcessVariation::new());
+    }
+
+    #[test]
+    fn defect_model_terms_compose() {
+        assert!(DefectModel::new().background(1.5).is_err());
+        assert!(DefectModel::new().edge_gradient(-0.1).is_err());
+        assert!(DefectModel::new().cluster(0.0, 0.0, 0.0, 0.5).is_err());
+        assert!(DefectModel::new().cluster(2.0, 0.0, 0.1, 0.5).is_err());
+        assert!(DefectModel::new().cluster(0.0, 0.0, 0.1, 7.0).is_err());
+
+        let map = WaferMap::disc(16).unwrap();
+        let model = DefectModel::new()
+            .background(0.01)
+            .unwrap()
+            .cluster(0.0, 0.0, 0.3, 0.9)
+            .unwrap();
+        let inside = map.sites().iter().find(|s| s.radius < 0.2).unwrap();
+        let outside = map.sites().iter().find(|s| s.radius > 0.8).unwrap();
+        assert!((model.defect_probability(inside) - 0.91).abs() < 1e-12);
+        assert!((model.defect_probability(outside) - 0.01).abs() < 1e-12);
+        // Probabilities clamp at 1.
+        let saturated = DefectModel::new()
+            .background(0.8)
+            .unwrap()
+            .cluster(0.0, 0.0, 1.0, 0.8)
+            .unwrap();
+        assert_eq!(saturated.defect_probability(inside), 1.0);
+        assert_eq!(saturated.clusters().len(), 1);
+    }
+
+    #[test]
+    fn seeded_clusters_are_a_pure_function_of_the_seed() {
+        let a = DefectModel::new().seeded_clusters(3, 0.2, 0.5, 11).unwrap();
+        let b = DefectModel::new().seeded_clusters(3, 0.2, 0.5, 11).unwrap();
+        let c = DefectModel::new().seeded_clusters(3, 0.2, 0.5, 12).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.clusters().len(), 3);
+        for cl in a.clusters() {
+            assert!(cl.x * cl.x + cl.y * cl.y <= 1.0);
+        }
+    }
+
+    #[test]
+    fn dies_are_pure_functions_of_their_index() {
+        let lot = Lot::new(
+            WaferMap::disc(10).unwrap(),
+            ProcessVariation::default(),
+            DefectModel::new()
+                .background(0.1)
+                .unwrap()
+                .edge_gradient(0.3)
+                .unwrap(),
+            77,
+        )
+        .unwrap()
+        .defect_kinds(4);
+        assert!(lot.die(lot.dies()).is_err());
+        for i in [0, 3, lot.dies() - 1] {
+            assert_eq!(lot.die(i).unwrap(), lot.die(i).unwrap());
+        }
+        let spec = lot.die(5).unwrap();
+        assert_eq!(spec.seed, die_seed(77, 5));
+        assert!(spec.noise_scale >= 1.0);
+        assert!(spec.gain_scale > 0.0);
+        if let Some(kind) = spec.defect {
+            assert!(kind < 4);
+        }
+        // Different seeds synthesize different populations.
+        let other = Lot::new(
+            lot.wafer().clone(),
+            ProcessVariation::default(),
+            DefectModel::new().background(0.1).unwrap(),
+            78,
+        )
+        .unwrap();
+        assert_ne!(
+            lot.die(5).unwrap().noise_scale,
+            other.die(5).unwrap().noise_scale
+        );
+    }
+
+    #[test]
+    fn edge_gradient_raises_edge_noise_and_defect_density() {
+        let map = WaferMap::disc(24).unwrap();
+        let lot = Lot::new(
+            map,
+            ProcessVariation::new()
+                .noise_sigma(0.0)
+                .unwrap()
+                .radial_noise(0.5)
+                .unwrap(),
+            DefectModel::new().edge_gradient(0.6).unwrap(),
+            3,
+        )
+        .unwrap();
+        let (mut edge_noise, mut center_noise) = (0.0f64, 0.0f64);
+        let (mut edge_defects, mut center_defects) = (0usize, 0usize);
+        let (mut edge_n, mut center_n) = (0usize, 0usize);
+        for i in 0..lot.dies() {
+            let d = lot.die(i).unwrap();
+            if d.radius > 0.8 {
+                edge_noise += d.noise_scale;
+                edge_defects += usize::from(d.defect.is_some());
+                edge_n += 1;
+            } else if d.radius < 0.4 {
+                center_noise += d.noise_scale;
+                center_defects += usize::from(d.defect.is_some());
+                center_n += 1;
+            }
+        }
+        assert!(edge_n > 10 && center_n > 10);
+        assert!(
+            edge_noise / edge_n as f64 > center_noise / center_n as f64 + 0.2,
+            "edge dies must run hotter"
+        );
+        assert!(
+            edge_defects * center_n > center_defects * edge_n,
+            "edge defect density must exceed center density \
+             ({edge_defects}/{edge_n} vs {center_defects}/{center_n})"
+        );
+        // Ground truth matches the model's expectation to first order.
+        let expected = lot.expected_defects();
+        let actual: usize = (0..lot.dies())
+            .filter(|&i| lot.die(i).unwrap().defect.is_some())
+            .count();
+        assert!((actual as f64 - expected).abs() < 4.0 * expected.sqrt().max(3.0));
+    }
+
+    #[test]
+    fn cluster_concentrates_defects() {
+        let lot = Lot::new(
+            WaferMap::disc(24).unwrap(),
+            ProcessVariation::default(),
+            DefectModel::new()
+                .background(0.02)
+                .unwrap()
+                .cluster(0.4, -0.3, 0.25, 0.9)
+                .unwrap(),
+            9,
+        )
+        .unwrap();
+        let (mut in_blob, mut in_blob_defective) = (0usize, 0usize);
+        let (mut out_blob, mut out_blob_defective) = (0usize, 0usize);
+        for i in 0..lot.dies() {
+            let d = lot.die(i).unwrap();
+            let site = lot.wafer().site(i).unwrap();
+            let dx = site.x - 0.4;
+            let dy = site.y + 0.3;
+            if dx * dx + dy * dy <= 0.25 * 0.25 {
+                in_blob += 1;
+                in_blob_defective += usize::from(d.defect.is_some());
+            } else {
+                out_blob += 1;
+                out_blob_defective += usize::from(d.defect.is_some());
+            }
+        }
+        assert!(in_blob >= 5, "the blob must cover several sites");
+        assert!(
+            in_blob_defective * out_blob > 5 * out_blob_defective * in_blob,
+            "defects must concentrate inside the cluster \
+             ({in_blob_defective}/{in_blob} vs {out_blob_defective}/{out_blob})"
+        );
+    }
+}

@@ -1,28 +1,37 @@
 //! Quick perf smoke for the spectral and bit-domain hot paths,
-//! recording the perf trajectory (the PR 3 speedups plus the PR 5
-//! streaming case) as a JSON point.
+//! recording the perf trajectory (the PR 3 speedups, the PR 5
+//! streaming case, and the PR 6 fleet lot screen) as a JSON point.
 //!
-//! Four comparisons, each new-engine vs the baseline it replaced or
+//! Five comparisons, each new-engine vs the baseline it replaced or
 //! competes with (baselines are reconstructed from the still-public
 //! primitives, so the comparison stays honest after the estimators
 //! themselves moved on):
 //!
-//! 0. **Streaming Welch at 2²⁴ samples** — chunked `StreamingWelch`
-//!    vs the batch estimator over a materialized record. Runs first
-//!    and proves bounded memory: the chunked pass's peak-RSS growth
+//! 0. **Fleet lot screening** — the parallel, memory-gated
+//!    `FleetPlan::screen_lot` vs the sequential die loop
+//!    (`LotScreen::run`). Runs first, before anything materializes a
+//!    big record, and proves the fleet engine's memory bound: after
+//!    screening one lot, screening a lot with 4x the dies must grow
+//!    peak RSS by a small fraction of the larger lot's *total*
+//!    transient cost (asserted — the gate, not the lot size, sets the
+//!    peak), and the budgeted parallel report must equal the
+//!    sequential one bit for bit.
+//! 1. **Streaming Welch at 2²⁴ samples** — chunked `StreamingWelch`
+//!    vs the batch estimator over a materialized record. Proves
+//!    bounded memory: the chunked pass's peak-RSS growth
 //!    must stay a small fraction of the 128 MiB record (asserted), and
 //!    the two estimates must agree bit for bit.
-//! 1. **Welch at the paper's record class** — a 2²⁰-sample record
+//! 2. **Welch at the paper's record class** — a 2²⁰-sample record
 //!    through 4096-point Hann segments: workspace `estimate_into`
 //!    (packed real FFT, one-sided spectrum) vs the PR 2 path (full
 //!    `N`-point complex FFT per segment).
-//! 2. **Single transform** — `RealFft::forward_into` vs
+//! 3. **Single transform** — `RealFft::forward_into` vs
 //!    `Fft::forward_real_into` at 4096 points.
-//! 3. **One-bit autocorrelation** — XOR+popcount on the packed words
+//! 4. **One-bit autocorrelation** — XOR+popcount on the packed words
 //!    vs expand-to-±1 + float lag products.
 //!
 //! Usage: `bench_smoke [--json [PATH]] [--reps N]`. With `--json` the
-//! results are written to `PATH` (default `BENCH_pr3.json`); the JSON
+//! results are written to `PATH` (default `BENCH_pr6.json`); the JSON
 //! `cases` keys (`name`, `baseline`, `baseline_ns`, `new_ns`,
 //! `speedup`) are exactly the README perf-table columns, so the table
 //! regenerates field for field.
@@ -130,12 +139,116 @@ fn peak_rss_bytes() -> Option<u64> {
     Some(kb * 1024)
 }
 
+/// A small wafer-lot screening for the fleet case: defects over a
+/// disc, 2^13-sample dies, the TL081 production screen with one
+/// retest round of 2x escalation.
+fn lot_screening(grid: usize) -> nfbist_soc::fleet::LotScreen {
+    use nfbist_analog::circuits::NonInvertingAmplifier;
+    use nfbist_analog::opamp::OpampModel;
+    use nfbist_analog::units::Ohms;
+    use nfbist_analog::wafer::{DefectModel, Lot, ProcessVariation, WaferMap};
+    use nfbist_soc::coverage::FaultUniverse;
+    use nfbist_soc::fleet::LotScreen;
+    use nfbist_soc::screening::{RetestPolicy, Screen};
+    use nfbist_soc::setup::BistSetup;
+
+    let lot = Lot::new(
+        WaferMap::disc(grid).expect("wafer"),
+        ProcessVariation::default(),
+        DefectModel::new()
+            .background(0.08)
+            .expect("background")
+            .edge_gradient(0.20)
+            .expect("edge"),
+        20_050_307,
+    )
+    .expect("lot");
+    let mut setup = BistSetup::quick(0);
+    setup.samples = 1 << 13;
+    setup.nfft = 1_024;
+    let expected =
+        NonInvertingAmplifier::new(OpampModel::tl081(), Ohms::new(10_000.0), Ohms::new(100.0))
+            .expect("dut")
+            .expected_noise_figure_db(Ohms::new(2_000.0), 100.0, 1_000.0)
+            .expect("expected NF");
+    LotScreen::new(
+        lot,
+        setup,
+        Screen::new(expected + 1.2, 3.0).expect("screen"),
+        FaultUniverse::new()
+            .excess_noise(&[2.0, 8.0])
+            .expect("universe"),
+    )
+    .expect("lot screen")
+    .retest(RetestPolicy::new(2, 2).expect("policy"))
+}
+
 fn run(reps: usize) -> Vec<Case> {
     let mut cases = Vec::new();
     let fs = 20_000.0;
 
-    // --- Case 0 (first, so earlier cases cannot mask its memory
-    // footprint): streaming vs batch Welch over a 2^24-sample record.
+    // --- Case 0 (first, before anything materializes a large record
+    // that would lift the VmHWM high-water mark and mask the proof):
+    // fleet lot screening, parallel + memory-gated vs sequential.
+    {
+        use nfbist_runtime::fleet::FleetPlan;
+
+        let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let small = lot_screening(8); // ~50 dies
+        let large = lot_screening(16); // ~4x the dies
+        let die_cost = large.die_cost_bytes();
+        let budget = 2 * die_cost;
+        let plan = FleetPlan::workers(workers).memory_budget(budget);
+
+        // RSS proof: VmHWM is monotone, so screen the small lot first
+        // to establish the working-set peak, then the 4x lot. The
+        // *additional* peak growth must stay a small fraction of the
+        // larger lot's total transient cost — the gate (2 dies in
+        // flight), not the lot size, sets the peak.
+        let rss_before = peak_rss_bytes();
+        let report_small = plan.screen_lot(&small).expect("small lot");
+        let rss_small = peak_rss_bytes();
+        let report_large = plan.screen_lot(&large).expect("large lot");
+        let rss_large = peak_rss_bytes();
+        let large_total = large.dies() * die_cost;
+        if let (Some(mid), Some(after)) = (rss_small, rss_large) {
+            let delta = after.saturating_sub(mid);
+            assert!(
+                delta < (large_total / 8) as u64,
+                "screening 4x the dies grew peak RSS by {delta} B — not bounded \
+                 (the lot's total transient cost is {large_total} B)"
+            );
+        }
+
+        // Determinism: the budgeted parallel report must carry the
+        // same bits as the sequential die loop.
+        let sequential = small.run().expect("sequential run");
+        assert_eq!(report_small, sequential, "parallel lot != sequential lot");
+
+        let new_ns = time_ns(reps, || plan.screen_lot(&small).expect("fleet"));
+        let baseline_ns = time_ns(reps, || small.run().expect("sequential"));
+        match (rss_before, rss_small, rss_large) {
+            (Some(b), Some(m), Some(a)) => println!(
+                "fleet RSS proof: small lot ({} dies) peaked at {:.1} MiB, the 4x lot \
+                 ({} dies, {:.0} MiB total transient) added {:.1} MiB on top",
+                small.dies(),
+                m.saturating_sub(b) as f64 / (1 << 20) as f64,
+                large.dies(),
+                large_total as f64 / (1 << 20) as f64,
+                a.saturating_sub(m) as f64 / (1 << 20) as f64,
+            ),
+            _ => println!("fleet RSS proof: /proc not available, skipped"),
+        }
+        drop(report_large);
+        cases.push(Case {
+            name: "wafer_lot_grid8_screen",
+            baseline: "sequential die loop (LotScreen::run)",
+            baseline_ns,
+            new_ns,
+        });
+    }
+
+    // --- Case 1: streaming vs batch Welch over a 2^24-sample record.
     //
     // The streaming pass generates the record chunk by chunk straight
     // into `StreamingWelch` — the 128 MiB record never exists — and
@@ -219,7 +332,7 @@ fn run(reps: usize) -> Vec<Case> {
         });
     }
 
-    // --- Case 1: Welch over a 2^20-sample record, 4096-point segments.
+    // --- Case 2: Welch over a 2^20-sample record, 4096-point segments.
     {
         let samples = 1 << 20;
         let nfft = 4_096;
@@ -251,7 +364,7 @@ fn run(reps: usize) -> Vec<Case> {
         });
     }
 
-    // --- Case 2: one 4096-point transform, real vs complex engine.
+    // --- Case 3: one 4096-point transform, real vs complex engine.
     {
         let n = 4_096;
         let x: Vec<f64> = (0..n).map(|j| (j as f64 * 0.37).sin() + 0.2).collect();
@@ -277,7 +390,7 @@ fn run(reps: usize) -> Vec<Case> {
         });
     }
 
-    // --- Case 3: one-bit autocorrelation, popcount vs float.
+    // --- Case 4: one-bit autocorrelation, popcount vs float.
     {
         let n = 1 << 20;
         let max_lag = 64;
@@ -308,7 +421,7 @@ fn run(reps: usize) -> Vec<Case> {
 }
 
 fn write_json(path: &str, cases: &[Case]) -> std::io::Result<()> {
-    let mut body = String::from("{\n  \"pr\": 5,\n  \"bench\": \"bench_smoke\",\n  \"cases\": [\n");
+    let mut body = String::from("{\n  \"pr\": 6,\n  \"bench\": \"bench_smoke\",\n  \"cases\": [\n");
     for (i, c) in cases.iter().enumerate() {
         body.push_str(&format!(
             "    {{\"name\": \"{}\", \"baseline\": \"{}\", \"baseline_ns\": {:.0}, \"new_ns\": {:.0}, \"speedup\": {:.3}}}{}\n",
@@ -333,7 +446,7 @@ fn main() {
             "--json" => {
                 let path = match args.peek() {
                     Some(p) if !p.starts_with("--") => args.next().expect("peeked"),
-                    _ => "BENCH_pr3.json".to_string(),
+                    _ => "BENCH_pr6.json".to_string(),
                 };
                 json_path = Some(path);
             }

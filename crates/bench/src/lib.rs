@@ -15,6 +15,7 @@
 //! | Table 3 (4 op-amps, prototype) | `exp_table3` |
 //! | Fig. 13 (prototype PSD) | `exp_fig13` |
 //! | — (beyond the paper: defect coverage vs test time) | `exp_coverage` |
+//! | — (beyond the paper: fleet-scale wafer/lot screening) | `exp_wafer` |
 //!
 //! Every binary accepts `--quick` to run a reduced record length for
 //! smoke testing; without it the paper's sizes (10⁶ samples, 10⁴-point
@@ -200,6 +201,31 @@ pub fn workers_flag() -> usize {
     nfbist_runtime::BatchExecutor::with_available_parallelism().workers()
 }
 
+/// Parses `--dies N` (a lot-size target in dies); returns `default`
+/// when absent or malformed. The wafer synthesis rounds the target up
+/// to the nearest full disc, so the screened lot may hold slightly
+/// more dies than requested.
+pub fn dies_flag(default: usize) -> usize {
+    parse_value_flag("--dies").unwrap_or(default).max(1)
+}
+
+/// Parses `--budget BYTES` (the fleet engine's global memory budget
+/// for die-job admission); `None` when absent or malformed — callers
+/// then pick their own default.
+pub fn budget_flag() -> Option<usize> {
+    parse_value_flag("--budget")
+}
+
+fn parse_value_flag(flag: &str) -> Option<usize> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == flag {
+            return args.next().and_then(|v| v.parse::<usize>().ok());
+        }
+    }
+    None
+}
+
 /// Record length / FFT size for the current mode.
 pub fn record_sizes(quick: bool) -> (usize, usize) {
     if quick {
@@ -236,6 +262,15 @@ mod tests {
             r.ratio,
             s.true_ratio
         );
+    }
+
+    #[test]
+    fn value_flags_fall_back_when_absent() {
+        // The test harness is never invoked with the experiment flags,
+        // so both helpers take their fallback path here.
+        assert_eq!(dies_flag(512), 512);
+        assert_eq!(dies_flag(0), 1);
+        assert_eq!(budget_flag(), None);
     }
 
     #[test]

@@ -25,14 +25,13 @@
 //! needs the frequency-response mode (paper §7); the campaign puts
 //! numbers on that boundary.
 
-use crate::screening::{screen_with_retest, RetestPolicy, Screen, Verdict};
-use crate::session::{derive_seed, MeasurementSession};
+use crate::screening::{RetestPolicy, Screen, ScreeningRecipe, Verdict};
+use crate::session::derive_seed;
 use crate::setup::BistSetup;
 use crate::SocError;
 use nfbist_analog::circuits::NonInvertingAmplifier;
-use nfbist_analog::converter::OneBitDigitizer;
 use nfbist_analog::dut::Dut;
-use nfbist_analog::fault::{AnalogFault, BitFault, FaultyDigitizer, FaultyDut};
+use nfbist_analog::fault::{AnalogFault, BitFault};
 use nfbist_analog::opamp::OpampModel;
 use nfbist_analog::units::Ohms;
 
@@ -518,7 +517,7 @@ impl CoverageCampaign {
     /// Returns [`SocError::InvalidParameter`] for an out-of-range cell
     /// index and propagates configuration errors (an *unmeasurable*
     /// DUT is a [`Verdict::Fail`], not an error — see
-    /// [`screen_with_retest`]).
+    /// [`crate::screening::screen_with_retest`]).
     pub fn run_cell(&self, cell: usize) -> Result<CellOutcome, SocError> {
         if cell >= self.cell_count() {
             return Err(SocError::InvalidParameter {
@@ -530,19 +529,13 @@ impl CoverageCampaign {
         let trial = cell % self.trials;
         let variant = &self.universe.variants[variant_index];
 
-        let mut setup = self.setup.clone();
-        setup.seed = derive_seed(self.setup.seed, cell as u64);
-
-        let outcome = screen_with_retest(&self.screen, &setup, &self.retest, |round_setup| {
-            let dut =
-                FaultyDut::new((self.build_dut)()?).with_faults(variant.analog.iter().copied())?;
-            let digitizer = FaultyDigitizer::new(OneBitDigitizer::ideal())
-                .with_faults(variant.bit.iter().copied())?;
-            Ok(MeasurementSession::new(round_setup)?
-                .dut(dut)
-                .digitizer(digitizer)
-                .repeats(self.repeats))
-        })?;
+        let recipe = ScreeningRecipe::new()
+            .dut_builder(&*self.build_dut)
+            .analog_faults(variant.analog.iter().copied())?
+            .bit_faults(variant.bit.iter().copied())?
+            .repeats(self.repeats);
+        let outcome =
+            recipe.screen_indexed(&self.screen, &self.setup, &self.retest, cell as u64)?;
 
         let final_round = outcome
             .rounds

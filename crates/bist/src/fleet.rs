@@ -1,0 +1,889 @@
+//! Fleet-scale lot screening: every die of a synthesized wafer
+//! population through the full session → screen → retest flow.
+//!
+//! This is the production-line layer the paper's economics argument
+//! (§1) assumes: the BIST cell is replicated on every die, so the
+//! interesting object is no longer one measurement but a *lot* —
+//! thousands of dies whose process parameters drift and whose defects
+//! cluster spatially. The module glues the analog population model
+//! ([`nfbist_analog::wafer::Lot`]) to the screening flow
+//! ([`crate::screening::ScreeningRecipe`]):
+//!
+//! 1. [`LotScreen`] instantiates die `i` from the lot — process
+//!    variation becomes `ExcessNoise`/`GainDeviation` faults, an
+//!    assigned defect becomes a [`crate::coverage::FaultUniverse`]
+//!    variant — and screens it with the per-die seed
+//!    `derive_seed(lot_seed, i)`. A die outcome is a **pure function
+//!    of its index**, so a scheduler can fan dies across any number
+//!    of workers and reassemble bit-identical results.
+//! 2. [`LotReport`] folds [`DieOutcome`]s **in die order** into
+//!    rolling yield / escape / retest-rate / test-time statistics (a
+//!    dashboard that is meaningful mid-lot, not only at the end) and
+//!    renders the classic wafer map (pass / fail / gross / unresolved
+//!    per site).
+//!
+//! The parallel twin with admission control and backpressure is
+//! `nfbist_runtime::fleet::FleetPlan::screen_lot`; its report is
+//! bit-identical to the sequential [`LotScreen::run`] by
+//! construction.
+
+use crate::coverage::{DutBuilder, FaultUniverse};
+use crate::screening::{RetestPolicy, Screen, ScreeningRecipe, Verdict};
+use crate::setup::BistSetup;
+use crate::SocError;
+use nfbist_analog::circuits::NonInvertingAmplifier;
+use nfbist_analog::fault::AnalogFault;
+use nfbist_analog::opamp::OpampModel;
+use nfbist_analog::units::Ohms;
+use nfbist_analog::wafer::{Lot, WaferMap};
+
+/// The outcome of screening one die, the unit a lot report folds.
+///
+/// # Examples
+///
+/// ```
+/// use nfbist_soc::fleet::DieOutcome;
+/// use nfbist_soc::screening::Verdict;
+///
+/// let die = DieOutcome {
+///     die: 12,
+///     defect: None,
+///     verdict: Verdict::Fail,
+///     retests: 0,
+///     nf_db: f64::INFINITY,
+///     test_samples: 1 << 15,
+/// };
+/// assert!(die.is_gross());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DieOutcome {
+    /// Die index within the lot.
+    pub die: usize,
+    /// `Some(variant)` when the die carried a defect: the index of the
+    /// fault-universe variant that was injected.
+    pub defect: Option<usize>,
+    /// Final screening verdict after retest escalation.
+    pub verdict: Verdict,
+    /// Retests performed (rounds beyond the first).
+    pub retests: usize,
+    /// NF measured in the final round, in dB (`f64::INFINITY` for an
+    /// unmeasurable gross reject).
+    pub nf_db: f64,
+    /// Total samples acquired across all rounds, hot+cold, all repeats
+    /// — the die's test-time cost.
+    pub test_samples: u64,
+}
+
+impl DieOutcome {
+    /// `true` when the die was a gross reject (unmeasurable — the
+    /// Y-factor equation degenerated).
+    pub fn is_gross(&self) -> bool {
+        self.verdict == Verdict::Fail && self.nf_db == f64::INFINITY
+    }
+}
+
+/// A wafer-lot screening plan: the lot population, the guard-banded
+/// screen, the retest policy, and the defect fault universe.
+///
+/// # Examples
+///
+/// ```
+/// use nfbist_analog::wafer::{DefectModel, Lot, ProcessVariation, WaferMap};
+/// use nfbist_soc::coverage::FaultUniverse;
+/// use nfbist_soc::fleet::LotScreen;
+/// use nfbist_soc::screening::Screen;
+/// use nfbist_soc::setup::BistSetup;
+///
+/// # fn main() -> Result<(), nfbist_soc::SocError> {
+/// let lot = Lot::new(
+///     WaferMap::disc(6)?,
+///     ProcessVariation::default(),
+///     DefectModel::new().background(0.2)?,
+///     7,
+/// )?;
+/// let mut setup = BistSetup::quick(0); // seed is overridden by the lot
+/// setup.samples = 1 << 13;
+/// setup.nfft = 1_024;
+/// let universe = FaultUniverse::new().excess_noise(&[8.0])?;
+/// let screening = LotScreen::new(lot, setup, Screen::new(12.0, 3.0)?, universe)?;
+/// let report = screening.run()?;
+/// assert_eq!(report.dies(), screening.dies());
+/// # Ok(())
+/// # }
+/// ```
+pub struct LotScreen {
+    lot: Lot,
+    setup: BistSetup,
+    screen: Screen,
+    universe: FaultUniverse,
+    retest: RetestPolicy,
+    repeats: usize,
+    session_budget: Option<usize>,
+    build_dut: DutBuilder,
+}
+
+impl std::fmt::Debug for LotScreen {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LotScreen")
+            .field("dies", &self.lot.dies())
+            .field("setup", &self.setup)
+            .field("screen", &self.screen)
+            .field("variants", &self.universe.len())
+            .field("retest", &self.retest)
+            .field("repeats", &self.repeats)
+            .field("session_budget", &self.session_budget)
+            .finish()
+    }
+}
+
+impl LotScreen {
+    /// Creates a lot screen. The setup's seed is overridden by the
+    /// lot's seed (one seed determines the whole lot, population and
+    /// measurements alike), and the lot's defect kinds are bound to
+    /// the universe's *faulty* variants (variant 0 is the healthy
+    /// design and is never assigned as a defect).
+    ///
+    /// Defaults: no retest escalation ([`RetestPolicy::single`]),
+    /// 1 repeat, unbudgeted sessions, the paper's TL081 non-inverting
+    /// prototype as the healthy DUT.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SocError::InvalidParameter`] for an invalid setup or
+    /// a universe without at least one faulty variant.
+    pub fn new(
+        lot: Lot,
+        mut setup: BistSetup,
+        screen: Screen,
+        universe: FaultUniverse,
+    ) -> Result<Self, SocError> {
+        setup.validate()?;
+        if universe.len() < 2 {
+            return Err(SocError::InvalidParameter {
+                name: "universe",
+                reason: "a lot screen needs at least one faulty variant to assign to defects",
+            });
+        }
+        setup.seed = lot.seed();
+        let lot = lot.defect_kinds(universe.len() - 1);
+        Ok(LotScreen {
+            lot,
+            setup,
+            screen,
+            universe,
+            retest: RetestPolicy::single(),
+            repeats: 1,
+            session_budget: None,
+            build_dut: Box::new(|| {
+                Ok(Box::new(NonInvertingAmplifier::new(
+                    OpampModel::tl081(),
+                    Ohms::new(10_000.0),
+                    Ohms::new(100.0),
+                )?))
+            }),
+        })
+    }
+
+    /// Enables retest escalation with the given policy.
+    pub fn retest(mut self, policy: RetestPolicy) -> Self {
+        self.retest = policy;
+        self
+    }
+
+    /// Sets the hot/cold repeats averaged per measurement (clamped to
+    /// ≥ 1).
+    pub fn repeats(mut self, n: usize) -> Self {
+        self.repeats = n.max(1);
+        self
+    }
+
+    /// Caps every die session at `bytes` of acquisition memory — the
+    /// per-die half of the fleet's bounded-RSS story (sessions above
+    /// the cap stream in chunks, bit-identically). The scheduler's
+    /// admission gate is the other half.
+    pub fn session_budget(mut self, bytes: usize) -> Self {
+        self.session_budget = Some(bytes);
+        self
+    }
+
+    /// Overrides the healthy-DUT builder (called once per measurement
+    /// round).
+    pub fn dut_builder<F>(mut self, build: F) -> Self
+    where
+        F: Fn() -> Result<Box<dyn nfbist_analog::dut::Dut>, SocError> + Send + Sync + 'static,
+    {
+        self.build_dut = Box::new(build);
+        self
+    }
+
+    /// The lot under screen.
+    pub fn lot(&self) -> &Lot {
+        &self.lot
+    }
+
+    /// Number of dies in the lot.
+    pub fn dies(&self) -> usize {
+        self.lot.dies()
+    }
+
+    /// The screening limit in force.
+    pub fn screen(&self) -> &Screen {
+        &self.screen
+    }
+
+    /// The base measurement setup (seed = lot seed).
+    pub fn setup(&self) -> &BistSetup {
+        &self.setup
+    }
+
+    /// The defect fault universe.
+    pub fn universe(&self) -> &FaultUniverse {
+        &self.universe
+    }
+
+    /// An upper bound on one die job's transient memory, in bytes —
+    /// the admission cost a scheduler's global memory gate charges per
+    /// in-flight die.
+    ///
+    /// With a session budget set this is the budget itself (the
+    /// streaming pipeline caps every round's acquisition); otherwise
+    /// it is the final escalation round's record at 8 bytes per
+    /// sample, times the ~4 record-sized buffers a round holds at its
+    /// peak (noise, reference, hot and cold acquisitions).
+    pub fn die_cost_bytes(&self) -> usize {
+        if let Some(budget) = self.session_budget {
+            return budget.max(1);
+        }
+        let worst_samples = self.setup.samples.saturating_mul(
+            self.retest
+                .growth()
+                .saturating_pow((self.retest.max_rounds() as u32).saturating_sub(1)),
+        );
+        worst_samples.saturating_mul(8).saturating_mul(4).max(1)
+    }
+
+    /// Screens die `i`: instantiates the die's process variation and
+    /// defect (if any) as faults on the healthy design, then runs the
+    /// guard-banded retest flow seeded by `derive_seed(lot_seed, i)`.
+    ///
+    /// Pure in `i`: the same index always produces the same outcome,
+    /// regardless of call order, thread, or which other dies ran
+    /// before — the invariant every parallel schedule relies on.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SocError::Analog`] for an out-of-range die index and
+    /// propagates configuration errors (an *unmeasurable* die is a
+    /// gross-reject [`Verdict::Fail`], not an error).
+    pub fn screen_die(&self, i: usize) -> Result<DieOutcome, SocError> {
+        let die = self.lot.die(i)?;
+
+        let mut recipe = ScreeningRecipe::new()
+            .dut_builder(&*self.build_dut)
+            .repeats(self.repeats);
+        // Process variation: the healthy floor is the designed noise
+        // (the population model already floors the multiplier at 1).
+        if die.noise_scale > 1.0 {
+            recipe = recipe.analog_fault(AnalogFault::ExcessNoise {
+                factor: die.noise_scale,
+            })?;
+        }
+        if die.gain_scale != 1.0 {
+            recipe = recipe.analog_fault(AnalogFault::GainDeviation {
+                factor: die.gain_scale,
+            })?;
+        }
+        // A defect kind maps onto the universe's faulty variants
+        // (variant 0 is the healthy design, never a defect).
+        let defect = die.defect.map(|kind| 1 + kind % (self.universe.len() - 1));
+        if let Some(variant_index) = defect {
+            let variant = self
+                .universe
+                .get(variant_index)
+                .expect("defect kinds are bound to the universe length");
+            recipe = recipe
+                .analog_faults(variant.analog_faults().iter().copied())?
+                .bit_faults(variant.bit_faults().iter().copied())?;
+        }
+        if let Some(budget) = self.session_budget {
+            recipe = recipe.memory_budget(budget);
+        }
+
+        let outcome = recipe.screen_indexed(&self.screen, &self.setup, &self.retest, i as u64)?;
+        let final_round = outcome
+            .rounds
+            .last()
+            .expect("screen_with_retest always records at least one round");
+        Ok(DieOutcome {
+            die: i,
+            defect,
+            verdict: outcome.verdict,
+            retests: outcome.retests(),
+            nf_db: final_round.nf_db,
+            // Hot + cold per repeat, per round.
+            test_samples: outcome.total_samples() * 2 * self.repeats as u64,
+        })
+    }
+
+    /// Folds die outcomes — supplied in **any** order — into the lot
+    /// report. Outcomes are re-ordered by die index before folding, so
+    /// every schedule (sequential, work-stealing, backpressured)
+    /// produces the same report bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SocError::InvalidParameter`] when `outcomes` is not
+    /// exactly one outcome per die of the lot.
+    pub fn assemble(&self, outcomes: Vec<DieOutcome>) -> Result<LotReport, SocError> {
+        if outcomes.len() != self.dies() {
+            return Err(SocError::InvalidParameter {
+                name: "outcomes",
+                reason: "outcome count must equal the lot's die count",
+            });
+        }
+        let mut slots: Vec<Option<DieOutcome>> = (0..self.dies()).map(|_| None).collect();
+        for outcome in outcomes {
+            let slot = slots
+                .get_mut(outcome.die)
+                .ok_or(SocError::InvalidParameter {
+                    name: "outcomes",
+                    reason: "die index beyond the lot",
+                })?;
+            if slot.is_some() {
+                return Err(SocError::InvalidParameter {
+                    name: "outcomes",
+                    reason: "duplicate outcome for one die",
+                });
+            }
+            *slot = Some(outcome);
+        }
+        let mut report = LotReport::new();
+        for slot in slots {
+            report.push(slot.expect("counted: every slot filled exactly once"))?;
+        }
+        Ok(report)
+    }
+
+    /// Screens the whole lot sequentially, in die order. The parallel
+    /// twin is `nfbist_runtime::fleet::FleetPlan::screen_lot`, whose
+    /// report is bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing die, in die order.
+    pub fn run(&self) -> Result<LotReport, SocError> {
+        let outcomes = (0..self.dies())
+            .map(|i| self.screen_die(i))
+            .collect::<Result<Vec<_>, _>>()?;
+        self.assemble(outcomes)
+    }
+}
+
+/// Rolling lot statistics: the yield dashboard a production line
+/// watches while the lot is still on the tester.
+///
+/// Outcomes are folded **in die order** ([`LotReport::push`] enforces
+/// it), so the floating-point accumulators — and with them every
+/// statistic — are bit-identical no matter what schedule produced the
+/// outcomes.
+///
+/// # Examples
+///
+/// ```
+/// use nfbist_soc::fleet::{DieOutcome, LotReport};
+/// use nfbist_soc::screening::Verdict;
+///
+/// # fn main() -> Result<(), nfbist_soc::SocError> {
+/// let mut report = LotReport::new();
+/// report.push(DieOutcome {
+///     die: 0,
+///     defect: None,
+///     verdict: Verdict::Pass,
+///     retests: 0,
+///     nf_db: 9.1,
+///     test_samples: 1 << 14,
+/// })?;
+/// report.push(DieOutcome {
+///     die: 1,
+///     defect: Some(3),
+///     verdict: Verdict::Fail,
+///     retests: 1,
+///     nf_db: 17.0,
+///     test_samples: 3 << 14,
+/// })?;
+/// assert_eq!(report.dies(), 2);
+/// assert_eq!(report.yield_fraction(), 0.5);
+/// assert_eq!(report.detection_rate(), Some(1.0));
+/// assert_eq!(report.rolling_yield(), &[1.0, 0.5]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LotReport {
+    outcomes: Vec<DieOutcome>,
+    pass: usize,
+    fail: usize,
+    unresolved: usize,
+    gross: usize,
+    defective: usize,
+    detected: usize,
+    escaped: usize,
+    healthy_rejects: usize,
+    retested: usize,
+    total_retests: usize,
+    test_samples: u64,
+    nf_sum: f64,
+    nf_count: usize,
+    rolling_yield: Vec<f64>,
+}
+
+impl LotReport {
+    /// An empty report; fold outcomes with [`LotReport::push`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds the next die outcome into the rolling statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SocError::InvalidParameter`] when `outcome.die` is
+    /// not the next die in sequence — out-of-order folding would make
+    /// the floating-point accumulators schedule-dependent, which is
+    /// exactly what this type exists to prevent.
+    pub fn push(&mut self, outcome: DieOutcome) -> Result<(), SocError> {
+        if outcome.die != self.outcomes.len() {
+            return Err(SocError::InvalidParameter {
+                name: "outcome",
+                reason: "outcomes must be folded in die order (use LotScreen::assemble)",
+            });
+        }
+        match outcome.verdict {
+            Verdict::Pass => self.pass += 1,
+            Verdict::Fail => self.fail += 1,
+            Verdict::Retest => self.unresolved += 1,
+        }
+        if outcome.is_gross() {
+            self.gross += 1;
+        } else if outcome.nf_db.is_finite() {
+            self.nf_sum += outcome.nf_db;
+            self.nf_count += 1;
+        }
+        if outcome.defect.is_some() {
+            self.defective += 1;
+            match outcome.verdict {
+                Verdict::Fail => self.detected += 1,
+                Verdict::Pass => self.escaped += 1,
+                Verdict::Retest => {}
+            }
+        } else if outcome.verdict == Verdict::Fail {
+            self.healthy_rejects += 1;
+        }
+        if outcome.retests > 0 {
+            self.retested += 1;
+            self.total_retests += outcome.retests;
+        }
+        self.test_samples += outcome.test_samples;
+        self.outcomes.push(outcome);
+        self.rolling_yield
+            .push(self.pass as f64 / self.outcomes.len() as f64);
+        Ok(())
+    }
+
+    /// Dies folded so far.
+    pub fn dies(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// Every die outcome, in die order.
+    pub fn outcomes(&self) -> &[DieOutcome] {
+        &self.outcomes
+    }
+
+    /// Dies judged Pass.
+    pub fn passed(&self) -> usize {
+        self.pass
+    }
+
+    /// Dies judged Fail (gross rejects included).
+    pub fn failed(&self) -> usize {
+        self.fail
+    }
+
+    /// Dies still in the guard band when the retest budget ran out.
+    pub fn unresolved(&self) -> usize {
+        self.unresolved
+    }
+
+    /// Gross rejects (unmeasurable dies), a subset of
+    /// [`LotReport::failed`].
+    pub fn gross(&self) -> usize {
+        self.gross
+    }
+
+    /// Dies the population model made defective.
+    pub fn defective(&self) -> usize {
+        self.defective
+    }
+
+    /// Defective dies the screen caught (judged Fail).
+    pub fn detected(&self) -> usize {
+        self.detected
+    }
+
+    /// Defective dies that escaped (judged Pass — shipped defects).
+    pub fn escaped(&self) -> usize {
+        self.escaped
+    }
+
+    /// Healthy dies wrongly rejected (yield loss to the screen
+    /// itself).
+    pub fn healthy_rejects(&self) -> usize {
+        self.healthy_rejects
+    }
+
+    /// Dies that needed at least one retest.
+    pub fn retested(&self) -> usize {
+        self.retested
+    }
+
+    /// Total retest rounds across the lot.
+    pub fn total_retests(&self) -> usize {
+        self.total_retests
+    }
+
+    /// Lot yield: fraction of dies judged Pass.
+    pub fn yield_fraction(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            0.0
+        } else {
+            self.pass as f64 / self.outcomes.len() as f64
+        }
+    }
+
+    /// Yield after each die, in die order — the dashboard curve
+    /// (`rolling_yield()[i]` is the yield over dies `0..=i`).
+    pub fn rolling_yield(&self) -> &[f64] {
+        &self.rolling_yield
+    }
+
+    /// Detection rate over defective dies, or `None` for a
+    /// defect-free lot.
+    pub fn detection_rate(&self) -> Option<f64> {
+        (self.defective > 0).then(|| self.detected as f64 / self.defective as f64)
+    }
+
+    /// Escape rate over defective dies (shipped defects), or `None`
+    /// for a defect-free lot.
+    pub fn escape_rate(&self) -> Option<f64> {
+        (self.defective > 0).then(|| self.escaped as f64 / self.defective as f64)
+    }
+
+    /// Fraction of dies that needed at least one retest.
+    pub fn retest_rate(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            0.0
+        } else {
+            self.retested as f64 / self.outcomes.len() as f64
+        }
+    }
+
+    /// Total samples acquired by the lot (hot+cold, all repeats and
+    /// rounds) — its test-time bill.
+    pub fn test_samples(&self) -> u64 {
+        self.test_samples
+    }
+
+    /// Mean test time per die, in samples.
+    pub fn mean_test_samples(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            0.0
+        } else {
+            self.test_samples as f64 / self.outcomes.len() as f64
+        }
+    }
+
+    /// Mean measured NF in dB over the lot's measurable dies
+    /// (`f64::INFINITY` when no die was measurable).
+    pub fn mean_nf_db(&self) -> f64 {
+        if self.nf_count == 0 {
+            f64::INFINITY
+        } else {
+            self.nf_sum / self.nf_count as f64
+        }
+    }
+
+    /// Renders the lot as the classic wafer map on its wafer geometry:
+    /// `o` pass, `x` fail, `G` gross reject, `?` unresolved (retest
+    /// budget exhausted), `·` off-wafer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SocError::InvalidParameter`] when the wafer's die
+    /// count does not match the folded outcomes.
+    pub fn render_on(&self, wafer: &WaferMap) -> Result<String, SocError> {
+        if wafer.dies() != self.outcomes.len() {
+            return Err(SocError::InvalidParameter {
+                name: "wafer",
+                reason: "wafer die count must match the report's outcomes",
+            });
+        }
+        Ok(wafer.render(|site| {
+            let outcome = &self.outcomes[site.index];
+            if outcome.is_gross() {
+                'G'
+            } else {
+                match outcome.verdict {
+                    Verdict::Pass => 'o',
+                    Verdict::Fail => 'x',
+                    Verdict::Retest => '?',
+                }
+            }
+        }))
+    }
+
+    /// The report's headline statistics as a formatted table.
+    pub fn to_table(&self) -> crate::report::Table {
+        let mut table = crate::report::Table::new(vec!["Lot statistic", "Value"]);
+        let pct = |x: f64| format!("{:.1} %", 100.0 * x);
+        table.row(vec!["dies".to_string(), self.dies().to_string()]);
+        table.row(vec![
+            "pass / fail / unresolved".to_string(),
+            format!("{} / {} / {}", self.pass, self.fail, self.unresolved),
+        ]);
+        table.row(vec!["yield".to_string(), pct(self.yield_fraction())]);
+        table.row(vec![
+            "defective (detected / escaped)".to_string(),
+            format!("{} ({} / {})", self.defective, self.detected, self.escaped),
+        ]);
+        table.row(vec!["gross rejects".to_string(), self.gross.to_string()]);
+        table.row(vec![
+            "healthy rejects".to_string(),
+            self.healthy_rejects.to_string(),
+        ]);
+        table.row(vec![
+            "retest rate".to_string(),
+            format!("{} ({})", pct(self.retest_rate()), self.total_retests),
+        ]);
+        table.row(vec![
+            "mean NF (dB)".to_string(),
+            if self.mean_nf_db().is_finite() {
+                format!("{:.2}", self.mean_nf_db())
+            } else {
+                "∞".to_string()
+            },
+        ]);
+        table.row(vec![
+            "mean test samples / die".to_string(),
+            format!("{:.0}", self.mean_test_samples()),
+        ]);
+        table
+    }
+}
+
+impl std::fmt::Display for LotReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.to_table())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfbist_analog::wafer::{DefectModel, ProcessVariation};
+
+    fn tiny_setup(seed: u64) -> BistSetup {
+        let mut setup = BistSetup::quick(seed);
+        setup.samples = 1 << 13;
+        setup.nfft = 1_024;
+        setup
+    }
+
+    fn tiny_lot(seed: u64, background: f64) -> Lot {
+        Lot::new(
+            WaferMap::disc(6).unwrap(),
+            ProcessVariation::default(),
+            DefectModel::new().background(background).unwrap(),
+            seed,
+        )
+        .unwrap()
+    }
+
+    fn calibrated_screen() -> Screen {
+        // Limit 1.2 dB above the TL081 prototype's expected NF: room
+        // for process variation, none for gross noise defects.
+        let dut =
+            NonInvertingAmplifier::new(OpampModel::tl081(), Ohms::new(10_000.0), Ohms::new(100.0))
+                .unwrap();
+        let expected = dut
+            .expected_noise_figure_db(Ohms::new(2_000.0), 100.0, 1_000.0)
+            .unwrap();
+        Screen::new(expected + 1.2, 3.0).unwrap()
+    }
+
+    #[test]
+    fn validation_and_accessors() {
+        let screen = Screen::new(10.0, 3.0).unwrap();
+        // Healthy-only universe: nothing to assign to defects.
+        assert!(LotScreen::new(
+            tiny_lot(1, 0.0),
+            tiny_setup(1),
+            screen,
+            FaultUniverse::new()
+        )
+        .is_err());
+        let mut bad = tiny_setup(1);
+        bad.samples = 0;
+        let universe = FaultUniverse::new().excess_noise(&[8.0]).unwrap();
+        assert!(LotScreen::new(tiny_lot(1, 0.0), bad, screen, universe.clone()).is_err());
+
+        let screening = LotScreen::new(tiny_lot(9, 0.0), tiny_setup(1), screen, universe).unwrap();
+        assert_eq!(screening.setup().seed, screening.lot().seed());
+        assert_eq!(screening.dies(), screening.lot().dies());
+        assert_eq!(screening.universe().len(), 2);
+        assert_eq!(screening.screen().limit_db(), 10.0);
+        assert!(screening.screen_die(screening.dies()).is_err());
+        assert!(format!("{screening:?}").contains("LotScreen"));
+        // The admission cost scales with retest escalation…
+        let base = screening.die_cost_bytes();
+        assert_eq!(base, (1 << 13) * 8 * 4);
+        let escalated = LotScreen::new(
+            tiny_lot(9, 0.0),
+            tiny_setup(1),
+            screen,
+            FaultUniverse::new().excess_noise(&[8.0]).unwrap(),
+        )
+        .unwrap()
+        .retest(RetestPolicy::new(3, 4).unwrap());
+        assert_eq!(escalated.die_cost_bytes(), base * 16);
+        // …and collapses to the budget when sessions are budgeted.
+        assert_eq!(
+            escalated.session_budget(64 * 1024).die_cost_bytes(),
+            64 * 1024
+        );
+    }
+
+    #[test]
+    fn dies_are_pure_and_assembly_is_order_free() {
+        let universe = FaultUniverse::new().excess_noise(&[8.0]).unwrap();
+        let screening = LotScreen::new(
+            tiny_lot(33, 0.3),
+            tiny_setup(0),
+            calibrated_screen(),
+            universe,
+        )
+        .unwrap()
+        .retest(RetestPolicy::new(2, 2).unwrap());
+        let a = screening.screen_die(7).unwrap();
+        let b = screening.screen_die(7).unwrap();
+        assert_eq!(a, b, "a die must be a pure function of its index");
+        // Sequential run == assembled reversed outcomes.
+        let report = screening.run().unwrap();
+        let mut outcomes: Vec<DieOutcome> = (0..screening.dies())
+            .map(|i| screening.screen_die(i).unwrap())
+            .collect();
+        outcomes.reverse();
+        assert_eq!(report, screening.assemble(outcomes).unwrap());
+        assert_eq!(report.dies(), screening.dies());
+    }
+
+    #[test]
+    fn assemble_rejects_malformed_outcome_sets() {
+        let universe = FaultUniverse::new().excess_noise(&[8.0]).unwrap();
+        let screening = LotScreen::new(
+            tiny_lot(5, 0.0),
+            tiny_setup(0),
+            Screen::new(10.0, 3.0).unwrap(),
+            universe,
+        )
+        .unwrap();
+        let outcome = |die: usize| DieOutcome {
+            die,
+            defect: None,
+            verdict: Verdict::Pass,
+            retests: 0,
+            nf_db: 9.0,
+            test_samples: 1,
+        };
+        assert!(screening.assemble(Vec::new()).is_err(), "wrong count");
+        let dup: Vec<DieOutcome> = (0..screening.dies()).map(|_| outcome(0)).collect();
+        assert!(screening.assemble(dup).is_err(), "duplicate die");
+        let mut range: Vec<DieOutcome> = (0..screening.dies()).map(outcome).collect();
+        range.last_mut().unwrap().die = screening.dies();
+        assert!(screening.assemble(range).is_err(), "die beyond the lot");
+        // And the report itself refuses out-of-order folding.
+        let mut report = LotReport::new();
+        assert!(report.push(outcome(3)).is_err());
+        report.push(outcome(0)).unwrap();
+        assert!(report.push(outcome(0)).is_err());
+    }
+
+    #[test]
+    fn defective_lot_screens_to_a_meaningful_report() {
+        // 40% background defects split between a moderate (2×, +3 dB)
+        // and a gross (8×) noise fault: the screen must catch all of
+        // them — the moderate ones with finite NF, the gross ones as
+        // unmeasurable rejects — while healthy dies pass.
+        let universe = FaultUniverse::new().excess_noise(&[2.0, 8.0]).unwrap();
+        let screening = LotScreen::new(
+            tiny_lot(101, 0.4),
+            tiny_setup(0),
+            calibrated_screen(),
+            universe,
+        )
+        .unwrap()
+        .retest(RetestPolicy::new(3, 4).unwrap());
+        let report = screening.run().unwrap();
+        assert!(report.defective() > 3, "seed must produce defects");
+        assert!(report.defective() < report.dies(), "and healthy dies");
+        assert_eq!(
+            report.detection_rate(),
+            Some(1.0),
+            "8x noise defects must all be caught: {report}"
+        );
+        assert_eq!(report.escape_rate(), Some(0.0));
+        assert_eq!(report.escaped(), 0);
+        assert!(
+            report.yield_fraction() > 0.3,
+            "healthy dies must mostly pass: {report}"
+        );
+        assert_eq!(
+            report.passed() + report.failed() + report.unresolved(),
+            report.dies()
+        );
+        assert!(report.detected() <= report.failed());
+        assert!(report.mean_nf_db().is_finite());
+        assert!(report.test_samples() >= (report.dies() as u64) * 2 * (1 << 13));
+        assert_eq!(report.rolling_yield().len(), report.dies());
+        assert_eq!(
+            report.rolling_yield().last().copied(),
+            Some(report.yield_fraction())
+        );
+        // The wafer map renders one mark per site.
+        let map = report.render_on(screening.lot().wafer()).unwrap();
+        let marks = map
+            .chars()
+            .filter(|c| matches!(c, 'o' | 'x' | 'G' | '?'))
+            .count();
+        assert_eq!(marks, report.dies());
+        assert!(map.contains('x'), "defects must appear on the map:\n{map}");
+        // Mismatched wafer geometry is rejected.
+        assert!(report.render_on(&WaferMap::disc(3).unwrap()).is_err());
+        // Table smoke.
+        let shown = report.to_string();
+        assert!(shown.contains("yield") && shown.contains("dies"));
+    }
+
+    #[test]
+    fn empty_report_edge_cases() {
+        let report = LotReport::new();
+        assert_eq!(report.dies(), 0);
+        assert_eq!(report.yield_fraction(), 0.0);
+        assert_eq!(report.retest_rate(), 0.0);
+        assert_eq!(report.mean_test_samples(), 0.0);
+        assert_eq!(report.mean_nf_db(), f64::INFINITY);
+        assert_eq!(report.detection_rate(), None);
+        assert_eq!(report.escape_rate(), None);
+        assert!(report.outcomes().is_empty());
+    }
+}

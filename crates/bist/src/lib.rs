@@ -27,6 +27,10 @@
 //!   [`coverage::FaultUniverse`] of defective DUT variants screened
 //!   through the full flow, reduced to detection/escape/yield-loss
 //!   rates per fault class ([`coverage::CoverageReport`]).
+//! * [`fleet`] — fleet-scale lot screening: every die of a synthesized
+//!   wafer population ([`nfbist_analog::wafer`]) through the full
+//!   screening flow, folded into rolling yield statistics and a wafer
+//!   map ([`fleet::LotReport`]).
 //! * [`freqresp`] — the comparator cell reused for frequency-response
 //!   measurement (§7).
 //! * [`testplan`] — scheduling acquisitions under a memory budget.
@@ -84,6 +88,7 @@
 #![deny(missing_docs)]
 
 pub mod coverage;
+pub mod fleet;
 pub mod freqresp;
 pub mod multipoint;
 pub mod report;

@@ -11,6 +11,12 @@
 use crate::session::{derive_seed, MeasurementSession};
 use crate::setup::BistSetup;
 use crate::SocError;
+use nfbist_analog::circuits::NonInvertingAmplifier;
+use nfbist_analog::converter::OneBitDigitizer;
+use nfbist_analog::dut::Dut;
+use nfbist_analog::fault::{AnalogFault, BitFault, FaultyDigitizer, FaultyDut};
+use nfbist_analog::opamp::OpampModel;
+use nfbist_analog::units::Ohms;
 use nfbist_core::estimator::NfMeasurement;
 use nfbist_core::uncertainty;
 
@@ -332,6 +338,231 @@ where
     }
 }
 
+/// A reusable per-DUT screening configuration: which healthy design to
+/// build, which faults to compose onto it, how many repeats to
+/// average, and an optional per-session memory budget.
+///
+/// [`screen_with_retest`] needs its session rebuilt from scratch every
+/// round (a session's record length is fixed at construction), so
+/// every call-site used to re-implement the same closure: build the
+/// healthy DUT, wrap it in [`FaultyDut`], wrap the ideal comparator in
+/// [`FaultyDigitizer`], set repeats, maybe set a budget. A recipe
+/// captures that dance once; [`ScreeningRecipe::screen`] runs the full
+/// retest flow and [`ScreeningRecipe::screen_indexed`] additionally
+/// derives the per-DUT seed from an index — the seed-stable form a
+/// coverage campaign or a wafer-lot screen fans across workers.
+///
+/// # Examples
+///
+/// ```
+/// use nfbist_soc::screening::{RetestPolicy, Screen, ScreeningRecipe, Verdict};
+/// use nfbist_soc::setup::BistSetup;
+/// use nfbist_analog::fault::AnalogFault;
+///
+/// # fn main() -> Result<(), nfbist_soc::SocError> {
+/// let mut setup = BistSetup::quick(3);
+/// setup.samples = 1 << 13;
+/// setup.nfft = 1_024;
+/// let screen = Screen::new(12.0, 3.0)?;
+/// let policy = RetestPolicy::new(3, 4)?;
+/// // The default TL081 prototype with an 8× noise defect: caught.
+/// let recipe = ScreeningRecipe::new().analog_fault(AnalogFault::ExcessNoise { factor: 8.0 })?;
+/// let outcome = recipe.screen(&screen, &setup, &policy)?;
+/// assert_eq!(outcome.verdict, Verdict::Fail);
+/// // The same recipe screens DUT after DUT, each seeded by its index.
+/// let a = recipe.screen_indexed(&screen, &setup, &policy, 7)?;
+/// assert_eq!(a, recipe.screen_indexed(&screen, &setup, &policy, 7)?);
+/// # Ok(())
+/// # }
+/// ```
+pub struct ScreeningRecipe<'a> {
+    build_dut: Option<&'a (dyn Fn() -> Result<Box<dyn Dut>, SocError> + Send + Sync)>,
+    analog: Vec<AnalogFault>,
+    bit: Vec<BitFault>,
+    repeats: usize,
+    memory_budget: Option<usize>,
+}
+
+impl std::fmt::Debug for ScreeningRecipe<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScreeningRecipe")
+            .field("custom_dut", &self.build_dut.is_some())
+            .field("analog", &self.analog)
+            .field("bit", &self.bit)
+            .field("repeats", &self.repeats)
+            .field("memory_budget", &self.memory_budget)
+            .finish()
+    }
+}
+
+impl Default for ScreeningRecipe<'_> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<'a> ScreeningRecipe<'a> {
+    /// A fault-free recipe around the paper's TL081 non-inverting
+    /// prototype, 1 repeat, unbudgeted.
+    pub fn new() -> Self {
+        ScreeningRecipe {
+            build_dut: None,
+            analog: Vec::new(),
+            bit: Vec::new(),
+            repeats: 1,
+            memory_budget: None,
+        }
+    }
+
+    /// Overrides the healthy-DUT builder (called once per measurement
+    /// round — every round measures a freshly built DUT).
+    pub fn dut_builder(
+        mut self,
+        build: &'a (dyn Fn() -> Result<Box<dyn Dut>, SocError> + Send + Sync),
+    ) -> Self {
+        self.build_dut = Some(build);
+        self
+    }
+
+    /// Composes an analog fault onto the DUT (builder style).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SocError::Analog`] for out-of-domain fault parameters.
+    pub fn analog_fault(mut self, fault: AnalogFault) -> Result<Self, SocError> {
+        fault.validate()?;
+        self.analog.push(fault);
+        Ok(self)
+    }
+
+    /// Composes every analog fault of an iterator onto the DUT.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SocError::Analog`] for out-of-domain fault parameters.
+    pub fn analog_faults(
+        mut self,
+        faults: impl IntoIterator<Item = AnalogFault>,
+    ) -> Result<Self, SocError> {
+        for fault in faults {
+            self = self.analog_fault(fault)?;
+        }
+        Ok(self)
+    }
+
+    /// Composes a 1-bit stream fault onto the front-end (builder
+    /// style).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SocError::Analog`] for out-of-domain fault parameters.
+    pub fn bit_fault(mut self, fault: BitFault) -> Result<Self, SocError> {
+        fault.validate()?;
+        self.bit.push(fault);
+        Ok(self)
+    }
+
+    /// Composes every bit fault of an iterator onto the front-end.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SocError::Analog`] for out-of-domain fault parameters.
+    pub fn bit_faults(
+        mut self,
+        faults: impl IntoIterator<Item = BitFault>,
+    ) -> Result<Self, SocError> {
+        for fault in faults {
+            self = self.bit_fault(fault)?;
+        }
+        Ok(self)
+    }
+
+    /// Sets the hot/cold repeats averaged per measurement (clamped to
+    /// ≥ 1).
+    pub fn repeats(mut self, n: usize) -> Self {
+        self.repeats = n.max(1);
+        self
+    }
+
+    /// Caps each round's session at `bytes` of acquisition memory —
+    /// rounds whose records exceed it run the streaming pipeline,
+    /// bit-identical to batch (so a budget never changes a verdict,
+    /// only peak RSS).
+    pub fn memory_budget(mut self, bytes: usize) -> Self {
+        self.memory_budget = Some(bytes);
+        self
+    }
+
+    /// Builds one measurement round's session from the recipe: healthy
+    /// DUT → [`FaultyDut`] → [`FaultyDigitizer`] over the ideal
+    /// comparator → repeats → optional budget.
+    ///
+    /// # Errors
+    ///
+    /// Propagates DUT-builder and session-construction errors.
+    pub fn session(&self, setup: BistSetup) -> Result<MeasurementSession, SocError> {
+        let healthy: Box<dyn Dut> = match self.build_dut {
+            Some(build) => build()?,
+            None => Box::new(NonInvertingAmplifier::new(
+                OpampModel::tl081(),
+                Ohms::new(10_000.0),
+                Ohms::new(100.0),
+            )?),
+        };
+        let dut = FaultyDut::new(healthy).with_faults(self.analog.iter().copied())?;
+        let digitizer =
+            FaultyDigitizer::new(OneBitDigitizer::ideal()).with_faults(self.bit.iter().copied())?;
+        let mut session = MeasurementSession::new(setup)?
+            .dut(dut)
+            .digitizer(digitizer)
+            .repeats(self.repeats);
+        if let Some(budget) = self.memory_budget {
+            session = session.memory_budget(budget);
+        }
+        Ok(session)
+    }
+
+    /// Runs the full guard-banded retest flow on this recipe's DUT:
+    /// [`screen_with_retest`] with [`ScreeningRecipe::session`] as the
+    /// per-round builder.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction and non-degenerate measurement errors
+    /// (an *unmeasurable* DUT is a [`Verdict::Fail`], not an error).
+    pub fn screen(
+        &self,
+        screen: &Screen,
+        setup: &BistSetup,
+        policy: &RetestPolicy,
+    ) -> Result<ScreeningOutcome, SocError> {
+        screen_with_retest(screen, setup, policy, |round_setup| {
+            self.session(round_setup)
+        })
+    }
+
+    /// [`ScreeningRecipe::screen`] with the per-DUT seed derived from
+    /// `index`: the screened setup's seed is
+    /// `derive_seed(setup.seed, index)`, making the outcome a pure
+    /// function of `(recipe, setup, index)` — the property that lets a
+    /// campaign or lot screen fan DUTs across workers bit-identically.
+    ///
+    /// # Errors
+    ///
+    /// As [`ScreeningRecipe::screen`].
+    pub fn screen_indexed(
+        &self,
+        screen: &Screen,
+        setup: &BistSetup,
+        policy: &RetestPolicy,
+        index: u64,
+    ) -> Result<ScreeningOutcome, SocError> {
+        let mut indexed = setup.clone();
+        indexed.seed = derive_seed(setup.seed, index);
+        self.screen(screen, &indexed, policy)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -465,6 +696,103 @@ mod tests {
         .unwrap();
         assert_eq!(outcome.verdict, Verdict::Fail);
         assert_eq!(outcome.rounds[0].nf_db, f64::INFINITY);
+    }
+
+    #[test]
+    fn recipe_matches_the_handwritten_closure_bitwise() {
+        // The recipe is sugar, not new behavior: its outcome must be
+        // bit-identical to the closure dance it replaces.
+        let mut setup = BistSetup::quick(21);
+        setup.samples = 1 << 13;
+        setup.nfft = 1_024;
+        let screen = Screen::new(12.0, 3.0).unwrap();
+        let policy = RetestPolicy::new(2, 2).unwrap();
+        let noise = AnalogFault::ExcessNoise { factor: 4.0 };
+        let stuck = BitFault::StuckBits {
+            period: 16,
+            value: true,
+        };
+        let recipe = ScreeningRecipe::new()
+            .analog_fault(noise)
+            .unwrap()
+            .bit_fault(stuck)
+            .unwrap()
+            .repeats(2);
+        let by_recipe = recipe.screen(&screen, &setup, &policy).unwrap();
+        let by_hand = screen_with_retest(&screen, &setup, &policy, |round_setup| {
+            let dut = FaultyDut::new(NonInvertingAmplifier::new(
+                OpampModel::tl081(),
+                Ohms::new(10_000.0),
+                Ohms::new(100.0),
+            )?)
+            .with_faults([noise])?;
+            let digitizer = FaultyDigitizer::new(OneBitDigitizer::ideal()).with_faults([stuck])?;
+            Ok(MeasurementSession::new(round_setup)?
+                .dut(dut)
+                .digitizer(digitizer)
+                .repeats(2))
+        })
+        .unwrap();
+        assert_eq!(by_recipe, by_hand);
+    }
+
+    #[test]
+    fn recipe_validation_budget_and_indexing() {
+        // Out-of-domain faults are rejected at recipe-build time.
+        assert!(ScreeningRecipe::new()
+            .analog_fault(AnalogFault::ExcessNoise { factor: 0.5 })
+            .is_err());
+        assert!(ScreeningRecipe::new()
+            .bit_fault(BitFault::StuckBits {
+                period: 0,
+                value: true,
+            })
+            .is_err());
+        assert!(format!("{:?}", ScreeningRecipe::default()).contains("ScreeningRecipe"));
+
+        let mut setup = BistSetup::quick(23);
+        setup.samples = 1 << 13;
+        setup.nfft = 1_024;
+        let screen = Screen::new(12.0, 3.0).unwrap();
+        let policy = RetestPolicy::single();
+        let recipe = ScreeningRecipe::new().repeats(0); // clamps to 1
+                                                        // A budget small enough to force streaming changes nothing.
+        let budgeted = ScreeningRecipe::new().memory_budget(16 * 1024);
+        assert!(budgeted.session(setup.clone()).unwrap().streaming_active());
+        assert_eq!(
+            recipe.screen(&screen, &setup, &policy).unwrap(),
+            budgeted.screen(&screen, &setup, &policy).unwrap(),
+            "a memory budget must never change a screening outcome"
+        );
+        // Indexed screening derives the documented seed.
+        let direct = {
+            let mut indexed = setup.clone();
+            indexed.seed = derive_seed(setup.seed, 5);
+            recipe.screen(&screen, &indexed, &policy).unwrap()
+        };
+        assert_eq!(
+            recipe.screen_indexed(&screen, &setup, &policy, 5).unwrap(),
+            direct
+        );
+        // A custom builder is honored.
+        let build: &(dyn Fn() -> Result<Box<dyn Dut>, SocError> + Send + Sync) = &|| {
+            Ok(Box::new(NonInvertingAmplifier::new(
+                OpampModel::op27(),
+                Ohms::new(10_000.0),
+                Ohms::new(100.0),
+            )?))
+        };
+        let quiet = ScreeningRecipe::new().dut_builder(build);
+        let loud = ScreeningRecipe::new();
+        let q = quiet.screen(&screen, &setup, &policy).unwrap();
+        let l = loud.screen(&screen, &setup, &policy).unwrap();
+        assert!(
+            q.rounds[0].nf_db < l.rounds[0].nf_db,
+            "the OP27 build must measure quieter than the TL081 default \
+             ({} vs {})",
+            q.rounds[0].nf_db,
+            l.rounds[0].nf_db
+        );
     }
 
     #[test]

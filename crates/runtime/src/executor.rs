@@ -8,8 +8,12 @@
 //! index `i` of the returned vector regardless of which worker ran it
 //! or in what order tasks finished, which is what makes parallel
 //! batches bit-identical to their sequential counterparts.
+//!
+//! Scheduling is delegated to [`crate::queue::WorkQueue`] (sharded
+//! claiming with work stealing); this type keeps the one-shot
+//! `Vec<FnOnce>` surface the batch entry points are written against.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use crate::queue::WorkQueue;
 use std::sync::{Mutex, PoisonError};
 use std::thread;
 
@@ -52,11 +56,11 @@ impl BatchExecutor {
 
     /// Runs every task and returns their outputs in task order.
     ///
-    /// Tasks are claimed work-stealing style off a shared index, so a
-    /// slow task never blocks the others; each output is written into
-    /// its task's slot. With one worker (or at most one task) the
-    /// batch degenerates to a plain sequential loop on the calling
-    /// thread — no threads are spawned at all.
+    /// Tasks are claimed off [`WorkQueue`]'s sharded cursors (with
+    /// work stealing), so a slow task never blocks the others; each
+    /// output is written into its task's slot. With one worker (or at
+    /// most one task) the batch degenerates to a plain sequential loop
+    /// on the calling thread — no threads are spawned at all.
     ///
     /// A panicking task propagates the panic to the caller once the
     /// scope joins.
@@ -70,31 +74,10 @@ impl BatchExecutor {
         }
         let n = tasks.len();
         let slots: Vec<Mutex<Option<F>>> = tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
-        let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
-        let next = AtomicUsize::new(0);
-
-        thread::scope(|scope| {
-            for _ in 0..self.workers.min(n) {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    let task = take_slot(&slots[i]).expect("each task index is claimed once");
-                    let out = task();
-                    *results[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(out);
-                });
-            }
-        });
-
-        results
-            .into_iter()
-            .map(|slot| {
-                slot.into_inner()
-                    .unwrap_or_else(PoisonError::into_inner)
-                    .expect("every claimed task stores its result")
-            })
-            .collect()
+        WorkQueue::new(self.workers).run(n, |i| {
+            let task = take_slot(&slots[i]).expect("each task index is claimed once");
+            task()
+        })
     }
 }
 

@@ -1,0 +1,206 @@
+//! Fleet-scale lot screening under a global memory budget: the
+//! parallel, backpressured twin of `nfbist_soc::fleet::LotScreen::run`.
+//!
+//! A lot is thousands of die-screening jobs, each a pure function of
+//! its die index. [`FleetPlan::screen_lot`] fans them across a
+//! [`WorkQueue`] (sharded claiming + work stealing) with every job
+//! first *admitted* through a [`MemoryGate`]: the job's worst-case
+//! transient memory (`LotScreen::die_cost_bytes`) must fit under the
+//! global budget before it may run, and blocked workers simply wait —
+//! backpressure. Peak RSS is therefore set by
+//! `min(workers, budget / die_cost)` concurrent jobs, **independent of
+//! lot size**.
+//!
+//! Determinism is unconditional: die outcomes depend only on
+//! `derive_seed(lot_seed, die_index)`, results are slot-indexed, and
+//! `LotScreen::assemble` folds them in die order — so the report is
+//! bit-identical across worker counts, budgets, and admission
+//! orderings. The gate can change *when* a die runs, never *what* it
+//! measures.
+
+use crate::queue::{MemoryGate, WorkQueue};
+use nfbist_soc::fleet::{LotReport, LotScreen};
+use nfbist_soc::SocError;
+
+/// A fleet execution plan: worker count plus an optional global
+/// memory budget for admission control.
+///
+/// # Examples
+///
+/// ```
+/// use nfbist_analog::wafer::{DefectModel, Lot, ProcessVariation, WaferMap};
+/// use nfbist_runtime::fleet::FleetPlan;
+/// use nfbist_soc::coverage::FaultUniverse;
+/// use nfbist_soc::fleet::LotScreen;
+/// use nfbist_soc::screening::Screen;
+/// use nfbist_soc::setup::BistSetup;
+///
+/// # fn main() -> Result<(), nfbist_soc::SocError> {
+/// let lot = Lot::new(
+///     WaferMap::disc(5)?,
+///     ProcessVariation::default(),
+///     DefectModel::new().background(0.2)?,
+///     11,
+/// )?;
+/// let mut setup = BistSetup::quick(0);
+/// setup.samples = 1 << 13;
+/// setup.nfft = 1_024;
+/// let screening = LotScreen::new(
+///     lot,
+///     setup,
+///     Screen::new(12.0, 3.0)?,
+///     FaultUniverse::new().excess_noise(&[8.0])?,
+/// )?;
+/// // 2 workers, ~2 concurrent dies' worth of global budget: the
+/// // report is bit-identical to `screening.run()`.
+/// let report = FleetPlan::workers(2)
+///     .memory_budget(2 * screening.die_cost_bytes())
+///     .screen_lot(&screening)?;
+/// assert_eq!(report, screening.run()?);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetPlan {
+    workers: usize,
+    budget: Option<usize>,
+}
+
+impl FleetPlan {
+    /// A plan sized to the machine
+    /// (`std::thread::available_parallelism`), unbudgeted.
+    pub fn new() -> Self {
+        FleetPlan {
+            workers: WorkQueue::with_available_parallelism().workers(),
+            budget: None,
+        }
+    }
+
+    /// A single-worker plan: dies run inline on the calling thread, in
+    /// die order — the reference schedule.
+    pub fn sequential() -> Self {
+        Self::workers(1)
+    }
+
+    /// A plan with an explicit worker count (clamped to ≥ 1).
+    pub fn workers(n: usize) -> Self {
+        FleetPlan {
+            workers: n.max(1),
+            budget: None,
+        }
+    }
+
+    /// The configured worker count.
+    pub fn worker_count(&self) -> usize {
+        self.workers
+    }
+
+    /// Sets the global memory budget in bytes: at most this much
+    /// admitted die-job cost in flight at once, enforced by a
+    /// [`MemoryGate`] with backpressure. Unset means unbounded (the
+    /// worker count alone caps concurrency).
+    pub fn memory_budget(mut self, bytes: usize) -> Self {
+        self.budget = Some(bytes);
+        self
+    }
+
+    /// The global memory budget, if set.
+    pub fn memory_budget_bytes(&self) -> Option<usize> {
+        self.budget
+    }
+
+    /// Screens every die of the lot across the plan's workers, each
+    /// die admitted through the global memory gate, and folds the
+    /// outcomes into the lot report — bit-identical to
+    /// [`LotScreen::run`] for every worker count and budget.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing die, in die order (an
+    /// *unmeasurable* die is a gross-reject verdict, not an error).
+    pub fn screen_lot(&self, screening: &LotScreen) -> Result<LotReport, SocError> {
+        let gate = match self.budget {
+            Some(bytes) => MemoryGate::new(bytes),
+            None => MemoryGate::unbounded(),
+        };
+        let cost = screening.die_cost_bytes();
+        let outcomes = WorkQueue::new(self.workers).run(screening.dies(), |i| {
+            // Admission before acquisition: the die's transient
+            // buffers are only allocated once its cost fits under the
+            // global budget. The guard is held for the whole screen.
+            let _in_flight = gate.admit(cost);
+            screening.screen_die(i)
+        });
+        screening.assemble(outcomes.into_iter().collect::<Result<Vec<_>, _>>()?)
+    }
+}
+
+impl Default for FleetPlan {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfbist_analog::wafer::{DefectModel, Lot, ProcessVariation, WaferMap};
+    use nfbist_soc::coverage::FaultUniverse;
+    use nfbist_soc::screening::{RetestPolicy, Screen};
+    use nfbist_soc::setup::BistSetup;
+
+    fn small_screening(seed: u64) -> LotScreen {
+        let lot = Lot::new(
+            WaferMap::disc(5).unwrap(),
+            ProcessVariation::default(),
+            DefectModel::new().background(0.3).unwrap(),
+            seed,
+        )
+        .unwrap();
+        let mut setup = BistSetup::quick(0);
+        setup.samples = 1 << 13;
+        setup.nfft = 1_024;
+        LotScreen::new(
+            lot,
+            setup,
+            Screen::new(12.0, 3.0).unwrap(),
+            FaultUniverse::new().excess_noise(&[2.0, 8.0]).unwrap(),
+        )
+        .unwrap()
+        .retest(RetestPolicy::new(2, 2).unwrap())
+    }
+
+    #[test]
+    fn plan_construction() {
+        assert_eq!(FleetPlan::sequential().worker_count(), 1);
+        assert_eq!(FleetPlan::workers(0).worker_count(), 1);
+        assert!(FleetPlan::new().worker_count() >= 1);
+        assert_eq!(FleetPlan::default(), FleetPlan::new());
+        assert_eq!(FleetPlan::new().memory_budget_bytes(), None);
+        assert_eq!(
+            FleetPlan::workers(2)
+                .memory_budget(1 << 20)
+                .memory_budget_bytes(),
+            Some(1 << 20)
+        );
+    }
+
+    #[test]
+    fn parallel_budgeted_screening_is_bitwise_sequential() {
+        let screening = small_screening(77);
+        let reference = screening.run().unwrap();
+        for plan in [
+            FleetPlan::sequential(),
+            FleetPlan::workers(3),
+            // Budget for a single in-flight die: full serialization
+            // through the gate, still identical.
+            FleetPlan::workers(4).memory_budget(screening.die_cost_bytes()),
+        ] {
+            assert_eq!(
+                plan.screen_lot(&screening).unwrap(),
+                reference,
+                "schedule {plan:?} must not change the report"
+            );
+        }
+    }
+}

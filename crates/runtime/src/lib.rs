@@ -9,6 +9,10 @@
 //!
 //! This crate is the seam that delivers it:
 //!
+//! * [`queue::WorkQueue`] — the scheduling substrate: a sharded
+//!   work-stealing index queue over scoped threads, plus
+//!   [`queue::MemoryGate`], the global memory-budget admission gate
+//!   whose backpressure bounds peak RSS independent of batch size.
 //! * [`executor::BatchExecutor`] — a scoped-thread worker pool
 //!   (std-only, no external runtime) returning slot-indexed results,
 //!   so reduction order never depends on scheduling. One worker runs
@@ -27,6 +31,10 @@
 //! * [`batch::derive_seed`] — deterministic per-index seed derivation
 //!   (golden-ratio walk + SplitMix64 finalizer), hashed so trial-level
 //!   seeds never alias the session's arithmetic per-repeat walk.
+//! * [`fleet::FleetPlan`] — fleet-scale lot screening: thousands of
+//!   die jobs fanned over the work queue, each admitted through the
+//!   memory gate, folded into a `LotReport` that is bit-identical
+//!   across worker counts, budgets and admission orderings.
 //!
 //! ## Example
 //!
@@ -52,6 +60,10 @@
 
 pub mod batch;
 pub mod executor;
+pub mod fleet;
+pub mod queue;
 
 pub use batch::{derive_seed, BatchPlan, SessionBatch};
 pub use executor::BatchExecutor;
+pub use fleet::FleetPlan;
+pub use queue::{MemoryGate, WorkQueue};

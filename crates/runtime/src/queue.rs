@@ -1,0 +1,377 @@
+//! The sharded task queue and the global memory-admission gate — the
+//! scheduling substrate of fleet-scale screening.
+//!
+//! [`WorkQueue`] generalizes the slot executor's single shared index
+//! into per-worker **shards with work stealing**: each worker owns a
+//! contiguous index range and claims from it with one atomic
+//! increment; a worker whose shard runs dry steals from its
+//! neighbours' shards. Contiguous shards keep each worker walking
+//! adjacent task indices (cache- and seed-walk-friendly) while
+//! stealing keeps the pool busy when shard costs are skewed — a lot's
+//! retest-heavy dies cluster spatially, so uniform pre-splitting alone
+//! would idle half the pool. Results are **slot-indexed**: task `i`'s
+//! output lands at index `i` no matter which worker ran it, which is
+//! what keeps parallel schedules bit-identical to sequential ones.
+//!
+//! [`MemoryGate`] bounds how many bytes of task transient memory are
+//! in flight at once. Workers *admit* a job's worst-case cost before
+//! running it and release on drop; when the gate is full they block —
+//! backpressure — so peak RSS is set by `min(workers, capacity/cost)`
+//! jobs, **independent of how many tasks the queue holds**. Admission
+//! order can never change results: tasks are pure functions of their
+//! index, and the gate only delays starts.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, PoisonError};
+use std::thread;
+
+/// A sharded work-stealing queue running `n` index-addressed tasks
+/// across a fixed worker pool.
+///
+/// # Examples
+///
+/// ```
+/// use nfbist_runtime::queue::WorkQueue;
+///
+/// let squares = WorkQueue::new(4).run(8, |i| i * i);
+/// assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkQueue {
+    workers: usize,
+}
+
+impl WorkQueue {
+    /// Creates a queue with `workers` worker threads (values below 1
+    /// are clamped to 1; a single worker runs every task inline on the
+    /// calling thread).
+    pub fn new(workers: usize) -> Self {
+        WorkQueue {
+            workers: workers.max(1),
+        }
+    }
+
+    /// Creates a queue sized to the machine
+    /// (`std::thread::available_parallelism`, falling back to 1).
+    pub fn with_available_parallelism() -> Self {
+        Self::new(thread::available_parallelism().map_or(1, |n| n.get()))
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs `task(i)` for every `i in 0..n` and returns the outputs in
+    /// index order.
+    ///
+    /// Indices are pre-split into one contiguous shard per worker;
+    /// worker `w` drains shard `w`, then steals from shards
+    /// `w+1, w+2, …` (wrapping). With one worker (or at most one task)
+    /// the queue degenerates to a plain sequential loop on the calling
+    /// thread — no threads are spawned at all.
+    ///
+    /// A panicking task propagates the panic to the caller once the
+    /// scope joins.
+    pub fn run<T, F>(&self, n: usize, task: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        if self.workers == 1 || n <= 1 {
+            return (0..n).map(task).collect();
+        }
+        let shards = self.workers.min(n);
+        // Shard s covers [s·n/shards, (s+1)·n/shards): contiguous,
+        // near-equal, exhaustive.
+        let cursors: Vec<AtomicUsize> = (0..shards)
+            .map(|s| AtomicUsize::new(s * n / shards))
+            .collect();
+        let ends: Vec<usize> = (0..shards).map(|s| (s + 1) * n / shards).collect();
+        let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+
+        thread::scope(|scope| {
+            for w in 0..shards {
+                let cursors = &cursors;
+                let ends = &ends;
+                let results = &results;
+                let task = &task;
+                scope.spawn(move || {
+                    // Own shard first, then steal round-robin.
+                    for k in 0..shards {
+                        let s = (w + k) % shards;
+                        loop {
+                            let i = cursors[s].fetch_add(1, Ordering::Relaxed);
+                            if i >= ends[s] {
+                                break;
+                            }
+                            let out = task(i);
+                            *results[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(out);
+                        }
+                    }
+                });
+            }
+        });
+
+        results
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .expect("every index of every shard is claimed exactly once")
+            })
+            .collect()
+    }
+}
+
+impl Default for WorkQueue {
+    fn default() -> Self {
+        Self::with_available_parallelism()
+    }
+}
+
+/// A global memory-budget admission gate: at most `capacity` bytes of
+/// admitted cost in flight at once; excess admissions block until
+/// running jobs release theirs (backpressure).
+///
+/// A single job whose cost exceeds the whole capacity is **clamped to
+/// the capacity** rather than deadlocked: it admits alone, runs, and
+/// releases — the gate bounds concurrency, it does not reject work.
+///
+/// # Examples
+///
+/// ```
+/// use nfbist_runtime::queue::MemoryGate;
+///
+/// let gate = MemoryGate::new(1 << 20); // 1 MiB in flight, max
+/// {
+///     let _job = gate.admit(512 * 1024);
+///     assert_eq!(gate.in_flight(), 512 * 1024);
+/// } // guard dropped: bytes released
+/// assert_eq!(gate.in_flight(), 0);
+/// ```
+#[derive(Debug)]
+pub struct MemoryGate {
+    capacity: Option<usize>,
+    in_flight: Mutex<usize>,
+    released: Condvar,
+}
+
+impl MemoryGate {
+    /// A gate admitting at most `capacity` bytes at once (clamped to
+    /// ≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        MemoryGate {
+            capacity: Some(capacity.max(1)),
+            in_flight: Mutex::new(0),
+            released: Condvar::new(),
+        }
+    }
+
+    /// A gate that never blocks (no global budget).
+    pub fn unbounded() -> Self {
+        MemoryGate {
+            capacity: None,
+            in_flight: Mutex::new(0),
+            released: Condvar::new(),
+        }
+    }
+
+    /// The byte capacity, or `None` for an unbounded gate.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// Admitted bytes currently in flight.
+    pub fn in_flight(&self) -> usize {
+        *self
+            .in_flight
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Blocks until `cost` bytes fit under the capacity, admits them,
+    /// and returns the guard that releases them on drop. On an
+    /// unbounded gate this never blocks; on a bounded gate a cost
+    /// beyond the whole capacity is clamped to it (see the type docs).
+    pub fn admit(&self, cost: usize) -> GateGuard<'_> {
+        let Some(capacity) = self.capacity else {
+            return GateGuard {
+                gate: self,
+                cost: 0,
+            };
+        };
+        let cost = cost.min(capacity);
+        let mut in_flight = self
+            .in_flight
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        while *in_flight + cost > capacity {
+            in_flight = self
+                .released
+                .wait(in_flight)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        *in_flight += cost;
+        GateGuard { gate: self, cost }
+    }
+}
+
+/// The in-flight reservation of one admitted job; dropping it releases
+/// the bytes and wakes blocked admissions.
+#[derive(Debug)]
+pub struct GateGuard<'a> {
+    gate: &'a MemoryGate,
+    cost: usize,
+}
+
+impl GateGuard<'_> {
+    /// The admitted (possibly clamped) cost in bytes.
+    pub fn cost(&self) -> usize {
+        self.cost
+    }
+}
+
+impl Drop for GateGuard<'_> {
+    fn drop(&mut self) {
+        let mut in_flight = self
+            .gate
+            .in_flight
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        *in_flight = in_flight.saturating_sub(self.cost);
+        drop(in_flight);
+        self.gate.released.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+
+    #[test]
+    fn worker_count_is_clamped() {
+        assert_eq!(WorkQueue::new(0).workers(), 1);
+        assert_eq!(WorkQueue::new(5).workers(), 5);
+        assert!(WorkQueue::with_available_parallelism().workers() >= 1);
+        assert_eq!(
+            WorkQueue::default(),
+            WorkQueue::with_available_parallelism()
+        );
+    }
+
+    #[test]
+    fn results_come_back_in_index_order() {
+        for workers in [1usize, 2, 3, 4, 9, 64] {
+            for n in [0usize, 1, 2, 7, 23, 100] {
+                let out = WorkQueue::new(workers).run(n, |i| i * 10);
+                assert_eq!(out, (0..n).map(|i| i * 10).collect::<Vec<_>>());
+            }
+        }
+    }
+
+    #[test]
+    fn every_index_runs_exactly_once() {
+        let counts: Vec<AtomicUsize> = (0..97).map(|_| AtomicUsize::new(0)).collect();
+        WorkQueue::new(7).run(97, |i| counts[i].fetch_add(1, Ordering::Relaxed));
+        assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn single_worker_runs_inline_on_the_calling_thread() {
+        let caller = thread::current().id();
+        let out = WorkQueue::new(1).run(4, |_| thread::current().id() == caller);
+        assert!(out.into_iter().all(|b| b));
+        // A single task avoids thread spawn even with many workers.
+        let out = WorkQueue::new(8).run(1, |_| thread::current().id() == caller);
+        assert_eq!(out, vec![true]);
+    }
+
+    #[test]
+    fn stealing_drains_a_skewed_shard() {
+        // One pathological task at index 0 (shard 0); the other shard's
+        // worker must finish its own range and steal the rest of shard
+        // 0's work while worker 0 is stuck.
+        let blocked = AtomicBool::new(true);
+        let done = AtomicUsize::new(0);
+        let out = WorkQueue::new(2).run(16, |i| {
+            if i == 0 {
+                // Wait until every other task has completed — only
+                // possible if stealing works.
+                while done.load(Ordering::Acquire) < 15 {
+                    thread::yield_now();
+                }
+                blocked.store(false, Ordering::Release);
+            } else {
+                done.fetch_add(1, Ordering::AcqRel);
+            }
+            i
+        });
+        assert_eq!(out, (0..16).collect::<Vec<_>>());
+        assert!(!blocked.load(Ordering::Acquire));
+    }
+
+    #[test]
+    fn tasks_may_borrow_caller_data() {
+        let data: Vec<u64> = (0..100).collect();
+        let sums = WorkQueue::new(3).run(10, |i| data[i * 10..(i + 1) * 10].iter().sum::<u64>());
+        assert_eq!(sums.iter().sum::<u64>(), data.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn gate_admits_within_capacity_without_blocking() {
+        let gate = MemoryGate::new(100);
+        assert_eq!(gate.capacity(), Some(100));
+        let a = gate.admit(40);
+        let b = gate.admit(60);
+        assert_eq!(gate.in_flight(), 100);
+        assert_eq!(a.cost(), 40);
+        drop(a);
+        assert_eq!(gate.in_flight(), 60);
+        drop(b);
+        assert_eq!(gate.in_flight(), 0);
+        // Zero capacity clamps to 1 rather than deadlocking.
+        assert_eq!(MemoryGate::new(0).capacity(), Some(1));
+    }
+
+    #[test]
+    fn oversized_job_is_clamped_not_deadlocked() {
+        let gate = MemoryGate::new(10);
+        let guard = gate.admit(1_000_000);
+        assert_eq!(guard.cost(), 10);
+        assert_eq!(gate.in_flight(), 10);
+    }
+
+    #[test]
+    fn unbounded_gate_never_blocks() {
+        let gate = MemoryGate::unbounded();
+        assert_eq!(gate.capacity(), None);
+        let _a = gate.admit(usize::MAX);
+        let _b = gate.admit(usize::MAX);
+        assert_eq!(gate.in_flight(), 0, "unbounded admissions carry no cost");
+    }
+
+    #[test]
+    fn backpressure_bounds_concurrency() {
+        // Capacity for exactly 2 unit-cost jobs: across 4 workers and
+        // 32 tasks, no more than 2 may ever be inside the gate at once.
+        let gate = MemoryGate::new(2);
+        let running = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        WorkQueue::new(4).run(32, |i| {
+            let _slot = gate.admit(1);
+            let now = running.fetch_add(1, Ordering::AcqRel) + 1;
+            peak.fetch_max(now, Ordering::AcqRel);
+            thread::yield_now();
+            running.fetch_sub(1, Ordering::AcqRel);
+            i
+        });
+        assert_eq!(gate.in_flight(), 0);
+        assert!(
+            peak.load(Ordering::Acquire) <= 2,
+            "gate must cap concurrent admissions at capacity/cost (saw {})",
+            peak.load(Ordering::Acquire)
+        );
+    }
+}

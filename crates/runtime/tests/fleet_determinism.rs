@@ -1,0 +1,231 @@
+//! The fleet engine's core contract: a lot screen's `LotReport` —
+//! wafer map included, every rolling statistic to the last bit — is
+//! identical across worker counts, global memory budgets, and the
+//! admission/backpressure orderings they induce, for lots containing
+//! gross-reject and retest-escalation dies.
+
+use nfbist_analog::wafer::{die_seed, DefectModel, Lot, ProcessVariation, WaferMap};
+use nfbist_runtime::batch::derive_seed;
+use nfbist_runtime::fleet::FleetPlan;
+use nfbist_soc::coverage::FaultUniverse;
+use nfbist_soc::fleet::{LotReport, LotScreen};
+use nfbist_soc::screening::{RetestPolicy, Screen};
+use nfbist_soc::setup::BistSetup;
+use proptest::prelude::*;
+
+/// The analog layer's `die_seed` is documented to be the same
+/// function as the SoC layer's `derive_seed` (the analog crate sits
+/// below the SoC crate and restates it). Pin the two implementations
+/// together bit for bit so they can never drift apart silently.
+#[test]
+fn die_seed_is_derive_seed() {
+    for (base, index) in [
+        (0u64, 0u64),
+        (42, 7),
+        (u64::MAX, u64::MAX),
+        (0xDEAD_BEEF, 1_000),
+    ] {
+        assert_eq!(die_seed(base, index), derive_seed(base, index));
+    }
+    for index in 0..4_096u64 {
+        assert_eq!(die_seed(20_050_307, index), derive_seed(20_050_307, index));
+    }
+}
+
+/// A die's measurement seed is exactly `derive_seed(lot_seed, index)`
+/// — the one value its whole screening outcome is a function of.
+#[test]
+fn die_measurement_seeds_walk_from_the_lot_seed() {
+    let lot = Lot::new(
+        WaferMap::disc(6).unwrap(),
+        ProcessVariation::default(),
+        DefectModel::new().background(0.2).unwrap(),
+        99,
+    )
+    .unwrap();
+    for i in 0..lot.dies() {
+        assert_eq!(lot.die(i).unwrap().seed, derive_seed(99, i as u64));
+    }
+}
+
+/// A lot screen exercising every interesting outcome: a calibrated
+/// screen with retest escalation (marginal dies retest), moderate
+/// defects (finite-NF fails) and gross defects (unmeasurable Y —
+/// `nf_db = ∞` sentinels through the fold), over clustered +
+/// edge-gradient spatial defects.
+fn eventful_screening(lot_seed: u64, grid: usize) -> LotScreen {
+    let lot = Lot::new(
+        WaferMap::disc(grid).unwrap(),
+        ProcessVariation::default(),
+        DefectModel::new()
+            .background(0.10)
+            .unwrap()
+            .edge_gradient(0.25)
+            .unwrap()
+            .cluster(0.3, 0.3, 0.35, 0.8)
+            .unwrap(),
+        lot_seed,
+    )
+    .unwrap();
+    let mut setup = BistSetup::quick(0); // seed overridden by the lot
+    setup.samples = 1 << 13;
+    setup.nfft = 1_024;
+    // Limit 1.2 dB over the TL081 default DUT's expectation: healthy
+    // dies pass, 2x noise defects fail with finite NF, 8x defects go
+    // gross, and process variation parks some dies in the guard band.
+    let expected = nfbist_analog::circuits::NonInvertingAmplifier::new(
+        nfbist_analog::opamp::OpampModel::tl081(),
+        nfbist_analog::units::Ohms::new(10_000.0),
+        nfbist_analog::units::Ohms::new(100.0),
+    )
+    .unwrap()
+    .expected_noise_figure_db(nfbist_analog::units::Ohms::new(2_000.0), 100.0, 1_000.0)
+    .unwrap();
+    LotScreen::new(
+        lot,
+        setup,
+        Screen::new(expected + 1.2, 3.0).unwrap(),
+        FaultUniverse::new().excess_noise(&[2.0, 8.0]).unwrap(),
+    )
+    .unwrap()
+    .retest(RetestPolicy::new(2, 2).unwrap())
+}
+
+/// Bitwise equality of everything a `LotReport` exposes — every
+/// rolling statistic through `f64::to_bits`, every per-die outcome,
+/// and the rendered wafer map.
+fn assert_report_bits_identical(a: &LotReport, b: &LotReport, wafer: &WaferMap, label: &str) {
+    assert_eq!(a.dies(), b.dies(), "{label}: die count");
+    assert_eq!(
+        a.yield_fraction().to_bits(),
+        b.yield_fraction().to_bits(),
+        "{label}: yield"
+    );
+    assert_eq!(
+        a.retest_rate().to_bits(),
+        b.retest_rate().to_bits(),
+        "{label}: retest rate"
+    );
+    assert_eq!(
+        a.mean_nf_db().to_bits(),
+        b.mean_nf_db().to_bits(),
+        "{label}: mean NF"
+    );
+    assert_eq!(
+        a.mean_test_samples().to_bits(),
+        b.mean_test_samples().to_bits(),
+        "{label}: mean test samples"
+    );
+    assert_eq!(
+        a.detection_rate().map(f64::to_bits),
+        b.detection_rate().map(f64::to_bits),
+        "{label}: detection rate"
+    );
+    assert_eq!(
+        a.escape_rate().map(f64::to_bits),
+        b.escape_rate().map(f64::to_bits),
+        "{label}: escape rate"
+    );
+    assert_eq!(a.test_samples(), b.test_samples(), "{label}: test samples");
+    assert_eq!(
+        a.rolling_yield().len(),
+        b.rolling_yield().len(),
+        "{label}: rolling series length"
+    );
+    for (i, (ya, yb)) in a.rolling_yield().iter().zip(b.rolling_yield()).enumerate() {
+        assert_eq!(
+            ya.to_bits(),
+            yb.to_bits(),
+            "{label}: rolling yield at die {i}"
+        );
+    }
+    for (oa, ob) in a.outcomes().iter().zip(b.outcomes()) {
+        assert_eq!(oa.die, ob.die, "{label}: outcome order");
+        assert_eq!(oa.defect, ob.defect, "{label}: die {} defect", oa.die);
+        assert_eq!(oa.verdict, ob.verdict, "{label}: die {} verdict", oa.die);
+        assert_eq!(oa.retests, ob.retests, "{label}: die {} retests", oa.die);
+        assert_eq!(
+            oa.nf_db.to_bits(),
+            ob.nf_db.to_bits(),
+            "{label}: die {} NF bits",
+            oa.die
+        );
+        assert_eq!(
+            oa.test_samples, ob.test_samples,
+            "{label}: die {} test samples",
+            oa.die
+        );
+    }
+    assert_eq!(
+        a.render_on(wafer).unwrap(),
+        b.render_on(wafer).unwrap(),
+        "{label}: wafer map"
+    );
+    // And the wholesale comparison agrees with the field-by-field one.
+    assert_eq!(a, b, "{label}: reports differ");
+}
+
+/// The headline acceptance test: one eventful lot, screened under
+/// every combination of worker count and memory budget — including a
+/// budget that fully serializes admission — must reproduce the
+/// sequential report bit for bit.
+#[test]
+fn lot_report_is_bit_identical_across_workers_and_budgets() {
+    let screening = eventful_screening(20_050_307, 6);
+    let reference = screening.run().unwrap();
+
+    // The lot must actually contain the hard cases the contract talks
+    // about: gross rejects and retest escalations.
+    assert!(
+        reference.gross() > 0,
+        "the 8x-noise defects must produce gross rejects: {reference}"
+    );
+    assert!(
+        reference.retested() > 0,
+        "marginal dies must escalate at least once: {reference}"
+    );
+    assert!(reference.defective() > 0 && reference.passed() > 0);
+
+    let die_cost = screening.die_cost_bytes();
+    for workers in [1usize, 2, 8] {
+        for budget in [None, Some(die_cost), Some(3 * die_cost)] {
+            let mut plan = FleetPlan::workers(workers);
+            if let Some(bytes) = budget {
+                plan = plan.memory_budget(bytes);
+            }
+            let report = plan.screen_lot(&screening).unwrap();
+            assert_report_bits_identical(
+                &reference,
+                &report,
+                screening.lot().wafer(),
+                &format!("workers={workers} budget={budget:?}"),
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Schedule-independence over random lots: any seed, any worker
+    /// count, any (serializing or relaxed) budget — same bits.
+    #[test]
+    fn any_schedule_reproduces_the_sequential_report(
+        lot_seed in 0u64..u64::MAX / 2,
+        workers in 2usize..9,
+        budget_dies in 1usize..4,
+    ) {
+        let screening = eventful_screening(lot_seed, 4);
+        let reference = screening.run().unwrap();
+        let report = FleetPlan::workers(workers)
+            .memory_budget(budget_dies * screening.die_cost_bytes())
+            .screen_lot(&screening)
+            .unwrap();
+        assert_report_bits_identical(
+            &reference,
+            &report,
+            screening.lot().wafer(),
+            &format!("seed={lot_seed} workers={workers} budget_dies={budget_dies}"),
+        );
+    }
+}
