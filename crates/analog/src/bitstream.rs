@@ -21,9 +21,17 @@
 //! All of these are bit-exact against the corresponding float-domain
 //! computation on the expanded record: every intermediate is an
 //! integer well inside the `f64` mantissa.
+//!
+//! The word-level kernels themselves (popcount, XOR-lag, bipolar
+//! expansion) are delegated to the runtime-dispatched SIMD layer in
+//! [`nfbist_dsp::simd`]; being integer/bit kernels they are
+//! **bit-identical on every dispatch arm**, so nothing here depends on
+//! which CPU runs the test.
 
 use crate::AnalogError;
 use nfbist_dsp::correlation::Bias;
+use nfbist_dsp::simd;
+use nfbist_dsp::soa::SoaRecords;
 
 /// A packed record of comparator decisions.
 ///
@@ -147,9 +155,9 @@ impl Bitstream {
         Some(self.words[i / 64] >> (i % 64) & 1 == 1)
     }
 
-    /// Count of `true` bits.
+    /// Count of `true` bits (vectorized popcount on the packed words).
     pub fn ones(&self) -> usize {
-        self.words.iter().map(|w| w.count_ones() as usize).sum()
+        simd::popcount_words(&self.words) as usize
     }
 
     /// Fraction of `true` bits (0.5 for an unbiased comparator looking
@@ -179,35 +187,17 @@ impl Bitstream {
     /// `popcount(x ⊕ (x ≫ lag))`.
     ///
     /// Returns `None` when `lag >= len`.
+    ///
+    /// The word walk runs on the dispatched SIMD kernel
+    /// ([`nfbist_dsp::simd::xor_popcount_lag`]): on AVX2+POPCNT the
+    /// shifted stream is assembled and XOR-popcounted four words per
+    /// register, with a scalar tail handling the ragged end — both arms
+    /// count the exact same integer.
     pub fn xor_popcount_lag(&self, lag: usize) -> Option<usize> {
         if lag >= self.len {
             return None;
         }
-        let compared = self.len - lag;
-        let word_shift = lag / 64;
-        let bit_shift = (lag % 64) as u32;
-        // Word `j` of the lag-shifted stream, with zeros past the end
-        // (masked off below anyway).
-        let shifted = |j: usize| -> u64 {
-            let lo = self.words.get(j + word_shift).copied().unwrap_or(0) >> bit_shift;
-            if bit_shift == 0 {
-                lo
-            } else {
-                lo | (self.words.get(j + word_shift + 1).copied().unwrap_or(0) << (64 - bit_shift))
-            }
-        };
-        let full_words = compared / 64;
-        let tail_bits = (compared % 64) as u32;
-        let mut count = 0usize;
-        for (j, &w) in self.words[..full_words].iter().enumerate() {
-            count += (w ^ shifted(j)).count_ones() as usize;
-        }
-        if tail_bits > 0 {
-            let mask = (1u64 << tail_bits) - 1;
-            let w = self.words.get(full_words).copied().unwrap_or(0);
-            count += ((w ^ shifted(full_words)) & mask).count_ones() as usize;
-        }
-        Some(count)
+        Some(simd::xor_popcount_lag(&self.words, self.len, lag))
     }
 
     /// Sum of lag-`lag` products of the `±1` expansion,
@@ -308,13 +298,67 @@ impl Bitstream {
                 context: "bitstream expand_bipolar_into",
             });
         }
-        self.expand_words_into(out, |bit| bit as f64 * 2.0 - 1.0);
+        simd::expand_bipolar(&self.words, out);
         Ok(())
     }
 
-    /// The shared word-walk expansion kernel: applies `f` to each bit
-    /// (0 or 1) of the stream, 64 samples per word load. `out` must be
-    /// at most `self.len()` long.
+    /// Expands several equal-length bitstreams into one sample-major
+    /// [`SoaRecords`] batch — the fan-out layout the SIMD Goertzel
+    /// readout ([`nfbist_dsp::goertzel::Goertzel::power_soa`]) consumes,
+    /// with repeat `l` of sample `i` at `data[i * lanes + l]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::EmptyInput`] for an empty list or
+    /// zero-length streams and [`AnalogError::LengthMismatch`] when the
+    /// streams disagree on length.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use nfbist_analog::bitstream::Bitstream;
+    ///
+    /// # fn main() -> Result<(), nfbist_analog::AnalogError> {
+    /// let a: Bitstream = [true, false, true].into_iter().collect();
+    /// let b: Bitstream = [false, false, true].into_iter().collect();
+    /// let batch = Bitstream::expand_many_bipolar(&[a, b])?;
+    /// assert_eq!(batch.lanes(), 2);
+    /// assert_eq!(batch.copy_lane(1), vec![-1.0, -1.0, 1.0]);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn expand_many_bipolar(streams: &[Bitstream]) -> Result<SoaRecords, AnalogError> {
+        let first = streams.first().ok_or(AnalogError::EmptyInput {
+            context: "bitstream expand_many_bipolar",
+        })?;
+        let samples = first.len();
+        if samples == 0 {
+            return Err(AnalogError::EmptyInput {
+                context: "bitstream expand_many_bipolar",
+            });
+        }
+        let mut batch = SoaRecords::new(streams.len(), samples);
+        let mut scratch = vec![0.0f64; samples];
+        for (l, s) in streams.iter().enumerate() {
+            if s.len() != samples {
+                return Err(AnalogError::LengthMismatch {
+                    expected: samples,
+                    actual: s.len(),
+                    context: "bitstream expand_many_bipolar",
+                });
+            }
+            simd::expand_bipolar(&s.words, &mut scratch);
+            batch.set_lane(l, &scratch);
+        }
+        Ok(batch)
+    }
+
+    /// Scalar word-walk expansion: applies `f` to each bit (0 or 1) of
+    /// the stream, 64 samples per word load. `out` must be at most
+    /// `self.len()` long. The hot `±1` path goes through the dispatched
+    /// [`nfbist_dsp::simd::expand_bipolar`] instead; this generic form
+    /// serves the remaining (cold) expansions such as
+    /// [`Bitstream::to_unipolar`].
     fn expand_words_into(&self, out: &mut [f64], f: impl Fn(u64) -> f64) {
         for (chunk, &w) in out.chunks_mut(64).zip(&self.words) {
             let mut word = w;
@@ -722,6 +766,27 @@ mod tests {
         let collected: Vec<f64> = bs.iter_bipolar().collect();
         assert_eq!(collected, out);
         assert_eq!(bs.iter_bipolar().len(), 130);
+    }
+
+    #[test]
+    fn expand_many_bipolar_matches_per_stream_expansion() {
+        let streams: Vec<Bitstream> = (0..5)
+            .map(|r| random_bits(130, 40 + r).into_iter().collect())
+            .collect();
+        let batch = Bitstream::expand_many_bipolar(&streams).unwrap();
+        assert_eq!(batch.lanes(), 5);
+        assert_eq!(batch.samples(), 130);
+        for (l, s) in streams.iter().enumerate() {
+            assert_eq!(batch.copy_lane(l), s.to_bipolar(), "lane {l}");
+        }
+        // Validation: empty list, zero-length streams, ragged lengths.
+        assert!(Bitstream::expand_many_bipolar(&[]).is_err());
+        assert!(Bitstream::expand_many_bipolar(&[Bitstream::new()]).is_err());
+        let ragged = [
+            random_bits(10, 1).into_iter().collect::<Bitstream>(),
+            random_bits(11, 2).into_iter().collect::<Bitstream>(),
+        ];
+        assert!(Bitstream::expand_many_bipolar(&ragged).is_err());
     }
 }
 

@@ -6,14 +6,30 @@
 //! as dither, and a Goertzel detector reads the tone line out of the
 //! bitstream. Normalizing to a passband point yields the relative
 //! response and the −3 dB corner.
+//!
+//! # Repeats and the SoA fan-out
+//!
+//! Comparator dither makes every point estimate stochastic; averaging
+//! repeated acquisitions at the same frequency tightens it without
+//! lengthening any single record. With [`FrequencyResponseTester::repeats`]
+//! `> 1` the repeats of one sweep point are expanded side by side into a
+//! sample-major [`SoaRecords`] batch and read out with
+//! [`Goertzel::power_soa`]: the Goertzel recurrence is a serial
+//! dependency chain along *samples*, but across *repeats* the chains are
+//! independent, so the SIMD layer walks four lanes per register. Each
+//! lane is bit-identical to running that repeat through the scalar
+//! single-record detector.
 
+use crate::session::derive_seed;
 use crate::SocError;
+use nfbist_analog::bitstream::Bitstream;
 use nfbist_analog::component::{Amplifier, Block};
 use nfbist_analog::converter::OneBitDigitizer;
 use nfbist_analog::noise::WhiteNoise;
 use nfbist_analog::source::{SineSource, Waveform};
 use nfbist_core::frequency_response::{corner_frequency, relative_response, SweepPoint};
 use nfbist_dsp::goertzel::Goertzel;
+use nfbist_dsp::soa::SoaRecords;
 
 /// Result of a frequency-response BIST run.
 #[derive(Debug, Clone)]
@@ -33,6 +49,7 @@ pub struct FrequencyResponseTester {
     dither_sigma: f64,
     frequencies: Vec<f64>,
     seed: u64,
+    repeats: usize,
 }
 
 impl FrequencyResponseTester {
@@ -98,12 +115,117 @@ impl FrequencyResponseTester {
             dither_sigma,
             frequencies,
             seed,
+            repeats: 1,
         })
+    }
+
+    /// Sets the number of repeated acquisitions averaged per sweep
+    /// point (clamped to at least 1; default 1). Repeats of one point
+    /// run through the SoA Goertzel batch readout — see the
+    /// [module docs](self).
+    pub fn repeats(mut self, r: usize) -> Self {
+        self.repeats = r.max(1);
+        self
+    }
+
+    /// Repeated acquisitions per sweep point.
+    pub fn repeat_count(&self) -> usize {
+        self.repeats
     }
 
     /// The sweep frequencies.
     pub fn frequencies(&self) -> &[f64] {
         &self.frequencies
+    }
+
+    /// Measures one sweep point: `repeats` independent dithered
+    /// acquisitions at `frequencies()[i]`, read out together through
+    /// the SoA Goertzel batch and averaged.
+    ///
+    /// The point is a pure function of `(tester, dut, i)` — repeat
+    /// seeds derive from `(seed, i·repeats + k)` via [`derive_seed`] —
+    /// so points may be computed in any order or concurrently
+    /// (`BatchPlan::run_freqresp` in `nfbist-runtime` does exactly
+    /// that) and reassembled with
+    /// [`FrequencyResponseTester::assemble`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SocError::InvalidParameter`] for an out-of-range
+    /// index; otherwise propagates simulation and estimation errors.
+    pub fn measure_point(&self, dut: &Amplifier, i: usize) -> Result<SweepPoint, SocError> {
+        let &f = self.frequencies.get(i).ok_or(SocError::InvalidParameter {
+            name: "point",
+            reason: "sweep point index out of range",
+        })?;
+        let n = self.samples_per_point;
+        let fs = self.sample_rate;
+        let digitizer = OneBitDigitizer::ideal();
+        // The deterministic part — tone through the DUT — is identical
+        // across repeats, so it is simulated once per point.
+        let tone = SineSource::new(f, self.tone_amplitude)?.generate(n, fs)?;
+        let mut stage = dut.clone();
+        stage.reset();
+        let clean = stage.process(&tone);
+        // Skip the filter transient before digitizing.
+        let skip = (n / 10).min(5_000);
+        let mut noisy = vec![0.0f64; n];
+        let mut streams = Vec::with_capacity(self.repeats);
+        for k in 0..self.repeats {
+            noisy.copy_from_slice(&clean);
+            // The DUT's own broadband output noise, acting as dither —
+            // an independent realization per repeat.
+            let seed = derive_seed(self.seed, (i * self.repeats + k) as u64);
+            let dither = WhiteNoise::new(self.dither_sigma, seed)?.generate(n);
+            for (o, d) in noisy.iter_mut().zip(&dither) {
+                *o += d;
+            }
+            streams.push(digitizer.digitize_sign(&noisy[skip..])?);
+        }
+        let detector = Goertzel::new(f, fs)?;
+        let line_power = if self.repeats == 1 {
+            // Single acquisition: read the line straight off the packed
+            // bitstream — no ±1 float expansion is materialized.
+            detector.power_iter(streams[0].iter_bipolar())?
+        } else {
+            // Repeat batch: expand side by side (sample-major SoA) and
+            // run all repeats' Goertzel chains in SIMD lanes at once.
+            let batch: SoaRecords = Bitstream::expand_many_bipolar(&streams)?;
+            let powers = detector.power_soa(&batch)?;
+            powers.iter().sum::<f64>() / powers.len() as f64
+        };
+        Ok(SweepPoint {
+            frequency: f,
+            line_power,
+        })
+    }
+
+    /// Normalizes a complete, in-order set of sweep points (one per
+    /// frequency, as produced by
+    /// [`FrequencyResponseTester::measure_point`]) into the final
+    /// measurement.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SocError::InvalidParameter`] unless exactly one point
+    /// per sweep frequency is supplied; otherwise propagates
+    /// normalization errors.
+    pub fn assemble(
+        &self,
+        points: Vec<SweepPoint>,
+    ) -> Result<FrequencyResponseMeasurement, SocError> {
+        if points.len() != self.frequencies.len() {
+            return Err(SocError::InvalidParameter {
+                name: "points",
+                reason: "need exactly one sweep point per frequency",
+            });
+        }
+        let response = relative_response(&points, 0)?;
+        let corner_hz = corner_frequency(&response)?;
+        Ok(FrequencyResponseMeasurement {
+            response,
+            corner_hz,
+        })
     }
 
     /// Runs the sweep against a DUT block (processed per point), using
@@ -113,38 +235,10 @@ impl FrequencyResponseTester {
     ///
     /// Propagates simulation and estimation errors.
     pub fn measure(&self, dut: &Amplifier) -> Result<FrequencyResponseMeasurement, SocError> {
-        let n = self.samples_per_point;
-        let fs = self.sample_rate;
-        let digitizer = OneBitDigitizer::ideal();
-        let mut sweep = Vec::with_capacity(self.frequencies.len());
-        for (i, &f) in self.frequencies.iter().enumerate() {
-            let tone = SineSource::new(f, self.tone_amplitude)?.generate(n, fs)?;
-            let mut stage = dut.clone();
-            stage.reset();
-            let mut out = stage.process(&tone);
-            // The DUT's own broadband output noise, acting as dither.
-            let dither =
-                WhiteNoise::new(self.dither_sigma, self.seed.wrapping_add(i as u64))?.generate(n);
-            for (o, d) in out.iter_mut().zip(&dither) {
-                *o += d;
-            }
-            // Skip the filter transient before digitizing.
-            let skip = (n / 10).min(5_000);
-            let bits = digitizer.digitize_sign(&out[skip..])?;
-            // Goertzel reads the tone line straight off the packed
-            // bitstream — no ±1 float expansion is materialized.
-            let line_power = Goertzel::new(f, fs)?.power_iter(bits.iter_bipolar())?;
-            sweep.push(SweepPoint {
-                frequency: f,
-                line_power,
-            });
-        }
-        let response = relative_response(&sweep, 0)?;
-        let corner_hz = corner_frequency(&response)?;
-        Ok(FrequencyResponseMeasurement {
-            response,
-            corner_hz,
-        })
+        let points = (0..self.frequencies.len())
+            .map(|i| self.measure_point(dut, i))
+            .collect::<Result<Vec<_>, _>>()?;
+        self.assemble(points)
     }
 }
 
@@ -164,6 +258,59 @@ mod tests {
         assert!(mk(1e4, 10, 0.1, 1.0, vec![]).is_err());
         assert!(mk(1e4, 10, 0.1, 1.0, vec![6_000.0]).is_err());
         assert!(mk(1e4, 10, 0.1, 1.0, vec![100.0]).is_ok());
+    }
+
+    #[test]
+    fn repeats_builder_and_point_bounds() {
+        let tester =
+            FrequencyResponseTester::new(1e4, 4_000, 0.2, 1.0, vec![500.0, 1_000.0], 1).unwrap();
+        assert_eq!(tester.repeat_count(), 1);
+        let tester = tester.repeats(0);
+        assert_eq!(tester.repeat_count(), 1, "clamped to at least 1");
+        let tester = tester.repeats(4);
+        assert_eq!(tester.repeat_count(), 4);
+        let dut = Amplifier::ideal(2.0).unwrap();
+        assert!(tester.measure_point(&dut, 2).is_err(), "index out of range");
+        let p = tester.measure_point(&dut, 1).unwrap();
+        assert_eq!(p.frequency, 1_000.0);
+        assert!(p.line_power > 0.0);
+        // assemble needs exactly one point per frequency.
+        assert!(tester.assemble(vec![p]).is_err());
+    }
+
+    #[test]
+    fn repeated_points_match_the_mean_of_scalar_repeats_bitwise() {
+        // The SoA lanes must reproduce each repeat's scalar Goertzel
+        // readout exactly, so the averaged point equals the hand-rolled
+        // mean over individually measured repeats.
+        let tester = FrequencyResponseTester::new(2e4, 6_000, 0.25, 1.0, vec![800.0], 21)
+            .unwrap()
+            .repeats(5);
+        let dut = Amplifier::ideal(3.0).unwrap();
+        let batch_point = tester.measure_point(&dut, 0).unwrap();
+
+        // Re-run the per-repeat pipeline through the scalar detector.
+        let n = 6_000;
+        let fs = 2e4;
+        let f = 800.0;
+        let tone = SineSource::new(f, 0.25).unwrap().generate(n, fs).unwrap();
+        let mut stage = dut.clone();
+        stage.reset();
+        let clean = stage.process(&tone);
+        let skip = (n / 10).min(5_000);
+        let digitizer = OneBitDigitizer::ideal();
+        let detector = Goertzel::new(f, fs).unwrap();
+        let powers: Vec<f64> = (0..5)
+            .map(|k| {
+                let seed = derive_seed(21, k as u64);
+                let dither = WhiteNoise::new(1.0, seed).unwrap().generate(n);
+                let noisy: Vec<f64> = clean.iter().zip(&dither).map(|(c, d)| c + d).collect();
+                let bits = digitizer.digitize_sign(&noisy[skip..]).unwrap();
+                detector.power_iter(bits.iter_bipolar()).unwrap()
+            })
+            .collect();
+        let mean = powers.iter().sum::<f64>() / powers.len() as f64;
+        assert_eq!(batch_point.line_power.to_bits(), mean.to_bits());
     }
 
     #[test]

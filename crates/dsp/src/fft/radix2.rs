@@ -3,10 +3,10 @@
 //!
 //! The kernel is organized for throughput rather than brevity:
 //!
-//! * **Branch-free direction.** Forward and inverse are separate
-//!   monomorphized loops ([`forward`] / [`inverse`]) — there is no
-//!   `if inverse` test inside any butterfly. The inverse conjugates
-//!   each twiddle as it streams past (one negation, no branch).
+//! * **Branch-free direction.** There is no `if inverse` test inside
+//!   any butterfly: the inverse conjugates each twiddle as it streams
+//!   past (on the AVX2 arm, one sign-mask XOR hoisted out of the loop;
+//!   on scalar, one negation).
 //! * **Twiddle-free first stages.** The length-2 stage multiplies by
 //!   `W⁰ = 1` only and the length-4 stage by `1` and `∓j`, so both are
 //!   specialized to pure add/sub/swap butterflies and never touch the
@@ -112,15 +112,13 @@ fn stage_len4_inverse(buf: &mut [Complex64]) {
     }
 }
 
-/// The stages `len ≥ 8`, parameterized on how a streamed twiddle enters
-/// the butterfly (identity for forward, conjugation for inverse — the
-/// closure is monomorphized away, leaving two branch-free loops).
+/// The stages `len ≥ 8`: each block's half-slices go through the
+/// dispatched butterfly kernel ([`crate::simd::butterfly_pairs`] — AVX2
+/// processes two butterflies per register and is bit-identical to the
+/// scalar loop; `conjugate` selects the inverse direction, negating
+/// each twiddle's imaginary part as it streams past).
 #[inline]
-fn tail_stages(
-    buf: &mut [Complex64],
-    stage_twiddles: &[Complex64],
-    twiddle: impl Fn(Complex64) -> Complex64,
-) {
+fn tail_stages(buf: &mut [Complex64], stage_twiddles: &[Complex64], conjugate: bool) {
     let n = buf.len();
     let mut offset = 0usize;
     let mut len = 8usize;
@@ -129,12 +127,7 @@ fn tail_stages(
         let stage = &stage_twiddles[offset..offset + half];
         for block in buf.chunks_exact_mut(len) {
             let (lo, hi) = block.split_at_mut(half);
-            for ((a, b), &w) in lo.iter_mut().zip(hi.iter_mut()).zip(stage) {
-                let t = *b * twiddle(w);
-                let x = *a;
-                *a = x + t;
-                *b = x - t;
-            }
+            crate::simd::butterfly_pairs(lo, hi, stage, conjugate);
         }
         offset += half;
         len <<= 1;
@@ -152,7 +145,7 @@ pub(crate) fn forward(buf: &mut [Complex64], stage_twiddles: &[Complex64], bit_r
     if n >= 4 {
         stage_len4_forward(buf);
     }
-    tail_stages(buf, stage_twiddles, |w| w);
+    tail_stages(buf, stage_twiddles, false);
 }
 
 /// In-place inverse radix-2 transform (conjugated twiddles; the `1/N`
@@ -167,7 +160,7 @@ pub(crate) fn inverse(buf: &mut [Complex64], stage_twiddles: &[Complex64], bit_r
     if n >= 4 {
         stage_len4_inverse(buf);
     }
-    tail_stages(buf, stage_twiddles, Complex64::conj);
+    tail_stages(buf, stage_twiddles, true);
 }
 
 #[cfg(test)]

@@ -5,7 +5,18 @@
 //! tests) does not need a full FFT: the Goertzel recurrence computes one
 //! bin in `O(N)` with two state variables — exactly the kind of
 //! resource-frugal processing the paper's §4 argues a SoC can afford.
+//!
+//! The recurrence is a serial dependency chain per bin, so it cannot be
+//! vectorized along the sample axis — but it vectorizes perfectly
+//! across *independent* chains. Two multi-chain forms are provided:
+//! [`GoertzelBank`] runs several bins over one record (lanes = bins),
+//! and [`Goertzel::magnitude_sq_soa`] runs one bin over several records
+//! (lanes = repeats, for the SoA batch fan-out). Both produce results
+//! bit-identical to running each chain through the single-bin
+//! recurrence on the scalar arm.
 
+use crate::simd;
+use crate::soa::SoaRecords;
 use crate::DspError;
 
 /// A planned Goertzel detector for one frequency at one sample rate.
@@ -178,6 +189,177 @@ impl Goertzel {
     pub fn omega(&self) -> f64 {
         self.omega
     }
+
+    /// The recurrence coefficient `2·cos(ω)` (exposed so multi-chain
+    /// callers can feed the dispatched kernels directly).
+    pub fn coefficient(&self) -> f64 {
+        self.coeff
+    }
+
+    /// Squared DFT magnitudes of every lane of an SoA batch at the
+    /// target frequency — one vectorized recurrence advances all
+    /// repeats at once ([`crate::simd::goertzel_soa_run`]).
+    ///
+    /// Bit-identical to calling [`Goertzel::magnitude_sq`] on each lane
+    /// separately, on every dispatch arm.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::EmptyInput`] if the batch has no lanes or no
+    /// samples.
+    pub fn magnitude_sq_soa(&self, batch: &SoaRecords) -> Result<Vec<f64>, DspError> {
+        if batch.lanes() == 0 || batch.samples() == 0 {
+            return Err(DspError::EmptyInput {
+                context: "goertzel (soa batch)",
+            });
+        }
+        let lanes = batch.lanes();
+        let mut s1 = vec![0.0f64; lanes];
+        let mut s2 = vec![0.0f64; lanes];
+        simd::goertzel_soa_run(batch.data(), lanes, self.coeff, &mut s1, &mut s2);
+        Ok((0..lanes)
+            .map(|l| {
+                let (s1, s2) = (s1[l], s2[l]);
+                s1 * s1 + s2 * s2 - self.coeff * s1 * s2
+            })
+            .collect())
+    }
+
+    /// Tone power estimate (`amplitude²/2`, amplitude `2·|X|/N`) of
+    /// every lane of an SoA batch. Bit-identical to per-lane
+    /// [`Goertzel::power`] on every dispatch arm.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Goertzel::magnitude_sq_soa`].
+    pub fn power_soa(&self, batch: &SoaRecords) -> Result<Vec<f64>, DspError> {
+        let n = batch.samples();
+        let mut mags = self.magnitude_sq_soa(batch)?;
+        for m in &mut mags {
+            let a = 2.0 * m.sqrt() / n as f64;
+            *m = a * a / 2.0;
+        }
+        Ok(mags)
+    }
+}
+
+/// A bank of Goertzel detectors sharing one record pass: all bins'
+/// recurrences advance per sample, vectorized across bins
+/// ([`crate::simd::goertzel_bank_run`]).
+///
+/// Bit-identical to running each bin's [`Goertzel`] separately, on
+/// every dispatch arm.
+///
+/// # Examples
+///
+/// ```
+/// use nfbist_dsp::goertzel::GoertzelBank;
+///
+/// # fn main() -> Result<(), nfbist_dsp::DspError> {
+/// let fs = 8_000.0;
+/// let bank = GoertzelBank::new(&[500.0, 1_000.0, 2_000.0], fs)?;
+/// let x: Vec<f64> = (0..800)
+///     .map(|n| (2.0 * std::f64::consts::PI * 1_000.0 * n as f64 / fs).sin())
+///     .collect();
+/// let amps = bank.amplitudes(&x)?;
+/// assert!((amps[1] - 1.0).abs() < 1e-6); // the 1 kHz bin
+/// assert!(amps[0] < 1e-6 && amps[2] < 1e-6);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct GoertzelBank {
+    bins: Vec<Goertzel>,
+    coeffs: Vec<f64>,
+}
+
+impl GoertzelBank {
+    /// Plans detectors for each of `frequencies` at `sample_rate` Hz.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::EmptyInput`] for an empty frequency list,
+    /// and the per-bin errors of [`Goertzel::new`].
+    pub fn new(frequencies: &[f64], sample_rate: f64) -> Result<Self, DspError> {
+        if frequencies.is_empty() {
+            return Err(DspError::EmptyInput {
+                context: "goertzel bank (no frequencies)",
+            });
+        }
+        let bins = frequencies
+            .iter()
+            .map(|&f| Goertzel::new(f, sample_rate))
+            .collect::<Result<Vec<_>, _>>()?;
+        let coeffs = bins.iter().map(|g| g.coeff).collect();
+        Ok(GoertzelBank { bins, coeffs })
+    }
+
+    /// Number of bins in the bank.
+    pub fn len(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// `true` when the bank has no bins (unreachable through
+    /// [`GoertzelBank::new`], provided for completeness).
+    pub fn is_empty(&self) -> bool {
+        self.bins.is_empty()
+    }
+
+    /// The per-bin detectors, in construction order.
+    pub fn bins(&self) -> &[Goertzel] {
+        &self.bins
+    }
+
+    /// Squared DFT magnitude `|X(fᵢ)|²` for every bin over one pass of
+    /// the record.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::EmptyInput`] for an empty record.
+    pub fn magnitudes_sq(&self, x: &[f64]) -> Result<Vec<f64>, DspError> {
+        if x.is_empty() {
+            return Err(DspError::EmptyInput {
+                context: "goertzel bank",
+            });
+        }
+        let lanes = self.bins.len();
+        let mut s1 = vec![0.0f64; lanes];
+        let mut s2 = vec![0.0f64; lanes];
+        simd::goertzel_bank_run(x, &self.coeffs, &mut s1, &mut s2);
+        Ok((0..lanes)
+            .map(|l| {
+                let (c, s1, s2) = (self.coeffs[l], s1[l], s2[l]);
+                s1 * s1 + s2 * s2 - c * s1 * s2
+            })
+            .collect())
+    }
+
+    /// Estimated sinusoid amplitude `2·|X|/N` for every bin.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::EmptyInput`] for an empty record.
+    pub fn amplitudes(&self, x: &[f64]) -> Result<Vec<f64>, DspError> {
+        let n = x.len();
+        let mut mags = self.magnitudes_sq(x)?;
+        for m in &mut mags {
+            *m = 2.0 * m.sqrt() / n as f64;
+        }
+        Ok(mags)
+    }
+
+    /// Tone power estimate `amplitude²/2` for every bin.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::EmptyInput`] for an empty record.
+    pub fn powers(&self, x: &[f64]) -> Result<Vec<f64>, DspError> {
+        let mut amps = self.amplitudes(x)?;
+        for a in &mut amps {
+            *a = *a * *a / 2.0;
+        }
+        Ok(amps)
+    }
 }
 
 #[cfg(test)]
@@ -248,6 +430,71 @@ mod tests {
         );
         assert!(g.power_iter(std::iter::empty()).is_err());
         assert!(g.amplitude_iter(std::iter::empty()).is_err());
+    }
+
+    #[test]
+    fn bank_matches_per_bin_detectors_bitwise() {
+        let fs = 10_000.0;
+        let freqs = [300.0, 500.0, 1_250.0, 2_000.0, 4_900.0];
+        let x: Vec<f64> = (0..1_501)
+            .map(|j| {
+                (std::f64::consts::TAU * 500.0 * j as f64 / fs).sin()
+                    + 0.25 * (j as f64 * 0.31).cos()
+            })
+            .collect();
+        let bank = GoertzelBank::new(&freqs, fs).unwrap();
+        assert_eq!(bank.len(), 5);
+        assert!(!bank.is_empty());
+        let mags = bank.magnitudes_sq(&x).unwrap();
+        let amps = bank.amplitudes(&x).unwrap();
+        let pows = bank.powers(&x).unwrap();
+        for (i, &f) in freqs.iter().enumerate() {
+            let g = Goertzel::new(f, fs).unwrap();
+            assert_eq!(bank.bins()[i].frequency(), f);
+            assert_eq!(mags[i].to_bits(), g.magnitude_sq(&x).unwrap().to_bits());
+            assert_eq!(amps[i].to_bits(), g.amplitude(&x).unwrap().to_bits());
+            assert_eq!(pows[i].to_bits(), g.power(&x).unwrap().to_bits());
+        }
+    }
+
+    #[test]
+    fn bank_validation() {
+        assert!(GoertzelBank::new(&[], 8_000.0).is_err());
+        assert!(GoertzelBank::new(&[100.0, 9_000.0], 8_000.0).is_err());
+        let bank = GoertzelBank::new(&[100.0], 8_000.0).unwrap();
+        assert!(bank.magnitudes_sq(&[]).is_err());
+    }
+
+    #[test]
+    fn soa_batch_matches_per_lane_detector_bitwise() {
+        let fs = 10_000.0;
+        let g = Goertzel::new(750.0, fs).unwrap();
+        assert_eq!(g.coefficient(), 2.0 * g.omega().cos());
+        let records: Vec<Vec<f64>> = (0..5)
+            .map(|r| {
+                (0..903)
+                    .map(|j| {
+                        (std::f64::consts::TAU * 750.0 * j as f64 / fs + r as f64).sin()
+                            + 0.1 * ((j + r) as f64 * 0.17).cos()
+                    })
+                    .collect()
+            })
+            .collect();
+        let refs: Vec<&[f64]> = records.iter().map(Vec::as_slice).collect();
+        let batch = crate::soa::SoaRecords::from_records(&refs);
+        let mags = g.magnitude_sq_soa(&batch).unwrap();
+        let pows = g.power_soa(&batch).unwrap();
+        for (l, rec) in records.iter().enumerate() {
+            assert_eq!(mags[l].to_bits(), g.magnitude_sq(rec).unwrap().to_bits());
+            assert_eq!(pows[l].to_bits(), g.power(rec).unwrap().to_bits());
+        }
+        // Degenerate batches are rejected.
+        assert!(g
+            .magnitude_sq_soa(&crate::soa::SoaRecords::new(0, 10))
+            .is_err());
+        assert!(g
+            .magnitude_sq_soa(&crate::soa::SoaRecords::new(3, 0))
+            .is_err());
     }
 
     #[test]

@@ -50,10 +50,16 @@
 //! | [`filter`] | FIR design (windowed sinc), biquads, Butterworth cascades |
 //! | [`goertzel`] | Single-bin DFT for cheap reference-line tracking |
 //! | [`resample`] | Decimation and zero-stuffing interpolation |
+//! | [`simd`] | Runtime-dispatched SIMD kernels (AVX2/NEON/scalar) for the hot loops |
+//! | [`soa`] | Structure-of-arrays record batches for vectorizing across repeats |
 //! | [`stats`] | Mean, variance, RMS, mean-square, histogramming |
 //! | [`db`] | Decibel conversions for power and amplitude quantities |
 
-#![forbid(unsafe_code)]
+// Unsafe is denied crate-wide and re-allowed only inside `simd`, whose
+// `std::arch` intrinsic calls are the single sanctioned exception (each
+// carries a Safety comment; every other crate in the workspace stays
+// `forbid(unsafe_code)`).
+#![deny(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod complex;
@@ -64,6 +70,8 @@ pub mod filter;
 pub mod goertzel;
 pub mod psd;
 pub mod resample;
+pub mod simd;
+pub mod soa;
 pub mod spectrum;
 pub mod stats;
 pub mod window;

@@ -129,15 +129,9 @@ pub(crate) fn one_sided_density_accumulate(
     debug_assert_eq!(spec.len(), half);
     debug_assert_eq!(acc.len(), half);
     let base = 1.0 / (sample_rate * window_power);
-    for (k, (a, z)) in acc.iter_mut().zip(spec).enumerate() {
-        let mut d = z.norm_sqr() * base;
-        let is_dc = k == 0;
-        let is_nyquist = nfft.is_multiple_of(2) && k == nfft / 2;
-        if !is_dc && !is_nyquist {
-            d *= 2.0;
-        }
-        *a += d;
-    }
+    // Dispatched kernel: bit-identical across arms (DC/Nyquist handled
+    // scalar inside; interior bins run 4 per register on AVX2).
+    crate::simd::accumulate_one_sided(spec, nfft, base, acc);
 }
 
 #[cfg(test)]

@@ -1,6 +1,7 @@
 //! Single-segment (modified) periodogram.
 
 use crate::psd::{one_sided_density_accumulate, DspWorkspace};
+use crate::simd::{self, SimdPolicy};
 use crate::spectrum::Spectrum;
 use crate::window::Window;
 use crate::DspError;
@@ -27,6 +28,7 @@ use crate::DspError;
 pub struct PeriodogramConfig {
     window: Window,
     detrend: bool,
+    simd: SimdPolicy,
 }
 
 impl PeriodogramConfig {
@@ -35,6 +37,7 @@ impl PeriodogramConfig {
         PeriodogramConfig {
             window: Window::Rectangular,
             detrend: false,
+            simd: SimdPolicy::Exact,
         }
     }
 
@@ -48,6 +51,14 @@ impl PeriodogramConfig {
     /// would otherwise leak into low bins through the window skirts.
     pub fn detrend(mut self, on: bool) -> Self {
         self.detrend = on;
+        self
+    }
+
+    /// Selects the SIMD reduction policy (default
+    /// [`SimdPolicy::Exact`]; only the detrend mean is affected — see
+    /// [`crate::simd`]).
+    pub fn simd(mut self, policy: SimdPolicy) -> Self {
+        self.simd = policy;
         self
     }
 
@@ -126,14 +137,10 @@ impl PeriodogramConfig {
         let src: &[f64] = if self.detrend || self.window != Window::Rectangular {
             plan.seg.copy_from_slice(x);
             if self.detrend {
-                let mu = crate::stats::mean(&plan.seg)?;
-                for v in &mut plan.seg {
-                    *v -= mu;
-                }
+                let mu = simd::sum(&plan.seg, self.simd) / n as f64;
+                simd::subtract_scalar(&mut plan.seg, mu);
             }
-            for (v, w) in plan.seg.iter_mut().zip(&plan.coeffs) {
-                *v *= w;
-            }
+            simd::apply_window(&mut plan.seg, &plan.coeffs);
             &plan.seg
         } else {
             x

@@ -124,6 +124,7 @@ impl StreamingWelch {
         let n = self.config.segment_len();
         let hop = self.config.hop();
         let detrend = self.config.detrend_enabled();
+        let policy = self.config.simd_policy();
         let plan = self.workspace.plan(n, self.config.window_kind())?;
         let mut rest = chunk;
         loop {
@@ -138,6 +139,7 @@ impl StreamingWelch {
             accumulate_segment(
                 plan,
                 detrend,
+                policy,
                 self.sample_rate,
                 &self.carry,
                 &mut self.accum,

@@ -2,6 +2,7 @@
 //! segments.
 
 use crate::psd::{one_sided_density_accumulate, DspWorkspace, PsdPlan};
+use crate::simd::{self, SimdPolicy};
 use crate::spectrum::Spectrum;
 use crate::window::Window;
 use crate::DspError;
@@ -13,9 +14,16 @@ use crate::DspError;
 /// ([`WelchConfig::estimate_into`]) and the chunked accumulator
 /// ([`crate::psd::StreamingWelch`]); sharing it is what makes the two
 /// paths bitwise-identical by construction.
+///
+/// The hot loops (detrend subtract, window multiply, FFT butterflies,
+/// density accumulation) run through the [`crate::simd`] dispatch layer
+/// and are bit-identical across arms; only the detrend *mean* is a
+/// reduction, so `policy` decides whether it may reassociate
+/// ([`SimdPolicy::Exact`], the default, keeps the scalar fold).
 pub(crate) fn accumulate_segment(
     plan: &mut PsdPlan,
     detrend: bool,
+    policy: SimdPolicy,
     sample_rate: f64,
     segment: &[f64],
     out: &mut [f64],
@@ -23,14 +31,10 @@ pub(crate) fn accumulate_segment(
     let n = plan.size();
     plan.seg.copy_from_slice(segment);
     if detrend {
-        let mu = crate::stats::mean(&plan.seg)?;
-        for v in &mut plan.seg {
-            *v -= mu;
-        }
+        let mu = simd::sum(&plan.seg, policy) / n as f64;
+        simd::subtract_scalar(&mut plan.seg, mu);
     }
-    for (v, w) in plan.seg.iter_mut().zip(&plan.coeffs) {
-        *v *= w;
-    }
+    simd::apply_window(&mut plan.seg, &plan.coeffs);
     plan.fft
         .forward_real_into(&plan.seg, &mut plan.scratch, &mut plan.spec)?;
     one_sided_density_accumulate(
@@ -70,6 +74,7 @@ pub struct WelchConfig {
     window: Window,
     overlap: f64,
     detrend: bool,
+    simd: SimdPolicy,
 }
 
 impl WelchConfig {
@@ -91,6 +96,7 @@ impl WelchConfig {
             window: Window::Hann,
             overlap: 0.5,
             detrend: false,
+            simd: SimdPolicy::Exact,
         })
     }
 
@@ -119,6 +125,15 @@ impl WelchConfig {
     /// Enables per-segment mean removal.
     pub fn detrend(mut self, on: bool) -> Self {
         self.detrend = on;
+        self
+    }
+
+    /// Selects the SIMD reduction policy (default
+    /// [`SimdPolicy::Exact`], which keeps the estimate bit-for-bit
+    /// identical across dispatch arms and machines; only the detrend
+    /// mean is affected — see [`crate::simd`]).
+    pub fn simd(mut self, policy: SimdPolicy) -> Self {
+        self.simd = policy;
         self
     }
 
@@ -157,6 +172,11 @@ impl WelchConfig {
     /// `true` when per-segment mean removal is enabled.
     pub fn detrend_enabled(&self) -> bool {
         self.detrend
+    }
+
+    /// The configured SIMD reduction policy.
+    pub fn simd_policy(&self) -> SimdPolicy {
+        self.simd
     }
 
     /// Runs the estimator over `x` sampled at `sample_rate` Hz.
@@ -236,7 +256,14 @@ impl WelchConfig {
         let mut segments = 0usize;
         let mut start = 0usize;
         while start + n <= x.len() {
-            accumulate_segment(plan, self.detrend, sample_rate, &x[start..start + n], out)?;
+            accumulate_segment(
+                plan,
+                self.detrend,
+                self.simd,
+                sample_rate,
+                &x[start..start + n],
+                out,
+            )?;
             segments += 1;
             start += hop;
         }

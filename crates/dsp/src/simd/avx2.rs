@@ -1,0 +1,513 @@
+//! The AVX2 arm: `std::arch::x86_64` implementations of the dispatched
+//! kernels, 4 `f64` lanes (or 4 `u64` words) per instruction.
+//!
+//! Every public function here is **safe**: it re-checks runtime CPU
+//! detection and falls back to the scalar arm when AVX2 (or POPCNT,
+//! for the bit kernels) is absent, so routing to this module can never
+//! execute an unsupported instruction. The `unsafe` is confined to the
+//! `#[target_feature]` inner functions, each called only behind that
+//! detection guard.
+//!
+//! ## Numerical contract
+//!
+//! All float kernels except [`sum_relaxed`] are **bit-identical** to
+//! the scalar arm:
+//!
+//! - element-wise kernels ([`apply_window`], [`subtract_scalar`],
+//!   [`scale_by_sample`]) perform the same single rounding per element
+//!   (no FMA contraction — multiplies and adds stay separate
+//!   instructions);
+//! - the butterfly complex multiply evaluates
+//!   `re = br·wr − bi·wi, im = bi·wr + br·wi`; the scalar `Mul` writes
+//!   the imaginary part as `br·wi + bi·wr`, and IEEE-754 addition is
+//!   commutative, so the results agree bit for bit;
+//! - the Goertzel recurrences evaluate `(v + coeff·s1) − s2` in the
+//!   scalar order, just across 4 lanes at once;
+//! - [`accumulate_one_sided`] computes `(|z|²·base)·2` with the same
+//!   three roundings as the scalar per-bin loop.
+//!
+//! [`sum_relaxed`] alone reassociates the reduction (4 partial sums);
+//! it is only reachable under `SimdPolicy::Relaxed`.
+#![allow(unsafe_code)]
+#![allow(clippy::cast_ptr_alignment)] // all loads/stores are the unaligned variants
+
+use core::arch::x86_64::*;
+
+use super::{avx2_supported, scalar};
+use crate::complex::Complex64;
+
+/// Element-wise `seg[i] *= coeffs[i]`; bit-identical to scalar.
+pub(super) fn apply_window(seg: &mut [f64], coeffs: &[f64]) {
+    if avx2_supported() {
+        // Safety: AVX2 confirmed by runtime detection.
+        unsafe { apply_window_avx2(seg, coeffs) }
+    } else {
+        scalar::apply_window(seg, coeffs);
+    }
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn apply_window_avx2(seg: &mut [f64], coeffs: &[f64]) {
+    let n = seg.len().min(coeffs.len());
+    let s = seg.as_mut_ptr();
+    let c = coeffs.as_ptr();
+    let n4 = n / 4 * 4;
+    for i in (0..n4).step_by(4) {
+        let v = _mm256_mul_pd(_mm256_loadu_pd(s.add(i)), _mm256_loadu_pd(c.add(i)));
+        _mm256_storeu_pd(s.add(i), v);
+    }
+    scalar::apply_window(&mut seg[n4..n], &coeffs[n4..n]);
+}
+
+/// Element-wise `seg[i] -= c`; bit-identical to scalar.
+pub(super) fn subtract_scalar(seg: &mut [f64], c: f64) {
+    if avx2_supported() {
+        // Safety: AVX2 confirmed by runtime detection.
+        unsafe { subtract_scalar_avx2(seg, c) }
+    } else {
+        scalar::subtract_scalar(seg, c);
+    }
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn subtract_scalar_avx2(seg: &mut [f64], c: f64) {
+    let cv = _mm256_set1_pd(c);
+    let p = seg.as_mut_ptr();
+    let n4 = seg.len() / 4 * 4;
+    for i in (0..n4).step_by(4) {
+        _mm256_storeu_pd(p.add(i), _mm256_sub_pd(_mm256_loadu_pd(p.add(i)), cv));
+    }
+    scalar::subtract_scalar(&mut seg[n4..], c);
+}
+
+/// Reassociated sum: four running partial sums, combined as
+/// `(l0 + l1) + (l2 + l3)`, then the scalar tail. Only used under
+/// `SimdPolicy::Relaxed`; the error is bounded by the usual
+/// `O(n·ε·Σ|x|)` recursive-summation envelope (in practice it is
+/// *closer* to the true sum than the scalar left fold).
+pub(super) fn sum_relaxed(x: &[f64]) -> f64 {
+    if avx2_supported() {
+        // Safety: AVX2 confirmed by runtime detection.
+        unsafe { sum_relaxed_avx2(x) }
+    } else {
+        scalar::sum_exact(x)
+    }
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn sum_relaxed_avx2(x: &[f64]) -> f64 {
+    let p = x.as_ptr();
+    let n4 = x.len() / 4 * 4;
+    let mut acc = _mm256_setzero_pd();
+    for i in (0..n4).step_by(4) {
+        acc = _mm256_add_pd(acc, _mm256_loadu_pd(p.add(i)));
+    }
+    let mut lanes = [0.0f64; 4];
+    _mm256_storeu_pd(lanes.as_mut_ptr(), acc);
+    let mut s = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+    for &v in &x[n4..] {
+        s += v;
+    }
+    s
+}
+
+/// One-sided density accumulation; bit-identical to scalar. DC and the
+/// Nyquist bin run scalar, interior bins 4 at a time.
+pub(super) fn accumulate_one_sided(spec: &[Complex64], nfft: usize, base: f64, acc: &mut [f64]) {
+    if avx2_supported() {
+        // Safety: AVX2 confirmed by runtime detection.
+        unsafe { accumulate_one_sided_avx2(spec, nfft, base, acc) }
+    } else {
+        scalar::accumulate_one_sided(spec, nfft, base, acc);
+    }
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn accumulate_one_sided_avx2(spec: &[Complex64], nfft: usize, base: f64, acc: &mut [f64]) {
+    let n = acc.len().min(spec.len());
+    if n == 0 {
+        return;
+    }
+    // DC bin (never doubled) runs scalar.
+    acc[0] += spec[0].norm_sqr() * base;
+    // Interior (always-doubled) region stops before the Nyquist bin.
+    let nyquist = if nfft.is_multiple_of(2) {
+        nfft / 2
+    } else {
+        usize::MAX
+    };
+    let vec_end = nyquist.min(n);
+    let base_v = _mm256_set1_pd(base);
+    let two_v = _mm256_set1_pd(2.0);
+    let sp = spec.as_ptr() as *const f64;
+    let ap = acc.as_mut_ptr();
+    let mut k = 1usize;
+    while k + 4 <= vec_end {
+        let za = _mm256_loadu_pd(sp.add(2 * k));
+        let zb = _mm256_loadu_pd(sp.add(2 * k + 4));
+        // hadd lane order is [n_k, n_{k+2}, n_{k+1}, n_{k+3}]; the
+        // permute restores bin order.
+        let h = _mm256_hadd_pd(_mm256_mul_pd(za, za), _mm256_mul_pd(zb, zb));
+        let norms = _mm256_permute4x64_pd::<0b11011000>(h);
+        let d = _mm256_mul_pd(_mm256_mul_pd(norms, base_v), two_v);
+        _mm256_storeu_pd(ap.add(k), _mm256_add_pd(_mm256_loadu_pd(ap.add(k)), d));
+        k += 4;
+    }
+    // Scalar remainder: the rest of the doubled region, then the
+    // Nyquist bin and anything past it (same per-bin logic as scalar).
+    for (kk, (a, z)) in acc[k..n].iter_mut().zip(&spec[k..n]).enumerate() {
+        let kk = kk + k;
+        let mut d = z.norm_sqr() * base;
+        if kk != nyquist {
+            d *= 2.0;
+        }
+        *a += d;
+    }
+}
+
+/// One radix-2 butterfly stage, 2 butterflies per iteration;
+/// bit-identical to scalar (see module docs for the rounding argument).
+pub(super) fn butterfly_pairs(
+    lo: &mut [Complex64],
+    hi: &mut [Complex64],
+    twiddles: &[Complex64],
+    conjugate: bool,
+) {
+    if avx2_supported() {
+        // Safety: AVX2 confirmed by runtime detection.
+        unsafe { butterfly_pairs_avx2(lo, hi, twiddles, conjugate) }
+    } else {
+        scalar::butterfly_pairs(lo, hi, twiddles, conjugate);
+    }
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn butterfly_pairs_avx2(
+    lo: &mut [Complex64],
+    hi: &mut [Complex64],
+    twiddles: &[Complex64],
+    conjugate: bool,
+) {
+    let n = lo.len().min(hi.len()).min(twiddles.len());
+    // Sign mask that negates the imaginary lanes — the exact-negation
+    // form of conjugation (`set_pd` arguments are high lane first).
+    let conj_mask = if conjugate {
+        _mm256_set_pd(-0.0, 0.0, -0.0, 0.0)
+    } else {
+        _mm256_setzero_pd()
+    };
+    // Safety of the pointer walks: `Complex64` is `#[repr(C)]` (two
+    // consecutive f64), so 2·i indexes the real part of element i.
+    let lp = lo.as_mut_ptr() as *mut f64;
+    let hp = hi.as_mut_ptr() as *mut f64;
+    let tp = twiddles.as_ptr() as *const f64;
+    let n2 = n / 2 * 2;
+    for i in (0..n2).step_by(2) {
+        let w = _mm256_xor_pd(_mm256_loadu_pd(tp.add(2 * i)), conj_mask);
+        let wr = _mm256_movedup_pd(w); // [wr0, wr0, wr1, wr1]
+        let wi = _mm256_permute_pd::<0b1111>(w); // [wi0, wi0, wi1, wi1]
+        let b = _mm256_loadu_pd(hp.add(2 * i));
+        let b_swap = _mm256_permute_pd::<0b0101>(b); // [bi0, br0, bi1, br1]
+                                                     // addsub: even lanes subtract, odd lanes add →
+                                                     // [br·wr − bi·wi, bi·wr + br·wi] per complex.
+        let t = _mm256_addsub_pd(_mm256_mul_pd(b, wr), _mm256_mul_pd(b_swap, wi));
+        let a = _mm256_loadu_pd(lp.add(2 * i));
+        _mm256_storeu_pd(lp.add(2 * i), _mm256_add_pd(a, t));
+        _mm256_storeu_pd(hp.add(2 * i), _mm256_sub_pd(a, t));
+    }
+    if n2 < n {
+        scalar::butterfly_one(&mut lo[n2], &mut hi[n2], twiddles[n2], conjugate);
+    }
+}
+
+/// Multi-bin Goertzel recurrence, 4 bins per register; bit-identical to
+/// scalar (same `(v + coeff·s1) − s2` evaluation order per lane).
+pub(super) fn goertzel_bank(x: &[f64], coeffs: &[f64], s1: &mut [f64], s2: &mut [f64]) {
+    if avx2_supported() {
+        // Safety: AVX2 confirmed by runtime detection.
+        unsafe { goertzel_bank_avx2(x, coeffs, s1, s2) }
+    } else {
+        scalar::goertzel_bank(x, coeffs, s1, s2);
+    }
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn goertzel_bank_avx2(x: &[f64], coeffs: &[f64], s1: &mut [f64], s2: &mut [f64]) {
+    let lanes = coeffs.len();
+    // Two 4-lane groups per pass over `x`: the recurrence is a serial
+    // add→sub dependency chain per group, so a single group leaves the
+    // FP units mostly idle waiting on latency. Interleaving a second,
+    // independent group in the same sample loop overlaps the chains
+    // (and halves the passes over `x`) — without it the vector bank
+    // can lose to the scalar loop, whose 4+ independent chains the CPU
+    // overlaps on its own.
+    let l8 = lanes / 8 * 8;
+    for l in (0..l8).step_by(8) {
+        let ca = _mm256_loadu_pd(coeffs.as_ptr().add(l));
+        let cb = _mm256_loadu_pd(coeffs.as_ptr().add(l + 4));
+        let mut a1 = _mm256_loadu_pd(s1.as_ptr().add(l));
+        let mut a2 = _mm256_loadu_pd(s2.as_ptr().add(l));
+        let mut b1 = _mm256_loadu_pd(s1.as_ptr().add(l + 4));
+        let mut b2 = _mm256_loadu_pd(s2.as_ptr().add(l + 4));
+        for &sample in x {
+            let vx = _mm256_set1_pd(sample);
+            let sa = _mm256_sub_pd(_mm256_add_pd(vx, _mm256_mul_pd(ca, a1)), a2);
+            let sb = _mm256_sub_pd(_mm256_add_pd(vx, _mm256_mul_pd(cb, b1)), b2);
+            a2 = a1;
+            a1 = sa;
+            b2 = b1;
+            b1 = sb;
+        }
+        _mm256_storeu_pd(s1.as_mut_ptr().add(l), a1);
+        _mm256_storeu_pd(s2.as_mut_ptr().add(l), a2);
+        _mm256_storeu_pd(s1.as_mut_ptr().add(l + 4), b1);
+        _mm256_storeu_pd(s2.as_mut_ptr().add(l + 4), b2);
+    }
+    let l4 = lanes / 4 * 4;
+    if l8 < l4 {
+        let l = l8;
+        let c = _mm256_loadu_pd(coeffs.as_ptr().add(l));
+        let mut v1 = _mm256_loadu_pd(s1.as_ptr().add(l));
+        let mut v2 = _mm256_loadu_pd(s2.as_ptr().add(l));
+        for &sample in x {
+            let vx = _mm256_set1_pd(sample);
+            let s0 = _mm256_sub_pd(_mm256_add_pd(vx, _mm256_mul_pd(c, v1)), v2);
+            v2 = v1;
+            v1 = s0;
+        }
+        _mm256_storeu_pd(s1.as_mut_ptr().add(l), v1);
+        _mm256_storeu_pd(s2.as_mut_ptr().add(l), v2);
+    }
+    if l4 < lanes {
+        scalar::goertzel_bank(x, &coeffs[l4..], &mut s1[l4..], &mut s2[l4..]);
+    }
+}
+
+/// SoA Goertzel recurrence, 4 repeat-lanes per register; bit-identical
+/// to scalar.
+pub(super) fn goertzel_soa(data: &[f64], lanes: usize, coeff: f64, s1: &mut [f64], s2: &mut [f64]) {
+    if avx2_supported() {
+        // Safety: AVX2 confirmed by runtime detection.
+        unsafe { goertzel_soa_avx2(data, lanes, coeff, s1, s2) }
+    } else {
+        scalar::goertzel_soa(data, lanes, coeff, s1, s2);
+    }
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn goertzel_soa_avx2(
+    data: &[f64],
+    lanes: usize,
+    coeff: f64,
+    s1: &mut [f64],
+    s2: &mut [f64],
+) {
+    if lanes == 0 {
+        return;
+    }
+    let rows = data.len() / lanes;
+    let c = _mm256_set1_pd(coeff);
+    let dp = data.as_ptr();
+    // Two 4-lane groups per pass, same rationale as the bank kernel:
+    // the per-group recurrence is latency-bound, so pairing two
+    // independent groups in one row loop keeps the FP units busy and
+    // halves the passes over the batch.
+    let l8 = lanes / 8 * 8;
+    for l in (0..l8).step_by(8) {
+        let mut a1 = _mm256_loadu_pd(s1.as_ptr().add(l));
+        let mut a2 = _mm256_loadu_pd(s2.as_ptr().add(l));
+        let mut b1 = _mm256_loadu_pd(s1.as_ptr().add(l + 4));
+        let mut b2 = _mm256_loadu_pd(s2.as_ptr().add(l + 4));
+        for i in 0..rows {
+            let xa = _mm256_loadu_pd(dp.add(i * lanes + l));
+            let xb = _mm256_loadu_pd(dp.add(i * lanes + l + 4));
+            let sa = _mm256_sub_pd(_mm256_add_pd(xa, _mm256_mul_pd(c, a1)), a2);
+            let sb = _mm256_sub_pd(_mm256_add_pd(xb, _mm256_mul_pd(c, b1)), b2);
+            a2 = a1;
+            a1 = sa;
+            b2 = b1;
+            b1 = sb;
+        }
+        _mm256_storeu_pd(s1.as_mut_ptr().add(l), a1);
+        _mm256_storeu_pd(s2.as_mut_ptr().add(l), a2);
+        _mm256_storeu_pd(s1.as_mut_ptr().add(l + 4), b1);
+        _mm256_storeu_pd(s2.as_mut_ptr().add(l + 4), b2);
+    }
+    let l4 = lanes / 4 * 4;
+    if l8 < l4 {
+        let l = l8;
+        let mut v1 = _mm256_loadu_pd(s1.as_ptr().add(l));
+        let mut v2 = _mm256_loadu_pd(s2.as_ptr().add(l));
+        for i in 0..rows {
+            let vx = _mm256_loadu_pd(dp.add(i * lanes + l));
+            let s0 = _mm256_sub_pd(_mm256_add_pd(vx, _mm256_mul_pd(c, v1)), v2);
+            v2 = v1;
+            v1 = s0;
+        }
+        _mm256_storeu_pd(s1.as_mut_ptr().add(l), v1);
+        _mm256_storeu_pd(s2.as_mut_ptr().add(l), v2);
+    }
+    for row in data.chunks_exact(lanes) {
+        for l in l4..lanes {
+            let s0 = row[l] + coeff * s1[l] - s2[l];
+            s2[l] = s1[l];
+            s1[l] = s0;
+        }
+    }
+}
+
+/// Per-sample scaling of SoA data (`data[i·lanes + l] *= coeffs[i]`);
+/// bit-identical to scalar.
+pub(super) fn scale_by_sample(data: &mut [f64], lanes: usize, coeffs: &[f64]) {
+    if avx2_supported() {
+        // Safety: AVX2 confirmed by runtime detection.
+        unsafe { scale_by_sample_avx2(data, lanes, coeffs) }
+    } else {
+        scalar::scale_by_sample(data, lanes, coeffs);
+    }
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn scale_by_sample_avx2(data: &mut [f64], lanes: usize, coeffs: &[f64]) {
+    if lanes == 0 {
+        return;
+    }
+    let l4 = lanes / 4 * 4;
+    for (row, &cval) in data.chunks_exact_mut(lanes).zip(coeffs) {
+        let cv = _mm256_set1_pd(cval);
+        let rp = row.as_mut_ptr();
+        for l in (0..l4).step_by(4) {
+            _mm256_storeu_pd(rp.add(l), _mm256_mul_pd(_mm256_loadu_pd(rp.add(l)), cv));
+        }
+        for v in &mut row[l4..] {
+            *v *= cval;
+        }
+    }
+}
+
+/// Packed-bit → ±1.0 expansion, 4 samples per blend; bit-exact (the
+/// outputs are exactly ±1.0 on every arm).
+pub(super) fn expand_bipolar(words: &[u64], out: &mut [f64]) {
+    if avx2_supported() {
+        // Safety: AVX2 confirmed by runtime detection.
+        unsafe { expand_bipolar_avx2(words, out) }
+    } else {
+        scalar::expand_bipolar(words, out);
+    }
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn expand_bipolar_avx2(words: &[u64], out: &mut [f64]) {
+    let full = (out.len() / 64).min(words.len());
+    let one_bit = _mm256_set1_epi64x(1);
+    let pos = _mm256_set1_pd(1.0);
+    let neg = _mm256_set1_pd(-1.0);
+    let op = out.as_mut_ptr();
+    for (w_idx, &w) in words[..full].iter().enumerate() {
+        let wv = _mm256_set1_epi64x(w as i64);
+        for g in 0..16 {
+            let b = (4 * g) as i64;
+            // `set_epi64x` arguments are high lane first.
+            let counts = _mm256_set_epi64x(b + 3, b + 2, b + 1, b);
+            let bits = _mm256_and_si256(_mm256_srlv_epi64(wv, counts), one_bit);
+            let mask = _mm256_castsi256_pd(_mm256_cmpeq_epi64(bits, one_bit));
+            let vals = _mm256_blendv_pd(neg, pos, mask);
+            _mm256_storeu_pd(op.add(w_idx * 64 + 4 * g as usize), vals);
+        }
+    }
+    scalar::expand_bipolar(&words[full..], &mut out[full * 64..]);
+}
+
+/// Nibble-LUT popcount over an `__m256i` of four words, accumulated as
+/// four per-lane u64 partials via `sad_epu8`.
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn popcount_accumulate(acc: __m256i, v: __m256i) -> __m256i {
+    #[rustfmt::skip]
+    let lut = _mm256_setr_epi8(
+        0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+        0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+    );
+    let low_mask = _mm256_set1_epi8(0x0f);
+    let lo = _mm256_and_si256(v, low_mask);
+    let hi = _mm256_and_si256(_mm256_srli_epi32::<4>(v), low_mask);
+    let cnt = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo), _mm256_shuffle_epi8(lut, hi));
+    _mm256_add_epi64(acc, _mm256_sad_epu8(cnt, _mm256_setzero_si256()))
+}
+
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn horizontal_sum_u64(acc: __m256i) -> u64 {
+    let mut lanes = [0u64; 4];
+    _mm256_storeu_si256(lanes.as_mut_ptr() as *mut __m256i, acc);
+    lanes.iter().sum()
+}
+
+/// Total set bits; exact (integer kernel). Requires AVX2; the scalar
+/// tail runs with the POPCNT instruction enabled (detection covers
+/// both — see [`super::avx2_supported`]).
+pub(super) fn popcount_words(words: &[u64]) -> u64 {
+    if avx2_supported() {
+        // Safety: AVX2 + POPCNT confirmed by runtime detection.
+        unsafe { popcount_words_avx2(words) }
+    } else {
+        scalar::popcount_words(words)
+    }
+}
+
+#[target_feature(enable = "avx2,popcnt")]
+unsafe fn popcount_words_avx2(words: &[u64]) -> u64 {
+    let n4 = words.len() / 4 * 4;
+    let p = words.as_ptr();
+    let mut acc = _mm256_setzero_si256();
+    for i in (0..n4).step_by(4) {
+        acc = popcount_accumulate(acc, _mm256_loadu_si256(p.add(i) as *const __m256i));
+    }
+    let mut total = horizontal_sum_u64(acc);
+    for &w in &words[n4..] {
+        total += w.count_ones() as u64;
+    }
+    total
+}
+
+/// XOR + popcount at a bit lag; exact (integer kernel). The vector loop
+/// covers the prefix whose shifted loads are fully in bounds; the
+/// scalar reference finishes from the resume word, so the result is the
+/// same count the scalar arm produces.
+pub(super) fn xor_popcount_lag(words: &[u64], len_bits: usize, lag: usize) -> usize {
+    if lag >= len_bits {
+        return 0;
+    }
+    if avx2_supported() {
+        // Safety: AVX2 + POPCNT confirmed by runtime detection.
+        unsafe { xor_popcount_lag_avx2(words, len_bits, lag) }
+    } else {
+        scalar::xor_popcount_lag_from(words, len_bits, lag, 0)
+    }
+}
+
+#[target_feature(enable = "avx2,popcnt")]
+unsafe fn xor_popcount_lag_avx2(words: &[u64], len_bits: usize, lag: usize) -> usize {
+    let compared = len_bits - lag;
+    let word_shift = lag / 64;
+    let bit_shift = (lag % 64) as u32;
+    let full_words = compared / 64;
+    // A vector iteration at word j loads words[j+ws .. j+ws+5), so the
+    // last admissible start is len − ws − 5.
+    let vec_limit = full_words.min(words.len().saturating_sub(word_shift + 4));
+    let n4 = vec_limit / 4 * 4;
+    let p = words.as_ptr();
+    // Shift counts live in xmm registers; `sll` by 64 (the bit_shift==0
+    // case) yields zero, which matches the scalar single-word path.
+    let cnt_r = _mm_cvtsi64_si128(bit_shift as i64);
+    let cnt_l = _mm_cvtsi64_si128(64 - bit_shift as i64);
+    let mut acc = _mm256_setzero_si256();
+    for j in (0..n4).step_by(4) {
+        let cur = _mm256_loadu_si256(p.add(j) as *const __m256i);
+        let lo = _mm256_loadu_si256(p.add(j + word_shift) as *const __m256i);
+        let hi = _mm256_loadu_si256(p.add(j + word_shift + 1) as *const __m256i);
+        let shifted = _mm256_or_si256(_mm256_srl_epi64(lo, cnt_r), _mm256_sll_epi64(hi, cnt_l));
+        acc = popcount_accumulate(acc, _mm256_xor_si256(cur, shifted));
+    }
+    horizontal_sum_u64(acc) as usize + scalar::xor_popcount_lag_from(words, len_bits, lag, n4)
+}

@@ -1,0 +1,683 @@
+//! Runtime-dispatched SIMD kernels for the measurement hot paths.
+//!
+//! Every kernel in this module has a scalar reference implementation
+//! and, where the target supports it, a vectorized arm: AVX2 (+POPCNT)
+//! on `x86_64`, NEON on `aarch64`. The arm is chosen **once per
+//! process** by CPU detection (`is_x86_feature_detected!`) and cached;
+//! `NFBIST_SIMD=off` (or `scalar`/`0`) forces the scalar arm for the
+//! whole process, and [`with_forced_arm`] overrides the choice for one
+//! closure on one thread (how the cross-arm identity tests and the
+//! SIMD-vs-scalar benches run both arms in a single process).
+//!
+//! Requesting an arm the CPU does not support is safe: every vector
+//! arm re-checks detection and falls back to scalar, so no code path
+//! can execute an unsupported instruction.
+//!
+//! ## Numerical policy
+//!
+//! Integer kernels ([`popcount_words`], [`xor_popcount_lag`],
+//! [`expand_bipolar`]) are exact — bit-identical across arms by
+//! construction, and proptest-enforced.
+//!
+//! Float kernels come in two classes:
+//!
+//! - **Always bit-identical** (no policy knob): [`apply_window`],
+//!   [`subtract_scalar`], [`scale_by_sample`], [`butterfly_pairs`],
+//!   [`accumulate_one_sided`], [`goertzel_bank_run`],
+//!   [`goertzel_soa_run`]. Their vector forms perform the same
+//!   roundings in the same order as scalar (element-wise operations,
+//!   or per-lane recurrences whose evaluation order is preserved; no
+//!   FMA contraction anywhere).
+//! - **Reduction** ([`sum`]): reassociating the sum changes the
+//!   rounding, so the vectorized reduction is gated behind
+//!   [`SimdPolicy::Relaxed`]. The default [`SimdPolicy::Exact`] always
+//!   uses the scalar left-to-right fold — this is what keeps every
+//!   downstream determinism guarantee (streaming == batch, fleet
+//!   reports identical across workers *and* across machines with
+//!   different SIMD support) intact by default.
+
+mod scalar;
+
+#[cfg(target_arch = "x86_64")]
+mod avx2;
+#[cfg(target_arch = "aarch64")]
+mod neon;
+
+use std::cell::Cell;
+use std::sync::OnceLock;
+
+use crate::complex::Complex64;
+
+/// A dispatch arm: which implementation family executes a kernel call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SimdArm {
+    /// AVX2 + POPCNT on `x86_64` (4 × f64 / 4 × u64 lanes).
+    Avx2,
+    /// NEON on `aarch64` (2 × f64 lanes; bit kernels stay scalar).
+    Neon,
+    /// Portable scalar reference — always available, defines the
+    /// numerical semantics every other arm must match.
+    Scalar,
+}
+
+impl SimdArm {
+    /// Short lowercase name (`"avx2"`, `"neon"`, `"scalar"`), used in
+    /// bench JSON and logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdArm::Avx2 => "avx2",
+            SimdArm::Neon => "neon",
+            SimdArm::Scalar => "scalar",
+        }
+    }
+}
+
+impl std::fmt::Display for SimdArm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Float-reduction policy: whether kernels may reassociate reductions.
+///
+/// Only [`sum`] is affected today; every other float kernel is
+/// bit-identical across arms regardless of policy (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SimdPolicy {
+    /// Reductions use the scalar left-to-right fold on every arm —
+    /// results are bit-for-bit identical across arms and machines.
+    /// This is the default and what all determinism guarantees assume.
+    #[default]
+    Exact,
+    /// Reductions may use lane-parallel partial sums (different
+    /// rounding, bounded by the recursive-summation error envelope —
+    /// relative error `O(n·ε)` on both arms, typically *smaller* than
+    /// the scalar fold's). Opt-in per call site.
+    Relaxed,
+}
+
+/// True when the AVX2 arm can actually execute (x86_64 with AVX2 and
+/// POPCNT — the bit kernels' scalar tails rely on the `popcnt`
+/// instruction, so both are required together).
+fn avx2_supported() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        is_x86_feature_detected!("avx2") && is_x86_feature_detected!("popcnt")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// True when the NEON arm can execute (NEON is baseline on aarch64).
+fn neon_supported() -> bool {
+    cfg!(target_arch = "aarch64")
+}
+
+/// The arms this process can actually execute, best first. The last
+/// entry is always [`SimdArm::Scalar`].
+pub fn available_arms() -> &'static [SimdArm] {
+    if avx2_supported() {
+        &[SimdArm::Avx2, SimdArm::Scalar]
+    } else if neon_supported() {
+        &[SimdArm::Neon, SimdArm::Scalar]
+    } else {
+        &[SimdArm::Scalar]
+    }
+}
+
+fn detect_arm() -> SimdArm {
+    match std::env::var("NFBIST_SIMD").ok().as_deref() {
+        // The escape hatch: force the portable arm process-wide.
+        Some("off") | Some("scalar") | Some("0") => SimdArm::Scalar,
+        // Request a specific arm; silently degrade to scalar when the
+        // CPU can't run it (the per-kernel guard would do so anyway).
+        Some("avx2") => {
+            if avx2_supported() {
+                SimdArm::Avx2
+            } else {
+                SimdArm::Scalar
+            }
+        }
+        Some("neon") => {
+            if neon_supported() {
+                SimdArm::Neon
+            } else {
+                SimdArm::Scalar
+            }
+        }
+        // Unset or anything else ("auto", "on", …): best available.
+        _ => available_arms()[0],
+    }
+}
+
+static ACTIVE_ARM: OnceLock<SimdArm> = OnceLock::new();
+
+thread_local! {
+    static FORCED_ARM: Cell<Option<SimdArm>> = const { Cell::new(None) };
+}
+
+/// The arm kernel calls on this thread dispatch to right now: the
+/// [`with_forced_arm`] override if one is active, otherwise the cached
+/// process-wide choice (CPU detection filtered through `NFBIST_SIMD`).
+pub fn active_arm() -> SimdArm {
+    if let Some(arm) = FORCED_ARM.with(Cell::get) {
+        return arm;
+    }
+    *ACTIVE_ARM.get_or_init(detect_arm)
+}
+
+/// Runs `f` with kernel dispatch on **this thread** forced to `arm`,
+/// restoring the previous state afterwards (also on panic).
+///
+/// This is how tests and benches compare arms within one process.
+/// Forcing an arm the CPU cannot run is safe — kernels fall back to
+/// scalar. The override does not propagate to threads spawned inside
+/// `f` (worker threads of a batch executor use the process-wide arm),
+/// so cross-arm identity tests drive the sequential path.
+pub fn with_forced_arm<R>(arm: SimdArm, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<SimdArm>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            FORCED_ARM.with(|c| c.set(self.0));
+        }
+    }
+    let prev = FORCED_ARM.with(|c| c.replace(Some(arm)));
+    let _restore = Restore(prev);
+    f()
+}
+
+// ---------------------------------------------------------------------
+// Dispatched kernels. Each `foo` routes through `active_arm()`; each
+// `foo_with` lets callers (tests, benches) pin the arm per call.
+// ---------------------------------------------------------------------
+
+macro_rules! dispatch {
+    ($arm:expr, $($call:tt)*) => {
+        match $arm {
+            #[cfg(target_arch = "x86_64")]
+            SimdArm::Avx2 => avx2::$($call)*,
+            #[cfg(target_arch = "aarch64")]
+            SimdArm::Neon => neon::$($call)*,
+            _ => scalar::$($call)*,
+        }
+    };
+}
+
+/// Element-wise window multiply: `seg[i] *= coeffs[i]` over the common
+/// prefix. Bit-identical across arms.
+pub fn apply_window(seg: &mut [f64], coeffs: &[f64]) {
+    apply_window_with(active_arm(), seg, coeffs);
+}
+
+/// [`apply_window`] with an explicit dispatch arm.
+pub fn apply_window_with(arm: SimdArm, seg: &mut [f64], coeffs: &[f64]) {
+    dispatch!(arm, apply_window(seg, coeffs))
+}
+
+/// Element-wise constant subtraction: `seg[i] -= c` (the detrend
+/// subtract). Bit-identical across arms.
+pub fn subtract_scalar(seg: &mut [f64], c: f64) {
+    subtract_scalar_with(active_arm(), seg, c);
+}
+
+/// [`subtract_scalar`] with an explicit dispatch arm.
+pub fn subtract_scalar_with(arm: SimdArm, seg: &mut [f64], c: f64) {
+    dispatch!(arm, subtract_scalar(seg, c))
+}
+
+/// Sum of `x`. Under [`SimdPolicy::Exact`] (the default everywhere)
+/// this is the scalar left-to-right fold on every arm — bit-identical.
+/// Under [`SimdPolicy::Relaxed`] the vector arms use lane-parallel
+/// partial sums (different rounding, documented error envelope).
+pub fn sum(x: &[f64], policy: SimdPolicy) -> f64 {
+    sum_with(active_arm(), x, policy)
+}
+
+/// [`sum`] with an explicit dispatch arm.
+pub fn sum_with(arm: SimdArm, x: &[f64], policy: SimdPolicy) -> f64 {
+    match policy {
+        SimdPolicy::Exact => scalar::sum_exact(x),
+        SimdPolicy::Relaxed => match arm {
+            #[cfg(target_arch = "x86_64")]
+            SimdArm::Avx2 => avx2::sum_relaxed(x),
+            #[cfg(target_arch = "aarch64")]
+            SimdArm::Neon => neon::sum_relaxed(x),
+            _ => scalar::sum_exact(x),
+        },
+    }
+}
+
+/// One-sided PSD density accumulation:
+/// `acc[k] += |spec[k]|² · base`, doubled on every bin except DC and
+/// (for even `nfft`) Nyquist. Bit-identical across arms.
+pub fn accumulate_one_sided(spec: &[Complex64], nfft: usize, base: f64, acc: &mut [f64]) {
+    accumulate_one_sided_with(active_arm(), spec, nfft, base, acc);
+}
+
+/// [`accumulate_one_sided`] with an explicit dispatch arm.
+pub fn accumulate_one_sided_with(
+    arm: SimdArm,
+    spec: &[Complex64],
+    nfft: usize,
+    base: f64,
+    acc: &mut [f64],
+) {
+    dispatch!(arm, accumulate_one_sided(spec, nfft, base, acc))
+}
+
+/// One radix-2 butterfly stage over parallel half-slices:
+/// `(lo[i], hi[i]) ← (lo[i] + w·hi[i], lo[i] − w·hi[i])` with
+/// `w = twiddles[i]` (conjugated when `conjugate` — the inverse
+/// transform). Operates over the common length of the three slices.
+/// Bit-identical across arms.
+pub fn butterfly_pairs(
+    lo: &mut [Complex64],
+    hi: &mut [Complex64],
+    twiddles: &[Complex64],
+    conjugate: bool,
+) {
+    butterfly_pairs_with(active_arm(), lo, hi, twiddles, conjugate);
+}
+
+/// [`butterfly_pairs`] with an explicit dispatch arm.
+pub fn butterfly_pairs_with(
+    arm: SimdArm,
+    lo: &mut [Complex64],
+    hi: &mut [Complex64],
+    twiddles: &[Complex64],
+    conjugate: bool,
+) {
+    dispatch!(arm, butterfly_pairs(lo, hi, twiddles, conjugate))
+}
+
+/// Multi-bin Goertzel recurrence: feeds every sample of `x` to all
+/// bins, where bin `l` has coefficient `coeffs[l]` and state
+/// `(s1[l], s2[l])`, updated as `s0 = (v + coeff·s1) − s2`.
+/// Bit-identical across arms.
+///
+/// # Panics
+///
+/// Panics if `s1` or `s2` is shorter than `coeffs`.
+pub fn goertzel_bank_run(x: &[f64], coeffs: &[f64], s1: &mut [f64], s2: &mut [f64]) {
+    goertzel_bank_run_with(active_arm(), x, coeffs, s1, s2);
+}
+
+/// [`goertzel_bank_run`] with an explicit dispatch arm.
+pub fn goertzel_bank_run_with(
+    arm: SimdArm,
+    x: &[f64],
+    coeffs: &[f64],
+    s1: &mut [f64],
+    s2: &mut [f64],
+) {
+    assert!(
+        s1.len() >= coeffs.len() && s2.len() >= coeffs.len(),
+        "goertzel_bank_run: state slices shorter than coeffs"
+    );
+    dispatch!(arm, goertzel_bank(x, coeffs, s1, s2))
+}
+
+/// Goertzel recurrence across SoA lanes: `data` is sample-major
+/// (`data[i·lanes + l]` is sample `i` of lane `l`), one shared
+/// coefficient, per-lane state. Trailing elements of `data` that do
+/// not fill a whole row are ignored. Bit-identical across arms.
+///
+/// # Panics
+///
+/// Panics if `s1` or `s2` is shorter than `lanes`.
+pub fn goertzel_soa_run(data: &[f64], lanes: usize, coeff: f64, s1: &mut [f64], s2: &mut [f64]) {
+    goertzel_soa_run_with(active_arm(), data, lanes, coeff, s1, s2);
+}
+
+/// [`goertzel_soa_run`] with an explicit dispatch arm.
+pub fn goertzel_soa_run_with(
+    arm: SimdArm,
+    data: &[f64],
+    lanes: usize,
+    coeff: f64,
+    s1: &mut [f64],
+    s2: &mut [f64],
+) {
+    assert!(
+        s1.len() >= lanes && s2.len() >= lanes,
+        "goertzel_soa_run: state slices shorter than lane count"
+    );
+    dispatch!(arm, goertzel_soa(data, lanes, coeff, s1, s2))
+}
+
+/// Scales sample-major SoA data by a per-sample coefficient:
+/// `data[i·lanes + l] *= coeffs[i]` (window application across a batch
+/// of lanes at once). Bit-identical across arms.
+pub fn scale_by_sample(data: &mut [f64], lanes: usize, coeffs: &[f64]) {
+    scale_by_sample_with(active_arm(), data, lanes, coeffs);
+}
+
+/// [`scale_by_sample`] with an explicit dispatch arm.
+pub fn scale_by_sample_with(arm: SimdArm, data: &mut [f64], lanes: usize, coeffs: &[f64]) {
+    dispatch!(arm, scale_by_sample(data, lanes, coeffs))
+}
+
+/// Expands packed bits (LSB-first within each word) to `±1.0` samples:
+/// bit 1 → `+1.0`, bit 0 → `−1.0`. Writes `out.len()` samples; words
+/// beyond the needed count are ignored. Exact on every arm.
+pub fn expand_bipolar(words: &[u64], out: &mut [f64]) {
+    expand_bipolar_with(active_arm(), words, out);
+}
+
+/// [`expand_bipolar`] with an explicit dispatch arm.
+pub fn expand_bipolar_with(arm: SimdArm, words: &[u64], out: &mut [f64]) {
+    dispatch!(arm, expand_bipolar(words, out))
+}
+
+/// Total set bits across `words`. Exact on every arm.
+pub fn popcount_words(words: &[u64]) -> u64 {
+    popcount_words_with(active_arm(), words)
+}
+
+/// [`popcount_words`] with an explicit dispatch arm.
+pub fn popcount_words_with(arm: SimdArm, words: &[u64]) -> u64 {
+    dispatch!(arm, popcount_words(words))
+}
+
+/// Counts bit positions `i < len_bits − lag` where bit `i` differs
+/// from bit `i + lag` in the LSB-first packed stream `words` (the
+/// autocorrelation lag kernel). Returns 0 when `lag ≥ len_bits`.
+/// Exact on every arm.
+pub fn xor_popcount_lag(words: &[u64], len_bits: usize, lag: usize) -> usize {
+    xor_popcount_lag_with(active_arm(), words, len_bits, lag)
+}
+
+/// [`xor_popcount_lag`] with an explicit dispatch arm.
+pub fn xor_popcount_lag_with(arm: SimdArm, words: &[u64], len_bits: usize, lag: usize) -> usize {
+    if lag >= len_bits {
+        return 0;
+    }
+    dispatch!(arm, xor_popcount_lag(words, len_bits, lag))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn signal(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| ((i as f64) * 0.7).sin() * 3.0 + ((i as f64) * 0.11).cos())
+            .collect()
+    }
+
+    fn words(n: usize) -> Vec<u64> {
+        let mut state = 0x9e3779b97f4a7c15u64;
+        (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                state ^ (state >> 29)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn arm_metadata() {
+        let arms = available_arms();
+        assert_eq!(arms.last(), Some(&SimdArm::Scalar));
+        assert!(!active_arm().name().is_empty());
+    }
+
+    #[test]
+    fn forced_arm_restores_on_exit() {
+        let base = active_arm();
+        let inside = with_forced_arm(SimdArm::Scalar, active_arm);
+        assert_eq!(inside, SimdArm::Scalar);
+        assert_eq!(active_arm(), base);
+    }
+
+    #[test]
+    fn apply_window_bit_identical_across_arms() {
+        for n in [0, 1, 3, 4, 7, 64, 129] {
+            let coeffs: Vec<f64> = (0..n).map(|i| 0.5 + (i as f64) * 0.01).collect();
+            for &arm in available_arms() {
+                let mut seg = signal(n);
+                let mut reference = signal(n);
+                apply_window_with(arm, &mut seg, &coeffs);
+                apply_window_with(SimdArm::Scalar, &mut reference, &coeffs);
+                for (a, b) in seg.iter().zip(&reference) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "arm {arm} n {n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn subtract_scalar_bit_identical_across_arms() {
+        for n in [0, 2, 5, 63, 64, 130] {
+            for &arm in available_arms() {
+                let mut seg = signal(n);
+                let mut reference = signal(n);
+                subtract_scalar_with(arm, &mut seg, 0.3125);
+                subtract_scalar_with(SimdArm::Scalar, &mut reference, 0.3125);
+                assert_eq!(seg, reference, "arm {arm} n {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn exact_sum_ignores_arm() {
+        let x = signal(1003);
+        let reference = sum_with(SimdArm::Scalar, &x, SimdPolicy::Exact);
+        for &arm in available_arms() {
+            assert_eq!(
+                sum_with(arm, &x, SimdPolicy::Exact).to_bits(),
+                reference.to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn relaxed_sum_within_envelope() {
+        let x = signal(1003);
+        let exact = sum_with(SimdArm::Scalar, &x, SimdPolicy::Exact);
+        for &arm in available_arms() {
+            let relaxed = sum_with(arm, &x, SimdPolicy::Relaxed);
+            let bound = 1e-12 * x.iter().map(|v| v.abs()).sum::<f64>();
+            assert!(
+                (relaxed - exact).abs() <= bound,
+                "arm {arm}: {relaxed} vs {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn accumulate_one_sided_bit_identical_across_arms() {
+        for nfft in [8usize, 16, 17, 64, 130] {
+            let half = nfft / 2 + 1;
+            let spec: Vec<Complex64> = (0..half)
+                .map(|k| Complex64::new((k as f64 * 0.37).sin(), (k as f64 * 0.61).cos()))
+                .collect();
+            let mut reference = vec![0.125f64; half];
+            accumulate_one_sided_with(SimdArm::Scalar, &spec, nfft, 1.7e-3, &mut reference);
+            for &arm in available_arms() {
+                let mut acc = vec![0.125f64; half];
+                accumulate_one_sided_with(arm, &spec, nfft, 1.7e-3, &mut acc);
+                for (k, (a, b)) in acc.iter().zip(&reference).enumerate() {
+                    assert_eq!(a.to_bits(), b.to_bits(), "arm {arm} nfft {nfft} bin {k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn butterfly_pairs_bit_identical_across_arms() {
+        for n in [0usize, 1, 2, 3, 8, 33] {
+            let tw: Vec<Complex64> = (0..n)
+                .map(|i| {
+                    Complex64::cis(-2.0 * std::f64::consts::PI * i as f64 / (2 * n.max(1)) as f64)
+                })
+                .collect();
+            let lo0: Vec<Complex64> = (0..n)
+                .map(|i| Complex64::new((i as f64).sin(), (i as f64 * 0.3).cos()))
+                .collect();
+            let hi0: Vec<Complex64> = (0..n)
+                .map(|i| Complex64::new((i as f64 * 1.7).cos(), (i as f64 * 0.9).sin()))
+                .collect();
+            for conjugate in [false, true] {
+                let mut lo_ref = lo0.clone();
+                let mut hi_ref = hi0.clone();
+                butterfly_pairs_with(SimdArm::Scalar, &mut lo_ref, &mut hi_ref, &tw, conjugate);
+                for &arm in available_arms() {
+                    let mut lo = lo0.clone();
+                    let mut hi = hi0.clone();
+                    butterfly_pairs_with(arm, &mut lo, &mut hi, &tw, conjugate);
+                    for i in 0..n {
+                        assert_eq!(lo[i].re.to_bits(), lo_ref[i].re.to_bits(), "arm {arm}");
+                        assert_eq!(lo[i].im.to_bits(), lo_ref[i].im.to_bits(), "arm {arm}");
+                        assert_eq!(hi[i].re.to_bits(), hi_ref[i].re.to_bits(), "arm {arm}");
+                        assert_eq!(hi[i].im.to_bits(), hi_ref[i].im.to_bits(), "arm {arm}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn goertzel_bank_bit_identical_across_arms() {
+        let x = signal(257);
+        for bins in [1usize, 3, 4, 5, 8, 11] {
+            let coeffs: Vec<f64> = (0..bins)
+                .map(|b| 2.0 * (0.1 + 0.05 * b as f64).cos())
+                .collect();
+            let mut s1_ref = vec![0.0; bins];
+            let mut s2_ref = vec![0.0; bins];
+            goertzel_bank_run_with(SimdArm::Scalar, &x, &coeffs, &mut s1_ref, &mut s2_ref);
+            for &arm in available_arms() {
+                let mut s1 = vec![0.0; bins];
+                let mut s2 = vec![0.0; bins];
+                goertzel_bank_run_with(arm, &x, &coeffs, &mut s1, &mut s2);
+                for l in 0..bins {
+                    assert_eq!(
+                        s1[l].to_bits(),
+                        s1_ref[l].to_bits(),
+                        "arm {arm} bins {bins}"
+                    );
+                    assert_eq!(
+                        s2[l].to_bits(),
+                        s2_ref[l].to_bits(),
+                        "arm {arm} bins {bins}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn goertzel_soa_bit_identical_across_arms() {
+        for lanes in [1usize, 2, 4, 6, 9] {
+            let data = signal(lanes * 123);
+            let coeff = 2.0 * 0.23f64.cos();
+            let mut s1_ref = vec![0.0; lanes];
+            let mut s2_ref = vec![0.0; lanes];
+            goertzel_soa_run_with(
+                SimdArm::Scalar,
+                &data,
+                lanes,
+                coeff,
+                &mut s1_ref,
+                &mut s2_ref,
+            );
+            for &arm in available_arms() {
+                let mut s1 = vec![0.0; lanes];
+                let mut s2 = vec![0.0; lanes];
+                goertzel_soa_run_with(arm, &data, lanes, coeff, &mut s1, &mut s2);
+                for l in 0..lanes {
+                    assert_eq!(
+                        s1[l].to_bits(),
+                        s1_ref[l].to_bits(),
+                        "arm {arm} lanes {lanes}"
+                    );
+                    assert_eq!(
+                        s2[l].to_bits(),
+                        s2_ref[l].to_bits(),
+                        "arm {arm} lanes {lanes}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn goertzel_soa_matches_per_lane_bank() {
+        // Running lanes through the SoA kernel equals running each lane
+        // through the single-bin recurrence independently.
+        let lanes = 5;
+        let n = 97;
+        let records: Vec<Vec<f64>> = (0..lanes).map(|l| signal(n + l)).collect();
+        let trimmed: Vec<&[f64]> = records.iter().map(|r| &r[..n]).collect();
+        let coeff = 2.0 * 0.4f64.cos();
+        let soa = crate::soa::SoaRecords::from_records(&trimmed);
+        let mut s1 = vec![0.0; lanes];
+        let mut s2 = vec![0.0; lanes];
+        goertzel_soa_run(soa.data(), lanes, coeff, &mut s1, &mut s2);
+        for (l, rec) in trimmed.iter().enumerate() {
+            let mut r1 = vec![0.0; 1];
+            let mut r2 = vec![0.0; 1];
+            goertzel_bank_run_with(SimdArm::Scalar, rec, &[coeff], &mut r1, &mut r2);
+            assert_eq!(s1[l].to_bits(), r1[0].to_bits());
+            assert_eq!(s2[l].to_bits(), r2[0].to_bits());
+        }
+    }
+
+    #[test]
+    fn expand_bipolar_exact_across_arms() {
+        let w = words(9);
+        for len in [0usize, 1, 63, 64, 65, 200, 9 * 64] {
+            let mut reference = vec![0.0; len];
+            expand_bipolar_with(SimdArm::Scalar, &w, &mut reference);
+            for &arm in available_arms() {
+                let mut out = vec![0.0; len];
+                expand_bipolar_with(arm, &w, &mut out);
+                assert_eq!(out, reference, "arm {arm} len {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn popcount_exact_across_arms() {
+        for n in [0usize, 1, 3, 4, 5, 31, 32, 100] {
+            let w = words(n);
+            let reference = popcount_words_with(SimdArm::Scalar, &w);
+            for &arm in available_arms() {
+                assert_eq!(popcount_words_with(arm, &w), reference, "arm {arm} n {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn xor_popcount_lag_exact_across_arms() {
+        let w = words(40);
+        let len_bits = 40 * 64 - 17;
+        for lag in [
+            0usize,
+            1,
+            7,
+            63,
+            64,
+            65,
+            128,
+            1000,
+            len_bits - 1,
+            len_bits,
+            len_bits + 5,
+        ] {
+            let reference = xor_popcount_lag_with(SimdArm::Scalar, &w, len_bits, lag);
+            for &arm in available_arms() {
+                assert_eq!(
+                    xor_popcount_lag_with(arm, &w, len_bits, lag),
+                    reference,
+                    "arm {arm} lag {lag}"
+                );
+            }
+        }
+    }
+}

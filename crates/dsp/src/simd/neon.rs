@@ -1,0 +1,192 @@
+//! The NEON arm: `core::arch::aarch64` implementations for the
+//! element-wise float kernels, 2 `f64` lanes per instruction.
+//!
+//! NEON is part of the aarch64 baseline, so no runtime detection is
+//! needed; the `unsafe` is only the intrinsic calls themselves.
+//!
+//! This arm is deliberately small: it covers the kernels whose NEON
+//! form is a direct transliteration of the scalar loop (element-wise
+//! multiply/subtract, the relaxed reduction, SoA scaling, and the
+//! Goertzel recurrences, all bit-identical except [`sum_relaxed`]).
+//! The bit-domain kernels (popcount, lag XOR, expansion) delegate to
+//! scalar: on aarch64 `u64::count_ones` already lowers to the NEON
+//! `cnt` instruction, so there is no headroom worth unverifiable
+//! intrinsics — this is recorded in the ARCHITECTURE.md dispatch
+//! table.
+#![allow(unsafe_code)]
+
+use core::arch::aarch64::*;
+
+use super::scalar;
+use crate::complex::Complex64;
+
+/// Element-wise `seg[i] *= coeffs[i]`; bit-identical to scalar.
+pub(super) fn apply_window(seg: &mut [f64], coeffs: &[f64]) {
+    let n = seg.len().min(coeffs.len());
+    let n2 = n / 2 * 2;
+    let s = seg.as_mut_ptr();
+    let c = coeffs.as_ptr();
+    for i in (0..n2).step_by(2) {
+        // Safety: i + 1 < n, and NEON is baseline on aarch64.
+        unsafe {
+            vst1q_f64(
+                s.add(i),
+                vmulq_f64(vld1q_f64(s.add(i)), vld1q_f64(c.add(i))),
+            );
+        }
+    }
+    scalar::apply_window(&mut seg[n2..n], &coeffs[n2..n]);
+}
+
+/// Element-wise `seg[i] -= c`; bit-identical to scalar.
+pub(super) fn subtract_scalar(seg: &mut [f64], c: f64) {
+    let n2 = seg.len() / 2 * 2;
+    let p = seg.as_mut_ptr();
+    // Safety: NEON is baseline on aarch64; indices stay below n2.
+    unsafe {
+        let cv = vdupq_n_f64(c);
+        for i in (0..n2).step_by(2) {
+            vst1q_f64(p.add(i), vsubq_f64(vld1q_f64(p.add(i)), cv));
+        }
+    }
+    scalar::subtract_scalar(&mut seg[n2..], c);
+}
+
+/// Reassociated sum (two partial lanes combined low-lane-first, then
+/// the scalar tail). Only reachable under `SimdPolicy::Relaxed`.
+pub(super) fn sum_relaxed(x: &[f64]) -> f64 {
+    let n2 = x.len() / 2 * 2;
+    let p = x.as_ptr();
+    // Safety: NEON is baseline on aarch64; indices stay below n2.
+    let mut s = unsafe {
+        let mut acc = vdupq_n_f64(0.0);
+        for i in (0..n2).step_by(2) {
+            acc = vaddq_f64(acc, vld1q_f64(p.add(i)));
+        }
+        vgetq_lane_f64::<0>(acc) + vgetq_lane_f64::<1>(acc)
+    };
+    for &v in &x[n2..] {
+        s += v;
+    }
+    s
+}
+
+/// One-sided density accumulation — delegates to scalar on NEON.
+pub(super) fn accumulate_one_sided(spec: &[Complex64], nfft: usize, base: f64, acc: &mut [f64]) {
+    scalar::accumulate_one_sided(spec, nfft, base, acc);
+}
+
+/// Radix-2 butterfly stage — delegates to scalar on NEON (one complex
+/// is already a full 128-bit register; the shuffle overhead outweighs
+/// the lane win without FCMLA, which would break bit-identity).
+pub(super) fn butterfly_pairs(
+    lo: &mut [Complex64],
+    hi: &mut [Complex64],
+    twiddles: &[Complex64],
+    conjugate: bool,
+) {
+    scalar::butterfly_pairs(lo, hi, twiddles, conjugate);
+}
+
+/// Multi-bin Goertzel recurrence, 2 bins per register; bit-identical to
+/// scalar.
+pub(super) fn goertzel_bank(x: &[f64], coeffs: &[f64], s1: &mut [f64], s2: &mut [f64]) {
+    let lanes = coeffs.len();
+    let l2 = lanes / 2 * 2;
+    for l in (0..l2).step_by(2) {
+        // Safety: l + 1 < l2 ≤ len of every slice (dispatch guarantees
+        // equal state lengths); NEON is baseline on aarch64.
+        unsafe {
+            let c = vld1q_f64(coeffs.as_ptr().add(l));
+            let mut v1 = vld1q_f64(s1.as_ptr().add(l));
+            let mut v2 = vld1q_f64(s2.as_ptr().add(l));
+            for &sample in x {
+                let vx = vdupq_n_f64(sample);
+                let s0 = vsubq_f64(vaddq_f64(vx, vmulq_f64(c, v1)), v2);
+                v2 = v1;
+                v1 = s0;
+            }
+            vst1q_f64(s1.as_mut_ptr().add(l), v1);
+            vst1q_f64(s2.as_mut_ptr().add(l), v2);
+        }
+    }
+    if l2 < lanes {
+        scalar::goertzel_bank(x, &coeffs[l2..], &mut s1[l2..], &mut s2[l2..]);
+    }
+}
+
+/// SoA Goertzel recurrence, 2 repeat-lanes per register; bit-identical
+/// to scalar.
+pub(super) fn goertzel_soa(data: &[f64], lanes: usize, coeff: f64, s1: &mut [f64], s2: &mut [f64]) {
+    if lanes == 0 {
+        return;
+    }
+    let rows = data.len() / lanes;
+    let l2 = lanes / 2 * 2;
+    let dp = data.as_ptr();
+    for l in (0..l2).step_by(2) {
+        // Safety: i·lanes + l + 1 < rows·lanes ≤ data.len(); NEON is
+        // baseline on aarch64.
+        unsafe {
+            let c = vdupq_n_f64(coeff);
+            let mut v1 = vld1q_f64(s1.as_ptr().add(l));
+            let mut v2 = vld1q_f64(s2.as_ptr().add(l));
+            for i in 0..rows {
+                let vx = vld1q_f64(dp.add(i * lanes + l));
+                let s0 = vsubq_f64(vaddq_f64(vx, vmulq_f64(c, v1)), v2);
+                v2 = v1;
+                v1 = s0;
+            }
+            vst1q_f64(s1.as_mut_ptr().add(l), v1);
+            vst1q_f64(s2.as_mut_ptr().add(l), v2);
+        }
+    }
+    for row in data.chunks_exact(lanes) {
+        for l in l2..lanes {
+            let s0 = row[l] + coeff * s1[l] - s2[l];
+            s2[l] = s1[l];
+            s1[l] = s0;
+        }
+    }
+}
+
+/// Per-sample scaling of SoA data; bit-identical to scalar.
+pub(super) fn scale_by_sample(data: &mut [f64], lanes: usize, coeffs: &[f64]) {
+    if lanes == 0 {
+        return;
+    }
+    let l2 = lanes / 2 * 2;
+    for (row, &cval) in data.chunks_exact_mut(lanes).zip(coeffs) {
+        let rp = row.as_mut_ptr();
+        // Safety: l + 1 < l2 ≤ row.len(); NEON is baseline on aarch64.
+        unsafe {
+            let cv = vdupq_n_f64(cval);
+            for l in (0..l2).step_by(2) {
+                vst1q_f64(rp.add(l), vmulq_f64(vld1q_f64(rp.add(l)), cv));
+            }
+        }
+        for v in &mut row[l2..] {
+            *v *= cval;
+        }
+    }
+}
+
+/// Packed-bit → ±1.0 expansion — delegates to scalar on NEON.
+pub(super) fn expand_bipolar(words: &[u64], out: &mut [f64]) {
+    scalar::expand_bipolar(words, out);
+}
+
+/// Total set bits — delegates to scalar on NEON (`count_ones` already
+/// lowers to the NEON `cnt`+`addv` sequence on aarch64).
+pub(super) fn popcount_words(words: &[u64]) -> u64 {
+    scalar::popcount_words(words)
+}
+
+/// XOR + popcount at a bit lag — delegates to scalar on NEON (same
+/// `cnt` rationale as [`popcount_words`]).
+pub(super) fn xor_popcount_lag(words: &[u64], len_bits: usize, lag: usize) -> usize {
+    if lag >= len_bits {
+        return 0;
+    }
+    scalar::xor_popcount_lag_from(words, len_bits, lag, 0)
+}

@@ -1,0 +1,178 @@
+//! The scalar arm: the portable reference implementation of every
+//! dispatched kernel.
+//!
+//! These loops **define** the numerical semantics of the SIMD layer:
+//! the vector arms must either reproduce them bit for bit (everything
+//! except the relaxed-policy `sum` reduction) or stay within the
+//! documented ULP envelope. They are written exactly the way the
+//! pre-SIMD hot paths were, so routing a kernel through the dispatch
+//! layer on the scalar arm changes nothing — not even the rounding.
+
+use crate::complex::Complex64;
+
+/// Element-wise in-place multiply: `seg[i] *= coeffs[i]`.
+pub(super) fn apply_window(seg: &mut [f64], coeffs: &[f64]) {
+    for (v, w) in seg.iter_mut().zip(coeffs) {
+        *v *= w;
+    }
+}
+
+/// Element-wise in-place subtraction of a constant: `seg[i] -= c`.
+pub(super) fn subtract_scalar(seg: &mut [f64], c: f64) {
+    for v in seg {
+        *v -= c;
+    }
+}
+
+/// Left-to-right sequential sum — the exact (order-preserving)
+/// reduction every arm must use under `SimdPolicy::Exact`.
+pub(super) fn sum_exact(x: &[f64]) -> f64 {
+    let mut acc = 0.0f64;
+    for &v in x {
+        acc += v;
+    }
+    acc
+}
+
+/// One-sided density accumulation: `acc[k] += |spec[k]|²·base`, doubled
+/// on every bin except DC and (for even `nfft`) Nyquist.
+pub(super) fn accumulate_one_sided(spec: &[Complex64], nfft: usize, base: f64, acc: &mut [f64]) {
+    for (k, (a, z)) in acc.iter_mut().zip(spec).enumerate() {
+        let mut d = z.norm_sqr() * base;
+        let is_dc = k == 0;
+        let is_nyquist = nfft.is_multiple_of(2) && k == nfft / 2;
+        if !is_dc && !is_nyquist {
+            d *= 2.0;
+        }
+        *a += d;
+    }
+}
+
+/// One radix-2 butterfly with a streamed twiddle, shared by the scalar
+/// stage loop and the vector arms' remainder handling.
+#[inline]
+pub(super) fn butterfly_one(a: &mut Complex64, b: &mut Complex64, w: Complex64, conjugate: bool) {
+    let w = if conjugate { w.conj() } else { w };
+    let t = *b * w;
+    let x = *a;
+    *a = x + t;
+    *b = x - t;
+}
+
+/// One whole butterfly stage: `lo[i], hi[i]` combined through
+/// `twiddles[i]` (conjugated on the inverse transform).
+pub(super) fn butterfly_pairs(
+    lo: &mut [Complex64],
+    hi: &mut [Complex64],
+    twiddles: &[Complex64],
+    conjugate: bool,
+) {
+    for ((a, b), &w) in lo.iter_mut().zip(hi.iter_mut()).zip(twiddles) {
+        butterfly_one(a, b, w, conjugate);
+    }
+}
+
+/// Multi-bin Goertzel recurrence: every sample of `x` feeds all lanes,
+/// lane `l` carrying its own coefficient and `(s1, s2)` state. The
+/// update is `s0 = v + coeff·s1 − s2`, evaluated as
+/// `(v + (coeff·s1)) − s2` — the exact order the single-bin
+/// [`crate::goertzel::Goertzel`] uses.
+pub(super) fn goertzel_bank(x: &[f64], coeffs: &[f64], s1: &mut [f64], s2: &mut [f64]) {
+    for &v in x {
+        for l in 0..coeffs.len() {
+            let s0 = v + coeffs[l] * s1[l] - s2[l];
+            s2[l] = s1[l];
+            s1[l] = s0;
+        }
+    }
+}
+
+/// Goertzel recurrence across SoA lanes: `data` is sample-major
+/// (`data[i·lanes + l]` is sample `i` of lane `l`), one shared
+/// coefficient, per-lane state — the "across repeats" counterpart of
+/// [`goertzel_bank`]. Same update order.
+pub(super) fn goertzel_soa(data: &[f64], lanes: usize, coeff: f64, s1: &mut [f64], s2: &mut [f64]) {
+    for row in data.chunks_exact(lanes) {
+        for (l, &v) in row.iter().enumerate() {
+            let s0 = v + coeff * s1[l] - s2[l];
+            s2[l] = s1[l];
+            s1[l] = s0;
+        }
+    }
+}
+
+/// Scale sample-major SoA data by a per-sample coefficient:
+/// `data[i·lanes + l] *= coeffs[i]`.
+pub(super) fn scale_by_sample(data: &mut [f64], lanes: usize, coeffs: &[f64]) {
+    for (row, &c) in data.chunks_exact_mut(lanes).zip(coeffs) {
+        for v in row {
+            *v *= c;
+        }
+    }
+}
+
+/// Expands packed bits to `±1.0` samples, 64 per word load
+/// (`bit 1 → +1.0`). `out` may be shorter than `words.len()·64`; the
+/// trailing bits are ignored.
+pub(super) fn expand_bipolar(words: &[u64], out: &mut [f64]) {
+    for (chunk, &w) in out.chunks_mut(64).zip(words) {
+        let mut word = w;
+        for o in chunk {
+            *o = if word & 1 == 1 { 1.0 } else { -1.0 };
+            word >>= 1;
+        }
+    }
+}
+
+/// Total set bits across the words.
+pub(super) fn popcount_words(words: &[u64]) -> u64 {
+    words.iter().map(|w| w.count_ones() as u64).sum()
+}
+
+/// Word `j` of the lag-shifted stream (zeros past the end).
+#[inline]
+pub(super) fn shifted_word(words: &[u64], j: usize, word_shift: usize, bit_shift: u32) -> u64 {
+    let lo = words.get(j + word_shift).copied().unwrap_or(0) >> bit_shift;
+    if bit_shift == 0 {
+        lo
+    } else {
+        lo | (words.get(j + word_shift + 1).copied().unwrap_or(0) << (64 - bit_shift))
+    }
+}
+
+/// Whole-kernel form of [`xor_popcount_lag_from`] (starts at word 0,
+/// guards the degenerate lag).
+pub(super) fn xor_popcount_lag(words: &[u64], len_bits: usize, lag: usize) -> usize {
+    if lag >= len_bits {
+        return 0;
+    }
+    xor_popcount_lag_from(words, len_bits, lag, 0)
+}
+
+/// Counts positions `i < len_bits − lag` where bit `i` differs from bit
+/// `i + lag`, starting the word walk at `start_word` (callers that have
+/// already counted a vectorized prefix pass the resume point; whole
+/// kernels pass 0). Requires `lag < len_bits`.
+pub(super) fn xor_popcount_lag_from(
+    words: &[u64],
+    len_bits: usize,
+    lag: usize,
+    start_word: usize,
+) -> usize {
+    let compared = len_bits - lag;
+    let word_shift = lag / 64;
+    let bit_shift = (lag % 64) as u32;
+    let full_words = compared / 64;
+    let tail_bits = (compared % 64) as u32;
+    let mut count = 0usize;
+    for (j, &w) in words[..full_words].iter().enumerate().skip(start_word) {
+        count += (w ^ shifted_word(words, j, word_shift, bit_shift)).count_ones() as usize;
+    }
+    if tail_bits > 0 {
+        let mask = (1u64 << tail_bits) - 1;
+        let w = words.get(full_words).copied().unwrap_or(0);
+        count += ((w ^ shifted_word(words, full_words, word_shift, bit_shift)) & mask).count_ones()
+            as usize;
+    }
+    count
+}

@@ -1,0 +1,175 @@
+//! Structure-of-arrays record batches.
+//!
+//! A [`SoaRecords`] holds `lanes` equal-length records interleaved
+//! **sample-major**: element `i` of lane `l` lives at
+//! `data[i·lanes + l]`, so one sample index of *all* lanes is
+//! contiguous in memory. That is the layout the SIMD recurrence
+//! kernels want when vectorizing *across repeated acquisitions*
+//! (lanes) instead of within one record — a serial dependency chain
+//! like Goertzel's `s0 = v + coeff·s1 − s2` cannot be vectorized along
+//! the sample axis (each step needs the previous), but across lanes
+//! every step is independent, so 4 repeats advance per instruction
+//! ([`crate::simd::goertzel_soa_run`]).
+//!
+//! The batch fan-out uses this to run R repeated acquisitions through
+//! one vectorized readout; see `nfbist_bist`'s frequency-response
+//! tester for the end-to-end wiring.
+
+use crate::simd;
+
+/// A batch of `lanes` equal-length records in sample-major
+/// (structure-of-arrays) layout.
+///
+/// # Examples
+///
+/// ```
+/// use nfbist_dsp::soa::SoaRecords;
+///
+/// let mut batch = SoaRecords::new(2, 3);
+/// batch.set_lane(0, &[1.0, 2.0, 3.0]);
+/// batch.set_lane(1, &[10.0, 20.0, 30.0]);
+/// // Sample-major: sample 0 of both lanes is adjacent.
+/// assert_eq!(batch.data()[..2], [1.0, 10.0]);
+/// assert_eq!(batch.copy_lane(1), vec![10.0, 20.0, 30.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SoaRecords {
+    data: Vec<f64>,
+    lanes: usize,
+    samples: usize,
+}
+
+impl SoaRecords {
+    /// A zero-filled batch of `lanes` records of `samples` elements.
+    pub fn new(lanes: usize, samples: usize) -> Self {
+        SoaRecords {
+            data: vec![0.0; lanes * samples],
+            lanes,
+            samples,
+        }
+    }
+
+    /// Builds a batch by transposing contiguous records (all must have
+    /// the length of the first; `records` must be non-empty).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `records` is empty or the lengths differ.
+    pub fn from_records(records: &[&[f64]]) -> Self {
+        assert!(!records.is_empty(), "SoaRecords::from_records: no records");
+        let samples = records[0].len();
+        let lanes = records.len();
+        let mut out = SoaRecords::new(lanes, samples);
+        for (l, rec) in records.iter().enumerate() {
+            out.set_lane(l, rec);
+        }
+        out
+    }
+
+    /// Number of lanes (records) in the batch.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Number of samples per lane.
+    pub fn samples(&self) -> usize {
+        self.samples
+    }
+
+    /// The raw sample-major storage (`data[i·lanes + l]`).
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable access to the raw sample-major storage.
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Scatters one contiguous record into lane `l`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l ≥ lanes` or `record.len() ≠ samples`.
+    pub fn set_lane(&mut self, l: usize, record: &[f64]) {
+        assert!(l < self.lanes, "SoaRecords::set_lane: lane out of range");
+        assert_eq!(
+            record.len(),
+            self.samples,
+            "SoaRecords::set_lane: record length mismatch"
+        );
+        for (i, &v) in record.iter().enumerate() {
+            self.data[i * self.lanes + l] = v;
+        }
+    }
+
+    /// Gathers lane `l` back into a contiguous record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l ≥ lanes`.
+    pub fn copy_lane(&self, l: usize) -> Vec<f64> {
+        assert!(l < self.lanes, "SoaRecords::copy_lane: lane out of range");
+        (0..self.samples)
+            .map(|i| self.data[i * self.lanes + l])
+            .collect()
+    }
+
+    /// Multiplies every lane by a per-sample coefficient vector
+    /// (`lane[i] *= coeffs[i]`) — window application across the whole
+    /// batch, vectorized across lanes. Bit-identical across arms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeffs.len() ≠ samples`.
+    pub fn scale_by_sample(&mut self, coeffs: &[f64]) {
+        assert_eq!(
+            coeffs.len(),
+            self.samples,
+            "SoaRecords::scale_by_sample: coefficient length mismatch"
+        );
+        simd::scale_by_sample(&mut self.data, self.lanes, coeffs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_transpose() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let b = [-1.0, -2.0, -3.0, -4.0, -5.0];
+        let c = [0.5, 0.25, 0.125, 0.0625, 0.03125];
+        let batch = SoaRecords::from_records(&[&a, &b, &c]);
+        assert_eq!(batch.lanes(), 3);
+        assert_eq!(batch.samples(), 5);
+        assert_eq!(batch.copy_lane(0), a.to_vec());
+        assert_eq!(batch.copy_lane(1), b.to_vec());
+        assert_eq!(batch.copy_lane(2), c.to_vec());
+        // Sample-major interleave.
+        assert_eq!(batch.data()[..3], [1.0, -1.0, 0.5]);
+    }
+
+    #[test]
+    fn scale_by_sample_matches_per_lane_scaling() {
+        let a: Vec<f64> = (0..7).map(|i| i as f64 + 0.25).collect();
+        let b: Vec<f64> = (0..7).map(|i| -(i as f64) * 0.5).collect();
+        let coeffs: Vec<f64> = (0..7).map(|i| 1.0 / (i as f64 + 1.0)).collect();
+        let mut batch = SoaRecords::from_records(&[&a, &b]);
+        batch.scale_by_sample(&coeffs);
+        for (l, rec) in [&a, &b].into_iter().enumerate() {
+            let got = batch.copy_lane(l);
+            for ((g, r), c) in got.iter().zip(rec).zip(&coeffs) {
+                assert_eq!(g.to_bits(), (r * c).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "record length mismatch")]
+    fn set_lane_rejects_wrong_length() {
+        let mut batch = SoaRecords::new(2, 4);
+        batch.set_lane(0, &[1.0; 3]);
+    }
+}

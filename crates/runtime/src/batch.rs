@@ -14,8 +14,10 @@
 //!    `i`), so reduction order never depends on scheduling.
 
 use crate::executor::BatchExecutor;
+use nfbist_analog::component::Amplifier;
 use nfbist_analog::noise::NoiseSourceState;
 use nfbist_soc::coverage::{CellOutcome, CoverageCampaign, CoverageReport};
+use nfbist_soc::freqresp::{FrequencyResponseMeasurement, FrequencyResponseTester};
 use nfbist_soc::multipoint::{MultipointBist, PointMeasurement};
 use nfbist_soc::session::{Measurement, MeasurementSession, RepeatMeasurement};
 use nfbist_soc::SocError;
@@ -213,6 +215,37 @@ impl BatchPlan {
             cells.push(outcome?);
         }
         campaign.assemble(cells)
+    }
+
+    /// Runs a frequency-response sweep with every sweep point fanned
+    /// out across workers: each point is a pure function of
+    /// `(tester, dut, index)` (repeat seeds derive from the tester's
+    /// seed via [`derive_seed`]), so the slot-ordered points reassemble
+    /// through [`FrequencyResponseTester::assemble`] into a measurement
+    /// **bit-identical** to the sequential
+    /// [`FrequencyResponseTester::measure`] for any worker count.
+    ///
+    /// Within each point the tester's configured repeats already run as
+    /// SIMD lanes of one SoA Goertzel batch, so the two fan-out axes
+    /// compose: points across workers, repeats across vector lanes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing point, in sweep order.
+    pub fn run_freqresp(
+        &self,
+        tester: &FrequencyResponseTester,
+        dut: &Amplifier,
+    ) -> Result<FrequencyResponseMeasurement, SocError> {
+        let tasks: Vec<_> = (0..tester.frequencies().len())
+            .map(|i| move || tester.measure_point(dut, i))
+            .collect();
+        let outcomes = self.executor().run(tasks);
+        let mut points = Vec::with_capacity(outcomes.len());
+        for outcome in outcomes {
+            points.push(outcome?);
+        }
+        tester.assemble(points)
     }
 
     /// Runs a multipoint BIST with the hot and cold cascade

@@ -264,3 +264,44 @@ fn streaming_session_is_bit_identical_across_worker_counts() {
         }
     }
 }
+
+#[test]
+fn freqresp_parallel_points_match_sequential() {
+    // Sweep points fan out across workers while each point's repeats
+    // run as SoA Goertzel lanes; the assembled measurement must be
+    // bit-identical to the sequential sweep for any worker count.
+    use nfbist_analog::component::Amplifier;
+    use nfbist_soc::freqresp::FrequencyResponseTester;
+
+    let tester = FrequencyResponseTester::new(
+        20_000.0,
+        6_000,
+        0.25,
+        1.0,
+        vec![400.0, 1_000.0, 2_500.0, 5_000.0],
+        13,
+    )
+    .expect("tester")
+    .repeats(3);
+    let dut = Amplifier::ideal(4.0)
+        .expect("dut")
+        .with_bandwidth(2_000.0, 20_000.0)
+        .expect("bandwidth");
+    let sequential = tester.measure(&dut).expect("sequential sweep");
+    for workers in [1usize, 2, 4] {
+        let fanned = BatchPlan::new()
+            .workers(workers)
+            .run_freqresp(&tester, &dut)
+            .expect("fanned sweep");
+        assert_eq!(fanned.response.len(), sequential.response.len());
+        for ((fa, ga), (fb, gb)) in fanned.response.iter().zip(&sequential.response) {
+            assert_eq!(fa.to_bits(), fb.to_bits(), "frequency at {workers} workers");
+            assert_eq!(ga.to_bits(), gb.to_bits(), "gain at {workers} workers");
+        }
+        assert_eq!(
+            fanned.corner_hz.map(f64::to_bits),
+            sequential.corner_hz.map(f64::to_bits),
+            "{workers} workers"
+        );
+    }
+}
