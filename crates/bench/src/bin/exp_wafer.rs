@@ -14,30 +14,41 @@
 //! — is **bit-identical for any worker count and budget**
 //! (self-checked against a sequential run in `--quick` mode).
 //!
-//! Usage: `exp_wafer [--quick] [--dies N] [--workers N] [--budget BYTES]`.
-//! Without `--quick` the lot holds 1000+ dies.
+//! `--chaos SEED` arms seeded runtime fault injection (worker panics
+//! and allocation failures, two faulty attempts against a two-attempt
+//! retry policy): marked dies are quarantined into a *degraded* report
+//! while every surviving die keeps the clean run's exact bits — the
+//! fault-tolerance contract, self-checked across 1/2/8 workers in
+//! `--quick` mode.
+//!
+//! Usage: `exp_wafer [--quick] [--dies N] [--workers N]
+//! [--budget BYTES] [--chaos SEED]`. Without `--quick` the lot holds
+//! 1000+ dies.
 
 use nfbist_analog::circuits::NonInvertingAmplifier;
 use nfbist_analog::opamp::OpampModel;
 use nfbist_analog::units::Ohms;
 use nfbist_analog::wafer::{DefectModel, Lot, ProcessVariation, WaferMap};
-use nfbist_bench::{budget_flag, dies_flag, quick_flag, workers_flag};
+use nfbist_bench::{budget_flag, chaos_flag, dies_flag, quick_flag, workers_flag};
+use nfbist_runtime::chaos::{install_quiet_panic_hook, ChaosConfig};
 use nfbist_runtime::fleet::FleetPlan;
+use nfbist_runtime::supervisor::TaskPolicy;
 use nfbist_soc::coverage::FaultUniverse;
-use nfbist_soc::fleet::{LotReport, LotScreen};
+use nfbist_soc::fleet::{LotReport, LotScreen, LotStatus};
 use nfbist_soc::report::Table;
 use nfbist_soc::screening::{RetestPolicy, Screen};
 use nfbist_soc::setup::BistSetup;
+use std::error::Error;
 use std::time::Instant;
 
 /// Smallest disc grid whose die count reaches `target` (disc dies grow
 /// as roughly π/4 · grid², so this rounds the lot up, never down).
-fn grid_for_dies(target: usize) -> usize {
+fn grid_for_dies(target: usize) -> Result<usize, Box<dyn Error>> {
     let mut grid = 3usize;
-    while WaferMap::disc(grid).expect("disc").dies() < target {
+    while WaferMap::disc(grid)?.dies() < target {
         grid += 1;
     }
-    grid
+    Ok(grid)
 }
 
 /// Peak resident set size (`VmHWM`) in bytes where `/proc` exposes it.
@@ -48,21 +59,22 @@ fn peak_rss_bytes() -> Option<u64> {
     Some(kb * 1024)
 }
 
-fn build_screening(dies: usize, samples: usize, nfft: usize, quick: bool) -> LotScreen {
+fn build_screening(
+    dies: usize,
+    samples: usize,
+    nfft: usize,
+    quick: bool,
+) -> Result<LotScreen, Box<dyn Error>> {
     let lot_seed = 20_050_307; // DATE'05 desk copy
     let lot = Lot::new(
-        WaferMap::disc(grid_for_dies(dies)).expect("wafer"),
+        WaferMap::disc(grid_for_dies(dies)?)?,
         ProcessVariation::default(),
         DefectModel::new()
-            .background(0.06)
-            .expect("background")
-            .edge_gradient(0.20)
-            .expect("edge gradient")
-            .seeded_clusters(if quick { 1 } else { 3 }, 0.25, 0.7, lot_seed)
-            .expect("clusters"),
+            .background(0.06)?
+            .edge_gradient(0.20)?
+            .seeded_clusters(if quick { 1 } else { 3 }, 0.25, 0.7, lot_seed)?,
         lot_seed,
-    )
-    .expect("lot");
+    )?;
 
     let mut setup = BistSetup::quick(0); // seed overridden by the lot
     setup.samples = samples;
@@ -73,20 +85,15 @@ fn build_screening(dies: usize, samples: usize, nfft: usize, quick: bool) -> Lot
     // NF, 8x-noise defects swamp both source states and go gross, and
     // process variation parks marginal dies in the retest band.
     let expected =
-        NonInvertingAmplifier::new(OpampModel::tl081(), Ohms::new(10_000.0), Ohms::new(100.0))
-            .expect("dut")
-            .expected_noise_figure_db(Ohms::new(2_000.0), 100.0, 1_000.0)
-            .expect("expected NF");
-    LotScreen::new(
+        NonInvertingAmplifier::new(OpampModel::tl081(), Ohms::new(10_000.0), Ohms::new(100.0))?
+            .expected_noise_figure_db(Ohms::new(2_000.0), 100.0, 1_000.0)?;
+    Ok(LotScreen::new(
         lot,
         setup,
-        Screen::new(expected + 1.2, 3.0).expect("screen"),
-        FaultUniverse::new()
-            .excess_noise(&[2.0, 8.0])
-            .expect("universe"),
-    )
-    .expect("lot screen")
-    .retest(RetestPolicy::new(2, 2).expect("policy"))
+        Screen::new(expected + 1.2, 3.0)?,
+        FaultUniverse::new().excess_noise(&[2.0, 8.0])?,
+    )?
+    .retest(RetestPolicy::new(2, 2)?))
 }
 
 /// The rolling-yield dashboard: the in-line yield trace a production
@@ -105,9 +112,20 @@ fn rolling_table(report: &LotReport) -> Table {
     table
 }
 
-fn main() {
+/// The experiment's chaos schedule for `--chaos SEED`: panics and
+/// allocation failures only (stalls need a wall-clock deadline and
+/// would dominate the run time), faulting on both attempts of the
+/// two-attempt retry policy so every marked die quarantines.
+fn chaos_schedule(seed: u64) -> ChaosConfig {
+    ChaosConfig::new(seed)
+        .stall_rate_per_mille(0)
+        .faulty_attempts(2)
+}
+
+fn main() -> Result<(), Box<dyn Error>> {
     let quick = quick_flag();
     let workers = workers_flag();
+    let chaos_seed = chaos_flag();
     let dies = dies_flag(if quick { 100 } else { 1_000 });
     let (samples, nfft) = if quick {
         (1 << 13, 1_024)
@@ -115,15 +133,21 @@ fn main() {
         (1 << 15, 2_048)
     };
 
-    let screening = build_screening(dies, samples, nfft, quick);
+    let screening = build_screening(dies, samples, nfft, quick)?;
     let die_cost = screening.die_cost_bytes();
     let budget = budget_flag().unwrap_or(4 * die_cost);
-    let plan = FleetPlan::workers(workers).memory_budget(budget);
+    let mut plan = FleetPlan::workers(workers).memory_budget(budget);
+    if let Some(seed) = chaos_seed {
+        install_quiet_panic_hook();
+        plan = plan
+            .task_policy(TaskPolicy::new().attempts(2))
+            .chaos(chaos_schedule(seed));
+    }
 
     println!(
         "Fleet lot screen: {} dies on a grid-{} wafer disc, ~{:.0} expected defects\n\
          limit {:.2} dB, 3-sigma guard, retest x2 up to 2 rounds, 2^{} samples/die\n\
-         {workers} worker{}, global budget {:.1} MiB ({:.1} dies' transient cost of {:.1} MiB each)\n",
+         {workers} worker{}, global budget {:.1} MiB ({:.1} dies' transient cost of {:.1} MiB each)",
         screening.dies(),
         screening.lot().wafer().grid(),
         screening.lot().expected_defects(),
@@ -134,30 +158,73 @@ fn main() {
         budget as f64 / die_cost as f64,
         die_cost as f64 / (1 << 20) as f64,
     );
+    if let Some(seed) = chaos_seed {
+        let marked = chaos_schedule(seed)
+            .scheduled_faults(screening.dies())
+            .len();
+        println!(
+            "chaos armed: seed {seed}, {marked} dies marked for runtime faults (2-attempt policy)"
+        );
+    }
+    println!();
 
     let start = Instant::now();
-    let report = plan.screen_lot(&screening).expect("lot screen");
+    let report = plan.screen_lot(&screening)?;
     let elapsed = start.elapsed().as_secs_f64();
 
     if quick {
-        // Acceptance self-check: the budgeted N-worker report must be
-        // bit-identical to the sequential, unbudgeted reference.
-        let sequential = FleetPlan::sequential()
-            .screen_lot(&screening)
-            .expect("sequential screen");
-        assert_eq!(
-            report, sequential,
-            "lot report differs between {workers} workers and 1 worker"
-        );
+        if let Some(seed) = chaos_seed {
+            // Fault-tolerance self-check: the degraded die set must be
+            // exactly the injected schedule, every surviving die must
+            // carry the clean sequential run's bits, and the whole
+            // degraded report must be identical at 1, 2 and 8 workers.
+            let clean = FleetPlan::sequential().screen_lot(&screening)?;
+            let schedule = chaos_schedule(seed);
+            let marked: Vec<usize> = schedule
+                .scheduled_faults(screening.dies())
+                .into_iter()
+                .map(|(i, _)| i)
+                .collect();
+            let faulted: Vec<usize> = report.faults().map(|f| f.die).collect();
+            assert_eq!(faulted, marked, "degraded dies must match the schedule");
+            for record in report.records() {
+                if let Some(outcome) = record.outcome() {
+                    let reference = clean
+                        .outcomes()
+                        .find(|o| o.die == outcome.die)
+                        .expect("clean run screens every die");
+                    assert_eq!(
+                        outcome.nf_db.to_bits(),
+                        reference.nf_db.to_bits(),
+                        "die {} bits changed under chaos",
+                        outcome.die
+                    );
+                }
+            }
+            for other_workers in [1usize, 2, 8] {
+                let other = FleetPlan::workers(other_workers)
+                    .memory_budget(budget)
+                    .task_policy(TaskPolicy::new().attempts(2))
+                    .chaos(schedule)
+                    .screen_lot(&screening)?;
+                assert_eq!(
+                    other, report,
+                    "degraded report differs between {workers} and {other_workers} workers"
+                );
+            }
+        } else {
+            // Acceptance self-check: the budgeted N-worker report must
+            // be bit-identical to the sequential, unbudgeted reference.
+            let sequential = FleetPlan::sequential().screen_lot(&screening)?;
+            assert_eq!(
+                report, sequential,
+                "lot report differs between {workers} workers and 1 worker"
+            );
+        }
     }
 
-    println!("== Wafer map (o pass, x fail, G gross reject, ? unresolved) ==");
-    println!(
-        "{}",
-        report
-            .render_on(screening.lot().wafer())
-            .expect("wafer map")
-    );
+    println!("== Wafer map (o pass, x fail, G gross reject, ? unresolved, ! runtime fault) ==");
+    println!("{}", report.render_on(screening.lot().wafer())?);
 
     println!("== Rolling yield ==");
     print!("{}", rolling_table(&report));
@@ -165,6 +232,15 @@ fn main() {
 
     println!("== Lot summary ==");
     print!("{report}");
+
+    if report.status() == LotStatus::Degraded {
+        println!(
+            "\nlot DEGRADED: {} of {} dies lost to injected runtime faults \
+             (quarantined after 2 attempts); surviving dies are exact",
+            report.faulted(),
+            report.dies(),
+        );
+    }
 
     println!(
         "\nthroughput: {} dies in {:.2} s = {:.1} dies/s at {workers} worker{}",
@@ -181,9 +257,16 @@ fn main() {
         );
     }
     if quick {
-        println!(
-            "worker-determinism self-check passed: report bit-identical at 1 and {workers} worker(s)"
-        );
+        if chaos_seed.is_some() {
+            println!(
+                "chaos self-check passed: degraded set matches the schedule, survivors \
+                 bit-identical, report identical at 1/2/8 workers"
+            );
+        } else {
+            println!(
+                "worker-determinism self-check passed: report bit-identical at 1 and {workers} worker(s)"
+            );
+        }
     }
     println!(
         "\nchecks: the map shows the synthesized spatial structure — defects\n\
@@ -191,6 +274,9 @@ fn main() {
          cluster blobs; 8x-noise defects land as gross rejects (unmeasurable Y),\n\
          2x defects as finite-NF fails. The rolling yield settles as the lot\n\
          drains, and the whole report is a pure function of the lot seed: any\n\
-         worker count, budget, or admission ordering reproduces it bit for bit."
+         worker count, budget, or admission ordering reproduces it bit for bit\n\
+         — and under --chaos, injected runtime faults only ever remove dies\n\
+         from the report, never change a surviving die's bits."
     );
+    Ok(())
 }

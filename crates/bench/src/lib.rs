@@ -216,6 +216,22 @@ pub fn budget_flag() -> Option<usize> {
     parse_value_flag("--budget")
 }
 
+/// Parses `--chaos SEED` (seeded runtime fault injection for the fleet
+/// experiments); `None` when absent or malformed. Falls back to the
+/// `NFBIST_CHAOS` environment variable so a whole test run can be
+/// opted in without touching the command line.
+pub fn chaos_flag() -> Option<u64> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--chaos" {
+            return args.next().and_then(|v| v.parse::<u64>().ok());
+        }
+    }
+    std::env::var(nfbist_runtime::chaos::CHAOS_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+}
+
 fn parse_value_flag(flag: &str) -> Option<usize> {
     let mut args = std::env::args();
     while let Some(a) = args.next() {

@@ -16,11 +16,17 @@
 //!    `derive_seed(lot_seed, i)`. A die outcome is a **pure function
 //!    of its index**, so a scheduler can fan dies across any number
 //!    of workers and reassemble bit-identical results.
-//! 2. [`LotReport`] folds [`DieOutcome`]s **in die order** into
+//! 2. [`LotReport`] folds [`DieRecord`]s **in die order** into
 //!    rolling yield / escape / retest-rate / test-time statistics (a
 //!    dashboard that is meaningful mid-lot, not only at the end) and
 //!    renders the classic wafer map (pass / fail / gross / unresolved
-//!    per site).
+//!    / runtime-faulted per site). A record is either a measured
+//!    [`DieOutcome`] or a [`DieFault`] — a die the *runtime* lost (a
+//!    panicking worker, a blown deadline, an exhausted retry budget)
+//!    rather than a die the screen rejected. A report carrying any
+//!    fault is **degraded** ([`LotReport::degraded`]): its surviving
+//!    dies are still bit-exact and slot-ordered, so partial results
+//!    are first-class instead of an aborted lot.
 //!
 //! The parallel twin with admission control and backpressure is
 //! `nfbist_runtime::fleet::FleetPlan::screen_lot`; its report is
@@ -80,6 +86,102 @@ impl DieOutcome {
     pub fn is_gross(&self) -> bool {
         self.verdict == Verdict::Fail && self.nf_db == f64::INFINITY
     }
+}
+
+/// Why the runtime lost a die — a fault of the *screening machinery*,
+/// not a verdict about the silicon.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DieFaultKind {
+    /// The worker screening the die panicked.
+    Panicked {
+        /// Rendered panic message.
+        message: String,
+    },
+    /// The die's screening job ran past its deadline and its (late)
+    /// result was discarded.
+    DeadlineExceeded,
+    /// The die's transient buffers could not be allocated.
+    AllocationFailed,
+    /// The screening flow returned an error (configuration,
+    /// estimation, admission, …), rendered into a message.
+    Error {
+        /// Rendered error message.
+        message: String,
+    },
+}
+
+/// A die the runtime failed to screen: which die, how many attempts
+/// were made, and the final fault. Folded into a [`LotReport`] beside
+/// measured outcomes, turning a crashed lot into a degraded one.
+///
+/// # Examples
+///
+/// ```
+/// use nfbist_soc::fleet::{DieFault, DieFaultKind};
+///
+/// let fault = DieFault {
+///     die: 4,
+///     attempts: 3,
+///     kind: DieFaultKind::DeadlineExceeded,
+/// };
+/// assert_eq!(fault.die, 4);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DieFault {
+    /// Die index within the lot.
+    pub die: usize,
+    /// Screening attempts made before the die was given up on.
+    pub attempts: usize,
+    /// The final attempt's fault.
+    pub kind: DieFaultKind,
+}
+
+/// One folded entry of a [`LotReport`]: either a measured outcome or
+/// a runtime fault.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DieRecord {
+    /// The die was screened and judged.
+    Screened(DieOutcome),
+    /// The runtime lost the die (panic / deadline / quarantine / …).
+    Faulted(DieFault),
+}
+
+impl DieRecord {
+    /// The die index this record describes.
+    pub fn die(&self) -> usize {
+        match self {
+            DieRecord::Screened(outcome) => outcome.die,
+            DieRecord::Faulted(fault) => fault.die,
+        }
+    }
+
+    /// The measured outcome, when the die was screened.
+    pub fn outcome(&self) -> Option<&DieOutcome> {
+        match self {
+            DieRecord::Screened(outcome) => Some(outcome),
+            DieRecord::Faulted(_) => None,
+        }
+    }
+
+    /// The runtime fault, when the die was lost.
+    pub fn fault(&self) -> Option<&DieFault> {
+        match self {
+            DieRecord::Screened(_) => None,
+            DieRecord::Faulted(fault) => Some(fault),
+        }
+    }
+}
+
+/// Whether a lot screen completed cleanly or lost dies to runtime
+/// faults (see [`LotReport::status`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LotStatus {
+    /// Every die was screened and judged.
+    Complete,
+    /// At least one die was lost to a runtime fault; the surviving
+    /// dies' outcomes are still exact.
+    Degraded,
 }
 
 /// A wafer-lot screening plan: the lot population, the guard-banded
@@ -335,31 +437,45 @@ impl LotScreen {
     /// Returns [`SocError::InvalidParameter`] when `outcomes` is not
     /// exactly one outcome per die of the lot.
     pub fn assemble(&self, outcomes: Vec<DieOutcome>) -> Result<LotReport, SocError> {
-        if outcomes.len() != self.dies() {
+        self.assemble_records(outcomes.into_iter().map(DieRecord::Screened).collect())
+    }
+
+    /// Folds die records — measured outcomes and runtime faults alike,
+    /// supplied in **any** order — into the lot report. The
+    /// fault-tolerant scheduler's entry point: a die the runtime lost
+    /// arrives as [`DieRecord::Faulted`] and degrades the report
+    /// instead of discarding the lot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SocError::InvalidParameter`] when `records` is not
+    /// exactly one record per die of the lot.
+    pub fn assemble_records(&self, records: Vec<DieRecord>) -> Result<LotReport, SocError> {
+        if records.len() != self.dies() {
             return Err(SocError::InvalidParameter {
-                name: "outcomes",
-                reason: "outcome count must equal the lot's die count",
+                name: "records",
+                reason: "record count must equal the lot's die count",
             });
         }
-        let mut slots: Vec<Option<DieOutcome>> = (0..self.dies()).map(|_| None).collect();
-        for outcome in outcomes {
+        let mut slots: Vec<Option<DieRecord>> = (0..self.dies()).map(|_| None).collect();
+        for record in records {
             let slot = slots
-                .get_mut(outcome.die)
+                .get_mut(record.die())
                 .ok_or(SocError::InvalidParameter {
-                    name: "outcomes",
+                    name: "records",
                     reason: "die index beyond the lot",
                 })?;
             if slot.is_some() {
                 return Err(SocError::InvalidParameter {
-                    name: "outcomes",
-                    reason: "duplicate outcome for one die",
+                    name: "records",
+                    reason: "duplicate record for one die",
                 });
             }
-            *slot = Some(outcome);
+            *slot = Some(record);
         }
         let mut report = LotReport::new();
         for slot in slots {
-            report.push(slot.expect("counted: every slot filled exactly once"))?;
+            report.push_record(slot.expect("counted: every slot filled exactly once"))?;
         }
         Ok(report)
     }
@@ -382,10 +498,14 @@ impl LotScreen {
 /// Rolling lot statistics: the yield dashboard a production line
 /// watches while the lot is still on the tester.
 ///
-/// Outcomes are folded **in die order** ([`LotReport::push`] enforces
-/// it), so the floating-point accumulators — and with them every
-/// statistic — are bit-identical no matter what schedule produced the
-/// outcomes.
+/// Records are folded **in die order** ([`LotReport::push_record`]
+/// enforces it), so the floating-point accumulators — and with them
+/// every statistic — are bit-identical no matter what schedule
+/// produced the records. A die the runtime lost arrives as a
+/// [`DieFault`] instead of an outcome: it contributes nothing to the
+/// measurement statistics (its NF was never trusted) but still counts
+/// against yield, and its presence marks the whole report
+/// [`LotStatus::Degraded`].
 ///
 /// # Examples
 ///
@@ -420,7 +540,8 @@ impl LotScreen {
 /// ```
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct LotReport {
-    outcomes: Vec<DieOutcome>,
+    records: Vec<DieRecord>,
+    faulted: usize,
     pass: usize,
     fail: usize,
     unresolved: usize,
@@ -438,12 +559,15 @@ pub struct LotReport {
 }
 
 impl LotReport {
-    /// An empty report; fold outcomes with [`LotReport::push`].
+    /// An empty report; fold records with [`LotReport::push_record`]
+    /// (or outcomes with [`LotReport::push`]).
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Folds the next die outcome into the rolling statistics.
+    /// Folds the next die outcome into the rolling statistics —
+    /// shorthand for [`LotReport::push_record`] with a
+    /// [`DieRecord::Screened`].
     ///
     /// # Errors
     ///
@@ -452,52 +576,114 @@ impl LotReport {
     /// the floating-point accumulators schedule-dependent, which is
     /// exactly what this type exists to prevent.
     pub fn push(&mut self, outcome: DieOutcome) -> Result<(), SocError> {
-        if outcome.die != self.outcomes.len() {
+        self.push_record(DieRecord::Screened(outcome))
+    }
+
+    /// Folds the next die's runtime fault — shorthand for
+    /// [`LotReport::push_record`] with a [`DieRecord::Faulted`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SocError::InvalidParameter`] when `fault.die` is not
+    /// the next die in sequence.
+    pub fn push_fault(&mut self, fault: DieFault) -> Result<(), SocError> {
+        self.push_record(DieRecord::Faulted(fault))
+    }
+
+    /// Folds the next die record into the rolling statistics. A
+    /// screened die updates the measurement accumulators; a faulted
+    /// die only degrades the report — the runtime never trusted its
+    /// numbers, so none enter any sum — while still counting against
+    /// yield.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SocError::InvalidParameter`] when `record.die()` is
+    /// not the next die in sequence — out-of-order folding would make
+    /// the floating-point accumulators schedule-dependent, which is
+    /// exactly what this type exists to prevent.
+    pub fn push_record(&mut self, record: DieRecord) -> Result<(), SocError> {
+        if record.die() != self.records.len() {
             return Err(SocError::InvalidParameter {
-                name: "outcome",
-                reason: "outcomes must be folded in die order (use LotScreen::assemble)",
+                name: "record",
+                reason: "records must be folded in die order (use LotScreen::assemble_records)",
             });
         }
-        match outcome.verdict {
-            Verdict::Pass => self.pass += 1,
-            Verdict::Fail => self.fail += 1,
-            Verdict::Retest => self.unresolved += 1,
-        }
-        if outcome.is_gross() {
-            self.gross += 1;
-        } else if outcome.nf_db.is_finite() {
-            self.nf_sum += outcome.nf_db;
-            self.nf_count += 1;
-        }
-        if outcome.defect.is_some() {
-            self.defective += 1;
-            match outcome.verdict {
-                Verdict::Fail => self.detected += 1,
-                Verdict::Pass => self.escaped += 1,
-                Verdict::Retest => {}
+        match &record {
+            DieRecord::Faulted(_) => self.faulted += 1,
+            DieRecord::Screened(outcome) => {
+                match outcome.verdict {
+                    Verdict::Pass => self.pass += 1,
+                    Verdict::Fail => self.fail += 1,
+                    Verdict::Retest => self.unresolved += 1,
+                }
+                if outcome.is_gross() {
+                    self.gross += 1;
+                } else if outcome.nf_db.is_finite() {
+                    self.nf_sum += outcome.nf_db;
+                    self.nf_count += 1;
+                }
+                if outcome.defect.is_some() {
+                    self.defective += 1;
+                    match outcome.verdict {
+                        Verdict::Fail => self.detected += 1,
+                        Verdict::Pass => self.escaped += 1,
+                        Verdict::Retest => {}
+                    }
+                } else if outcome.verdict == Verdict::Fail {
+                    self.healthy_rejects += 1;
+                }
+                if outcome.retests > 0 {
+                    self.retested += 1;
+                    self.total_retests += outcome.retests;
+                }
+                self.test_samples += outcome.test_samples;
             }
-        } else if outcome.verdict == Verdict::Fail {
-            self.healthy_rejects += 1;
         }
-        if outcome.retests > 0 {
-            self.retested += 1;
-            self.total_retests += outcome.retests;
-        }
-        self.test_samples += outcome.test_samples;
-        self.outcomes.push(outcome);
+        self.records.push(record);
         self.rolling_yield
-            .push(self.pass as f64 / self.outcomes.len() as f64);
+            .push(self.pass as f64 / self.records.len() as f64);
         Ok(())
     }
 
-    /// Dies folded so far.
+    /// Dies folded so far (screened and faulted alike).
     pub fn dies(&self) -> usize {
-        self.outcomes.len()
+        self.records.len()
     }
 
-    /// Every die outcome, in die order.
-    pub fn outcomes(&self) -> &[DieOutcome] {
-        &self.outcomes
+    /// Every die record, in die order.
+    pub fn records(&self) -> &[DieRecord] {
+        &self.records
+    }
+
+    /// The measured outcomes, in die order, skipping faulted dies.
+    pub fn outcomes(&self) -> impl Iterator<Item = &DieOutcome> {
+        self.records.iter().filter_map(DieRecord::outcome)
+    }
+
+    /// The runtime faults, in die order.
+    pub fn faults(&self) -> impl Iterator<Item = &DieFault> {
+        self.records.iter().filter_map(DieRecord::fault)
+    }
+
+    /// Dies the runtime lost (panic / deadline / quarantine / …).
+    pub fn faulted(&self) -> usize {
+        self.faulted
+    }
+
+    /// `true` when at least one die was lost to a runtime fault.
+    pub fn degraded(&self) -> bool {
+        self.faulted > 0
+    }
+
+    /// [`LotStatus::Complete`] for a fully screened lot,
+    /// [`LotStatus::Degraded`] when any die was lost to the runtime.
+    pub fn status(&self) -> LotStatus {
+        if self.degraded() {
+            LotStatus::Degraded
+        } else {
+            LotStatus::Complete
+        }
     }
 
     /// Dies judged Pass.
@@ -554,10 +740,10 @@ impl LotReport {
 
     /// Lot yield: fraction of dies judged Pass.
     pub fn yield_fraction(&self) -> f64 {
-        if self.outcomes.is_empty() {
+        if self.records.is_empty() {
             0.0
         } else {
-            self.pass as f64 / self.outcomes.len() as f64
+            self.pass as f64 / self.records.len() as f64
         }
     }
 
@@ -581,10 +767,10 @@ impl LotReport {
 
     /// Fraction of dies that needed at least one retest.
     pub fn retest_rate(&self) -> f64 {
-        if self.outcomes.is_empty() {
+        if self.records.is_empty() {
             0.0
         } else {
-            self.retested as f64 / self.outcomes.len() as f64
+            self.retested as f64 / self.records.len() as f64
         }
     }
 
@@ -596,10 +782,10 @@ impl LotReport {
 
     /// Mean test time per die, in samples.
     pub fn mean_test_samples(&self) -> f64 {
-        if self.outcomes.is_empty() {
+        if self.records.is_empty() {
             0.0
         } else {
-            self.test_samples as f64 / self.outcomes.len() as f64
+            self.test_samples as f64 / self.records.len() as f64
         }
     }
 
@@ -615,28 +801,30 @@ impl LotReport {
 
     /// Renders the lot as the classic wafer map on its wafer geometry:
     /// `o` pass, `x` fail, `G` gross reject, `?` unresolved (retest
-    /// budget exhausted), `·` off-wafer.
+    /// budget exhausted), `!` runtime-faulted, `·` off-wafer.
     ///
     /// # Errors
     ///
     /// Returns [`SocError::InvalidParameter`] when the wafer's die
-    /// count does not match the folded outcomes.
+    /// count does not match the folded records.
     pub fn render_on(&self, wafer: &WaferMap) -> Result<String, SocError> {
-        if wafer.dies() != self.outcomes.len() {
+        if wafer.dies() != self.records.len() {
             return Err(SocError::InvalidParameter {
                 name: "wafer",
-                reason: "wafer die count must match the report's outcomes",
+                reason: "wafer die count must match the report's records",
             });
         }
-        Ok(wafer.render(|site| {
-            let outcome = &self.outcomes[site.index];
-            if outcome.is_gross() {
-                'G'
-            } else {
-                match outcome.verdict {
-                    Verdict::Pass => 'o',
-                    Verdict::Fail => 'x',
-                    Verdict::Retest => '?',
+        Ok(wafer.render(|site| match &self.records[site.index] {
+            DieRecord::Faulted(_) => '!',
+            DieRecord::Screened(outcome) => {
+                if outcome.is_gross() {
+                    'G'
+                } else {
+                    match outcome.verdict {
+                        Verdict::Pass => 'o',
+                        Verdict::Fail => 'x',
+                        Verdict::Retest => '?',
+                    }
                 }
             }
         }))
@@ -647,6 +835,13 @@ impl LotReport {
         let mut table = crate::report::Table::new(vec!["Lot statistic", "Value"]);
         let pct = |x: f64| format!("{:.1} %", 100.0 * x);
         table.row(vec!["dies".to_string(), self.dies().to_string()]);
+        table.row(vec![
+            "status".to_string(),
+            match self.status() {
+                LotStatus::Complete => "complete".to_string(),
+                LotStatus::Degraded => format!("degraded ({} faulted)", self.faulted),
+            },
+        ]);
         table.row(vec![
             "pass / fail / unresolved".to_string(),
             format!("{} / {} / {}", self.pass, self.fail, self.unresolved),
@@ -884,6 +1079,108 @@ mod tests {
         assert_eq!(report.mean_nf_db(), f64::INFINITY);
         assert_eq!(report.detection_rate(), None);
         assert_eq!(report.escape_rate(), None);
-        assert!(report.outcomes().is_empty());
+        assert_eq!(report.outcomes().count(), 0);
+        assert_eq!(report.faults().count(), 0);
+        assert_eq!(report.faulted(), 0);
+        assert!(!report.degraded());
+        assert_eq!(report.status(), LotStatus::Complete);
+    }
+
+    #[test]
+    fn faulted_dies_degrade_the_report_without_touching_the_sums() {
+        let outcome = |die: usize| DieOutcome {
+            die,
+            defect: None,
+            verdict: Verdict::Pass,
+            retests: 0,
+            nf_db: 9.0,
+            test_samples: 100,
+        };
+        let mut report = LotReport::new();
+        report.push(outcome(0)).unwrap();
+        report
+            .push_fault(DieFault {
+                die: 1,
+                attempts: 2,
+                kind: DieFaultKind::Panicked {
+                    message: "worker died".to_string(),
+                },
+            })
+            .unwrap();
+        report.push(outcome(2)).unwrap();
+        report.push(outcome(3)).unwrap();
+        // Out-of-order faults are rejected exactly like outcomes.
+        assert!(report
+            .push_fault(DieFault {
+                die: 7,
+                attempts: 1,
+                kind: DieFaultKind::DeadlineExceeded,
+            })
+            .is_err());
+
+        assert_eq!(report.dies(), 4);
+        assert_eq!(report.faulted(), 1);
+        assert!(report.degraded());
+        assert_eq!(report.status(), LotStatus::Degraded);
+        assert_eq!(report.records().len(), 4);
+        assert_eq!(report.outcomes().count(), 3);
+        let fault = report.faults().next().unwrap();
+        assert_eq!(fault.die, 1);
+        assert_eq!(fault.attempts, 2);
+        // The fault counts against yield but enters no accumulator.
+        assert_eq!(report.passed(), 3);
+        assert_eq!(report.yield_fraction(), 0.75);
+        assert_eq!(report.rolling_yield(), &[1.0, 0.5, 2.0 / 3.0, 0.75]);
+        assert_eq!(report.mean_nf_db(), 9.0);
+        assert_eq!(report.test_samples(), 300);
+        // The faulted die renders as '!' on the wafer map.
+        let wafer = WaferMap::disc(2).unwrap();
+        assert_eq!(wafer.dies(), 4);
+        let map = report.render_on(&wafer).unwrap();
+        assert!(map.contains('!'), "faulted die must be marked:\n{map}");
+        // And the table announces the degradation.
+        let shown = report.to_string();
+        assert!(shown.contains("degraded (1 faulted)"), "{shown}");
+    }
+
+    #[test]
+    fn assemble_records_reorders_and_round_trips() {
+        let universe = FaultUniverse::new().excess_noise(&[8.0]).unwrap();
+        let screening = LotScreen::new(
+            tiny_lot(5, 0.0),
+            tiny_setup(0),
+            Screen::new(10.0, 3.0).unwrap(),
+            universe,
+        )
+        .unwrap();
+        let mut records: Vec<DieRecord> = (0..screening.dies())
+            .map(|die| {
+                if die % 3 == 1 {
+                    DieRecord::Faulted(DieFault {
+                        die,
+                        attempts: 1,
+                        kind: DieFaultKind::AllocationFailed,
+                    })
+                } else {
+                    DieRecord::Screened(DieOutcome {
+                        die,
+                        defect: None,
+                        verdict: Verdict::Pass,
+                        retests: 0,
+                        nf_db: 9.0,
+                        test_samples: 1,
+                    })
+                }
+            })
+            .collect();
+        records.reverse();
+        let report = screening.assemble_records(records).unwrap();
+        assert_eq!(report.dies(), screening.dies());
+        assert!(report.degraded());
+        assert_eq!(report.faulted(), (screening.dies() + 1) / 3);
+        for fault in report.faults() {
+            assert_eq!(fault.die % 3, 1);
+            assert_eq!(fault.kind, DieFaultKind::AllocationFailed);
+        }
     }
 }

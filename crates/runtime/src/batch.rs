@@ -266,8 +266,15 @@ impl BatchPlan {
             Box::new(|| bist.acquire_all(NoiseSourceState::Cold)),
         ];
         let mut acquired = self.executor().run(acquisitions).into_iter();
-        let hot = acquired.next().expect("hot acquisition slot")?;
-        let cold = acquired.next().expect("cold acquisition slot")?;
+        // The executor returns exactly one slot per task; a missing
+        // slot here is unreachable, but surface it as an error rather
+        // than panicking.
+        let missing = SocError::InvalidParameter {
+            name: "acquisition slot",
+            reason: "executor returned fewer results than tasks",
+        };
+        let hot = acquired.next().ok_or_else(|| missing.clone())??;
+        let cold = acquired.next().ok_or(missing)??;
 
         // One estimator *clone* per point task: concurrent workers each
         // need their own FFT plan anyway (a shared cache would either

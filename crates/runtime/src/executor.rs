@@ -13,6 +13,7 @@
 //! claiming with work stealing); this type keeps the one-shot
 //! `Vec<FnOnce>` surface the batch entry points are written against.
 
+use crate::error::RuntimeError;
 use crate::queue::WorkQueue;
 use std::sync::{Mutex, PoisonError};
 use std::thread;
@@ -63,21 +64,86 @@ impl BatchExecutor {
     /// on the calling thread — no threads are spawned at all.
     ///
     /// A panicking task propagates the panic to the caller once the
-    /// scope joins.
+    /// scope joins; for per-task isolation use
+    /// [`BatchExecutor::run_isolated`]. A violated claiming invariant
+    /// (a task slot consumed twice) panics with the
+    /// [`RuntimeError::TaskMissing`] message — callers that want the
+    /// typed error use [`BatchExecutor::try_run`].
     pub fn run<T, F>(&self, tasks: Vec<F>) -> Vec<T>
     where
         F: FnOnce() -> T + Send,
         T: Send,
     {
+        match self.try_run(tasks) {
+            Ok(out) => out,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// The fallible twin of [`BatchExecutor::run`]: a consumed task
+    /// slot or an unfilled result slot comes back as a typed
+    /// [`RuntimeError`] instead of panicking the batch.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::TaskMissing`] when a task closure was already
+    /// gone at claim time, [`RuntimeError::ResultMissing`] when a
+    /// result slot was never filled — both only possible when the
+    /// once-per-index scheduling invariant is violated.
+    pub fn try_run<T, F>(&self, tasks: Vec<F>) -> Result<Vec<T>, RuntimeError>
+    where
+        F: FnOnce() -> T + Send,
+        T: Send,
+    {
         if self.workers == 1 || tasks.len() <= 1 {
-            return tasks.into_iter().map(|task| task()).collect();
+            return Ok(tasks.into_iter().map(|task| task()).collect());
         }
         let n = tasks.len();
         let slots: Vec<Mutex<Option<F>>> = tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
-        WorkQueue::new(self.workers).run(n, |i| {
-            let task = take_slot(&slots[i]).expect("each task index is claimed once");
-            task()
-        })
+        WorkQueue::new(self.workers)
+            .try_run(n, |i| {
+                take_slot(&slots[i])
+                    .map(|task| task())
+                    .ok_or(RuntimeError::TaskMissing { index: i })
+            })?
+            .into_iter()
+            .collect()
+    }
+
+    /// Runs every task with **per-task panic isolation**: one
+    /// panicking task becomes an `Err` in its own slot
+    /// ([`RuntimeError::TaskPanicked`]) while the rest of the batch
+    /// completes normally. See [`WorkQueue::run_isolated`] for the
+    /// unwind-safety argument.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use nfbist_runtime::executor::BatchExecutor;
+    ///
+    /// let tasks: Vec<_> = (0..4)
+    ///     .map(|i| move || if i == 1 { panic!("bad task") } else { i })
+    ///     .collect();
+    /// let out = BatchExecutor::new(2).run_isolated(tasks);
+    /// assert_eq!(out[0], Ok(0));
+    /// assert!(out[1].is_err());
+    /// assert_eq!(out[2], Ok(2));
+    /// ```
+    pub fn run_isolated<T, F>(&self, tasks: Vec<F>) -> Vec<Result<T, RuntimeError>>
+    where
+        F: FnOnce() -> T + Send,
+        T: Send,
+    {
+        let n = tasks.len();
+        let slots: Vec<Mutex<Option<F>>> = tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
+        WorkQueue::new(self.workers)
+            .run_isolated(n, |i| match take_slot(&slots[i]) {
+                Some(task) => Ok(task()),
+                None => Err(RuntimeError::TaskMissing { index: i }),
+            })
+            .into_iter()
+            .map(|slot| slot.and_then(|inner| inner))
+            .collect()
     }
 }
 
@@ -92,6 +158,7 @@ fn take_slot<F>(slot: &Mutex<Option<F>>) -> Option<F> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 
@@ -146,5 +213,50 @@ mod tests {
     fn empty_batch_is_fine() {
         let out: Vec<u32> = BatchExecutor::new(4).run(Vec::<fn() -> u32>::new());
         assert!(out.is_empty());
+        let out: Vec<Result<u32, _>> =
+            BatchExecutor::new(4).run_isolated(Vec::<fn() -> u32>::new());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn try_run_matches_run_on_healthy_batches() {
+        for workers in [1usize, 2, 6] {
+            let tasks: Vec<_> = (0..17u64).map(|i| move || i * 7).collect();
+            let out = BatchExecutor::new(workers).try_run(tasks).unwrap();
+            assert_eq!(out, (0..17u64).map(|i| i * 7).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn isolated_batch_survives_panicking_tasks() {
+        crate::chaos::install_quiet_panic_hook();
+        for workers in [1usize, 2, 8] {
+            let tasks: Vec<_> = (0..12usize)
+                .map(|i| {
+                    move || {
+                        if i % 4 == 1 {
+                            panic!("task {i} died");
+                        }
+                        i * 2
+                    }
+                })
+                .collect();
+            let out = BatchExecutor::new(workers).run_isolated(tasks);
+            assert_eq!(out.len(), 12);
+            for (i, slot) in out.iter().enumerate() {
+                if i % 4 == 1 {
+                    assert_eq!(
+                        slot,
+                        &Err(RuntimeError::TaskPanicked {
+                            index: i,
+                            message: format!("task {i} died"),
+                        }),
+                        "workers={workers}"
+                    );
+                } else {
+                    assert_eq!(slot, &Ok(i * 2), "workers={workers}");
+                }
+            }
+        }
     }
 }

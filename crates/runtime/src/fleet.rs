@@ -1,5 +1,6 @@
 //! Fleet-scale lot screening under a global memory budget: the
-//! parallel, backpressured twin of `nfbist_soc::fleet::LotScreen::run`.
+//! parallel, backpressured, **fault-tolerant** twin of
+//! `nfbist_soc::fleet::LotScreen::run`.
 //!
 //! A lot is thousands of die-screening jobs, each a pure function of
 //! its die index. [`FleetPlan::screen_lot`] fans them across a
@@ -11,19 +12,34 @@
 //! `min(workers, budget / die_cost)` concurrent jobs, **independent of
 //! lot size**.
 //!
+//! Every die runs under the plan's [`TaskPolicy`]: panics are caught
+//! at the die boundary, attempts past the per-die deadline are
+//! discarded, failed dies retry with deterministic backoff, and a die
+//! that exhausts its budget is quarantined into a
+//! [`DieFault`] record — so one bad die
+//! degrades the [`LotReport`] instead of crashing the lot. An optional
+//! [`ChaosConfig`] injects seeded runtime faults (worker panics,
+//! stalls, allocation failures) in front of the die body, never into
+//! its inputs.
+//!
 //! Determinism is unconditional: die outcomes depend only on
 //! `derive_seed(lot_seed, die_index)`, results are slot-indexed, and
-//! `LotScreen::assemble` folds them in die order — so the report is
-//! bit-identical across worker counts, budgets, and admission
-//! orderings. The gate can change *when* a die runs, never *what* it
-//! measures.
+//! `LotScreen::assemble_records` folds them in die order — so the
+//! report is bit-identical across worker counts, budgets, and
+//! admission orderings, and every die that *survives* a chaos run
+//! returns exactly the bits of the clean run. The gate and the policy
+//! can change *when* and *whether* a die's result is kept, never *what*
+//! it measures.
 
+use crate::chaos::ChaosConfig;
+use crate::error::RuntimeError;
 use crate::queue::{MemoryGate, WorkQueue};
-use nfbist_soc::fleet::{LotReport, LotScreen};
-use nfbist_soc::SocError;
+use crate::supervisor::{TaskPolicy, Watchdog};
+use nfbist_soc::fleet::{DieFault, DieFaultKind, DieRecord, LotReport, LotScreen};
 
-/// A fleet execution plan: worker count plus an optional global
-/// memory budget for admission control.
+/// A fleet execution plan: worker count, optional global memory budget
+/// for admission control, per-die supervision policy, and optional
+/// seeded fault injection.
 ///
 /// # Examples
 ///
@@ -35,7 +51,7 @@ use nfbist_soc::SocError;
 /// use nfbist_soc::screening::Screen;
 /// use nfbist_soc::setup::BistSetup;
 ///
-/// # fn main() -> Result<(), nfbist_soc::SocError> {
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let lot = Lot::new(
 ///     WaferMap::disc(5)?,
 ///     ProcessVariation::default(),
@@ -64,15 +80,20 @@ use nfbist_soc::SocError;
 pub struct FleetPlan {
     workers: usize,
     budget: Option<usize>,
+    policy: TaskPolicy,
+    chaos: Option<ChaosConfig>,
 }
 
 impl FleetPlan {
     /// A plan sized to the machine
-    /// (`std::thread::available_parallelism`), unbudgeted.
+    /// (`std::thread::available_parallelism`), unbudgeted, with the
+    /// default one-attempt policy and no fault injection.
     pub fn new() -> Self {
         FleetPlan {
             workers: WorkQueue::with_available_parallelism().workers(),
             budget: None,
+            policy: TaskPolicy::new(),
+            chaos: None,
         }
     }
 
@@ -87,6 +108,8 @@ impl FleetPlan {
         FleetPlan {
             workers: n.max(1),
             budget: None,
+            policy: TaskPolicy::new(),
+            chaos: None,
         }
     }
 
@@ -109,29 +132,121 @@ impl FleetPlan {
         self.budget
     }
 
+    /// Sets the per-die supervision policy: deadline, retry budget,
+    /// backoff. The default is one attempt, no deadline — panic
+    /// isolation alone.
+    pub const fn task_policy(mut self, policy: TaskPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The per-die supervision policy in force.
+    pub const fn policy(&self) -> TaskPolicy {
+        self.policy
+    }
+
+    /// Arms seeded runtime fault injection: each die's jobs consult the
+    /// schedule before running (see [`ChaosConfig`]).
+    pub const fn chaos(mut self, chaos: ChaosConfig) -> Self {
+        self.chaos = Some(chaos);
+        self
+    }
+
+    /// The armed chaos schedule, if any.
+    pub const fn chaos_config(&self) -> Option<ChaosConfig> {
+        self.chaos
+    }
+
     /// Screens every die of the lot across the plan's workers, each
-    /// die admitted through the global memory gate, and folds the
-    /// outcomes into the lot report — bit-identical to
-    /// [`LotScreen::run`] for every worker count and budget.
+    /// die admitted through the global memory gate and supervised under
+    /// the plan's [`TaskPolicy`], and folds the records into the lot
+    /// report.
+    ///
+    /// A die whose every attempt fails (panic, deadline, allocation
+    /// failure, screening error) becomes a
+    /// [`DieRecord::Faulted`] entry and the report comes back
+    /// *degraded* — surviving dies are still bit-identical to
+    /// [`LotScreen::run`] for every worker count, budget, and chaos
+    /// schedule.
     ///
     /// # Errors
     ///
-    /// Propagates the first failing die, in die order (an
-    /// *unmeasurable* die is a gross-reject verdict, not an error).
-    pub fn screen_lot(&self, screening: &LotScreen) -> Result<LotReport, SocError> {
+    /// Returns a [`RuntimeError`] only for a malformed assembly (an
+    /// impossible record set) — per-die faults are folded into the
+    /// report, not returned.
+    ///
+    /// # Examples
+    ///
+    /// ```no_run
+    /// use nfbist_analog::wafer::{DefectModel, Lot, ProcessVariation, WaferMap};
+    /// use nfbist_runtime::chaos::ChaosConfig;
+    /// use nfbist_runtime::fleet::FleetPlan;
+    /// use nfbist_runtime::supervisor::TaskPolicy;
+    /// use nfbist_soc::coverage::FaultUniverse;
+    /// use nfbist_soc::fleet::LotScreen;
+    /// use nfbist_soc::screening::Screen;
+    /// use nfbist_soc::setup::BistSetup;
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let lot = Lot::new(
+    ///     WaferMap::disc(6)?,
+    ///     ProcessVariation::default(),
+    ///     DefectModel::new().background(0.2)?,
+    ///     3,
+    /// )?;
+    /// let screening = LotScreen::new(
+    ///     lot,
+    ///     BistSetup::quick(0),
+    ///     Screen::new(12.0, 3.0)?,
+    ///     FaultUniverse::new().excess_noise(&[8.0])?,
+    /// )?;
+    /// // Inject seeded worker panics; quarantined dies degrade the
+    /// // report instead of crashing the lot.
+    /// let report = FleetPlan::workers(4)
+    ///     .task_policy(TaskPolicy::new().attempts(2))
+    ///     .chaos(ChaosConfig::new(99).faulty_attempts(2))
+    ///     .screen_lot(&screening)?;
+    /// println!("status: {:?}, faulted: {}", report.status(), report.faulted());
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn screen_lot(&self, screening: &LotScreen) -> Result<LotReport, RuntimeError> {
         let gate = match self.budget {
             Some(bytes) => MemoryGate::new(bytes),
             None => MemoryGate::unbounded(),
         };
         let cost = screening.die_cost_bytes();
-        let outcomes = WorkQueue::new(self.workers).run(screening.dies(), |i| {
-            // Admission before acquisition: the die's transient
-            // buffers are only allocated once its cost fits under the
-            // global budget. The guard is held for the whole screen.
-            let _in_flight = gate.admit(cost);
-            screening.screen_die(i)
+        let deadline = self.policy.deadline_duration();
+        // One monitor thread for the whole lot; only spun up when a
+        // deadline can actually expire.
+        let watchdog = deadline.map(|_| Watchdog::new());
+        let results = WorkQueue::new(self.workers).run_isolated(screening.dies(), |i| {
+            self.policy.supervise(i, watchdog.as_ref(), |attempt| {
+                // Admission before acquisition: the die's transient
+                // buffers are only allocated once its cost fits under
+                // the global budget. The guard is held for the whole
+                // screen. Under a deadline the wait itself is bounded.
+                let _in_flight = match deadline {
+                    Some(limit) => gate.admit_within(cost, limit)?,
+                    None => gate.admit(cost),
+                };
+                if let Some(chaos) = &self.chaos {
+                    chaos.inject(i, attempt, deadline, cost)?;
+                }
+                screening.screen_die(i).map_err(RuntimeError::from)
+            })
         });
-        screening.assemble(outcomes.into_iter().collect::<Result<Vec<_>, _>>()?)
+        let records = results
+            .into_iter()
+            .enumerate()
+            .map(|(i, slot)| match slot.and_then(|inner| inner) {
+                Ok(outcome) => DieRecord::Screened(outcome),
+                Err(fault) => DieRecord::Faulted(die_fault(i, fault)),
+            })
+            .collect();
+        screening
+            .assemble_records(records)
+            .map_err(RuntimeError::from)
     }
 }
 
@@ -141,13 +256,47 @@ impl Default for FleetPlan {
     }
 }
 
+/// Renders a runtime fault into the soc-layer die-fault record the
+/// report folds. Quarantines unwrap to their terminal fault; anything
+/// else was a single-attempt loss.
+fn die_fault(die: usize, fault: RuntimeError) -> DieFault {
+    match fault {
+        RuntimeError::Quarantined { attempts, last, .. } => DieFault {
+            die,
+            attempts,
+            kind: fault_kind(*last),
+        },
+        other => DieFault {
+            die,
+            attempts: 1,
+            kind: fault_kind(other),
+        },
+    }
+}
+
+fn fault_kind(fault: RuntimeError) -> DieFaultKind {
+    match fault {
+        RuntimeError::TaskPanicked { message, .. } => DieFaultKind::Panicked { message },
+        RuntimeError::DeadlineExceeded { .. } => DieFaultKind::DeadlineExceeded,
+        RuntimeError::AllocationFailed { .. } => DieFaultKind::AllocationFailed,
+        other => DieFaultKind::Error {
+            message: other.to_string(),
+        },
+    }
+}
+
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
+    use crate::chaos::InjectedFault;
+    use crate::supervisor::Backoff;
     use nfbist_analog::wafer::{DefectModel, Lot, ProcessVariation, WaferMap};
     use nfbist_soc::coverage::FaultUniverse;
+    use nfbist_soc::fleet::LotStatus;
     use nfbist_soc::screening::{RetestPolicy, Screen};
     use nfbist_soc::setup::BistSetup;
+    use std::time::Duration;
 
     fn small_screening(seed: u64) -> LotScreen {
         let lot = Lot::new(
@@ -183,6 +332,13 @@ mod tests {
                 .memory_budget_bytes(),
             Some(1 << 20)
         );
+        assert_eq!(FleetPlan::new().policy(), TaskPolicy::new());
+        assert_eq!(FleetPlan::new().chaos_config(), None);
+        let plan = FleetPlan::workers(2)
+            .task_policy(TaskPolicy::new().attempts(3))
+            .chaos(ChaosConfig::new(9));
+        assert_eq!(plan.policy().max_attempts(), 3);
+        assert_eq!(plan.chaos_config().map(|c| c.seed()), Some(9));
     }
 
     #[test]
@@ -195,12 +351,120 @@ mod tests {
             // Budget for a single in-flight die: full serialization
             // through the gate, still identical.
             FleetPlan::workers(4).memory_budget(screening.die_cost_bytes()),
+            // Supervision without faults must be invisible.
+            FleetPlan::workers(3).task_policy(
+                TaskPolicy::new()
+                    .attempts(3)
+                    .deadline(Duration::from_secs(120))
+                    .backoff(Backoff::fixed(Duration::from_millis(1))),
+            ),
         ] {
             assert_eq!(
                 plan.screen_lot(&screening).unwrap(),
                 reference,
                 "schedule {plan:?} must not change the report"
             );
+        }
+    }
+
+    #[test]
+    fn chaos_quarantines_marked_dies_and_spares_the_rest() {
+        crate::chaos::install_quiet_panic_hook();
+        let screening = small_screening(42);
+        let reference = screening.run().unwrap();
+        // Every marked die faults on all attempts: it must be
+        // quarantined; unmarked dies must be bit-identical to the
+        // clean run.
+        let chaos = ChaosConfig::new(13)
+            .panic_rate_per_mille(150)
+            .stall_rate_per_mille(0)
+            .alloc_rate_per_mille(150)
+            .faulty_attempts(2);
+        let plan = FleetPlan::workers(4)
+            .task_policy(TaskPolicy::new().attempts(2))
+            .chaos(chaos);
+        let report = plan.screen_lot(&screening).unwrap();
+        let marked: Vec<usize> = chaos
+            .scheduled_faults(screening.dies())
+            .into_iter()
+            .map(|(i, _)| i)
+            .collect();
+        assert!(!marked.is_empty(), "seed must mark some dies");
+        assert_eq!(report.status(), LotStatus::Degraded);
+        assert_eq!(report.faulted(), marked.len());
+        let faulted: Vec<usize> = report.faults().map(|f| f.die).collect();
+        assert_eq!(faulted, marked, "exactly the marked dies must fault");
+        for fault in report.faults() {
+            assert_eq!(fault.attempts, 2);
+            match chaos.fault_for(fault.die).unwrap() {
+                InjectedFault::Panic => {
+                    assert!(matches!(fault.kind, DieFaultKind::Panicked { .. }))
+                }
+                InjectedFault::AllocFailure => {
+                    assert_eq!(fault.kind, DieFaultKind::AllocationFailed)
+                }
+                InjectedFault::Stall => unreachable!("stall rate is zero"),
+            }
+        }
+        // Surviving dies carry the clean run's exact bits.
+        for (record, clean) in report.records().iter().zip(reference.outcomes()) {
+            if let Some(outcome) = record.outcome() {
+                assert_eq!(outcome.die, clean.die);
+                assert_eq!(outcome.nf_db.to_bits(), clean.nf_db.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn retry_recovers_chaos_faults_into_a_complete_report() {
+        crate::chaos::install_quiet_panic_hook();
+        let screening = small_screening(77);
+        let reference = screening.run().unwrap();
+        // Faults clear after the first attempt; a 2-attempt policy must
+        // recover every die and reproduce the clean report bit for bit.
+        let report = FleetPlan::workers(3)
+            .task_policy(TaskPolicy::new().attempts(2))
+            .chaos(
+                ChaosConfig::new(21)
+                    .panic_rate_per_mille(200)
+                    .stall_rate_per_mille(0)
+                    .alloc_rate_per_mille(100)
+                    .faulty_attempts(1),
+            )
+            .screen_lot(&screening)
+            .unwrap();
+        assert_eq!(report.status(), LotStatus::Complete);
+        assert_eq!(report, reference, "recovered lot must be bit-identical");
+    }
+
+    #[test]
+    fn stalled_dies_blow_the_deadline_and_degrade_the_lot() {
+        crate::chaos::install_quiet_panic_hook();
+        let screening = small_screening(8);
+        let chaos = ChaosConfig::new(5)
+            .panic_rate_per_mille(0)
+            .stall_rate_per_mille(120)
+            .alloc_rate_per_mille(0)
+            .stall_extra(Duration::from_millis(30))
+            .faulty_attempts(1);
+        let stalled: Vec<usize> = chaos
+            .scheduled_faults(screening.dies())
+            .into_iter()
+            .map(|(i, _)| i)
+            .collect();
+        assert!(!stalled.is_empty(), "seed must stall some dies");
+        // The stall sleeps deadline + extra, so a short deadline keeps
+        // the test fast while guaranteeing every stalled die blows it.
+        let report = FleetPlan::workers(2)
+            .task_policy(TaskPolicy::new().deadline(Duration::from_millis(1500)))
+            .chaos(chaos)
+            .screen_lot(&screening)
+            .unwrap();
+        assert_eq!(report.status(), LotStatus::Degraded);
+        let faulted: Vec<usize> = report.faults().map(|f| f.die).collect();
+        assert_eq!(faulted, stalled);
+        for fault in report.faults() {
+            assert_eq!(fault.kind, DieFaultKind::DeadlineExceeded);
         }
     }
 }

@@ -35,6 +35,21 @@
 //!   die jobs fanned over the work queue, each admitted through the
 //!   memory gate, folded into a `LotReport` that is bit-identical
 //!   across worker counts, budgets and admission orderings.
+//! * [`error::RuntimeError`] — the typed runtime-fault taxonomy
+//!   (panic, deadline, admission timeout, quarantine, …) that turned
+//!   the engine's ad-hoc panics and `expect`s into recoverable
+//!   values.
+//! * [`supervisor`] — per-task fault tolerance: `catch_unwind` panic
+//!   isolation, per-die deadlines enforced by a `Condvar`
+//!   `wait_timeout` watchdog thread, bounded retry with deterministic
+//!   backoff, quarantine after the attempt budget.
+//! * [`chaos`] — the seeded runtime fault-injection harness:
+//!   scheduled worker panics, slow-die stalls and allocation-failure
+//!   simulation, reproducible bit for bit from one seed
+//!   (`NFBIST_CHAOS` opts a whole test run in).
+//! * [`service::FleetService`] — the long-running screening service:
+//!   lots submitted over time to a supervised worker loop, graceful
+//!   drain on shutdown, health snapshots mid-flight.
 //!
 //! ## Example
 //!
@@ -57,13 +72,24 @@
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
+// Library code must propagate faults through `RuntimeError`, never
+// swallow them into a panic; the test modules opt back out locally.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 pub mod batch;
+pub mod chaos;
+pub mod error;
 pub mod executor;
 pub mod fleet;
 pub mod queue;
+pub mod service;
+pub mod supervisor;
 
 pub use batch::{derive_seed, BatchPlan, SessionBatch};
+pub use chaos::ChaosConfig;
+pub use error::RuntimeError;
 pub use executor::BatchExecutor;
 pub use fleet::FleetPlan;
 pub use queue::{MemoryGate, WorkQueue};
+pub use service::{FleetService, HealthSnapshot, LotTicket};
+pub use supervisor::{Backoff, TaskPolicy, Watchdog};

@@ -21,9 +21,12 @@
 //! order can never change results: tasks are pure functions of their
 //! index, and the gate only delays starts.
 
+use crate::error::{panic_message, RuntimeError};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, PoisonError};
 use std::thread;
+use std::time::{Duration, Instant};
 
 /// A sharded work-stealing queue running `n` index-addressed tasks
 /// across a fixed worker pool.
@@ -72,15 +75,112 @@ impl WorkQueue {
     /// thread — no threads are spawned at all.
     ///
     /// A panicking task propagates the panic to the caller once the
-    /// scope joins.
+    /// scope joins; for per-task isolation use
+    /// [`WorkQueue::run_isolated`] instead. A violated scheduling
+    /// invariant (a result slot left unfilled) panics with the
+    /// [`RuntimeError::ResultMissing`] message — callers that want the
+    /// typed error use [`WorkQueue::try_run`].
     pub fn run<T, F>(&self, n: usize, task: F) -> Vec<T>
     where
         T: Send,
         F: Fn(usize) -> T + Sync,
     {
-        if self.workers == 1 || n <= 1 {
-            return (0..n).map(task).collect();
+        match self.try_run(n, task) {
+            Ok(out) => out,
+            Err(e) => panic!("{e}"),
         }
+    }
+
+    /// The fallible twin of [`WorkQueue::run`]: missing or poisoned
+    /// result slots come back as [`RuntimeError::ResultMissing`]
+    /// instead of panicking the collection pass.
+    ///
+    /// Task panics still unwind through the scope join (the queue
+    /// itself has no opinion on them); [`WorkQueue::run_isolated`] is
+    /// the level that catches those.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::ResultMissing`] for the first (lowest-index)
+    /// slot no worker filled — only possible when the scheduling
+    /// invariant is violated.
+    pub fn try_run<T, F>(&self, n: usize, task: F) -> Result<Vec<T>, RuntimeError>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        if self.workers == 1 || n <= 1 {
+            return Ok((0..n).map(task).collect());
+        }
+        let results = self.run_slots(n, &task);
+        results
+            .into_iter()
+            .enumerate()
+            .map(|(index, slot)| slot.ok_or(RuntimeError::ResultMissing { index }))
+            .collect()
+    }
+
+    /// Runs `task(i)` for every `i in 0..n` with **per-task panic
+    /// isolation**: each task executes under `catch_unwind`, so one
+    /// panicking task yields an `Err` in its own slot while every
+    /// other task runs to completion — no worker dies, no scope
+    /// unwinds, no process abort.
+    ///
+    /// `AssertUnwindSafe` is sound here because a faulted task's
+    /// result is *discarded wholesale* — the only state crossing the
+    /// unwind boundary is the returned `Result`, never a partially
+    /// mutated value.
+    ///
+    /// Slot `i` holds, in order of precedence:
+    /// [`RuntimeError::TaskPanicked`] when task `i` panicked,
+    /// [`RuntimeError::ResultMissing`] when its slot was never filled,
+    /// otherwise `Ok` with the task's output.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use nfbist_runtime::queue::WorkQueue;
+    ///
+    /// let out = WorkQueue::new(2).run_isolated(4, |i| {
+    ///     assert!(i != 2, "task 2 is a bad die");
+    ///     i * 10
+    /// });
+    /// assert_eq!(out[0], Ok(0));
+    /// assert_eq!(out[1], Ok(10));
+    /// assert!(out[2].is_err(), "the panic is isolated to slot 2");
+    /// assert_eq!(out[3], Ok(30));
+    /// ```
+    pub fn run_isolated<T, F>(&self, n: usize, task: F) -> Vec<Result<T, RuntimeError>>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let isolated = |i: usize| {
+            catch_unwind(AssertUnwindSafe(|| task(i))).map_err(|payload| {
+                RuntimeError::TaskPanicked {
+                    index: i,
+                    message: panic_message(payload.as_ref()),
+                }
+            })
+        };
+        if self.workers == 1 || n <= 1 {
+            return (0..n).map(isolated).collect();
+        }
+        self.run_slots(n, &isolated)
+            .into_iter()
+            .enumerate()
+            .map(|(index, slot)| slot.unwrap_or(Err(RuntimeError::ResultMissing { index })))
+            .collect()
+    }
+
+    /// The shared scheduling core: sharded claiming with round-robin
+    /// stealing, each output parked in its task's slot. Returns the
+    /// raw slots; the callers decide how to treat holes.
+    fn run_slots<T, F>(&self, n: usize, task: &F) -> Vec<Option<T>>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
         let shards = self.workers.min(n);
         // Shard s covers [s·n/shards, (s+1)·n/shards): contiguous,
         // near-equal, exhaustive.
@@ -95,7 +195,6 @@ impl WorkQueue {
                 let cursors = &cursors;
                 let ends = &ends;
                 let results = &results;
-                let task = &task;
                 scope.spawn(move || {
                     // Own shard first, then steal round-robin.
                     for k in 0..shards {
@@ -115,11 +214,7 @@ impl WorkQueue {
 
         results
             .into_iter()
-            .map(|slot| {
-                slot.into_inner()
-                    .unwrap_or_else(PoisonError::into_inner)
-                    .expect("every index of every shard is claimed exactly once")
-            })
+            .map(|slot| slot.into_inner().unwrap_or_else(PoisonError::into_inner))
             .collect()
     }
 }
@@ -215,6 +310,68 @@ impl MemoryGate {
         *in_flight += cost;
         GateGuard { gate: self, cost }
     }
+
+    /// Like [`MemoryGate::admit`], but waits at most `timeout` — the
+    /// `Condvar` wait is bounded (`wait_timeout`), so a gate starved
+    /// by stalled holders can no longer park an admission forever.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::AdmissionTimeout`] when the cost still does not
+    /// fit once `timeout` has elapsed.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use nfbist_runtime::queue::MemoryGate;
+    /// use std::time::Duration;
+    ///
+    /// let gate = MemoryGate::new(100);
+    /// let held = gate.admit(100); // gate full
+    /// assert!(gate
+    ///     .admit_within(1, Duration::from_millis(10))
+    ///     .is_err());
+    /// drop(held);
+    /// assert!(gate.admit_within(1, Duration::from_millis(10)).is_ok());
+    /// ```
+    pub fn admit_within(
+        &self,
+        cost: usize,
+        timeout: Duration,
+    ) -> Result<GateGuard<'_>, RuntimeError> {
+        let Some(capacity) = self.capacity else {
+            return Ok(GateGuard {
+                gate: self,
+                cost: 0,
+            });
+        };
+        let clamped = cost.min(capacity);
+        let deadline = Instant::now() + timeout;
+        let mut in_flight = self
+            .in_flight
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        while *in_flight + clamped > capacity {
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RuntimeError::AdmissionTimeout {
+                    requested: cost,
+                    capacity,
+                    waited: timeout,
+                });
+            }
+            in_flight = self
+                .released
+                .wait_timeout(in_flight, deadline.saturating_duration_since(now))
+                .unwrap_or_else(PoisonError::into_inner)
+                .0;
+        }
+        *in_flight += clamped;
+        Ok(GateGuard {
+            gate: self,
+            cost: clamped,
+        })
+    }
 }
 
 /// The in-flight reservation of one admitted job; dropping it releases
@@ -246,6 +403,7 @@ impl Drop for GateGuard<'_> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicBool;
@@ -317,6 +475,92 @@ mod tests {
         let data: Vec<u64> = (0..100).collect();
         let sums = WorkQueue::new(3).run(10, |i| data[i * 10..(i + 1) * 10].iter().sum::<u64>());
         assert_eq!(sums.iter().sum::<u64>(), data.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn isolated_run_contains_panics_to_their_slot() {
+        crate::chaos::install_quiet_panic_hook();
+        for workers in [1usize, 2, 4, 8] {
+            let out = WorkQueue::new(workers).run_isolated(16, |i| {
+                if i % 5 == 0 {
+                    panic!("bad die {i}");
+                }
+                i * 3
+            });
+            for (i, slot) in out.iter().enumerate() {
+                if i % 5 == 0 {
+                    assert_eq!(
+                        slot,
+                        &Err(RuntimeError::TaskPanicked {
+                            index: i,
+                            message: format!("bad die {i}"),
+                        }),
+                        "workers={workers}"
+                    );
+                } else {
+                    assert_eq!(slot, &Ok(i * 3), "workers={workers}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_run_with_no_panics_matches_run() {
+        for workers in [1usize, 3, 7] {
+            let plain = WorkQueue::new(workers).run(23, |i| i * i);
+            let isolated: Vec<usize> = WorkQueue::new(workers)
+                .run_isolated(23, |i| i * i)
+                .into_iter()
+                .map(|r| r.unwrap())
+                .collect();
+            assert_eq!(plain, isolated);
+        }
+    }
+
+    #[test]
+    fn try_run_returns_results_in_order() {
+        for workers in [1usize, 2, 5] {
+            let out = WorkQueue::new(workers).try_run(9, |i| i + 1).unwrap();
+            assert_eq!(out, (1..=9).collect::<Vec<_>>());
+        }
+        let empty: Vec<u32> = WorkQueue::new(4).try_run(0, |_| 1u32).unwrap();
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn gate_bounded_wait_times_out_instead_of_hanging() {
+        let gate = MemoryGate::new(64);
+        let held = gate.admit(64);
+        let before = std::time::Instant::now();
+        let err = gate
+            .admit_within(16, Duration::from_millis(30))
+            .expect_err("full gate must time the admission out");
+        assert!(before.elapsed() >= Duration::from_millis(30));
+        assert_eq!(
+            err,
+            RuntimeError::AdmissionTimeout {
+                requested: 16,
+                capacity: 64,
+                waited: Duration::from_millis(30),
+            }
+        );
+        drop(held);
+        // With room available the bounded admission behaves like admit,
+        // including the oversized-cost clamp.
+        let guard = gate
+            .admit_within(1 << 30, Duration::from_millis(10))
+            .unwrap();
+        assert_eq!(guard.cost(), 64);
+        drop(guard);
+        // Unbounded gates never time out.
+        let unbounded = MemoryGate::unbounded();
+        assert_eq!(
+            unbounded
+                .admit_within(usize::MAX, Duration::ZERO)
+                .unwrap()
+                .cost(),
+            0
+        );
     }
 
     #[test]

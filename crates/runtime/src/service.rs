@@ -1,0 +1,458 @@
+//! The long-running fleet screening service: lots submitted over time
+//! to a supervised worker loop, graceful drain on shutdown, health
+//! snapshots mid-flight.
+//!
+//! [`FleetPlan::screen_lot`] is one lot, one call. A production line
+//! is a *stream* of lots arriving while earlier ones are still on the
+//! tester. [`FleetService`] owns that stream: a dedicated service
+//! thread pops submitted lots off a queue and screens each under the
+//! service's [`FleetPlan`] — panic isolation, deadlines, retries and
+//! chaos injection included — while callers hold a [`LotTicket`] they
+//! can block on ([`FleetService::wait`]) or poll
+//! ([`FleetService::try_take`]).
+//!
+//! Shutdown is a **graceful drain**: [`FleetService::shutdown`] stops
+//! accepting new lots, finishes everything already queued, then joins
+//! the service thread. Results of drained lots stay collectable
+//! afterwards. Dropping the service performs the same drain.
+//!
+//! The whole-lot screen runs under its own `catch_unwind`, so even a
+//! fault that escapes per-die isolation (a scheduler invariant
+//! violation, say) is recorded against that lot's ticket instead of
+//! killing the service loop.
+
+use crate::error::{panic_message, RuntimeError};
+use crate::fleet::FleetPlan;
+use nfbist_soc::fleet::{LotReport, LotScreen};
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::{self, JoinHandle};
+
+/// A claim on one submitted lot's eventual report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LotTicket {
+    id: u64,
+}
+
+impl LotTicket {
+    /// The service-assigned lot id (submission order, starting at 0).
+    pub const fn id(&self) -> u64 {
+        self.id
+    }
+}
+
+/// A point-in-time view of the service's health.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthSnapshot {
+    /// Lots submitted but not yet started.
+    pub queued: usize,
+    /// Whether a lot is being screened right now.
+    pub screening: bool,
+    /// Lots finished (successfully or not) over the service lifetime.
+    pub completed_lots: u64,
+    /// Dies screened to a verdict across all finished lots.
+    pub screened_dies: u64,
+    /// Dies lost to runtime faults across all finished lots.
+    pub faulted_dies: u64,
+    /// Whether the service is draining (no new submissions).
+    pub draining: bool,
+}
+
+struct ServiceState {
+    queue: VecDeque<(u64, LotScreen)>,
+    results: HashMap<u64, Result<LotReport, RuntimeError>>,
+    screening: Option<u64>,
+    next_id: u64,
+    draining: bool,
+    completed_lots: u64,
+    screened_dies: u64,
+    faulted_dies: u64,
+}
+
+struct ServiceShared {
+    state: Mutex<ServiceState>,
+    submitted: Condvar,
+    finished: Condvar,
+}
+
+impl ServiceShared {
+    fn lock(&self) -> MutexGuard<'_, ServiceState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// The long-running screening service; see the module docs.
+///
+/// # Examples
+///
+/// ```
+/// use nfbist_analog::wafer::{DefectModel, Lot, ProcessVariation, WaferMap};
+/// use nfbist_runtime::fleet::FleetPlan;
+/// use nfbist_runtime::service::FleetService;
+/// use nfbist_soc::coverage::FaultUniverse;
+/// use nfbist_soc::fleet::LotScreen;
+/// use nfbist_soc::screening::Screen;
+/// use nfbist_soc::setup::BistSetup;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut service = FleetService::start(FleetPlan::workers(2));
+/// let lot = Lot::new(
+///     WaferMap::disc(4)?,
+///     ProcessVariation::default(),
+///     DefectModel::new().background(0.2)?,
+///     5,
+/// )?;
+/// let mut setup = BistSetup::quick(0);
+/// setup.samples = 1 << 13;
+/// setup.nfft = 1_024;
+/// let screening = LotScreen::new(
+///     lot,
+///     setup,
+///     Screen::new(12.0, 3.0)?,
+///     FaultUniverse::new().excess_noise(&[8.0])?,
+/// )?;
+/// let ticket = service.submit(screening)?;
+/// let report = service.wait(ticket)?;
+/// assert!(report.dies() > 0);
+/// service.shutdown(); // graceful drain
+/// # Ok(())
+/// # }
+/// ```
+pub struct FleetService {
+    shared: Arc<ServiceShared>,
+    plan: FleetPlan,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for FleetService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FleetService")
+            .field("plan", &self.plan)
+            .field("health", &self.health())
+            .finish()
+    }
+}
+
+impl FleetService {
+    /// Starts the service thread; every submitted lot is screened
+    /// under `plan`.
+    pub fn start(plan: FleetPlan) -> Self {
+        let shared = Arc::new(ServiceShared {
+            state: Mutex::new(ServiceState {
+                queue: VecDeque::new(),
+                results: HashMap::new(),
+                screening: None,
+                next_id: 0,
+                draining: false,
+                completed_lots: 0,
+                screened_dies: 0,
+                faulted_dies: 0,
+            }),
+            submitted: Condvar::new(),
+            finished: Condvar::new(),
+        });
+        let loop_shared = Arc::clone(&shared);
+        let worker = thread::Builder::new()
+            .name("nfbist-fleet-service".to_string())
+            .spawn(move || Self::service_loop(&loop_shared, plan))
+            .ok();
+        FleetService {
+            shared,
+            plan,
+            worker,
+        }
+    }
+
+    fn service_loop(shared: &ServiceShared, plan: FleetPlan) {
+        loop {
+            let (id, screening) = {
+                let mut state = shared.lock();
+                loop {
+                    if let Some(job) = state.queue.pop_front() {
+                        state.screening = Some(job.0);
+                        break job;
+                    }
+                    if state.draining {
+                        return;
+                    }
+                    state = shared
+                        .submitted
+                        .wait(state)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+            };
+            // Belt and braces: per-die isolation lives in screen_lot;
+            // this unwind guard keeps even an engine-level panic from
+            // killing the service loop.
+            let result = catch_unwind(AssertUnwindSafe(|| plan.screen_lot(&screening)))
+                .unwrap_or_else(|payload| {
+                    Err(RuntimeError::TaskPanicked {
+                        index: 0,
+                        message: format!(
+                            "lot screen panicked: {}",
+                            panic_message(payload.as_ref())
+                        ),
+                    })
+                });
+            let mut state = shared.lock();
+            state.completed_lots += 1;
+            if let Ok(report) = &result {
+                state.faulted_dies += report.faulted() as u64;
+                state.screened_dies += (report.dies() - report.faulted()) as u64;
+            }
+            state.results.insert(id, result);
+            state.screening = None;
+            drop(state);
+            shared.finished.notify_all();
+        }
+    }
+
+    /// The plan every lot is screened under.
+    pub const fn plan(&self) -> FleetPlan {
+        self.plan
+    }
+
+    /// Submits a lot for screening and returns the ticket its report
+    /// will be filed under.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::ServiceShutdown`] once the service is draining.
+    pub fn submit(&self, screening: LotScreen) -> Result<LotTicket, RuntimeError> {
+        let mut state = self.shared.lock();
+        if state.draining {
+            return Err(RuntimeError::ServiceShutdown);
+        }
+        let id = state.next_id;
+        state.next_id += 1;
+        state.queue.push_back((id, screening));
+        drop(state);
+        self.shared.submitted.notify_all();
+        Ok(LotTicket { id })
+    }
+
+    /// Takes the ticket's report if it is ready, without blocking.
+    /// `Ok(None)` means the lot is still queued or on the tester.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::UnknownTicket`] for a ticket that was never
+    /// issued or whose result was already taken; the lot's own
+    /// screening fault when the lot failed outright.
+    pub fn try_take(&self, ticket: LotTicket) -> Result<Option<LotReport>, RuntimeError> {
+        let mut state = self.shared.lock();
+        match state.results.remove(&ticket.id) {
+            Some(result) => result.map(Some),
+            None if Self::pending(&state, ticket.id) => Ok(None),
+            None => Err(RuntimeError::UnknownTicket { id: ticket.id }),
+        }
+    }
+
+    /// Blocks until the ticket's lot has been screened and returns its
+    /// report (each ticket's report can be taken once).
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::UnknownTicket`] for a ticket that was never
+    /// issued, was already taken, or was abandoned by a drain before
+    /// the lot started; the lot's own screening fault when the lot
+    /// failed outright.
+    pub fn wait(&self, ticket: LotTicket) -> Result<LotReport, RuntimeError> {
+        let mut state = self.shared.lock();
+        loop {
+            if let Some(result) = state.results.remove(&ticket.id) {
+                return result;
+            }
+            if !Self::pending(&state, ticket.id) {
+                return Err(RuntimeError::UnknownTicket { id: ticket.id });
+            }
+            state = self
+                .shared
+                .finished
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    fn pending(state: &ServiceState, id: u64) -> bool {
+        let live = state.screening == Some(id) || state.queue.iter().any(|(qid, _)| *qid == id);
+        // A drained-away service thread finishes nothing further, but a
+        // queued job survives the drain (graceful), so `live` is the
+        // whole answer as long as the worker exists; once the worker is
+        // gone the queue is empty anyway.
+        live
+    }
+
+    /// A point-in-time health snapshot: queue depth, in-flight state,
+    /// lifetime lot/die counters, drain flag.
+    pub fn health(&self) -> HealthSnapshot {
+        let state = self.shared.lock();
+        HealthSnapshot {
+            queued: state.queue.len(),
+            screening: state.screening.is_some(),
+            completed_lots: state.completed_lots,
+            screened_dies: state.screened_dies,
+            faulted_dies: state.faulted_dies,
+            draining: state.draining,
+        }
+    }
+
+    /// Gracefully drains the service: refuses new submissions, finishes
+    /// every queued lot, joins the service thread. Results of drained
+    /// lots remain collectable through [`FleetService::wait`] /
+    /// [`FleetService::try_take`]. Idempotent.
+    pub fn shutdown(&mut self) {
+        {
+            let mut state = self.shared.lock();
+            state.draining = true;
+        }
+        self.shared.submitted.notify_all();
+        if let Some(handle) = self.worker.take() {
+            let _ = handle.join();
+        }
+        // Wake anyone blocked in wait() on a lot that will never run.
+        self.shared.finished.notify_all();
+    }
+}
+
+impl Drop for FleetService {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use crate::chaos::ChaosConfig;
+    use crate::supervisor::TaskPolicy;
+    use nfbist_analog::wafer::{DefectModel, Lot, ProcessVariation, WaferMap};
+    use nfbist_soc::coverage::FaultUniverse;
+    use nfbist_soc::fleet::LotStatus;
+    use nfbist_soc::screening::Screen;
+    use nfbist_soc::setup::BistSetup;
+
+    fn tiny_screening(seed: u64) -> LotScreen {
+        let lot = Lot::new(
+            WaferMap::disc(4).unwrap(),
+            ProcessVariation::default(),
+            DefectModel::new().background(0.2).unwrap(),
+            seed,
+        )
+        .unwrap();
+        let mut setup = BistSetup::quick(0);
+        setup.samples = 1 << 13;
+        setup.nfft = 1_024;
+        LotScreen::new(
+            lot,
+            setup,
+            Screen::new(12.0, 3.0).unwrap(),
+            FaultUniverse::new().excess_noise(&[8.0]).unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn lots_stream_through_and_reports_match_direct_screening() {
+        let service = FleetService::start(FleetPlan::workers(2));
+        let tickets: Vec<LotTicket> = (0..3)
+            .map(|k| service.submit(tiny_screening(10 + k)).unwrap())
+            .collect();
+        assert_eq!(
+            tickets.iter().map(LotTicket::id).collect::<Vec<_>>(),
+            [0, 1, 2]
+        );
+        for (k, ticket) in tickets.into_iter().enumerate() {
+            let report = service.wait(ticket).unwrap();
+            let direct = tiny_screening(10 + k as u64).run().unwrap();
+            assert_eq!(report, direct, "service lot {k} must match direct run");
+            // A ticket's report can only be taken once.
+            assert_eq!(
+                service.wait(ticket),
+                Err(RuntimeError::UnknownTicket { id: ticket.id() })
+            );
+        }
+        let health = service.health();
+        assert_eq!(health.completed_lots, 3);
+        assert_eq!(health.queued, 0);
+        assert!(!health.draining);
+        assert_eq!(health.faulted_dies, 0);
+        assert!(health.screened_dies > 0);
+    }
+
+    #[test]
+    fn try_take_polls_without_blocking() {
+        let service = FleetService::start(FleetPlan::workers(2));
+        let ticket = service.submit(tiny_screening(3)).unwrap();
+        // Either still pending (Ok(None)) or already done — never an
+        // error while the lot is live.
+        loop {
+            match service.try_take(ticket) {
+                Ok(None) => thread::yield_now(),
+                Ok(Some(report)) => {
+                    assert_eq!(report.status(), LotStatus::Complete);
+                    break;
+                }
+                Err(e) => panic!("live ticket must not error: {e}"),
+            }
+        }
+        assert!(matches!(
+            service.try_take(ticket),
+            Err(RuntimeError::UnknownTicket { .. })
+        ));
+        assert!(matches!(
+            service.try_take(LotTicket { id: 999 }),
+            Err(RuntimeError::UnknownTicket { id: 999 })
+        ));
+    }
+
+    #[test]
+    fn shutdown_drains_queued_lots_and_refuses_new_ones() {
+        let mut service = FleetService::start(FleetPlan::workers(2));
+        let a = service.submit(tiny_screening(1)).unwrap();
+        let b = service.submit(tiny_screening(2)).unwrap();
+        service.shutdown();
+        // Graceful drain: both queued lots finished.
+        assert!(service.wait(a).is_ok());
+        assert!(service.wait(b).is_ok());
+        let health = service.health();
+        assert_eq!(health.completed_lots, 2);
+        assert!(health.draining);
+        // And no new work is accepted.
+        assert_eq!(
+            service.submit(tiny_screening(3)).unwrap_err(),
+            RuntimeError::ServiceShutdown
+        );
+        // Idempotent.
+        service.shutdown();
+    }
+
+    #[test]
+    fn chaos_lots_come_back_degraded_not_crashed() {
+        crate::chaos::install_quiet_panic_hook();
+        let plan = FleetPlan::workers(2)
+            .task_policy(TaskPolicy::new().attempts(1))
+            .chaos(
+                ChaosConfig::new(17)
+                    .panic_rate_per_mille(300)
+                    .stall_rate_per_mille(0)
+                    .alloc_rate_per_mille(200),
+            );
+        let service = FleetService::start(plan);
+        let ticket = service.submit(tiny_screening(6)).unwrap();
+        let report = service.wait(ticket).unwrap();
+        assert_eq!(report.status(), LotStatus::Degraded);
+        assert!(report.faulted() > 0);
+        let health = service.health();
+        assert_eq!(health.faulted_dies, report.faulted() as u64);
+        assert_eq!(
+            health.screened_dies,
+            (report.dies() - report.faulted()) as u64
+        );
+        // The service loop survived the injected panics.
+        let clean = service.submit(tiny_screening(7));
+        assert!(clean.is_ok());
+    }
+}

@@ -1,0 +1,187 @@
+//! The fault-tolerance contract under seeded chaos: injected runtime
+//! faults (worker panics, allocation failures, stalls) never change
+//! the bits of any *surviving* die's outcome, for any worker count or
+//! memory budget — and the set of degraded dies matches the injected
+//! schedule exactly.
+//!
+//! `NFBIST_CHAOS=<seed>` re-seeds the whole suite (CI runs it once
+//! under a fixed seed on top of the default run).
+
+use nfbist_analog::wafer::{DefectModel, Lot, ProcessVariation, WaferMap};
+use nfbist_runtime::chaos::{install_quiet_panic_hook, ChaosConfig, InjectedFault};
+use nfbist_runtime::fleet::FleetPlan;
+use nfbist_runtime::supervisor::{Backoff, TaskPolicy};
+use nfbist_soc::coverage::FaultUniverse;
+use nfbist_soc::fleet::{DieFaultKind, LotScreen, LotStatus};
+use nfbist_soc::screening::Screen;
+use nfbist_soc::setup::BistSetup;
+use proptest::prelude::*;
+use std::time::Duration;
+
+fn chaos_seed_base() -> u64 {
+    ChaosConfig::from_env().map_or(20_050_307, |c| c.seed())
+}
+
+fn small_screening(lot_seed: u64) -> LotScreen {
+    let lot = Lot::new(
+        WaferMap::disc(4).unwrap(),
+        ProcessVariation::default(),
+        DefectModel::new().background(0.2).unwrap(),
+        lot_seed,
+    )
+    .unwrap();
+    let mut setup = BistSetup::quick(0);
+    setup.samples = 1 << 13;
+    setup.nfft = 1_024;
+    LotScreen::new(
+        lot,
+        setup,
+        Screen::new(12.0, 3.0).unwrap(),
+        FaultUniverse::new().excess_noise(&[2.0, 8.0]).unwrap(),
+    )
+    .unwrap()
+}
+
+/// Panic + allocation-failure chaos (no stalls: those need wall-clock
+/// deadlines and belong in the dedicated test below) at rates high
+/// enough to mark dies in a small lot.
+fn fast_chaos(seed: u64) -> ChaosConfig {
+    ChaosConfig::new(seed)
+        .panic_rate_per_mille(200)
+        .stall_rate_per_mille(0)
+        .alloc_rate_per_mille(150)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// For any chaos seed, worker count and budget: the degraded die
+    /// set equals the injected schedule exactly, and every surviving
+    /// die is bit-identical to the clean sequential run.
+    #[test]
+    fn chaos_degrades_exactly_the_scheduled_dies(
+        seed_offset in 0u64..1_000,
+        budget_dies in 1usize..4,
+    ) {
+        install_quiet_panic_hook();
+        let screening = small_screening(77);
+        let clean = screening.run().unwrap();
+        let chaos = fast_chaos(chaos_seed_base().wrapping_add(seed_offset));
+        let marked: Vec<(usize, InjectedFault)> =
+            chaos.scheduled_faults(screening.dies());
+
+        let mut reports = Vec::new();
+        for workers in [1usize, 2, 8] {
+            let report = FleetPlan::workers(workers)
+                .memory_budget(budget_dies * screening.die_cost_bytes())
+                .chaos(chaos)
+                .screen_lot(&screening)
+                .unwrap();
+            prop_assert_eq!(report.dies(), screening.dies());
+            prop_assert_eq!(report.faulted(), marked.len());
+            prop_assert_eq!(report.degraded(), !marked.is_empty());
+            // The degraded die set is exactly the injected schedule,
+            // kind for kind.
+            let faulted: Vec<usize> = report.faults().map(|f| f.die).collect();
+            let scheduled: Vec<usize> = marked.iter().map(|(i, _)| *i).collect();
+            prop_assert_eq!(faulted, scheduled);
+            for (fault, (_, injected)) in report.faults().zip(marked.iter()) {
+                match injected {
+                    InjectedFault::Panic => prop_assert!(
+                        matches!(fault.kind, DieFaultKind::Panicked { .. })
+                    ),
+                    InjectedFault::AllocFailure => prop_assert_eq!(
+                        &fault.kind,
+                        &DieFaultKind::AllocationFailed
+                    ),
+                    InjectedFault::Stall => prop_assert!(false, "stall rate is zero"),
+                    _ => prop_assert!(false, "unknown injected fault"),
+                }
+            }
+            // Survivors carry the clean run's exact bits.
+            for record in report.records() {
+                if let Some(outcome) = record.outcome() {
+                    let reference = clean
+                        .outcomes()
+                        .find(|o| o.die == outcome.die)
+                        .expect("clean run screens every die");
+                    prop_assert_eq!(outcome.nf_db.to_bits(), reference.nf_db.to_bits());
+                    prop_assert_eq!(outcome, reference);
+                }
+            }
+            reports.push((workers, report));
+        }
+        // And the whole degraded report is schedule-independent.
+        let (_, first) = &reports[0];
+        for (_workers, report) in &reports[1..] {
+            prop_assert_eq!(report, first);
+        }
+    }
+}
+
+/// Retry recovery is deterministic: with faults clearing after one
+/// attempt and a two-attempt policy, every die recovers and the report
+/// is bit-identical to the clean run — the chaos run leaves no trace.
+#[test]
+fn retry_recovery_leaves_no_trace() {
+    install_quiet_panic_hook();
+    let screening = small_screening(5);
+    let clean = screening.run().unwrap();
+    let chaos = fast_chaos(chaos_seed_base()).faulty_attempts(1);
+    assert!(
+        !chaos.scheduled_faults(screening.dies()).is_empty(),
+        "seed must mark at least one die for the test to mean anything"
+    );
+    for workers in [1usize, 2, 8] {
+        let report = FleetPlan::workers(workers)
+            .task_policy(
+                TaskPolicy::new()
+                    .attempts(2)
+                    .backoff(Backoff::fixed(Duration::from_millis(1))),
+            )
+            .chaos(chaos)
+            .screen_lot(&screening)
+            .unwrap();
+        assert_eq!(report.status(), LotStatus::Complete, "workers={workers}");
+        assert_eq!(report, clean, "workers={workers}");
+    }
+}
+
+/// Stall injection under a deadline: the stalled dies (and only they)
+/// are discarded as deadline faults, deterministically, on every
+/// worker count.
+#[test]
+fn stalls_blow_deadlines_deterministically() {
+    install_quiet_panic_hook();
+    let screening = small_screening(9);
+    let chaos = ChaosConfig::new(chaos_seed_base() ^ 0xABCD)
+        .panic_rate_per_mille(0)
+        .stall_rate_per_mille(150)
+        .alloc_rate_per_mille(0)
+        .stall_extra(Duration::from_millis(25));
+    let stalled: Vec<usize> = chaos
+        .scheduled_faults(screening.dies())
+        .into_iter()
+        .map(|(i, _)| i)
+        .collect();
+    assert!(!stalled.is_empty(), "seed must stall at least one die");
+    let mut reports = Vec::new();
+    for workers in [1usize, 2, 8] {
+        let report = FleetPlan::workers(workers)
+            .task_policy(TaskPolicy::new().deadline(Duration::from_millis(1200)))
+            .chaos(chaos)
+            .screen_lot(&screening)
+            .unwrap();
+        assert_eq!(report.status(), LotStatus::Degraded, "workers={workers}");
+        let faulted: Vec<usize> = report.faults().map(|f| f.die).collect();
+        assert_eq!(faulted, stalled, "workers={workers}");
+        for fault in report.faults() {
+            assert_eq!(fault.kind, DieFaultKind::DeadlineExceeded);
+        }
+        reports.push(report);
+    }
+    assert!(
+        reports.windows(2).all(|w| w[0] == w[1]),
+        "degraded reports must be identical across worker counts"
+    );
+}

@@ -139,7 +139,7 @@ fn assert_report_bits_identical(a: &LotReport, b: &LotReport, wafer: &WaferMap, 
             "{label}: rolling yield at die {i}"
         );
     }
-    for (oa, ob) in a.outcomes().iter().zip(b.outcomes()) {
+    for (oa, ob) in a.outcomes().zip(b.outcomes()) {
         assert_eq!(oa.die, ob.die, "{label}: outcome order");
         assert_eq!(oa.defect, ob.defect, "{label}: die {} defect", oa.die);
         assert_eq!(oa.verdict, ob.verdict, "{label}: die {} verdict", oa.die);
