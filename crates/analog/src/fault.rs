@@ -41,8 +41,8 @@
 //! campaigns exist to quantify exactly this boundary.
 
 use crate::bitstream::Bitstream;
-use crate::converter::{Digitizer, Record};
-use crate::dut::Dut;
+use crate::converter::{CaptureStream, Digitizer, Record};
+use crate::dut::{Dut, DutStream};
 use crate::noise::ShapedNoise;
 use crate::units::{Kelvin, Ohms};
 use crate::AnalogError;
@@ -465,6 +465,173 @@ impl<D: Dut> Dut for FaultyDut<D> {
         }
         Ok(out)
     }
+
+    fn process_stream<'a>(
+        &'a self,
+        rs: Ohms,
+        sample_rate: f64,
+        seed: u64,
+    ) -> Result<Box<dyn DutStream + 'a>, AnalogError> {
+        // Input-path loss folds into a per-chunk input scale; every
+        // output-stage fault becomes a stateful stage applied to the
+        // inner stream's output as it emerges. Per-element arithmetic
+        // and state evolution are exactly the batch `process`'s, so
+        // chunked output concatenates bit-identically — which is what
+        // lets a sequential screen snapshot a *faulty* DUT mid-record.
+        let mut attenuation = 1.0;
+        for fault in &self.faults {
+            if let AnalogFault::InputAttenuation { factor } = fault {
+                attenuation *= factor;
+            }
+        }
+        let mut stages = Vec::new();
+        for (i, fault) in self.faults.iter().enumerate() {
+            match *fault {
+                AnalogFault::InputAttenuation { .. } => {}
+                AnalogFault::GainDeviation { factor } => {
+                    stages.push(OutputFaultStage::Gain { factor });
+                }
+                AnalogFault::ExcessNoise { factor } => {
+                    let g = self.inner.gain();
+                    let fault_seed =
+                        seed.wrapping_add((i as u64 + 1).wrapping_mul(FAULT_SEED_SALT));
+                    let noise = ShapedNoise::new(
+                        |f| {
+                            if f == 0.0 {
+                                0.0
+                            } else {
+                                (factor - 1.0) * self.inner.added_noise_density_sq(rs, f) * g * g
+                            }
+                        },
+                        sample_rate,
+                        1 << 15,
+                        fault_seed,
+                    )?;
+                    stages.push(OutputFaultStage::ExcessNoise { noise });
+                }
+                AnalogFault::ReducedBandwidth { corner_hz } => {
+                    let alpha = 1.0 - (-std::f64::consts::TAU * corner_hz / sample_rate).exp();
+                    stages.push(OutputFaultStage::ReducedBandwidth { alpha, y: 0.0 });
+                }
+                AnalogFault::InterferenceTone {
+                    frequency,
+                    amplitude_fraction,
+                } => {
+                    let amplitude =
+                        amplitude_fraction * self.reference_output_rms(rs, sample_rate)?;
+                    let w = std::f64::consts::TAU * frequency / sample_rate;
+                    stages.push(OutputFaultStage::InterferenceTone { amplitude, w });
+                }
+            }
+        }
+        Ok(Box::new(FaultyDutStream {
+            inner: self.inner.process_stream(rs, sample_rate, seed)?,
+            attenuation,
+            stages,
+            scaled: Vec::new(),
+            produced: Vec::new(),
+            emitted: 0,
+        }))
+    }
+}
+
+/// One output-stage fault as carried streaming state. Stages apply in
+/// insertion order per chunk; each one's state (noise generator
+/// position, filter memory, tone phase) evolves exactly as the batch
+/// pass over the whole record would evolve it.
+enum OutputFaultStage {
+    /// Memoryless output scale.
+    Gain { factor: f64 },
+    /// Sequential synthesis of the excess-noise overlay — the same
+    /// generator the batch path runs once over the full record.
+    ExcessNoise { noise: ShapedNoise },
+    /// One-pole low-pass with its output state carried across chunks.
+    ReducedBandwidth { alpha: f64, y: f64 },
+    /// Additive tone phased by the global output-sample index.
+    InterferenceTone { amplitude: f64, w: f64 },
+}
+
+/// Streaming counterpart of [`FaultyDut::process`]: the healthy inner
+/// stream with the fault stages applied to its output as it emerges.
+struct FaultyDutStream<'a> {
+    inner: Box<dyn DutStream + 'a>,
+    attenuation: f64,
+    stages: Vec<OutputFaultStage>,
+    /// Reusable input-scaling buffer (input-attenuation faults).
+    scaled: Vec<f64>,
+    /// Reusable inner-output buffer the stages mutate in place.
+    produced: Vec<f64>,
+    /// Global output-sample index (tone phase anchor).
+    emitted: usize,
+}
+
+impl FaultyDutStream<'_> {
+    /// Runs every fault stage over `self.produced` in place, then
+    /// appends it to `out` and advances the global sample index.
+    fn apply_stages(&mut self, out: &mut Vec<f64>) -> Result<(), AnalogError> {
+        if self.produced.is_empty() {
+            return Ok(());
+        }
+        let len = self.produced.len();
+        let base = self.emitted;
+        for stage in &mut self.stages {
+            match stage {
+                OutputFaultStage::Gain { factor } => {
+                    for v in &mut self.produced {
+                        *v *= *factor;
+                    }
+                }
+                OutputFaultStage::ExcessNoise { noise } => {
+                    let extra = noise.generate(len)?;
+                    for (v, n) in self.produced.iter_mut().zip(&extra) {
+                        *v += n;
+                    }
+                }
+                OutputFaultStage::ReducedBandwidth { alpha, y } => {
+                    for v in &mut self.produced {
+                        *y += *alpha * (*v - *y);
+                        *v = *y;
+                    }
+                }
+                OutputFaultStage::InterferenceTone { amplitude, w } => {
+                    for (k, v) in self.produced.iter_mut().enumerate() {
+                        *v += *amplitude * (*w * (base + k) as f64).sin();
+                    }
+                }
+            }
+        }
+        out.extend_from_slice(&self.produced);
+        self.emitted += len;
+        Ok(())
+    }
+}
+
+impl DutStream for FaultyDutStream<'_> {
+    fn push(&mut self, input: &[f64], out: &mut Vec<f64>) -> Result<(), AnalogError> {
+        if input.is_empty() {
+            return Ok(());
+        }
+        self.produced.clear();
+        if self.attenuation != 1.0 {
+            self.scaled.clear();
+            let a = self.attenuation;
+            self.scaled.extend(input.iter().map(|v| v / a));
+            self.inner.push(&self.scaled, &mut self.produced)?;
+        } else {
+            self.inner.push(input, &mut self.produced)?;
+        }
+        self.apply_stages(out)
+    }
+
+    fn finish(&mut self, out: &mut Vec<f64>) -> Result<(), AnalogError> {
+        self.produced.clear();
+        self.inner.finish(&mut self.produced)?;
+        self.apply_stages(out)
+    }
+
+    fn is_incremental(&self) -> bool {
+        self.inner.is_incremental()
+    }
 }
 
 /// A digital defect on the stored 1-bit stream, applied by
@@ -551,7 +718,7 @@ impl BitFault {
             BitFault::StuckBits { period, value } => bits
                 .iter()
                 .enumerate()
-                .map(|(i, b)| if i % period == 0 { value } else { b })
+                .map(|(i, b)| if i.is_multiple_of(period) { value } else { b })
                 .collect(),
             BitFault::FlippedBits { probability, seed } => {
                 let mut rng = StdRng::seed_from_u64(seed);
@@ -692,6 +859,114 @@ impl<D: Digitizer> Digitizer for FaultyDigitizer<D> {
             }
             samples @ Record::Samples(_) => Ok(samples),
         }
+    }
+
+    fn begin_capture<'a>(&'a self) -> Box<dyn CaptureStream + 'a> {
+        // Bit faults only apply to stored 1-bit records (the batch
+        // `acquire` leaves multi-bit sample records untouched), so a
+        // multi-bit inner front-end — or a fault-free wrapper — streams
+        // straight through.
+        if self.faults.is_empty() || self.inner.bits_per_sample() != 1 {
+            return self.inner.begin_capture();
+        }
+        let stages = self
+            .faults
+            .iter()
+            .map(|fault| match *fault {
+                BitFault::StuckBits { period, value } => BitFaultStage::Stuck { period, value },
+                BitFault::FlippedBits { probability, seed } => BitFaultStage::Flipped {
+                    probability,
+                    rng: StdRng::seed_from_u64(seed),
+                },
+            })
+            .collect();
+        Box::new(FaultyCapture {
+            inner: self.inner.begin_capture(),
+            stages,
+            produced: Vec::new(),
+            emitted: 0,
+        })
+    }
+}
+
+/// One [`BitFault`] as carried streaming state: defect positions are
+/// functions of the global stored-bit index (and, for flips, of a
+/// per-position RNG draw), so each stage carries exactly what lets the
+/// chunked pass visit the same positions as the batch pass.
+enum BitFaultStage {
+    /// Positions `0, period, 2·period, …` stuck at `value`.
+    Stuck { period: usize, value: bool },
+    /// One Bernoulli draw per position from the carried RNG — the same
+    /// draw sequence [`BitFault::apply`] makes over the whole record.
+    Flipped { probability: f64, rng: StdRng },
+}
+
+/// Streaming counterpart of the faulted [`FaultyDigitizer::acquire`]:
+/// the inner front-end's capture with the bit faults applied to the
+/// expanded `±1` samples as they emerge, indexed globally.
+struct FaultyCapture<'a> {
+    inner: Box<dyn CaptureStream + 'a>,
+    stages: Vec<BitFaultStage>,
+    /// Reusable buffer of freshly expanded inner samples.
+    produced: Vec<f64>,
+    /// Global stored-bit index of the next sample to corrupt.
+    emitted: usize,
+}
+
+impl FaultyCapture<'_> {
+    /// Corrupts `self.produced` in place (each `±1` sample is a stored
+    /// bit), then appends it to `out` and advances the global index.
+    fn apply_stages(&mut self, out: &mut Vec<f64>) {
+        let base = self.emitted;
+        for (k, v) in self.produced.iter_mut().enumerate() {
+            let index = base + k;
+            let mut bit = *v > 0.0;
+            for stage in &mut self.stages {
+                match stage {
+                    BitFaultStage::Stuck { period, value } => {
+                        if index.is_multiple_of(*period) {
+                            bit = *value;
+                        }
+                    }
+                    BitFaultStage::Flipped { probability, rng } => {
+                        // Drawn unconditionally: `BitFault::apply`
+                        // advances its RNG once per position whether
+                        // or not the position flips.
+                        if rng.gen::<f64>() < *probability {
+                            bit = !bit;
+                        }
+                    }
+                }
+            }
+            *v = if bit { 1.0 } else { -1.0 };
+        }
+        out.extend_from_slice(&self.produced);
+        self.emitted += self.produced.len();
+    }
+}
+
+impl CaptureStream for FaultyCapture<'_> {
+    fn push(
+        &mut self,
+        signal: &[f64],
+        reference: &[f64],
+        out: &mut Vec<f64>,
+    ) -> Result<(), AnalogError> {
+        self.produced.clear();
+        self.inner.push(signal, reference, &mut self.produced)?;
+        self.apply_stages(out);
+        Ok(())
+    }
+
+    fn finish(&mut self, out: &mut Vec<f64>) -> Result<(), AnalogError> {
+        self.produced.clear();
+        self.inner.finish(&mut self.produced)?;
+        self.apply_stages(out);
+        Ok(())
+    }
+
+    fn is_incremental(&self) -> bool {
+        self.inner.is_incremental()
     }
 }
 
@@ -1028,5 +1303,109 @@ mod tests {
             assert_eq!(out.get(i), Some(i % 2 == 1), "position {i}");
         }
         let _ = bits;
+    }
+
+    /// A deterministic pseudo-signal long enough to exercise chunk
+    /// carries in every fault stage.
+    fn test_input(n: usize) -> Vec<f64> {
+        let mut state = 0x1234_5678_9abc_def0u64;
+        (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 11) as f64 / (1u64 << 53) as f64 - 0.5) * 1e-5
+            })
+            .collect()
+    }
+
+    #[test]
+    fn faulty_dut_stream_is_bit_identical_to_batch_for_every_fault_class() {
+        let rs = Ohms::new(2_000.0);
+        let fs = 2.0e4;
+        let seed = 77;
+        let input = test_input(10_000);
+        // Every fault class at once, so the stream exercises input
+        // scaling and all four output stages with their carried state.
+        let dut = FaultyDut::new(paper_dut())
+            .with_faults([
+                AnalogFault::InputAttenuation { factor: 1.5 },
+                AnalogFault::GainDeviation { factor: 0.8 },
+                AnalogFault::ExcessNoise { factor: 3.0 },
+                AnalogFault::ReducedBandwidth { corner_hz: 700.0 },
+                AnalogFault::InterferenceTone {
+                    frequency: 500.0,
+                    amplitude_fraction: 0.4,
+                },
+            ])
+            .unwrap();
+        let batch = dut.process(&input, rs, fs, seed).unwrap();
+        for chunk_len in [1usize, 997, 4_096] {
+            let mut stream = dut.process_stream(rs, fs, seed).unwrap();
+            assert!(stream.is_incremental(), "faulted stream stays incremental");
+            let mut out = Vec::new();
+            for chunk in input.chunks(chunk_len) {
+                stream.push(chunk, &mut out).unwrap();
+            }
+            stream.finish(&mut out).unwrap();
+            assert_eq!(out.len(), batch.len(), "chunk {chunk_len}");
+            for (i, (s, b)) in out.iter().zip(&batch).enumerate() {
+                assert_eq!(s.to_bits(), b.to_bits(), "chunk {chunk_len}, sample {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn faulty_capture_stream_is_bit_identical_to_batch_acquire() {
+        let d = FaultyDigitizer::new(OneBitDigitizer::ideal())
+            .with_faults([
+                BitFault::StuckBits {
+                    period: 7,
+                    value: true,
+                },
+                BitFault::FlippedBits {
+                    probability: 0.05,
+                    seed: 3,
+                },
+            ])
+            .unwrap();
+        let signal = test_input(5_000);
+        let reference = vec![0.0; signal.len()];
+        let batch = d.acquire(&signal, &reference).unwrap().to_samples();
+        for chunk_len in [1usize, 333, 2_048] {
+            let mut capture = d.begin_capture();
+            assert!(capture.is_incremental());
+            let mut out = Vec::new();
+            for (s, r) in signal.chunks(chunk_len).zip(reference.chunks(chunk_len)) {
+                capture.push(s, r, &mut out).unwrap();
+            }
+            capture.finish(&mut out).unwrap();
+            assert_eq!(out, batch, "chunk {chunk_len}");
+        }
+    }
+
+    #[test]
+    fn fault_free_and_multibit_captures_pass_straight_through() {
+        // No faults: the wrapper must not pay the corruption pass.
+        let clean = FaultyDigitizer::new(OneBitDigitizer::ideal());
+        let signal = test_input(512);
+        let zeros = vec![0.0; signal.len()];
+        let mut capture = clean.begin_capture();
+        let mut out = Vec::new();
+        capture.push(&signal, &zeros, &mut out).unwrap();
+        capture.finish(&mut out).unwrap();
+        assert_eq!(out, clean.acquire(&signal, &zeros).unwrap().to_samples());
+        // Multi-bit records are untouched by bit faults, streamed or not.
+        let adc = FaultyDigitizer::new(AdcDigitizer::new(8).unwrap())
+            .with_fault(BitFault::StuckBits {
+                period: 2,
+                value: true,
+            })
+            .unwrap();
+        let mut capture = adc.begin_capture();
+        let mut out = Vec::new();
+        capture.push(&signal, &zeros, &mut out).unwrap();
+        capture.finish(&mut out).unwrap();
+        assert_eq!(out, adc.acquire(&signal, &zeros).unwrap().to_samples());
     }
 }

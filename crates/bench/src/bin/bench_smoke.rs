@@ -49,9 +49,17 @@
 //! 8. **Bipolar expansion** — packed words to ±1.0 samples.
 //! 9. **XOR+popcount lag** — the bit-domain autocorrelation kernel.
 //!
+//! And one decision-engine comparison (PR 9):
+//!
+//! 10. **Adaptive lot screening** — the sequential early-stopping
+//!     engine (`LotScreen::adaptive`) vs the fixed schedule on the
+//!     same lot at the same record cap: the wall-clock realization of
+//!     the mean test-time reduction that `exp_coverage --adaptive`
+//!     reports in samples.
+//!
 //! Usage: `bench_smoke [--json [PATH]] [--reps N] [--assert-simd]`.
 //! With `--json` the results are written to `PATH` (default
-//! `BENCH_pr7.json`); the JSON `cases` keys (`name`, `baseline`,
+//! `BENCH_pr9.json`); the JSON `cases` keys (`name`, `baseline`,
 //! `baseline_ns`, `new_ns`, `speedup`, `workers`, `dispatch`) are
 //! exactly the README perf-table columns, so the table regenerates
 //! field for field. `--assert-simd` exits nonzero unless a vector arm
@@ -209,6 +217,61 @@ fn lot_screening(grid: usize) -> nfbist_soc::fleet::LotScreen {
     )
     .expect("lot screen")
     .retest(RetestPolicy::new(2, 2).expect("policy"))
+}
+
+/// The PR 9 comparison pair: the same defective lot at a 2^15-sample
+/// cap, screened either by the fixed schedule (with one 2x retest
+/// escalation round) or by the sequential early-stopping engine at
+/// its operating point (limit +2.5 dB, 2-sigma guard, first
+/// checkpoint at 2^12).
+fn decision_lot_screening(grid: usize, adaptive: bool) -> nfbist_soc::fleet::LotScreen {
+    use nfbist_analog::circuits::NonInvertingAmplifier;
+    use nfbist_analog::opamp::OpampModel;
+    use nfbist_analog::units::Ohms;
+    use nfbist_analog::wafer::{DefectModel, Lot, ProcessVariation, WaferMap};
+    use nfbist_soc::coverage::FaultUniverse;
+    use nfbist_soc::fleet::LotScreen;
+    use nfbist_soc::screening::{RetestPolicy, Screen, SequentialScreen};
+    use nfbist_soc::setup::BistSetup;
+
+    let lot = Lot::new(
+        WaferMap::disc(grid).expect("wafer"),
+        ProcessVariation::default(),
+        DefectModel::new()
+            .background(0.08)
+            .expect("background")
+            .edge_gradient(0.20)
+            .expect("edge"),
+        20_050_307,
+    )
+    .expect("lot");
+    let mut setup = BistSetup::quick(0);
+    setup.samples = 1 << 15;
+    setup.nfft = 1_024;
+    let expected =
+        NonInvertingAmplifier::new(OpampModel::tl081(), Ohms::new(10_000.0), Ohms::new(100.0))
+            .expect("dut")
+            .expected_noise_figure_db(Ohms::new(2_000.0), 100.0, 1_000.0)
+            .expect("expected NF");
+    let screen = Screen::new(expected + 2.5, 2.0).expect("screen");
+    let screening = LotScreen::new(
+        lot,
+        setup,
+        screen,
+        FaultUniverse::new()
+            .excess_noise(&[2.0, 8.0])
+            .expect("universe"),
+    )
+    .expect("lot screen");
+    if adaptive {
+        screening.adaptive(
+            SequentialScreen::new(screen, 0.05, 0.05)
+                .expect("sequential rule")
+                .min_samples(1 << 12),
+        )
+    } else {
+        screening.retest(RetestPolicy::new(2, 2).expect("policy"))
+    }
 }
 
 fn run(reps: usize) -> Vec<Case> {
@@ -464,6 +527,47 @@ fn run(reps: usize) -> Vec<Case> {
     }
 
     cases.extend(simd_cases(reps));
+
+    // --- Case 10: the PR 9 sequential decision engine — the same lot
+    // at the same 2^15-sample cap, screened adaptively vs by the fixed
+    // schedule. The "speedup" here is the wall-clock realization of
+    // the mean test-time reduction exp_coverage reports in samples:
+    // healthy dies stop as soon as two checkpoints confirm a
+    // guard-band-clear estimate, gross rejects as soon as two confirm
+    // an unmeasurable one.
+    {
+        use nfbist_runtime::fleet::FleetPlan;
+
+        let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let fixed = decision_lot_screening(8, false);
+        let adaptive = decision_lot_screening(8, true);
+        let plan = FleetPlan::workers(workers);
+
+        // Determinism self-check before timing: the fanned-out
+        // adaptive report (stopping points included) must carry the
+        // sequential loop's exact bits.
+        let parallel = plan.screen_lot(&adaptive).expect("adaptive lot");
+        let sequential = adaptive.run().expect("sequential adaptive lot");
+        assert_eq!(parallel, sequential, "adaptive lot != sequential loop");
+        // And early stopping must actually bite on this lot.
+        assert!(
+            parallel.mean_test_samples() < adaptive.fixed_die_samples() as f64,
+            "no die stopped early"
+        );
+
+        let new_ns = time_ns(reps, || plan.screen_lot(&adaptive).expect("adaptive"));
+        let baseline_ns = time_ns(reps, || plan.screen_lot(&fixed).expect("fixed"));
+        cases.push(Case {
+            name: "adaptive_lot_grid8_2pow15cap",
+            baseline: "fixed-schedule LotScreen at the same cap and FleetPlan; the \
+                       speedup is the realized mean test-time reduction",
+            baseline_ns,
+            new_ns,
+            workers,
+            dispatch: nfbist_dsp::simd::active_arm().name(),
+        });
+    }
+
     cases
 }
 
@@ -632,7 +736,7 @@ fn simd_cases(reps: usize) -> Vec<Case> {
 }
 
 fn write_json(path: &str, cases: &[Case]) -> std::io::Result<()> {
-    let mut body = String::from("{\n  \"pr\": 7,\n  \"bench\": \"bench_smoke\",\n  \"cases\": [\n");
+    let mut body = String::from("{\n  \"pr\": 9,\n  \"bench\": \"bench_smoke\",\n  \"cases\": [\n");
     for (i, c) in cases.iter().enumerate() {
         body.push_str(&format!(
             "    {{\"name\": \"{}\", \"baseline\": \"{}\", \"baseline_ns\": {:.0}, \"new_ns\": {:.0}, \"speedup\": {:.3}, \"workers\": {}, \"dispatch\": \"{}\"}}{}\n",
@@ -660,7 +764,7 @@ fn main() {
             "--json" => {
                 let path = match args.peek() {
                     Some(p) if !p.starts_with("--") => args.next().expect("peeked"),
-                    _ => "BENCH_pr7.json".to_string(),
+                    _ => "BENCH_pr9.json".to_string(),
                 };
                 json_path = Some(path);
             }

@@ -187,6 +187,14 @@ pub fn streaming_flag() -> bool {
     std::env::args().any(|a| a == "--streaming")
 }
 
+/// `true` when `--adaptive` was passed: experiment binaries that
+/// support it then additionally run their screening flows under the
+/// sequential (early-stopping) decision engine and report the
+/// test-time reduction against the fixed schedule.
+pub fn adaptive_flag() -> bool {
+    std::env::args().any(|a| a == "--adaptive")
+}
+
 /// Parses `--workers N` (the batch-engine worker count); defaults to
 /// the machine's available parallelism when absent or malformed.
 pub fn workers_flag() -> usize {

@@ -34,7 +34,9 @@
 //! construction.
 
 use crate::coverage::{DutBuilder, FaultUniverse};
-use crate::screening::{RetestPolicy, Screen, ScreeningRecipe, Verdict};
+use crate::screening::{
+    CheckpointProbe, RetestPolicy, Screen, ScreeningRecipe, SequentialScreen, Verdict,
+};
 use crate::setup::BistSetup;
 use crate::SocError;
 use nfbist_analog::circuits::NonInvertingAmplifier;
@@ -221,6 +223,8 @@ pub struct LotScreen {
     retest: RetestPolicy,
     repeats: usize,
     session_budget: Option<usize>,
+    streaming_chunk: Option<usize>,
+    adaptive: Option<SequentialScreen>,
     build_dut: DutBuilder,
 }
 
@@ -234,6 +238,8 @@ impl std::fmt::Debug for LotScreen {
             .field("retest", &self.retest)
             .field("repeats", &self.repeats)
             .field("session_budget", &self.session_budget)
+            .field("streaming_chunk", &self.streaming_chunk)
+            .field("adaptive", &self.adaptive)
             .finish()
     }
 }
@@ -276,6 +282,8 @@ impl LotScreen {
             retest: RetestPolicy::single(),
             repeats: 1,
             session_budget: None,
+            streaming_chunk: None,
+            adaptive: None,
             build_dut: Box::new(|| {
                 Ok(Box::new(NonInvertingAmplifier::new(
                     OpampModel::tl081(),
@@ -306,6 +314,50 @@ impl LotScreen {
     pub fn session_budget(mut self, bytes: usize) -> Self {
         self.session_budget = Some(bytes);
         self
+    }
+
+    /// Pins every die session's streaming chunk to `samples` (instead
+    /// of deriving it from the memory budget). Chunking affects peak
+    /// memory and scheduling granularity only — die outcomes are
+    /// bit-identical for every chunk size, which the adaptive
+    /// determinism suite pins down.
+    pub fn streaming_chunk(mut self, samples: usize) -> Self {
+        self.streaming_chunk = Some(samples);
+        self
+    }
+
+    /// Switches every die to *adaptive* (sequential, early-stopping)
+    /// acquisition: instead of one fixed-length measurement plus retest
+    /// escalation, each die grows its record through the checkpoint
+    /// schedule of `seq` and stops the moment the running estimate
+    /// clears or fails the limit
+    /// ([`crate::screening::screen_sequential`]). The setup's record
+    /// length becomes the hard cap, the retest policy plays no role,
+    /// and [`DieOutcome::test_samples`] records what each die actually
+    /// consumed — compare against
+    /// [`LotScreen::fixed_die_samples`] via
+    /// [`LotReport::test_time_reduction_vs`] for the lot-level
+    /// mean-test-time reduction.
+    ///
+    /// The stopping decision stays a pure function of
+    /// `derive_seed(lot_seed, die)`, so adaptive lot reports remain
+    /// bit-identical across workers, budgets and chunk sizes.
+    pub fn adaptive(mut self, seq: SequentialScreen) -> Self {
+        self.adaptive = Some(seq);
+        self
+    }
+
+    /// The sequential screen in force, when the lot is adaptive.
+    pub fn adaptive_screen(&self) -> Option<&SequentialScreen> {
+        self.adaptive.as_ref()
+    }
+
+    /// The per-die test-time bill of the *fixed* schedule without
+    /// escalation, in samples (hot + cold, all repeats): the baseline
+    /// an adaptive lot's [`LotReport::mean_test_samples`] is compared
+    /// against.
+    pub fn fixed_die_samples(&self) -> u64 {
+        self.setup.samples as u64 * 2 * self.repeats as u64
     }
 
     /// Overrides the healthy-DUT builder (called once per measurement
@@ -356,11 +408,17 @@ impl LotScreen {
         if let Some(budget) = self.session_budget {
             return budget.max(1);
         }
-        let worst_samples = self.setup.samples.saturating_mul(
-            self.retest
-                .growth()
-                .saturating_pow((self.retest.max_rounds() as u32).saturating_sub(1)),
-        );
+        // Adaptive acquisition never escalates past the setup's record
+        // length: the cap itself is the worst case.
+        let worst_samples = if self.adaptive.is_some() {
+            self.setup.samples
+        } else {
+            self.setup.samples.saturating_mul(
+                self.retest
+                    .growth()
+                    .saturating_pow((self.retest.max_rounds() as u32).saturating_sub(1)),
+            )
+        };
         worst_samples.saturating_mul(8).saturating_mul(4).max(1)
     }
 
@@ -378,6 +436,32 @@ impl LotScreen {
     /// propagates configuration errors (an *unmeasurable* die is a
     /// gross-reject [`Verdict::Fail`], not an error).
     pub fn screen_die(&self, i: usize) -> Result<DieOutcome, SocError> {
+        self.screen_die_inner(i, None)
+    }
+
+    /// [`LotScreen::screen_die`] with a per-checkpoint
+    /// [`CheckpointProbe`], meaningful only for an *adaptive* lot: the
+    /// probe fires at every sequential checkpoint, which is where a
+    /// fault-injecting runtime kills or stalls a die mid-acquisition
+    /// (see [`crate::screening::screen_sequential_probed`]). On a
+    /// fixed-schedule lot the probe is ignored.
+    ///
+    /// # Errors
+    ///
+    /// As [`LotScreen::screen_die`].
+    pub fn screen_die_probed(
+        &self,
+        i: usize,
+        probe: CheckpointProbe<'_>,
+    ) -> Result<DieOutcome, SocError> {
+        self.screen_die_inner(i, Some(probe))
+    }
+
+    fn screen_die_inner(
+        &self,
+        i: usize,
+        probe: Option<CheckpointProbe<'_>>,
+    ) -> Result<DieOutcome, SocError> {
         let die = self.lot.die(i)?;
 
         let mut recipe = ScreeningRecipe::new()
@@ -409,6 +493,29 @@ impl LotScreen {
         }
         if let Some(budget) = self.session_budget {
             recipe = recipe.memory_budget(budget);
+        }
+        if let Some(chunk) = self.streaming_chunk {
+            recipe = recipe.streaming_chunk(chunk);
+        }
+
+        if let Some(seq) = &self.adaptive {
+            let outcome = match probe {
+                Some(probe) => {
+                    recipe.screen_sequential_indexed_probed(seq, &self.setup, i as u64, probe)?
+                }
+                None => recipe.screen_sequential_indexed(seq, &self.setup, i as u64)?,
+            };
+            return Ok(DieOutcome {
+                die: i,
+                defect,
+                verdict: outcome.verdict,
+                // The checkpoint schedule replaces retest escalation.
+                retests: 0,
+                nf_db: outcome.nf_db,
+                // Hot + cold per repeat; only the samples acquired
+                // before the stop are billed.
+                test_samples: outcome.samples as u64 * 2 * self.repeats as u64,
+            });
         }
 
         let outcome = recipe.screen_indexed(&self.screen, &self.setup, &self.retest, i as u64)?;
@@ -789,6 +896,16 @@ impl LotReport {
         }
     }
 
+    /// Mean-test-time reduction of this lot versus a fixed-schedule
+    /// baseline cost per die (`LotScreen::fixed_die_samples` for the
+    /// escalation-free fixed schedule): a factor of 2.0 means the lot
+    /// spent half the baseline's samples per die. Returns `None` for
+    /// an empty report or a non-positive baseline.
+    pub fn test_time_reduction_vs(&self, baseline_samples_per_die: f64) -> Option<f64> {
+        let mean = self.mean_test_samples();
+        (mean > 0.0 && baseline_samples_per_die > 0.0).then(|| baseline_samples_per_die / mean)
+    }
+
     /// Mean measured NF in dB over the lot's measurable dies
     /// (`f64::INFINITY` when no die was measurable).
     pub fn mean_nf_db(&self) -> f64 {
@@ -1067,6 +1184,67 @@ mod tests {
         // Table smoke.
         let shown = report.to_string();
         assert!(shown.contains("yield") && shown.contains("dies"));
+    }
+
+    #[test]
+    fn adaptive_lot_stops_early_and_reports_the_reduction() {
+        // An adaptive lot at an operating point the sequential rule can
+        // resolve (margin +2.5 dB, 2-sigma guard): healthy dies
+        // early-pass, gross 8x-noise defects stop as soon as two
+        // checkpoints confirm the unmeasurable line, and the report's
+        // mean test time lands well under the fixed schedule's bill.
+        let dut =
+            NonInvertingAmplifier::new(OpampModel::tl081(), Ohms::new(10_000.0), Ohms::new(100.0))
+                .unwrap();
+        let expected = dut
+            .expected_noise_figure_db(Ohms::new(2_000.0), 100.0, 1_000.0)
+            .unwrap();
+        let screen = Screen::new(expected + 2.5, 2.0).unwrap();
+        let mut setup = BistSetup::quick(0); // seed overridden by the lot
+        setup.samples = 1 << 16;
+        setup.nfft = 1_024;
+        let universe = FaultUniverse::new().excess_noise(&[8.0]).unwrap();
+        let seq = SequentialScreen::new(screen, 0.05, 0.05)
+            .unwrap()
+            .min_samples(1 << 12);
+        let screening = LotScreen::new(tiny_lot(101, 0.3), setup, screen, universe)
+            .unwrap()
+            .adaptive(seq)
+            .streaming_chunk(1 << 11);
+        assert!(screening.adaptive_screen().is_some());
+        assert_eq!(screening.fixed_die_samples(), 2 << 16);
+        // No escalation in adaptive mode: the cap is the worst case.
+        assert_eq!(screening.die_cost_bytes(), (1 << 16) * 8 * 4);
+
+        let report = screening.run().unwrap();
+        // Dies are pure in their index, probe or not.
+        let a = screening.screen_die(3).unwrap();
+        assert_eq!(a, screening.screen_die(3).unwrap());
+        assert_eq!(a, screening.screen_die_probed(3, &|_| {}).unwrap());
+        // The checkpoint schedule replaces retest escalation.
+        assert_eq!(report.retest_rate(), 0.0);
+        assert!(report.defective() > 0 && report.passed() > 0);
+        assert_eq!(report.detection_rate(), Some(1.0), "{report}");
+        // Early stopping must actually bite: the lot spends less than
+        // the fixed schedule per die, and says so.
+        let reduction = report
+            .test_time_reduction_vs(screening.fixed_die_samples() as f64)
+            .unwrap();
+        assert!(
+            reduction >= 2.0,
+            "adaptive lot must at least halve the mean test time: {reduction:.2}\n{report}"
+        );
+        // Some die stopped strictly before the cap.
+        assert!(
+            report
+                .outcomes()
+                .any(|o| o.test_samples < screening.fixed_die_samples()),
+            "{report}"
+        );
+
+        // Reduction accessor edge cases.
+        assert_eq!(LotReport::new().test_time_reduction_vs(100.0), None);
+        assert_eq!(report.test_time_reduction_vs(0.0), None);
     }
 
     #[test]

@@ -338,6 +338,547 @@ where
     }
 }
 
+/// An observer a fault-injecting runtime hands to the sequential
+/// screening loop: called once per checkpoint with the checkpoint
+/// index, **after** that checkpoint's samples were acquired but before
+/// the stop rule is consulted. A chaos harness panics or stalls inside
+/// it to simulate a die failing mid-acquisition; the unwinding drops
+/// the partially-filled accumulators on the floor, which is what keeps
+/// a quarantined die from ever contributing partial chunks to a lot's
+/// float folds.
+pub type CheckpointProbe<'a> = &'a (dyn Fn(usize) + Send + Sync);
+
+/// The stop rule's three-way answer at a checkpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SequentialDecision {
+    /// The whole confidence interval clears the guard-banded limit
+    /// from below: stop now, the DUT passes.
+    Pass,
+    /// The whole confidence interval clears the limit from above:
+    /// stop now, the DUT fails.
+    Fail,
+    /// The interval straddles the guard band (or the estimate is not
+    /// yet trustworthy): keep acquiring.
+    Continue,
+}
+
+/// An SPRT-style sequential screen: drives the streaming pipeline
+/// checkpoint by checkpoint and stops the moment the running NF
+/// estimate clears the guard-banded limit with the configured
+/// confidence — clearly-good and clearly-bad dies stop after the first
+/// checkpoint instead of paying the full fixed-schedule record.
+///
+/// At each checkpoint the running estimate's model standard deviation
+/// σ(n) (`nfbist_core::uncertainty`, the Welch variance-vs-record-length
+/// trade) forms a one-sided test in each direction:
+///
+/// * **Pass** iff `nf + z_β·σ(n) ≤ limit − guard` — the probability a
+///   truly-bad DUT looks this good is at most β (the escape budget);
+/// * **Fail** iff `nf − z_α·σ(n) ≥ limit` — the probability a DUT that
+///   actually meets the limit looks this bad is at most α (the
+///   overkill budget);
+/// * **Continue** otherwise.
+///
+/// The rule is deliberately asymmetric. `guard` is the underlying
+/// [`Screen`]'s guard band evaluated at the **cap's** record length, so
+/// an early *Pass* can never clear a DUT the full fixed-schedule
+/// judgement would flag — escapes are the expensive error, and the
+/// guard exists to bound them. An early *Fail* is judged against the
+/// bare limit: a DUT confidently above the limit is one the fixed
+/// schedule would at best send to retest purgatory, and delaying its
+/// reject by the guard band only burns test time (the α budget alone
+/// bounds the overkill risk). At the hard cap (the setup's configured
+/// record length) the screen falls back to the fixed-schedule verdict
+/// [`Screen::judge`] — a DUT the sequential rule never resolved gets
+/// exactly the decision a single-round [`screen_with_retest`] would
+/// give it, including the unmeasurable-DUT gross-reject convention.
+///
+/// # Examples
+///
+/// ```
+/// use nfbist_soc::screening::{Screen, SequentialDecision, SequentialScreen};
+///
+/// # fn main() -> Result<(), nfbist_soc::SocError> {
+/// let seq = SequentialScreen::new(Screen::new(10.0, 3.0)?, 0.05, 0.05)?;
+/// // 2 dB under the limit with a tight interval: early Pass.
+/// assert_eq!(seq.decide(8.0, 0.1, 0.5), SequentialDecision::Pass);
+/// // Straddling the guard band: keep acquiring.
+/// assert_eq!(seq.decide(9.8, 0.5, 0.5), SequentialDecision::Continue);
+/// // Far above with confidence: early Fail.
+/// assert_eq!(seq.decide(13.0, 0.3, 0.5), SequentialDecision::Fail);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SequentialScreen {
+    screen: Screen,
+    alpha: f64,
+    beta: f64,
+    z_alpha: f64,
+    z_beta: f64,
+    min_samples: usize,
+    growth: usize,
+}
+
+impl SequentialScreen {
+    /// Wraps a guard-banded [`Screen`] into a sequential stop rule with
+    /// error budgets `alpha` (failing a good DUT early) and `beta`
+    /// (passing a bad DUT early). The one-sided normal quantiles
+    /// z₁₋α / z₁₋β are precomputed here.
+    ///
+    /// Defaults: first checkpoint at 4096 samples, record doubling per
+    /// checkpoint ([`SequentialScreen::min_samples`],
+    /// [`SequentialScreen::growth`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SocError::InvalidParameter`] unless both budgets lie
+    /// in `(0, 0.5)`.
+    pub fn new(screen: Screen, alpha: f64, beta: f64) -> Result<Self, SocError> {
+        if !(alpha > 0.0 && alpha < 0.5) {
+            return Err(SocError::InvalidParameter {
+                name: "alpha",
+                reason: "the overkill error budget must lie in (0, 0.5)",
+            });
+        }
+        if !(beta > 0.0 && beta < 0.5) {
+            return Err(SocError::InvalidParameter {
+                name: "beta",
+                reason: "the escape error budget must lie in (0, 0.5)",
+            });
+        }
+        let z_alpha = uncertainty::normal_quantile(1.0 - alpha)?;
+        let z_beta = uncertainty::normal_quantile(1.0 - beta)?;
+        Ok(SequentialScreen {
+            screen,
+            alpha,
+            beta,
+            z_alpha,
+            z_beta,
+            min_samples: 1 << 12,
+            growth: 2,
+        })
+    }
+
+    /// Sets the record length of the first checkpoint (clamped to ≥ 1;
+    /// additionally raised to the setup's FFT length at screening time,
+    /// below which no estimator can form a ratio).
+    pub fn min_samples(mut self, samples: usize) -> Self {
+        self.min_samples = samples.max(1);
+        self
+    }
+
+    /// Sets the record-length multiplier between checkpoints (clamped
+    /// to ≥ 2 — geometric growth keeps the checkpoint count, and with
+    /// it the sequential test's multiplicity, logarithmic).
+    pub fn growth(mut self, growth: usize) -> Self {
+        self.growth = growth.max(2);
+        self
+    }
+
+    /// The underlying guard-banded screen.
+    pub fn screen(&self) -> &Screen {
+        &self.screen
+    }
+
+    /// The overkill error budget α.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The escape error budget β.
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// The first checkpoint's record length.
+    pub fn min_sample_count(&self) -> usize {
+        self.min_samples
+    }
+
+    /// The per-checkpoint record-length multiplier.
+    pub fn growth_factor(&self) -> usize {
+        self.growth
+    }
+
+    /// The pure stop rule: given the running NF estimate `nf_db`, its
+    /// model standard deviation `sigma_db` at the *current* record
+    /// length, and the guard band `guard_db` at the *cap's* record
+    /// length (applied on the Pass side only — see the type docs for
+    /// why the rule is asymmetric), answers Pass / Fail / Continue.
+    ///
+    /// Degenerate inputs — a non-finite NF (the `f64::INFINITY`
+    /// unmeasurable sentinel included), a zero, negative or non-finite
+    /// σ (a zero-variance accumulator cannot be trusted, only
+    /// distrusted), or a non-finite/negative guard — always answer
+    /// [`SequentialDecision::Continue`]: the rule never converts a
+    /// broken estimate into a spurious Pass (or Fail). Such a DUT runs
+    /// to the cap, where the fixed-schedule fallback applies its own
+    /// conventions.
+    pub fn decide(&self, nf_db: f64, sigma_db: f64, guard_db: f64) -> SequentialDecision {
+        if !nf_db.is_finite()
+            || !sigma_db.is_finite()
+            || !(sigma_db > 0.0)
+            || !guard_db.is_finite()
+            || guard_db < 0.0
+        {
+            return SequentialDecision::Continue;
+        }
+        let limit = self.screen.limit_db();
+        if nf_db + self.z_beta * sigma_db <= limit - guard_db {
+            SequentialDecision::Pass
+        } else if nf_db - self.z_alpha * sigma_db >= limit {
+            SequentialDecision::Fail
+        } else {
+            SequentialDecision::Continue
+        }
+    }
+}
+
+/// The outcome of one sequential (early-stopping) screening.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SequentialOutcome {
+    /// The final verdict. [`Verdict::Retest`] is only possible at the
+    /// cap, where the fixed-schedule fallback may leave the DUT inside
+    /// the guard band (exactly like a single-round
+    /// [`screen_with_retest`]).
+    pub verdict: Verdict,
+    /// Measured NF in dB from the flushed estimate at the stopping
+    /// point (`f64::INFINITY` for an unmeasurable DUT).
+    pub nf_db: f64,
+    /// Record length acquired per source state — the stopping point.
+    pub samples: usize,
+    /// Checkpoints evaluated (≥ 1).
+    pub checkpoints: usize,
+    /// `true` when the stop rule fired before the cap.
+    pub stopped_early: bool,
+}
+
+impl SequentialOutcome {
+    /// Samples acquired per source state — the test-time currency,
+    /// directly comparable to [`ScreeningOutcome::total_samples`].
+    pub fn total_samples(&self) -> u64 {
+        self.samples as u64
+    }
+}
+
+/// Runs a sequential (early-stopping) screening end to end: open the
+/// streaming pipeline, advance every repeat to geometric checkpoints,
+/// consult the stop rule on the interim estimate, and on Pass / Fail /
+/// cap flush the pipeline tails and report.
+///
+/// The setup's configured record length is the **hard cap**; the first
+/// checkpoint sits at [`SequentialScreen::min_samples`] (raised to the
+/// FFT length). The stopping decision — like everything downstream of
+/// it — is a pure function of `(setup seed, recipe)`: independent of
+/// worker scheduling, memory budgets and streaming chunk sizes, which
+/// is what lets a fleet fan adaptive screens out bit-identically.
+///
+/// The reported `nf_db` comes from the **flushed** estimate at the
+/// stopping point and is bit-identical to a batch measurement of that
+/// record length; at the cap the whole outcome matches what a
+/// single-round fixed schedule would report for the same setup.
+///
+/// An unmeasurable DUT (estimated Y ≤ 1 at the stopping point) is a
+/// gross reject — [`Verdict::Fail`] with `nf_db = f64::INFINITY` —
+/// mirroring [`screen_with_retest`]. Grossly faulted DUTs also stop
+/// *early*: two consecutive checkpoints whose interim estimate is
+/// unmeasurable confirm the fault on independent data and reject
+/// immediately, without paying the rest of the record.
+///
+/// A Pass needs **confirmation across checkpoints**: the rule only
+/// releases a DUT early when the interim estimate agrees with the
+/// previous checkpoint's measurable estimate to within the escape-risk
+/// quantile of that estimate's uncertainty. The very first checkpoint
+/// — and any checkpoint right after an unmeasurable one — can
+/// therefore never Pass by itself. This blocks the one failure mode
+/// the model-σ stop rule cannot see: a grossly faulted DUT whose
+/// reference-line detector latches onto a noise peak at shallow
+/// averaging, aliasing a plausible low NF that would otherwise convert
+/// into a spurious early Pass before the false line collapses.
+///
+/// # Examples
+///
+/// ```
+/// use nfbist_soc::screening::{screen_sequential, Screen, ScreeningRecipe, SequentialScreen, Verdict};
+/// use nfbist_soc::setup::BistSetup;
+///
+/// # fn main() -> Result<(), nfbist_soc::SocError> {
+/// let mut setup = BistSetup::quick(13);
+/// setup.samples = 1 << 14;
+/// setup.nfft = 1_024;
+/// // The healthy TL081 prototype (≈12.8 dB) against an 18 dB limit: a
+/// // clear pass, confirmed after two checkpoints instead of paying the
+/// // full record.
+/// let seq = SequentialScreen::new(Screen::new(18.0, 3.0)?, 0.05, 0.05)?
+///     .min_samples(1 << 12);
+/// let outcome = screen_sequential(&seq, &setup, |s| ScreeningRecipe::new().session(s))?;
+/// assert_eq!(outcome.verdict, Verdict::Pass);
+/// assert!(outcome.stopped_early);
+/// assert!(outcome.samples < 1 << 14);
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+///
+/// Propagates session construction errors (including an estimator
+/// without streaming support) and non-degenerate measurement errors.
+pub fn screen_sequential<F>(
+    seq: &SequentialScreen,
+    setup: &BistSetup,
+    build: F,
+) -> Result<SequentialOutcome, SocError>
+where
+    F: Fn(BistSetup) -> Result<MeasurementSession, SocError>,
+{
+    screen_sequential_impl(seq, setup, build, None)
+}
+
+/// [`screen_sequential`] with a per-checkpoint [`CheckpointProbe`] —
+/// the hook a fault-injecting runtime uses to kill or stall a die
+/// *mid-acquisition* (see the probe type's docs).
+///
+/// # Errors
+///
+/// As [`screen_sequential`].
+pub fn screen_sequential_probed<F>(
+    seq: &SequentialScreen,
+    setup: &BistSetup,
+    build: F,
+    probe: CheckpointProbe<'_>,
+) -> Result<SequentialOutcome, SocError>
+where
+    F: Fn(BistSetup) -> Result<MeasurementSession, SocError>,
+{
+    screen_sequential_impl(seq, setup, build, Some(probe))
+}
+
+/// Minimum number of Welch segments a checkpoint must average before an
+/// unmeasurable interim estimate counts toward the gross-reject streak.
+/// Below this depth, reference-line detection is noisy enough that even
+/// healthy DUTs occasionally fail to resolve the line; from four
+/// averaged segments on, a missing line on two consecutive checkpoints
+/// is reliable evidence of a gross fault rather than estimator
+/// variance.
+const GROSS_CONFIRM_SEGMENTS: usize = 4;
+
+fn screen_sequential_impl<F>(
+    seq: &SequentialScreen,
+    setup: &BistSetup,
+    build: F,
+    probe: Option<CheckpointProbe<'_>>,
+) -> Result<SequentialOutcome, SocError>
+where
+    F: Fn(BistSetup) -> Result<MeasurementSession, SocError>,
+{
+    let session = build(setup.clone())?;
+    let cap = setup.samples;
+    let repeats = session.repeat_count();
+    // Guard band at the cap's averaging depth: early stops are judged
+    // against the *final* guard, never a wider interim one.
+    let n_eff_cap = setup.effective_samples().saturating_mul(repeats);
+    let gain = session.frontend_gain()?;
+    let mut chains = Vec::with_capacity(repeats);
+    for r in 0..repeats {
+        chains.push(session.begin_sequential(r, gain)?);
+    }
+    // No estimator forms a ratio below one FFT segment.
+    let mut n_c = seq.min_samples.max(setup.nfft).min(cap);
+    let mut checkpoints = 0usize;
+    let mut decision = SequentialDecision::Continue;
+    let mut unmeasurable_streak = 0usize;
+    let mut prior_estimate: Option<(f64, f64)> = None;
+    loop {
+        for chain in chains.iter_mut() {
+            chain.advance_to(n_c)?;
+        }
+        if let Some(probe) = probe {
+            probe(checkpoints);
+        }
+        checkpoints += 1;
+        if n_c >= cap {
+            break;
+        }
+        let mut call = checkpoint_decision(seq, &chains, setup, n_c, n_eff_cap);
+        // Two *consecutive* checkpoints whose interim estimate is
+        // unmeasurable (Y ≤ 1, or the reference line buried below the
+        // noise floor) is a gross fault confirmed on independent
+        // additional data: reject now instead of riding the degenerate
+        // estimate all the way to the cap. Two protections keep this
+        // from overkilling measurable DUTs: a single unmeasurable
+        // checkpoint never stops (a short-record fluke must not fail a
+        // die the fixed schedule would have measured), and checkpoints
+        // below [`GROSS_CONFIRM_SEGMENTS`] Welch segments do not count
+        // at all — reference-line detection is only trustworthy once a
+        // few segments have been averaged.
+        if call.unmeasurable {
+            if n_c >= setup.nfft.saturating_mul(GROSS_CONFIRM_SEGMENTS) {
+                unmeasurable_streak += 1;
+                if unmeasurable_streak >= 2 {
+                    return Ok(SequentialOutcome {
+                        verdict: Verdict::Fail,
+                        nf_db: f64::INFINITY,
+                        samples: n_c,
+                        checkpoints,
+                        stopped_early: true,
+                    });
+                }
+            }
+        } else {
+            unmeasurable_streak = 0;
+        }
+        // A Pass must be *confirmed*: the interim estimate has to agree
+        // with the previous checkpoint's measurable estimate within the
+        // escape-risk quantile of that estimate's uncertainty. The model
+        // σ is a function of the estimate itself, not of the data, so it
+        // cannot see a false reference-line detection — a grossly
+        // faulted DUT can alias a plausible low NF at one shallow
+        // checkpoint before the line collapses at deeper averaging. A
+        // bogus line does not survive a doubling of the record
+        // consistently, while a true line's nested estimates move well
+        // inside σ. The first checkpoint, or one right after an
+        // unmeasurable checkpoint, therefore never Passes outright; Fail
+        // needs no confirmation (the α risk is already bounded and the
+        // fixed schedule gross-rejects such DUTs anyway).
+        if call.decision == SequentialDecision::Pass {
+            let confirmed = match (prior_estimate, call.estimate) {
+                (Some((prev_nf, prev_sigma)), Some((nf, _))) => {
+                    (nf - prev_nf).abs() <= seq.z_beta * prev_sigma
+                }
+                _ => false,
+            };
+            if !confirmed {
+                call.decision = SequentialDecision::Continue;
+            }
+        }
+        prior_estimate = call.estimate;
+        decision = call.decision;
+        if decision != SequentialDecision::Continue {
+            break;
+        }
+        n_c = n_c.saturating_mul(seq.growth).min(cap);
+    }
+    let stopped_early = n_c < cap;
+    let mut y_sum = 0.0;
+    for chain in chains {
+        match chain.finish() {
+            Ok(r) => y_sum += r.ratio.ratio,
+            // A repeat whose flushed estimate cannot even be formed
+            // (e.g. the reference line swamped by a gross fault) is
+            // the same gross reject the fixed schedule reports.
+            Err(SocError::Core(e)) if e.indicates_unmeasurable_estimate() => {
+                return Ok(SequentialOutcome {
+                    verdict: Verdict::Fail,
+                    nf_db: f64::INFINITY,
+                    samples: n_c,
+                    checkpoints,
+                    stopped_early,
+                });
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    let mean_y = y_sum / repeats as f64;
+    match NfMeasurement::from_y(mean_y, setup.hot_kelvin, setup.cold_kelvin) {
+        Ok(nf) => {
+            let verdict = match decision {
+                SequentialDecision::Pass => Verdict::Pass,
+                SequentialDecision::Fail => Verdict::Fail,
+                // Cap reached with the rule still undecided: the
+                // fixed-schedule verdict at full depth.
+                SequentialDecision::Continue => seq.screen.judge(&nf, n_eff_cap)?,
+            };
+            Ok(SequentialOutcome {
+                verdict,
+                nf_db: nf.figure.db(),
+                samples: n_c,
+                checkpoints,
+                stopped_early,
+            })
+        }
+        // Unmeasurable ⇒ gross reject, mirroring screen_with_retest.
+        Err(e) if e.indicates_unmeasurable_estimate() => Ok(SequentialOutcome {
+            verdict: Verdict::Fail,
+            nf_db: f64::INFINITY,
+            samples: n_c,
+            checkpoints,
+            stopped_early,
+        }),
+        Err(e) => Err(e.into()),
+    }
+}
+
+/// What one checkpoint evaluation tells the sequential loop: the stop
+/// rule's answer, plus whether the interim estimate was *unmeasurable*
+/// (as opposed to merely undecided) — the loop counts consecutive
+/// unmeasurable checkpoints towards an early gross reject.
+struct CheckpointCall {
+    decision: SequentialDecision,
+    unmeasurable: bool,
+    /// `(nf_db, sigma_db)` when a measurable interim estimate and its
+    /// uncertainty were both formed — the evidence a later Pass must be
+    /// confirmed against.
+    estimate: Option<(f64, f64)>,
+}
+
+impl CheckpointCall {
+    fn undecided(unmeasurable: bool) -> Self {
+        CheckpointCall {
+            decision: SequentialDecision::Continue,
+            unmeasurable,
+            estimate: None,
+        }
+    }
+}
+
+/// Evaluates the stop rule on the interim (unflushed) estimates at
+/// record length `n_c`. Every failure mode — a snapshot the estimator
+/// cannot form yet, a degenerate mean Y, an uncertainty-model error —
+/// answers Continue: acquiring more is always safe, stopping is not.
+/// Failures that specifically indicate an unmeasurable DUT (estimated
+/// Y ≤ 1, reference line lost in the noise) are flagged as such so the
+/// loop can confirm a gross fault across checkpoints.
+fn checkpoint_decision(
+    seq: &SequentialScreen,
+    chains: &[crate::session::SequentialRepeat<'_>],
+    setup: &BistSetup,
+    n_c: usize,
+    n_eff_cap: usize,
+) -> CheckpointCall {
+    let mut y_sum = 0.0;
+    for chain in chains {
+        match chain.snapshot() {
+            Ok(r) => y_sum += r.ratio,
+            Err(SocError::Core(e)) if e.indicates_unmeasurable_estimate() => {
+                return CheckpointCall::undecided(true);
+            }
+            Err(_) => return CheckpointCall::undecided(false),
+        }
+    }
+    let mean_y = y_sum / chains.len() as f64;
+    let m = match NfMeasurement::from_y(mean_y, setup.hot_kelvin, setup.cold_kelvin) {
+        Ok(m) => m,
+        Err(e) => return CheckpointCall::undecided(e.indicates_unmeasurable_estimate()),
+    };
+    let n_eff_now = setup
+        .effective_samples_for(n_c)
+        .saturating_mul(chains.len());
+    let sigma = match uncertainty::nf_std_from_record_length(m.factor, 2_900.0, 290.0, n_eff_now) {
+        Ok(s) => s,
+        Err(_) => return CheckpointCall::undecided(false),
+    };
+    let guard = match seq.screen.guard_db(&m, n_eff_cap) {
+        Ok(g) => g,
+        Err(_) => return CheckpointCall::undecided(false),
+    };
+    CheckpointCall {
+        decision: seq.decide(m.figure.db(), sigma, guard),
+        unmeasurable: false,
+        estimate: Some((m.figure.db(), sigma)),
+    }
+}
+
 /// A reusable per-DUT screening configuration: which healthy design to
 /// build, which faults to compose onto it, how many repeats to
 /// average, and an optional per-session memory budget.
@@ -381,6 +922,7 @@ pub struct ScreeningRecipe<'a> {
     bit: Vec<BitFault>,
     repeats: usize,
     memory_budget: Option<usize>,
+    streaming_chunk: Option<usize>,
 }
 
 impl std::fmt::Debug for ScreeningRecipe<'_> {
@@ -391,6 +933,7 @@ impl std::fmt::Debug for ScreeningRecipe<'_> {
             .field("bit", &self.bit)
             .field("repeats", &self.repeats)
             .field("memory_budget", &self.memory_budget)
+            .field("streaming_chunk", &self.streaming_chunk)
             .finish()
     }
 }
@@ -411,6 +954,7 @@ impl<'a> ScreeningRecipe<'a> {
             bit: Vec::new(),
             repeats: 1,
             memory_budget: None,
+            streaming_chunk: None,
         }
     }
 
@@ -493,6 +1037,15 @@ impl<'a> ScreeningRecipe<'a> {
         self
     }
 
+    /// Overrides the streaming pipeline's chunk length (in samples) —
+    /// a determinism-test hook: estimates and stopping decisions are
+    /// invariant under it, so varying it must never change an outcome
+    /// bit.
+    pub fn streaming_chunk(mut self, samples: usize) -> Self {
+        self.streaming_chunk = Some(samples);
+        self
+    }
+
     /// Builds one measurement round's session from the recipe: healthy
     /// DUT → [`FaultyDut`] → [`FaultyDigitizer`] over the ideal
     /// comparator → repeats → optional budget.
@@ -518,6 +1071,9 @@ impl<'a> ScreeningRecipe<'a> {
             .repeats(self.repeats);
         if let Some(budget) = self.memory_budget {
             session = session.memory_budget(budget);
+        }
+        if let Some(chunk) = self.streaming_chunk {
+            session = session.streaming_chunk_len(chunk);
         }
         Ok(session)
     }
@@ -560,6 +1116,61 @@ impl<'a> ScreeningRecipe<'a> {
         let mut indexed = setup.clone();
         indexed.seed = derive_seed(setup.seed, index);
         self.screen(screen, &indexed, policy)
+    }
+
+    /// Runs the sequential (early-stopping) flow on this recipe's DUT:
+    /// [`screen_sequential`] with [`ScreeningRecipe::session`] as the
+    /// builder. The setup's record length is the hard cap; the retest
+    /// policy plays no role (escalation is replaced by the checkpoint
+    /// schedule).
+    ///
+    /// # Errors
+    ///
+    /// As [`screen_sequential`].
+    pub fn screen_sequential(
+        &self,
+        seq: &SequentialScreen,
+        setup: &BistSetup,
+    ) -> Result<SequentialOutcome, SocError> {
+        screen_sequential(seq, setup, |s| self.session(s))
+    }
+
+    /// [`ScreeningRecipe::screen_sequential`] with the per-DUT seed
+    /// derived from `index` — the exact derivation
+    /// [`ScreeningRecipe::screen_indexed`] uses, so adaptive and fixed
+    /// screens of the same die draw the same noise.
+    ///
+    /// # Errors
+    ///
+    /// As [`screen_sequential`].
+    pub fn screen_sequential_indexed(
+        &self,
+        seq: &SequentialScreen,
+        setup: &BistSetup,
+        index: u64,
+    ) -> Result<SequentialOutcome, SocError> {
+        let mut indexed = setup.clone();
+        indexed.seed = derive_seed(setup.seed, index);
+        self.screen_sequential(seq, &indexed)
+    }
+
+    /// [`ScreeningRecipe::screen_sequential_indexed`] with a
+    /// per-checkpoint [`CheckpointProbe`] (see
+    /// [`screen_sequential_probed`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`screen_sequential`].
+    pub fn screen_sequential_indexed_probed(
+        &self,
+        seq: &SequentialScreen,
+        setup: &BistSetup,
+        index: u64,
+        probe: CheckpointProbe<'_>,
+    ) -> Result<SequentialOutcome, SocError> {
+        let mut indexed = setup.clone();
+        indexed.seed = derive_seed(setup.seed, index);
+        screen_sequential_probed(seq, &indexed, |s| self.session(s), probe)
     }
 }
 
@@ -793,6 +1404,246 @@ mod tests {
             q.rounds[0].nf_db,
             l.rounds[0].nf_db
         );
+    }
+
+    #[test]
+    fn sequential_screen_validation_and_accessors() {
+        let screen = Screen::new(10.0, 3.0).unwrap();
+        assert!(SequentialScreen::new(screen, 0.0, 0.05).is_err());
+        assert!(SequentialScreen::new(screen, 0.5, 0.05).is_err());
+        assert!(SequentialScreen::new(screen, 0.05, -0.1).is_err());
+        assert!(SequentialScreen::new(screen, 0.05, 0.6).is_err());
+        let seq = SequentialScreen::new(screen, 0.05, 0.01)
+            .unwrap()
+            .min_samples(0)
+            .growth(1);
+        assert_eq!(seq.min_sample_count(), 1, "min samples clamps to 1");
+        assert_eq!(seq.growth_factor(), 2, "growth clamps to 2");
+        assert_eq!(seq.alpha(), 0.05);
+        assert_eq!(seq.beta(), 0.01);
+        assert_eq!(seq.screen().limit_db(), 10.0);
+    }
+
+    #[test]
+    fn degenerate_stop_rule_inputs_always_continue() {
+        // Satellite invariant: broken estimates must never convert
+        // into a spurious early Pass (or Fail) — they Continue, and
+        // the cap fallback applies its own conventions.
+        let seq = SequentialScreen::new(Screen::new(10.0, 3.0).unwrap(), 0.05, 0.05).unwrap();
+        // The unmeasurable-DUT sentinel.
+        assert_eq!(
+            seq.decide(f64::INFINITY, 0.1, 0.2),
+            SequentialDecision::Continue
+        );
+        assert_eq!(
+            seq.decide(f64::NEG_INFINITY, 0.1, 0.2),
+            SequentialDecision::Continue
+        );
+        assert_eq!(seq.decide(f64::NAN, 0.1, 0.2), SequentialDecision::Continue);
+        // A zero-variance accumulator cannot be trusted with a stop.
+        assert_eq!(seq.decide(1.0, 0.0, 0.2), SequentialDecision::Continue);
+        assert_eq!(seq.decide(1.0, -0.5, 0.2), SequentialDecision::Continue);
+        assert_eq!(seq.decide(1.0, f64::NAN, 0.2), SequentialDecision::Continue);
+        assert_eq!(
+            seq.decide(1.0, f64::INFINITY, 0.2),
+            SequentialDecision::Continue
+        );
+        // Broken guard bands likewise.
+        assert_eq!(seq.decide(1.0, 0.1, f64::NAN), SequentialDecision::Continue);
+        assert_eq!(seq.decide(1.0, 0.1, -0.1), SequentialDecision::Continue);
+    }
+
+    #[test]
+    fn intervals_straddling_the_guard_band_continue() {
+        let seq = SequentialScreen::new(Screen::new(10.0, 3.0).unwrap(), 0.05, 0.05).unwrap();
+        let guard = 0.5;
+        // Just under the pass threshold but with an interval reaching
+        // into the band: Continue, never Pass.
+        assert_eq!(seq.decide(9.4, 0.5, guard), SequentialDecision::Continue);
+        // At or below the limit, no σ can stop the test: Pass is
+        // blocked by the guard band, Fail by the limit itself.
+        for sigma in [1e-6, 0.01, 0.1, 1.0, 10.0] {
+            for nf in [9.51, 9.9, 10.0] {
+                assert_eq!(
+                    seq.decide(nf, sigma, guard),
+                    SequentialDecision::Continue,
+                    "nf {nf}, sigma {sigma}"
+                );
+            }
+        }
+        // Above the limit with the interval still reaching below it:
+        // Continue, the evidence is not confident yet.
+        for (nf, sigma) in [(10.1, 0.1), (10.49, 0.5), (12.0, 2.0)] {
+            assert_eq!(
+                seq.decide(nf, sigma, guard),
+                SequentialDecision::Continue,
+                "nf {nf}, sigma {sigma}"
+            );
+        }
+        // The rule is asymmetric: a confident estimate above the limit
+        // fails even inside the guard band (the fixed schedule would
+        // only ever send such a DUT to retest purgatory) …
+        assert_eq!(seq.decide(10.49, 0.01, guard), SequentialDecision::Fail);
+        // … but any NF at or above limit − guard can never Pass, for
+        // any positive σ — the "no spurious Pass" half of the
+        // invariant is absolute.
+        for sigma in [1e-9, 0.3, 5.0] {
+            for nf in [9.5, 10.0, 12.0, 50.0] {
+                assert_ne!(
+                    seq.decide(nf, sigma, guard),
+                    SequentialDecision::Pass,
+                    "nf {nf}, sigma {sigma}"
+                );
+            }
+        }
+        // Tight intervals clear of the band do stop.
+        assert_eq!(seq.decide(8.0, 0.05, guard), SequentialDecision::Pass);
+        assert_eq!(seq.decide(12.0, 0.05, guard), SequentialDecision::Fail);
+    }
+
+    #[test]
+    fn clear_duts_stop_early_and_match_a_short_fixed_run() {
+        // The healthy TL081 prototype against a generous limit stops
+        // as soon as a Pass is confirmed by two consecutive measurable
+        // checkpoints — the second one, by construction — and its
+        // reported NF is bit-identical to the fixed (batch)
+        // measurement of that record length.
+        let mut setup = BistSetup::quick(13);
+        setup.samples = 1 << 14;
+        setup.nfft = 1_024;
+        let seq = SequentialScreen::new(Screen::new(18.0, 3.0).unwrap(), 0.05, 0.05)
+            .unwrap()
+            .min_samples(1 << 12);
+        let recipe = ScreeningRecipe::new();
+        let outcome = recipe.screen_sequential(&seq, &setup).unwrap();
+        assert_eq!(outcome.verdict, Verdict::Pass);
+        assert!(outcome.stopped_early);
+        assert_eq!(outcome.samples, 1 << 13);
+        assert_eq!(outcome.checkpoints, 2);
+        assert_eq!(outcome.total_samples(), 1 << 13);
+        let mut short = setup.clone();
+        short.samples = outcome.samples;
+        let batch = recipe.session(short).unwrap().run().unwrap();
+        assert_eq!(outcome.nf_db.to_bits(), batch.nf.figure.db().to_bits());
+
+        // A gross fault (excess noise burying the reference line, so
+        // the interim estimate is unmeasurable) is confirmed across
+        // two consecutive checkpoints and rejected early.
+        let noisy = ScreeningRecipe::new()
+            .analog_fault(AnalogFault::ExcessNoise { factor: 8.0 })
+            .unwrap();
+        let bad = noisy.screen_sequential(&seq, &setup).unwrap();
+        assert_eq!(bad.verdict, Verdict::Fail);
+        assert_eq!(bad.nf_db, f64::INFINITY);
+        assert!(bad.stopped_early);
+        assert_eq!(bad.samples, 1 << 13, "second checkpoint of 2·min");
+        assert_eq!(bad.checkpoints, 2);
+    }
+
+    #[test]
+    fn on_limit_dut_runs_to_the_cap_and_takes_the_fixed_verdict() {
+        let mut setup = BistSetup::quick(31);
+        setup.samples = 1 << 13;
+        setup.nfft = 1_024;
+        let probe = MeasurementSession::new(setup.clone())
+            .unwrap()
+            .run()
+            .unwrap();
+        // Limit exactly on the measured NF: the interval always
+        // straddles, so the screen must run to the cap and fall back
+        // to the fixed-schedule verdict for the full record.
+        let screen = Screen::new(probe.nf.figure.db(), 3.0).unwrap();
+        let seq = SequentialScreen::new(screen, 0.05, 0.05)
+            .unwrap()
+            .min_samples(1 << 11);
+        let outcome = screen_sequential(&seq, &setup, MeasurementSession::new).unwrap();
+        assert!(!outcome.stopped_early);
+        assert_eq!(outcome.samples, 1 << 13);
+        // min 2048 (nfft-clamped) → 4096 → 8192: three checkpoints.
+        assert_eq!(outcome.checkpoints, 3);
+        let fixed = screen_with_retest(
+            &screen,
+            &setup,
+            &RetestPolicy::single(),
+            MeasurementSession::new,
+        )
+        .unwrap();
+        assert_eq!(outcome.verdict, fixed.verdict);
+        assert_eq!(outcome.nf_db.to_bits(), fixed.rounds[0].nf_db.to_bits());
+    }
+
+    #[test]
+    fn sequential_outcome_is_invariant_under_budget_and_chunking() {
+        let mut setup = BistSetup::quick(43);
+        setup.samples = 1 << 14;
+        setup.nfft = 1_024;
+        let seq = SequentialScreen::new(Screen::new(10.0, 3.0).unwrap(), 0.05, 0.05)
+            .unwrap()
+            .min_samples(1 << 12);
+        let recipe = ScreeningRecipe::new().repeats(2);
+        let reference = recipe.screen_sequential_indexed(&seq, &setup, 3).unwrap();
+        for (budget, chunk) in [(1usize, 1_000usize), (16 * 1024, 1_025), (1, 7_777)] {
+            let varied = ScreeningRecipe::new()
+                .repeats(2)
+                .memory_budget(budget)
+                .streaming_chunk(chunk);
+            let outcome = varied.screen_sequential_indexed(&seq, &setup, 3).unwrap();
+            assert_eq!(outcome.verdict, reference.verdict);
+            assert_eq!(outcome.samples, reference.samples);
+            assert_eq!(outcome.checkpoints, reference.checkpoints);
+            assert_eq!(
+                outcome.nf_db.to_bits(),
+                reference.nf_db.to_bits(),
+                "budget {budget}, chunk {chunk}"
+            );
+        }
+    }
+
+    #[test]
+    fn unmeasurable_dut_is_a_gross_sequential_reject() {
+        let mut setup = BistSetup::quick(5);
+        setup.samples = 1 << 13;
+        setup.nfft = 1_024;
+        let seq = SequentialScreen::new(Screen::new(10.0, 3.0).unwrap(), 0.05, 0.05).unwrap();
+        let recipe = ScreeningRecipe::new()
+            .analog_fault(AnalogFault::InterferenceTone {
+                frequency: 500.0,
+                amplitude_fraction: 50.0,
+            })
+            .unwrap();
+        let outcome = recipe.screen_sequential(&seq, &setup).unwrap();
+        assert_eq!(outcome.verdict, Verdict::Fail);
+        assert_eq!(outcome.nf_db, f64::INFINITY);
+        // With only one checkpoint below the cap the two-checkpoint
+        // gross-reject confirmation cannot fire: the degenerate
+        // estimate rides Continue to the cap, where the flushed
+        // unmeasurable estimate takes the fixed-schedule convention.
+        assert!(!outcome.stopped_early);
+    }
+
+    #[test]
+    fn checkpoint_probe_fires_once_per_checkpoint() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        let mut setup = BistSetup::quick(31);
+        setup.samples = 1 << 13;
+        setup.nfft = 1_024;
+        let probe_run = MeasurementSession::new(setup.clone())
+            .unwrap()
+            .run()
+            .unwrap();
+        let screen = Screen::new(probe_run.nf.figure.db(), 3.0).unwrap();
+        let seq = SequentialScreen::new(screen, 0.05, 0.05)
+            .unwrap()
+            .min_samples(1 << 11);
+        let seen = AtomicUsize::new(0);
+        let probe: CheckpointProbe<'_> = &|checkpoint| {
+            assert_eq!(checkpoint, seen.fetch_add(1, Ordering::SeqCst));
+        };
+        let outcome = ScreeningRecipe::new()
+            .screen_sequential_indexed_probed(&seq, &setup, 0, probe)
+            .unwrap_or_else(|e| panic!("probed screen failed: {e:?}"));
+        assert_eq!(seen.load(Ordering::SeqCst), outcome.checkpoints);
     }
 
     #[test]

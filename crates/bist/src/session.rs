@@ -25,8 +25,9 @@ use crate::resources::{digitizer_usage, ResourceUsage};
 use crate::setup::BistSetup;
 use crate::SocError;
 use nfbist_analog::circuits::NonInvertingAmplifier;
-use nfbist_analog::converter::{Digitizer, OneBitDigitizer, Record};
-use nfbist_analog::dut::Dut;
+use nfbist_analog::converter::{CaptureStream, Digitizer, OneBitDigitizer, Record};
+use nfbist_analog::dut::{Dut, DutStream};
+use nfbist_analog::noise::WhiteNoise;
 use nfbist_analog::noise::{CalibratedNoiseSource, NoiseSourceState};
 use nfbist_analog::opamp::OpampModel;
 use nfbist_analog::source::{SineSource, Waveform};
@@ -35,6 +36,7 @@ use nfbist_core::estimator::NfMeasurement;
 use nfbist_core::power_ratio::{
     OneBitPowerRatio, OneBitRatioEstimate, PowerRatioEstimator, RatioEstimate,
 };
+use nfbist_core::streaming::RatioAccumulator;
 
 /// The golden-ratio stride a session uses to derive per-repeat seeds
 /// (`setup.seed + repeat·stride`, wrapping). Exported so batch-level
@@ -571,7 +573,7 @@ impl MeasurementSession {
     /// Runs one complete repeat in **streaming mode**: hot and cold
     /// acquisitions flow chunk by chunk through source → DUT →
     /// conditioning → digitizer into the estimator's
-    /// [`RatioAccumulator`](nfbist_core::streaming::RatioAccumulator),
+    /// [`RatioAccumulator`],
     /// with no buffer ever holding a full record. Because every stage
     /// evolves the same sequential state the batch path does, the
     /// returned [`RepeatMeasurement`] is **bit-identical** to
@@ -593,6 +595,33 @@ impl MeasurementSession {
         repeat: usize,
         gain: f64,
     ) -> Result<RepeatMeasurement, SocError> {
+        let mut seq = self.begin_sequential(repeat, gain)?;
+        seq.advance_to(self.setup.samples)?;
+        seq.finish()
+    }
+
+    /// Opens a **resumable** streaming repeat: both source-state
+    /// acquisition chains plus the estimator's accumulator, positioned
+    /// at sample zero. The caller advances it checkpoint by checkpoint
+    /// ([`SequentialRepeat::advance_to`]), consults interim estimates
+    /// ([`SequentialRepeat::snapshot`]) and closes it whenever the
+    /// decision is made ([`SequentialRepeat::finish`]) — the machinery
+    /// a sequential (early-stopping) screen is built on.
+    ///
+    /// `gain` is the run-invariant front-end gain
+    /// ([`MeasurementSession::frontend_gain`]), hoisted out so a screen
+    /// can open many repeats without recomputing it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SocError::InvalidParameter`] when the selected
+    /// estimator has no streaming support, and propagates construction
+    /// errors.
+    pub fn begin_sequential(
+        &self,
+        repeat: usize,
+        gain: f64,
+    ) -> Result<SequentialRepeat<'_>, SocError> {
         let streaming = self
             .estimator
             .streaming()
@@ -600,36 +629,30 @@ impl MeasurementSession {
                 name: "estimator",
                 reason: "the selected estimator does not support streaming",
             })?;
-        let mut acc = streaming.begin()?;
-        let chunk = self.streaming_chunk_samples();
-        self.acquire_streaming(NoiseSourceState::Hot, repeat, gain, chunk, &mut |s| {
-            acc.push_hot(s)
-        })?;
-        self.acquire_streaming(NoiseSourceState::Cold, repeat, gain, chunk, &mut |s| {
-            acc.push_cold(s)
-        })?;
-        let ratio = acc.finish()?;
-        let nf =
-            NfMeasurement::from_y(ratio.ratio, self.setup.hot_kelvin, self.setup.cold_kelvin).ok();
-        Ok(RepeatMeasurement { nf, ratio })
+        let acc = streaming.begin()?;
+        Ok(SequentialRepeat {
+            hot: self.begin_state_chain(NoiseSourceState::Hot, repeat, gain)?,
+            cold: self.begin_state_chain(NoiseSourceState::Cold, repeat, gain)?,
+            acc,
+            chunk_len: self.streaming_chunk_samples(),
+            cap: self.setup.samples,
+            hot_kelvin: self.setup.hot_kelvin,
+            cold_kelvin: self.setup.cold_kelvin,
+        })
     }
 
-    /// One chunked acquisition: streams the source noise through the
-    /// DUT and digitizer, handing each captured chunk of expanded
-    /// estimator samples to `sink`.
+    /// Opens one source-state acquisition chain at sample zero.
     ///
     /// The seed handling mirrors [`MeasurementSession::acquire_conditioned`]
     /// step for step (including the cold-state source advance), so the
-    /// concatenated samples match the batch record bitwise.
-    fn acquire_streaming(
+    /// samples the chain emits match the batch record bitwise — for any
+    /// chunking and any stopping point.
+    fn begin_state_chain(
         &self,
         state: NoiseSourceState,
         repeat: usize,
         gain: f64,
-        chunk_len: usize,
-        sink: &mut dyn FnMut(&[f64]) -> Result<(), nfbist_core::CoreError>,
-    ) -> Result<(), SocError> {
-        let n = self.setup.samples;
+    ) -> Result<StateChain<'_>, SocError> {
         let fs = self.setup.sample_rate;
         let seed = self.repeat_seed(repeat);
         let mut src = self.source(repeat)?;
@@ -642,13 +665,13 @@ impl MeasurementSession {
             // independent (identical to the batch path).
             let _ = src.generate(state, 1, fs)?;
         }
-        let mut source_stream = src.stream(state, fs)?;
-        let mut dut_stream = self.dut.process_stream(
+        let source_stream = src.stream(state, fs)?;
+        let dut_stream = self.dut.process_stream(
             self.setup.source_resistance,
             fs,
             seed.wrapping_add(state_salt).wrapping_mul(0x9E37),
         )?;
-        let mut capture = self.digitizer.begin_capture();
+        let capture = self.digitizer.begin_capture();
         let reference = if self.digitizer.uses_reference() {
             Some(SineSource::new(
                 self.setup.reference_frequency,
@@ -657,85 +680,19 @@ impl MeasurementSession {
         } else {
             None
         };
-
-        let mut dut_out: Vec<f64> = Vec::new();
-        let mut captured: Vec<f64> = Vec::new();
-        let mut zeros: Vec<f64> = Vec::new();
-        let mut produced = 0usize; // source samples fed to the DUT
-        let mut emitted = 0usize; // DUT samples seen by the digitizer
-        while produced < n {
-            let m = chunk_len.min(n - produced);
-            let source_chunk = source_stream.generate(m);
-            produced += m;
-            dut_out.clear();
-            dut_stream.push(&source_chunk, &mut dut_out)?;
-            emitted = self.condition_capture_chunk(
-                gain,
-                &reference,
-                emitted,
-                &mut dut_out,
-                &mut captured,
-                &mut zeros,
-                capture.as_mut(),
-                sink,
-            )?;
-        }
-        dut_out.clear();
-        dut_stream.finish(&mut dut_out)?;
-        emitted = self.condition_capture_chunk(
+        Ok(StateChain {
+            sample_rate: fs,
             gain,
-            &reference,
-            emitted,
-            &mut dut_out,
-            &mut captured,
-            &mut zeros,
-            capture.as_mut(),
-            sink,
-        )?;
-        debug_assert_eq!(emitted, n, "every source sample must reach the digitizer");
-        captured.clear();
-        capture.finish(&mut captured)?;
-        sink(&captured)?;
-        Ok(())
-    }
-
-    /// Conditions one DUT output chunk, digitizes it against the
-    /// matching reference chunk (synthesized from the absolute sample
-    /// offset `emitted`) and forwards the captured samples to `sink`.
-    /// Returns the updated absolute offset.
-    #[allow(clippy::too_many_arguments)]
-    fn condition_capture_chunk(
-        &self,
-        gain: f64,
-        reference: &Option<SineSource>,
-        emitted: usize,
-        dut_out: &mut [f64],
-        captured: &mut Vec<f64>,
-        zeros: &mut Vec<f64>,
-        capture: &mut dyn nfbist_analog::converter::CaptureStream,
-        sink: &mut dyn FnMut(&[f64]) -> Result<(), nfbist_core::CoreError>,
-    ) -> Result<usize, SocError> {
-        if dut_out.is_empty() {
-            return Ok(emitted);
-        }
-        for v in dut_out.iter_mut() {
-            *v *= gain;
-        }
-        captured.clear();
-        match reference {
-            Some(sine) => {
-                let ref_chunk =
-                    sine.generate_chunk(emitted, dut_out.len(), self.setup.sample_rate)?;
-                capture.push(dut_out, &ref_chunk, captured)?;
-            }
-            None => {
-                zeros.clear();
-                zeros.resize(dut_out.len(), 0.0);
-                capture.push(dut_out, zeros, captured)?;
-            }
-        }
-        sink(captured)?;
-        Ok(emitted + dut_out.len())
+            source_stream,
+            dut_stream,
+            capture,
+            reference,
+            dut_out: Vec::new(),
+            captured: Vec::new(),
+            zeros: Vec::new(),
+            produced: 0,
+            emitted: 0,
+        })
     }
 
     /// Assembles the final [`Measurement`] from per-repeat outcomes (in
@@ -854,6 +811,200 @@ impl MeasurementSession {
             repeats.push(self.measure_repeat_conditioned(r, gain, &reference)?);
         }
         self.combine(repeats)
+    }
+}
+
+/// One source state's resumable acquisition pipeline: source noise →
+/// DUT → conditioning gain → digitizer, positioned at an absolute
+/// sample offset. Every stage carries its own sequential state, so
+/// advancing the chain in any chunking emits the exact bit pattern the
+/// batch path would — and stopping at offset `n` leaves every stage in
+/// the state a batch run of record length `n` would have reached.
+struct StateChain<'a> {
+    sample_rate: f64,
+    gain: f64,
+    source_stream: WhiteNoise,
+    dut_stream: Box<dyn DutStream + 'a>,
+    capture: Box<dyn CaptureStream + 'a>,
+    reference: Option<SineSource>,
+    dut_out: Vec<f64>,
+    captured: Vec<f64>,
+    zeros: Vec<f64>,
+    /// Source samples fed to the DUT so far.
+    produced: usize,
+    /// DUT samples seen by the digitizer so far.
+    emitted: usize,
+}
+
+impl StateChain<'_> {
+    /// Advances the chain until `target` source samples have been
+    /// produced, feeding each captured chunk of expanded estimator
+    /// samples to `sink`. A no-op when the chain is already there.
+    fn advance_to(
+        &mut self,
+        target: usize,
+        chunk_len: usize,
+        sink: &mut dyn FnMut(&[f64]) -> Result<(), nfbist_core::CoreError>,
+    ) -> Result<(), SocError> {
+        let chunk_len = chunk_len.max(1);
+        while self.produced < target {
+            let m = chunk_len.min(target - self.produced);
+            let source_chunk = self.source_stream.generate(m);
+            self.produced += m;
+            self.dut_out.clear();
+            self.dut_stream.push(&source_chunk, &mut self.dut_out)?;
+            self.condition_capture(sink)?;
+        }
+        Ok(())
+    }
+
+    /// Closes the chain at its current offset: flushes the DUT stream's
+    /// tail and the digitizer's held-back samples into `sink`. After
+    /// this the sink has received exactly the expanded record a batch
+    /// acquisition of `self.produced` samples produces.
+    fn finish(
+        &mut self,
+        sink: &mut dyn FnMut(&[f64]) -> Result<(), nfbist_core::CoreError>,
+    ) -> Result<(), SocError> {
+        self.dut_out.clear();
+        self.dut_stream.finish(&mut self.dut_out)?;
+        self.condition_capture(sink)?;
+        debug_assert_eq!(
+            self.emitted, self.produced,
+            "every source sample must reach the digitizer"
+        );
+        self.captured.clear();
+        self.capture.finish(&mut self.captured)?;
+        sink(&self.captured)?;
+        Ok(())
+    }
+
+    /// Conditions the pending DUT output chunk, digitizes it against
+    /// the matching reference chunk (synthesized from the absolute
+    /// sample offset) and forwards the captured samples to `sink`.
+    fn condition_capture(
+        &mut self,
+        sink: &mut dyn FnMut(&[f64]) -> Result<(), nfbist_core::CoreError>,
+    ) -> Result<(), SocError> {
+        if self.dut_out.is_empty() {
+            return Ok(());
+        }
+        for v in self.dut_out.iter_mut() {
+            *v *= self.gain;
+        }
+        self.captured.clear();
+        match &self.reference {
+            Some(sine) => {
+                let ref_chunk =
+                    sine.generate_chunk(self.emitted, self.dut_out.len(), self.sample_rate)?;
+                self.capture
+                    .push(&self.dut_out, &ref_chunk, &mut self.captured)?;
+            }
+            None => {
+                self.zeros.clear();
+                self.zeros.resize(self.dut_out.len(), 0.0);
+                self.capture
+                    .push(&self.dut_out, &self.zeros, &mut self.captured)?;
+            }
+        }
+        sink(&self.captured)?;
+        self.emitted += self.dut_out.len();
+        Ok(())
+    }
+}
+
+/// A streaming repeat held open for sequential (early-stopping)
+/// acquisition: the hot and cold per-stage pipeline chains plus the
+/// estimator's accumulator.
+///
+/// Advance it to successive checkpoints, consult
+/// [`SequentialRepeat::snapshot`] after each, and call
+/// [`SequentialRepeat::finish`] the moment the decision is safe — the
+/// finished measurement is **bit-identical** to a batch run whose
+/// record length equals the stopping point, because every pipeline
+/// stage evolves the exact state the batch path would (the invariant
+/// the streaming-vs-batch tests pin down).
+///
+/// Borrowed from the session that opened it
+/// ([`MeasurementSession::begin_sequential`]).
+pub struct SequentialRepeat<'a> {
+    hot: StateChain<'a>,
+    cold: StateChain<'a>,
+    acc: Box<dyn RatioAccumulator>,
+    chunk_len: usize,
+    cap: usize,
+    hot_kelvin: f64,
+    cold_kelvin: f64,
+}
+
+impl SequentialRepeat<'_> {
+    /// Advances both source states to `samples` produced samples
+    /// (clamped to the session's record length), pushing every captured
+    /// chunk into the accumulator. A no-op when already there.
+    ///
+    /// # Errors
+    ///
+    /// Propagates acquisition and accumulation errors.
+    pub fn advance_to(&mut self, samples: usize) -> Result<(), SocError> {
+        let target = samples.min(self.cap);
+        let SequentialRepeat {
+            hot,
+            cold,
+            acc,
+            chunk_len,
+            ..
+        } = self;
+        hot.advance_to(target, *chunk_len, &mut |s| acc.push_hot(s))?;
+        cold.advance_to(target, *chunk_len, &mut |s| acc.push_cold(s))?;
+        Ok(())
+    }
+
+    /// Source samples acquired so far (per source state).
+    pub fn samples_consumed(&self) -> usize {
+        self.hot.produced
+    }
+
+    /// The session record length this repeat is capped at.
+    pub fn sample_cap(&self) -> usize {
+        self.cap
+    }
+
+    /// The interim ratio estimate over everything pushed so far —
+    /// what a sequential screen's stop rule consults at a checkpoint.
+    /// Does not flush the pipeline tails, so it slightly lags
+    /// [`SequentialRepeat::finish`]; it is nevertheless a pure function
+    /// of `(seed, repeat, samples consumed)`, independent of chunking.
+    ///
+    /// # Errors
+    ///
+    /// Propagates estimator errors (e.g. too few samples pushed for
+    /// the estimator to form a ratio yet).
+    pub fn snapshot(&self) -> Result<RatioEstimate, SocError> {
+        Ok(self.acc.snapshot()?)
+    }
+
+    /// Closes the repeat at its current stopping point: flushes the
+    /// DUT and capture tails into the accumulator and forms the final
+    /// ratio — bit-identical to a batch acquisition of
+    /// [`SequentialRepeat::samples_consumed`] samples.
+    ///
+    /// # Errors
+    ///
+    /// Propagates acquisition and estimation errors.
+    pub fn finish(self) -> Result<RepeatMeasurement, SocError> {
+        let SequentialRepeat {
+            mut hot,
+            mut cold,
+            mut acc,
+            hot_kelvin,
+            cold_kelvin,
+            ..
+        } = self;
+        hot.finish(&mut |s| acc.push_hot(s))?;
+        cold.finish(&mut |s| acc.push_cold(s))?;
+        let ratio = acc.finish()?;
+        let nf = NfMeasurement::from_y(ratio.ratio, hot_kelvin, cold_kelvin).ok();
+        Ok(RepeatMeasurement { nf, ratio })
     }
 }
 
@@ -1087,6 +1238,54 @@ mod tests {
                 assert_eq!(s.ratio.ratio.to_bits(), b.ratio.ratio.to_bits());
                 assert_eq!(s.ratio.hot_power.to_bits(), b.ratio.hot_power.to_bits());
                 assert_eq!(s.ratio.cold_power.to_bits(), b.ratio.cold_power.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_stop_is_bitwise_identical_to_a_batch_run_of_that_length() {
+        // The invariant the adaptive screen rests on: stopping a
+        // SequentialRepeat at n_c and flushing equals a batch run whose
+        // record length is n_c — for any chunking, at every checkpoint.
+        let mut setup = BistSetup::quick(37);
+        setup.samples = 1 << 14;
+        setup.nfft = 1_024;
+        for chunk in [512usize, 1_024, 3_333] {
+            let session = MeasurementSession::new(setup.clone())
+                .unwrap()
+                .dut(dut(OpampModel::tl081()))
+                .streaming_chunk_len(chunk);
+            let gain = session.frontend_gain().unwrap();
+            for n_c in [1usize << 12, 1 << 13, 3 * (1 << 12)] {
+                let mut seq = session.begin_sequential(0, gain).unwrap();
+                seq.advance_to(n_c).unwrap();
+                assert_eq!(seq.samples_consumed(), n_c);
+                assert_eq!(seq.sample_cap(), 1 << 14);
+                // The snapshot is chunk-invariant even before flushing.
+                let snap = seq.snapshot().unwrap();
+                let reference_snap = {
+                    let mut r = session.begin_sequential(0, gain).unwrap();
+                    r.advance_to(n_c).unwrap();
+                    r.snapshot().unwrap()
+                };
+                assert_eq!(snap.ratio.to_bits(), reference_snap.ratio.to_bits());
+                let stopped = seq.finish().unwrap();
+                let mut short = setup.clone();
+                short.samples = n_c;
+                let batch = MeasurementSession::new(short)
+                    .unwrap()
+                    .dut(dut(OpampModel::tl081()))
+                    .run()
+                    .unwrap();
+                assert_eq!(
+                    stopped.ratio.ratio.to_bits(),
+                    batch.nf.y.to_bits(),
+                    "chunk {chunk}, stop {n_c}"
+                );
+                assert_eq!(
+                    stopped.nf.unwrap().figure.db().to_bits(),
+                    batch.nf.figure.db().to_bits()
+                );
             }
         }
     }

@@ -105,8 +105,27 @@ impl BistSetup {
     /// assert_eq!(setup.effective_samples(), 90_000);
     /// ```
     pub fn effective_samples(&self) -> usize {
+        self.effective_samples_for(self.samples)
+    }
+
+    /// [`BistSetup::effective_samples`] at an arbitrary record length
+    /// instead of the configured one — the per-checkpoint `n_effective`
+    /// a sequential (early-stopping) screen needs while the record is
+    /// still growing.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use nfbist_soc::setup::BistSetup;
+    ///
+    /// let setup = BistSetup::paper_prototype(0);
+    /// assert_eq!(setup.effective_samples_for(setup.samples), 90_000);
+    /// assert_eq!(setup.effective_samples_for(setup.samples / 2), 45_000);
+    /// assert_eq!(setup.effective_samples_for(0), 1); // clamped
+    /// ```
+    pub fn effective_samples_for(&self, samples: usize) -> usize {
         let bandwidth = self.noise_band.1 - self.noise_band.0;
-        let duration = self.samples as f64 / self.sample_rate;
+        let duration = samples as f64 / self.sample_rate;
         ((2.0 * bandwidth * duration) as usize).max(1)
     }
 

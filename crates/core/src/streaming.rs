@@ -72,6 +72,20 @@ pub trait RatioAccumulator: Send {
     /// Propagates analysis errors.
     fn push_cold(&mut self, chunk: &[f64]) -> Result<(), CoreError>;
 
+    /// Forms the ratio from everything pushed **so far**, without
+    /// closing the accumulator — the interim estimate a sequential
+    /// (early-stopping) screen consults at each checkpoint. Bitwise
+    /// identical to what [`RatioAccumulator::finish`] would return at
+    /// this point; pushing more chunks afterwards keeps refining the
+    /// same accumulator.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the batch estimator's failure modes at the current
+    /// record length: empty/short records and
+    /// [`CoreError::Degenerate`] ratios.
+    fn snapshot(&self) -> Result<RatioEstimate, CoreError>;
+
     /// Closes both records and forms the ratio — bitwise identical to
     /// the batch estimator over the concatenated records.
     ///
@@ -79,7 +93,9 @@ pub trait RatioAccumulator: Send {
     ///
     /// Exactly the batch estimator's failure modes: empty/short records
     /// and [`CoreError::Degenerate`] ratios.
-    fn finish(self: Box<Self>) -> Result<RatioEstimate, CoreError>;
+    fn finish(self: Box<Self>) -> Result<RatioEstimate, CoreError> {
+        self.snapshot()
+    }
 }
 
 /// A [`PowerRatioEstimator`] that can also run chunked with bounded
@@ -122,7 +138,7 @@ impl RatioAccumulator for MeanSquareAccumulator {
         Ok(())
     }
 
-    fn finish(self: Box<Self>) -> Result<RatioEstimate, CoreError> {
+    fn snapshot(&self) -> Result<RatioEstimate, CoreError> {
         if self.hot_n == 0 || self.cold_n == 0 {
             return Err(CoreError::Dsp(nfbist_dsp::DspError::EmptyInput {
                 context: "mean_square",
@@ -172,7 +188,7 @@ impl RatioAccumulator for PsdRatioAccumulator {
         Ok(self.cold.push(chunk)?)
     }
 
-    fn finish(self: Box<Self>) -> Result<RatioEstimate, CoreError> {
+    fn snapshot(&self) -> Result<RatioEstimate, CoreError> {
         let psd_hot = self.hot.finalize()?;
         let psd_cold = self.cold.finalize()?;
         let hot_power = psd_hot.band_power(self.band.0, self.band.1)?;
@@ -223,7 +239,7 @@ impl RatioAccumulator for OneBitAccumulator {
         Ok(self.cold.push(chunk)?)
     }
 
-    fn finish(self: Box<Self>) -> Result<RatioEstimate, CoreError> {
+    fn snapshot(&self) -> Result<RatioEstimate, CoreError> {
         let psd_hot = self.hot.finalize()?;
         let psd_cold = self.cold.finalize()?;
         let est = self.estimator.finish(psd_hot, psd_cold)?;
@@ -355,6 +371,43 @@ mod tests {
         acc.push_hot(&[0.5; 100]).unwrap();
         acc.push_cold(&[0.5; 100]).unwrap();
         assert!(acc.finish().is_err());
+    }
+
+    #[test]
+    fn snapshot_matches_finish_and_leaves_the_accumulator_live() {
+        // At every prefix length, snapshot() must carry exactly the
+        // bits a fresh accumulator fed the same prefix would finish
+        // with — and taking the snapshot must not disturb the
+        // continued accumulation.
+        let (hot, cold) = records(30_000);
+        let est = PsdRatioEstimator::new(FS, 1_024, (100.0, 9_000.0)).unwrap();
+        let mut acc = est.streaming().unwrap().begin().unwrap();
+        let chunk = 7_000;
+        let mut fed = 0usize;
+        for (h, c) in hot.chunks(chunk).zip(cold.chunks(chunk)) {
+            acc.push_hot(h).unwrap();
+            acc.push_cold(c).unwrap();
+            fed += h.len();
+            let prefix = stream_estimate(&est, &hot[..fed], &cold[..fed], chunk);
+            let snap = acc.snapshot().unwrap();
+            assert_eq!(snap.ratio.to_bits(), prefix.ratio.to_bits());
+            assert_eq!(snap.hot_power.to_bits(), prefix.hot_power.to_bits());
+        }
+        // The final finish is untouched by the interim snapshots.
+        let batch = PowerRatioEstimator::estimate(&est, &hot, &cold).unwrap();
+        assert_eq!(acc.finish().unwrap().ratio.to_bits(), batch.ratio.to_bits());
+
+        // Same for the time-domain sums.
+        let est = MeanSquareEstimator;
+        let mut acc = est.streaming().unwrap().begin().unwrap();
+        acc.push_hot(&hot[..1_000]).unwrap();
+        acc.push_cold(&cold[..1_000]).unwrap();
+        let snap = acc.snapshot().unwrap();
+        let fresh = stream_estimate(&est, &hot[..1_000], &cold[..1_000], 100);
+        assert_eq!(snap.ratio.to_bits(), fresh.ratio.to_bits());
+        // An empty accumulator's snapshot errors like finish.
+        let empty = MeanSquareEstimator.streaming().unwrap().begin().unwrap();
+        assert!(empty.snapshot().is_err());
     }
 
     #[test]

@@ -123,6 +123,92 @@ pub fn nf_std_from_record_length(
     Ok(10.0 / std::f64::consts::LN_10 * sigma_f / f)
 }
 
+/// Inverse of the standard normal CDF: the z-score below which a
+/// standard normal variate falls with probability `p`.
+///
+/// This is the bridge from an error *budget* to a confidence
+/// threshold: a sequential screen that tolerates a false-fail
+/// probability α compares its running NF against
+/// `limit ± normal_quantile(1 − α) · σ_NF`, with `σ_NF` from
+/// [`nf_std_from_record_length`].
+///
+/// Uses Acklam's rational approximation (relative error < 1.2 × 10⁻⁹
+/// over the whole open interval) — pure `f64` arithmetic, so the
+/// result is a deterministic function of `p` on every platform, which
+/// the bit-identical stopping rule depends on.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidParameter`] unless `0 < p < 1`.
+///
+/// # Examples
+///
+/// ```
+/// use nfbist_core::uncertainty::normal_quantile;
+///
+/// # fn main() -> Result<(), nfbist_core::CoreError> {
+/// assert!(normal_quantile(0.5)?.abs() < 1e-12);
+/// assert!((normal_quantile(0.975)? - 1.959_964).abs() < 1e-4);
+/// # Ok(())
+/// # }
+/// ```
+pub fn normal_quantile(p: f64) -> Result<f64, CoreError> {
+    if !(p > 0.0 && p < 1.0) {
+        return Err(CoreError::InvalidParameter {
+            name: "p",
+            reason: "probability must lie strictly between 0 and 1",
+        });
+    }
+    // Acklam's coefficients: central rational approximation plus two
+    // tail expansions in √(−2 ln p).
+    const A: [f64; 6] = [
+        -3.969_683_028_665_376e1,
+        2.209_460_984_245_205e2,
+        -2.759_285_104_469_687e2,
+        1.383_577_518_672_69e2,
+        -3.066_479_806_614_716e1,
+        2.506_628_277_459_239,
+    ];
+    const B: [f64; 5] = [
+        -5.447_609_879_822_406e1,
+        1.615_858_368_580_409e2,
+        -1.556_989_798_598_866e2,
+        6.680_131_188_771_972e1,
+        -1.328_068_155_288_572e1,
+    ];
+    const C: [f64; 6] = [
+        -7.784_894_002_430_293e-3,
+        -3.223_964_580_411_365e-1,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    const D: [f64; 4] = [
+        7.784_695_709_041_462e-3,
+        3.224_671_290_700_398e-1,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    let x = if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -((((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0))
+    };
+    Ok(x)
+}
+
 /// Scans the NF error over a grid of hot-temperature error fractions —
 /// the data behind an uncertainty plot.
 ///
@@ -223,6 +309,69 @@ mod tests {
         let f = NoiseFigure::from_db(10.0).unwrap().to_factor();
         let s = nf_std_from_record_length(f, 2900.0, 290.0, 100_000).unwrap();
         assert!(s > 0.001 && s < 0.5, "σ_NF {s} dB");
+    }
+
+    #[test]
+    fn normal_quantile_known_values_and_symmetry() {
+        // Exact center, classic two-sided z-scores, and a deep tail.
+        assert!(normal_quantile(0.5).unwrap().abs() < 1e-12);
+        for (p, z) in [
+            (0.975, 1.959_963_985),
+            (0.95, 1.644_853_627),
+            (0.84134, 0.999_981_468), // Φ(1) to 5 decimals
+            (0.999, 3.090_232_306),
+            (1e-6, -4.753_424_309),
+        ] {
+            let q = normal_quantile(p).unwrap();
+            assert!((q - z).abs() < 1e-4, "Φ⁻¹({p}) = {q}, expected ≈{z}");
+        }
+        // Antisymmetry about the median, on both branch pairs.
+        for p in [0.6, 0.9, 0.99, 0.999_9] {
+            let hi = normal_quantile(p).unwrap();
+            let lo = normal_quantile(1.0 - p).unwrap();
+            assert!((hi + lo).abs() < 1e-9, "Φ⁻¹ must be antisymmetric at {p}");
+        }
+        // Strictly monotone across the branch joins.
+        let grid = [0.001, 0.02, 0.024, 0.025, 0.5, 0.975, 0.976, 0.999];
+        for w in grid.windows(2) {
+            assert!(normal_quantile(w[0]).unwrap() < normal_quantile(w[1]).unwrap());
+        }
+    }
+
+    #[test]
+    fn normal_quantile_rejects_out_of_domain_probabilities() {
+        for p in [0.0, 1.0, -0.1, 1.1, f64::NAN, f64::INFINITY] {
+            assert!(normal_quantile(p).is_err(), "p = {p} must be rejected");
+        }
+    }
+
+    #[test]
+    fn stop_rule_inputs_degenerate_gracefully() {
+        // The sequential screen's stop rule consumes these functions;
+        // its Continue-on-uncertainty contract relies on the edge
+        // behaviour pinned here.
+        let f = NoiseFactor::new(2.0).unwrap();
+        // Zero effective samples: σ must come back non-finite (the
+        // screen reads that as "no information yet → Continue"), not
+        // panic and not masquerade as a tight interval.
+        let s = nf_std_from_record_length(f, 2900.0, 290.0, 0).unwrap();
+        assert!(!s.is_finite(), "σ at n=0 must be non-finite, got {s}");
+        // One effective sample: finite but enormous next to any guard
+        // band a real screen uses.
+        let s1 = nf_std_from_record_length(f, 2900.0, 290.0, 1).unwrap();
+        assert!(s1.is_finite() && s1 > 1.0, "σ at n=1 is {s1} dB");
+        // A −100 % hot error (dead source) is rejected, and a sweep
+        // containing it propagates the error instead of emitting a
+        // poisoned grid point.
+        assert!(nf_error_from_hot_uncertainty(f, 2900.0, 290.0, -1.0).is_err());
+        assert!(hot_uncertainty_sweep(f, 2900.0, 290.0, &[0.0, -1.0, 0.05]).is_err());
+        assert!(hot_uncertainty_sweep(f, 2900.0, 290.0, &[f64::NAN]).is_err());
+        assert!(hot_uncertainty_sweep(f, 2900.0, 290.0, &[f64::INFINITY]).is_err());
+        // An empty grid is a valid (empty) sweep, not an error.
+        assert_eq!(
+            hot_uncertainty_sweep(f, 2900.0, 290.0, &[]).unwrap(),
+            Vec::new()
+        );
     }
 
     #[test]

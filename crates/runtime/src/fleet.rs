@@ -31,7 +31,7 @@
 //! can change *when* and *whether* a die's result is kept, never *what*
 //! it measures.
 
-use crate::chaos::ChaosConfig;
+use crate::chaos::{ChaosConfig, InjectedFault};
 use crate::error::RuntimeError;
 use crate::queue::{MemoryGate, WorkQueue};
 use crate::supervisor::{TaskPolicy, Watchdog};
@@ -231,6 +231,28 @@ impl FleetPlan {
                     None => gate.admit(cost),
                 };
                 if let Some(chaos) = &self.chaos {
+                    // On an adaptive lot, panics and stalls are
+                    // deferred into the first sequential checkpoint so
+                    // the fault lands *mid-acquisition* — after the
+                    // streaming chains hold partial chunks — proving a
+                    // quarantined die never leaks partial data into the
+                    // report's float folds. Allocation failures model a
+                    // failed *admission* and stay in front of the die
+                    // body (the probe cannot return an error anyway).
+                    let defer = screening.adaptive_screen().is_some()
+                        && !matches!(chaos.fault_for(i), None | Some(InjectedFault::AllocFailure));
+                    if defer {
+                        let probe = move |checkpoint: usize| {
+                            if checkpoint == 0 {
+                                // Only Panic/Stall reach here; neither
+                                // returns an error.
+                                let _ = chaos.inject(i, attempt, deadline, cost);
+                            }
+                        };
+                        return screening
+                            .screen_die_probed(i, &probe)
+                            .map_err(RuntimeError::from);
+                    }
                     chaos.inject(i, attempt, deadline, cost)?;
                 }
                 screening.screen_die(i).map_err(RuntimeError::from)

@@ -1,0 +1,218 @@
+//! The adaptive (sequential early-stopping) fleet contract: a lot
+//! screen running the checkpointed stop rule produces a `LotReport` —
+//! wafer map included, every rolling statistic to the last bit — that
+//! is identical across worker counts, global memory budgets, and
+//! streaming chunk sizes. The stopping decision is a pure function of
+//! `(lot seed, die index)`, so no scheduling freedom may leak into it.
+
+use nfbist_analog::circuits::NonInvertingAmplifier;
+use nfbist_analog::opamp::OpampModel;
+use nfbist_analog::units::Ohms;
+use nfbist_analog::wafer::{DefectModel, Lot, ProcessVariation, WaferMap};
+use nfbist_runtime::fleet::FleetPlan;
+use nfbist_soc::coverage::FaultUniverse;
+use nfbist_soc::fleet::{LotReport, LotScreen};
+use nfbist_soc::screening::{Screen, SequentialScreen};
+use nfbist_soc::setup::BistSetup;
+use proptest::prelude::*;
+
+/// An adaptive lot exercising every stopping mode: healthy dies
+/// confirm an early Pass, 8x-noise defects gross-reject on two
+/// unmeasurable checkpoints, 2x defects and guard-band process
+/// variation ride to the cap and take the fixed-schedule verdict.
+/// The operating point (limit +2.5 dB over expectation, 2-sigma
+/// guard) leaves the sequential rule room to resolve before the cap.
+fn adaptive_screening(lot_seed: u64, grid: usize, chunk: Option<usize>) -> LotScreen {
+    let lot = Lot::new(
+        WaferMap::disc(grid).unwrap(),
+        ProcessVariation::default(),
+        DefectModel::new()
+            .background(0.10)
+            .unwrap()
+            .edge_gradient(0.25)
+            .unwrap()
+            .cluster(0.3, 0.3, 0.35, 0.8)
+            .unwrap(),
+        lot_seed,
+    )
+    .unwrap();
+    let mut setup = BistSetup::quick(0); // seed overridden by the lot
+    setup.samples = 1 << 14;
+    setup.nfft = 1_024;
+    let expected =
+        NonInvertingAmplifier::new(OpampModel::tl081(), Ohms::new(10_000.0), Ohms::new(100.0))
+            .unwrap()
+            .expected_noise_figure_db(Ohms::new(2_000.0), 100.0, 1_000.0)
+            .unwrap();
+    let screen = Screen::new(expected + 2.5, 2.0).unwrap();
+    let seq = SequentialScreen::new(screen, 0.05, 0.05)
+        .unwrap()
+        .min_samples(1 << 12);
+    let mut screening = LotScreen::new(
+        lot,
+        setup,
+        screen,
+        FaultUniverse::new().excess_noise(&[2.0, 8.0]).unwrap(),
+    )
+    .unwrap()
+    .adaptive(seq);
+    if let Some(samples) = chunk {
+        screening = screening.streaming_chunk(samples);
+    }
+    screening
+}
+
+/// Bitwise equality of everything a `LotReport` exposes — every
+/// rolling statistic through `f64::to_bits`, every per-die outcome,
+/// and the rendered wafer map. (Mirrors `fleet_determinism.rs`; the
+/// adaptive suite keeps its own copy so each file stays standalone.)
+fn assert_report_bits_identical(a: &LotReport, b: &LotReport, wafer: &WaferMap, label: &str) {
+    assert_eq!(a.dies(), b.dies(), "{label}: die count");
+    assert_eq!(
+        a.yield_fraction().to_bits(),
+        b.yield_fraction().to_bits(),
+        "{label}: yield"
+    );
+    assert_eq!(
+        a.retest_rate().to_bits(),
+        b.retest_rate().to_bits(),
+        "{label}: retest rate"
+    );
+    assert_eq!(
+        a.mean_nf_db().to_bits(),
+        b.mean_nf_db().to_bits(),
+        "{label}: mean NF"
+    );
+    assert_eq!(
+        a.mean_test_samples().to_bits(),
+        b.mean_test_samples().to_bits(),
+        "{label}: mean test samples"
+    );
+    assert_eq!(
+        a.detection_rate().map(f64::to_bits),
+        b.detection_rate().map(f64::to_bits),
+        "{label}: detection rate"
+    );
+    assert_eq!(
+        a.escape_rate().map(f64::to_bits),
+        b.escape_rate().map(f64::to_bits),
+        "{label}: escape rate"
+    );
+    assert_eq!(a.test_samples(), b.test_samples(), "{label}: test samples");
+    for (i, (ya, yb)) in a.rolling_yield().iter().zip(b.rolling_yield()).enumerate() {
+        assert_eq!(
+            ya.to_bits(),
+            yb.to_bits(),
+            "{label}: rolling yield at die {i}"
+        );
+    }
+    for (oa, ob) in a.outcomes().zip(b.outcomes()) {
+        assert_eq!(oa.die, ob.die, "{label}: outcome order");
+        assert_eq!(oa.defect, ob.defect, "{label}: die {} defect", oa.die);
+        assert_eq!(oa.verdict, ob.verdict, "{label}: die {} verdict", oa.die);
+        assert_eq!(oa.retests, ob.retests, "{label}: die {} retests", oa.die);
+        assert_eq!(
+            oa.nf_db.to_bits(),
+            ob.nf_db.to_bits(),
+            "{label}: die {} NF bits",
+            oa.die
+        );
+        assert_eq!(
+            oa.test_samples, ob.test_samples,
+            "{label}: die {} test samples",
+            oa.die
+        );
+    }
+    assert_eq!(
+        a.render_on(wafer).unwrap(),
+        b.render_on(wafer).unwrap(),
+        "{label}: wafer map"
+    );
+    assert_eq!(a, b, "{label}: reports differ");
+}
+
+/// The headline acceptance test: one adaptive lot, screened under
+/// every combination of worker count and memory budget, reproduces
+/// the sequential report bit for bit — per-die samples consumed (the
+/// stopping points) included.
+#[test]
+fn adaptive_report_is_bit_identical_across_workers_and_budgets() {
+    let screening = adaptive_screening(20_050_307, 6, None);
+    let reference = screening.run().unwrap();
+
+    // The lot must exercise the adaptive stopping modes the contract
+    // talks about: early stops (samples below the fixed bill), gross
+    // rejects, and zero retests (the schedule replaces escalation).
+    let fixed_bill = screening.fixed_die_samples();
+    assert!(
+        reference.outcomes().any(|o| o.test_samples < fixed_bill),
+        "some die must stop early: {reference}"
+    );
+    assert!(
+        reference.gross() > 0,
+        "the 8x-noise defects must produce gross rejects: {reference}"
+    );
+    assert_eq!(reference.retest_rate(), 0.0, "{reference}");
+
+    let die_cost = screening.die_cost_bytes();
+    for workers in [1usize, 2, 8] {
+        for budget in [None, Some(die_cost), Some(3 * die_cost)] {
+            let mut plan = FleetPlan::workers(workers);
+            if let Some(bytes) = budget {
+                plan = plan.memory_budget(bytes);
+            }
+            let report = plan.screen_lot(&screening).unwrap();
+            assert_report_bits_identical(
+                &reference,
+                &report,
+                screening.lot().wafer(),
+                &format!("workers={workers} budget={budget:?}"),
+            );
+        }
+    }
+}
+
+/// Streaming chunk size is pure plumbing: re-chunking the sequential
+/// acquisition between checkpoints must not move a single stopping
+/// point or flip a single bit of the report.
+#[test]
+fn adaptive_report_is_invariant_under_streaming_chunk_size() {
+    let reference = adaptive_screening(20_050_307, 6, None).run().unwrap();
+    for chunk in [1usize << 11, 1 << 12] {
+        let screening = adaptive_screening(20_050_307, 6, Some(chunk));
+        let report = FleetPlan::workers(2).screen_lot(&screening).unwrap();
+        assert_report_bits_identical(
+            &reference,
+            &report,
+            screening.lot().wafer(),
+            &format!("chunk={chunk}"),
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Schedule-independence over random adaptive lots: any seed, any
+    /// worker count, any budget, any chunk size — same bits.
+    #[test]
+    fn any_adaptive_schedule_reproduces_the_sequential_report(
+        lot_seed in 0u64..u64::MAX / 2,
+        workers in 2usize..9,
+        budget_dies in 1usize..4,
+        chunk_pow in 11u32..13,
+    ) {
+        let screening = adaptive_screening(lot_seed, 4, Some(1 << chunk_pow));
+        let reference = adaptive_screening(lot_seed, 4, None).run().unwrap();
+        let report = FleetPlan::workers(workers)
+            .memory_budget(budget_dies * screening.die_cost_bytes())
+            .screen_lot(&screening)
+            .unwrap();
+        assert_report_bits_identical(
+            &reference,
+            &report,
+            screening.lot().wafer(),
+            &format!("seed={lot_seed} workers={workers} budget_dies={budget_dies} chunk=2^{chunk_pow}"),
+        );
+    }
+}

@@ -13,7 +13,7 @@ use nfbist_runtime::fleet::FleetPlan;
 use nfbist_runtime::supervisor::{Backoff, TaskPolicy};
 use nfbist_soc::coverage::FaultUniverse;
 use nfbist_soc::fleet::{DieFaultKind, LotScreen, LotStatus};
-use nfbist_soc::screening::Screen;
+use nfbist_soc::screening::{Screen, SequentialScreen};
 use nfbist_soc::setup::BistSetup;
 use proptest::prelude::*;
 use std::time::Duration;
@@ -40,6 +40,19 @@ fn small_screening(lot_seed: u64) -> LotScreen {
         FaultUniverse::new().excess_noise(&[2.0, 8.0]).unwrap(),
     )
     .unwrap()
+}
+
+/// The same small lot in adaptive (sequential early-stopping) mode:
+/// for these lots the runtime injects panic and stall chaos *inside*
+/// the first checkpoint probe — mid-acquisition, with partial chunks
+/// already sitting in the streaming accumulators — instead of before
+/// the task starts.
+fn adaptive_small_screening(lot_seed: u64) -> LotScreen {
+    let screening = small_screening(lot_seed);
+    let seq = SequentialScreen::new(*screening.screen(), 0.05, 0.05)
+        .unwrap()
+        .min_samples(1 << 12);
+    screening.adaptive(seq)
 }
 
 /// Panic + allocation-failure chaos (no stalls: those need wall-clock
@@ -183,5 +196,133 @@ fn stalls_blow_deadlines_deterministically() {
     assert!(
         reports.windows(2).all(|w| w[0] == w[1]),
         "degraded reports must be identical across worker counts"
+    );
+}
+
+/// Adaptive lots take the mid-acquisition chaos path: a die marked
+/// for panic dies *inside* its first checkpoint probe, with partial
+/// chunks already in the streaming accumulators. It must land as a
+/// plain `Faulted` record — no outcome, no half-folded floats — and
+/// every surviving die must carry the clean adaptive run's exact
+/// bits, on any worker count.
+#[test]
+fn adaptive_chaos_quarantines_mid_acquisition_dies() {
+    install_quiet_panic_hook();
+    let screening = adaptive_small_screening(77);
+    let clean = screening.run().unwrap();
+    let chaos = fast_chaos(chaos_seed_base());
+    let marked: Vec<(usize, InjectedFault)> = chaos.scheduled_faults(screening.dies());
+    assert!(!marked.is_empty(), "seed must mark at least one die");
+
+    let mut reports = Vec::new();
+    for workers in [1usize, 2, 8] {
+        let report = FleetPlan::workers(workers)
+            .chaos(chaos)
+            .screen_lot(&screening)
+            .unwrap();
+        assert_eq!(report.status(), LotStatus::Degraded, "workers={workers}");
+        let faulted: Vec<usize> = report.faults().map(|f| f.die).collect();
+        let scheduled: Vec<usize> = marked.iter().map(|(i, _)| *i).collect();
+        assert_eq!(faulted, scheduled, "workers={workers}");
+        for (fault, (_, injected)) in report.faults().zip(marked.iter()) {
+            match injected {
+                InjectedFault::Panic => {
+                    assert!(matches!(fault.kind, DieFaultKind::Panicked { .. }))
+                }
+                InjectedFault::AllocFailure => {
+                    assert_eq!(fault.kind, DieFaultKind::AllocationFailed)
+                }
+                other => panic!("unexpected scheduled fault {other:?}"),
+            }
+        }
+        // Survivors carry the clean adaptive run's exact bits —
+        // stopping points (test_samples) included.
+        for record in report.records() {
+            if let Some(outcome) = record.outcome() {
+                let reference = clean
+                    .outcomes()
+                    .find(|o| o.die == outcome.die)
+                    .expect("clean run screens every die");
+                assert_eq!(outcome.nf_db.to_bits(), reference.nf_db.to_bits());
+                assert_eq!(outcome, reference);
+            }
+        }
+        reports.push(report);
+    }
+    assert!(
+        reports.windows(2).all(|w| w[0] == w[1]),
+        "degraded adaptive reports must be identical across worker counts"
+    );
+}
+
+/// A die killed mid-acquisition and retried must reproduce the clean
+/// adaptive report bit for bit: the aborted attempt's partial chunks
+/// leave no trace in any accumulator.
+#[test]
+fn adaptive_retry_recovery_leaves_no_trace() {
+    install_quiet_panic_hook();
+    let screening = adaptive_small_screening(5);
+    let clean = screening.run().unwrap();
+    let chaos = fast_chaos(chaos_seed_base()).faulty_attempts(1);
+    assert!(
+        !chaos.scheduled_faults(screening.dies()).is_empty(),
+        "seed must mark at least one die for the test to mean anything"
+    );
+    for workers in [1usize, 2, 8] {
+        let report = FleetPlan::workers(workers)
+            .task_policy(
+                TaskPolicy::new()
+                    .attempts(2)
+                    .backoff(Backoff::fixed(Duration::from_millis(1))),
+            )
+            .chaos(chaos)
+            .screen_lot(&screening)
+            .unwrap();
+        assert_eq!(report.status(), LotStatus::Complete, "workers={workers}");
+        assert_eq!(report, clean, "workers={workers}");
+    }
+}
+
+/// Stalls injected mid-acquisition (inside the checkpoint probe) blow
+/// the task deadline exactly like pre-task stalls: the stalled dies,
+/// and only they, are discarded as deadline faults on every worker
+/// count.
+#[test]
+fn adaptive_stalls_blow_deadlines_mid_acquisition() {
+    install_quiet_panic_hook();
+    let screening = adaptive_small_screening(9);
+    let chaos = ChaosConfig::new(chaos_seed_base() ^ 0xABCD)
+        .panic_rate_per_mille(0)
+        .stall_rate_per_mille(150)
+        .alloc_rate_per_mille(0)
+        .stall_extra(Duration::from_millis(25));
+    let stalled: Vec<usize> = chaos
+        .scheduled_faults(screening.dies())
+        .into_iter()
+        .map(|(i, _)| i)
+        .collect();
+    assert!(!stalled.is_empty(), "seed must stall at least one die");
+    let mut reports = Vec::new();
+    for workers in [1usize, 2, 8] {
+        // A generous deadline: the stall still sleeps past it by
+        // construction, while clean dies — paying real acquisition
+        // work before any mid-stream stall could fire — never get
+        // close even on a contended debug build.
+        let report = FleetPlan::workers(workers)
+            .task_policy(TaskPolicy::new().deadline(Duration::from_millis(4000)))
+            .chaos(chaos)
+            .screen_lot(&screening)
+            .unwrap();
+        assert_eq!(report.status(), LotStatus::Degraded, "workers={workers}");
+        let faulted: Vec<usize> = report.faults().map(|f| f.die).collect();
+        assert_eq!(faulted, stalled, "workers={workers}");
+        for fault in report.faults() {
+            assert_eq!(fault.kind, DieFaultKind::DeadlineExceeded);
+        }
+        reports.push(report);
+    }
+    assert!(
+        reports.windows(2).all(|w| w[0] == w[1]),
+        "degraded adaptive reports must be identical across worker counts"
     );
 }
