@@ -634,6 +634,629 @@ impl DutStream for FaultyDutStream<'_> {
     }
 }
 
+/// The time profile of a drifting defect's severity: 0 (healthy) to 1
+/// (the composed faults at full strength), as a function of the
+/// absolute sample index — the synthesizable models of aging and
+/// temperature excursions a continuous monitor exists to catch.
+///
+/// # Examples
+///
+/// ```
+/// use nfbist_analog::fault::DriftSchedule;
+///
+/// let ramp = DriftSchedule::Linear { onset: 100, ramp: 100 };
+/// assert_eq!(ramp.severity(0), 0.0);
+/// assert_eq!(ramp.severity(150), 0.5);
+/// assert_eq!(ramp.severity(400), 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DriftSchedule {
+    /// Severity ramps linearly from 0 at `onset` to 1 at
+    /// `onset + ramp` (a temperature ramp, a slow parametric drift).
+    Linear {
+        /// Sample index where the drift begins.
+        onset: usize,
+        /// Samples taken to reach full severity (≥ 1).
+        ramp: usize,
+    },
+    /// Severity steps from 0 to 1 at `at` (a latent defect activating).
+    Step {
+        /// Sample index of the step.
+        at: usize,
+    },
+    /// Severity approaches 1 exponentially after `onset` with time
+    /// constant `tau` samples: `1 − exp(−(t − onset)/τ)` (classic
+    /// aging saturation).
+    Exponential {
+        /// Sample index where the drift begins.
+        onset: usize,
+        /// Time constant in samples (≥ 1).
+        tau: usize,
+    },
+}
+
+impl DriftSchedule {
+    /// Checks the schedule parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::InvalidParameter`] for a zero ramp or
+    /// time constant.
+    pub fn validate(&self) -> Result<(), AnalogError> {
+        match *self {
+            DriftSchedule::Linear { ramp, .. } => {
+                if ramp == 0 {
+                    return Err(AnalogError::InvalidParameter {
+                        name: "ramp",
+                        reason: "linear drift ramp must span at least one sample",
+                    });
+                }
+            }
+            DriftSchedule::Step { .. } => {}
+            DriftSchedule::Exponential { tau, .. } => {
+                if tau == 0 {
+                    return Err(AnalogError::InvalidParameter {
+                        name: "tau",
+                        reason: "exponential drift time constant must be at least one sample",
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Severity in `[0, 1]` at absolute sample index `t`.
+    pub fn severity(&self, t: usize) -> f64 {
+        match *self {
+            DriftSchedule::Linear { onset, ramp } => {
+                if t < onset {
+                    0.0
+                } else {
+                    (((t - onset) as f64) / ramp as f64).min(1.0)
+                }
+            }
+            DriftSchedule::Step { at } => {
+                if t >= at {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            DriftSchedule::Exponential { onset, tau } => {
+                if t < onset {
+                    0.0
+                } else {
+                    1.0 - (-((t - onset) as f64) / tau as f64).exp()
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for DriftSchedule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            DriftSchedule::Linear { onset, ramp } => {
+                write!(f, "linear drift @{onset}+{ramp}")
+            }
+            DriftSchedule::Step { at } => write!(f, "step drift @{at}"),
+            DriftSchedule::Exponential { onset, tau } => {
+                write!(f, "exp drift @{onset} τ={tau}")
+            }
+        }
+    }
+}
+
+/// Memoized severity lookup: severity is piecewise-constant over
+/// `stride`-sample blocks (evaluated at each block's first sample), so
+/// per-sample reads cost one division plus a cached compare. Both the
+/// batch and streaming passes read severities through this cursor —
+/// a pure function of the absolute sample index — which is what makes
+/// the drifting output bit-identical across chunkings.
+struct SeverityCursor {
+    schedule: DriftSchedule,
+    stride: usize,
+    block: Option<usize>,
+    s: f64,
+}
+
+impl SeverityCursor {
+    fn new(schedule: DriftSchedule, stride: usize) -> Self {
+        SeverityCursor {
+            schedule,
+            stride,
+            block: None,
+            s: 0.0,
+        }
+    }
+
+    fn at(&mut self, t: usize) -> f64 {
+        let b = t / self.stride;
+        if self.block != Some(b) {
+            self.block = Some(b);
+            self.s = self.schedule.severity(b * self.stride);
+        }
+        self.s
+    }
+}
+
+/// A [`Dut`] whose defect grows over the mission: the composed
+/// [`AnalogFault`]s are applied at a time-varying severity following a
+/// [`DriftSchedule`] over the absolute sample index. At severity 0 every
+/// stage is the identity; at severity 1 the signal path matches
+/// [`FaultyDut`] with the same faults.
+///
+/// Severity is quantized to `update_stride`-sample blocks (default
+/// 1024), evaluated at each block's first sample — so the drifting
+/// output, like every other streaming path, is **bit-identical across
+/// chunk sizes**, and [`DriftingDut::process_stream`] concatenates to
+/// exactly [`DriftingDut::process`].
+///
+/// Parameter interpolation per fault class at severity `s`:
+/// input attenuation and gain deviate as `1 + s·(factor − 1)`, excess
+/// noise adds `√s` of the full-severity overlay (excess *power* grows
+/// as `s·(k − 1)`), the bandwidth pole's smoothing coefficient slides
+/// from pass-through to the full-severity corner, and interference
+/// amplitude scales linearly with `s`.
+///
+/// Like [`FaultyDut`], the analytic (test-plan) side stays healthy;
+/// [`DriftingDut::drifting_expected_noise_factor_at`] predicts what the
+/// degraded part should measure at a given mission point.
+///
+/// # Examples
+///
+/// ```
+/// use nfbist_analog::circuits::NonInvertingAmplifier;
+/// use nfbist_analog::fault::{AnalogFault, DriftSchedule, DriftingDut};
+/// use nfbist_analog::opamp::OpampModel;
+/// use nfbist_analog::units::Ohms;
+///
+/// # fn main() -> Result<(), nfbist_analog::AnalogError> {
+/// let healthy = NonInvertingAmplifier::new(
+///     OpampModel::tl081(),
+///     Ohms::new(10_000.0),
+///     Ohms::new(100.0),
+/// )?;
+/// let aging = DriftingDut::new(healthy, DriftSchedule::Linear { onset: 10_000, ramp: 50_000 })?
+///     .with_fault(AnalogFault::ExcessNoise { factor: 4.0 })?;
+/// assert_eq!(aging.severity_at(0), 0.0);
+/// assert_eq!(aging.severity_at(100_000), 1.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct DriftingDut<D> {
+    inner: D,
+    faults: Vec<AnalogFault>,
+    schedule: DriftSchedule,
+    update_stride: usize,
+}
+
+impl<D: Dut> DriftingDut<D> {
+    /// Wraps a healthy DUT with a drift schedule and no faults yet.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::InvalidParameter`] for an out-of-domain
+    /// schedule.
+    pub fn new(inner: D, schedule: DriftSchedule) -> Result<Self, AnalogError> {
+        schedule.validate()?;
+        Ok(DriftingDut {
+            inner,
+            faults: Vec::new(),
+            schedule,
+            update_stride: 1024,
+        })
+    }
+
+    /// Adds one full-severity target fault (builder style).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::InvalidParameter`] for out-of-domain
+    /// fault parameters.
+    pub fn with_fault(mut self, fault: AnalogFault) -> Result<Self, AnalogError> {
+        fault.validate()?;
+        self.faults.push(fault);
+        Ok(self)
+    }
+
+    /// Adds every fault in `faults`, in order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::InvalidParameter`] for the first
+    /// out-of-domain fault.
+    pub fn with_faults(
+        mut self,
+        faults: impl IntoIterator<Item = AnalogFault>,
+    ) -> Result<Self, AnalogError> {
+        for fault in faults {
+            self = self.with_fault(fault)?;
+        }
+        Ok(self)
+    }
+
+    /// Sets the severity quantization stride in samples (builder
+    /// style; default 1024).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::InvalidParameter`] for a zero stride.
+    pub fn update_stride(mut self, stride: usize) -> Result<Self, AnalogError> {
+        if stride == 0 {
+            return Err(AnalogError::InvalidParameter {
+                name: "update_stride",
+                reason: "severity update stride must be at least one sample",
+            });
+        }
+        self.update_stride = stride;
+        Ok(self)
+    }
+
+    /// The wrapped healthy DUT.
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+
+    /// The full-severity target faults, in application order.
+    pub fn faults(&self) -> &[AnalogFault] {
+        &self.faults
+    }
+
+    /// The drift schedule.
+    pub fn schedule(&self) -> DriftSchedule {
+        self.schedule
+    }
+
+    /// The severity quantization stride in samples.
+    pub fn update_stride_samples(&self) -> usize {
+        self.update_stride
+    }
+
+    /// The severity actually applied at absolute sample `t` (quantized
+    /// to the update stride).
+    pub fn severity_at(&self, t: usize) -> f64 {
+        self.schedule.severity(t - t % self.update_stride)
+    }
+
+    /// The noise factor the degraded part should measure at mission
+    /// point `t`: the [`FaultyDut::faulty_expected_noise_factor`]
+    /// composition with each fault's parameters interpolated to the
+    /// severity at `t` — `F'(t) = 1 + a(t)²·k(t)·(F − 1)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the healthy model's errors.
+    pub fn drifting_expected_noise_factor_at(
+        &self,
+        t: usize,
+        rs: Ohms,
+        f_lo: f64,
+        f_hi: f64,
+    ) -> Result<f64, AnalogError> {
+        let healthy = self.inner.expected_noise_factor(rs, f_lo, f_hi)?;
+        let s = self.severity_at(t);
+        let mut scale = 1.0;
+        for fault in &self.faults {
+            match *fault {
+                AnalogFault::ExcessNoise { factor } => scale *= 1.0 + s * (factor - 1.0),
+                AnalogFault::InputAttenuation { factor } => {
+                    let a = 1.0 + s * (factor - 1.0);
+                    scale *= a * a;
+                }
+                _ => {}
+            }
+        }
+        Ok(1.0 + scale * (healthy - 1.0))
+    }
+
+    /// [`DriftingDut::drifting_expected_noise_factor_at`] in dB.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the healthy model's errors.
+    pub fn drifting_expected_noise_figure_db_at(
+        &self,
+        t: usize,
+        rs: Ohms,
+        f_lo: f64,
+        f_hi: f64,
+    ) -> Result<f64, AnalogError> {
+        Ok(10.0
+            * self
+                .drifting_expected_noise_factor_at(t, rs, f_lo, f_hi)?
+                .log10())
+    }
+
+    fn cursor(&self) -> SeverityCursor {
+        SeverityCursor::new(self.schedule, self.update_stride)
+    }
+
+    fn has_input_attenuation(&self) -> bool {
+        self.faults
+            .iter()
+            .any(|f| matches!(f, AnalogFault::InputAttenuation { .. }))
+    }
+
+    /// Per-sample input divisor at severity `s`: the product of every
+    /// input-attenuation fault interpolated to `1 + s·(a − 1)`.
+    fn input_divisor(&self, s: f64) -> f64 {
+        let mut div = 1.0;
+        for fault in &self.faults {
+            if let AnalogFault::InputAttenuation { factor } = *fault {
+                div *= 1.0 + s * (factor - 1.0);
+            }
+        }
+        div
+    }
+
+    /// Analytic output noise RMS of the healthy DUT with the source at
+    /// the 290 K reference (interference amplitudes are absolute, as in
+    /// [`FaultyDut`]).
+    fn reference_output_rms(&self, rs: Ohms, sample_rate: f64) -> Result<f64, AnalogError> {
+        let nyquist = sample_rate / 2.0;
+        let source = rs.thermal_noise_density_sq(Kelvin::REFERENCE);
+        let added = self.inner.mean_added_noise_density_sq(rs, 1.0, nyquist)?;
+        Ok(self.inner.gain() * ((source + added) * nyquist).sqrt())
+    }
+
+    /// Builds the output-stage list shared by the batch and streaming
+    /// passes (full-severity parameters; severity interpolation happens
+    /// per sample at application time).
+    fn build_stages(
+        &self,
+        rs: Ohms,
+        sample_rate: f64,
+        seed: u64,
+    ) -> Result<Vec<DriftStage>, AnalogError> {
+        let mut stages = Vec::new();
+        for (i, fault) in self.faults.iter().enumerate() {
+            match *fault {
+                AnalogFault::InputAttenuation { .. } => {}
+                AnalogFault::GainDeviation { factor } => {
+                    stages.push(DriftStage::Gain { factor });
+                }
+                AnalogFault::ExcessNoise { factor } => {
+                    let g = self.inner.gain();
+                    let fault_seed =
+                        seed.wrapping_add((i as u64 + 1).wrapping_mul(FAULT_SEED_SALT));
+                    let noise = ShapedNoise::new(
+                        |f| {
+                            if f == 0.0 {
+                                0.0
+                            } else {
+                                (factor - 1.0) * self.inner.added_noise_density_sq(rs, f) * g * g
+                            }
+                        },
+                        sample_rate,
+                        1 << 15,
+                        fault_seed,
+                    )?;
+                    stages.push(DriftStage::ExcessNoise { noise });
+                }
+                AnalogFault::ReducedBandwidth { corner_hz } => {
+                    let alpha = 1.0 - (-std::f64::consts::TAU * corner_hz / sample_rate).exp();
+                    stages.push(DriftStage::ReducedBandwidth { alpha, y: 0.0 });
+                }
+                AnalogFault::InterferenceTone {
+                    frequency,
+                    amplitude_fraction,
+                } => {
+                    let amplitude =
+                        amplitude_fraction * self.reference_output_rms(rs, sample_rate)?;
+                    let w = std::f64::consts::TAU * frequency / sample_rate;
+                    stages.push(DriftStage::InterferenceTone { amplitude, w });
+                }
+            }
+        }
+        Ok(stages)
+    }
+}
+
+/// One drifting output stage: the full-severity parameters of the
+/// matching [`OutputFaultStage`], applied per sample at the severity of
+/// that sample's stride block.
+enum DriftStage {
+    /// `v *= 1 + s·(factor − 1)`.
+    Gain { factor: f64 },
+    /// `v += √s · n` with `n` from the full-severity overlay generator
+    /// (which advances one draw per sample regardless of severity, so
+    /// the sequence is chunking- and severity-independent).
+    ExcessNoise { noise: ShapedNoise },
+    /// One-pole smoother with `α_eff = 1 + s·(α − 1)` (pass-through at
+    /// severity 0), output state carried across samples.
+    ReducedBandwidth { alpha: f64, y: f64 },
+    /// `v += s · amplitude · sin(w·t)`, phased by the absolute index.
+    InterferenceTone { amplitude: f64, w: f64 },
+}
+
+impl DriftStage {
+    /// Applies this stage to `chunk`, whose first sample sits at
+    /// absolute output index `base`. Exactly this routine runs in both
+    /// the batch and streaming passes, so their per-sample arithmetic
+    /// cannot diverge.
+    fn apply(
+        &mut self,
+        chunk: &mut [f64],
+        base: usize,
+        mut cursor: SeverityCursor,
+    ) -> Result<(), AnalogError> {
+        match self {
+            DriftStage::Gain { factor } => {
+                for (k, v) in chunk.iter_mut().enumerate() {
+                    let s = cursor.at(base + k);
+                    *v *= 1.0 + s * (*factor - 1.0);
+                }
+            }
+            DriftStage::ExcessNoise { noise } => {
+                let extra = noise.generate(chunk.len())?;
+                for (k, (v, n)) in chunk.iter_mut().zip(&extra).enumerate() {
+                    let s = cursor.at(base + k);
+                    *v += s.sqrt() * n;
+                }
+            }
+            DriftStage::ReducedBandwidth { alpha, y } => {
+                for (k, v) in chunk.iter_mut().enumerate() {
+                    let s = cursor.at(base + k);
+                    let a = 1.0 + s * (*alpha - 1.0);
+                    *y += a * (*v - *y);
+                    *v = *y;
+                }
+            }
+            DriftStage::InterferenceTone { amplitude, w } => {
+                for (k, v) in chunk.iter_mut().enumerate() {
+                    let s = cursor.at(base + k);
+                    *v += s * *amplitude * (*w * (base + k) as f64).sin();
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl<D: Dut> Dut for DriftingDut<D> {
+    fn label(&self) -> String {
+        if self.faults.is_empty() {
+            self.inner.label()
+        } else {
+            let list: Vec<String> = self.faults.iter().map(|f| f.to_string()).collect();
+            format!(
+                "{} [{}: {}]",
+                self.inner.label(),
+                self.schedule,
+                list.join(", ")
+            )
+        }
+    }
+
+    fn gain(&self) -> f64 {
+        self.inner.gain()
+    }
+
+    fn added_noise_density_sq(&self, rs: Ohms, f: f64) -> f64 {
+        self.inner.added_noise_density_sq(rs, f)
+    }
+
+    fn mean_added_noise_density_sq(
+        &self,
+        rs: Ohms,
+        f_lo: f64,
+        f_hi: f64,
+    ) -> Result<f64, AnalogError> {
+        self.inner.mean_added_noise_density_sq(rs, f_lo, f_hi)
+    }
+
+    fn process(
+        &self,
+        input: &[f64],
+        rs: Ohms,
+        sample_rate: f64,
+        seed: u64,
+    ) -> Result<Vec<f64>, AnalogError> {
+        let mut out = if self.has_input_attenuation() {
+            let mut cursor = self.cursor();
+            let scaled: Vec<f64> = input
+                .iter()
+                .enumerate()
+                .map(|(t, v)| v / self.input_divisor(cursor.at(t)))
+                .collect();
+            self.inner.process(&scaled, rs, sample_rate, seed)?
+        } else {
+            self.inner.process(input, rs, sample_rate, seed)?
+        };
+        let mut stages = self.build_stages(rs, sample_rate, seed)?;
+        for stage in &mut stages {
+            stage.apply(&mut out, 0, self.cursor())?;
+        }
+        Ok(out)
+    }
+
+    fn process_stream<'a>(
+        &'a self,
+        rs: Ohms,
+        sample_rate: f64,
+        seed: u64,
+    ) -> Result<Box<dyn DutStream + 'a>, AnalogError> {
+        Ok(Box::new(DriftingDutStream {
+            dut: self,
+            inner: self.inner.process_stream(rs, sample_rate, seed)?,
+            stages: self.build_stages(rs, sample_rate, seed)?,
+            scaled: Vec::new(),
+            produced: Vec::new(),
+            fed: 0,
+            emitted: 0,
+        }))
+    }
+}
+
+/// Streaming counterpart of [`DriftingDut::process`]: the healthy inner
+/// stream with the drifting stages applied to its output as it emerges,
+/// severities read off the absolute input/output indices.
+struct DriftingDutStream<'a, D> {
+    dut: &'a DriftingDut<D>,
+    inner: Box<dyn DutStream + 'a>,
+    stages: Vec<DriftStage>,
+    /// Reusable input-scaling buffer (input-attenuation faults).
+    scaled: Vec<f64>,
+    /// Reusable inner-output buffer the stages mutate in place.
+    produced: Vec<f64>,
+    /// Global input-sample index (attenuation severity anchor).
+    fed: usize,
+    /// Global output-sample index (stage severity/phase anchor).
+    emitted: usize,
+}
+
+impl<D: Dut> DriftingDutStream<'_, D> {
+    fn apply_stages(&mut self, out: &mut Vec<f64>) -> Result<(), AnalogError> {
+        if self.produced.is_empty() {
+            return Ok(());
+        }
+        let base = self.emitted;
+        for stage in &mut self.stages {
+            stage.apply(&mut self.produced, base, self.dut.cursor())?;
+        }
+        out.extend_from_slice(&self.produced);
+        self.emitted += self.produced.len();
+        Ok(())
+    }
+}
+
+impl<D: Dut> DutStream for DriftingDutStream<'_, D> {
+    fn push(&mut self, input: &[f64], out: &mut Vec<f64>) -> Result<(), AnalogError> {
+        if input.is_empty() {
+            return Ok(());
+        }
+        self.produced.clear();
+        if self.dut.has_input_attenuation() {
+            self.scaled.clear();
+            let mut cursor = self.dut.cursor();
+            let base = self.fed;
+            self.scaled.extend(
+                input
+                    .iter()
+                    .enumerate()
+                    .map(|(k, v)| v / self.dut.input_divisor(cursor.at(base + k))),
+            );
+            self.inner.push(&self.scaled, &mut self.produced)?;
+        } else {
+            self.inner.push(input, &mut self.produced)?;
+        }
+        self.fed += input.len();
+        self.apply_stages(out)
+    }
+
+    fn finish(&mut self, out: &mut Vec<f64>) -> Result<(), AnalogError> {
+        self.produced.clear();
+        self.inner.finish(&mut self.produced)?;
+        self.apply_stages(out)
+    }
+
+    fn is_incremental(&self) -> bool {
+        self.inner.is_incremental()
+    }
+}
+
 /// A digital defect on the stored 1-bit stream, applied by
 /// [`FaultyDigitizer`]. Defect positions are fixed per wrapper — the
 /// semantics of bad latch/memory *cells*, which sit at fixed addresses
@@ -1353,6 +1976,176 @@ mod tests {
                 assert_eq!(s.to_bits(), b.to_bits(), "chunk {chunk_len}, sample {i}");
             }
         }
+    }
+
+    #[test]
+    fn drift_schedule_shapes_and_validation() {
+        assert!(DriftSchedule::Linear { onset: 0, ramp: 0 }
+            .validate()
+            .is_err());
+        assert!(DriftSchedule::Exponential { onset: 0, tau: 0 }
+            .validate()
+            .is_err());
+        assert!(DriftSchedule::Step { at: 0 }.validate().is_ok());
+
+        let lin = DriftSchedule::Linear {
+            onset: 100,
+            ramp: 200,
+        };
+        assert_eq!(lin.severity(99), 0.0);
+        assert_eq!(lin.severity(200), 0.5);
+        assert_eq!(lin.severity(300), 1.0);
+        assert_eq!(lin.severity(10_000), 1.0);
+
+        let step = DriftSchedule::Step { at: 50 };
+        assert_eq!(step.severity(49), 0.0);
+        assert_eq!(step.severity(50), 1.0);
+
+        let exp = DriftSchedule::Exponential { onset: 10, tau: 20 };
+        assert_eq!(exp.severity(9), 0.0);
+        assert!((exp.severity(30) - (1.0 - (-1.0f64).exp())).abs() < 1e-12);
+        // Monotone non-decreasing.
+        let mut prev = 0.0;
+        for t in 0..200 {
+            let s = exp.severity(t);
+            assert!(s >= prev);
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn drifting_dut_builder_and_analytics() {
+        let rs = Ohms::new(2_000.0);
+        let schedule = DriftSchedule::Linear {
+            onset: 0,
+            ramp: 1 << 16,
+        };
+        assert!(
+            DriftingDut::new(paper_dut(), DriftSchedule::Linear { onset: 0, ramp: 0 }).is_err()
+        );
+        let dut = DriftingDut::new(paper_dut(), schedule)
+            .unwrap()
+            .with_faults([
+                AnalogFault::ExcessNoise { factor: 4.0 },
+                AnalogFault::InputAttenuation { factor: 2.0 },
+            ])
+            .unwrap()
+            .update_stride(512)
+            .unwrap();
+        assert!(dut.clone().update_stride(0).is_err());
+        assert!(dut
+            .clone()
+            .with_fault(AnalogFault::ExcessNoise { factor: 0.5 })
+            .is_err());
+        assert_eq!(dut.update_stride_samples(), 512);
+        assert_eq!(dut.schedule(), schedule);
+        assert_eq!(dut.faults().len(), 2);
+        assert!(dut.label().contains("drift"));
+        // Severity is quantized to the stride.
+        assert_eq!(dut.severity_at(511), 0.0);
+        assert_eq!(dut.severity_at(513), dut.severity_at(1023));
+        // Analytic model stays healthy; the drifting expectation spans
+        // healthy → FaultyDut's full-severity value.
+        let healthy = paper_dut()
+            .expected_noise_factor(rs, 100.0, 1_000.0)
+            .unwrap();
+        assert_eq!(
+            dut.expected_noise_factor(rs, 100.0, 1_000.0).unwrap(),
+            healthy
+        );
+        let at_zero = dut
+            .drifting_expected_noise_factor_at(0, rs, 100.0, 1_000.0)
+            .unwrap();
+        assert!((at_zero - healthy).abs() < 1e-12);
+        let full = FaultyDut::new(paper_dut())
+            .with_faults([
+                AnalogFault::ExcessNoise { factor: 4.0 },
+                AnalogFault::InputAttenuation { factor: 2.0 },
+            ])
+            .unwrap()
+            .faulty_expected_noise_factor(rs, 100.0, 1_000.0)
+            .unwrap();
+        let at_end = dut
+            .drifting_expected_noise_factor_at(1 << 20, rs, 100.0, 1_000.0)
+            .unwrap();
+        assert!((at_end - full).abs() < 1e-12);
+        let mid = dut
+            .drifting_expected_noise_factor_at(1 << 15, rs, 100.0, 1_000.0)
+            .unwrap();
+        assert!(mid > at_zero && mid < at_end);
+    }
+
+    #[test]
+    fn drifting_dut_stream_is_bit_identical_to_batch_for_every_fault_class() {
+        let rs = Ohms::new(2_000.0);
+        let fs = 2.0e4;
+        let seed = 91;
+        let input = test_input(10_000);
+        let dut = DriftingDut::new(
+            paper_dut(),
+            DriftSchedule::Exponential {
+                onset: 1_500,
+                tau: 2_000,
+            },
+        )
+        .unwrap()
+        .with_faults([
+            AnalogFault::InputAttenuation { factor: 1.5 },
+            AnalogFault::GainDeviation { factor: 0.8 },
+            AnalogFault::ExcessNoise { factor: 3.0 },
+            AnalogFault::ReducedBandwidth { corner_hz: 700.0 },
+            AnalogFault::InterferenceTone {
+                frequency: 500.0,
+                amplitude_fraction: 0.4,
+            },
+        ])
+        .unwrap()
+        .update_stride(512)
+        .unwrap();
+        let batch = dut.process(&input, rs, fs, seed).unwrap();
+        for chunk_len in [1usize, 997, 4_096] {
+            let mut stream = dut.process_stream(rs, fs, seed).unwrap();
+            assert!(stream.is_incremental());
+            let mut out = Vec::new();
+            for chunk in input.chunks(chunk_len) {
+                stream.push(chunk, &mut out).unwrap();
+            }
+            stream.finish(&mut out).unwrap();
+            assert_eq!(out.len(), batch.len(), "chunk {chunk_len}");
+            for (i, (s, b)) in out.iter().zip(&batch).enumerate() {
+                assert_eq!(s.to_bits(), b.to_bits(), "chunk {chunk_len}, sample {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn drifting_dut_is_healthy_before_the_step_and_louder_after() {
+        let rs = Ohms::new(2_000.0);
+        let fs = 2.0e4;
+        let seed = 13;
+        let n = 1 << 15;
+        let at = n / 2;
+        let silence = vec![0.0; n];
+        let healthy = Dut::process(&paper_dut(), &silence, rs, fs, seed).unwrap();
+        // Memoryless stages only (no bandwidth pole), so severity 0 is
+        // the exact identity per sample.
+        let dut = DriftingDut::new(paper_dut(), DriftSchedule::Step { at })
+            .unwrap()
+            .with_faults([
+                AnalogFault::GainDeviation { factor: 2.0 },
+                AnalogFault::ExcessNoise { factor: 8.0 },
+            ])
+            .unwrap()
+            .update_stride(256)
+            .unwrap();
+        let out = dut.process(&silence, rs, fs, seed).unwrap();
+        for i in 0..at {
+            assert_eq!(out[i].to_bits(), healthy[i].to_bits(), "sample {i}");
+        }
+        let before = nfbist_dsp::stats::mean_square(&out[..at]).unwrap();
+        let after = nfbist_dsp::stats::mean_square(&out[at..]).unwrap();
+        // Gain ×2 (power ×4) and noise ×8 ⇒ roughly 32× the power.
+        assert!(after / before > 10.0, "ratio {}", after / before);
     }
 
     #[test]

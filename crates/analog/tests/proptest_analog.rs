@@ -218,3 +218,116 @@ proptest! {
         prop_assert!((m.voltage_noise_density_sq(f) - expected).abs() < 1e-27);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The sliding lag accumulator's contract: at any point in the
+    /// stream — window partially filled, exactly full, or long since
+    /// wrapped — every retained-window statistic (lag products, both
+    /// autocorrelation biases, ones count) is exact against the batch
+    /// popcount kernel run over **exactly the retained bits**, for any
+    /// chunking of the stream.
+    #[test]
+    fn sliding_lag_accumulator_matches_batch_over_retained_bits(
+        bits in prop::collection::vec(any::<bool>(), 1..400),
+        window_bits in 2usize..120,
+        lag_frac in 0.0f64..1.0,
+        chunk in 1usize..50,
+    ) {
+        use nfbist_analog::bitstream::SlidingLagAccumulator;
+        use nfbist_dsp::correlation::Bias;
+
+        let max_lag = ((window_bits - 1) as f64 * lag_frac) as usize;
+        let mut acc = SlidingLagAccumulator::new(max_lag, window_bits).unwrap();
+        for piece in bits.chunks(chunk) {
+            let bs: Bitstream = piece.iter().copied().collect();
+            acc.push(&bs);
+        }
+
+        prop_assert_eq!(acc.bits_seen(), bits.len());
+        prop_assert_eq!(acc.len(), bits.len().min(window_bits));
+        let (start, end) = acc.retained_range().unwrap();
+        prop_assert_eq!(end, bits.len());
+        prop_assert_eq!(end - start, acc.len());
+
+        let window: Bitstream = bits[start..end].iter().copied().collect();
+        prop_assert_eq!(&acc.window_contents(), &window);
+        prop_assert_eq!(acc.ones(), window.ones());
+        prop_assert_eq!(acc.bipolar_sum(), window.bipolar_sum());
+        for lag in 0..=max_lag {
+            prop_assert_eq!(acc.lag_product(lag), window.lag_product(lag));
+        }
+        // The ±1 lag sums are exact integers, so the full normalized
+        // curves match bitwise, not just approximately.
+        if acc.len() > max_lag {
+            for bias in [Bias::Biased, Bias::Unbiased] {
+                let windowed = acc.autocorrelation(bias).unwrap();
+                let batch = window.autocorrelation(max_lag, bias).unwrap();
+                prop_assert_eq!(&windowed, &batch);
+            }
+        }
+    }
+
+    /// The forgetting lag accumulator is a pure function of the pushed
+    /// bits (chunking invisible to the last bit), its first completed
+    /// block reproduces the batch autocorrelation exactly, and its
+    /// effective depth stays within `[1, (1+λ)/(1-λ)]`.
+    #[test]
+    fn forgetting_lag_accumulator_is_chunk_invariant_and_starts_at_batch(
+        bits in prop::collection::vec(any::<bool>(), 8..400),
+        block_pow in 3u32..7,
+        lambda in 0.05f64..0.95,
+        lag_frac in 0.0f64..1.0,
+        chunk in 1usize..50,
+    ) {
+        use nfbist_analog::bitstream::ForgettingLagAccumulator;
+        use nfbist_dsp::correlation::Bias;
+
+        // 8..=64, clamped so at least one block always completes.
+        let block_bits = (1usize << block_pow).min(bits.len());
+        let max_lag = ((block_bits - 1) as f64 * lag_frac) as usize;
+
+        let mut chunked = ForgettingLagAccumulator::new(max_lag, block_bits, lambda).unwrap();
+        for piece in bits.chunks(chunk) {
+            let bs: Bitstream = piece.iter().copied().collect();
+            chunked.push(&bs);
+        }
+        let mut whole = ForgettingLagAccumulator::new(max_lag, block_bits, lambda).unwrap();
+        whole.push(&bits.iter().copied().collect());
+
+        prop_assert_eq!(chunked.blocks_seen(), whole.blocks_seen());
+        prop_assert_eq!(chunked.blocks_seen(), bits.len() / block_bits);
+        for lag in 0..=max_lag {
+            prop_assert_eq!(
+                chunked.lag_product(lag).map(f64::to_bits),
+                whole.lag_product(lag).map(f64::to_bits)
+            );
+        }
+        for bias in [Bias::Biased, Bias::Unbiased] {
+            let a = chunked.autocorrelation(bias).unwrap();
+            let b = whole.autocorrelation(bias).unwrap();
+            for (p, q) in a.iter().zip(&b) {
+                prop_assert_eq!(p.to_bits(), q.to_bits());
+            }
+        }
+
+        let limit = (1.0 + lambda) / (1.0 - lambda);
+        prop_assert!(chunked.effective_blocks() >= 1.0 - 1e-12);
+        prop_assert!(chunked.effective_blocks() <= limit + 1e-9);
+
+        // One completed block: the decayed fold degenerates to the
+        // batch autocorrelation of that block, bit for bit.
+        let first_block: Bitstream = bits[..block_bits].iter().copied().collect();
+        let mut first = ForgettingLagAccumulator::new(max_lag, block_bits, lambda).unwrap();
+        first.push(&first_block);
+        prop_assert_eq!(first.blocks_seen(), 1);
+        for bias in [Bias::Biased, Bias::Unbiased] {
+            let decayed = first.autocorrelation(bias).unwrap();
+            let batch = first_block.autocorrelation(max_lag, bias).unwrap();
+            for (p, q) in decayed.iter().zip(&batch) {
+                prop_assert_eq!(p.to_bits(), q.to_bits());
+            }
+        }
+    }
+}

@@ -57,9 +57,17 @@
 //!     the mean test-time reduction that `exp_coverage --adaptive`
 //!     reports in samples.
 //!
+//! And one monitoring comparison (PR 10):
+//!
+//! 11. **Windowed NF emissions** — the monitoring hot loop's
+//!     `SlidingWelch` (ring update + zero-alloc finalize at every
+//!     emission) vs recomputing a batch Welch estimate over the
+//!     retained span at every emission point; the two emission series
+//!     are asserted bit-identical before timing.
+//!
 //! Usage: `bench_smoke [--json [PATH]] [--reps N] [--assert-simd]`.
 //! With `--json` the results are written to `PATH` (default
-//! `BENCH_pr9.json`); the JSON `cases` keys (`name`, `baseline`,
+//! `BENCH_pr10.json`); the JSON `cases` keys (`name`, `baseline`,
 //! `baseline_ns`, `new_ns`, `speedup`, `workers`, `dispatch`) are
 //! exactly the README perf-table columns, so the table regenerates
 //! field for field. `--assert-simd` exits nonzero unless a vector arm
@@ -568,6 +576,66 @@ fn run(reps: usize) -> Vec<Case> {
         });
     }
 
+    // --- Case 11: the PR 10 monitoring hot loop — a windowed NF
+    // estimate at every emission point of a long stream. The sliding
+    // ring pays one segment FFT per hop and a zero-alloc fold per
+    // emission; the baseline re-runs a batch Welch estimate over the
+    // same retained span each time. Both emission series must carry
+    // the same bits (that is the sliding window's whole contract).
+    {
+        use nfbist_dsp::psd::SlidingWelch;
+
+        let nfft = 1_024;
+        let window_segments = 8usize;
+        let emissions = 256usize;
+        let stride = nfft; // one emission per fresh segment's worth
+        let total = stride * emissions;
+        let x = WhiteNoise::new(1.0, 11).expect("noise").generate(total);
+        let cfg = WelchConfig::new(nfft).expect("config").window(Window::Hann);
+        let mut ws = DspWorkspace::new();
+        let mut out_sliding = vec![0.0f64; nfft / 2 + 1];
+        let mut out_batch = vec![0.0f64; nfft / 2 + 1];
+
+        // Bit-identity proof across every emission point.
+        let mut sw = SlidingWelch::new(cfg.clone(), fs, window_segments).expect("sliding");
+        for chunk in x.chunks(stride) {
+            sw.push(chunk).expect("push");
+            sw.finalize_into(&mut out_sliding).expect("finalize");
+            let (start, end) = sw.retained_range().expect("range");
+            cfg.estimate_into(&x[start..end], fs, &mut ws, &mut out_batch)
+                .expect("batch");
+            for (s, b) in out_sliding.iter().zip(&out_batch) {
+                assert_eq!(s.to_bits(), b.to_bits(), "windowed emission != batch");
+            }
+        }
+
+        let new_ns = time_ns(reps, || {
+            sw.reset();
+            for chunk in x.chunks(stride) {
+                sw.push(chunk).expect("push");
+                sw.finalize_into(&mut out_sliding).expect("finalize");
+            }
+        });
+        let baseline_ns = time_ns(reps, || {
+            sw.reset();
+            for chunk in x.chunks(stride) {
+                sw.push(chunk).expect("push");
+                let (start, end) = sw.retained_range().expect("range");
+                cfg.estimate_into(&x[start..end], fs, &mut ws, &mut out_batch)
+                    .expect("batch");
+            }
+        });
+        cases.push(Case {
+            name: "windowed_emissions_256x1024",
+            baseline: "batch Welch recomputed over the retained span at every \
+                       emission point",
+            baseline_ns,
+            new_ns,
+            workers: 1,
+            dispatch: nfbist_dsp::simd::active_arm().name(),
+        });
+    }
+
     cases
 }
 
@@ -736,7 +804,8 @@ fn simd_cases(reps: usize) -> Vec<Case> {
 }
 
 fn write_json(path: &str, cases: &[Case]) -> std::io::Result<()> {
-    let mut body = String::from("{\n  \"pr\": 9,\n  \"bench\": \"bench_smoke\",\n  \"cases\": [\n");
+    let mut body =
+        String::from("{\n  \"pr\": 10,\n  \"bench\": \"bench_smoke\",\n  \"cases\": [\n");
     for (i, c) in cases.iter().enumerate() {
         body.push_str(&format!(
             "    {{\"name\": \"{}\", \"baseline\": \"{}\", \"baseline_ns\": {:.0}, \"new_ns\": {:.0}, \"speedup\": {:.3}, \"workers\": {}, \"dispatch\": \"{}\"}}{}\n",
@@ -764,7 +833,7 @@ fn main() {
             "--json" => {
                 let path = match args.peek() {
                     Some(p) if !p.starts_with("--") => args.next().expect("peeked"),
-                    _ => "BENCH_pr9.json".to_string(),
+                    _ => "BENCH_pr10.json".to_string(),
                 };
                 json_path = Some(path);
             }

@@ -224,6 +224,12 @@ pub fn budget_flag() -> Option<usize> {
     parse_value_flag("--budget")
 }
 
+/// Parses `--monitors N` (the in-field monitoring fleet size); returns
+/// `default` when absent or malformed.
+pub fn monitors_flag(default: usize) -> usize {
+    parse_value_flag("--monitors").unwrap_or(default).max(1)
+}
+
 /// Parses `--chaos SEED` (seeded runtime fault injection for the fleet
 /// experiments); `None` when absent or malformed. Falls back to the
 /// `NFBIST_CHAOS` environment variable so a whole test run can be

@@ -31,6 +31,11 @@
 //!   wafer population ([`nfbist_analog::wafer`]) through the full
 //!   screening flow, folded into rolling yield statistics and a wafer
 //!   map ([`fleet::LotReport`]).
+//! * [`monitor`] — continuous in-field monitoring:
+//!   [`monitor::MonitorSession`] runs the acquisition pipeline as an
+//!   unbounded mission, emits a forgetting-window NF time series with
+//!   per-point sigmas, and folds it through a CUSUM drift detector
+//!   into a deterministic [`monitor::AlarmEvent`] timeline.
 //! * [`freqresp`] — the comparator cell reused for frequency-response
 //!   measurement (§7).
 //! * [`testplan`] — scheduling acquisitions under a memory budget.
@@ -90,6 +95,7 @@
 pub mod coverage;
 pub mod fleet;
 pub mod freqresp;
+pub mod monitor;
 pub mod multipoint;
 pub mod report;
 pub mod resources;

@@ -647,7 +647,7 @@ impl MeasurementSession {
     /// step for step (including the cold-state source advance), so the
     /// samples the chain emits match the batch record bitwise — for any
     /// chunking and any stopping point.
-    fn begin_state_chain(
+    pub(crate) fn begin_state_chain(
         &self,
         state: NoiseSourceState,
         repeat: usize,
@@ -820,7 +820,7 @@ impl MeasurementSession {
 /// advancing the chain in any chunking emits the exact bit pattern the
 /// batch path would — and stopping at offset `n` leaves every stage in
 /// the state a batch run of record length `n` would have reached.
-struct StateChain<'a> {
+pub(crate) struct StateChain<'a> {
     sample_rate: f64,
     gain: f64,
     source_stream: WhiteNoise,
@@ -840,7 +840,7 @@ impl StateChain<'_> {
     /// Advances the chain until `target` source samples have been
     /// produced, feeding each captured chunk of expanded estimator
     /// samples to `sink`. A no-op when the chain is already there.
-    fn advance_to(
+    pub(crate) fn advance_to(
         &mut self,
         target: usize,
         chunk_len: usize,

@@ -1,0 +1,166 @@
+//! Statistical calibration of the drift detector (THEORY.md §5): over
+//! a population of seeded **healthy** missions the false-alarm count
+//! must stay within a binomial bound on the design budget, and a
+//! seeded [`DriftingDut`] must be flagged within the detection delay
+//! the freshness-scaled CUSUM model predicts,
+//! `delay ≈ h / (f · (δ − k))` emissions for a shift of `δ` sigmas.
+
+use nfbist_analog::circuits::NonInvertingAmplifier;
+use nfbist_analog::converter::AdcDigitizer;
+use nfbist_analog::fault::{AnalogFault, DriftSchedule, DriftingDut};
+use nfbist_analog::opamp::OpampModel;
+use nfbist_analog::units::Ohms;
+use nfbist_core::power_ratio::PsdRatioEstimator;
+use nfbist_core::streaming::EstimatorWindow;
+use nfbist_soc::monitor::{AlarmKind, MonitorReport, MonitorSession};
+use nfbist_soc::setup::BistSetup;
+use nfbist_soc::SocError;
+
+/// Healthy missions in the false-alarm census.
+const HEALTHY_RUNS: usize = 40;
+/// Drifting missions in the detection-delay census.
+const DRIFT_RUNS: usize = 8;
+/// Design false-alarm budget per mission (the probability the CUSUM
+/// crosses `h` at least once over a healthy horizon).
+const FALSE_ALARM_BUDGET: f64 = 0.05;
+/// Absolute sample index at which the drift defect activates.
+const ONSET: usize = 8_192;
+
+/// SplitMix64 over a golden-ratio walk — an independent per-run seed
+/// stream (same construction as the runtime's `derive_seed`, inlined
+/// because this crate sits below the runtime in the dependency DAG).
+fn derive(base: u64, index: u64) -> u64 {
+    let mut z = base.wrapping_add(index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn amp() -> NonInvertingAmplifier {
+    NonInvertingAmplifier::new(OpampModel::op27(), Ohms::new(10_000.0), Ohms::new(100.0)).unwrap()
+}
+
+fn monitor(seed: u64, drifting: bool) -> Result<MonitorSession, SocError> {
+    let mut setup = BistSetup::quick(seed);
+    setup.samples = 1 << 15;
+    setup.nfft = 1_024;
+    let estimator = PsdRatioEstimator::new(setup.sample_rate, setup.nfft, setup.noise_band)?;
+    let monitor = MonitorSession::new(setup)?
+        .digitizer(AdcDigitizer::new(12)?)
+        .estimator(estimator)
+        .window(EstimatorWindow::Sliding { segments: 8 })
+        .warmup(4);
+    Ok(if drifting {
+        monitor.dut(
+            DriftingDut::new(amp(), DriftSchedule::Step { at: ONSET })?
+                .with_fault(AnalogFault::ExcessNoise { factor: 8.0 })?,
+        )
+    } else {
+        monitor.dut(amp())
+    })
+}
+
+/// The estimator window's effective depth in samples, reconstructed
+/// from a steady-state emission point (`n_effective` is the effective
+/// sample count already scaled by the in-band fraction).
+fn window_span_samples(report: &MonitorReport, fraction: f64) -> f64 {
+    let point = report
+        .points()
+        .last()
+        .expect("calibration missions emit points");
+    point.n_effective as f64 / fraction
+}
+
+/// Healthy fleet: the drift-alarm count over `HEALTHY_RUNS` seeded
+/// missions stays below the three-sigma binomial envelope of the
+/// design budget. (A detector this size cannot *prove* the rate, but
+/// a miscalibrated threshold — the unscaled-CUSUM failure mode, which
+/// alarms on nearly every healthy run — lands far outside the bound.)
+#[test]
+fn healthy_false_alarm_rate_is_within_binomial_bounds() {
+    let mut false_alarms = 0usize;
+    for run in 0..HEALTHY_RUNS {
+        let report = monitor(derive(0x0CA1_1B0B, run as u64), false)
+            .unwrap()
+            .run()
+            .unwrap();
+        assert!(
+            report.baseline_db().is_some(),
+            "healthy run {run} never completed warm-up"
+        );
+        if report.first_event(AlarmKind::DriftAlarm).is_some() {
+            false_alarms += 1;
+        }
+    }
+    let n = HEALTHY_RUNS as f64;
+    let mean = n * FALSE_ALARM_BUDGET;
+    let bound = mean + 3.0 * (mean * (1.0 - FALSE_ALARM_BUDGET)).sqrt();
+    assert!(
+        (false_alarms as f64) <= bound,
+        "{false_alarms} false alarms over {HEALTHY_RUNS} healthy runs exceeds the \
+         binomial bound {bound:.1} for a {FALSE_ALARM_BUDGET} budget"
+    );
+}
+
+/// Drifting fleet: every seeded step-drift mission is flagged, and the
+/// observed delay past the defect onset is within the THEORY §5
+/// prediction `h / (f · (δ − k))` emissions — allowing the window
+/// ramp-in (the span the sliding window needs before it fully reflects
+/// the shifted NF) plus a 2x safety factor on the stochastic delay.
+#[test]
+fn drift_is_flagged_within_theory_predicted_delay() {
+    for run in 0..DRIFT_RUNS {
+        let session = monitor(derive(0xD21F7, run as u64), true).unwrap();
+        let stride = session.emission_stride_samples() as f64;
+        let fraction = session.effective_fraction();
+        let k = session.cusum_k();
+        let h = session.cusum_h();
+        let report = session.run().unwrap();
+
+        let baseline = report.baseline_db().expect("warm-up must complete");
+        let alarm = report
+            .first_event(AlarmKind::DriftAlarm)
+            .unwrap_or_else(|| panic!("drifting run {run} was never flagged"));
+        assert!(
+            alarm.sample_index > ONSET,
+            "run {run} alarmed at {} before its defect at {ONSET}",
+            alarm.sample_index
+        );
+
+        // Shift size δ (in sigmas), measured over emissions whose
+        // window lies entirely past the onset.
+        let span = window_span_samples(&report, fraction);
+        let drifted: Vec<&nfbist_soc::monitor::MonitorPoint> = report
+            .points()
+            .iter()
+            .filter(|p| p.sample_index >= ONSET + span.ceil() as usize)
+            .collect();
+        assert!(
+            !drifted.is_empty(),
+            "run {run}: horizon leaves no fully drifted emissions"
+        );
+        let delta = drifted
+            .iter()
+            .map(|p| (p.nf_db - baseline) / p.sigma_db)
+            .sum::<f64>()
+            / drifted.len() as f64;
+        assert!(
+            delta > k + 1.0,
+            "run {run}: step shift of {delta:.2} sigma is too small to calibrate against"
+        );
+
+        // Freshness fraction f: one stride of new samples per emission
+        // against the window's effective depth.
+        let freshness = (stride / span).min(1.0);
+        let predicted = h / (freshness * (delta - k));
+        let ramp = (span / stride).ceil();
+        let observed = (alarm.sample_index - ONSET) as f64 / stride;
+        let budget = ramp + 2.0 * predicted + 1.0;
+        assert!(
+            observed <= budget,
+            "run {run}: flagged {observed:.1} emissions after onset, but THEORY \
+             predicts {predicted:.1} (+{ramp:.0} ramp-in; budget {budget:.1}) \
+             for a {delta:.2} sigma shift"
+        );
+    }
+}

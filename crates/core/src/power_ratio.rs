@@ -144,6 +144,19 @@ pub trait PowerRatioEstimator: Send + Sync {
     fn streaming(&self) -> Option<&dyn crate::streaming::StreamingPowerRatioEstimator> {
         None
     }
+
+    /// The windowed (retiring) view of this estimator, when it has
+    /// one — the continuous-monitoring analogue of
+    /// [`PowerRatioEstimator::streaming`].
+    ///
+    /// All three Table 2 estimators support sliding and forgetting
+    /// windows through
+    /// [`crate::streaming::WindowedPowerRatioEstimator`]; a custom
+    /// estimator that does not override this reports `None` and the
+    /// monitor layer refuses to run it.
+    fn windowed(&self) -> Option<&dyn crate::streaming::WindowedPowerRatioEstimator> {
+        None
+    }
 }
 
 impl<E: PowerRatioEstimator + ?Sized> PowerRatioEstimator for Box<E> {
@@ -158,6 +171,10 @@ impl<E: PowerRatioEstimator + ?Sized> PowerRatioEstimator for Box<E> {
     fn streaming(&self) -> Option<&dyn crate::streaming::StreamingPowerRatioEstimator> {
         (**self).streaming()
     }
+
+    fn windowed(&self) -> Option<&dyn crate::streaming::WindowedPowerRatioEstimator> {
+        (**self).windowed()
+    }
 }
 
 /// Table 2 row 1 as a [`PowerRatioEstimator`]: the ratio of
@@ -171,6 +188,10 @@ impl PowerRatioEstimator for MeanSquareEstimator {
     }
 
     fn streaming(&self) -> Option<&dyn crate::streaming::StreamingPowerRatioEstimator> {
+        Some(self)
+    }
+
+    fn windowed(&self) -> Option<&dyn crate::streaming::WindowedPowerRatioEstimator> {
         Some(self)
     }
 
@@ -286,6 +307,10 @@ impl PowerRatioEstimator for PsdRatioEstimator {
         Some(self)
     }
 
+    fn windowed(&self) -> Option<&dyn crate::streaming::WindowedPowerRatioEstimator> {
+        Some(self)
+    }
+
     fn estimate(&self, hot: &[f64], cold: &[f64]) -> Result<RatioEstimate, CoreError> {
         let welch = WelchConfig::new(self.nfft)?;
         let mut ws = workspace_handle(&self.workspace);
@@ -316,6 +341,10 @@ impl PowerRatioEstimator for OneBitPowerRatio {
     }
 
     fn streaming(&self) -> Option<&dyn crate::streaming::StreamingPowerRatioEstimator> {
+        Some(self)
+    }
+
+    fn windowed(&self) -> Option<&dyn crate::streaming::WindowedPowerRatioEstimator> {
         Some(self)
     }
 

@@ -24,6 +24,16 @@
 //! [`PowerRatioEstimator::streaming`], so `Box<dyn PowerRatioEstimator>`
 //! stays the only estimator currency.
 //!
+//! For continuous in-field monitoring the cumulative accumulators are
+//! not enough: a drift that starts after 10⁷ healthy samples is diluted
+//! away by everything already integrated. [`WindowedRatioAccumulator`]
+//! (obtained through [`PowerRatioEstimator::windowed`] with an
+//! [`EstimatorWindow`]) is the retiring variant — a sliding window of
+//! the most recent segments or an exponentially forgetting average —
+//! and [`windowed_nf_point`] turns any snapshot into an NF estimate
+//! with a finite-window sigma from [`crate::uncertainty`], the
+//! emission primitive of the monitor layer.
+//!
 //! ```
 //! use nfbist_core::power_ratio::{PowerRatioEstimator, PsdRatioEstimator};
 //!
@@ -44,12 +54,14 @@
 //! # }
 //! ```
 
+use crate::figure::NoiseFactor;
 use crate::power_ratio::{
     MeanSquareEstimator, OneBitPowerRatio, PowerRatioEstimator, PsdRatioEstimator, RatioDetail,
     RatioEstimate,
 };
-use crate::CoreError;
-use nfbist_dsp::psd::{StreamingWelch, WelchConfig};
+use crate::{uncertainty, yfactor, CoreError};
+use nfbist_dsp::psd::{ForgettingWelch, SlidingWelch, StreamingWelch, WelchConfig};
+use nfbist_dsp::spectrum::Spectrum;
 
 /// An in-flight streaming ratio estimate: hot/cold chunks in, one
 /// [`RatioEstimate`] out.
@@ -263,6 +275,528 @@ impl StreamingPowerRatioEstimator for OneBitPowerRatio {
     }
 }
 
+/// Sample-block length the windowed mean-square accumulator retires
+/// power sums in. The time-domain estimator has no natural segment
+/// size, so its window is quantized in blocks of this many samples —
+/// chosen to match the smallest Welch segment the stack uses, keeping
+/// the three estimators' emission granularity comparable.
+pub const MEAN_SQUARE_BLOCK_SAMPLES: usize = 1_024;
+
+/// Window policy for a [`WindowedRatioAccumulator`]: how old data is
+/// retired as new chunks arrive.
+///
+/// The unit is the estimator's own averaging quantum: Welch segments
+/// for the PSD and 1-bit estimators, sample blocks of
+/// [`MEAN_SQUARE_BLOCK_SAMPLES`] for the mean-square estimator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EstimatorWindow {
+    /// Keep exactly the most recent `segments` averaging units and
+    /// drop older ones bin-exactly — the snapshot carries the same
+    /// bits as a batch estimate over the retained samples alone.
+    Sliding {
+        /// Retained unit count (≥ 1).
+        segments: usize,
+    },
+    /// Exponentially forgetting average: each completed unit decays
+    /// the running accumulation by `lambda`, for an effective depth of
+    /// `(1 + λ)/(1 − λ)` units at steady state.
+    Forgetting {
+        /// Per-unit decay factor, strictly inside `(0, 1)`.
+        lambda: f64,
+    },
+}
+
+impl EstimatorWindow {
+    /// Checks the policy parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] for a zero sliding
+    /// window or a forgetting factor outside the open unit interval.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        match *self {
+            EstimatorWindow::Sliding { segments } => {
+                if segments == 0 {
+                    return Err(CoreError::InvalidParameter {
+                        name: "segments",
+                        reason: "sliding window needs at least one segment",
+                    });
+                }
+            }
+            EstimatorWindow::Forgetting { lambda } => {
+                if !(lambda > 0.0 && lambda < 1.0) {
+                    return Err(CoreError::InvalidParameter {
+                        name: "lambda",
+                        reason: "forgetting factor must lie strictly inside (0, 1)",
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A windowed in-flight ratio estimate: hot/cold chunks in, a
+/// *current-window* [`RatioEstimate`] out at any point.
+///
+/// Unlike [`RatioAccumulator`], whose snapshot always reflects the
+/// whole stream, this snapshot reflects only what the
+/// [`EstimatorWindow`] retains — the estimate tracks the DUT's present
+/// state and forgets its history, which is what drift detection needs.
+pub trait WindowedRatioAccumulator: Send {
+    /// Consumes one chunk of the hot record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates analysis errors.
+    fn push_hot(&mut self, chunk: &[f64]) -> Result<(), CoreError>;
+
+    /// Consumes one chunk of the cold record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates analysis errors.
+    fn push_cold(&mut self, chunk: &[f64]) -> Result<(), CoreError>;
+
+    /// Forms the ratio over the currently retained window, without
+    /// disturbing the accumulation. For a sliding window the
+    /// Welch-based estimators return bitwise the batch estimate over
+    /// exactly the retained samples (the mean-square path regroups its
+    /// per-sample fold blockwise, so it agrees to rounding only).
+    /// Every estimator's snapshot is a pure function of the absolute
+    /// sample streams — chunk boundaries never change a bit.
+    ///
+    /// # Errors
+    ///
+    /// The batch estimator's failure modes at the current window
+    /// content: empty/short windows and [`CoreError::Degenerate`]
+    /// ratios.
+    fn snapshot(&self) -> Result<RatioEstimate, CoreError>;
+
+    /// Raw samples currently inside the window, as the minimum over
+    /// the hot and cold records (fractional for a forgetting window,
+    /// where it is the effective depth `(Σλᵏ)²/Σλ²ᵏ` units deep).
+    ///
+    /// This is the record length to feed — after scaling by the
+    /// band-limiting fraction `2B/fs` — into
+    /// [`uncertainty::nf_std_from_record_length`];
+    /// [`windowed_nf_point`] does exactly that.
+    fn effective_samples(&self) -> f64;
+}
+
+/// A [`PowerRatioEstimator`] that can run with a retiring window.
+/// Obtained through [`PowerRatioEstimator::windowed`].
+pub trait WindowedPowerRatioEstimator: PowerRatioEstimator {
+    /// Opens a fresh windowed accumulator for one hot/cold stream pair.
+    ///
+    /// # Errors
+    ///
+    /// Returns configuration errors (invalid window policy, FFT size
+    /// or sample rate).
+    fn begin_windowed(
+        &self,
+        window: EstimatorWindow,
+    ) -> Result<Box<dyn WindowedRatioAccumulator>, CoreError>;
+}
+
+/// One emission point of a windowed NF time series: the windowed
+/// Y-factor estimate folded through eq. 8 with a finite-window sigma.
+#[derive(Debug, Clone)]
+pub struct WindowedNfPoint {
+    /// The windowed ratio estimate the point was formed from.
+    pub estimate: RatioEstimate,
+    /// The DUT noise factor implied by the windowed Y ratio.
+    pub factor: NoiseFactor,
+    /// The noise figure in dB.
+    pub nf_db: f64,
+    /// Predicted standard deviation of `nf_db` for the current window
+    /// depth (delta-method, [`uncertainty::nf_std_from_record_length`]).
+    /// Non-finite while the window holds no effective samples.
+    pub sigma_db: f64,
+    /// The effective independent-sample count the sigma was computed
+    /// at (window samples × the band-limiting fraction, floored).
+    pub n_effective: usize,
+}
+
+/// Forms a [`WindowedNfPoint`] from a windowed accumulator's current
+/// snapshot: Y → noise factor via the declared source temperatures,
+/// sigma via the delta-method variance at the window's effective
+/// depth.
+///
+/// `effective_fraction` is the band-limiting correction `2B/fs` in
+/// `(0, 1]` — the fraction of raw samples that count as independent
+/// (1 for the full-band mean-square estimator).
+///
+/// All arithmetic is pure `f64`, so the point is a deterministic
+/// function of the accumulator state and the parameters — the bits the
+/// monitor's alarm timeline is pinned on.
+///
+/// # Errors
+///
+/// Propagates snapshot errors (short window, degenerate ratio),
+/// Y-factor domain errors (ratio outside `(1, Th/Tc)`), and rejects an
+/// `effective_fraction` outside `(0, 1]`.
+pub fn windowed_nf_point(
+    acc: &dyn WindowedRatioAccumulator,
+    hot_kelvin: f64,
+    cold_kelvin: f64,
+    effective_fraction: f64,
+) -> Result<WindowedNfPoint, CoreError> {
+    if !(effective_fraction > 0.0 && effective_fraction <= 1.0) {
+        return Err(CoreError::InvalidParameter {
+            name: "effective_fraction",
+            reason: "band-limiting fraction must lie in (0, 1]",
+        });
+    }
+    let estimate = acc.snapshot()?;
+    let factor = yfactor::noise_factor_from_temperatures(estimate.ratio, hot_kelvin, cold_kelvin)?;
+    let n_effective = (acc.effective_samples() * effective_fraction).floor() as usize;
+    let sigma_db =
+        uncertainty::nf_std_from_record_length(factor, hot_kelvin, cold_kelvin, n_effective)?;
+    Ok(WindowedNfPoint {
+        estimate,
+        factor,
+        nf_db: factor.to_figure().db(),
+        sigma_db,
+        n_effective,
+    })
+}
+
+/// Internal dispatch over the two retiring Welch accumulators, so the
+/// PSD and 1-bit windowed paths share one push/finalize surface.
+enum WindowedWelch {
+    Sliding(SlidingWelch),
+    Forgetting(ForgettingWelch),
+}
+
+impl WindowedWelch {
+    fn new(cfg: WelchConfig, sample_rate: f64, window: EstimatorWindow) -> Result<Self, CoreError> {
+        window.validate()?;
+        Ok(match window {
+            EstimatorWindow::Sliding { segments } => {
+                WindowedWelch::Sliding(SlidingWelch::new(cfg, sample_rate, segments)?)
+            }
+            EstimatorWindow::Forgetting { lambda } => {
+                WindowedWelch::Forgetting(ForgettingWelch::new(cfg, sample_rate, lambda)?)
+            }
+        })
+    }
+
+    fn push(&mut self, chunk: &[f64]) -> Result<(), CoreError> {
+        match self {
+            WindowedWelch::Sliding(w) => Ok(w.push(chunk)?),
+            WindowedWelch::Forgetting(w) => Ok(w.push(chunk)?),
+        }
+    }
+
+    fn finalize(&self) -> Result<Spectrum, CoreError> {
+        match self {
+            WindowedWelch::Sliding(w) => Ok(w.finalize()?),
+            WindowedWelch::Forgetting(w) => Ok(w.finalize()?),
+        }
+    }
+
+    /// Raw samples inside the window: the retained span for the
+    /// sliding ring, effective segments × segment length for the
+    /// forgetting average.
+    fn window_samples(&self) -> f64 {
+        match self {
+            WindowedWelch::Sliding(w) => w
+                .retained_range()
+                .map(|(start, end)| (end - start) as f64)
+                .unwrap_or(0.0),
+            WindowedWelch::Forgetting(w) => {
+                w.effective_segments() * w.config().segment_len() as f64
+            }
+        }
+    }
+}
+
+/// Block-retiring power sums for the windowed mean-square path. The
+/// partial (incomplete) block accumulates sample by sample in stream
+/// order — chunk boundaries never change any float op — but only
+/// completed blocks enter the snapshot, so emissions are quantized at
+/// block rate exactly like the Welch-based estimators are at segment
+/// rate.
+struct WindowedPowerSum {
+    kind: PowerSumKind,
+    partial_sum: f64,
+    partial_n: usize,
+}
+
+enum PowerSumKind {
+    Sliding {
+        ring: Vec<f64>,
+        head: usize,
+        filled: usize,
+    },
+    Forgetting {
+        lambda: f64,
+        weighted: f64,
+        weight: f64,
+        weight_sq: f64,
+    },
+}
+
+impl WindowedPowerSum {
+    fn new(window: EstimatorWindow) -> Result<Self, CoreError> {
+        window.validate()?;
+        let kind = match window {
+            EstimatorWindow::Sliding { segments } => PowerSumKind::Sliding {
+                ring: vec![0.0; segments],
+                head: 0,
+                filled: 0,
+            },
+            EstimatorWindow::Forgetting { lambda } => PowerSumKind::Forgetting {
+                lambda,
+                weighted: 0.0,
+                weight: 0.0,
+                weight_sq: 0.0,
+            },
+        };
+        Ok(WindowedPowerSum {
+            kind,
+            partial_sum: 0.0,
+            partial_n: 0,
+        })
+    }
+
+    fn push(&mut self, chunk: &[f64]) {
+        for &v in chunk {
+            self.partial_sum += v * v;
+            self.partial_n += 1;
+            if self.partial_n == MEAN_SQUARE_BLOCK_SAMPLES {
+                let sum = self.partial_sum;
+                self.partial_sum = 0.0;
+                self.partial_n = 0;
+                match &mut self.kind {
+                    PowerSumKind::Sliding { ring, head, filled } => {
+                        ring[*head] = sum;
+                        *head = (*head + 1) % ring.len();
+                        *filled = (*filled + 1).min(ring.len());
+                    }
+                    PowerSumKind::Forgetting {
+                        lambda,
+                        weighted,
+                        weight,
+                        weight_sq,
+                    } => {
+                        *weighted = *lambda * *weighted + sum;
+                        *weight = *lambda * *weight + 1.0;
+                        *weight_sq = *lambda * *lambda * *weight_sq + 1.0;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Mean-square power over the completed blocks in the window, or
+    /// `None` before the first block completes. The fold over block
+    /// sums runs oldest → newest from 0.0 — deterministic for any
+    /// chunking, though regrouped relative to the per-sample batch
+    /// fold.
+    fn power(&self) -> Option<f64> {
+        match &self.kind {
+            PowerSumKind::Sliding { ring, head, filled } => {
+                if *filled == 0 {
+                    return None;
+                }
+                let oldest = if *filled < ring.len() { 0 } else { *head };
+                let mut sum = 0.0;
+                for k in 0..*filled {
+                    sum += ring[(oldest + k) % ring.len()];
+                }
+                Some(sum / (*filled * MEAN_SQUARE_BLOCK_SAMPLES) as f64)
+            }
+            PowerSumKind::Forgetting {
+                weighted, weight, ..
+            } => {
+                if *weight == 0.0 {
+                    return None;
+                }
+                Some(weighted / (weight * MEAN_SQUARE_BLOCK_SAMPLES as f64))
+            }
+        }
+    }
+
+    fn window_samples(&self) -> f64 {
+        match &self.kind {
+            PowerSumKind::Sliding { filled, .. } => (filled * MEAN_SQUARE_BLOCK_SAMPLES) as f64,
+            PowerSumKind::Forgetting {
+                weight, weight_sq, ..
+            } => {
+                if *weight_sq == 0.0 {
+                    0.0
+                } else {
+                    weight * weight / weight_sq * MEAN_SQUARE_BLOCK_SAMPLES as f64
+                }
+            }
+        }
+    }
+}
+
+/// Windowed time-domain mean-square ratio.
+struct WindowedMeanSquareAccumulator {
+    hot: WindowedPowerSum,
+    cold: WindowedPowerSum,
+}
+
+impl WindowedRatioAccumulator for WindowedMeanSquareAccumulator {
+    fn push_hot(&mut self, chunk: &[f64]) -> Result<(), CoreError> {
+        self.hot.push(chunk);
+        Ok(())
+    }
+
+    fn push_cold(&mut self, chunk: &[f64]) -> Result<(), CoreError> {
+        self.cold.push(chunk);
+        Ok(())
+    }
+
+    fn snapshot(&self) -> Result<RatioEstimate, CoreError> {
+        let (hot_power, cold_power) = match (self.hot.power(), self.cold.power()) {
+            (Some(h), Some(c)) => (h, c),
+            _ => {
+                return Err(CoreError::Dsp(nfbist_dsp::DspError::EmptyInput {
+                    context: "mean_square",
+                }))
+            }
+        };
+        if !(cold_power > 0.0) {
+            return Err(CoreError::Degenerate {
+                reason: "cold record carries no power",
+            });
+        }
+        Ok(RatioEstimate {
+            ratio: hot_power / cold_power,
+            hot_power,
+            cold_power,
+            detail: RatioDetail::MeanSquare,
+        })
+    }
+
+    fn effective_samples(&self) -> f64 {
+        self.hot.window_samples().min(self.cold.window_samples())
+    }
+}
+
+impl WindowedPowerRatioEstimator for MeanSquareEstimator {
+    fn begin_windowed(
+        &self,
+        window: EstimatorWindow,
+    ) -> Result<Box<dyn WindowedRatioAccumulator>, CoreError> {
+        Ok(Box::new(WindowedMeanSquareAccumulator {
+            hot: WindowedPowerSum::new(window)?,
+            cold: WindowedPowerSum::new(window)?,
+        }))
+    }
+}
+
+/// Windowed PSD band-power ratio: one retiring Welch per record.
+struct WindowedPsdAccumulator {
+    hot: WindowedWelch,
+    cold: WindowedWelch,
+    nfft: usize,
+    band: (f64, f64),
+}
+
+impl WindowedRatioAccumulator for WindowedPsdAccumulator {
+    fn push_hot(&mut self, chunk: &[f64]) -> Result<(), CoreError> {
+        self.hot.push(chunk)
+    }
+
+    fn push_cold(&mut self, chunk: &[f64]) -> Result<(), CoreError> {
+        self.cold.push(chunk)
+    }
+
+    fn snapshot(&self) -> Result<RatioEstimate, CoreError> {
+        let psd_hot = self.hot.finalize()?;
+        let psd_cold = self.cold.finalize()?;
+        let hot_power = psd_hot.band_power(self.band.0, self.band.1)?;
+        let cold_power = psd_cold.band_power(self.band.0, self.band.1)?;
+        if !(cold_power > 0.0) {
+            return Err(CoreError::Degenerate {
+                reason: "cold band carries no power",
+            });
+        }
+        Ok(RatioEstimate {
+            ratio: hot_power / cold_power,
+            hot_power,
+            cold_power,
+            detail: RatioDetail::Psd {
+                nfft: self.nfft,
+                band: self.band,
+            },
+        })
+    }
+
+    fn effective_samples(&self) -> f64 {
+        self.hot.window_samples().min(self.cold.window_samples())
+    }
+}
+
+impl WindowedPowerRatioEstimator for PsdRatioEstimator {
+    fn begin_windowed(
+        &self,
+        window: EstimatorWindow,
+    ) -> Result<Box<dyn WindowedRatioAccumulator>, CoreError> {
+        let cfg = WelchConfig::new(self.nfft())?;
+        Ok(Box::new(WindowedPsdAccumulator {
+            hot: WindowedWelch::new(cfg.clone(), self.sample_rate(), window)?,
+            cold: WindowedWelch::new(cfg, self.sample_rate(), window)?,
+            nfft: self.nfft(),
+            band: self.band(),
+        }))
+    }
+}
+
+/// Windowed 1-bit estimator: two retiring Welch accumulators feeding
+/// the same reference-normalization tail as the batch path.
+struct WindowedOneBitAccumulator {
+    estimator: OneBitPowerRatio,
+    hot: WindowedWelch,
+    cold: WindowedWelch,
+}
+
+impl WindowedRatioAccumulator for WindowedOneBitAccumulator {
+    fn push_hot(&mut self, chunk: &[f64]) -> Result<(), CoreError> {
+        self.hot.push(chunk)
+    }
+
+    fn push_cold(&mut self, chunk: &[f64]) -> Result<(), CoreError> {
+        self.cold.push(chunk)
+    }
+
+    fn snapshot(&self) -> Result<RatioEstimate, CoreError> {
+        let psd_hot = self.hot.finalize()?;
+        let psd_cold = self.cold.finalize()?;
+        let est = self.estimator.finish(psd_hot, psd_cold)?;
+        Ok(RatioEstimate {
+            ratio: est.ratio,
+            hot_power: est.hot_noise_power,
+            cold_power: est.cold_noise_power,
+            detail: RatioDetail::OneBit(Box::new(est)),
+        })
+    }
+
+    fn effective_samples(&self) -> f64 {
+        self.hot.window_samples().min(self.cold.window_samples())
+    }
+}
+
+impl WindowedPowerRatioEstimator for OneBitPowerRatio {
+    fn begin_windowed(
+        &self,
+        window: EstimatorWindow,
+    ) -> Result<Box<dyn WindowedRatioAccumulator>, CoreError> {
+        let cfg = WelchConfig::new(self.nfft())?.window(self.window());
+        Ok(Box::new(WindowedOneBitAccumulator {
+            estimator: self.clone(),
+            hot: WindowedWelch::new(cfg.clone(), self.sample_rate(), window)?,
+            cold: WindowedWelch::new(cfg, self.sample_rate(), window)?,
+        }))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -410,16 +944,266 @@ mod tests {
         assert!(empty.snapshot().is_err());
     }
 
+    fn windowed_feed(
+        est: &dyn PowerRatioEstimator,
+        window: EstimatorWindow,
+        hot: &[f64],
+        cold: &[f64],
+        chunk: usize,
+    ) -> Box<dyn WindowedRatioAccumulator> {
+        let mut acc = est
+            .windowed()
+            .expect("windowed support")
+            .begin_windowed(window)
+            .unwrap();
+        for (h, c) in hot.chunks(chunk).zip(cold.chunks(chunk)) {
+            acc.push_hot(h).unwrap();
+            acc.push_cold(c).unwrap();
+        }
+        acc
+    }
+
+    #[test]
+    fn sliding_windowed_psd_is_bitwise_batch_over_the_retained_samples() {
+        // Once the ring wraps, the snapshot must forget everything
+        // before the window: estimate over exactly the retained span
+        // with the batch estimator and demand identical bits.
+        let (hot, cold) = records(40_000);
+        let nfft = 1_024usize;
+        let window = 8usize;
+        let est = PsdRatioEstimator::new(FS, nfft, (100.0, 9_000.0)).unwrap();
+        for chunk in [997usize, nfft, 4_096] {
+            let acc = windowed_feed(
+                &est,
+                EstimatorWindow::Sliding { segments: window },
+                &hot,
+                &cold,
+                chunk,
+            );
+            let snap = acc.snapshot().unwrap();
+            // Default Welch config: 50 % overlap → hop = nfft/2; the
+            // retained span is the last `count` hop-spaced segments.
+            let hop = nfft / 2;
+            let seen = (hot.len() - nfft) / hop + 1;
+            let count = seen.min(window);
+            let (start, end) = ((seen - count) * hop, (seen - 1) * hop + nfft);
+            let batch =
+                PowerRatioEstimator::estimate(&est, &hot[start..end], &cold[start..end]).unwrap();
+            assert_eq!(snap.ratio.to_bits(), batch.ratio.to_bits(), "chunk {chunk}");
+            assert_eq!(snap.hot_power.to_bits(), batch.hot_power.to_bits());
+            assert_eq!(snap.cold_power.to_bits(), batch.cold_power.to_bits());
+            // Window full → effective depth saturated at the span.
+            assert_eq!(acc.effective_samples(), (end - start) as f64);
+        }
+    }
+
+    #[test]
+    fn sliding_windowed_one_bit_is_bitwise_batch_over_the_retained_samples() {
+        let n = 1 << 15;
+        let hot = WhiteNoise::new(1.0, 61).unwrap().generate(n);
+        let cold = WhiteNoise::new(0.5, 62).unwrap().generate(n);
+        let reference = SquareSource::new(3_000.0, 0.1)
+            .unwrap()
+            .generate(n, FS)
+            .unwrap();
+        let d = OneBitDigitizer::ideal();
+        let bh = d.digitize(&hot, &reference).unwrap().to_bipolar();
+        let bc = d.digitize(&cold, &reference).unwrap().to_bipolar();
+
+        let nfft = 2_048usize;
+        let window = 6usize;
+        let est = OneBitPowerRatio::new(FS, nfft, 3_000.0, (100.0, 1_500.0)).unwrap();
+        for chunk in [777usize, nfft, 4_099] {
+            let acc = windowed_feed(
+                &est,
+                EstimatorWindow::Sliding { segments: window },
+                &bh,
+                &bc,
+                chunk,
+            );
+            let snap = acc.snapshot().unwrap();
+            let hop = nfft / 2;
+            let seen = (n - nfft) / hop + 1;
+            let count = seen.min(window);
+            let (start, end) = ((seen - count) * hop, (seen - 1) * hop + nfft);
+            let batch =
+                PowerRatioEstimator::estimate(&est, &bh[start..end], &bc[start..end]).unwrap();
+            assert_eq!(snap.ratio.to_bits(), batch.ratio.to_bits(), "chunk {chunk}");
+            let (sd, bd) = (snap.one_bit().unwrap(), batch.one_bit().unwrap());
+            assert_eq!(
+                sd.normalization.scale.to_bits(),
+                bd.normalization.scale.to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn sliding_windowed_mean_square_tracks_the_retained_blocks() {
+        let (hot, cold) = records(50_000);
+        let window = 12usize;
+        let est = MeanSquareEstimator;
+        let acc = windowed_feed(
+            &est,
+            EstimatorWindow::Sliding { segments: window },
+            &hot,
+            &cold,
+            997,
+        );
+        let snap = acc.snapshot().unwrap();
+        let blocks = hot.len() / MEAN_SQUARE_BLOCK_SAMPLES;
+        let count = blocks.min(window);
+        let end = blocks * MEAN_SQUARE_BLOCK_SAMPLES;
+        let start = end - count * MEAN_SQUARE_BLOCK_SAMPLES;
+        let batch = est.estimate(&hot[start..end], &cold[start..end]).unwrap();
+        // The blockwise fold regroups the batch sum, so agreement is
+        // to rounding, not bitwise.
+        assert!((snap.ratio / batch.ratio - 1.0).abs() < 1e-12);
+        assert_eq!(
+            acc.effective_samples(),
+            (count * MEAN_SQUARE_BLOCK_SAMPLES) as f64
+        );
+    }
+
+    #[test]
+    fn windowed_snapshots_are_chunk_invariant_bitwise() {
+        // Forgetting (and sliding) snapshots must carry identical bits
+        // for any chunking of the same streams — the invariant the
+        // monitor alarm timeline is pinned on.
+        let (hot, cold) = records(30_000);
+        for window in [
+            EstimatorWindow::Forgetting { lambda: 0.8 },
+            EstimatorWindow::Sliding { segments: 5 },
+        ] {
+            let psd = PsdRatioEstimator::new(FS, 1_024, (100.0, 9_000.0)).unwrap();
+            let ests: [&dyn PowerRatioEstimator; 2] = [&MeanSquareEstimator, &psd];
+            for est in ests {
+                let reference = windowed_feed(est, window, &hot, &cold, 30_000)
+                    .snapshot()
+                    .unwrap();
+                for chunk in [1usize, 63, 1_024, 1_025, 7_000] {
+                    let snap = windowed_feed(est, window, &hot, &cold, chunk)
+                        .snapshot()
+                        .unwrap();
+                    assert_eq!(
+                        snap.ratio.to_bits(),
+                        reference.ratio.to_bits(),
+                        "{} chunk {chunk} window {window:?}",
+                        est.label()
+                    );
+                    assert_eq!(snap.hot_power.to_bits(), reference.hot_power.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn forgetting_window_depth_saturates() {
+        // λ = 0.5 → (1 + λ)/(1 − λ) = 3 effective segments.
+        let (hot, cold) = records(40_960);
+        let est = PsdRatioEstimator::new(FS, 1_024, (100.0, 9_000.0)).unwrap();
+        let acc = windowed_feed(
+            &est,
+            EstimatorWindow::Forgetting { lambda: 0.5 },
+            &hot,
+            &cold,
+            4_096,
+        );
+        let depth = acc.effective_samples() / 1_024.0;
+        assert!((depth - 3.0).abs() < 1e-6, "effective depth {depth}");
+
+        // Mean-square forgetting saturates at the same depth in
+        // blocks.
+        let acc = windowed_feed(
+            &MeanSquareEstimator,
+            EstimatorWindow::Forgetting { lambda: 0.5 },
+            &hot,
+            &cold,
+            4_096,
+        );
+        let depth = acc.effective_samples() / MEAN_SQUARE_BLOCK_SAMPLES as f64;
+        assert!((depth - 3.0).abs() < 1e-6, "effective depth {depth}");
+    }
+
+    #[test]
+    fn windowed_nf_point_carries_sigma_and_is_deterministic() {
+        // Hot record at 2× the cold power → Y = 2, safely inside
+        // (1, Th/Tc) for the 2900/290 K pair.
+        let (hot, cold) = records(40_000);
+        let est = PsdRatioEstimator::new(FS, 1_024, (100.0, 9_000.0)).unwrap();
+        let window = EstimatorWindow::Sliding { segments: 8 };
+        let acc = windowed_feed(&est, window, &hot, &cold, 1_024);
+        let fraction = 2.0 * (9_000.0 - 100.0) / FS;
+        let point = windowed_nf_point(&*acc, 2_900.0, 290.0, fraction).unwrap();
+        assert_eq!(
+            point.nf_db.to_bits(),
+            point.factor.to_figure().db().to_bits()
+        );
+        assert!(point.sigma_db.is_finite() && point.sigma_db > 0.0);
+        assert_eq!(
+            point.n_effective,
+            (acc.effective_samples() * fraction).floor() as usize
+        );
+        // Bit-determinism across re-runs.
+        let again = windowed_nf_point(&*acc, 2_900.0, 290.0, fraction).unwrap();
+        assert_eq!(point.nf_db.to_bits(), again.nf_db.to_bits());
+        assert_eq!(point.sigma_db.to_bits(), again.sigma_db.to_bits());
+        // A shallower window must widen the predicted sigma.
+        let shallow = windowed_feed(
+            &est,
+            EstimatorWindow::Sliding { segments: 2 },
+            &hot,
+            &cold,
+            1_024,
+        );
+        let wide = windowed_nf_point(&*shallow, 2_900.0, 290.0, fraction).unwrap();
+        assert!(wide.sigma_db > point.sigma_db);
+        // The band-limiting fraction is validated.
+        assert!(windowed_nf_point(&*acc, 2_900.0, 290.0, 0.0).is_err());
+        assert!(windowed_nf_point(&*acc, 2_900.0, 290.0, 1.5).is_err());
+    }
+
+    #[test]
+    fn windowed_validation_and_empty_snapshots() {
+        for est in [
+            &MeanSquareEstimator as &dyn PowerRatioEstimator,
+            &PsdRatioEstimator::new(FS, 512, (100.0, 9_000.0)).unwrap(),
+        ] {
+            let w = est.windowed().unwrap();
+            assert!(w
+                .begin_windowed(EstimatorWindow::Sliding { segments: 0 })
+                .is_err());
+            for lambda in [0.0, 1.0, -0.5, f64::NAN] {
+                assert!(w
+                    .begin_windowed(EstimatorWindow::Forgetting { lambda })
+                    .is_err());
+            }
+            // Nothing pushed yet → snapshot errors like the batch
+            // estimator on an empty record.
+            let acc = w
+                .begin_windowed(EstimatorWindow::Sliding { segments: 3 })
+                .unwrap();
+            assert!(acc.snapshot().is_err());
+            assert_eq!(acc.effective_samples(), 0.0);
+        }
+        assert!(EstimatorWindow::Sliding { segments: 1 }.validate().is_ok());
+        assert!(EstimatorWindow::Forgetting { lambda: 0.9 }
+            .validate()
+            .is_ok());
+    }
+
     #[test]
     fn discovery_through_trait_objects() {
         let boxed: Box<dyn PowerRatioEstimator> =
             Box::new(PsdRatioEstimator::new(FS, 512, (100.0, 9_000.0)).unwrap());
         assert!(boxed.streaming().is_some());
+        assert!(boxed.windowed().is_some());
         let boxed: Box<dyn PowerRatioEstimator> = Box::new(MeanSquareEstimator);
         assert!(boxed.streaming().is_some());
+        assert!(boxed.windowed().is_some());
         let boxed: Box<dyn PowerRatioEstimator> =
             Box::new(OneBitPowerRatio::new(FS, 512, 3_000.0, (100.0, 1_500.0)).unwrap());
         assert!(boxed.streaming().is_some());
+        assert!(boxed.windowed().is_some());
 
         /// An estimator that never opted in.
         #[derive(Debug)]
@@ -434,5 +1218,6 @@ mod tests {
         }
         let boxed: Box<dyn PowerRatioEstimator> = Box::new(Opaque);
         assert!(boxed.streaming().is_none(), "default is no streaming");
+        assert!(boxed.windowed().is_none(), "default is no windowing");
     }
 }

@@ -16,7 +16,7 @@ mod welch;
 mod workspace;
 
 pub use periodogram::{periodogram, PeriodogramConfig};
-pub use streaming::StreamingWelch;
+pub use streaming::{ForgettingWelch, SlidingWelch, StreamingWelch};
 pub use welch::WelchConfig;
 pub use workspace::{DspWorkspace, PsdPlan};
 

@@ -208,6 +208,455 @@ impl StreamingWelch {
     }
 }
 
+/// A sliding-window Welch estimator: only the last `window_segments`
+/// completed segments contribute to the estimate, older segments are
+/// retired as new ones arrive.
+///
+/// Each completed segment's one-sided density is written into its own
+/// ring slot (all slots allocated at construction, so steady-state
+/// pushes and finalizations allocate nothing). [`SlidingWelch::finalize`]
+/// sums the retained slots oldest-to-newest and scales by the count —
+/// the same left-fold the batch estimator performs — so the result is
+/// **bitwise identical** to [`WelchConfig::estimate`] run over exactly
+/// the retained samples (see [`SlidingWelch::retained_range`]).
+///
+/// # Examples
+///
+/// ```
+/// use nfbist_dsp::psd::{SlidingWelch, WelchConfig};
+///
+/// # fn main() -> Result<(), nfbist_dsp::DspError> {
+/// let x: Vec<f64> = (0..8192).map(|n| (n as f64 * 0.37).sin()).collect();
+/// let cfg = WelchConfig::new(1024)?;
+///
+/// let mut sw = SlidingWelch::new(cfg.clone(), 10_000.0, 4)?;
+/// for chunk in x.chunks(777) {
+///     sw.push(chunk)?;
+/// }
+/// // The window holds the last 4 segments; a batch estimate over the
+/// // retained samples is bit-for-bit the same spectrum.
+/// let (start, end) = sw.retained_range().unwrap();
+/// assert_eq!(sw.finalize()?, cfg.estimate(&x[start..end], 10_000.0)?);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct SlidingWelch {
+    config: WelchConfig,
+    sample_rate: f64,
+    workspace: DspWorkspace,
+    carry: Vec<f64>,
+    /// One density buffer (`segment_len/2 + 1` bins) per window slot.
+    ring: Vec<Vec<f64>>,
+    /// Next ring slot to overwrite; when the ring is full this is also
+    /// the oldest retained segment.
+    head: usize,
+    /// Retained segment count, `min(seen, ring.len())`.
+    filled: usize,
+    /// Segments completed over the whole stream (not just retained).
+    seen: usize,
+    pushed: usize,
+}
+
+impl SlidingWelch {
+    /// Creates a sliding estimator retaining the last `window_segments`
+    /// segments.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::InvalidParameter`] for a non-positive sample
+    /// rate or a zero-length window.
+    pub fn new(
+        config: WelchConfig,
+        sample_rate: f64,
+        window_segments: usize,
+    ) -> Result<Self, DspError> {
+        if !(sample_rate > 0.0) {
+            return Err(DspError::InvalidParameter {
+                name: "sample_rate",
+                reason: "must be positive",
+            });
+        }
+        if window_segments == 0 {
+            return Err(DspError::InvalidParameter {
+                name: "window_segments",
+                reason: "sliding window must retain at least one segment",
+            });
+        }
+        let n = config.segment_len();
+        Ok(SlidingWelch {
+            config,
+            sample_rate,
+            workspace: DspWorkspace::new(),
+            carry: Vec::with_capacity(n),
+            ring: vec![vec![0.0; n / 2 + 1]; window_segments],
+            head: 0,
+            filled: 0,
+            seen: 0,
+            pushed: 0,
+        })
+    }
+
+    /// The Welch configuration being accumulated.
+    pub fn config(&self) -> &WelchConfig {
+        &self.config
+    }
+
+    /// The sample rate in hertz.
+    pub fn sample_rate(&self) -> f64 {
+        self.sample_rate
+    }
+
+    /// The window capacity in segments.
+    pub fn window_segments(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Total samples pushed so far.
+    pub fn samples_pushed(&self) -> usize {
+        self.pushed
+    }
+
+    /// Segments currently retained in the window.
+    pub fn segments_retained(&self) -> usize {
+        self.filled
+    }
+
+    /// Segments completed over the whole stream, including retired ones.
+    pub fn segments_seen(&self) -> usize {
+        self.seen
+    }
+
+    /// Absolute sample positions `[start, end)` of the samples the
+    /// retained segments cover, or `None` before the first complete
+    /// segment. A batch estimate over exactly this span of the pushed
+    /// stream reproduces [`SlidingWelch::finalize`] bit for bit.
+    pub fn retained_range(&self) -> Option<(usize, usize)> {
+        if self.filled == 0 {
+            return None;
+        }
+        let n = self.config.segment_len();
+        let hop = self.config.hop();
+        let last_start = (self.seen - 1) * hop;
+        let first_start = (self.seen - self.filled) * hop;
+        Some((first_start, last_start + n))
+    }
+
+    /// Appends a chunk of samples; every segment the chunk completes
+    /// overwrites the oldest ring slot.
+    ///
+    /// # Errors
+    ///
+    /// Propagates FFT/plan errors (which cannot occur for a validated
+    /// configuration, but the signature stays honest).
+    pub fn push(&mut self, chunk: &[f64]) -> Result<(), DspError> {
+        let n = self.config.segment_len();
+        let hop = self.config.hop();
+        let detrend = self.config.detrend_enabled();
+        let policy = self.config.simd_policy();
+        let plan = self.workspace.plan(n, self.config.window_kind())?;
+        let mut rest = chunk;
+        loop {
+            let need = n - self.carry.len();
+            let take = need.min(rest.len());
+            self.carry.extend_from_slice(&rest[..take]);
+            rest = &rest[take..];
+            if self.carry.len() < n {
+                break;
+            }
+            let slot = &mut self.ring[self.head];
+            slot.fill(0.0);
+            accumulate_segment(plan, detrend, policy, self.sample_rate, &self.carry, slot)?;
+            self.head = (self.head + 1) % self.ring.len();
+            self.filled = (self.filled + 1).min(self.ring.len());
+            self.seen += 1;
+            self.carry.drain(..hop.min(self.carry.len()));
+        }
+        self.pushed += chunk.len();
+        Ok(())
+    }
+
+    /// The windowed estimate: mean of the retained segment densities,
+    /// summed oldest-to-newest exactly as the batch estimator folds its
+    /// segments. Non-destructive.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::EmptyInput`] before the first complete
+    /// segment.
+    pub fn finalize(&self) -> Result<Spectrum, DspError> {
+        let mut out = vec![0.0f64; self.config.segment_len() / 2 + 1];
+        self.finalize_into(&mut out)?;
+        Spectrum::new(out, self.sample_rate, self.config.segment_len())
+    }
+
+    /// [`SlidingWelch::finalize`] into a caller-owned buffer of
+    /// `segment_len/2 + 1` densities (no allocation).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SlidingWelch::finalize`], plus
+    /// [`DspError::LengthMismatch`] for a wrongly sized `out`.
+    pub fn finalize_into(&self, out: &mut [f64]) -> Result<(), DspError> {
+        let half = self.config.segment_len() / 2 + 1;
+        if out.len() != half {
+            return Err(DspError::LengthMismatch {
+                expected: half,
+                actual: out.len(),
+                context: "sliding welch finalize (output)",
+            });
+        }
+        if self.filled == 0 {
+            return Err(DspError::EmptyInput {
+                context: "sliding welch (input shorter than one segment)",
+            });
+        }
+        // Oldest slot: once the ring has wrapped, `head` points at it.
+        let start = if self.filled < self.ring.len() {
+            0
+        } else {
+            self.head
+        };
+        out.fill(0.0);
+        for k in 0..self.filled {
+            let slot = &self.ring[(start + k) % self.ring.len()];
+            for (o, s) in out.iter_mut().zip(slot) {
+                *o += s;
+            }
+        }
+        let inv = 1.0 / self.filled as f64;
+        for o in out.iter_mut() {
+            *o *= inv;
+        }
+        Ok(())
+    }
+
+    /// Clears the window (carry, ring, counters) keeping the cached FFT
+    /// plan and the ring allocation.
+    pub fn reset(&mut self) {
+        self.carry.clear();
+        self.head = 0;
+        self.filled = 0;
+        self.seen = 0;
+        self.pushed = 0;
+    }
+}
+
+/// An exponentially-forgetting Welch estimator: each completed segment
+/// decays the running density by `lambda` before adding its own, so the
+/// estimate tracks the recent past with an effective depth of about
+/// `(1 + lambda) / (1 - lambda)` segments.
+///
+/// Segment completions happen at absolute stream positions that do not
+/// depend on how the stream was chunked, so the estimate — like every
+/// other streaming path in this workspace — is a pure function of the
+/// pushed samples: **bit-identical across chunk sizes**.
+///
+/// # Examples
+///
+/// ```
+/// use nfbist_dsp::psd::{ForgettingWelch, WelchConfig};
+///
+/// # fn main() -> Result<(), nfbist_dsp::DspError> {
+/// let x: Vec<f64> = (0..8192).map(|n| (n as f64 * 0.37).sin()).collect();
+/// let cfg = WelchConfig::new(1024)?;
+/// let mut a = ForgettingWelch::new(cfg.clone(), 10_000.0, 0.8)?;
+/// let mut b = ForgettingWelch::new(cfg, 10_000.0, 0.8)?;
+/// for chunk in x.chunks(777) {
+///     a.push(chunk)?;
+/// }
+/// b.push(&x)?;
+/// assert_eq!(a.finalize()?, b.finalize()?); // chunking is invisible
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct ForgettingWelch {
+    config: WelchConfig,
+    sample_rate: f64,
+    lambda: f64,
+    workspace: DspWorkspace,
+    carry: Vec<f64>,
+    /// Decayed density accumulator (`segment_len/2 + 1` bins).
+    accum: Vec<f64>,
+    /// Fresh segment density scratch, zeroed and refilled per segment.
+    scratch: Vec<f64>,
+    /// `Σ λ^k` over completed segments (the normalization weight).
+    weight: f64,
+    /// `Σ λ^{2k}`, tracked so the effective window depth is exact.
+    weight_sq: f64,
+    seen: usize,
+    pushed: usize,
+}
+
+impl ForgettingWelch {
+    /// Creates a forgetting estimator with decay factor `lambda`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::InvalidParameter`] for a non-positive sample
+    /// rate or a `lambda` outside the open interval `(0, 1)` (at 1 the
+    /// estimator degenerates to [`StreamingWelch`]).
+    pub fn new(config: WelchConfig, sample_rate: f64, lambda: f64) -> Result<Self, DspError> {
+        if !(sample_rate > 0.0) {
+            return Err(DspError::InvalidParameter {
+                name: "sample_rate",
+                reason: "must be positive",
+            });
+        }
+        if !(lambda > 0.0 && lambda < 1.0) {
+            return Err(DspError::InvalidParameter {
+                name: "lambda",
+                reason: "forgetting factor must lie in (0, 1)",
+            });
+        }
+        let n = config.segment_len();
+        Ok(ForgettingWelch {
+            config,
+            sample_rate,
+            lambda,
+            workspace: DspWorkspace::new(),
+            carry: Vec::with_capacity(n),
+            accum: vec![0.0; n / 2 + 1],
+            scratch: vec![0.0; n / 2 + 1],
+            weight: 0.0,
+            weight_sq: 0.0,
+            seen: 0,
+            pushed: 0,
+        })
+    }
+
+    /// The Welch configuration being accumulated.
+    pub fn config(&self) -> &WelchConfig {
+        &self.config
+    }
+
+    /// The sample rate in hertz.
+    pub fn sample_rate(&self) -> f64 {
+        self.sample_rate
+    }
+
+    /// The per-segment decay factor.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Total samples pushed so far.
+    pub fn samples_pushed(&self) -> usize {
+        self.pushed
+    }
+
+    /// Segments completed over the whole stream.
+    pub fn segments_seen(&self) -> usize {
+        self.seen
+    }
+
+    /// The equivalent number of equally-weighted segments,
+    /// `(Σλ^k)² / Σλ^{2k}` — the depth to feed a `1/√n` variance model.
+    /// Grows from 1 toward `(1 + λ) / (1 - λ)` and is 0 before the
+    /// first segment.
+    pub fn effective_segments(&self) -> f64 {
+        if self.seen == 0 {
+            return 0.0;
+        }
+        self.weight * self.weight / self.weight_sq
+    }
+
+    /// Appends a chunk of samples; every segment the chunk completes
+    /// decays the accumulator and adds its density.
+    ///
+    /// # Errors
+    ///
+    /// Propagates FFT/plan errors (which cannot occur for a validated
+    /// configuration, but the signature stays honest).
+    pub fn push(&mut self, chunk: &[f64]) -> Result<(), DspError> {
+        let n = self.config.segment_len();
+        let hop = self.config.hop();
+        let detrend = self.config.detrend_enabled();
+        let policy = self.config.simd_policy();
+        let plan = self.workspace.plan(n, self.config.window_kind())?;
+        let mut rest = chunk;
+        loop {
+            let need = n - self.carry.len();
+            let take = need.min(rest.len());
+            self.carry.extend_from_slice(&rest[..take]);
+            rest = &rest[take..];
+            if self.carry.len() < n {
+                break;
+            }
+            self.scratch.fill(0.0);
+            accumulate_segment(
+                plan,
+                detrend,
+                policy,
+                self.sample_rate,
+                &self.carry,
+                &mut self.scratch,
+            )?;
+            for (a, s) in self.accum.iter_mut().zip(&self.scratch) {
+                *a = self.lambda * *a + s;
+            }
+            self.weight = self.lambda * self.weight + 1.0;
+            self.weight_sq = self.lambda * self.lambda * self.weight_sq + 1.0;
+            self.seen += 1;
+            self.carry.drain(..hop.min(self.carry.len()));
+        }
+        self.pushed += chunk.len();
+        Ok(())
+    }
+
+    /// The forgetting estimate: decayed density sum over the decayed
+    /// weight sum. Non-destructive.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::EmptyInput`] before the first complete
+    /// segment.
+    pub fn finalize(&self) -> Result<Spectrum, DspError> {
+        let mut out = vec![0.0f64; self.accum.len()];
+        self.finalize_into(&mut out)?;
+        Spectrum::new(out, self.sample_rate, self.config.segment_len())
+    }
+
+    /// [`ForgettingWelch::finalize`] into a caller-owned buffer of
+    /// `segment_len/2 + 1` densities (no allocation).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ForgettingWelch::finalize`], plus
+    /// [`DspError::LengthMismatch`] for a wrongly sized `out`.
+    pub fn finalize_into(&self, out: &mut [f64]) -> Result<(), DspError> {
+        if out.len() != self.accum.len() {
+            return Err(DspError::LengthMismatch {
+                expected: self.accum.len(),
+                actual: out.len(),
+                context: "forgetting welch finalize (output)",
+            });
+        }
+        if self.seen == 0 {
+            return Err(DspError::EmptyInput {
+                context: "forgetting welch (input shorter than one segment)",
+            });
+        }
+        let inv = 1.0 / self.weight;
+        for (o, a) in out.iter_mut().zip(&self.accum) {
+            *o = a * inv;
+        }
+        Ok(())
+    }
+
+    /// Clears the accumulated state keeping the cached FFT plan.
+    pub fn reset(&mut self) {
+        self.carry.clear();
+        self.accum.fill(0.0);
+        self.scratch.fill(0.0);
+        self.weight = 0.0;
+        self.weight_sq = 0.0;
+        self.seen = 0;
+        self.pushed = 0;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -314,6 +763,157 @@ mod tests {
             assert!(sw.carry.len() < 128, "carry {}", sw.carry.len());
             assert!(sw.carry.capacity() <= 128, "capacity grew");
         }
+    }
+
+    #[test]
+    fn sliding_matches_batch_over_retained_window_bitwise() {
+        let fs = 20_000.0;
+        let x = noise(9_000, 17);
+        for nfft in [512usize, 500] {
+            for window in [1usize, 3, 8] {
+                let cfg = WelchConfig::new(nfft).unwrap().window(Window::Hann);
+                for chunk in [1usize, 63, nfft / 2, nfft, nfft + 1, x.len()] {
+                    let mut sw = SlidingWelch::new(cfg.clone(), fs, window).unwrap();
+                    for c in x.chunks(chunk) {
+                        sw.push(c).unwrap();
+                    }
+                    assert_eq!(sw.segments_seen(), cfg.segment_count(x.len()));
+                    assert_eq!(
+                        sw.segments_retained(),
+                        window.min(cfg.segment_count(x.len()))
+                    );
+                    let (start, end) = sw.retained_range().unwrap();
+                    let batch = cfg.estimate(&x[start..end], fs).unwrap();
+                    assert_eq!(
+                        sw.finalize().unwrap(),
+                        batch,
+                        "nfft {nfft} window {window} chunk {chunk}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sliding_window_with_overlap_matches_batch() {
+        let fs = 8_000.0;
+        let x = noise(6_000, 29);
+        let cfg = WelchConfig::new(256)
+            .unwrap()
+            .window(Window::Rectangular)
+            .overlap(0.75)
+            .unwrap();
+        let mut sw = SlidingWelch::new(cfg.clone(), fs, 5).unwrap();
+        for c in x.chunks(97) {
+            sw.push(c).unwrap();
+        }
+        let (start, end) = sw.retained_range().unwrap();
+        assert_eq!(
+            sw.finalize().unwrap(),
+            cfg.estimate(&x[start..end], fs).unwrap()
+        );
+    }
+
+    #[test]
+    fn sliding_validation_and_empty_state() {
+        let cfg = WelchConfig::new(128).unwrap();
+        assert!(SlidingWelch::new(cfg.clone(), 0.0, 4).is_err());
+        assert!(SlidingWelch::new(cfg.clone(), 1_000.0, 0).is_err());
+        let sw = SlidingWelch::new(cfg, 1_000.0, 4).unwrap();
+        assert!(sw.retained_range().is_none());
+        assert!(sw.finalize().is_err());
+        assert_eq!(sw.window_segments(), 4);
+    }
+
+    #[test]
+    fn sliding_reset_reuses_the_ring() {
+        let fs = 2_000.0;
+        let a = noise(2_048, 31);
+        let b = noise(2_048, 32);
+        let cfg = WelchConfig::new(512).unwrap();
+        let mut sw = SlidingWelch::new(cfg.clone(), fs, 2).unwrap();
+        sw.push(&a).unwrap();
+        sw.reset();
+        assert_eq!(sw.segments_seen(), 0);
+        for c in b.chunks(300) {
+            sw.push(c).unwrap();
+        }
+        let (start, end) = sw.retained_range().unwrap();
+        assert_eq!(
+            sw.finalize().unwrap(),
+            cfg.estimate(&b[start..end], fs).unwrap()
+        );
+    }
+
+    #[test]
+    fn forgetting_is_chunk_invariant_bitwise() {
+        let fs = 20_000.0;
+        let x = noise(9_000, 23);
+        for nfft in [512usize, 500] {
+            let cfg = WelchConfig::new(nfft).unwrap().window(Window::Hann);
+            let mut reference = ForgettingWelch::new(cfg.clone(), fs, 0.7).unwrap();
+            reference.push(&x).unwrap();
+            let want = reference.finalize().unwrap();
+            for chunk in [1usize, 63, nfft / 2, nfft, nfft + 1] {
+                let mut fw = ForgettingWelch::new(cfg.clone(), fs, 0.7).unwrap();
+                for c in x.chunks(chunk) {
+                    fw.push(c).unwrap();
+                }
+                assert_eq!(fw.segments_seen(), reference.segments_seen());
+                assert_eq!(fw.finalize().unwrap(), want, "nfft {nfft} chunk {chunk}");
+            }
+        }
+    }
+
+    #[test]
+    fn forgetting_weights_and_effective_depth() {
+        let fs = 1_000.0;
+        let cfg = WelchConfig::new(128).unwrap();
+        let lambda = 0.5f64;
+        let mut fw = ForgettingWelch::new(cfg, fs, lambda).unwrap();
+        assert_eq!(fw.effective_segments(), 0.0);
+        fw.push(&noise(128, 1)).unwrap();
+        assert_eq!(fw.segments_seen(), 1);
+        assert_eq!(fw.effective_segments(), 1.0);
+        // Enough segments to approach the asymptotic depth (1+λ)/(1−λ).
+        fw.push(&noise(128 * 64, 2)).unwrap();
+        let depth = fw.effective_segments();
+        let asymptote = (1.0 + lambda) / (1.0 - lambda);
+        assert!(depth > 1.0 && depth <= asymptote + 1e-9, "depth {depth}");
+        assert!((depth - asymptote).abs() < 1e-6, "depth {depth}");
+    }
+
+    #[test]
+    fn forgetting_tracks_a_level_shift_faster_than_cumulative() {
+        // Feed quiet noise then 16x louder noise: the forgetting
+        // estimator's band power must sit far closer to the loud level
+        // than the cumulative average does.
+        let fs = 10_000.0;
+        let cfg = WelchConfig::new(256).unwrap();
+        let quiet = noise(256 * 32, 5);
+        let loud: Vec<f64> = noise(256 * 32, 6).iter().map(|v| v * 4.0).collect();
+        let mut fw = ForgettingWelch::new(cfg.clone(), fs, 0.5).unwrap();
+        let mut cumulative = StreamingWelch::new(cfg, fs).unwrap();
+        for x in [&quiet, &loud] {
+            fw.push(x).unwrap();
+            cumulative.push(x).unwrap();
+        }
+        let f = fw.finalize().unwrap().total_power();
+        let c = cumulative.finalize().unwrap().total_power();
+        let loud_power = 16.0 / 12.0; // uniform(-2,2) variance
+        assert!(
+            (f - loud_power).abs() < (c - loud_power).abs() / 4.0,
+            "forgetting {f} cumulative {c}"
+        );
+    }
+
+    #[test]
+    fn forgetting_validation() {
+        let cfg = WelchConfig::new(128).unwrap();
+        assert!(ForgettingWelch::new(cfg.clone(), 0.0, 0.5).is_err());
+        assert!(ForgettingWelch::new(cfg.clone(), 1_000.0, 0.0).is_err());
+        assert!(ForgettingWelch::new(cfg.clone(), 1_000.0, 1.0).is_err());
+        assert!(ForgettingWelch::new(cfg, 1_000.0, 0.99).is_ok());
     }
 
     #[test]

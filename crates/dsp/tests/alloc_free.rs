@@ -170,3 +170,63 @@ fn steady_state_streaming_welch_push_is_allocation_free() {
     result.unwrap();
     assert_eq!(count, 0, "finalize_into must not allocate");
 }
+
+#[test]
+fn steady_state_sliding_welch_is_allocation_free() {
+    let _serial = serialize_test();
+    use nfbist_dsp::psd::SlidingWelch;
+    // The monitoring loop's hot path: the window ring is allocated up
+    // front, so pushing chunks and emitting windowed estimates — long
+    // after the ring has wrapped — costs the allocator nothing.
+    for nfft in [1_024usize, 1_000] {
+        let chunk = noise(1_777, 17);
+        let cfg = WelchConfig::new(nfft).unwrap().window(Window::Hann);
+        let mut sw = SlidingWelch::new(cfg, 20_000.0, 6).unwrap();
+        let mut out = vec![0.0f64; nfft / 2 + 1];
+        // Warm-up: plans the FFT, fills carry and ring slots.
+        sw.push(&chunk).unwrap();
+        sw.push(&chunk).unwrap();
+        sw.finalize_into(&mut out).unwrap();
+        let (count, result) = allocations(|| {
+            for _ in 0..32 {
+                sw.push(&chunk)?;
+                sw.finalize_into(&mut out)?;
+            }
+            Ok::<(), nfbist_dsp::DspError>(())
+        });
+        result.unwrap();
+        assert_eq!(
+            count, 0,
+            "steady-state sliding push/emit (nfft {nfft}) must not allocate"
+        );
+        assert!(sw.segments_seen() > sw.window_segments(), "ring wrapped");
+    }
+}
+
+#[test]
+fn steady_state_forgetting_welch_is_allocation_free() {
+    let _serial = serialize_test();
+    use nfbist_dsp::psd::ForgettingWelch;
+    for nfft in [1_024usize, 1_000] {
+        let chunk = noise(1_777, 19);
+        let cfg = WelchConfig::new(nfft).unwrap().window(Window::Hann);
+        let mut fw = ForgettingWelch::new(cfg, 20_000.0, 0.9).unwrap();
+        let mut out = vec![0.0f64; nfft / 2 + 1];
+        fw.push(&chunk).unwrap();
+        fw.push(&chunk).unwrap();
+        fw.finalize_into(&mut out).unwrap();
+        let (count, result) = allocations(|| {
+            for _ in 0..32 {
+                fw.push(&chunk)?;
+                fw.finalize_into(&mut out)?;
+            }
+            Ok::<(), nfbist_dsp::DspError>(())
+        });
+        result.unwrap();
+        assert_eq!(
+            count, 0,
+            "steady-state forgetting push/emit (nfft {nfft}) must not allocate"
+        );
+        assert!(fw.segments_seen() > 0);
+    }
+}

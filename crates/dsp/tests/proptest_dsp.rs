@@ -271,4 +271,119 @@ proptest! {
             prop_assert_eq!(s.to_bits(), b.to_bits());
         }
     }
+
+    /// The sliding-window estimator's contract: at any point in the
+    /// stream, its estimate equals a batch Welch run over **exactly the
+    /// retained samples** to the last bit — for partially filled and
+    /// wrapped windows, every chunking (smaller than, equal to, and a
+    /// non-divisor of the segment), pow2 and Bluestein segment sizes,
+    /// and every overlap class.
+    #[test]
+    fn sliding_welch_is_bitwise_batch_over_retained_samples(
+        signal in finite_signal(96),
+        seg_pow in 5u32..9,
+        bluestein in any::<bool>(),
+        overlap_class in 0usize..4,
+        window_segments in 1usize..6,
+        total_mult in 1usize..6,
+        chunk_class in 0usize..3,
+        jitter in 1usize..31,
+    ) {
+        use nfbist_dsp::psd::{SlidingWelch, WelchConfig};
+
+        let nfft = if bluestein {
+            (1usize << seg_pow) - 7 // odd size -> Bluestein engine
+        } else {
+            1usize << seg_pow
+        };
+        // Enough for 1..=5 whole segments plus a ragged tail, so the
+        // window is exercised both before it fills and after it wraps.
+        let total = nfft * total_mult + jitter;
+        let x: Vec<f64> = (0..total).map(|i| signal[i % signal.len()]).collect();
+        let chunk = match chunk_class {
+            0 => jitter,        // smaller than a segment
+            1 => nfft,          // exactly one segment
+            _ => nfft + jitter, // non-divisor straddler
+        };
+        let overlap = [0.0, 0.25, 0.5, 0.75][overlap_class];
+
+        let cfg = WelchConfig::new(nfft).unwrap().overlap(overlap).unwrap();
+        let mut sw = SlidingWelch::new(cfg.clone(), 10_000.0, window_segments).unwrap();
+        for c in x.chunks(chunk) {
+            sw.push(c).unwrap();
+        }
+        prop_assert!(sw.segments_seen() >= 1);
+        prop_assert_eq!(
+            sw.segments_retained(),
+            sw.segments_seen().min(window_segments)
+        );
+        let (start, end) = sw.retained_range().unwrap();
+        prop_assert!(end <= total);
+        let batch = cfg.estimate(&x[start..end], 10_000.0).unwrap();
+        let windowed = sw.finalize().unwrap();
+        prop_assert_eq!(windowed.len(), batch.len());
+        for (w, b) in windowed.density().iter().zip(batch.density()) {
+            prop_assert_eq!(w.to_bits(), b.to_bits());
+        }
+    }
+
+    /// The forgetting estimator is a pure function of the pushed
+    /// samples — chunking is invisible to the last bit — its first
+    /// segment reproduces the batch estimate exactly (weight 1), and
+    /// its effective depth stays within `[1, (1+λ)/(1-λ)]`.
+    #[test]
+    fn forgetting_welch_is_chunk_invariant_and_starts_at_batch(
+        signal in finite_signal(96),
+        seg_pow in 5u32..9,
+        bluestein in any::<bool>(),
+        lambda in 0.05f64..0.95,
+        total_mult in 1usize..6,
+        chunk_class in 0usize..3,
+        jitter in 1usize..31,
+    ) {
+        use nfbist_dsp::psd::{ForgettingWelch, WelchConfig};
+
+        let nfft = if bluestein {
+            (1usize << seg_pow) - 7
+        } else {
+            1usize << seg_pow
+        };
+        let total = nfft * total_mult + jitter;
+        let x: Vec<f64> = (0..total).map(|i| signal[i % signal.len()]).collect();
+        let chunk = match chunk_class {
+            0 => jitter,
+            1 => nfft,
+            _ => nfft + jitter,
+        };
+
+        let cfg = WelchConfig::new(nfft).unwrap();
+        let mut chunked = ForgettingWelch::new(cfg.clone(), 10_000.0, lambda).unwrap();
+        for c in x.chunks(chunk) {
+            chunked.push(c).unwrap();
+        }
+        let mut whole = ForgettingWelch::new(cfg.clone(), 10_000.0, lambda).unwrap();
+        whole.push(&x).unwrap();
+        let a = chunked.finalize().unwrap();
+        let b = whole.finalize().unwrap();
+        for (p, q) in a.density().iter().zip(b.density()) {
+            prop_assert_eq!(p.to_bits(), q.to_bits());
+        }
+
+        // Effective depth: one equally weighted segment at the start,
+        // saturating at the geometric-series limit.
+        let limit = (1.0 + lambda) / (1.0 - lambda);
+        prop_assert!(chunked.effective_segments() >= 1.0 - 1e-12);
+        prop_assert!(chunked.effective_segments() <= limit + 1e-9);
+
+        // With exactly one completed segment the decayed fold
+        // degenerates to the plain batch estimate, bit for bit.
+        let mut first = ForgettingWelch::new(cfg.clone(), 10_000.0, lambda).unwrap();
+        first.push(&x[..nfft]).unwrap();
+        prop_assert_eq!(first.segments_seen(), 1);
+        let single = first.finalize().unwrap();
+        let batch = cfg.estimate(&x[..nfft], 10_000.0).unwrap();
+        for (s, r) in single.density().iter().zip(batch.density()) {
+            prop_assert_eq!(s.to_bits(), r.to_bits());
+        }
+    }
 }

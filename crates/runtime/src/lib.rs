@@ -50,6 +50,11 @@
 //! * [`service::FleetService`] — the long-running screening service:
 //!   lots submitted over time to a supervised worker loop, graceful
 //!   drain on shutdown, health snapshots mid-flight.
+//! * [`monitor::MonitorPlan`] / [`monitor::MonitorService`] — the
+//!   continuous-monitoring twins: fleets of in-field
+//!   `MonitorSession` missions fanned out, admitted, supervised and
+//!   chaos-hardened exactly like lot screening, with every surviving
+//!   alarm timeline bit-identical to its solo run.
 //!
 //! ## Example
 //!
@@ -81,6 +86,7 @@ pub mod chaos;
 pub mod error;
 pub mod executor;
 pub mod fleet;
+pub mod monitor;
 pub mod queue;
 pub mod service;
 pub mod supervisor;
@@ -90,6 +96,7 @@ pub use chaos::ChaosConfig;
 pub use error::RuntimeError;
 pub use executor::BatchExecutor;
 pub use fleet::FleetPlan;
+pub use monitor::{MonitorPlan, MonitorService};
 pub use queue::{MemoryGate, WorkQueue};
 pub use service::{FleetService, HealthSnapshot, LotTicket};
 pub use supervisor::{Backoff, TaskPolicy, Watchdog};

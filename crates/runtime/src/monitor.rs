@@ -1,0 +1,787 @@
+//! Fleet-scale continuous monitoring: many concurrent
+//! [`MonitorSession`] missions under one supervised, budgeted,
+//! chaos-hardened runtime — the monitoring twin of
+//! [`crate::fleet::FleetPlan`] / [`crate::service::FleetService`].
+//!
+//! A fielded product is not one monitored part but a population:
+//! every unit runs its own unbounded acquisition → windowed-estimator
+//! → CUSUM pipeline, and the maintenance backend wants the resulting
+//! alarm timelines without one wedged unit taking the collector down.
+//! [`MonitorPlan::run_fleet`] fans `n` missions across a
+//! [`WorkQueue`], admits each through a global [`MemoryGate`], runs it
+//! under the plan's [`TaskPolicy`] (panic isolation, deadline, retry,
+//! quarantine) with optional seeded [`ChaosConfig`] faults in front of
+//! the mission body, and returns slot-indexed
+//! [`MonitorOutcome`]s.
+//!
+//! Determinism is inherited, not negotiated: a mission's timeline is a
+//! pure function of its [`MonitorSession`] configuration (the builder
+//! closure gets only the monitor index), results are slot-indexed, and
+//! supervision changes *whether* a timeline is kept, never its bits —
+//! so every monitor that survives a chaos run returns exactly the
+//! clean run's timeline, for any worker count and budget.
+//!
+//! [`MonitorService`] is the long-running form: monitor fleets
+//! submitted over time to a dedicated service thread, graceful drain
+//! on shutdown, health snapshots mid-flight — the same contract as
+//! [`crate::service::FleetService`], with fleets of missions instead
+//! of lots of dies.
+
+use crate::chaos::ChaosConfig;
+use crate::error::{panic_message, RuntimeError};
+use crate::queue::{MemoryGate, WorkQueue};
+use crate::supervisor::{TaskPolicy, Watchdog};
+use nfbist_soc::fleet::DieFaultKind;
+use nfbist_soc::monitor::{AlarmKind, MonitorReport, MonitorSession};
+use nfbist_soc::SocError;
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::{self, JoinHandle};
+
+/// Builds the mission for one monitor index — the only input a fleet
+/// monitor gets, so the whole fleet is a pure function of the closure.
+pub type MonitorBuilder = dyn Fn(usize) -> Result<MonitorSession, SocError> + Send + Sync;
+
+/// A monitor whose every supervised attempt failed, quarantined with
+/// its terminal fault (the [`DieFaultKind`] taxonomy is shared with
+/// lot screening — the faults are the same runtime faults).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MonitorFault {
+    /// The monitor's fleet index.
+    pub monitor: usize,
+    /// Attempts consumed before quarantine.
+    pub attempts: usize,
+    /// The terminal fault.
+    pub kind: DieFaultKind,
+}
+
+/// One fleet slot's outcome: the mission's full report, or the fault
+/// that quarantined it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MonitorOutcome {
+    /// The mission completed; the report carries the same bits a solo
+    /// run of the same [`MonitorSession`] produces.
+    Completed(MonitorReport),
+    /// Every attempt faulted; no timeline was kept.
+    Faulted(MonitorFault),
+}
+
+impl MonitorOutcome {
+    /// The completed report, if the mission survived.
+    pub fn report(&self) -> Option<&MonitorReport> {
+        match self {
+            MonitorOutcome::Completed(report) => Some(report),
+            MonitorOutcome::Faulted(_) => None,
+        }
+    }
+
+    /// The quarantine record, if the mission faulted.
+    pub fn fault(&self) -> Option<&MonitorFault> {
+        match self {
+            MonitorOutcome::Completed(_) => None,
+            MonitorOutcome::Faulted(fault) => Some(fault),
+        }
+    }
+}
+
+/// The slot-indexed outcome of one monitor fleet run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonitorFleetReport {
+    outcomes: Vec<MonitorOutcome>,
+}
+
+impl MonitorFleetReport {
+    /// All outcomes, indexed by monitor.
+    pub fn outcomes(&self) -> &[MonitorOutcome] {
+        &self.outcomes
+    }
+
+    /// The fleet size.
+    pub fn monitors(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// Monitors whose mission completed.
+    pub fn completed(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| o.report().is_some())
+            .count()
+    }
+
+    /// Monitors lost to runtime faults.
+    pub fn faulted(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.fault().is_some()).count()
+    }
+
+    /// `true` when at least one monitor was quarantined.
+    pub fn degraded(&self) -> bool {
+        self.faulted() > 0
+    }
+
+    /// Completed reports with their monitor indices, in fleet order.
+    pub fn reports(&self) -> impl Iterator<Item = (usize, &MonitorReport)> {
+        self.outcomes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, o)| o.report().map(|r| (i, r)))
+    }
+
+    /// Quarantine records, in fleet order.
+    pub fn faults(&self) -> impl Iterator<Item = &MonitorFault> {
+        self.outcomes.iter().filter_map(MonitorOutcome::fault)
+    }
+
+    /// Monitors whose timeline contains at least one event of `kind`.
+    pub fn monitors_with(&self, kind: AlarmKind) -> Vec<usize> {
+        self.reports()
+            .filter(|(_, r)| r.first_event(kind).is_some())
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// A monitoring-fleet execution plan: worker count, optional global
+/// memory budget for admission control, per-mission supervision
+/// policy, optional seeded fault injection.
+///
+/// # Examples
+///
+/// ```
+/// use nfbist_runtime::monitor::MonitorPlan;
+/// use nfbist_soc::monitor::MonitorSession;
+/// use nfbist_soc::session::derive_seed;
+/// use nfbist_soc::setup::BistSetup;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // 4 independent missions over 2 workers; per-monitor seeds are
+/// // derived inside the builder, so the fleet reproduces exactly.
+/// let fleet = MonitorPlan::workers(2).run_fleet(4, 1 << 16, |i| {
+///     let mut setup = BistSetup::quick(derive_seed(7, i as u64));
+///     setup.samples = 1 << 14;
+///     setup.nfft = 1_024;
+///     MonitorSession::new(setup)
+/// });
+/// assert_eq!(fleet.completed(), 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MonitorPlan {
+    workers: usize,
+    budget: Option<usize>,
+    policy: TaskPolicy,
+    chaos: Option<ChaosConfig>,
+}
+
+impl MonitorPlan {
+    /// A plan sized to the machine, unbudgeted, with the default
+    /// one-attempt policy and no fault injection.
+    pub fn new() -> Self {
+        MonitorPlan {
+            workers: WorkQueue::with_available_parallelism().workers(),
+            budget: None,
+            policy: TaskPolicy::new(),
+            chaos: None,
+        }
+    }
+
+    /// A single-worker plan: missions run inline on the calling
+    /// thread, in monitor order — the reference schedule.
+    pub fn sequential() -> Self {
+        Self::workers(1)
+    }
+
+    /// A plan with an explicit worker count (clamped to ≥ 1).
+    pub fn workers(n: usize) -> Self {
+        MonitorPlan {
+            workers: n.max(1),
+            budget: None,
+            policy: TaskPolicy::new(),
+            chaos: None,
+        }
+    }
+
+    /// The configured worker count.
+    pub fn worker_count(&self) -> usize {
+        self.workers
+    }
+
+    /// Sets the global memory budget in bytes: at most this much
+    /// admitted mission cost in flight at once, enforced by a
+    /// [`MemoryGate`] with backpressure.
+    pub fn memory_budget(mut self, bytes: usize) -> Self {
+        self.budget = Some(bytes);
+        self
+    }
+
+    /// The global memory budget, if set.
+    pub fn memory_budget_bytes(&self) -> Option<usize> {
+        self.budget
+    }
+
+    /// Sets the per-mission supervision policy: deadline, retry
+    /// budget, backoff.
+    pub const fn task_policy(mut self, policy: TaskPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The per-mission supervision policy in force.
+    pub const fn policy(&self) -> TaskPolicy {
+        self.policy
+    }
+
+    /// Arms seeded runtime fault injection in front of each mission
+    /// body (see [`ChaosConfig`]).
+    pub const fn chaos(mut self, chaos: ChaosConfig) -> Self {
+        self.chaos = Some(chaos);
+        self
+    }
+
+    /// The armed chaos schedule, if any.
+    pub const fn chaos_config(&self) -> Option<ChaosConfig> {
+        self.chaos
+    }
+
+    /// Runs `monitors` missions across the plan's workers. `build`
+    /// receives each monitor's fleet index and constructs its mission;
+    /// `cost_bytes` is one mission's worst-case transient memory, the
+    /// unit the admission gate charges (a mission's streaming working
+    /// set — chunk buffers plus the Welch plan — is a good value;
+    /// see `MeasurementSession::memory_budget`).
+    ///
+    /// A mission whose every attempt fails (panic, deadline,
+    /// allocation failure, pipeline error) becomes a
+    /// [`MonitorOutcome::Faulted`] slot; every other slot carries a
+    /// report bit-identical to a solo run of the same mission — for
+    /// any worker count, budget, and chaos schedule.
+    pub fn run_fleet<F>(&self, monitors: usize, cost_bytes: usize, build: F) -> MonitorFleetReport
+    where
+        F: Fn(usize) -> Result<MonitorSession, SocError> + Sync,
+    {
+        let gate = match self.budget {
+            Some(bytes) => MemoryGate::new(bytes),
+            None => MemoryGate::unbounded(),
+        };
+        let deadline = self.policy.deadline_duration();
+        let watchdog = deadline.map(|_| Watchdog::new());
+        let results = WorkQueue::new(self.workers).run_isolated(monitors, |i| {
+            self.policy.supervise(i, watchdog.as_ref(), |attempt| {
+                // Admission before construction: a mission's buffers
+                // only come to life once its cost fits under the
+                // global budget. The guard is held for the mission.
+                let _in_flight = match deadline {
+                    Some(limit) => gate.admit_within(cost_bytes, limit)?,
+                    None => gate.admit(cost_bytes),
+                };
+                if let Some(chaos) = &self.chaos {
+                    chaos.inject(i, attempt, deadline, cost_bytes)?;
+                }
+                build(i)
+                    .and_then(|mission| mission.run())
+                    .map_err(RuntimeError::from)
+            })
+        });
+        let outcomes = results
+            .into_iter()
+            .enumerate()
+            .map(|(i, slot)| match slot.and_then(|inner| inner) {
+                Ok(report) => MonitorOutcome::Completed(report),
+                Err(fault) => MonitorOutcome::Faulted(monitor_fault(i, fault)),
+            })
+            .collect();
+        MonitorFleetReport { outcomes }
+    }
+}
+
+impl Default for MonitorPlan {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Renders a runtime fault into a quarantine record; quarantines
+/// unwrap to their terminal fault, anything else was a single-attempt
+/// loss.
+fn monitor_fault(monitor: usize, fault: RuntimeError) -> MonitorFault {
+    match fault {
+        RuntimeError::Quarantined { attempts, last, .. } => MonitorFault {
+            monitor,
+            attempts,
+            kind: terminal_kind(*last),
+        },
+        other => MonitorFault {
+            monitor,
+            attempts: 1,
+            kind: terminal_kind(other),
+        },
+    }
+}
+
+fn terminal_kind(fault: RuntimeError) -> DieFaultKind {
+    match fault {
+        RuntimeError::TaskPanicked { message, .. } => DieFaultKind::Panicked { message },
+        RuntimeError::DeadlineExceeded { .. } => DieFaultKind::DeadlineExceeded,
+        RuntimeError::AllocationFailed { .. } => DieFaultKind::AllocationFailed,
+        other => DieFaultKind::Error {
+            message: other.to_string(),
+        },
+    }
+}
+
+/// A claim on one submitted monitor fleet's eventual report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FleetTicket {
+    id: u64,
+}
+
+impl FleetTicket {
+    /// The service-assigned fleet id (submission order, starting at 0).
+    pub const fn id(&self) -> u64 {
+        self.id
+    }
+}
+
+/// A point-in-time view of the monitoring service's health.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MonitorHealth {
+    /// Fleets submitted but not yet started.
+    pub queued: usize,
+    /// Whether a fleet is running right now.
+    pub running: bool,
+    /// Fleets finished over the service lifetime.
+    pub completed_fleets: u64,
+    /// Missions completed to a timeline across all finished fleets.
+    pub completed_monitors: u64,
+    /// Missions lost to runtime faults across all finished fleets.
+    pub faulted_monitors: u64,
+    /// Whether the service is draining (no new submissions).
+    pub draining: bool,
+}
+
+struct FleetJob {
+    monitors: usize,
+    cost_bytes: usize,
+    build: Box<MonitorBuilder>,
+}
+
+struct MonitorServiceState {
+    queue: VecDeque<(u64, FleetJob)>,
+    results: HashMap<u64, Result<MonitorFleetReport, RuntimeError>>,
+    running: Option<u64>,
+    next_id: u64,
+    draining: bool,
+    completed_fleets: u64,
+    completed_monitors: u64,
+    faulted_monitors: u64,
+}
+
+struct MonitorShared {
+    state: Mutex<MonitorServiceState>,
+    submitted: Condvar,
+    finished: Condvar,
+}
+
+impl MonitorShared {
+    fn lock(&self) -> MutexGuard<'_, MonitorServiceState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// The long-running monitoring service: monitor fleets submitted over
+/// time to a dedicated supervised service thread, graceful drain on
+/// shutdown, health snapshots mid-flight — the monitoring sibling of
+/// [`crate::service::FleetService`].
+///
+/// # Examples
+///
+/// ```
+/// use nfbist_runtime::monitor::{MonitorPlan, MonitorService};
+/// use nfbist_soc::monitor::MonitorSession;
+/// use nfbist_soc::session::derive_seed;
+/// use nfbist_soc::setup::BistSetup;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut service = MonitorService::start(MonitorPlan::workers(2));
+/// let ticket = service.submit(3, 1 << 16, |i| {
+///     let mut setup = BistSetup::quick(derive_seed(5, i as u64));
+///     setup.samples = 1 << 14;
+///     setup.nfft = 1_024;
+///     MonitorSession::new(setup)
+/// })?;
+/// let fleet = service.wait(ticket)?;
+/// assert_eq!(fleet.completed(), 3);
+/// service.shutdown(); // graceful drain
+/// # Ok(())
+/// # }
+/// ```
+pub struct MonitorService {
+    shared: Arc<MonitorShared>,
+    plan: MonitorPlan,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for MonitorService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MonitorService")
+            .field("plan", &self.plan)
+            .field("health", &self.health())
+            .finish()
+    }
+}
+
+impl MonitorService {
+    /// Starts the service thread; every submitted fleet runs under
+    /// `plan`.
+    pub fn start(plan: MonitorPlan) -> Self {
+        let shared = Arc::new(MonitorShared {
+            state: Mutex::new(MonitorServiceState {
+                queue: VecDeque::new(),
+                results: HashMap::new(),
+                running: None,
+                next_id: 0,
+                draining: false,
+                completed_fleets: 0,
+                completed_monitors: 0,
+                faulted_monitors: 0,
+            }),
+            submitted: Condvar::new(),
+            finished: Condvar::new(),
+        });
+        let loop_shared = Arc::clone(&shared);
+        let worker = thread::Builder::new()
+            .name("nfbist-monitor-service".to_string())
+            .spawn(move || Self::service_loop(&loop_shared, plan))
+            .ok();
+        MonitorService {
+            shared,
+            plan,
+            worker,
+        }
+    }
+
+    fn service_loop(shared: &MonitorShared, plan: MonitorPlan) {
+        loop {
+            let (id, job) = {
+                let mut state = shared.lock();
+                loop {
+                    if let Some(job) = state.queue.pop_front() {
+                        state.running = Some(job.0);
+                        break job;
+                    }
+                    if state.draining {
+                        return;
+                    }
+                    state = shared
+                        .submitted
+                        .wait(state)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+            };
+            // Per-mission isolation lives in run_fleet; this unwind
+            // guard keeps an engine-level panic from killing the loop.
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                plan.run_fleet(job.monitors, job.cost_bytes, &*job.build)
+            }))
+            .map_err(|payload| RuntimeError::TaskPanicked {
+                index: 0,
+                message: format!(
+                    "monitor fleet panicked: {}",
+                    panic_message(payload.as_ref())
+                ),
+            });
+            let mut state = shared.lock();
+            state.completed_fleets += 1;
+            if let Ok(fleet) = &result {
+                state.completed_monitors += fleet.completed() as u64;
+                state.faulted_monitors += fleet.faulted() as u64;
+            }
+            state.results.insert(id, result);
+            state.running = None;
+            drop(state);
+            shared.finished.notify_all();
+        }
+    }
+
+    /// The plan every fleet runs under.
+    pub const fn plan(&self) -> MonitorPlan {
+        self.plan
+    }
+
+    /// Submits a fleet of `monitors` missions and returns the ticket
+    /// its report will be filed under; `build` and `cost_bytes` are
+    /// [`MonitorPlan::run_fleet`]'s parameters.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::ServiceShutdown`] once the service is draining.
+    pub fn submit<F>(
+        &self,
+        monitors: usize,
+        cost_bytes: usize,
+        build: F,
+    ) -> Result<FleetTicket, RuntimeError>
+    where
+        F: Fn(usize) -> Result<MonitorSession, SocError> + Send + Sync + 'static,
+    {
+        let mut state = self.shared.lock();
+        if state.draining {
+            return Err(RuntimeError::ServiceShutdown);
+        }
+        let id = state.next_id;
+        state.next_id += 1;
+        state.queue.push_back((
+            id,
+            FleetJob {
+                monitors,
+                cost_bytes,
+                build: Box::new(build),
+            },
+        ));
+        drop(state);
+        self.shared.submitted.notify_all();
+        Ok(FleetTicket { id })
+    }
+
+    /// Takes the ticket's fleet report if it is ready, without
+    /// blocking. `Ok(None)` means the fleet is still queued or running.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::UnknownTicket`] for a ticket never issued or
+    /// already taken; the fleet's own fault when it failed outright.
+    pub fn try_take(
+        &self,
+        ticket: FleetTicket,
+    ) -> Result<Option<MonitorFleetReport>, RuntimeError> {
+        let mut state = self.shared.lock();
+        match state.results.remove(&ticket.id) {
+            Some(result) => result.map(Some),
+            None if Self::pending(&state, ticket.id) => Ok(None),
+            None => Err(RuntimeError::UnknownTicket { id: ticket.id }),
+        }
+    }
+
+    /// Blocks until the ticket's fleet has finished and returns its
+    /// report (each ticket's report can be taken once).
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::UnknownTicket`] for a ticket never issued,
+    /// already taken, or abandoned by a drain before the fleet
+    /// started; the fleet's own fault when it failed outright.
+    pub fn wait(&self, ticket: FleetTicket) -> Result<MonitorFleetReport, RuntimeError> {
+        let mut state = self.shared.lock();
+        loop {
+            if let Some(result) = state.results.remove(&ticket.id) {
+                return result;
+            }
+            if !Self::pending(&state, ticket.id) {
+                return Err(RuntimeError::UnknownTicket { id: ticket.id });
+            }
+            state = self
+                .shared
+                .finished
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    fn pending(state: &MonitorServiceState, id: u64) -> bool {
+        state.running == Some(id) || state.queue.iter().any(|(qid, _)| *qid == id)
+    }
+
+    /// A point-in-time health snapshot.
+    pub fn health(&self) -> MonitorHealth {
+        let state = self.shared.lock();
+        MonitorHealth {
+            queued: state.queue.len(),
+            running: state.running.is_some(),
+            completed_fleets: state.completed_fleets,
+            completed_monitors: state.completed_monitors,
+            faulted_monitors: state.faulted_monitors,
+            draining: state.draining,
+        }
+    }
+
+    /// Gracefully drains the service: refuses new submissions,
+    /// finishes every queued fleet, joins the service thread. Results
+    /// of drained fleets remain collectable. Idempotent.
+    pub fn shutdown(&mut self) {
+        {
+            let mut state = self.shared.lock();
+            state.draining = true;
+        }
+        self.shared.submitted.notify_all();
+        if let Some(handle) = self.worker.take() {
+            let _ = handle.join();
+        }
+        self.shared.finished.notify_all();
+    }
+}
+
+impl Drop for MonitorService {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use nfbist_soc::session::derive_seed;
+    use nfbist_soc::setup::BistSetup;
+
+    fn mission(seed: u64) -> Result<MonitorSession, SocError> {
+        let mut setup = BistSetup::quick(seed);
+        setup.samples = 1 << 14;
+        setup.nfft = 1_024;
+        Ok(MonitorSession::new(setup)?
+            .estimator(
+                nfbist_core::power_ratio::PsdRatioEstimator::new(20_000.0, 1_024, (100.0, 1_000.0))
+                    .unwrap(),
+            )
+            .digitizer(nfbist_analog::converter::AdcDigitizer::new(12).unwrap())
+            .warmup(4))
+    }
+
+    fn build(i: usize) -> Result<MonitorSession, SocError> {
+        mission(derive_seed(31, i as u64))
+    }
+
+    #[test]
+    fn plan_construction() {
+        assert_eq!(MonitorPlan::sequential().worker_count(), 1);
+        assert_eq!(MonitorPlan::workers(0).worker_count(), 1);
+        assert_eq!(MonitorPlan::default(), MonitorPlan::new());
+        let plan = MonitorPlan::workers(2)
+            .memory_budget(1 << 20)
+            .task_policy(TaskPolicy::new().attempts(3))
+            .chaos(ChaosConfig::new(9));
+        assert_eq!(plan.memory_budget_bytes(), Some(1 << 20));
+        assert_eq!(plan.policy().max_attempts(), 3);
+        assert_eq!(plan.chaos_config().map(|c| c.seed()), Some(9));
+    }
+
+    #[test]
+    fn fleet_is_bitwise_identical_across_schedules() {
+        let reference = MonitorPlan::sequential().run_fleet(4, 1 << 16, build);
+        assert_eq!(reference.completed(), 4);
+        assert!(!reference.degraded());
+        for plan in [
+            MonitorPlan::workers(3),
+            MonitorPlan::workers(4).memory_budget(1 << 16),
+        ] {
+            let fleet = plan.run_fleet(4, 1 << 16, build);
+            assert_eq!(fleet, reference, "schedule {plan:?} changed a timeline");
+        }
+        // And each slot matches a solo run of the same mission.
+        for (i, report) in reference.reports() {
+            let solo = build(i).unwrap().run().unwrap();
+            assert_eq!(report.alarm_signature(), solo.alarm_signature());
+            assert_eq!(report.series_signature(), solo.series_signature());
+        }
+    }
+
+    #[test]
+    fn chaos_quarantines_marked_monitors_and_spares_the_rest() {
+        crate::chaos::install_quiet_panic_hook();
+        let chaos = ChaosConfig::new(7)
+            .panic_rate_per_mille(250)
+            .stall_rate_per_mille(0)
+            .alloc_rate_per_mille(0)
+            .faulty_attempts(1);
+        let marked: Vec<usize> = chaos
+            .scheduled_faults(6)
+            .into_iter()
+            .map(|(i, _)| i)
+            .collect();
+        assert!(!marked.is_empty(), "seed must mark some monitors");
+        let clean = MonitorPlan::sequential().run_fleet(6, 1 << 16, build);
+        let fleet = MonitorPlan::workers(3)
+            .chaos(chaos)
+            .run_fleet(6, 1 << 16, build);
+        assert!(fleet.degraded());
+        let faulted: Vec<usize> = fleet.faults().map(|f| f.monitor).collect();
+        assert_eq!(faulted, marked, "exactly the marked monitors must fault");
+        for fault in fleet.faults() {
+            assert!(matches!(fault.kind, DieFaultKind::Panicked { .. }));
+        }
+        // Survivors carry the clean fleet's exact bits.
+        for (i, report) in fleet.reports() {
+            assert_eq!(
+                report.alarm_signature(),
+                clean.outcomes()[i].report().unwrap().alarm_signature()
+            );
+        }
+    }
+
+    #[test]
+    fn retry_recovers_single_attempt_faults() {
+        crate::chaos::install_quiet_panic_hook();
+        let clean = MonitorPlan::sequential().run_fleet(4, 1 << 16, build);
+        let fleet = MonitorPlan::workers(2)
+            .task_policy(TaskPolicy::new().attempts(2))
+            .chaos(
+                ChaosConfig::new(19)
+                    .panic_rate_per_mille(300)
+                    .stall_rate_per_mille(0)
+                    .alloc_rate_per_mille(100)
+                    .faulty_attempts(1),
+            )
+            .run_fleet(4, 1 << 16, build);
+        assert!(!fleet.degraded());
+        assert_eq!(fleet, clean, "recovered fleet must be bit-identical");
+    }
+
+    #[test]
+    fn service_streams_fleets_and_drains_gracefully() {
+        let mut service = MonitorService::start(MonitorPlan::workers(2));
+        let a = service.submit(2, 1 << 16, build).unwrap();
+        let b = service.submit(2, 1 << 16, build).unwrap();
+        assert_eq!((a.id(), b.id()), (0, 1));
+        let direct = MonitorPlan::workers(2).run_fleet(2, 1 << 16, build);
+        let fleet = service.wait(a).unwrap();
+        assert_eq!(fleet, direct, "service fleet must match direct run");
+        assert_eq!(
+            service.wait(a),
+            Err(RuntimeError::UnknownTicket { id: 0 }),
+            "a ticket's report can be taken once"
+        );
+        service.shutdown();
+        assert!(service.wait(b).is_ok(), "drain must finish queued fleets");
+        let health = service.health();
+        assert_eq!(health.completed_fleets, 2);
+        assert_eq!(health.completed_monitors, 4);
+        assert_eq!(health.faulted_monitors, 0);
+        assert!(health.draining);
+        assert_eq!(
+            service.submit(1, 1 << 16, build).unwrap_err(),
+            RuntimeError::ServiceShutdown
+        );
+        service.shutdown(); // idempotent
+    }
+
+    #[test]
+    fn try_take_polls_without_blocking() {
+        let service = MonitorService::start(MonitorPlan::workers(2));
+        let ticket = service.submit(1, 1 << 16, build).unwrap();
+        loop {
+            match service.try_take(ticket) {
+                Ok(None) => thread::yield_now(),
+                Ok(Some(fleet)) => {
+                    assert_eq!(fleet.completed(), 1);
+                    break;
+                }
+                Err(e) => panic!("live ticket must not error: {e}"),
+            }
+        }
+        assert!(matches!(
+            service.try_take(FleetTicket { id: 404 }),
+            Err(RuntimeError::UnknownTicket { id: 404 })
+        ));
+    }
+}
